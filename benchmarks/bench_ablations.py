@@ -1,0 +1,114 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Group merging: computation-cost vs communication-cost (Section 5.4.1;
+  the paper's preliminary tests preferred computation-cost merging).
+* PPD selection: Equation 4 closed form vs the adaptive Section 3.3
+  schemes.
+* Bitstring pruning: Equation 2 vs occupancy-only (Equation 1).
+"""
+
+import pytest
+
+from benchmarks.helpers import card_high, figure_cell
+from repro.bench.experiments import auto_tpp
+from repro.bench.harness import run_cell
+
+
+@pytest.mark.parametrize(
+    "strategy", ["computation", "communication", "balanced"]
+)
+def test_ablation_merging(benchmark, paper_cluster, repro_scale, strategy):
+    # A fine 3-d grid yields dozens of groups, so merging down to 4
+    # reducers actually engages the strategy under test.
+    card = card_high(repro_scale)
+    cell = figure_cell(
+        "anticorrelated",
+        card,
+        3,
+        "mr-gpmrs",
+        seed=54,
+        num_reducers=4,
+        merge_strategy=strategy,
+        ppd=8,
+    )
+    result = benchmark.pedantic(
+        run_cell, args=(cell,), kwargs={"cluster": paper_cluster},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["simulated_runtime_s"] = round(result.runtime_s, 4)
+    benchmark.extra_info["shuffle_bytes"] = result.shuffle_bytes
+
+
+@pytest.mark.parametrize(
+    "strategy", ["equation4", "adaptive-target", "adaptive-literal"]
+)
+@pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
+def test_ablation_ppd(
+    benchmark, paper_cluster, repro_scale, distribution, strategy
+):
+    card = card_high(repro_scale)
+    cell = figure_cell(
+        distribution,
+        card,
+        3,
+        "mr-gpmrs",
+        seed=33,
+        num_reducers=13,
+        ppd_strategy=strategy,
+    )
+    result = benchmark.pedantic(
+        run_cell, args=(cell,), kwargs={"cluster": paper_cluster},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["chosen_ppd"] = result.artifacts["grid"].n
+    benchmark.extra_info["simulated_runtime_s"] = round(result.runtime_s, 4)
+
+
+@pytest.mark.parametrize("prune", [True, False])
+@pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
+def test_ablation_pruning(
+    benchmark, paper_cluster, repro_scale, distribution, prune
+):
+    # Equation 2 prunes (n-1)^d of n^d cells: a fine low-d grid is
+    # where the bitstring pays (two-thirds of uniform cells pruned).
+    card = card_high(repro_scale)
+    cell = figure_cell(
+        distribution,
+        card,
+        3,
+        "mr-gpsrs",
+        seed=44,
+        prune_bitstring=prune,
+        ppd=8,
+    )
+    result = benchmark.pedantic(
+        run_cell, args=(cell,), kwargs={"cluster": paper_cluster},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["simulated_runtime_s"] = round(result.runtime_s, 4)
+    benchmark.extra_info["shuffle_bytes"] = result.shuffle_bytes
+
+
+def test_ablation_pruning_shape(benchmark, paper_cluster, repro_scale):
+    """Equation 2 must strictly reduce shuffled bytes on independent
+    data (dominated corner cells never travel)."""
+    card = card_high(repro_scale)
+
+    def run():
+        out = {}
+        for prune in (True, False):
+            cell = figure_cell(
+                "independent",
+                card,
+                3,
+                "mr-gpsrs",
+                seed=44,
+                prune_bitstring=prune,
+                ppd=8,
+            )
+            out[prune] = run_cell(cell, cluster=paper_cluster)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results[True].shuffle_bytes < results[False].shuffle_bytes
+    assert results[True].skyline_size == results[False].skyline_size

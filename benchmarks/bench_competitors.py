@@ -1,0 +1,75 @@
+"""Full competitor comparison beyond the paper's four.
+
+The paper compares MR-GPSRS/MR-GPMRS against MR-BNL and MR-Angle only;
+this bench adds the rest of the implemented landscape — MR-SFS,
+SKY-MR-lite (the sampling competitor of Park et al.) and the Section-8
+hybrid — on the paper's two canonical workloads. All algorithms must
+agree exactly on the skyline (asserted), so the interesting column is
+``simulated_runtime_s``.
+"""
+
+import pytest
+
+from benchmarks.helpers import card_high, figure_cell, grid_options
+from repro.bench.harness import run_cell
+
+COMPETITORS = [
+    "mr-gpsrs",
+    "mr-gpmrs",
+    "mr-bnl",
+    "mr-sfs",
+    "mr-angle",
+    "sky-mr",
+    "mr-hybrid",
+]
+
+
+@pytest.mark.parametrize("algorithm", COMPETITORS)
+@pytest.mark.parametrize(
+    "distribution,d", [("independent", 6), ("anticorrelated", 4)]
+)
+def test_competitor(
+    benchmark, paper_cluster, repro_scale, distribution, d, algorithm
+):
+    card = card_high(repro_scale)
+    cell = figure_cell(
+        distribution,
+        card,
+        d,
+        algorithm,
+        seed=21,
+        **grid_options(algorithm, card, d),
+    )
+    result = benchmark.pedantic(
+        run_cell, args=(cell,), kwargs={"cluster": paper_cluster},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["simulated_runtime_s"] = round(result.runtime_s, 4)
+    benchmark.extra_info["skyline_size"] = result.skyline_size
+
+
+def test_all_competitors_agree(benchmark, paper_cluster, repro_scale):
+    """The non-negotiable: everyone computes the identical skyline."""
+    card = card_high(repro_scale)
+
+    def run():
+        sizes = {}
+        ids = None
+        for algorithm in COMPETITORS:
+            cell = figure_cell(
+                "anticorrelated",
+                card,
+                4,
+                algorithm,
+                seed=21,
+                **grid_options(algorithm, card, 4),
+            )
+            result = run_cell(cell, cluster=paper_cluster)
+            sizes[algorithm] = result.skyline_size
+            if ids is None:
+                ids = result.skyline_size
+            assert result.skyline_size == ids, algorithm
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(set(sizes.values())) == 1

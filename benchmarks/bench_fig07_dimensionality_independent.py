@@ -1,0 +1,74 @@
+"""Figure 7: effect of dimensionality on independent data.
+
+Paper shape to reproduce: MR-GPSRS performs best overall; MR-GPMRS is
+slightly worse at low dimensionality (multi-reducer overhead without a
+big skyline to pay for it); at d >= 7 both grid algorithms clearly
+beat MR-BNL and MR-Angle, which deteriorate almost exponentially.
+
+Run ``pytest benchmarks/bench_fig07* --benchmark-only`` and compare the
+``simulated_runtime_s`` extra-info column per (d, algorithm) cell; the
+assertion tests at the bottom pin the headline orderings.
+"""
+
+import pytest
+
+from benchmarks.helpers import (
+    card_high,
+    card_low,
+    grid_options as _options,
+    run_figure_cell,
+    runtimes_for,
+)
+
+ALGORITHMS = ["mr-gpsrs", "mr-gpmrs", "mr-bnl", "mr-angle"]
+DIMS = [2, 4, 6, 8]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("d", DIMS)
+def test_fig7_low_cardinality(benchmark, paper_cluster, repro_scale, d, algorithm):
+    card = card_low(repro_scale)
+    run_figure_cell(
+        benchmark,
+        paper_cluster,
+        "independent",
+        card,
+        d,
+        algorithm,
+        **_options(algorithm, card, d),
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("d", [4, 8])
+def test_fig7_high_cardinality(benchmark, paper_cluster, repro_scale, d, algorithm):
+    card = card_high(repro_scale)
+    run_figure_cell(
+        benchmark,
+        paper_cluster,
+        "independent",
+        card,
+        d,
+        algorithm,
+        **_options(algorithm, card, d),
+    )
+
+
+def test_fig7_shape_grid_beats_baselines_at_high_d(
+    benchmark, paper_cluster, repro_scale
+):
+    """The paper's headline: at d >= 7 the grid algorithms clearly
+    outperform MR-BNL and MR-Angle on independent data."""
+    card = card_high(repro_scale)
+    times = benchmark.pedantic(
+        runtimes_for,
+        args=(paper_cluster, "independent", card, 8, ALGORITHMS),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {k: round(v, 4) for k, v in times.items()}
+    )
+    assert times["mr-gpsrs"] < times["mr-angle"]
+    assert times["mr-gpmrs"] < times["mr-angle"]
+    assert times["mr-gpmrs"] < times["mr-bnl"]

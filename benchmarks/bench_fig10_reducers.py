@@ -1,0 +1,82 @@
+"""Figure 10: effect of the number of reducers in MR-GPMRS.
+
+Paper shape to reproduce (8-d, high cardinality): on independent data
+more reducers do not help (slightly worse 1 -> 5 from the extra
+overhead); on anti-correlated data more reducers clearly shorten the
+runtime, with the largest jump when going from one reducer (MR-GPSRS)
+to five.
+"""
+
+import pytest
+
+from benchmarks.helpers import card_high, figure_cell, grid_options
+from repro.bench.experiments import auto_tpp
+from repro.bench.harness import run_cell
+
+REDUCER_COUNTS = [1, 5, 9, 13, 17]
+
+
+def _cell(distribution, card, reducers):
+    tpp = auto_tpp(card, 8)
+    if reducers == 1:
+        return figure_cell(distribution, card, 8, "mr-gpsrs", seed=10, tpp=tpp)
+    return figure_cell(
+        distribution, card, 8, "mr-gpmrs", seed=10, num_reducers=reducers, tpp=tpp
+    )
+
+
+@pytest.mark.parametrize("reducers", REDUCER_COUNTS)
+@pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
+def test_fig10_reducer_sweep(
+    benchmark, paper_cluster, repro_scale, distribution, reducers
+):
+    card = card_high(repro_scale)
+    cell = _cell(distribution, card, reducers)
+    result = benchmark.pedantic(
+        run_cell, args=(cell,), kwargs={"cluster": paper_cluster},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["simulated_runtime_s"] = round(result.runtime_s, 4)
+    benchmark.extra_info["reducers"] = reducers
+
+
+def test_fig10_shape_anticorrelated_improves_with_reducers(
+    benchmark, paper_cluster, repro_scale
+):
+    """The biggest improvement is 1 -> 5 reducers (paper Section 7.4)."""
+    card = card_high(repro_scale)
+
+    def run():
+        return {
+            r: run_cell(
+                _cell("anticorrelated", card, r), cluster=paper_cluster
+            ).runtime_s
+            for r in (1, 5, 17)
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {f"r{k}": round(v, 4) for k, v in times.items()}
+    )
+    assert times[5] < times[1]
+    assert times[17] <= times[1]
+
+
+def test_fig10_shape_independent_flat(benchmark, paper_cluster, repro_scale):
+    """On independent data extra reducers give no real improvement."""
+    card = card_high(repro_scale)
+
+    def run():
+        return {
+            r: run_cell(
+                _cell("independent", card, r), cluster=paper_cluster
+            ).runtime_s
+            for r in (1, 17)
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {f"r{k}": round(v, 4) for k, v in times.items()}
+    )
+    # within 35% of each other: "the runtime almost does not change"
+    assert abs(times[17] - times[1]) <= 0.35 * times[1]

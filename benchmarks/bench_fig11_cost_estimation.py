@@ -1,0 +1,82 @@
+"""Figure 11: Section 6 cost estimates vs measured partition-wise
+comparisons.
+
+Paper shape to reproduce: the estimated mapper costs closely match the
+measured ones on independent data (the model assumes independence);
+anti-correlated measurements fall below the estimate; reducer estimates
+are looser; in every case the estimate is an upper bound.
+"""
+
+import pytest
+
+from benchmarks.helpers import figure_cell
+from repro.bench.experiments import auto_tpp
+from repro.bench.harness import run_cell
+from repro.grid.cost import kappa_mapper, kappa_reducer
+
+DIMS = [2, 3, 4, 6, 8]
+
+
+def _run(paper_cluster, distribution, card, d):
+    cell = figure_cell(
+        distribution,
+        card,
+        d,
+        "mr-gpmrs",
+        seed=11,
+        num_reducers=13,
+        tpp=auto_tpp(card, d),
+    )
+    return run_cell(cell, cluster=paper_cluster)
+
+
+@pytest.mark.parametrize("d", DIMS)
+@pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
+def test_fig11_measured_vs_estimate(
+    benchmark, paper_cluster, repro_scale, distribution, d
+):
+    card = max(64, int(1_000_000 * repro_scale))
+    result = benchmark.pedantic(
+        _run,
+        args=(paper_cluster, distribution, card, d),
+        rounds=1,
+        iterations=1,
+    )
+    n = result.artifacts["grid"].n
+    est_map = kappa_mapper(n, d)
+    est_red = kappa_reducer(n, d)
+    benchmark.extra_info.update(
+        {
+            "ppd": n,
+            "measured_mapper": result.max_mapper_compares,
+            "estimate_mapper": est_map,
+            "measured_reducer": result.max_reducer_compares,
+            "estimate_reducer": est_red,
+        }
+    )
+    # Section 6: worst-case assumptions make the estimates upper bounds.
+    assert result.max_mapper_compares <= est_map
+    assert result.max_reducer_compares <= est_red
+
+
+def test_fig11_shape_independent_mappers_tight(
+    benchmark, paper_cluster, repro_scale
+):
+    """'For independent data, the estimated costs for mappers closely
+    match their counterparts from the real execution.'"""
+    card = max(64, int(1_000_000 * repro_scale))
+
+    def run():
+        out = {}
+        for d in (2, 3, 4):
+            result = _run(paper_cluster, "independent", card, d)
+            n = result.artifacts["grid"].n
+            out[d] = (result.max_mapper_compares, kappa_mapper(n, d))
+        return out
+
+    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for d, (measured, estimate) in pairs.items():
+        benchmark.extra_info[f"d{d}"] = f"{measured}/{estimate}"
+        assert measured <= estimate
+        # tight: within a factor of ~3 at bench scale
+        assert measured >= estimate / 3 or estimate - measured < 30

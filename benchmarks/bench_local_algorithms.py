@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the local (single-node) skyline algorithms.
+
+The paper's Section 8 notes that optimising the per-node local skyline
+computation is orthogonal future work; these benches quantify the
+building blocks: BNL vs presorted SFS vs the bitmap algorithm, on each
+distribution. Unlike the figure benches these are classic hot-loop
+benchmarks (multiple rounds, real wall time).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap import bitmap_skyline_indices
+from repro.core.bnl import bnl_skyline_indices
+from repro.core.sfs import sfs_skyline_indices
+from repro.data.generators import generate
+
+LOCAL = {
+    "bnl": bnl_skyline_indices,
+    "sfs": sfs_skyline_indices,
+}
+
+
+@pytest.mark.parametrize("method", sorted(LOCAL))
+@pytest.mark.parametrize(
+    "distribution", ["independent", "correlated", "anticorrelated"]
+)
+def test_local_skyline(benchmark, distribution, method):
+    data = generate(distribution, 2000, 4, seed=99)
+    indices = benchmark(LOCAL[method], data)
+    benchmark.extra_info["skyline_size"] = int(indices.shape[0])
+
+
+@pytest.mark.parametrize("levels", [4, 16, 64])
+def test_local_bitmap_discrete(benchmark, levels):
+    rng = np.random.default_rng(99)
+    data = rng.integers(0, levels, (1500, 4)).astype(float)
+    indices = benchmark(bitmap_skyline_indices, data)
+    benchmark.extra_info["skyline_size"] = int(indices.shape[0])
+    benchmark.extra_info["distinct_levels"] = levels
+
+
+def test_local_sfs_beats_bnl_on_correlated(benchmark):
+    """Presorting shines when the skyline is tiny: the window stays
+    small from the first inserts."""
+    data = generate("correlated", 4000, 4, seed=7)
+
+    def run():
+        import time
+
+        t0 = time.perf_counter()
+        sfs_skyline_indices(data)
+        sfs_t = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        bnl_skyline_indices(data)
+        bnl_t = time.perf_counter() - t0
+        return sfs_t, bnl_t
+
+    sfs_t, bnl_t = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["sfs_s"] = round(sfs_t, 4)
+    benchmark.extra_info["bnl_s"] = round(bnl_t, 4)

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the MapReduce substrate itself.
+
+Not a paper figure — these keep the runtime honest: engine overhead per
+task, shuffle grouping, bitstring construction and pruning, and the
+grid cell-assignment kernel that every mapper runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.splits import kv_splits
+from repro.mapreduce.types import Mapper, Reducer
+
+
+class PassMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(key % 8, value)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, len(values))
+
+
+def test_engine_overhead_per_record(benchmark):
+    pairs = [(i, i) for i in range(5000)]
+
+    def run():
+        job = MapReduceJob(
+            name="overhead",
+            splits=kv_splits(pairs, 8),
+            mapper_factory=PassMapper,
+            reducer_factory=CountReducer,
+            num_reducers=4,
+        )
+        return SerialEngine().run(job)
+
+    result = benchmark(run)
+    assert sum(v for _, v in result.all_pairs()) == 5000
+
+
+@pytest.mark.parametrize("n,d", [(8, 2), (4, 4), (2, 10)])
+def test_bitstring_build_and_prune(benchmark, n, d):
+    data = generate("independent", 20_000, d, seed=1)
+    grid = Grid.unit(n, d)
+
+    def run():
+        return Bitstring.from_data(grid, data).prune_dominated()
+
+    pruned = benchmark(run)
+    benchmark.extra_info["cells"] = grid.num_partitions
+    benchmark.extra_info["surviving"] = pruned.count()
+
+
+def test_cell_assignment_kernel(benchmark):
+    data = generate("independent", 100_000, 6, seed=2)
+    grid = Grid.unit(3, 6)
+    cells = benchmark(grid.cell_indices, data)
+    assert cells.shape == (100_000,)
+
+
+def test_shuffle_grouping(benchmark):
+    from repro.mapreduce.engine import _group_by_key
+
+    rng = np.random.default_rng(3)
+    pairs = [(int(k), i) for i, k in enumerate(rng.integers(0, 500, 20_000))]
+    grouped = benchmark(_group_by_key, pairs, True)
+    assert len(grouped) == 500

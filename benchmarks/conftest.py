@@ -1,0 +1,39 @@
+"""Fixtures and options for the pytest-benchmark suite.
+
+Each ``bench_fig*`` module reproduces one figure of the paper's
+evaluation. Benchmarked cells run once (``pedantic`` with a single
+round — a full MapReduce pipeline is seconds, not microseconds) and
+attach the paper's metric (simulated cluster makespan) plus skyline
+size to ``extra_info``, so the benchmark table carries the figure data.
+
+Scale: cardinalities default to 1/500 of the paper's (200 and 4000
+rows) so the whole suite finishes in minutes; pass
+``--repro-scale=0.01`` for the EXPERIMENTS.md scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.cluster import SimulatedCluster
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default=0.002,
+        type=float,
+        help="scaling factor applied to the paper's cardinalities",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request):
+    return float(request.config.getoption("--repro-scale"))
+
+
+@pytest.fixture(scope="session")
+def paper_cluster():
+    """The paper's testbed: 13 nodes, 100 Mbit/s."""
+    return SimulatedCluster()

@@ -1,0 +1,95 @@
+"""Helpers shared by the figure benchmarks (import-safe, no fixtures)."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import auto_tpp
+from repro.bench.harness import Cell, Workload, run_cell
+from repro.mapreduce.cluster import SimulatedCluster
+
+
+def card_low(scale: float) -> int:
+    """The paper's low cardinality (1e5), scaled."""
+    return max(64, int(100_000 * scale))
+
+
+def card_high(scale: float) -> int:
+    """The paper's high cardinality (2e6), scaled."""
+    return max(64, int(2_000_000 * scale))
+
+
+def grid_options(algorithm: str, cardinality: int, dimensionality: int) -> dict:
+    """Per-algorithm options matching the paper's setup (13 reducers
+    for MR-GPMRS; a bench-scale TPP for the grid algorithms)."""
+    if algorithm == "mr-gpmrs":
+        return {
+            "num_reducers": 13,
+            "tpp": auto_tpp(cardinality, dimensionality),
+        }
+    if algorithm == "mr-gpsrs":
+        return {"tpp": auto_tpp(cardinality, dimensionality)}
+    return {}
+
+
+def figure_cell(
+    distribution: str,
+    cardinality: int,
+    dimensionality: int,
+    algorithm: str,
+    seed: int = 7,
+    **options,
+) -> Cell:
+    return Cell.make(
+        Workload(distribution, cardinality, dimensionality, seed=seed),
+        algorithm,
+        **options,
+    )
+
+
+def run_figure_cell(
+    benchmark,
+    cluster: SimulatedCluster,
+    distribution: str,
+    cardinality: int,
+    dimensionality: int,
+    algorithm: str,
+    seed: int = 7,
+    **options,
+):
+    """Benchmark one figure cell; returns the harness CellResult."""
+    cell = figure_cell(
+        distribution, cardinality, dimensionality, algorithm, seed, **options
+    )
+    result = benchmark.pedantic(
+        run_cell,
+        args=(cell,),
+        kwargs={"cluster": cluster},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["simulated_runtime_s"] = round(result.runtime_s, 4)
+    benchmark.extra_info["skyline_size"] = result.skyline_size
+    benchmark.extra_info["workload"] = cell.workload.label()
+    return result
+
+
+def runtimes_for(
+    cluster: SimulatedCluster,
+    distribution: str,
+    cardinality: int,
+    dimensionality: int,
+    algorithms,
+    seed: int = 7,
+) -> dict:
+    """Simulated runtimes of several algorithms on one workload."""
+    times = {}
+    for algorithm in algorithms:
+        cell = figure_cell(
+            distribution,
+            cardinality,
+            dimensionality,
+            algorithm,
+            seed,
+            **grid_options(algorithm, cardinality, dimensionality),
+        )
+        times[algorithm] = run_cell(cell, cluster=cluster).runtime_s
+    return times

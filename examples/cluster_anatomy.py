@@ -1,0 +1,46 @@
+"""Cluster anatomy: look inside the simulated makespan.
+
+Runs MR-GPMRS on an anti-correlated workload and renders the schedule
+the cluster model implies — which mapper ran on which slot, how long
+the shuffle took, how the reducer wave parallelised — as an ASCII
+Gantt chart. Then re-runs with a single reducer to show the serial
+bottleneck MR-GPSRS suffers on the same data.
+
+Run:  python examples/cluster_anatomy.py
+"""
+
+from repro import skyline
+from repro.data import generate
+from repro.mapreduce import SimulatedCluster
+from repro.mapreduce.trace import build_schedule, render_gantt
+
+
+def main():
+    cluster = SimulatedCluster(num_nodes=4, reduce_slots_per_node=2)
+    data = generate("anticorrelated", 12_000, 6, seed=3)
+    print(
+        f"workload: {data.shape[0]} tuples x {data.shape[1]} dims "
+        f"(anti-correlated), cluster: {cluster.num_nodes} nodes\n"
+    )
+
+    for label, kwargs in (
+        ("MR-GPMRS, 8 reducers", dict(algorithm="mr-gpmrs", num_reducers=8)),
+        ("MR-GPSRS (single reducer)", dict(algorithm="mr-gpsrs")),
+    ):
+        result = skyline(data, cluster=cluster, **kwargs)
+        print(f"--- {label}: skyline {len(result)}, "
+              f"simulated {result.runtime_s:.3f}s ---")
+        for job_stats in result.stats.jobs:
+            schedule = build_schedule(cluster, job_stats)
+            print(render_gantt(schedule, width=56))
+            print()
+
+    print(
+        "Read the charts: '#' is busy slot time, '~' is shuffle. The "
+        "single-reducer run ends in one long reduce bar; MR-GPMRS "
+        "splits the same work across the reduce slots."
+    )
+
+
+if __name__ == "__main__":
+    main()

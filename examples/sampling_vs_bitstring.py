@@ -1,0 +1,91 @@
+"""Sampling (SKY-MR) vs the bitstring (MR-GPMRS) — the paper's
+related-work argument, measured.
+
+"Park et al. propose another MapReduce skyline algorithm SKY-MR.
+Before starting MapReduce, SKY-MR obtains a random sample of the
+entire data set and builds a quadtree for the sample to identify
+dominated sampled regions. In contrast, the bitstring used in this
+work does not require sampling, and it is built in parallel by
+MapReduce."  (paper Section 2.2)
+
+This example puts the two pruning devices side by side on the same
+workloads: how many tuples each prunes before the shuffle, how many
+bytes travel, and what the end-to-end simulated runtime is.
+
+Run:  python examples/sampling_vs_bitstring.py
+"""
+
+from repro import skyline
+from repro.bench import format_table
+from repro.data import generate
+from repro.mapreduce import SimulatedCluster
+from repro.mapreduce.counters import TUPLES_PRUNED_BY_BITSTRING
+
+
+def measure(algorithm: str, data, cluster):
+    result = skyline(data, algorithm=algorithm, cluster=cluster)
+    pruned = sum(
+        job.counters[TUPLES_PRUNED_BY_BITSTRING]
+        for job in result.stats.jobs
+    )
+    return {
+        "runtime_s": round(result.runtime_s, 3),
+        "pruned": pruned,
+        "shuffle_MB": round(result.stats.total_shuffle_bytes() / 1e6, 3),
+        "skyline": len(result),
+        "artifacts": result.artifacts,
+    }
+
+
+def main():
+    cluster = SimulatedCluster()
+    cardinality = 15_000
+    rows = []
+    for dist, d in (
+        ("correlated", 4),
+        ("independent", 4),
+        ("anticorrelated", 4),
+    ):
+        data = generate(dist, cardinality, d, seed=13)
+        grid = measure("mr-gpmrs", data, cluster)
+        sample = measure("sky-mr", data, cluster)
+        rows.append(
+            [
+                f"{dist}",
+                grid["runtime_s"],
+                sample["runtime_s"],
+                grid["pruned"],
+                sample["pruned"],
+                grid["shuffle_MB"],
+                sample["shuffle_MB"],
+            ]
+        )
+        assert grid["skyline"] == sample["skyline"], "algorithms disagree!"
+    print(
+        format_table(
+            [
+                "workload",
+                "grid_s",
+                "skymr_s",
+                "grid_pruned",
+                "skymr_pruned",
+                "grid_MB",
+                "skymr_MB",
+            ],
+            rows,
+            title=f"bitstring (MR-GPMRS) vs sampling (SKY-MR), "
+            f"{cardinality} tuples, 4-d",
+        )
+    )
+    print(
+        "\nReading: both devices prune aggressively on correlated data "
+        "(tiny skylines). The sample's sky-filter prunes *tuple-level* "
+        "dominance so it can beat the coarse grid on easy data, but it "
+        "costs a pre-pass over the data and its guarantee depends on "
+        "the sample; the bitstring needs no sample and its Equation-2 "
+        "pruning is exact at partition granularity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Run every figure reproduction + ablation and dump the reports.
+
+Usage:  python scripts/run_all_experiments.py [scale] [outfile]
+
+This is what produced the measured numbers recorded in EXPERIMENTS.md.
+"""
+
+import sys
+import time
+
+from repro.bench.expectations import evaluate_report, render_verdicts
+from repro.bench.experiments import EXPERIMENTS
+from repro.mapreduce.cluster import SimulatedCluster
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    outfile = sys.argv[2] if len(sys.argv) > 2 else None
+    cluster = SimulatedCluster()
+    chunks = [f"scale = {scale} (paper cardinalities x {scale})\n"]
+    held = total = 0
+    for name in ["fig7", "fig8", "fig9", "fig10", "fig11",
+                 "ablation-merging", "ablation-ppd", "ablation-pruning",
+                 "ablation-local"]:
+        runner = EXPERIMENTS[name]
+        started = time.perf_counter()
+        kwargs = {"scale": scale, "cluster": cluster}
+        report = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        chunk = report.render() + f"\n[harness wall time: {elapsed:.1f}s]\n"
+        verdicts = evaluate_report(name, report)
+        if verdicts:
+            chunk += "\npaper-claim verdicts:\n" + render_verdicts(verdicts) + "\n"
+            held += sum(1 for v in verdicts if v.held)
+            total += len(verdicts)
+        print(chunk, flush=True)
+        chunks.append(chunk)
+    summary = f"\npaper claims held: {held}/{total}\n"
+    print(summary)
+    chunks.append(summary)
+    if outfile:
+        with open(outfile, "w") as handle:
+            handle.write("\n".join(chunks))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro — Efficient Skyline Computation in MapReduce (EDBT 2014).
+
+A from-scratch reproduction of Mullesgaard, Pedersen, Lu & Zhou's
+grid-partitioning skyline algorithms MR-GPSRS and MR-GPMRS, the
+baselines they evaluate against (MR-BNL, MR-SFS, MR-Angle, MR-Bitmap),
+the Section 6 cost model, the synthetic workloads of the evaluation,
+and a simulated MapReduce runtime standing in for the paper's Hadoop
+cluster.
+
+Quickstart::
+
+    import numpy as np
+    from repro import skyline
+
+    hotels = np.array([[120.0, 3.2], [95.0, 5.0], [200.0, 0.4]])
+    result = skyline(hotels)          # minimise both dimensions
+    print(result.indices)             # rows in the skyline
+
+See README.md for the full tour and DESIGN.md for the paper mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms import (
+    SkylineAlgorithm,
+    SkylineResult,
+    available_algorithms,
+    make_algorithm,
+)
+from repro.core.order import Preference
+from repro.errors import ReproError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.verify import VerificationReport, verify_skyline
+
+__version__ = "1.0.0"
+
+
+def skyline(
+    data,
+    algorithm: str = "mr-gpmrs",
+    prefs=None,
+    cluster: Optional[SimulatedCluster] = None,
+    engine=None,
+    num_mappers: Optional[int] = None,
+    **algorithm_options,
+) -> SkylineResult:
+    """Compute the skyline of ``data`` — the main entry point.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a 2-D float array (rows = tuples,
+        columns = criteria).
+    algorithm:
+        Registry name (see :func:`available_algorithms`); defaults to
+        the paper's headline algorithm, MR-GPMRS.
+    prefs:
+        Per-dimension preference: ``"min"``/``"max"`` or a sequence of
+        them. Default: minimise everything (the paper's convention).
+    cluster / engine / num_mappers:
+        Runtime environment; defaults to the paper's 13-node simulated
+        cluster on the deterministic serial engine.
+    algorithm_options:
+        Forwarded to the algorithm constructor (e.g. ``num_reducers=17``
+        for mr-gpmrs, ``ppd=4`` for the grid algorithms).
+
+    Returns
+    -------
+    SkylineResult
+        Skyline row indices/values plus execution statistics and
+        algorithm artifacts.
+    """
+    algo = make_algorithm(algorithm, **algorithm_options)
+    return algo.compute(
+        data,
+        prefs=prefs,
+        cluster=cluster,
+        engine=engine,
+        num_mappers=num_mappers,
+    )
+
+
+__all__ = [
+    "Preference",
+    "ReproError",
+    "SimulatedCluster",
+    "SkylineAlgorithm",
+    "SkylineResult",
+    "VerificationReport",
+    "__version__",
+    "available_algorithms",
+    "make_algorithm",
+    "skyline",
+    "verify_skyline",
+]

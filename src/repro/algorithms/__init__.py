@@ -1,0 +1,29 @@
+"""Skyline algorithms: the paper's MR-GPSRS and MR-GPMRS, the
+baselines it evaluates against, and centralized references."""
+
+from repro.algorithms.base import RunEnvironment, SkylineAlgorithm, SkylineResult
+from repro.algorithms.centralized import CentralizedSkyline
+from repro.algorithms.gpmrs import MRGPMRS
+from repro.algorithms.gpsrs import MRGPSRS
+from repro.algorithms.hybrid import HybridGridSkyline
+from repro.algorithms.mr_angle import MRAngle
+from repro.algorithms.mr_bitmap import MRBitmap
+from repro.algorithms.mr_bnl import MRBNL, MRSFS
+from repro.algorithms.registry import available_algorithms, make_algorithm
+from repro.algorithms.sky_mr import SKYMR, SkyQuadtree
+
+__all__ = [
+    "CentralizedSkyline",
+    "HybridGridSkyline",
+    "MRAngle",
+    "MRBNL",
+    "MRBitmap",
+    "MRGPMRS",
+    "MRGPSRS",
+    "MRSFS",
+    "RunEnvironment",
+    "SkylineAlgorithm",
+    "SkylineResult",
+    "available_algorithms",
+    "make_algorithm",
+]

@@ -1,0 +1,209 @@
+"""MapReduce jobs that precede skyline computation.
+
+* Bounds job — min/max per dimension (the synthetic-domain analogue of
+  knowing the data space; optional).
+* Bitstring job — Algorithms 1 and 2 / Figure 3: local bitstrings per
+  mapper, OR-merged and dominance-pruned by a single reducer.
+* Adaptive-PPD job — the Section 3.3 extension: every mapper emits one
+  local bitstring per candidate PPD; the reducer merges per candidate,
+  measures non-empty counts ρ_j, selects the PPD, and returns the
+  pruned bitstring of the chosen grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.common import (
+    CACHE_BOUNDS,
+    CACHE_CANDIDATES,
+    CACHE_CARDINALITY,
+    CACHE_GRID,
+    CACHE_PPD_STRATEGY,
+    CACHE_PRUNE,
+    CACHE_TPP,
+    BufferingMapper,
+)
+from repro.core.pointset import PointSet
+from repro.errors import AlgorithmError
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+from repro.grid.ppd import select_ppd
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partitioners import single_partitioner
+from repro.mapreduce.types import InputSplit, Reducer, TaskContext
+
+
+# -- bounds job ---------------------------------------------------------
+
+
+class BoundsMapper(BufferingMapper):
+    """Emit the split's per-dimension (min, max)."""
+
+    def finish(self, points: PointSet, ctx: TaskContext) -> None:
+        if len(points) == 0:
+            return
+        ctx.emit(0, (points.values.min(axis=0), points.values.max(axis=0)))
+
+
+class BoundsReducer(Reducer):
+    """Merge per-split bounds into global (lows, highs)."""
+
+    def reduce(self, key, values, ctx: TaskContext) -> None:
+        lows = np.minimum.reduce([v[0] for v in values])
+        highs = np.maximum.reduce([v[1] for v in values])
+        ctx.emit("bounds", (lows, highs))
+
+
+def make_bounds_job(splits: Sequence[InputSplit]) -> MapReduceJob:
+    return MapReduceJob(
+        name="bounds",
+        splits=splits,
+        mapper_factory=BoundsMapper,
+        reducer_factory=BoundsReducer,
+        num_reducers=1,
+        partitioner=single_partitioner,
+    )
+
+
+# -- fixed-PPD bitstring job (Algorithms 1-2) -----------------------------
+
+
+class BitstringMapper(BufferingMapper):
+    """Algorithm 1: the local bitstring of one split."""
+
+    def finish(self, points: PointSet, ctx: TaskContext) -> None:
+        grid: Grid = ctx.cache[CACHE_GRID]
+        if len(points):
+            local = Bitstring.from_data(grid, points.values)
+        else:
+            local = Bitstring(grid)
+        ctx.emit(0, local.to_bytes())
+
+
+class BitstringReducer(Reducer):
+    """Algorithm 2: OR-merge local bitstrings, then prune (Eq. 2).
+
+    Pruning can be disabled through the cache (the Eq. 1 ablation:
+    occupancy-only bitstring, no dominated-partition elimination).
+    """
+
+    def reduce(self, key, values, ctx: TaskContext) -> None:
+        grid: Grid = ctx.cache[CACHE_GRID]
+        merged = Bitstring(grid)
+        for payload in values:
+            merged.bits |= Bitstring.from_bytes(grid, payload).bits
+        if ctx.cache.get(CACHE_PRUNE, True):
+            merged = merged.prune_dominated()
+        ctx.emit("bitstring", merged.to_bytes())
+
+
+def make_bitstring_job(
+    splits: Sequence[InputSplit], grid: Grid, prune: bool = True
+) -> MapReduceJob:
+    return MapReduceJob(
+        name="bitstring",
+        splits=splits,
+        mapper_factory=BitstringMapper,
+        reducer_factory=BitstringReducer,
+        num_reducers=1,
+        partitioner=single_partitioner,
+        cache=DistributedCache({CACHE_GRID: grid, CACHE_PRUNE: bool(prune)}),
+    )
+
+
+# -- adaptive-PPD job (Section 3.3) ---------------------------------------
+
+
+class AdaptivePPDMapper(BufferingMapper):
+    """Emit one local bitstring per candidate PPD, keyed by the PPD."""
+
+    def finish(self, points: PointSet, ctx: TaskContext) -> None:
+        lows, highs = ctx.cache[CACHE_BOUNDS]
+        candidates: Sequence[int] = ctx.cache[CACHE_CANDIDATES]
+        for j in candidates:
+            grid = Grid(j, lows, highs)
+            if len(points):
+                local = Bitstring.from_data(grid, points.values)
+            else:
+                local = Bitstring(grid)
+            ctx.emit(int(j), local.to_bytes())
+
+
+class AdaptivePPDReducer(Reducer):
+    """Merge per-candidate, measure ρ_j, select, prune, emit."""
+
+    def setup(self, ctx: TaskContext) -> None:
+        self._merged: Dict[int, Bitstring] = {}
+
+    def reduce(self, key, values, ctx: TaskContext) -> None:
+        lows, highs = ctx.cache[CACHE_BOUNDS]
+        grid = Grid(int(key), lows, highs)
+        merged = Bitstring(grid)
+        for payload in values:
+            merged.bits |= Bitstring.from_bytes(grid, payload).bits
+        self._merged[int(key)] = merged
+
+    def cleanup(self, ctx: TaskContext) -> None:
+        if not self._merged:
+            return
+        cardinality = ctx.cache[CACHE_CARDINALITY]
+        strategy = ctx.cache[CACHE_PPD_STRATEGY]
+        tpp = ctx.cache[CACHE_TPP]
+        rho = {j: bs.count() for j, bs in self._merged.items()}
+        chosen = select_ppd(
+            cardinality,
+            rho,
+            self._merged[next(iter(self._merged))].grid.d,
+            strategy=strategy,
+            tpp=tpp,
+        )
+        pruned = self._merged[chosen].prune_dominated()
+        ctx.emit("ppd", (chosen, rho))
+        ctx.emit("bitstring", pruned.to_bytes())
+
+
+def make_adaptive_ppd_job(
+    splits: Sequence[InputSplit],
+    bounds: Tuple[np.ndarray, np.ndarray],
+    candidates: Sequence[int],
+    cardinality: int,
+    strategy: str,
+    tpp: int,
+) -> MapReduceJob:
+    return MapReduceJob(
+        name="bitstring-adaptive",
+        splits=splits,
+        mapper_factory=AdaptivePPDMapper,
+        reducer_factory=AdaptivePPDReducer,
+        num_reducers=1,
+        partitioner=single_partitioner,
+        cache=DistributedCache(
+            {
+                CACHE_BOUNDS: bounds,
+                CACHE_CANDIDATES: tuple(int(j) for j in candidates),
+                CACHE_CARDINALITY: int(cardinality),
+                CACHE_PPD_STRATEGY: strategy,
+                CACHE_TPP: int(tpp),
+            }
+        ),
+    )
+
+
+def extract_bitstring(job_result, grid: Grid) -> Bitstring:
+    """Pull the pruned bitstring payload out of a bitstring-job result."""
+    for key, value in job_result.all_pairs():
+        if key == "bitstring":
+            return Bitstring.from_bytes(grid, value)
+    raise AlgorithmError("bitstring job produced no 'bitstring' output")
+
+
+def extract_ppd_choice(job_result) -> Tuple[int, Dict[int, int]]:
+    """Pull (chosen PPD, ρ_j measurements) out of an adaptive result."""
+    for key, value in job_result.all_pairs():
+        if key == "ppd":
+            return int(value[0]), dict(value[1])
+    raise AlgorithmError("adaptive PPD job produced no 'ppd' output")

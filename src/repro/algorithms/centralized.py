@@ -1,0 +1,67 @@
+"""Centralized (single-node) skyline algorithms behind the common
+algorithm interface.
+
+These are the building blocks the MapReduce algorithms use locally
+(BNL, SFS, bitmap) plus the brute-force oracle — exposed as first-class
+algorithms for small data, examples, and as the test baseline. No
+MapReduce jobs run; the pipeline stats carry only wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.base import RunEnvironment, SkylineAlgorithm, SkylineResult
+from repro.core.bitmap import bitmap_skyline_indices
+from repro.core.bnl import bnl_multipass_skyline_indices, bnl_skyline_indices
+from repro.core.dnc import dnc_skyline_indices
+from repro.core.reference import bruteforce_skyline_indices
+from repro.core.sfs import sfs_skyline_indices
+from repro.errors import ValidationError
+from repro.mapreduce.metrics import PipelineStats
+
+_METHODS = {
+    "bnl": bnl_skyline_indices,
+    "bnl-multipass": bnl_multipass_skyline_indices,
+    "sfs": sfs_skyline_indices,
+    "dnc": dnc_skyline_indices,
+    "bitmap": bitmap_skyline_indices,
+    "bruteforce": bruteforce_skyline_indices,
+}
+
+
+class CentralizedSkyline(SkylineAlgorithm):
+    """Single-node skyline via BNL (unbounded or bounded multi-pass),
+    SFS, divide & conquer, bitmap, or brute force.
+
+    ``method_options`` are forwarded to the underlying routine, e.g.
+    ``window_size`` for "bnl-multipass" or ``block_size`` for "dnc".
+    """
+
+    name = "centralized"
+
+    def __init__(self, method: str = "sfs", **method_options):
+        if method not in _METHODS:
+            raise ValidationError(
+                f"unknown method {method!r}; expected one of {sorted(_METHODS)}"
+            )
+        self.method = method
+        self.method_options = method_options
+        self.name = f"centralized-{method}"
+
+    def _run(self, data: np.ndarray, env: RunEnvironment) -> SkylineResult:
+        started = time.perf_counter()
+        indices = np.sort(
+            _METHODS[self.method](data, **self.method_options)
+        )
+        stats = PipelineStats()
+        stats.wall_s = time.perf_counter() - started
+        stats.simulated_s = stats.wall_s
+        return SkylineResult(
+            indices=indices.astype(np.int64),
+            values=data[indices],
+            stats=stats,
+            algorithm=self.name,
+        )

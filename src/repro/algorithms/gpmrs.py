@@ -1,0 +1,165 @@
+"""MR-GPMRS: Grid Partitioning based Multiple-Reducer Skyline
+computation (paper Section 5, Algorithms 8-9, Figure 5).
+
+The mapper side is MR-GPSRS's (pruned per-partition local skylines,
+ADR-filtered) plus the group routing of Algorithm 8 lines 11-19: the
+pruned bitstring deterministically yields independent partition groups
+(Algorithm 7), groups are merged down to the reducer count
+(Section 5.4.1), and each mapper sends every reducer group the local
+skylines of the partitions it covers.
+
+Each reducer then computes its part of the global skyline completely
+independently (Lemma 2) — Algorithm 9 — and outputs local skylines
+only for the partitions it is *responsible* for (Section 5.4.2's
+duplicate elimination).
+
+Because grouping is a pure function of the cached bitstring and the
+cached merge configuration, mappers and reducers recompute identical
+groups — the consistency Algorithm 8 line 11 requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.algorithms.common import (
+    CACHE_BITSTRING,
+    CACHE_GRID,
+    CACHE_MERGE_STRATEGY,
+    CACHE_NUM_REDUCERS,
+    BufferingMapper,
+    compare_partitions_within,
+    merge_partition_skylines,
+    partition_local_skylines,
+)
+from repro.algorithms.grid_base import GridSkylineBase
+from repro.core.pointset import PointSet
+from repro.errors import AlgorithmError, ValidationError
+from repro.grid.bitstring import Bitstring
+from repro.grid.groups import ReducerGroup, generate_independent_groups, merge_groups
+from repro.grid.ppd import DEFAULT_TPP
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partitioners import direct_partitioner
+from repro.mapreduce.types import Reducer, TaskContext
+
+
+def _reducer_groups(ctx: TaskContext) -> Sequence[ReducerGroup]:
+    """The deterministic grouping shared by mappers and reducers."""
+    grid = ctx.cache[CACHE_GRID]
+    bitstring = Bitstring.from_bytes(grid, ctx.cache[CACHE_BITSTRING])
+    groups = generate_independent_groups(grid, bitstring)
+    return merge_groups(
+        groups,
+        ctx.cache[CACHE_NUM_REDUCERS],
+        strategy=ctx.cache[CACHE_MERGE_STRATEGY],
+    )
+
+
+class GPMRSMapper(BufferingMapper):
+    """Algorithm 8: local skylines + independent-group routing."""
+
+    def finish(self, points: PointSet, ctx: TaskContext) -> None:
+        grid = ctx.cache[CACHE_GRID]
+        bitstring = Bitstring.from_bytes(grid, ctx.cache[CACHE_BITSTRING])
+        skylines = partition_local_skylines(points, grid, bitstring, ctx)
+        compare_partitions_within(skylines, grid, ctx)
+        for group in _reducer_groups(ctx):
+            share = {
+                p: skylines[p] for p in group.partitions if p in skylines
+            }
+            if share:
+                ctx.emit(group.group_id, share)
+
+
+class GPMRSReducer(Reducer):
+    """Algorithm 9: one reducer group's share of the global skyline."""
+
+    def reduce(self, key, values, ctx: TaskContext) -> None:
+        grid = ctx.cache[CACHE_GRID]
+        groups = _reducer_groups(ctx)
+        gid = int(key)
+        if not 0 <= gid < len(groups):
+            raise AlgorithmError(f"reducer received unknown group id {gid}")
+        group = groups[gid]
+        allowed = set(group.partitions)
+        merged = merge_partition_skylines(values, ctx)
+        stray = set(merged) - allowed
+        if stray:
+            raise AlgorithmError(
+                f"group {gid} received partitions outside its scope: "
+                f"{sorted(stray)[:5]}"
+            )
+        compare_partitions_within(merged, grid, ctx)
+        for cell in group.responsible:
+            if cell in merged and len(merged[cell]):
+                ctx.emit(cell, merged[cell])
+
+
+class MRGPMRS(GridSkylineBase):
+    """The MR-GPMRS algorithm (paper Section 5).
+
+    ``num_reducers`` defaults to the cluster's nodes ("by default,
+    MR-GPMRS uses one reducer per node" — Section 7.1);
+    ``merge_strategy`` picks how surplus groups are merged
+    ('computation', the paper's choice, or 'communication').
+    """
+
+    name = "mr-gpmrs"
+
+    def __init__(
+        self,
+        num_reducers: Optional[int] = None,
+        merge_strategy: str = "computation",
+        ppd: Optional[int] = None,
+        ppd_strategy: str = "equation4",
+        tpp: int = DEFAULT_TPP,
+        bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+        prune_bitstring: bool = True,
+    ):
+        super().__init__(
+            ppd=ppd,
+            ppd_strategy=ppd_strategy,
+            tpp=tpp,
+            bounds=bounds,
+            prune_bitstring=prune_bitstring,
+        )
+        if num_reducers is not None and num_reducers < 1:
+            raise ValidationError(
+                f"num_reducers must be >= 1, got {num_reducers}"
+            )
+        if merge_strategy not in ("computation", "communication", "balanced"):
+            raise ValidationError(
+                f"unknown merge_strategy {merge_strategy!r}"
+            )
+        self.num_reducers = num_reducers
+        self.merge_strategy = merge_strategy
+
+    def _resolved_reducers(self, env) -> int:
+        return self.num_reducers or env.cluster.num_nodes
+
+    def _make_skyline_job(self, splits, grid, bitstring, env) -> MapReduceJob:
+        r = self._resolved_reducers(env)
+        return MapReduceJob(
+            name="gpmrs-skyline",
+            splits=splits,
+            mapper_factory=GPMRSMapper,
+            reducer_factory=GPMRSReducer,
+            num_reducers=r,
+            partitioner=direct_partitioner,
+            cache=DistributedCache(
+                {
+                    CACHE_GRID: grid,
+                    CACHE_BITSTRING: bitstring.to_bytes(),
+                    CACHE_NUM_REDUCERS: r,
+                    CACHE_MERGE_STRATEGY: self.merge_strategy,
+                }
+            ),
+        )
+
+    def _collect_artifacts(self, artifacts, grid, bitstring, env) -> None:
+        groups = generate_independent_groups(grid, bitstring)
+        artifacts["independent_groups"] = groups
+        artifacts["reducer_groups"] = merge_groups(
+            groups, self._resolved_reducers(env), strategy=self.merge_strategy
+        )

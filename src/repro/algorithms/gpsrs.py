@@ -1,0 +1,70 @@
+"""MR-GPSRS: Grid Partitioning based Single-Reducer Skyline computation
+(paper Section 4, Algorithms 3-6, Figure 4).
+
+Mappers compute bitstring-pruned per-partition local skylines and strip
+false positives with ``ComparePartitions``; a single reducer merges all
+mapper outputs per partition (Algorithm 6 lines 1-6), strips remaining
+false positives across partitions (lines 7-8) and outputs the global
+skyline.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.common import (
+    CACHE_BITSTRING,
+    CACHE_GRID,
+    BufferingMapper,
+    compare_partitions_within,
+    merge_partition_skylines,
+    partition_local_skylines,
+)
+from repro.algorithms.grid_base import GridSkylineBase
+from repro.core.pointset import PointSet
+from repro.grid.bitstring import Bitstring
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partitioners import single_partitioner
+from repro.mapreduce.types import Reducer, TaskContext
+
+
+class GPSRSMapper(BufferingMapper):
+    """Algorithm 3: pruned local skylines per partition, ADR-filtered."""
+
+    def finish(self, points: PointSet, ctx: TaskContext) -> None:
+        grid = ctx.cache[CACHE_GRID]
+        bitstring = Bitstring.from_bytes(grid, ctx.cache[CACHE_BITSTRING])
+        skylines = partition_local_skylines(points, grid, bitstring, ctx)
+        compare_partitions_within(skylines, grid, ctx)
+        if skylines:
+            ctx.emit(0, skylines)
+
+
+class GPSRSReducer(Reducer):
+    """Algorithm 6: merge mapper outputs into the global skyline."""
+
+    def reduce(self, key, values, ctx: TaskContext) -> None:
+        grid = ctx.cache[CACHE_GRID]
+        merged = merge_partition_skylines(values, ctx)
+        compare_partitions_within(merged, grid, ctx)
+        for cell in sorted(merged):
+            if len(merged[cell]):
+                ctx.emit(cell, merged[cell])
+
+
+class MRGPSRS(GridSkylineBase):
+    """The MR-GPSRS algorithm (paper Section 4)."""
+
+    name = "mr-gpsrs"
+
+    def _make_skyline_job(self, splits, grid, bitstring, env) -> MapReduceJob:
+        return MapReduceJob(
+            name="gpsrs-skyline",
+            splits=splits,
+            mapper_factory=GPSRSMapper,
+            reducer_factory=GPSRSReducer,
+            num_reducers=1,
+            partitioner=single_partitioner,
+            cache=DistributedCache(
+                {CACHE_GRID: grid, CACHE_BITSTRING: bitstring.to_bytes()}
+            ),
+        )

@@ -1,0 +1,152 @@
+"""Shared driver for the two grid-partitioning algorithms.
+
+Both MR-GPSRS and MR-GPMRS are two-job chains (the paper includes
+bitstring-generation time in every reported runtime):
+
+  1. bitstring job — fixed-PPD (Algorithms 1-2) or the adaptive
+     Section 3.3 variant, depending on configuration;
+  2. skyline job — algorithm-specific (provided by the subclass).
+
+Configuration:
+
+* ``ppd``           — fix the grid's PPD explicitly; or
+* ``ppd_strategy``  — ``"equation4"`` (closed form from the desired
+  TPP), ``"adaptive-target"`` / ``"adaptive-literal"`` (the measured-ρ
+  schemes of Section 3.3).
+* ``tpp``           — desired tuples-per-partition.
+* ``bounds``        — (lows, highs) of the data space if known (the
+  paper's synthetic setting); defaults to the data's bounding box,
+  computed driver-side (documented substitution — Hadoop would ship
+  this as job configuration).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import RunEnvironment, SkylineAlgorithm, SkylineResult
+from repro.algorithms.bitstring_job import (
+    extract_bitstring,
+    extract_ppd_choice,
+    make_adaptive_ppd_job,
+    make_bitstring_job,
+)
+from repro.algorithms.common import assemble_result
+from repro.errors import ValidationError
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+from repro.grid.ppd import DEFAULT_TPP, candidate_ppds, cap_ppd, ppd_from_equation4
+from repro.mapreduce.metrics import PipelineStats
+from repro.mapreduce.splits import contiguous_splits
+
+_PPD_STRATEGIES = ("equation4", "adaptive-target", "adaptive-literal")
+
+
+class GridSkylineBase(SkylineAlgorithm):
+    """Bounds/PPD/bitstring plumbing for MR-GPSRS and MR-GPMRS."""
+
+    def __init__(
+        self,
+        ppd: Optional[int] = None,
+        ppd_strategy: str = "equation4",
+        tpp: int = DEFAULT_TPP,
+        bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+        prune_bitstring: bool = True,
+    ):
+        if ppd is not None and (int(ppd) != ppd or ppd < 1):
+            raise ValidationError(f"ppd must be a positive integer, got {ppd!r}")
+        if ppd_strategy not in _PPD_STRATEGIES:
+            raise ValidationError(
+                f"unknown ppd_strategy {ppd_strategy!r}; "
+                f"expected one of {_PPD_STRATEGIES}"
+            )
+        if tpp < 1:
+            raise ValidationError(f"tpp must be >= 1, got {tpp}")
+        self.ppd = int(ppd) if ppd is not None else None
+        self.ppd_strategy = ppd_strategy
+        self.tpp = int(tpp)
+        self.bounds = bounds
+        self.prune_bitstring = bool(prune_bitstring)
+
+    # Subclass hook: build the skyline job from prepared inputs.
+    def _make_skyline_job(self, splits, grid, bitstring, env):
+        raise NotImplementedError
+
+    def _run(self, data: np.ndarray, env: RunEnvironment) -> SkylineResult:
+        started = time.perf_counter()
+        stats = PipelineStats()
+        artifacts = {}
+        cardinality, dimensionality = data.shape
+        if cardinality == 0:
+            stats.wall_s = time.perf_counter() - started
+            stats.simulated_s = 0.0
+            return SkylineResult(
+                indices=np.empty(0, dtype=np.int64),
+                values=np.empty((0, dimensionality)),
+                stats=stats,
+                algorithm=self.name,
+                artifacts=artifacts,
+            )
+
+        splits = contiguous_splits(data, env.resolved_num_mappers())
+        if self.bounds is not None:
+            lows = np.asarray(self.bounds[0], dtype=np.float64)
+            highs = np.asarray(self.bounds[1], dtype=np.float64)
+        else:
+            lows, highs = data.min(axis=0), data.max(axis=0)
+
+        # -- job 1: bitstring ------------------------------------------
+        if self.ppd is not None or self.ppd_strategy == "equation4":
+            n = self.ppd or ppd_from_equation4(
+                cardinality, dimensionality, self.tpp
+            )
+            n = cap_ppd(n, dimensionality)
+            grid = Grid(n, lows, highs)
+            job = make_bitstring_job(splits, grid, prune=self.prune_bitstring)
+            result = env.engine.run(job)
+            stats.jobs.append(result.stats)
+            bitstring = extract_bitstring(result, grid)
+        else:
+            candidates = candidate_ppds(cardinality, dimensionality)
+            rule = "target" if self.ppd_strategy == "adaptive-target" else "literal"
+            job = make_adaptive_ppd_job(
+                splits,
+                (lows, highs),
+                candidates,
+                cardinality,
+                strategy=rule,
+                tpp=self.tpp,
+            )
+            result = env.engine.run(job)
+            stats.jobs.append(result.stats)
+            chosen, rho = extract_ppd_choice(result)
+            grid = Grid(chosen, lows, highs)
+            bitstring = extract_bitstring(result, grid)
+            artifacts["ppd_candidates"] = rho
+        artifacts["grid"] = grid
+        artifacts["bitstring"] = bitstring
+
+        # -- job 2: skyline --------------------------------------------
+        skyline_job = self._make_skyline_job(splits, grid, bitstring, env)
+        skyline_result = env.engine.run(skyline_job)
+        stats.jobs.append(skyline_result.stats)
+        self._collect_artifacts(artifacts, grid, bitstring, env)
+
+        indices, values = assemble_result(
+            skyline_result.all_pairs(), dimensionality
+        )
+        stats.wall_s = time.perf_counter() - started
+        env.cluster.annotate(stats)
+        return SkylineResult(
+            indices=indices,
+            values=values,
+            stats=stats,
+            algorithm=self.name,
+            artifacts=artifacts,
+        )
+
+    def _collect_artifacts(self, artifacts, grid, bitstring, env) -> None:
+        """Subclass hook for extra inspectables (e.g. groups)."""

@@ -1,0 +1,116 @@
+"""Hybrid GPSRS/GPMRS switching — the paper's stated future work.
+
+Section 8: "Multiple reducers in MR-GPMRS do not give the best
+performance when the skyline fraction is low in the input data set. To
+obtain optimal performance on arbitrary inputs, a hybrid method can be
+developed by combining MR-GPSRS and MR-GPMRS. Such a method should be
+able to switch between the two algorithms automatically, and
+intelligently decide how many reducers to use."
+
+The switch implemented here estimates the skyline fraction from a
+deterministic random sample (the sample's exact skyline fraction is an
+upper bound of the full data's, but it is monotone in distribution
+hardness, which is all the decision needs):
+
+* fraction below ``threshold`` — the skyline is small; the single
+  reducer of MR-GPSRS wins (paper Sections 7.2-7.3).
+* fraction at or above ``threshold`` — large skylines; use MR-GPMRS,
+  with a reducer count scaled between the cluster's node count and its
+  full reduce-slot capacity as the estimated fraction grows
+  (Figure 10: anti-correlated data keeps improving up to 17 reducers).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import RunEnvironment, SkylineAlgorithm, SkylineResult
+from repro.algorithms.gpmrs import MRGPMRS
+from repro.algorithms.gpsrs import MRGPSRS
+from repro.core.sfs import sfs_skyline_indices
+from repro.errors import ValidationError
+from repro.grid.ppd import DEFAULT_TPP
+
+
+class HybridGridSkyline(SkylineAlgorithm):
+    """Auto-switching MR-GPSRS / MR-GPMRS."""
+
+    name = "mr-hybrid"
+
+    def __init__(
+        self,
+        threshold: float = 0.15,
+        sample_size: int = 1024,
+        sample_seed: int = 0,
+        ppd: Optional[int] = None,
+        ppd_strategy: str = "equation4",
+        tpp: int = DEFAULT_TPP,
+        bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+        merge_strategy: str = "computation",
+    ):
+        if not 0.0 < threshold < 1.0:
+            raise ValidationError(
+                f"threshold must be in (0, 1), got {threshold}"
+            )
+        if sample_size < 8:
+            raise ValidationError(
+                f"sample_size must be >= 8, got {sample_size}"
+            )
+        self.threshold = threshold
+        self.sample_size = sample_size
+        self.sample_seed = sample_seed
+        self.ppd = ppd
+        self.ppd_strategy = ppd_strategy
+        self.tpp = tpp
+        self.bounds = bounds
+        self.merge_strategy = merge_strategy
+
+    def estimate_skyline_fraction(self, data: np.ndarray) -> float:
+        """Exact skyline fraction of a deterministic random sample."""
+        n = data.shape[0]
+        if n == 0:
+            return 0.0
+        rng = np.random.default_rng(self.sample_seed)
+        if n <= self.sample_size:
+            sample = data
+        else:
+            sample = data[rng.choice(n, self.sample_size, replace=False)]
+        return sfs_skyline_indices(sample).shape[0] / sample.shape[0]
+
+    def choose_num_reducers(self, fraction: float, env: RunEnvironment) -> int:
+        """Scale reducers with the estimated skyline fraction."""
+        low, high = env.cluster.num_nodes, env.cluster.reduce_slots
+        if high <= low:
+            return low
+        scale = min(1.0, max(0.0, (fraction - self.threshold) / 0.5))
+        return int(round(low + scale * (high - low)))
+
+    def _run(self, data: np.ndarray, env: RunEnvironment) -> SkylineResult:
+        started = time.perf_counter()
+        fraction = self.estimate_skyline_fraction(data)
+        grid_kwargs = dict(
+            ppd=self.ppd,
+            ppd_strategy=self.ppd_strategy,
+            tpp=self.tpp,
+            bounds=self.bounds,
+        )
+        if fraction >= self.threshold:
+            reducers = self.choose_num_reducers(fraction, env)
+            delegate = MRGPMRS(
+                num_reducers=reducers,
+                merge_strategy=self.merge_strategy,
+                **grid_kwargs,
+            )
+        else:
+            delegate = MRGPSRS(**grid_kwargs)
+        result = delegate._run(data, env)
+        result.algorithm = self.name
+        result.artifacts["hybrid_estimated_fraction"] = fraction
+        result.artifacts["hybrid_delegate"] = delegate.name
+        if delegate.name == "mr-gpmrs":
+            result.artifacts["hybrid_num_reducers"] = delegate.num_reducers
+        result.stats.wall_s = time.perf_counter() - started
+        return result

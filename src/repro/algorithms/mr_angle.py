@@ -1,0 +1,218 @@
+"""MR-Angle baseline [Chen, Hwang, Wu 2012], paper Section 2.2.
+
+"Angular partitioning divides the data space using angles, motivated by
+the observation that skyline tuples are located near the origin. In
+MR-Angle, angle based data partitions are distributed to mappers for
+local skyline computation, and a single reducer is used to find the
+global skyline."
+
+Points are mapped to hyperspherical angles [Vlachou et al., SIGMOD'08]:
+for a positive-orthant point x, the d−1 angles are
+
+    φ_k = atan2( ||x_{k+1..d}||, x_k )  ∈ (0, π/2)
+
+and each angle axis is cut into ``q`` equal sectors. Every angular
+partition contains a cone from the origin outward, so its local skyline
+is small — but *no* cross-partition pruning is possible (two cones
+always both touch the origin region), which is why the merge step must
+compare every pair of partition skylines and stays on one reducer.
+
+Two chained jobs, like MR-BNL: per-angular-partition local skylines
+(parallel reducers), then the single-reducer global merge.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import RunEnvironment, SkylineAlgorithm, SkylineResult
+from repro.algorithms.common import BufferingMapper, CACHE_BOUNDS, assemble_result
+from repro.algorithms.mr_bnl import BNLLocalSkylineReducer
+from repro.core.dominance import DominanceCounter
+from repro.core.pointset import PointSet
+from repro.errors import ValidationError
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.metrics import PipelineStats
+from repro.mapreduce.partitioners import hash_partitioner, single_partitioner
+from repro.mapreduce.splits import contiguous_splits, kv_splits
+from repro.mapreduce.types import IdentityMapper, Reducer, TaskContext
+
+#: Shift applied so every coordinate is strictly positive before the
+#: angular transform (atan2 needs a well-defined direction).
+_EPSILON = 1e-9
+
+CACHE_SECTORS = "angular_sectors"
+
+
+def hyperspherical_angles(values: np.ndarray, lows: np.ndarray) -> np.ndarray:
+    """The d−1 angular coordinates of each row, in [0, π/2]."""
+    shifted = np.asarray(values, dtype=np.float64) - np.asarray(lows) + _EPSILON
+    n, d = shifted.shape
+    if d < 2:
+        return np.zeros((n, 0))
+    angles = np.empty((n, d - 1))
+    # tail_norm[k] = ||x_{k+1..d}|| computed backwards cumulatively.
+    tail_sq = np.zeros(n)
+    norms = np.empty((n, d - 1))
+    for k in range(d - 2, -1, -1):
+        tail_sq = tail_sq + shifted[:, k + 1] ** 2
+        norms[:, k] = np.sqrt(tail_sq)
+    for k in range(d - 1):
+        angles[:, k] = np.arctan2(norms[:, k], shifted[:, k])
+    return angles
+
+
+def angular_partition_ids(
+    values: np.ndarray, lows: np.ndarray, sectors: int
+) -> np.ndarray:
+    """Equi-angle grid cell of each row (mixed-radix over d−1 angles)."""
+    if sectors < 1:
+        raise ValidationError(f"sectors must be >= 1, got {sectors}")
+    angles = hyperspherical_angles(values, lows)
+    if angles.shape[1] == 0:
+        return np.zeros(values.shape[0], dtype=np.int64)
+    bins = np.floor(angles / (np.pi / 2.0) * sectors).astype(np.int64)
+    np.clip(bins, 0, sectors - 1, out=bins)
+    weights = sectors ** np.arange(angles.shape[1], dtype=np.int64)
+    return bins @ weights
+
+
+def sectors_for_target(num_partitions: int, dimensionality: int) -> int:
+    """Sectors per angle so that sectors^(d−1) ≈ the target count."""
+    if num_partitions < 1:
+        raise ValidationError(
+            f"num_partitions must be >= 1, got {num_partitions}"
+        )
+    if dimensionality < 2:
+        return 1
+    q = int(round(num_partitions ** (1.0 / (dimensionality - 1))))
+    return max(1, q)
+
+
+class AngularMapper(BufferingMapper):
+    """Tag tuples with their angular partition; ship batches."""
+
+    def finish(self, points: PointSet, ctx: TaskContext) -> None:
+        if len(points) == 0:
+            return
+        lows, _highs = ctx.cache[CACHE_BOUNDS]
+        sectors = ctx.cache[CACHE_SECTORS]
+        ids = angular_partition_ids(points.values, lows, sectors)
+        for pid in np.unique(ids).tolist():
+            ctx.emit(int(pid), points.select(ids == pid))
+
+
+class AngularMergeReducer(Reducer):
+    """Single-reducer global merge: every pair must be compared."""
+
+    def setup(self, ctx: TaskContext) -> None:
+        self._partitions: Dict[int, PointSet] = {}
+
+    def reduce(self, key, values, ctx: TaskContext) -> None:
+        merged = values[0]
+        for extra in values[1:]:
+            merged = PointSet.concat([merged, extra])
+        self._partitions[int(key)] = merged
+
+    def cleanup(self, ctx: TaskContext) -> None:
+        counter = DominanceCounter()
+        pids = sorted(self._partitions)
+        for b in pids:
+            survivors = self._partitions[b]
+            for a in pids:
+                if a == b:
+                    continue
+                ctx.counters.inc(counter_names.PARTITION_COMPARES)
+                survivors = survivors.remove_dominated_by(
+                    self._partitions[a], counter
+                )
+            if len(survivors):
+                ctx.emit(b, survivors)
+        ctx.counters.inc(counter_names.TUPLE_COMPARES, counter.pairs)
+
+
+class MRAngle(SkylineAlgorithm):
+    """The MR-Angle baseline of Chen et al."""
+
+    name = "mr-angle"
+
+    def __init__(
+        self,
+        num_partitions: Optional[int] = None,
+        bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+    ):
+        if num_partitions is not None and num_partitions < 1:
+            raise ValidationError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        self.num_partitions = num_partitions
+        self.bounds = bounds
+
+    def _run(self, data: np.ndarray, env: RunEnvironment) -> SkylineResult:
+        started = time.perf_counter()
+        stats = PipelineStats()
+        cardinality, dimensionality = data.shape
+        if cardinality == 0:
+            stats.wall_s = time.perf_counter() - started
+            stats.simulated_s = 0.0
+            return SkylineResult(
+                indices=np.empty(0, dtype=np.int64),
+                values=np.empty((0, dimensionality)),
+                stats=stats,
+                algorithm=self.name,
+            )
+        if self.bounds is not None:
+            bounds = (
+                np.asarray(self.bounds[0], dtype=np.float64),
+                np.asarray(self.bounds[1], dtype=np.float64),
+            )
+        else:
+            bounds = (data.min(axis=0), data.max(axis=0))
+        target = self.num_partitions or env.cluster.reduce_slots * 4
+        sectors = sectors_for_target(target, dimensionality)
+        splits = contiguous_splits(data, env.resolved_num_mappers())
+        local_job = MapReduceJob(
+            name="mr-angle-local",
+            splits=splits,
+            mapper_factory=AngularMapper,
+            reducer_factory=BNLLocalSkylineReducer,
+            num_reducers=min(
+                max(1, sectors ** max(0, dimensionality - 1)),
+                env.cluster.reduce_slots,
+            ),
+            partitioner=hash_partitioner,
+            cache=DistributedCache(
+                {CACHE_BOUNDS: bounds, CACHE_SECTORS: sectors}
+            ),
+        )
+        local_result = env.engine.run(local_job)
+        stats.jobs.append(local_result.stats)
+
+        merge_job = MapReduceJob(
+            name="mr-angle-merge",
+            splits=kv_splits(local_result.all_pairs(), 1),
+            mapper_factory=IdentityMapper,
+            reducer_factory=AngularMergeReducer,
+            num_reducers=1,
+            partitioner=single_partitioner,
+        )
+        merge_result = env.engine.run(merge_job)
+        stats.jobs.append(merge_result.stats)
+
+        indices, values = assemble_result(
+            merge_result.all_pairs(), dimensionality
+        )
+        stats.wall_s = time.perf_counter() - started
+        env.cluster.annotate(stats)
+        return SkylineResult(
+            indices=indices,
+            values=values,
+            stats=stats,
+            algorithm=self.name,
+            artifacts={"sectors": sectors},
+        )

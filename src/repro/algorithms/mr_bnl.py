@@ -1,0 +1,214 @@
+"""MR-BNL baseline [Zhang, Zhou, Guan 2011], paper Section 2.2.
+
+"The MapReduce - Block Nested Loop (MR-BNL) algorithm partitions each
+data dimension into two halves, distributes the resulting data
+partitions to mappers, and computes local skyline on each [partition]
+using the Block Nested Loop (BNL) skyline algorithm. Finally, all local
+skylines are sent to a single reducer to compute the global skyline."
+
+Two chained jobs:
+
+1. *local* — map tags every tuple with its 2^d subspace flag (bit k set
+   iff the tuple is in the upper half of dimension k); one reducer per
+   subspace computes the subspace's local skyline with BNL.
+2. *merge* — a single reducer assembles the global skyline. Subspace
+   flags allow skipping pairs: tuples of subspace ``a`` can dominate
+   tuples of ``b`` only if ``a``'s flag bits are a subset of ``b``'s
+   (a 1-bit of ``a`` over a 0-bit of ``b`` means ``a``'s tuples are
+   strictly worse on that dimension).
+
+The single merge reducer is exactly the serial bottleneck the paper's
+MR-GPMRS removes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import RunEnvironment, SkylineAlgorithm, SkylineResult
+from repro.algorithms.common import BufferingMapper, CACHE_BOUNDS, assemble_result
+from repro.core.bnl import bnl_skyline_indices
+from repro.core.dominance import DominanceCounter
+from repro.core.pointset import PointSet
+from repro.core.sfs import sfs_skyline_indices
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.metrics import PipelineStats
+from repro.mapreduce.partitioners import hash_partitioner, single_partitioner
+from repro.mapreduce.splits import contiguous_splits, kv_splits
+from repro.mapreduce.types import IdentityMapper, Reducer, TaskContext
+
+
+def subspace_flags(values: np.ndarray, midpoint: np.ndarray) -> np.ndarray:
+    """Per-row 2^d subspace flag: bit k set iff value_k >= midpoint_k."""
+    upper = values >= midpoint
+    weights = (1 << np.arange(values.shape[1], dtype=np.int64))
+    return upper.astype(np.int64) @ weights
+
+
+def flag_can_dominate(a: int, b: int) -> bool:
+    """Can subspace ``a`` hold tuples dominating tuples of ``b``?
+
+    Only if ``a``'s upper-half bits are a subset of ``b``'s: wherever
+    ``a`` is in the upper half and ``b`` in the lower, every tuple of
+    ``a`` is strictly worse on that dimension.
+    """
+    return (a & ~b) == 0
+
+
+class SubspaceMapper(BufferingMapper):
+    """Tag tuples with their subspace flag; ship per-subspace batches."""
+
+    def finish(self, points: PointSet, ctx: TaskContext) -> None:
+        if len(points) == 0:
+            return
+        lows, highs = ctx.cache[CACHE_BOUNDS]
+        midpoint = (np.asarray(lows) + np.asarray(highs)) / 2.0
+        flags = subspace_flags(points.values, midpoint)
+        for flag in np.unique(flags).tolist():
+            ctx.emit(int(flag), points.select(flags == flag))
+
+
+class _LocalSkylineReducer(Reducer):
+    """Per-subspace local skyline; the local algorithm is pluggable."""
+
+    local_indices: Callable[[np.ndarray], np.ndarray] = staticmethod(
+        bnl_skyline_indices
+    )
+
+    def reduce(self, key, values, ctx: TaskContext) -> None:
+        merged = PointSet.concat(values)
+        counter = DominanceCounter()
+        keep = type(self).local_indices(merged.values, counter=counter)
+        ctx.counters.inc(counter_names.TUPLE_COMPARES, counter.pairs)
+        sky = merged.select(np.sort(keep))
+        ctx.counters.inc(counter_names.LOCAL_SKYLINE_SIZE, len(sky))
+        ctx.emit(int(key), sky)
+
+
+class BNLLocalSkylineReducer(_LocalSkylineReducer):
+    local_indices = staticmethod(bnl_skyline_indices)
+
+
+class SFSLocalSkylineReducer(_LocalSkylineReducer):
+    local_indices = staticmethod(sfs_skyline_indices)
+
+
+class FlagMergeReducer(Reducer):
+    """Single-reducer global merge with flag-incomparability filtering.
+
+    Dominators are taken from the *unfiltered* snapshots, so iteration
+    order cannot lose pruning power.
+    """
+
+    def setup(self, ctx: TaskContext) -> None:
+        self._subspaces: Dict[int, PointSet] = {}
+
+    def reduce(self, key, values, ctx: TaskContext) -> None:
+        merged = values[0]
+        for extra in values[1:]:
+            merged = PointSet.concat([merged, extra])
+        self._subspaces[int(key)] = merged
+
+    def cleanup(self, ctx: TaskContext) -> None:
+        counter = DominanceCounter()
+        flags = sorted(self._subspaces)
+        for b in flags:
+            survivors = self._subspaces[b]
+            for a in flags:
+                if a == b or not flag_can_dominate(a, b):
+                    continue
+                ctx.counters.inc(counter_names.PARTITION_COMPARES)
+                survivors = survivors.remove_dominated_by(
+                    self._subspaces[a], counter
+                )
+            if len(survivors):
+                ctx.emit(b, survivors)
+        ctx.counters.inc(counter_names.TUPLE_COMPARES, counter.pairs)
+
+
+class MRBNL(SkylineAlgorithm):
+    """The MR-BNL baseline of Zhang et al."""
+
+    name = "mr-bnl"
+    local_reducer_factory = BNLLocalSkylineReducer
+
+    def __init__(
+        self,
+        bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+        num_local_reducers: Optional[int] = None,
+    ):
+        self.bounds = bounds
+        self.num_local_reducers = num_local_reducers
+
+    def _run(self, data: np.ndarray, env: RunEnvironment) -> SkylineResult:
+        started = time.perf_counter()
+        stats = PipelineStats()
+        cardinality, dimensionality = data.shape
+        if cardinality == 0:
+            stats.wall_s = time.perf_counter() - started
+            stats.simulated_s = 0.0
+            return SkylineResult(
+                indices=np.empty(0, dtype=np.int64),
+                values=np.empty((0, dimensionality)),
+                stats=stats,
+                algorithm=self.name,
+            )
+        if self.bounds is not None:
+            bounds = (
+                np.asarray(self.bounds[0], dtype=np.float64),
+                np.asarray(self.bounds[1], dtype=np.float64),
+            )
+        else:
+            bounds = (data.min(axis=0), data.max(axis=0))
+        splits = contiguous_splits(data, env.resolved_num_mappers())
+        local_reducers = self.num_local_reducers or min(
+            2 ** dimensionality, env.cluster.reduce_slots
+        )
+        local_job = MapReduceJob(
+            name=f"{self.name}-local",
+            splits=splits,
+            mapper_factory=SubspaceMapper,
+            reducer_factory=self.local_reducer_factory,
+            num_reducers=local_reducers,
+            partitioner=hash_partitioner,
+            cache=DistributedCache({CACHE_BOUNDS: bounds}),
+        )
+        local_result = env.engine.run(local_job)
+        stats.jobs.append(local_result.stats)
+
+        merge_job = MapReduceJob(
+            name=f"{self.name}-merge",
+            splits=kv_splits(local_result.all_pairs(), 1),
+            mapper_factory=IdentityMapper,
+            reducer_factory=FlagMergeReducer,
+            num_reducers=1,
+            partitioner=single_partitioner,
+        )
+        merge_result = env.engine.run(merge_job)
+        stats.jobs.append(merge_result.stats)
+
+        indices, values = assemble_result(
+            merge_result.all_pairs(), dimensionality
+        )
+        stats.wall_s = time.perf_counter() - started
+        env.cluster.annotate(stats)
+        return SkylineResult(
+            indices=indices,
+            values=values,
+            stats=stats,
+            algorithm=self.name,
+        )
+
+
+class MRSFS(MRBNL):
+    """MR-SFS [Zhang et al.]: MR-BNL with presorted (SFS) local
+    skylines. The paper skips it experimentally ("less efficient than
+    MR-BNL" on their testbed); included for completeness."""
+
+    name = "mr-sfs"
+    local_reducer_factory = SFSLocalSkylineReducer

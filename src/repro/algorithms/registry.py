@@ -1,0 +1,60 @@
+"""String-keyed registry of skyline algorithms.
+
+The public entry point :func:`repro.skyline` resolves names here, so
+user code and the bench harness can select algorithms uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.base import SkylineAlgorithm
+from repro.algorithms.centralized import CentralizedSkyline
+from repro.algorithms.gpmrs import MRGPMRS
+from repro.algorithms.gpsrs import MRGPSRS
+from repro.algorithms.hybrid import HybridGridSkyline
+from repro.algorithms.mr_angle import MRAngle
+from repro.algorithms.mr_bitmap import MRBitmap
+from repro.algorithms.mr_bnl import MRBNL, MRSFS
+from repro.algorithms.sky_mr import SKYMR
+from repro.errors import UnknownAlgorithmError
+
+_REGISTRY: Dict[str, Callable[..., SkylineAlgorithm]] = {
+    "mr-gpsrs": MRGPSRS,
+    "mr-gpmrs": MRGPMRS,
+    "mr-bnl": MRBNL,
+    "mr-sfs": MRSFS,
+    "mr-angle": MRAngle,
+    "mr-bitmap": MRBitmap,
+    "mr-hybrid": HybridGridSkyline,
+    "sky-mr": SKYMR,
+    "bnl": lambda **kw: CentralizedSkyline(method="bnl", **kw),
+    "bnl-multipass": lambda **kw: CentralizedSkyline(
+        method="bnl-multipass", **{"window_size": 128, **kw}
+    ),
+    "sfs": lambda **kw: CentralizedSkyline(method="sfs", **kw),
+    "dnc": lambda **kw: CentralizedSkyline(method="dnc", **kw),
+    "bitmap": lambda **kw: CentralizedSkyline(method="bitmap", **kw),
+    "bruteforce": lambda **kw: CentralizedSkyline(method="bruteforce", **kw),
+}
+
+
+def available_algorithms() -> List[str]:
+    """Sorted names accepted by :func:`make_algorithm`."""
+    return sorted(_REGISTRY)
+
+
+def make_algorithm(name: str, **kwargs) -> SkylineAlgorithm:
+    """Instantiate an algorithm by registry name.
+
+    Keyword arguments are forwarded to the algorithm's constructor
+    (e.g. ``num_reducers`` for mr-gpmrs, ``ppd`` for the grid
+    algorithms).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,55 @@
+"""Benchmark harness reproducing the paper's evaluation figures."""
+
+from repro.bench.asciiplot import ascii_plot, plot_panel
+from repro.bench.expectations import evaluate_report, render_verdicts
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    FigureReport,
+    Panel,
+    run_ablation_local,
+    run_ablation_merging,
+    run_ablation_ppd,
+    run_ablation_pruning,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+)
+from repro.bench.harness import (
+    Cell,
+    CellResult,
+    Workload,
+    run_cell,
+    run_cells,
+    scaled_cardinality,
+)
+from repro.bench.reporting import format_series, format_table, ratio
+
+__all__ = [
+    "Cell",
+    "ascii_plot",
+    "evaluate_report",
+    "plot_panel",
+    "render_verdicts",
+    "CellResult",
+    "EXPERIMENTS",
+    "FigureReport",
+    "Panel",
+    "Workload",
+    "format_series",
+    "format_table",
+    "ratio",
+    "run_ablation_local",
+    "run_ablation_merging",
+    "run_ablation_ppd",
+    "run_ablation_pruning",
+    "run_cell",
+    "run_cells",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10",
+    "run_figure11",
+    "scaled_cardinality",
+]

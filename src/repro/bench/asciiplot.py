@@ -1,0 +1,131 @@
+"""ASCII line plots for figure series.
+
+The paper's figures are line charts; the tables the harness prints are
+exact but shapeless. This renderer draws each series into a character
+grid — linear or log y-axis — so crossovers and blow-ups are visible
+in a terminal. DNF points are simply absent, as in the paper's plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ValidationError
+
+#: Plot symbols assigned to series in order.
+SYMBOLS = "ox+*#@%&"
+
+
+def _finite(series: Dict[str, Sequence[Optional[float]]]) -> List[float]:
+    values = []
+    for row in series.values():
+        values.extend(v for v in row if v is not None)
+    return values
+
+
+def ascii_plot(
+    x_values: Sequence,
+    series: Dict[str, Sequence[Optional[float]]],
+    width: int = 60,
+    height: int = 16,
+    logy: bool = False,
+    title: Optional[str] = None,
+    y_label: str = "s",
+) -> str:
+    """Render series as an ASCII chart.
+
+    ``series`` maps name -> y-values aligned with ``x_values``
+    (``None`` = DNF, not drawn). ``logy`` uses a log10 y-axis —
+    appropriate for the paper's exponential blow-ups.
+    """
+    if width < 16 or height < 4:
+        raise ValidationError("plot needs width >= 16 and height >= 4")
+    if not series:
+        raise ValidationError("no series to plot")
+    for name, row in series.items():
+        if len(row) != len(x_values):
+            raise ValidationError(
+                f"series {name!r} has {len(row)} points for "
+                f"{len(x_values)} x values"
+            )
+    finite = _finite(series)
+    if not finite:
+        return (title or "") + "\n(all points DNF)"
+    lo, hi = min(finite), max(finite)
+    if logy:
+        if lo <= 0:
+            raise ValidationError("log y-axis needs positive values")
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    def y_row(value: float) -> int:
+        v = math.log10(value) if logy else value
+        frac = (v - lo) / (hi - lo)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    def x_col(index: int) -> int:
+        if len(x_values) == 1:
+            return 0
+        return int(round(index / (len(x_values) - 1) * (width - 1)))
+
+    canvas = [[" "] * width for _ in range(height)]
+    names = list(series)
+    for s, name in enumerate(names):
+        symbol = SYMBOLS[s % len(SYMBOLS)]
+        points = [
+            (x_col(i), y_row(v))
+            for i, v in enumerate(series[name])
+            if v is not None
+        ]
+        # connect consecutive points with interpolated marks
+        for (x0, r0), (x1, r1) in zip(points, points[1:]):
+            steps = max(abs(x1 - x0), abs(r1 - r0), 1)
+            for t in range(steps + 1):
+                x = round(x0 + (x1 - x0) * t / steps)
+                r = round(r0 + (r1 - r0) * t / steps)
+                if canvas[r][x] == " ":
+                    canvas[r][x] = "."
+        for x, r in points:
+            canvas[r][x] = symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = 10 ** hi if logy else hi
+    bottom = 10 ** lo if logy else lo
+    axis_top = f"{top:.3g}{y_label}"
+    axis_bot = f"{bottom:.3g}{y_label}"
+    margin = max(len(axis_top), len(axis_bot))
+    for r, row in enumerate(canvas):
+        if r == 0:
+            label = axis_top.rjust(margin)
+        elif r == height - 1:
+            label = axis_bot.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(row)}|")
+    x_axis = f"{' ' * margin} +{'-' * width}+"
+    lines.append(x_axis)
+    first, last = str(x_values[0]), str(x_values[-1])
+    gap = width - len(first) - len(last)
+    lines.append(f"{' ' * margin}  {first}{' ' * max(1, gap)}{last}")
+    legend = "   ".join(
+        f"{SYMBOLS[s % len(SYMBOLS)]}={name}" for s, name in enumerate(names)
+    )
+    lines.append(f"{' ' * margin}  {legend}")
+    if logy:
+        lines.append(f"{' ' * margin}  (log y-axis)")
+    return "\n".join(lines)
+
+
+def plot_panel(panel, logy: bool = False, **kwargs) -> str:
+    """Plot one :class:`~repro.bench.experiments.Panel`'s runtimes."""
+    return ascii_plot(
+        panel.x_values,
+        panel.runtime_series(),
+        title=panel.title,
+        logy=logy,
+        **kwargs,
+    )

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints the same rows/series the paper's figures plot:
+one row per x-axis value, one column per algorithm, cells in simulated
+seconds (or comparison counts for Figure 11). "DNF" marks cells the
+paper also reported as not terminating in reasonable time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_cell(value, width: int = 10) -> str:
+    if value is None:
+        return "DNF".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.3f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    col_width: int = 12,
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    head = "".join(str(h).rjust(col_width) for h in headers)
+    lines.append(head)
+    lines.append("-" * len(head))
+    for row in rows:
+        lines.append("".join(format_cell(v, col_width) for v in row))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence],
+    title: Optional[str] = None,
+    col_width: int = 12,
+) -> str:
+    """Figure-style layout: x on rows, one named series per column."""
+    names = list(series)
+    headers = [x_name] + names
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in names])
+    return format_table(headers, rows, title=title, col_width=col_width)
+
+
+def ratio(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    """a/b, None-propagating (DNF beats everything by definition)."""
+    if a is None or b is None or b == 0:
+        return None
+    return a / b

@@ -1,0 +1,286 @@
+"""Command-line interface: ``repro-skyline``.
+
+Subcommands
+-----------
+``compute``     — compute a skyline of a CSV/NPY file or a generated
+                  synthetic workload, with any registered algorithm.
+``experiment``  — reproduce one of the paper's figures (or an
+                  ablation) and print its series.
+``list``        — list algorithms and experiments.
+
+Examples::
+
+    repro-skyline compute --distribution anticorrelated -c 10000 -d 5 \
+        --algorithm mr-gpmrs
+    repro-skyline compute --input hotels.csv --prefs min,min,max
+    repro-skyline experiment fig7 --scale 0.005 --verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import available_algorithms, skyline
+from repro.bench.experiments import EXPERIMENTS
+from repro.data import generate, load_csv, load_npy
+from repro.errors import ReproError
+from repro.mapreduce.cluster import SimulatedCluster
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline",
+        description="Skyline computation in (simulated) MapReduce — "
+        "EDBT 2014 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compute = sub.add_parser("compute", help="compute one skyline")
+    source = compute.add_mutually_exclusive_group()
+    source.add_argument("--input", help="CSV (with header) or .npy file")
+    source.add_argument(
+        "--distribution",
+        choices=["independent", "correlated", "anticorrelated", "clustered"],
+        help="generate a synthetic workload instead of reading a file",
+    )
+    compute.add_argument("-c", "--cardinality", type=int, default=10_000)
+    compute.add_argument("-d", "--dimensionality", type=int, default=4)
+    compute.add_argument("--seed", type=int, default=0)
+    compute.add_argument(
+        "--algorithm", default="mr-gpmrs", choices=available_algorithms()
+    )
+    compute.add_argument(
+        "--prefs",
+        help="comma-separated per-dimension preference, e.g. min,max,min",
+    )
+    compute.add_argument("--num-reducers", type=int, default=None)
+    compute.add_argument("--ppd", type=int, default=None)
+    compute.add_argument("--nodes", type=int, default=13)
+    compute.add_argument(
+        "--show", type=int, default=10, help="print the first N skyline rows"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce a figure of the paper"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=0.01)
+    experiment.add_argument("--quick", action="store_true")
+    experiment.add_argument("--include-dnf", action="store_true")
+    experiment.add_argument("--verbose", action="store_true")
+    experiment.add_argument("--nodes", type=int, default=13)
+    experiment.add_argument("--csv", help="also write the series as CSV")
+    experiment.add_argument(
+        "--plot", action="store_true", help="render panels as ASCII charts"
+    )
+    experiment.add_argument(
+        "--logy", action="store_true", help="log y-axis for --plot"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="run several algorithms on one workload"
+    )
+    compare.add_argument(
+        "--algorithms",
+        default="mr-gpsrs,mr-gpmrs,mr-bnl,mr-angle",
+        help="comma-separated registry names",
+    )
+    compare.add_argument(
+        "--distribution",
+        default="anticorrelated",
+        choices=["independent", "correlated", "anticorrelated", "clustered"],
+    )
+    compare.add_argument("-c", "--cardinality", type=int, default=10_000)
+    compare.add_argument("-d", "--dimensionality", type=int, default=5)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--nodes", type=int, default=13)
+
+    gantt = sub.add_parser(
+        "gantt", help="render the simulated schedule of one run"
+    )
+    gantt.add_argument(
+        "--algorithm", default="mr-gpmrs", choices=available_algorithms()
+    )
+    gantt.add_argument(
+        "--distribution",
+        default="anticorrelated",
+        choices=["independent", "correlated", "anticorrelated", "clustered"],
+    )
+    gantt.add_argument("-c", "--cardinality", type=int, default=10_000)
+    gantt.add_argument("-d", "--dimensionality", type=int, default=5)
+    gantt.add_argument("--seed", type=int, default=0)
+    gantt.add_argument("--nodes", type=int, default=13)
+    gantt.add_argument("--width", type=int, default=64)
+
+    sub.add_parser("list", help="list algorithms and experiments")
+    return parser
+
+
+def _cmd_compute(args) -> int:
+    if args.input:
+        if args.input.endswith(".npy"):
+            data = load_npy(args.input)
+        else:
+            data = load_csv(args.input).values
+    else:
+        data = generate(
+            args.distribution or "independent",
+            args.cardinality,
+            args.dimensionality,
+            seed=args.seed,
+        )
+    prefs = args.prefs.split(",") if args.prefs else None
+    options = {}
+    if args.num_reducers is not None and args.algorithm in (
+        "mr-gpmrs",
+        "mr-bitmap",
+    ):
+        options["num_reducers"] = args.num_reducers
+    if args.ppd is not None and args.algorithm in ("mr-gpsrs", "mr-gpmrs"):
+        options["ppd"] = args.ppd
+    cluster = SimulatedCluster(num_nodes=args.nodes)
+    result = skyline(
+        data, algorithm=args.algorithm, prefs=prefs, cluster=cluster, **options
+    )
+    print(
+        f"{args.algorithm}: skyline of {data.shape[0]} x {data.shape[1]} "
+        f"dataset has {len(result)} tuples "
+        f"({100 * len(result) / max(1, data.shape[0]):.2f}%)"
+    )
+    print(
+        f"simulated runtime {result.runtime_s:.3f}s on {args.nodes} nodes, "
+        f"wall {result.stats.wall_s:.3f}s"
+    )
+    for i in range(min(args.show, len(result))):
+        row = ", ".join(f"{v:.4g}" for v in result.values[i])
+        print(f"  #{result.indices[i]}: [{row}]")
+    if len(result) > args.show:
+        print(f"  ... and {len(result) - args.show} more")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    runner = EXPERIMENTS[args.name]
+    kwargs = dict(
+        scale=args.scale,
+        cluster=SimulatedCluster(num_nodes=args.nodes),
+        verbose=args.verbose,
+    )
+    if args.name.startswith("fig"):
+        kwargs["quick"] = args.quick
+        kwargs["include_dnf"] = args.include_dnf
+    report = runner(**kwargs)
+    print(report.render())
+    if args.plot:
+        from repro.bench.asciiplot import plot_panel
+
+        for panel in report.panels:
+            try:
+                print()
+                print(plot_panel(panel, logy=args.logy))
+            except Exception as exc:
+                print(f"(cannot plot panel {panel.title!r}: {exc})")
+    from repro.bench.expectations import evaluate_report, render_verdicts
+
+    verdicts = evaluate_report(args.name, report)
+    if verdicts:
+        print("\npaper-claim verdicts:")
+        print(render_verdicts(verdicts))
+    if args.csv:
+        report.to_csv(args.csv)
+        print(f"\nseries written to {args.csv}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.bench.reporting import format_table
+
+    data = generate(
+        args.distribution,
+        args.cardinality,
+        args.dimensionality,
+        seed=args.seed,
+    )
+    cluster = SimulatedCluster(num_nodes=args.nodes)
+    rows = []
+    reference = None
+    for name in args.algorithms.split(","):
+        name = name.strip()
+        result = skyline(data, algorithm=name, cluster=cluster)
+        ids = frozenset(result.indices.tolist())
+        if reference is None:
+            reference = ids
+        rows.append(
+            [
+                name,
+                round(result.runtime_s, 3),
+                round(result.stats.wall_s, 3),
+                len(result),
+                "yes" if ids == reference else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "sim_s", "wall_s", "skyline", "agrees"],
+            rows,
+            title=(
+                f"{args.distribution}, {args.cardinality} x "
+                f"{args.dimensionality}, {args.nodes} nodes"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_gantt(args) -> int:
+    from repro.mapreduce.trace import render_pipeline_gantt
+
+    data = generate(
+        args.distribution,
+        args.cardinality,
+        args.dimensionality,
+        seed=args.seed,
+    )
+    cluster = SimulatedCluster(num_nodes=args.nodes)
+    result = skyline(data, algorithm=args.algorithm, cluster=cluster)
+    print(
+        f"{args.algorithm}: skyline {len(result)}, "
+        f"simulated {result.runtime_s:.3f}s\n"
+    )
+    print(render_pipeline_gantt(cluster, result.stats.jobs, width=args.width))
+    return 0
+
+
+def _cmd_list() -> int:
+    print("algorithms:")
+    for name in available_algorithms():
+        print(f"  {name}")
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "compute":
+            return _cmd_compute(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "gantt":
+            return _cmd_gantt(args)
+        return _cmd_list()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

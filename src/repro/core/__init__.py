@@ -1,0 +1,51 @@
+"""Core skyline machinery: dominance, point sets, local algorithms.
+
+Everything in this package operates on min-is-better float data; the
+public API boundary (:func:`repro.skyline`) normalises mixed MIN/MAX
+preferences before reaching here.
+"""
+
+from repro.core.bitmap import BitmapIndex, bitmap_skyline_indices
+from repro.core.bnl import (
+    BNLWindow,
+    bnl_multipass_skyline_indices,
+    bnl_skyline_indices,
+    insert_tuple,
+)
+from repro.core.dnc import dnc_skyline, dnc_skyline_indices
+from repro.core.dominance import (
+    DominanceCounter,
+    compare,
+    dominated_mask,
+    dominates,
+    entropy_key,
+)
+from repro.core.order import Preference, as_dataset, coerce_preferences, normalize
+from repro.core.pointset import PointSet
+from repro.core.reference import bruteforce_skyline, bruteforce_skyline_indices
+from repro.core.sfs import sfs_skyline, sfs_skyline_indices
+
+__all__ = [
+    "BNLWindow",
+    "BitmapIndex",
+    "DominanceCounter",
+    "PointSet",
+    "Preference",
+    "as_dataset",
+    "bitmap_skyline_indices",
+    "bnl_multipass_skyline_indices",
+    "bnl_skyline_indices",
+    "bruteforce_skyline",
+    "bruteforce_skyline_indices",
+    "coerce_preferences",
+    "compare",
+    "dnc_skyline",
+    "dnc_skyline_indices",
+    "dominated_mask",
+    "dominates",
+    "entropy_key",
+    "insert_tuple",
+    "normalize",
+    "sfs_skyline",
+    "sfs_skyline_indices",
+]

@@ -1,0 +1,195 @@
+"""Tuple dominance (Definition 1 of the paper) — scalar and vectorised.
+
+All functions assume min-is-better data (see :mod:`repro.core.order`).
+A tuple ``a`` dominates ``b`` iff ``a`` is not worse on every dimension
+and strictly better on at least one:
+
+    a ≺ b  ⇔  (∀k: a[k] <= b[k]) ∧ (∃k: a[k] < b[k])
+
+The vectorised helpers are the work-horses of every local-skyline
+computation; they are chunked so the intermediate boolean tensors stay
+bounded regardless of input size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DataError
+
+#: Upper bound (in bool elements) for a single broadcasted comparison
+#: tensor produced by the chunked helpers. 2**24 bools = 16 MiB.
+_CHUNK_BUDGET = 1 << 24
+
+
+def dominates(a, b) -> bool:
+    """Return True iff tuple ``a`` dominates tuple ``b`` (a ≺ b)."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise DataError(f"dimensionality mismatch: {a.shape} vs {b.shape}")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def compare(a, b) -> int:
+    """Three-way dominance compare.
+
+    Returns ``-1`` if ``a ≺ b``, ``1`` if ``b ≺ a``, ``0`` if the two
+    tuples are incomparable or equal.
+    """
+    if dominates(a, b):
+        return -1
+    if dominates(b, a):
+        return 1
+    return 0
+
+
+def _row_chunks(n_rows: int, row_width: int) -> int:
+    """Rows per chunk such that rows*width stays under the budget."""
+    if n_rows == 0:
+        return 1
+    return max(1, _CHUNK_BUDGET // max(1, row_width))
+
+
+def dominated_by_point(point: np.ndarray, block: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``block`` rows dominated by ``point``."""
+    point = np.asarray(point, dtype=np.float64).ravel()
+    block = np.asarray(block, dtype=np.float64)
+    le = point <= block
+    lt = point < block
+    return le.all(axis=1) & lt.any(axis=1)
+
+
+def point_dominated_by(point: np.ndarray, block: np.ndarray) -> bool:
+    """True iff any row of ``block`` dominates ``point``."""
+    point = np.asarray(point, dtype=np.float64).ravel()
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape[0] == 0:
+        return False
+    le = block <= point
+    lt = block < point
+    return bool((le.all(axis=1) & lt.any(axis=1)).any())
+
+
+def dominated_mask(candidates: np.ndarray, against: np.ndarray) -> np.ndarray:
+    """Mask over ``candidates`` rows dominated by any row of ``against``.
+
+    Memory-bounded: ``against`` is swept in chunks whose broadcasted
+    comparison tensor stays under ``_CHUNK_BUDGET`` bools. Rows already
+    known to be dominated are skipped in later chunks.
+    """
+    candidates = np.asarray(candidates, dtype=np.float64)
+    against = np.asarray(against, dtype=np.float64)
+    n = candidates.shape[0]
+    mask = np.zeros(n, dtype=bool)
+    if n == 0 or against.shape[0] == 0:
+        return mask
+    if candidates.shape[1] != against.shape[1]:
+        raise DataError(
+            f"dimensionality mismatch: {candidates.shape[1]} vs {against.shape[1]}"
+        )
+    d = candidates.shape[1]
+    step = _row_chunks(against.shape[0], n * d)
+    alive = np.arange(n)
+    for start in range(0, against.shape[0], step):
+        if alive.size == 0:
+            break
+        blk = against[start : start + step]
+        cand = candidates[alive]
+        # (blk_rows, cand_rows, d) broadcast, reduced immediately.
+        le = (blk[:, None, :] <= cand[None, :, :]).all(axis=2)
+        lt = (blk[:, None, :] < cand[None, :, :]).any(axis=2)
+        hit = (le & lt).any(axis=0)
+        mask[alive[hit]] = True
+        alive = alive[~hit]
+    return mask
+
+
+def any_dominates(sources: np.ndarray, targets: np.ndarray) -> bool:
+    """True iff any row of ``sources`` dominates any row of ``targets``."""
+    return bool(dominated_mask(targets, sources).any())
+
+
+def count_dominators(point: np.ndarray, block: np.ndarray) -> int:
+    """Number of rows in ``block`` that dominate ``point``."""
+    point = np.asarray(point, dtype=np.float64).ravel()
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape[0] == 0:
+        return 0
+    le = block <= point
+    lt = block < point
+    return int((le.all(axis=1) & lt.any(axis=1)).sum())
+
+
+def entropy_key(data: np.ndarray) -> np.ndarray:
+    """Monotone sort key used by SFS-style presorting.
+
+    The sum of coordinates is monotone w.r.t. dominance: if ``a ≺ b``
+    then ``sum(a) < sum(b)``; therefore after an ascending sort no tuple
+    can be dominated by a later one. (The classic SFS paper uses an
+    entropy function ``sum(ln(1+v))``; any monotone score yields the
+    same guarantee, and the plain sum is cheaper and does not require
+    non-negative data.)
+    """
+    data = np.asarray(data, dtype=np.float64)
+    return data.sum(axis=1)
+
+
+def skyline_mask_bruteforce(data: np.ndarray) -> np.ndarray:
+    """O(n^2) reference skyline mask. The oracle for all tests.
+
+    Deliberately simple and independent from every optimised code path.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i != j and dominates(data[j], data[i]):
+                mask[i] = False
+                break
+    return mask
+
+
+def is_skyline_of(candidate: np.ndarray, data: np.ndarray) -> bool:
+    """Check that ``candidate`` rows are exactly the skyline of ``data``.
+
+    Set comparison on rows (duplicates collapsed); useful in tests and
+    sanity assertions.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    expected = data[skyline_mask_bruteforce(data)]
+    expect_set = {tuple(r) for r in expected.tolist()}
+    got_set = {tuple(r) for r in candidate.reshape(-1, data.shape[1]).tolist()}
+    return expect_set == got_set
+
+
+class DominanceCounter:
+    """Counts tuple-level dominance work for instrumentation.
+
+    The vectorised helpers perform many comparisons per call; callers
+    that need Figure-11-style accounting wrap their calls and record the
+    number of *pairwise tuple comparisons* each vectorised operation is
+    equivalent to.
+    """
+
+    __slots__ = ("pairs", "calls")
+
+    def __init__(self) -> None:
+        self.pairs = 0
+        self.calls = 0
+
+    def charge(self, left_rows: int, right_rows: int) -> None:
+        """Record a block comparison of ``left_rows`` x ``right_rows``."""
+        self.pairs += int(left_rows) * int(right_rows)
+        self.calls += 1
+
+    def merge(self, other: "DominanceCounter") -> None:
+        self.pairs += other.pairs
+        self.calls += other.calls
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DominanceCounter(pairs={self.pairs}, calls={self.calls})"

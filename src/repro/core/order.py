@@ -1,0 +1,118 @@
+"""Per-dimension preference handling.
+
+The paper (Section 1) assumes *smaller is better* on every dimension.
+Real queries mix directions (minimise price, maximise rating), so the
+public API accepts a preference per dimension and this module maps the
+data onto the paper's convention by negating maximised dimensions.
+
+All internal algorithms therefore only ever deal with min-is-better
+float data produced by :func:`normalize`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.errors import DataError, ValidationError
+
+
+class Preference(enum.Enum):
+    """Direction of preference for one dimension."""
+
+    MIN = "min"
+    MAX = "max"
+
+    @classmethod
+    def coerce(cls, value: Union["Preference", str]) -> "Preference":
+        """Accept a :class:`Preference` or its string name ('min'/'max')."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                raise ValidationError(
+                    f"preference must be 'min' or 'max', got {value!r}"
+                ) from None
+        raise ValidationError(f"cannot interpret {value!r} as a preference")
+
+
+PreferenceLike = Union[Preference, str]
+
+
+def coerce_preferences(
+    prefs: Union[None, PreferenceLike, Sequence[PreferenceLike]],
+    dimensionality: int,
+) -> tuple:
+    """Expand ``prefs`` to one :class:`Preference` per dimension.
+
+    ``None`` means all-MIN (the paper's convention); a single value is
+    broadcast; a sequence must match the dimensionality.
+    """
+    if dimensionality <= 0:
+        raise ValidationError(f"dimensionality must be positive, got {dimensionality}")
+    if prefs is None:
+        return (Preference.MIN,) * dimensionality
+    if isinstance(prefs, (Preference, str)):
+        return (Preference.coerce(prefs),) * dimensionality
+    out = tuple(Preference.coerce(p) for p in prefs)
+    if len(out) != dimensionality:
+        raise ValidationError(
+            f"got {len(out)} preferences for {dimensionality} dimensions"
+        )
+    return out
+
+
+def as_dataset(data: object) -> np.ndarray:
+    """Validate and convert ``data`` to a 2-D float64 array.
+
+    Accepts anything :func:`numpy.asarray` understands. Rejects empty
+    dimensionality, non-2-D shapes, NaNs and infinities: dominance is
+    undefined for non-finite values.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim == 1:
+        # A single tuple is promoted to a one-row dataset.
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise DataError(f"dataset must be 2-D (rows x dims), got shape {arr.shape}")
+    if arr.shape[1] == 0:
+        raise DataError("dataset must have at least one dimension")
+    if arr.size and not np.isfinite(arr).all():
+        raise DataError("dataset contains NaN or infinite values")
+    return arr
+
+
+def normalize(data: object, prefs=None) -> np.ndarray:
+    """Return a min-is-better copy of ``data``.
+
+    Dimensions whose preference is MAX are negated, which preserves the
+    dominance relation exactly (x better than y on a MAX dimension iff
+    -x < -y).
+    """
+    arr = as_dataset(data)
+    directions = coerce_preferences(prefs, arr.shape[1])
+    if all(p is Preference.MIN for p in directions):
+        return arr.copy()
+    out = arr.copy()
+    for k, pref in enumerate(directions):
+        if pref is Preference.MAX:
+            out[:, k] = -out[:, k]
+    return out
+
+
+def minmax_bounds(data: np.ndarray) -> tuple:
+    """Per-dimension ``(lows, highs)`` of a dataset, as float64 arrays."""
+    arr = as_dataset(data)
+    if arr.shape[0] == 0:
+        raise DataError("cannot compute bounds of an empty dataset")
+    return arr.min(axis=0), arr.max(axis=0)
+
+
+def iter_rows(data: np.ndarray) -> Iterable[tuple]:
+    """Yield dataset rows as plain Python tuples (hashable, picklable)."""
+    for row in as_dataset(data):
+        yield tuple(row.tolist())

@@ -1,0 +1,172 @@
+"""A bundle of points with stable row identities.
+
+Every MapReduce flow in this library carries *which* input rows are
+skyline members, not just their coordinate values, so the final result
+can be reported as indices into the caller's dataset (robust to
+duplicate points). :class:`PointSet` packages the id vector and the
+value matrix together and provides the dominance-filtering operations
+the paper's algorithms are written in terms of.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core import dominance
+from repro.errors import DataError
+
+
+class PointSet:
+    """Immutable-ish (ids, values) pair; all operations return copies."""
+
+    __slots__ = ("ids", "values")
+
+    def __init__(self, ids: np.ndarray, values: np.ndarray):
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise DataError(f"values must be 2-D, got shape {values.shape}")
+        if ids.shape[0] != values.shape[0]:
+            raise DataError(
+                f"ids/values length mismatch: {ids.shape[0]} vs {values.shape[0]}"
+            )
+        self.ids = ids
+        self.values = values
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def empty(cls, dimensionality: int) -> "PointSet":
+        return cls(np.empty(0, dtype=np.int64), np.empty((0, dimensionality)))
+
+    @classmethod
+    def from_array(cls, values: np.ndarray, start_id: int = 0) -> "PointSet":
+        """Wrap an array, assigning sequential ids from ``start_id``."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise DataError(f"values must be 2-D, got shape {values.shape}")
+        return cls(np.arange(start_id, start_id + values.shape[0]), values)
+
+    @classmethod
+    def concat(cls, parts) -> "PointSet":
+        parts = [p for p in parts if p is not None]
+        parts = [p for p in parts if len(p) > 0]
+        if not parts:
+            raise DataError("concat needs at least one non-empty PointSet")
+        return cls(
+            np.concatenate([p.ids for p in parts]),
+            np.vstack([p.values for p in parts]),
+        )
+
+    # -- basics --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def dimensionality(self) -> int:
+        return int(self.values.shape[1])
+
+    def __iter__(self) -> Iterator[Tuple[int, np.ndarray]]:
+        for i in range(len(self)):
+            yield int(self.ids[i]), self.values[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PointSet(n={len(self)}, d={self.dimensionality})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PointSet):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.ids, other.ids)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self):  # PointSets are containers, not dict keys
+        raise TypeError("PointSet is unhashable")
+
+    def copy(self) -> "PointSet":
+        return PointSet(self.ids.copy(), self.values.copy())
+
+    def select(self, mask_or_index: np.ndarray) -> "PointSet":
+        """Row subset by boolean mask or integer index array."""
+        return PointSet(self.ids[mask_or_index], self.values[mask_or_index])
+
+    def sort_by(self, key: np.ndarray) -> "PointSet":
+        """Stable sort rows ascending by ``key``."""
+        order = np.argsort(np.asarray(key), kind="stable")
+        return self.select(order)
+
+    def id_set(self) -> set:
+        return set(self.ids.tolist())
+
+    # -- dominance operations -----------------------------------------
+
+    def remove_dominated_by(
+        self,
+        other: "PointSet",
+        counter: Optional[dominance.DominanceCounter] = None,
+    ) -> "PointSet":
+        """Drop rows of self dominated by any row of ``other``.
+
+        This is the critical operation of the paper's Algorithm 5, line 3
+        (``ComparePartitions``): "remove from Sp all those tuples that
+        are dominated by tuples in Spi".
+        """
+        if len(self) == 0 or len(other) == 0:
+            return self
+        if counter is not None:
+            counter.charge(len(other), len(self))
+        mask = dominance.dominated_mask(self.values, other.values)
+        if not mask.any():
+            return self
+        return self.select(~mask)
+
+    def local_skyline(
+        self, counter: Optional[dominance.DominanceCounter] = None
+    ) -> "PointSet":
+        """Skyline of this set alone (sort-filter, vectorised).
+
+        Presorts by the monotone sum key so a tuple can only be dominated
+        by tuples earlier in the order, then filters with a growing
+        window (the vectorised equivalent of the paper's Algorithm 4
+        ``InsertTuple`` loop). Stable sort keeps duplicate skyline points
+        (which, per Definition 1, never dominate each other) all present.
+        """
+        n = len(self)
+        if n <= 1:
+            return self
+        ordered = self.sort_by(dominance.entropy_key(self.values))
+        vals = ordered.values
+        d = self.dimensionality
+        window = np.empty((n, d))
+        keep = np.empty(n, dtype=np.int64)
+        size = 0
+        for i in range(n):
+            v = vals[i]
+            if size:
+                if counter is not None:
+                    counter.charge(size, 1)
+                if dominance.point_dominated_by(v, window[:size]):
+                    continue
+            window[size] = v
+            keep[size] = i
+            size += 1
+        return ordered.select(keep[:size])
+
+    def merge_skyline(
+        self,
+        other: "PointSet",
+        counter: Optional[dominance.DominanceCounter] = None,
+    ) -> "PointSet":
+        """Skyline of the union of two sets, exploiting that each side
+        is already dominance-free internally (cross-filter only)."""
+        if len(self) == 0:
+            return other
+        if len(other) == 0:
+            return self
+        mine = self.remove_dominated_by(other, counter)
+        theirs = other.remove_dominated_by(self, counter)
+        return PointSet.concat([mine, theirs])

@@ -1,0 +1,27 @@
+"""Reference (oracle) skyline implementations.
+
+:func:`bruteforce_skyline_indices` is the O(n^2) ground truth every
+algorithm in this repository is validated against. It must stay dumb:
+no presorting, no pruning, no sharing with optimised code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dominance import skyline_mask_bruteforce
+from repro.errors import DataError
+
+
+def bruteforce_skyline_indices(data: np.ndarray) -> np.ndarray:
+    """Indices of all rows not dominated by any other row."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise DataError(f"dataset must be 2-D, got shape {data.shape}")
+    return np.flatnonzero(skyline_mask_bruteforce(data)).astype(np.int64)
+
+
+def bruteforce_skyline(data: np.ndarray) -> np.ndarray:
+    """Skyline rows of ``data`` (values, not indices)."""
+    data = np.asarray(data, dtype=np.float64)
+    return data[bruteforce_skyline_indices(data)]

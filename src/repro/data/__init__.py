@@ -1,0 +1,35 @@
+"""Synthetic workloads and dataset utilities."""
+
+from repro.data.datasets import (
+    LabelledDataset,
+    hotels,
+    load_csv,
+    load_npy,
+    players,
+    save_csv,
+    save_npy,
+)
+from repro.data.generators import (
+    DISTRIBUTIONS,
+    anticorrelated,
+    clustered,
+    correlated,
+    generate,
+    independent,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "LabelledDataset",
+    "anticorrelated",
+    "clustered",
+    "correlated",
+    "generate",
+    "hotels",
+    "independent",
+    "load_csv",
+    "load_npy",
+    "players",
+    "save_csv",
+    "save_npy",
+]

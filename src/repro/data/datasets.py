@@ -1,0 +1,142 @@
+"""Dataset persistence and realistic demo datasets.
+
+The examples motivate skylines the way the literature does: hotels
+(cheap and close to the beach) and basketball players (high on every
+stat). Both demo datasets are synthetic but shaped to the domain, so
+the examples run offline and deterministically.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.order import as_dataset
+from repro.errors import DataError
+
+
+@dataclass
+class LabelledDataset:
+    """A dataset with column names and optional row labels."""
+
+    values: np.ndarray
+    columns: Tuple[str, ...]
+    labels: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        self.values = as_dataset(self.values)
+        if len(self.columns) != self.values.shape[1]:
+            raise DataError(
+                f"{len(self.columns)} column names for "
+                f"{self.values.shape[1]} columns"
+            )
+        if self.labels and len(self.labels) != self.values.shape[0]:
+            raise DataError(
+                f"{len(self.labels)} labels for {self.values.shape[0]} rows"
+            )
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def row_label(self, index: int) -> str:
+        if self.labels:
+            return self.labels[index]
+        return f"row-{index}"
+
+
+def save_csv(path: str, dataset: LabelledDataset) -> None:
+    """Write a labelled dataset as CSV with a header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = (["label"] if dataset.labels else []) + list(dataset.columns)
+        writer.writerow(header)
+        for i, row in enumerate(dataset.values):
+            prefix = [dataset.labels[i]] if dataset.labels else []
+            writer.writerow(prefix + [repr(v) for v in row.tolist()])
+
+
+def load_csv(path: str, has_labels: bool = False) -> LabelledDataset:
+    """Read a CSV written by :func:`save_csv` (or compatible)."""
+    if not os.path.exists(path):
+        raise DataError(f"no such file: {path}")
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        rows: List[List[float]] = []
+        labels: List[str] = []
+        for record in reader:
+            if not record:
+                continue
+            if has_labels:
+                labels.append(record[0])
+                record = record[1:]
+            rows.append([float(v) for v in record])
+    columns = tuple(header[1:] if has_labels else header)
+    values = np.asarray(rows, dtype=np.float64).reshape(len(rows), len(columns))
+    return LabelledDataset(values=values, columns=columns, labels=tuple(labels))
+
+
+def save_npy(path: str, data: np.ndarray) -> None:
+    np.save(path, as_dataset(data))
+
+
+def load_npy(path: str) -> np.ndarray:
+    if not os.path.exists(path):
+        raise DataError(f"no such file: {path}")
+    return as_dataset(np.load(path))
+
+
+def hotels(cardinality: int = 2000, seed: int = 7) -> LabelledDataset:
+    """Synthetic hotel dataset: price vs distance-to-beach (+ rating).
+
+    Price anti-correlates with distance (close hotels are expensive),
+    which gives a healthy skyline — the classic skyline-query demo.
+    Columns: price (minimise), distance_km (minimise),
+    noise_db (minimise).
+    """
+    rng = np.random.default_rng(seed)
+    distance = rng.gamma(2.0, 2.0, cardinality)  # km, skewed to close-by
+    base_price = 260.0 / (1.0 + distance) + rng.normal(0, 18, cardinality)
+    price = np.clip(base_price + rng.gamma(2.0, 12.0, cardinality), 25, None)
+    noise = np.clip(
+        55.0 - 2.2 * distance + rng.normal(0, 6, cardinality), 20, 90
+    )
+    values = np.column_stack([price, distance, noise])
+    labels = tuple(f"hotel-{i:05d}" for i in range(cardinality))
+    return LabelledDataset(
+        values=values,
+        columns=("price", "distance_km", "noise_db"),
+        labels=labels,
+    )
+
+
+def players(cardinality: int = 1500, seed: int = 11) -> LabelledDataset:
+    """Synthetic player-stats dataset (all columns to be *maximised*).
+
+    Columns: points, rebounds, assists, steals. Stats correlate with a
+    latent 'skill', with role trade-offs (scorers rebound less),
+    producing a moderate skyline.
+    """
+    rng = np.random.default_rng(seed)
+    skill = rng.beta(2.0, 5.0, cardinality)
+    role = rng.random(cardinality)  # 0 = playmaker, 1 = big
+    points = 30 * skill * (0.6 + 0.4 * role) + rng.normal(0, 1.5, cardinality)
+    rebounds = 14 * skill * (0.3 + 0.7 * role) + rng.normal(0, 1.0, cardinality)
+    assists = 11 * skill * (1.3 - role) + rng.normal(0, 0.8, cardinality)
+    steals = 3 * skill + rng.normal(0, 0.3, cardinality)
+    values = np.clip(
+        np.column_stack([points, rebounds, assists, steals]), 0, None
+    )
+    labels = tuple(f"player-{i:05d}" for i in range(cardinality))
+    return LabelledDataset(
+        values=values,
+        columns=("points", "rebounds", "assists", "steals"),
+        labels=labels,
+    )

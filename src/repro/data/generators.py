@@ -1,0 +1,167 @@
+"""Synthetic data generators (paper Section 7.1).
+
+"For the tuple set R, we use synthetic data sets of independent and
+anti-correlated distributions. The data are generated according to the
+existing methods [4]" — i.e. Börzsönyi, Kossmann, Stocker, *The Skyline
+Operator* (ICDE 2001). Implemented here:
+
+* ``independent``     — uniform in the unit hypercube.
+* ``correlated``      — points scattered tightly around the main
+  diagonal; skylines are tiny.
+* ``anticorrelated``  — points scattered around the anti-diagonal
+  hyperplane Σx = d/2; points on the plane are mutually hard to
+  dominate, so skylines are huge and grow quickly with d.
+* ``clustered``       — (extra) Gaussian blobs; handy for the grid and
+  PPD tests because occupancy is skewed.
+
+All generators are deterministic under a seed and rejection-sample so
+every point lies inside [0, 1]^d without clipping artefacts (clipping
+would pile probability mass onto the faces of the cube and distort
+skyline sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Jitter scales tuned to the Börzsönyi shapes.
+_CORRELATED_SPREAD = 0.07
+_ANTICORRELATED_JITTER = 0.08
+_MAX_REJECTION_ROUNDS = 64
+
+
+def _rng(seed: Union[None, int, np.random.Generator]) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _check(cardinality: int, dimensionality: int) -> None:
+    if cardinality < 0:
+        raise ValidationError(f"cardinality must be >= 0, got {cardinality}")
+    if dimensionality < 1:
+        raise ValidationError(
+            f"dimensionality must be >= 1, got {dimensionality}"
+        )
+
+
+def independent(cardinality: int, dimensionality: int, seed=None) -> np.ndarray:
+    """Uniform i.i.d. points in [0, 1]^d."""
+    _check(cardinality, dimensionality)
+    rng = _rng(seed)
+    return rng.random((cardinality, dimensionality))
+
+
+def _rejection_fill(
+    cardinality: int,
+    dimensionality: int,
+    rng: np.random.Generator,
+    propose: Callable[[int], np.ndarray],
+) -> np.ndarray:
+    """Draw batches from ``propose`` keeping in-cube rows until full."""
+    out = np.empty((cardinality, dimensionality))
+    filled = 0
+    for _ in range(_MAX_REJECTION_ROUNDS):
+        if filled >= cardinality:
+            break
+        want = cardinality - filled
+        batch = propose(max(want * 2, 64))
+        ok = ((batch >= 0.0) & (batch <= 1.0)).all(axis=1)
+        good = batch[ok][:want]
+        out[filled : filled + good.shape[0]] = good
+        filled += good.shape[0]
+    if filled < cardinality:  # pragma: no cover - extremely unlikely
+        raise ValidationError(
+            "rejection sampling failed to fill the dataset; "
+            "jitter parameters are too wide"
+        )
+    return out
+
+
+def correlated(cardinality: int, dimensionality: int, seed=None) -> np.ndarray:
+    """Points near the main diagonal: good on one dim => good on all."""
+    _check(cardinality, dimensionality)
+    rng = _rng(seed)
+
+    def propose(k: int) -> np.ndarray:
+        centre = rng.random((k, 1))
+        jitter = rng.normal(0.0, _CORRELATED_SPREAD, (k, dimensionality))
+        return centre + jitter
+
+    if cardinality == 0:
+        return np.empty((0, dimensionality))
+    return _rejection_fill(cardinality, dimensionality, rng, propose)
+
+
+def anticorrelated(cardinality: int, dimensionality: int, seed=None) -> np.ndarray:
+    """Points near the anti-diagonal plane Σx = d/2: good on one dim
+    => bad on others. The hard case for skylines."""
+    _check(cardinality, dimensionality)
+    rng = _rng(seed)
+    d = dimensionality
+
+    def propose(k: int) -> np.ndarray:
+        base = rng.random((k, d))
+        # Shift every coordinate equally so each row sums to d/2 ...
+        shift = (d / 2.0 - base.sum(axis=1, keepdims=True)) / d
+        plane = base + shift
+        # ... then jitter off the plane.
+        return plane + rng.normal(0.0, _ANTICORRELATED_JITTER, (k, d))
+
+    if cardinality == 0:
+        return np.empty((0, d))
+    return _rejection_fill(cardinality, d, rng, propose)
+
+
+def clustered(
+    cardinality: int,
+    dimensionality: int,
+    seed=None,
+    num_clusters: int = 5,
+    spread: float = 0.05,
+) -> np.ndarray:
+    """Gaussian blobs around random centres (occupancy-skew workload)."""
+    _check(cardinality, dimensionality)
+    if num_clusters < 1:
+        raise ValidationError(f"num_clusters must be >= 1, got {num_clusters}")
+    rng = _rng(seed)
+    if cardinality == 0:
+        return np.empty((0, dimensionality))
+    centres = rng.random((num_clusters, dimensionality))
+
+    def propose(k: int) -> np.ndarray:
+        picks = centres[rng.integers(0, num_clusters, k)]
+        return picks + rng.normal(0.0, spread, (k, dimensionality))
+
+    return _rejection_fill(cardinality, dimensionality, rng, propose)
+
+
+#: Name -> generator mapping used by the CLI and the bench harness.
+DISTRIBUTIONS: Dict[str, Callable[..., np.ndarray]] = {
+    "independent": independent,
+    "correlated": correlated,
+    "anticorrelated": anticorrelated,
+    "clustered": clustered,
+}
+
+
+def generate(
+    distribution: str,
+    cardinality: int,
+    dimensionality: int,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> np.ndarray:
+    """Dispatch by distribution name (see :data:`DISTRIBUTIONS`)."""
+    try:
+        generator = DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ValidationError(
+            f"unknown distribution {distribution!r}; "
+            f"available: {sorted(DISTRIBUTIONS)}"
+        ) from None
+    return generator(cardinality, dimensionality, seed=seed, **kwargs)

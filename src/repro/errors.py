@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can guard a whole pipeline with a single ``except ReproError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A user-supplied argument is malformed or out of range."""
+
+
+class DataError(ValidationError):
+    """An input dataset is malformed (wrong shape, dtype, NaNs, ...)."""
+
+
+class GridError(ValidationError):
+    """A grid-partitioning parameter or operation is invalid."""
+
+
+class JobError(ReproError):
+    """A MapReduce job specification is invalid or a job failed."""
+
+
+class JobValidationError(JobError, ValidationError):
+    """A MapReduce job specification is malformed."""
+
+
+class TaskFailedError(JobError):
+    """A map or reduce task raised; carries the original cause."""
+
+    def __init__(self, task_id: str, cause: BaseException):
+        super().__init__(f"task {task_id} failed: {cause!r}")
+        self.task_id = task_id
+        self.cause = cause
+
+
+class AlgorithmError(ReproError):
+    """A skyline algorithm was configured or used incorrectly."""
+
+
+class UnknownAlgorithmError(AlgorithmError, KeyError):
+    """Requested algorithm name is not in the registry."""

@@ -1,0 +1,79 @@
+"""Grid partitioning, bitstrings, independent groups, and the cost model.
+
+This package implements Sections 3, 5.1-5.2 (group machinery) and 6 of
+the paper; the MapReduce algorithms in :mod:`repro.algorithms` are thin
+orchestrations over these primitives.
+"""
+
+from repro.grid.analysis import GridAnalysis, analyze_grid, ppd_sweep
+from repro.grid.bitstring import Bitstring
+from repro.grid.cost import (
+    kappa,
+    kappa_mapper,
+    kappa_reducer,
+    kappa_surface,
+    rho_dom,
+    rho_rem,
+)
+from repro.grid.grid import MAX_PARTITIONS, Grid
+from repro.grid.groups import (
+    IndependentGroup,
+    ReducerGroup,
+    generate_independent_groups,
+    merge_groups,
+    merge_groups_balanced,
+    merge_groups_communication,
+    merge_groups_computation,
+)
+from repro.grid.ppd import (
+    DEFAULT_TPP,
+    candidate_ppds,
+    cap_ppd,
+    ppd_from_equation4,
+    select_ppd,
+)
+from repro.grid.regions import (
+    adr_size,
+    anti_dominating_region,
+    dominating_region,
+    dr_size,
+    in_anti_dominating_region,
+    maximum_partitions,
+    partition_dominates,
+    strictly_dominated_mask,
+)
+
+__all__ = [
+    "Bitstring",
+    "DEFAULT_TPP",
+    "Grid",
+    "GridAnalysis",
+    "analyze_grid",
+    "ppd_sweep",
+    "IndependentGroup",
+    "MAX_PARTITIONS",
+    "ReducerGroup",
+    "adr_size",
+    "anti_dominating_region",
+    "candidate_ppds",
+    "cap_ppd",
+    "dominating_region",
+    "dr_size",
+    "generate_independent_groups",
+    "in_anti_dominating_region",
+    "kappa",
+    "kappa_mapper",
+    "kappa_reducer",
+    "kappa_surface",
+    "maximum_partitions",
+    "merge_groups",
+    "merge_groups_balanced",
+    "merge_groups_communication",
+    "merge_groups_computation",
+    "partition_dominates",
+    "ppd_from_equation4",
+    "rho_dom",
+    "rho_rem",
+    "select_ppd",
+    "strictly_dominated_mask",
+]

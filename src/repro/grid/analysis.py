@@ -1,0 +1,141 @@
+"""Occupancy and pruning analytics for a grid + bitstring.
+
+Section 3.3's whole PPD discussion is about a trade-off that is easy
+to state and hard to eyeball: finer grids prune more but cost more
+partition comparisons. This module turns one (grid, data) pair into
+the numbers behind that trade-off — occupancy, Equation-2 pruning
+yield, tuples-per-partition distribution, group structure — for use by
+examples, notebooks, and the PPD ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.order import as_dataset
+from repro.errors import GridError
+from repro.grid.bitstring import Bitstring
+from repro.grid.cost import kappa_mapper, kappa_reducer, rho_rem
+from repro.grid.grid import Grid
+from repro.grid.groups import generate_independent_groups
+
+
+@dataclass
+class GridAnalysis:
+    """All occupancy/pruning metrics of one grid over one dataset."""
+
+    ppd: int
+    dimensionality: int
+    num_partitions: int
+    cardinality: int
+    occupied: int
+    surviving: int
+    pruned_partitions: int
+    tuples_in_pruned: int
+    tuples_per_occupied_mean: float
+    tuples_per_occupied_max: int
+    num_groups: int
+    largest_group: int
+    replicated_partitions: int
+    predicted_surviving_upper: int  # rho_rem(n, d)
+    kappa_mapper_bound: int
+    kappa_reducer_bound: int
+
+    @property
+    def fill_factor(self) -> float:
+        """Occupied cells / total cells."""
+        return self.occupied / self.num_partitions
+
+    @property
+    def pruned_tuple_fraction(self) -> float:
+        """Fraction of tuples eliminated before any dominance test."""
+        if self.cardinality == 0:
+            return 0.0
+        return self.tuples_in_pruned / self.cardinality
+
+    def render(self) -> str:
+        lines = [
+            f"grid n={self.ppd} d={self.dimensionality} "
+            f"({self.num_partitions} cells), {self.cardinality} tuples",
+            f"  occupied cells      : {self.occupied} "
+            f"(fill {100 * self.fill_factor:.1f}%)",
+            f"  after Eq.2 pruning  : {self.surviving} cells "
+            f"({self.pruned_partitions} pruned; uniform-occupancy bound "
+            f"{self.predicted_surviving_upper})",
+            f"  tuples pruned       : {self.tuples_in_pruned} "
+            f"({100 * self.pruned_tuple_fraction:.1f}% of data)",
+            f"  tuples/occupied cell: mean {self.tuples_per_occupied_mean:.1f}, "
+            f"max {self.tuples_per_occupied_max}",
+            f"  independent groups  : {self.num_groups} "
+            f"(largest {self.largest_group}, "
+            f"{self.replicated_partitions} partitions replicated)",
+            f"  cost bounds         : kappa_mapper {self.kappa_mapper_bound}, "
+            f"kappa_reducer {self.kappa_reducer_bound}",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_grid(grid: Grid, data) -> GridAnalysis:
+    """Compute the full :class:`GridAnalysis` of ``data`` under ``grid``."""
+    arr = as_dataset(data)
+    if arr.shape[1] != grid.d:
+        raise GridError(
+            f"data has {arr.shape[1]} dimensions, grid has {grid.d}"
+        )
+    cardinality = arr.shape[0]
+    occupancy = Bitstring.from_data(grid, arr)
+    pruned = occupancy.prune_dominated()
+    cells = grid.cell_indices(arr) if cardinality else np.empty(0, np.int64)
+    counts = np.bincount(cells, minlength=grid.num_partitions)
+    tuples_in_pruned = int(counts[occupancy.bits & ~pruned.bits].sum())
+    occupied_counts = counts[occupancy.bits]
+    groups = generate_independent_groups(grid, pruned)
+    membership: Dict[int, int] = {}
+    for group in groups:
+        for p in group.members:
+            membership[p] = membership.get(p, 0) + 1
+    return GridAnalysis(
+        ppd=grid.n,
+        dimensionality=grid.d,
+        num_partitions=grid.num_partitions,
+        cardinality=cardinality,
+        occupied=occupancy.count(),
+        surviving=pruned.count(),
+        pruned_partitions=occupancy.count() - pruned.count(),
+        tuples_in_pruned=tuples_in_pruned,
+        tuples_per_occupied_mean=(
+            float(occupied_counts.mean()) if occupied_counts.size else 0.0
+        ),
+        tuples_per_occupied_max=(
+            int(occupied_counts.max()) if occupied_counts.size else 0
+        ),
+        num_groups=len(groups),
+        largest_group=max((len(g.members) for g in groups), default=0),
+        replicated_partitions=sum(1 for v in membership.values() if v > 1),
+        predicted_surviving_upper=rho_rem(grid.n, grid.d),
+        kappa_mapper_bound=kappa_mapper(grid.n, grid.d),
+        kappa_reducer_bound=kappa_reducer(grid.n, grid.d),
+    )
+
+
+def ppd_sweep(
+    data,
+    candidates: List[int],
+    bounds: Optional[tuple] = None,
+) -> List[GridAnalysis]:
+    """Analyse every candidate PPD over the same dataset."""
+    arr = as_dataset(data)
+    if bounds is not None:
+        lows = np.asarray(bounds[0], dtype=np.float64)
+        highs = np.asarray(bounds[1], dtype=np.float64)
+    else:
+        if arr.shape[0] == 0:
+            raise GridError("cannot sweep PPDs over an empty dataset "
+                            "without explicit bounds")
+        lows, highs = arr.min(axis=0), arr.max(axis=0)
+    return [
+        analyze_grid(Grid(n, lows, highs), arr) for n in candidates
+    ]

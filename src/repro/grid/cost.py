@@ -1,0 +1,141 @@
+"""The Section 6 cost model: partition-wise comparison estimates.
+
+The model counts executions of the critical operation of
+``ComparePartitions`` (Algorithm 5 line 3) — one execution per
+(partition, ADR-member) pair — under two worst-case assumptions:
+every partition of every mapper is non-empty, and comparing partitions
+prunes tuples but never empties a partition. The estimates are therefore
+upper bounds, which is exactly what the paper's Figure 11 shows.
+
+Quantities (paper Equations 5-9; closed forms derived from the sums):
+
+* ``rho_rem(n, d)``   — partitions surviving bitstring pruning:
+  ``n^d − (n−1)^d`` (the pruned cells form an (n−1)^d grid).
+* ``rho_dom(coords)`` — per-partition comparisons: ``∏ coords − 1``
+  with 1-based coordinates (= |ADR|).
+* ``kappa(n, d)``     — Equation 7's full-box sum.
+* ``kappa_surface(n, d, j)`` — the j-th surface's sum after removing
+  overlap with surfaces 1..j−1.
+* ``kappa_mapper(n, d)``  — Σ_j of the above (Equation 8).
+* ``kappa_reducer(n, d)`` — the largest single surface, κ₁
+  (Equation 9: each reducer handles one independent surface).
+
+With S1 = Σ_{i=1..n} i = n(n+1)/2 and S2 = S1 − 1 (= Σ_{i=2..n} i):
+
+    κ_j(n, d) = S2^(j−1) · S1^(d−j) − (n−1)^(j−1) · n^(d−j)
+
+(The surface fixes one coordinate at 1, leaving d−1 free axes; j−1 of
+them start at 2 to exclude overlap with earlier surfaces; the second
+term subtracts the "−1" once per summed cell.) Brute-force summations
+are provided and tested to agree exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.errors import ValidationError
+
+
+def _check(n: int, d: int) -> None:
+    if n < 1:
+        raise ValidationError(f"PPD n must be >= 1, got {n}")
+    if d < 1:
+        raise ValidationError(f"dimensionality must be >= 1, got {d}")
+
+
+def rho_rem(n: int, d: int) -> int:
+    """Equation 5: partitions remaining after bitstring pruning."""
+    _check(n, d)
+    return n ** d - (n - 1) ** d
+
+
+def rho_dom(coords_one_based: Sequence[int]) -> int:
+    """Equation 6: partition-wise comparisons for one partition."""
+    product = 1
+    for c in coords_one_based:
+        if c < 1:
+            raise ValidationError("coordinates are 1-based in the cost model")
+        product *= c
+    return product - 1
+
+
+def kappa(n: int, d: int) -> int:
+    """Equation 7: Σ over the full n^d box of (∏ coords − 1).
+
+    Closed form: (n(n+1)/2)^d − n^d.
+    """
+    _check(n, d)
+    s1 = n * (n + 1) // 2
+    return s1 ** d - n ** d
+
+
+def kappa_surface(n: int, d: int, j: int) -> int:
+    """κ_j: the j-th (d−1)-dimensional surface, overlap-free.
+
+    Surfaces are the d faces of the grid touching the origin; surface j
+    fixes dimension j's coordinate at 1. To avoid double counting, the
+    first j−1 free axes start at coordinate 2.
+    """
+    _check(n, d)
+    if not 1 <= j <= d:
+        raise ValidationError(f"surface index must be in [1, {d}], got {j}")
+    s1 = n * (n + 1) // 2
+    s2 = s1 - 1
+    free = d - 1
+    lo = j - 1  # axes summed from 2..n
+    hi = free - lo  # axes summed from 1..n
+    if n == 1:
+        # s2 = 0 only contributes when lo > 0; the count term also
+        # vanishes ((n-1)^lo = 0), keeping the formula exact.
+        pass
+    return (s2 ** lo) * (s1 ** hi) - ((n - 1) ** lo) * (n ** hi)
+
+
+def kappa_mapper(n: int, d: int) -> int:
+    """Equation 8: partition-wise comparisons on a single mapper."""
+    _check(n, d)
+    return sum(kappa_surface(n, d, j) for j in range(1, d + 1))
+
+
+def kappa_reducer(n: int, d: int) -> int:
+    """Equation 9: comparisons for the busiest reducer — the biggest
+    surface, κ₁ (no overlap subtracted)."""
+    return kappa_surface(n, d, 1)
+
+
+# -- brute-force references (used by the test-suite) --------------------
+
+
+def kappa_bruteforce(n: int, d: int) -> int:
+    """Equation 7 summed literally."""
+    _check(n, d)
+    total = 0
+    for combo in itertools.product(range(1, n + 1), repeat=d):
+        product = 1
+        for c in combo:
+            product *= c
+        total += product - 1
+    return total
+
+
+def kappa_surface_bruteforce(n: int, d: int, j: int) -> int:
+    """κ_j summed literally over the surface's free axes."""
+    _check(n, d)
+    if not 1 <= j <= d:
+        raise ValidationError(f"surface index must be in [1, {d}], got {j}")
+    free = d - 1
+    lo = j - 1
+    ranges = [range(2, n + 1)] * lo + [range(1, n + 1)] * (free - lo)
+    total = 0
+    for combo in itertools.product(*ranges):
+        product = 1
+        for c in combo:
+            product *= c
+        total += product - 1  # the fixed axis contributes a factor of 1
+    return total
+
+
+def kappa_mapper_bruteforce(n: int, d: int) -> int:
+    return sum(kappa_surface_bruteforce(n, d, j) for j in range(1, d + 1))

@@ -1,0 +1,169 @@
+"""The n x n grid partitioning of the data space (paper Section 3.1).
+
+A :class:`Grid` divides a d-dimensional bounding box into ``n`` parts
+per dimension (PPD), yielding ``n**d`` partitions. Partitions are
+addressed by a *column-major* linear index (the paper's choice,
+Section 3.2): index = sum_k coord_k * n**k, so dimension 0 varies
+fastest. Cells are half-open boxes ``[min, max)`` except that the last
+cell on each axis is closed, so every in-bounds point maps to exactly
+one cell.
+
+The half-open geometry is what makes the coordinate formulation of
+partition dominance exact (see :mod:`repro.grid.regions`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.core.order import as_dataset, minmax_bounds
+from repro.errors import GridError
+
+#: Refuse to build grids with more cells than this; the bitstring and
+#: occupancy tensors are dense.
+MAX_PARTITIONS = 1 << 24
+
+
+class Grid:
+    """An ``n**d``-cell grid over the bounding box ``[lows, highs]``."""
+
+    __slots__ = ("n", "d", "lows", "highs", "widths", "num_partitions", "_weights")
+
+    def __init__(self, n: int, lows, highs):
+        if int(n) != n or n < 1:
+            raise GridError(f"PPD n must be a positive integer, got {n!r}")
+        self.n = int(n)
+        self.lows = np.asarray(lows, dtype=np.float64).ravel()
+        self.highs = np.asarray(highs, dtype=np.float64).ravel()
+        if self.lows.shape != self.highs.shape:
+            raise GridError("lows and highs must have the same length")
+        self.d = int(self.lows.shape[0])
+        if self.d < 1:
+            raise GridError("grid needs at least one dimension")
+        if np.any(self.highs < self.lows):
+            raise GridError("highs must be >= lows on every dimension")
+        if self.n ** self.d > MAX_PARTITIONS:
+            raise GridError(
+                f"grid of {self.n}**{self.d} cells exceeds MAX_PARTITIONS"
+            )
+        spans = self.highs - self.lows
+        # Degenerate (zero-span) dimensions put every point in cell 0.
+        spans = np.where(spans > 0, spans, 1.0)
+        self.widths = spans / self.n
+        self.num_partitions = self.n ** self.d
+        self._weights = self.n ** np.arange(self.d, dtype=np.int64)
+
+    @classmethod
+    def fit(cls, data, n: int) -> "Grid":
+        """Build a grid spanning the bounding box of ``data``."""
+        lows, highs = minmax_bounds(data)
+        return cls(n, lows, highs)
+
+    @classmethod
+    def unit(cls, n: int, d: int) -> "Grid":
+        """Grid over the unit hypercube [0, 1]^d."""
+        return cls(n, np.zeros(d), np.ones(d))
+
+    # -- coordinates ----------------------------------------------------
+
+    def coords_of(self, index: int) -> Tuple[int, ...]:
+        """Column-major linear index -> per-dimension cell coordinates."""
+        if not 0 <= index < self.num_partitions:
+            raise GridError(f"partition index {index} out of range")
+        coords = []
+        for _ in range(self.d):
+            coords.append(index % self.n)
+            index //= self.n
+        return tuple(coords)
+
+    def index_of(self, coords: Iterable[int]) -> int:
+        """Per-dimension cell coordinates -> column-major linear index."""
+        coords = tuple(int(c) for c in coords)
+        if len(coords) != self.d:
+            raise GridError(f"expected {self.d} coordinates, got {len(coords)}")
+        if any(c < 0 or c >= self.n for c in coords):
+            raise GridError(f"coordinates {coords} out of range for n={self.n}")
+        index = 0
+        for k in reversed(range(self.d)):
+            index = index * self.n + coords[k]
+        return index
+
+    def cell_coords(self, data) -> np.ndarray:
+        """Per-row integer cell coordinates, shape (rows, d).
+
+        Points outside the bounding box are clamped to the border cells
+        (relevant when a grid fitted on one data subset is applied to
+        another, as the distributed-cache bitstring flow does).
+        """
+        arr = as_dataset(data)
+        if arr.shape[1] != self.d:
+            raise GridError(
+                f"data has {arr.shape[1]} dimensions, grid has {self.d}"
+            )
+        rel = (arr - self.lows) / self.widths
+        cells = np.floor(rel).astype(np.int64)
+        np.clip(cells, 0, self.n - 1, out=cells)
+        return cells
+
+    def cell_indices(self, data) -> np.ndarray:
+        """Per-row column-major partition index, shape (rows,)."""
+        return self.cell_coords(data) @ self._weights
+
+    def cell_index(self, point) -> int:
+        """Partition index of a single point."""
+        return int(self.cell_indices(np.asarray(point).reshape(1, -1))[0])
+
+    # -- geometry -------------------------------------------------------
+
+    def min_corner(self, index: int) -> np.ndarray:
+        """The cell's best corner (lowest value on every dimension)."""
+        coords = np.asarray(self.coords_of(index), dtype=np.float64)
+        return self.lows + coords * self.widths
+
+    def max_corner(self, index: int) -> np.ndarray:
+        """The cell's worst corner (highest value on every dimension)."""
+        coords = np.asarray(self.coords_of(index), dtype=np.float64)
+        return self.lows + (coords + 1.0) * self.widths
+
+    def coords_array(self) -> np.ndarray:
+        """All cell coordinates, shape (num_partitions, d), index order."""
+        idx = np.arange(self.num_partitions, dtype=np.int64)
+        out = np.empty((self.num_partitions, self.d), dtype=np.int64)
+        for k in range(self.d):
+            out[:, k] = idx % self.n
+            idx = idx // self.n
+        return out
+
+    def shape(self) -> Tuple[int, ...]:
+        """Occupancy-tensor shape: d axes of length n.
+
+        Axis order matches coordinate order: axis k is dimension k, and
+        reshaping a length-``n**d`` index-ordered vector with Fortran
+        order ('F') makes element ``[c0, c1, ...]`` the cell with those
+        coordinates.
+        """
+        return (self.n,) * self.d
+
+    def describe(self) -> str:
+        return (
+            f"Grid(n={self.n}, d={self.d}, cells={self.num_partitions}, "
+            f"box=[{self.lows.tolist()}, {self.highs.tolist()}])"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Grid):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.d == other.d
+            and np.array_equal(self.lows, other.lows)
+            and np.array_equal(self.highs, other.highs)
+        )
+
+    def __hash__(self):
+        return hash((self.n, self.d, self.lows.tobytes(), self.highs.tobytes()))

@@ -1,0 +1,253 @@
+"""Independent partition groups (paper Section 5).
+
+An *independent partition group* (Definition 5) is a set of partitions
+closed under anti-dominating regions: every partition's ADR lies inside
+the group. Lemma 2 then guarantees the local skyline of the group's
+tuples is a subset of the global skyline — which is what lets MR-GPMRS
+use multiple reducers that never talk to each other.
+
+Generation (Algorithm 7): repeatedly seed on the remaining partition
+with the largest index (always a maximum partition, Definition 6,
+because the column-major index is monotone in every coordinate), take
+``{pm} ∪ pm.ADR`` as a group — ADR always w.r.t. the *original*
+non-empty set — and clear the group's bits from the scan bitstring.
+Partitions may be replicated across groups (the paper's Figure 6
+replicates p1 and p3); a *responsible group* per partition
+(Section 5.4.2) later deduplicates the output.
+
+Merging (Section 5.4.1): when there are more groups than reducers,
+groups are merged either to minimise communication (merge pairs sharing
+the most partitions) or to balance computation (LPT on the estimated
+cost |pm.ADR|). The paper found computation-based merging better; both
+are implemented and compared by an ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GridError, ValidationError
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+
+
+@dataclass(frozen=True)
+class IndependentGroup:
+    """One ``{pm} ∪ pm.ADR`` group produced by Algorithm 7."""
+
+    seed: int
+    members: Tuple[int, ...]  # sorted ascending, includes the seed
+
+    @property
+    def adr_size(self) -> int:
+        """|pm.ADR ∩ non-empty| — the paper's computation-cost estimate."""
+        return len(self.members) - 1
+
+    def __contains__(self, partition: int) -> bool:
+        return partition in self.members
+
+
+@dataclass
+class ReducerGroup:
+    """A merged unit of work for one reducer.
+
+    ``partitions`` is the union of member-group partitions;
+    ``responsible`` is the subset this reducer must *output* (duplicate
+    elimination, Section 5.4.2).
+    """
+
+    group_id: int
+    groups: Tuple[IndependentGroup, ...]
+    partitions: Tuple[int, ...] = field(default=())
+    responsible: Tuple[int, ...] = field(default=())
+
+    @property
+    def cost(self) -> int:
+        """Estimated computation cost: Σ |pm.ADR| over member groups."""
+        return sum(g.adr_size for g in self.groups)
+
+
+def generate_independent_groups(
+    grid: Grid, bitstring: Bitstring
+) -> List[IndependentGroup]:
+    """Algorithm 7 over the pruned global bitstring.
+
+    Deterministic: the same bitstring yields the same groups in the same
+    order on every mapper (the consistency requirement of Algorithm 8,
+    line 11).
+    """
+    if bitstring.grid.num_partitions != grid.num_partitions:
+        raise GridError("bitstring does not match grid")
+    occupied = bitstring.bits.copy()
+    nonempty = np.flatnonzero(occupied)
+    if nonempty.size == 0:
+        return []
+    coords = grid.coords_array()
+    nonempty_coords = coords[nonempty]
+    scan = occupied.copy()
+    groups: List[IndependentGroup] = []
+    while True:
+        remaining = np.flatnonzero(scan)
+        if remaining.size == 0:
+            break
+        seed = int(remaining[-1])  # largest index -> maximum partition
+        # ADR w.r.t. the ORIGINAL non-empty partitions (not the scan
+        # remnant): members are non-empty cells ≤ seed componentwise.
+        leq = (nonempty_coords <= coords[seed]).all(axis=1)
+        members = nonempty[leq]
+        groups.append(IndependentGroup(seed=seed, members=tuple(members.tolist())))
+        scan[members] = False
+    return groups
+
+
+def merge_groups_computation(
+    groups: Sequence[IndependentGroup], num_reducers: int
+) -> List[ReducerGroup]:
+    """LPT bin-packing on |pm.ADR|: balance reducer computation load."""
+    if num_reducers < 1:
+        raise ValidationError(f"num_reducers must be >= 1, got {num_reducers}")
+    bins = min(num_reducers, len(groups))
+    buckets: List[List[IndependentGroup]] = [[] for _ in range(bins)]
+    loads = [0] * bins
+    # Largest cost first; stable tie-break on seed for determinism.
+    for group in sorted(groups, key=lambda g: (-g.adr_size, g.seed)):
+        target = min(range(bins), key=lambda b: (loads[b], b))
+        buckets[target].append(group)
+        loads[target] += group.adr_size
+    return _finalize([tuple(b) for b in buckets if b])
+
+
+def merge_groups_communication(
+    groups: Sequence[IndependentGroup], num_reducers: int
+) -> List[ReducerGroup]:
+    """Greedy pairwise merging of the groups sharing most partitions.
+
+    Minimises replicated partitions (communication cost) at the expense
+    of balance; Section 5.4.1's first option.
+    """
+    if num_reducers < 1:
+        raise ValidationError(f"num_reducers must be >= 1, got {num_reducers}")
+    clusters: List[List[IndependentGroup]] = [[g] for g in groups]
+    member_sets: List[set] = [set(g.members) for g in groups]
+    while len(clusters) > num_reducers:
+        best = None
+        best_overlap = -1
+        for a in range(len(clusters)):
+            for b in range(a + 1, len(clusters)):
+                overlap = len(member_sets[a] & member_sets[b])
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best = (a, b)
+        a, b = best
+        clusters[a].extend(clusters[b])
+        member_sets[a] |= member_sets[b]
+        del clusters[b], member_sets[b]
+    return _finalize([tuple(c) for c in clusters if c])
+
+
+def merge_groups_balanced(
+    groups: Sequence[IndependentGroup],
+    num_reducers: int,
+    communication_weight: float = 0.5,
+) -> List[ReducerGroup]:
+    """Blend of the two costs — the paper's Section 8 future work
+    ("a merging method that balances the two different costs").
+
+    Greedy assignment in descending |pm.ADR| order; each group goes to
+    the bucket minimising
+
+        load_after / max_load  +  w * new_partitions / group_size
+
+    i.e. the computation-balance objective of LPT, discounted when a
+    bucket already holds most of the group's partitions (no new
+    replication = no extra communication). ``communication_weight`` of
+    0 reduces to pure LPT; large values approach overlap-greedy.
+    """
+    if num_reducers < 1:
+        raise ValidationError(f"num_reducers must be >= 1, got {num_reducers}")
+    if communication_weight < 0:
+        raise ValidationError(
+            f"communication_weight must be >= 0, got {communication_weight}"
+        )
+    bins = min(num_reducers, len(groups))
+    buckets: List[List[IndependentGroup]] = [[] for _ in range(bins)]
+    loads = [0] * bins
+    held: List[set] = [set() for _ in range(bins)]
+    ordered = sorted(groups, key=lambda g: (-g.adr_size, g.seed))
+    total = sum(g.adr_size for g in ordered) or 1
+    for group in ordered:
+        size = max(1, len(group.members))
+
+        def score(b: int) -> Tuple[float, int]:
+            new = len(set(group.members) - held[b])
+            balance = (loads[b] + group.adr_size) / total
+            return (balance + communication_weight * new / size, b)
+
+        target = min(range(bins), key=score)
+        buckets[target].append(group)
+        loads[target] += group.adr_size
+        held[target] |= set(group.members)
+    return _finalize([tuple(b) for b in buckets if b])
+
+
+def merge_groups(
+    groups: Sequence[IndependentGroup],
+    num_reducers: int,
+    strategy: str = "computation",
+) -> List[ReducerGroup]:
+    """Dispatch on merging strategy ('computation' is the paper's pick)."""
+    if strategy == "computation":
+        return merge_groups_computation(groups, num_reducers)
+    if strategy == "communication":
+        return merge_groups_communication(groups, num_reducers)
+    if strategy == "balanced":
+        return merge_groups_balanced(groups, num_reducers)
+    raise ValidationError(
+        f"unknown merge strategy {strategy!r}; "
+        "expected 'computation', 'communication', or 'balanced'"
+    )
+
+
+def _finalize(clusters: Sequence[Tuple[IndependentGroup, ...]]) -> List[ReducerGroup]:
+    """Build ReducerGroups: union partitions + responsibility designation.
+
+    Responsibility (Section 5.4.2): for every partition replicated
+    across groups, the group ``{pm} ∪ pm.ADR`` with the minimal
+    |pm.ADR| is designated (tie-break: smallest seed), so the busiest
+    reducers are not further burdened; that group's reducer alone
+    outputs the partition's local skyline.
+    """
+    # partition -> designated original group (min adr_size, then seed)
+    designated: Dict[int, IndependentGroup] = {}
+    for cluster in clusters:
+        for group in cluster:
+            for p in group.members:
+                cur = designated.get(p)
+                if cur is None or (group.adr_size, group.seed) < (
+                    cur.adr_size,
+                    cur.seed,
+                ):
+                    designated[p] = group
+    # original group -> reducer group id
+    owner: Dict[int, int] = {}
+    for gid, cluster in enumerate(clusters):
+        for group in cluster:
+            owner[group.seed] = gid
+    out: List[ReducerGroup] = []
+    for gid, cluster in enumerate(clusters):
+        partitions = sorted({p for g in cluster for p in g.members})
+        responsible = sorted(
+            p for p in partitions if owner[designated[p].seed] == gid
+        )
+        out.append(
+            ReducerGroup(
+                group_id=gid,
+                groups=cluster,
+                partitions=tuple(partitions),
+                responsible=tuple(responsible),
+            )
+        )
+    return out

@@ -1,0 +1,152 @@
+"""Partition dominance, dominating/anti-dominating regions.
+
+Paper Definitions 2-4 and 6, in the coordinate formulation that the
+half-open cell geometry makes exact (see DESIGN.md Section 4):
+
+* ``pi`` dominates ``pj``  ⇔  coords(pi) <  coords(pj) strictly on
+  *every* axis (then every tuple of pi dominates every tuple of pj —
+  Lemma 1).
+* ``pj ∈ pi.ADR``  ⇔  coords(pj) ≤ coords(pi) on every axis and
+  ``pj ≠ pi`` (only such partitions can hold tuples dominating tuples
+  of pi).
+
+Both match the paper's worked examples: in Figure 2's 3x3 grid,
+``p4.DR = {p8}`` and ``p4.ADR = {p0, p1, p3}``, and |ADR| equals
+Equation 6's ``∏ coords − 1`` with 1-based coordinates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.grid.grid import Grid
+
+
+def partition_dominates(grid: Grid, i: int, j: int) -> bool:
+    """Definition 2: does partition ``i`` dominate partition ``j``?"""
+    ci = grid.coords_of(i)
+    cj = grid.coords_of(j)
+    return all(a < b for a, b in zip(ci, cj))
+
+
+def in_anti_dominating_region(grid: Grid, member: int, of: int) -> bool:
+    """Definition 4: is ``member`` in partition ``of``'s ADR?"""
+    if member == of:
+        return False
+    cm = grid.coords_of(member)
+    co = grid.coords_of(of)
+    return all(a <= b for a, b in zip(cm, co))
+
+
+def dominating_region(grid: Grid, index: int) -> Iterator[int]:
+    """Definition 3: indices of partitions dominated by ``index``.
+
+    These are the cells strictly greater on every axis; yielded in
+    ascending index order.
+    """
+    coords = grid.coords_of(index)
+    ranges = [range(c + 1, grid.n) for c in coords]
+    for combo in itertools.product(*reversed(ranges)):
+        yield grid.index_of(tuple(reversed(combo)))
+
+
+def anti_dominating_region(grid: Grid, index: int) -> Iterator[int]:
+    """Definition 4: indices of partitions in ``index``'s ADR.
+
+    Cells less-or-equal on every axis, excluding the partition itself;
+    yielded in ascending index order.
+    """
+    coords = grid.coords_of(index)
+    ranges = [range(0, c + 1) for c in coords]
+    for combo in itertools.product(*reversed(ranges)):
+        candidate = tuple(reversed(combo))
+        if candidate != coords:
+            yield grid.index_of(candidate)
+
+
+def adr_size(grid: Grid, index: int) -> int:
+    """|ADR| without enumeration: ∏(coord_k + 1) − 1 (Equation 6 with
+    1-based coordinates)."""
+    coords = grid.coords_of(index)
+    size = 1
+    for c in coords:
+        size *= c + 1
+    return size - 1
+
+
+def dr_size(grid: Grid, index: int) -> int:
+    """|DR| without enumeration: ∏(n − 1 − coord_k)."""
+    coords = grid.coords_of(index)
+    size = 1
+    for c in coords:
+        size *= grid.n - 1 - c
+    return size
+
+
+def strictly_dominated_mask(grid: Grid, occupied: np.ndarray) -> np.ndarray:
+    """For every cell: is it dominated by some *occupied* cell?
+
+    Vectorised over the whole grid: a cell ``c`` is dominated iff some
+    occupied cell is ≤ ``c − (1,…,1)`` componentwise. A running
+    cumulative-OR along each axis gives "occupied anywhere ≤ here";
+    shifting that tensor by +1 on every axis yields the strict test.
+    O(d · n^d) instead of O(n^d · n^d).
+    """
+    occupied = np.asarray(occupied, dtype=bool).ravel()
+    if occupied.shape[0] != grid.num_partitions:
+        raise ValueError(
+            f"occupancy vector has {occupied.shape[0]} cells, "
+            f"grid has {grid.num_partitions}"
+        )
+    tensor = occupied.reshape(grid.shape(), order="F")
+    cum = tensor.copy()
+    for axis in range(grid.d):
+        np.logical_or.accumulate(cum, axis=axis, out=cum)
+    dominated = np.zeros_like(tensor)
+    inner = tuple(slice(1, None) for _ in range(grid.d))
+    shifted = tuple(slice(0, -1) for _ in range(grid.d))
+    dominated[inner] = cum[shifted]
+    return dominated.reshape(-1, order="F")
+
+
+def weakly_covered_mask(grid: Grid, occupied: np.ndarray) -> np.ndarray:
+    """For every cell: does some occupied cell lie ≤ it componentwise?
+
+    (Includes the cell itself.) Used to find maximum partitions: an
+    occupied cell ``p`` is *maximum* (Definition 6) iff no other
+    occupied cell is ≥ it componentwise.
+    """
+    occupied = np.asarray(occupied, dtype=bool).ravel()
+    tensor = occupied.reshape(grid.shape(), order="F")
+    cum = tensor.copy()
+    for axis in range(grid.d):
+        np.logical_or.accumulate(cum, axis=axis, out=cum)
+    return cum.reshape(-1, order="F")
+
+
+def maximum_partitions(grid: Grid, occupied: np.ndarray) -> np.ndarray:
+    """Indices of maximum partitions (Definition 6) among ``occupied``.
+
+    A non-empty partition ``pm`` is maximum iff it is in no partition's
+    ADR, i.e. no *other* occupied cell has coordinates ≥ pm's on every
+    axis. Checked directly on the (usually small) occupied set.
+    """
+    occupied = np.asarray(occupied, dtype=bool).ravel()
+    if occupied.shape[0] != grid.num_partitions:
+        raise ValueError(
+            f"occupancy vector has {occupied.shape[0]} cells, "
+            f"grid has {grid.num_partitions}"
+        )
+    candidates = np.flatnonzero(occupied)
+    coords = grid.coords_array()
+    occupied_coords = coords[candidates]
+    result = []
+    for idx in candidates:
+        geq = (occupied_coords >= coords[idx]).all(axis=1)
+        # exactly one componentwise-≥ occupied cell (itself) -> maximum
+        if int(geq.sum()) == 1:
+            result.append(int(idx))
+    return np.asarray(result, dtype=np.int64)

@@ -1,0 +1,73 @@
+"""A from-scratch MapReduce runtime (the Hadoop substitution).
+
+Programming model per the paper's Section 2.1: Map(k1, v1) ->
+list(k2, v2); Reduce(k2, list(v2)) -> list(k3, v3); job chaining; a
+Distributed Cache broadcast to all tasks. Execution engines measure
+per-task durations; :class:`SimulatedCluster` converts them into the
+cluster makespans the benchmarks report.
+"""
+
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cluster import (
+    MINI_CLUSTER,
+    PAPER_CLUSTER,
+    SimulatedCluster,
+    schedule_makespan,
+)
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.io import csv_splits, npy_splits
+from repro.mapreduce.job import JobResult, MapReduceJob
+from repro.mapreduce.metrics import JobStats, PipelineStats, TaskStats
+from repro.mapreduce.parallel import ThreadPoolEngine
+from repro.mapreduce.partitioners import (
+    direct_partitioner,
+    hash_partitioner,
+    single_partitioner,
+)
+from repro.mapreduce.pipeline import ChainResult, JobChain
+from repro.mapreduce.sizes import payload_size
+from repro.mapreduce.splits import contiguous_splits, kv_splits, round_robin_splits
+from repro.mapreduce.types import (
+    IdentityMapper,
+    IdentityReducer,
+    InputSplit,
+    Mapper,
+    Reducer,
+    TaskContext,
+    TaskId,
+)
+
+__all__ = [
+    "ChainResult",
+    "Counters",
+    "DistributedCache",
+    "IdentityMapper",
+    "IdentityReducer",
+    "InputSplit",
+    "JobChain",
+    "JobResult",
+    "JobStats",
+    "MINI_CLUSTER",
+    "MapReduceJob",
+    "Mapper",
+    "PAPER_CLUSTER",
+    "PipelineStats",
+    "Reducer",
+    "SerialEngine",
+    "SimulatedCluster",
+    "TaskContext",
+    "TaskId",
+    "TaskStats",
+    "ThreadPoolEngine",
+    "contiguous_splits",
+    "csv_splits",
+    "direct_partitioner",
+    "hash_partitioner",
+    "kv_splits",
+    "npy_splits",
+    "payload_size",
+    "round_robin_splits",
+    "schedule_makespan",
+    "single_partitioner",
+]

@@ -1,0 +1,56 @@
+"""A Distributed-Cache equivalent (paper Section 2.1).
+
+"When a MapReduce job starts, data written to the Distributed Cache is
+transferred to all nodes, making it accessible in the Map and Reduce
+functions. This paper assumes that the Distributed Cache, or something
+similar, is available."
+
+The cache is write-once at job-build time and read-only inside tasks.
+Its total payload size is charged to the job's broadcast traffic by the
+cluster model (it is replicated to every node, as in Hadoop).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping
+
+from repro.errors import ValidationError
+from repro.mapreduce.sizes import payload_size
+
+
+class DistributedCache:
+    """Immutable broadcast key-value store for one job."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[str, Any] = None):
+        self._data: Dict[str, Any] = dict(data or {})
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._data[key]
+        except KeyError:
+            raise ValidationError(
+                f"distributed cache has no entry {key!r}; "
+                f"available: {sorted(self._data)}"
+            ) from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def payload_bytes(self) -> int:
+        """Approximate bytes broadcast to each node."""
+        return sum(payload_size(v) for v in self._data.values())
+
+    @classmethod
+    def empty(cls) -> "DistributedCache":
+        return cls({})

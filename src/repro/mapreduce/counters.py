@@ -1,0 +1,72 @@
+"""Hierarchical job counters (the Hadoop counter facility).
+
+Counter names are dotted strings, e.g. ``skyline.partition_compares``.
+The Figure 11 reproduction reads the per-task maxima of
+``skyline.partition_compares`` to obtain "the mapper and the reducer
+that have the highest number of comparisons".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping
+
+from repro.errors import ValidationError
+
+
+class Counters:
+    """A mergeable bag of named monotonic integer counters."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, initial: Mapping[str, int] = None):
+        self._values: Dict[str, int] = dict(initial or {})
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        if not name:
+            raise ValidationError("counter name must be non-empty")
+        self._values[name] = self._values.get(name, 0) + int(amount)
+
+    def __getitem__(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self._values[name] = self._values.get(name, 0) + value
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def group(self, prefix: str) -> Dict[str, int]:
+        """All counters under a dotted prefix, prefix stripped."""
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return {
+            name[len(dotted):]: value
+            for name, value in self._values.items()
+            if name.startswith(dotted)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"
+
+
+#: Canonical counter names used across the library.
+RECORDS_IN = "mr.records_in"
+RECORDS_OUT = "mr.records_out"
+SHUFFLE_BYTES = "mr.shuffle_bytes"
+PARTITION_COMPARES = "skyline.partition_compares"
+TUPLE_COMPARES = "skyline.tuple_compares"
+TUPLES_PRUNED_BY_BITSTRING = "skyline.tuples_pruned_by_bitstring"
+LOCAL_SKYLINE_SIZE = "skyline.local_skyline_size"

@@ -1,0 +1,181 @@
+"""The serial (deterministic) MapReduce engine.
+
+Executes a :class:`~repro.mapreduce.job.MapReduceJob` exactly as Hadoop
+would — map, optional combine, partition, shuffle/sort/group, reduce —
+but one task at a time, timing every task. Parallelism is *modelled*,
+not exercised: the cluster model turns per-task durations into a
+makespan (see :mod:`repro.mapreduce.cluster`), while
+:class:`~repro.mapreduce.parallel.ThreadPoolEngine` offers genuinely
+concurrent execution with identical semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+from repro.errors import TaskFailedError, ValidationError
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.job import JobResult, MapReduceJob
+from repro.mapreduce.metrics import JobStats, TaskStats
+from repro.mapreduce.sizes import payload_size
+from repro.mapreduce.types import KeyValue, TaskContext, TaskId
+
+
+def _sorted_keys(keys) -> List:
+    """Sort keys; fall back to repr order for mixed/unsortable keys."""
+    keys = list(keys)
+    try:
+        return sorted(keys)
+    except TypeError:
+        return sorted(keys, key=repr)
+
+
+def _group_by_key(pairs: List[KeyValue], sort: bool) -> "OrderedDict":
+    grouped: Dict = OrderedDict()
+    for key, value in pairs:
+        grouped.setdefault(key, []).append(value)
+    if not sort:
+        return grouped
+    ordered = OrderedDict()
+    for key in _sorted_keys(grouped.keys()):
+        ordered[key] = grouped[key]
+    return ordered
+
+
+class SerialEngine:
+    """Run jobs one task at a time with exact per-task accounting.
+
+    ``max_attempts`` reproduces Hadoop's task-retry fault tolerance
+    (the paper's Section 1 motivation for MapReduce: "scalability and
+    fault-tolerance"): a failing task is re-run from scratch with a
+    fresh mapper/reducer instance and a fresh context, up to the limit;
+    only then does the job fail. Hadoop's default is 4 attempts.
+    """
+
+    def __init__(self, max_attempts: int = 1):
+        if max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.max_attempts = max_attempts
+
+    def _attempt(self, task_id: TaskId, run_once):
+        """Run ``run_once`` with retry; returns its (ctx, ...) result."""
+        last_error = None
+        for attempt in range(self.max_attempts):
+            try:
+                return run_once(attempt)
+            except Exception as exc:
+                last_error = exc
+        raise TaskFailedError(str(task_id), last_error) from last_error
+
+    def run(self, job: MapReduceJob) -> JobResult:
+        job.validate()
+        stats = JobStats(job_name=job.name)
+        stats.broadcast_bytes = job.cache.payload_bytes()
+
+        # -- map phase (+ optional combine) -----------------------------
+        map_outputs: List[List[KeyValue]] = []
+        for split in job.splits:
+            task_id = TaskId("map", split.split_id)
+
+            def run_map(attempt, split=split, task_id=task_id):
+                ctx = TaskContext(task_id, job.num_reducers, job.cache)
+                mapper = job.mapper_factory()
+                records_in = 0
+                started = time.perf_counter()
+                mapper.setup(ctx)
+                for key, value in split:
+                    records_in += 1
+                    mapper.map(key, value, ctx)
+                mapper.cleanup(ctx)
+                output = ctx.output
+                if job.combiner_factory is not None:
+                    output = self._combine(job, split.split_id, ctx, output)
+                duration = time.perf_counter() - started
+                return ctx, output, records_in, duration
+
+            ctx, output, records_in, duration = self._attempt(task_id, run_map)
+            bytes_out = sum(
+                payload_size(k) + payload_size(v) for k, v in output
+            )
+            ctx.counters.inc(counter_names.RECORDS_IN, records_in)
+            ctx.counters.inc(counter_names.RECORDS_OUT, len(output))
+            stats.map_tasks.append(
+                TaskStats(
+                    task_id=task_id,
+                    duration_s=duration,
+                    records_in=records_in,
+                    records_out=len(output),
+                    bytes_out=bytes_out,
+                    counters=ctx.counters,
+                )
+            )
+            stats.counters.merge(ctx.counters)
+            map_outputs.append(output)
+            stats.shuffle_bytes += bytes_out
+
+        # -- shuffle: partition map output to reducers -------------------
+        buckets: List[List[KeyValue]] = [[] for _ in range(job.num_reducers)]
+        for output in map_outputs:
+            for key, value in output:
+                buckets[job.partitioner(key, job.num_reducers)].append((key, value))
+
+        # -- reduce phase -------------------------------------------------
+        reducer_outputs: List[List[KeyValue]] = []
+        for r in range(job.num_reducers):
+            task_id = TaskId("reduce", r)
+
+            def run_reduce(attempt, r=r, task_id=task_id):
+                ctx = TaskContext(task_id, job.num_reducers, job.cache)
+                reducer = job.reducer_factory()
+                grouped = _group_by_key(buckets[r], job.sort_keys)
+                started = time.perf_counter()
+                reducer.setup(ctx)
+                for key, values in grouped.items():
+                    reducer.reduce(key, values, ctx)
+                reducer.cleanup(ctx)
+                return ctx, time.perf_counter() - started
+
+            ctx, duration = self._attempt(task_id, run_reduce)
+            records_in = len(buckets[r])
+            output = ctx.output
+            bytes_out = sum(payload_size(k) + payload_size(v) for k, v in output)
+            ctx.counters.inc(counter_names.RECORDS_IN, records_in)
+            ctx.counters.inc(counter_names.RECORDS_OUT, len(output))
+            stats.reduce_tasks.append(
+                TaskStats(
+                    task_id=task_id,
+                    duration_s=duration,
+                    records_in=records_in,
+                    records_out=len(output),
+                    bytes_out=bytes_out,
+                    counters=ctx.counters,
+                )
+            )
+            stats.counters.merge(ctx.counters)
+            reducer_outputs.append(output)
+
+        stats.counters.inc(counter_names.SHUFFLE_BYTES, stats.shuffle_bytes)
+        return JobResult(job_name=job.name, reducer_outputs=reducer_outputs, stats=stats)
+
+    def _combine(
+        self,
+        job: MapReduceJob,
+        split_id: int,
+        map_ctx: TaskContext,
+        output: List[KeyValue],
+    ) -> List[KeyValue]:
+        """Run the combiner over one mapper's output, in the map task."""
+        combine_ctx = TaskContext(
+            TaskId("combine", split_id), job.num_reducers, job.cache
+        )
+        combiner = job.combiner_factory()
+        combiner.setup(combine_ctx)
+        for key, values in _group_by_key(output, job.sort_keys).items():
+            combiner.reduce(key, values, combine_ctx)
+        combiner.cleanup(combine_ctx)
+        map_ctx.counters.merge(combine_ctx.counters)
+        return combine_ctx.output

@@ -1,0 +1,100 @@
+"""MapReduce job specification.
+
+A :class:`MapReduceJob` is a declarative bundle: input splits, mapper
+and reducer factories, an optional combiner, a shuffle partitioner, the
+number of reducers, and a distributed cache. Engines (serial or
+thread-pool) execute the spec; the spec itself never runs anything.
+
+Factories (not instances) are required because every task must get a
+fresh, state-free mapper/reducer object — the same discipline Hadoop
+enforces by instantiating user classes per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import JobValidationError
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.partitioners import Partitioner, hash_partitioner
+from repro.mapreduce.types import InputSplit, Mapper, Reducer
+
+
+@dataclass
+class MapReduceJob:
+    """Specification of a single MapReduce job."""
+
+    name: str
+    splits: Sequence[InputSplit]
+    mapper_factory: Callable[[], Mapper]
+    reducer_factory: Callable[[], Reducer]
+    num_reducers: int = 1
+    partitioner: Partitioner = hash_partitioner
+    combiner_factory: Optional[Callable[[], Reducer]] = None
+    cache: DistributedCache = field(default_factory=DistributedCache)
+    sort_keys: bool = True
+
+    def validate(self) -> None:
+        if not self.name:
+            raise JobValidationError("job name must be non-empty")
+        if self.num_reducers < 1:
+            raise JobValidationError(
+                f"num_reducers must be >= 1, got {self.num_reducers}"
+            )
+        if not callable(self.mapper_factory):
+            raise JobValidationError("mapper_factory must be callable")
+        if not callable(self.reducer_factory):
+            raise JobValidationError("reducer_factory must be callable")
+        if self.combiner_factory is not None and not callable(self.combiner_factory):
+            raise JobValidationError("combiner_factory must be callable or None")
+        if not callable(self.partitioner):
+            raise JobValidationError("partitioner must be callable")
+        if len(list(self.splits)) == 0:
+            raise JobValidationError("job needs at least one input split")
+        probe_map = self.mapper_factory()
+        if not isinstance(probe_map, Mapper):
+            raise JobValidationError(
+                f"mapper_factory produced {type(probe_map).__name__}, "
+                "expected a Mapper"
+            )
+        probe_red = self.reducer_factory()
+        if not isinstance(probe_red, Reducer):
+            raise JobValidationError(
+                f"reducer_factory produced {type(probe_red).__name__}, "
+                "expected a Reducer"
+            )
+
+    @property
+    def num_mappers(self) -> int:
+        return len(list(self.splits))
+
+
+@dataclass
+class JobResult:
+    """Output of one executed job: per-reducer key-value lists + stats."""
+
+    job_name: str
+    reducer_outputs: List[List]  # one list of (k, v) per reducer
+    stats: "JobStats"
+
+    def all_pairs(self) -> List:
+        out = []
+        for chunk in self.reducer_outputs:
+            out.extend(chunk)
+        return out
+
+    def all_values(self) -> List:
+        return [v for _, v in self.all_pairs()]
+
+    def single_value(self):
+        """Convenience for jobs that emit exactly one pair overall."""
+        pairs = self.all_pairs()
+        if len(pairs) != 1:
+            raise JobValidationError(
+                f"expected exactly one output pair, got {len(pairs)}"
+            )
+        return pairs[0][1]
+
+
+from repro.mapreduce.metrics import JobStats  # noqa: E402  (dataclass ref)

@@ -1,0 +1,107 @@
+"""Per-task and per-job execution statistics.
+
+Captured by the engines, consumed by the cluster makespan model and the
+Figure-11 measurements (which need the per-task *maxima* of the
+partition-comparison counter, not the sums).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.types import TaskId
+
+
+@dataclass
+class TaskStats:
+    """One task's execution record."""
+
+    task_id: TaskId
+    duration_s: float
+    records_in: int
+    records_out: int
+    bytes_out: int
+    counters: Counters = field(default_factory=Counters)
+
+
+@dataclass
+class JobStats:
+    """Aggregated statistics of one MapReduce job."""
+
+    job_name: str
+    map_tasks: List[TaskStats] = field(default_factory=list)
+    reduce_tasks: List[TaskStats] = field(default_factory=list)
+    shuffle_bytes: int = 0
+    broadcast_bytes: int = 0
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def num_map_tasks(self) -> int:
+        return len(self.map_tasks)
+
+    @property
+    def num_reduce_tasks(self) -> int:
+        return len(self.reduce_tasks)
+
+    def map_durations(self) -> List[float]:
+        return [t.duration_s for t in self.map_tasks]
+
+    def reduce_durations(self) -> List[float]:
+        return [t.duration_s for t in self.reduce_tasks]
+
+    def total_cpu_s(self) -> float:
+        return sum(self.map_durations()) + sum(self.reduce_durations())
+
+    def max_task_counter(self, kind: str, name: str) -> int:
+        """Maximum of counter ``name`` over tasks of ``kind``.
+
+        Figure 11 plots exactly this: "the numbers from the real
+        executions are recorded for the mapper and the reducer that have
+        the highest number of comparisons".
+        """
+        tasks = self.map_tasks if kind == "map" else self.reduce_tasks
+        if not tasks:
+            return 0
+        return max(t.counters[name] for t in tasks)
+
+    def sum_task_counter(self, kind: str, name: str) -> int:
+        tasks = self.map_tasks if kind == "map" else self.reduce_tasks
+        return sum(t.counters[name] for t in tasks)
+
+
+@dataclass
+class PipelineStats:
+    """Statistics of a chain of jobs (e.g. bitstring job -> skyline job)."""
+
+    jobs: List[JobStats] = field(default_factory=list)
+    wall_s: float = 0.0
+    simulated_s: Optional[float] = None
+
+    def job(self, name: str) -> JobStats:
+        for stats in self.jobs:
+            if stats.job_name == name:
+                return stats
+        raise KeyError(f"no job named {name!r} in pipeline")
+
+    def counters(self) -> Counters:
+        merged = Counters()
+        for stats in self.jobs:
+            merged.merge(stats.counters)
+        return merged
+
+    def total_shuffle_bytes(self) -> int:
+        return sum(stats.shuffle_bytes for stats in self.jobs)
+
+    def total_cpu_s(self) -> float:
+        return sum(stats.total_cpu_s() for stats in self.jobs)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "jobs": len(self.jobs),
+            "wall_s": self.wall_s,
+            "simulated_s": self.simulated_s if self.simulated_s is not None else -1.0,
+            "cpu_s": self.total_cpu_s(),
+            "shuffle_bytes": self.total_shuffle_bytes(),
+        }

@@ -1,0 +1,48 @@
+"""Shuffle partitioners: map-output key -> reducer index.
+
+MR-GPMRS routes whole independent groups to reducers by keying them
+with the reducer index directly (Algorithm 8 line 18's
+``Output(i % r + 1, ...)``), so a :func:`direct_partitioner` is provided
+alongside the default hash partitioner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable
+
+from repro.errors import ValidationError
+
+Partitioner = Callable[[Any, int], int]
+
+
+def _stable_hash(key: Any) -> int:
+    """Deterministic across processes (unlike builtin ``hash`` on str)."""
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def hash_partitioner(key: Any, num_reducers: int) -> int:
+    """Hadoop's default: stable hash of the key modulo reducers."""
+    if num_reducers < 1:
+        raise ValidationError(f"num_reducers must be >= 1, got {num_reducers}")
+    if isinstance(key, (int, bool)):
+        return int(key) % num_reducers
+    return _stable_hash(key) % num_reducers
+
+
+def direct_partitioner(key: Any, num_reducers: int) -> int:
+    """The key *is* the reducer index (must be an int in range)."""
+    if num_reducers < 1:
+        raise ValidationError(f"num_reducers must be >= 1, got {num_reducers}")
+    index = int(key)
+    if not 0 <= index < num_reducers:
+        raise ValidationError(
+            f"direct partitioner key {key!r} outside [0, {num_reducers})"
+        )
+    return index
+
+
+def single_partitioner(key: Any, num_reducers: int) -> int:
+    """Everything to reducer 0 (the single-reducer algorithms)."""
+    return 0

@@ -1,0 +1,64 @@
+"""Running chains of MapReduce jobs.
+
+"Several MapReduce jobs can be chained together, later phases being
+able to refine and/or use the results from earlier phases"
+(paper Section 2.1). Both proposed algorithms are two-job chains:
+bitstring generation, then skyline computation with the bitstring in
+the distributed cache.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.job import JobResult, MapReduceJob
+from repro.mapreduce.metrics import PipelineStats
+
+
+class JobChain:
+    """Execute jobs sequentially, collecting pipeline statistics.
+
+    Jobs are supplied lazily (each stage is a callable receiving the
+    previous :class:`JobResult`, or ``None`` for the first), because
+    later jobs typically embed earlier outputs in their distributed
+    cache.
+    """
+
+    def __init__(self, engine=None, cluster: Optional[SimulatedCluster] = None):
+        self.engine = engine or SerialEngine()
+        self.cluster = cluster
+
+    def run(
+        self, stages: Sequence[Callable[[Optional[JobResult]], MapReduceJob]]
+    ) -> "ChainResult":
+        results: List[JobResult] = []
+        stats = PipelineStats()
+        started = time.perf_counter()
+        previous: Optional[JobResult] = None
+        for stage in stages:
+            job = stage(previous)
+            result = self.engine.run(job)
+            results.append(result)
+            stats.jobs.append(result.stats)
+            previous = result
+        stats.wall_s = time.perf_counter() - started
+        if self.cluster is not None:
+            self.cluster.annotate(stats)
+        return ChainResult(results=results, stats=stats)
+
+
+class ChainResult:
+    """All job results of a chain plus the aggregated statistics."""
+
+    __slots__ = ("results", "stats")
+
+    def __init__(self, results: List[JobResult], stats: PipelineStats):
+        self.results = results
+        self.stats = stats
+
+    @property
+    def final(self) -> JobResult:
+        return self.results[-1]

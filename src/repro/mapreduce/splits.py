@@ -1,0 +1,79 @@
+"""Input splitting: sharing a dataset among mappers.
+
+The paper divides R into disjoint subsets R1..Rm, one per mapper —
+Hadoop does this by HDFS block. For an in-memory NumPy dataset we cut
+contiguous row ranges (``contiguous_splits``) or deal rows round-robin
+(``round_robin_splits``); records are ``(row_id, row_values)`` pairs so
+the algorithms can report skyline membership as row indices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.order import as_dataset
+from repro.errors import ValidationError
+from repro.mapreduce.types import InputSplit
+
+
+class ArrayRecords:
+    """Lazy (row_id, row) record view over a slice of a dataset."""
+
+    __slots__ = ("ids", "rows")
+
+    def __init__(self, ids: np.ndarray, rows: np.ndarray):
+        self.ids = ids
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield int(self.ids[i]), self.rows[i]
+
+
+def contiguous_splits(data, num_splits: int) -> List[InputSplit]:
+    """Cut the dataset into ``num_splits`` contiguous row ranges.
+
+    Ranges differ in size by at most one row. Splits beyond the row
+    count come back empty (a 3-row dataset on 8 mappers still creates
+    8 map tasks, as Hadoop would with tiny files).
+    """
+    arr = as_dataset(data)
+    if num_splits < 1:
+        raise ValidationError(f"num_splits must be >= 1, got {num_splits}")
+    n = arr.shape[0]
+    bounds = np.linspace(0, n, num_splits + 1).astype(np.int64)
+    splits = []
+    for s in range(num_splits):
+        lo, hi = int(bounds[s]), int(bounds[s + 1])
+        ids = np.arange(lo, hi, dtype=np.int64)
+        splits.append(InputSplit(split_id=s, records=ArrayRecords(ids, arr[lo:hi])))
+    return splits
+
+
+def round_robin_splits(data, num_splits: int) -> List[InputSplit]:
+    """Deal rows to splits round-robin (destroys input ordering skew)."""
+    arr = as_dataset(data)
+    if num_splits < 1:
+        raise ValidationError(f"num_splits must be >= 1, got {num_splits}")
+    splits = []
+    for s in range(num_splits):
+        ids = np.arange(s, arr.shape[0], num_splits, dtype=np.int64)
+        splits.append(InputSplit(split_id=s, records=ArrayRecords(ids, arr[ids])))
+    return splits
+
+
+def kv_splits(pairs: Sequence, num_splits: int) -> List[InputSplit]:
+    """Split an explicit list of (key, value) records contiguously."""
+    if num_splits < 1:
+        raise ValidationError(f"num_splits must be >= 1, got {num_splits}")
+    n = len(pairs)
+    bounds = np.linspace(0, n, num_splits + 1).astype(np.int64)
+    return [
+        InputSplit(split_id=s, records=list(pairs[int(bounds[s]):int(bounds[s + 1])]))
+        for s in range(num_splits)
+    ]

@@ -1,0 +1,156 @@
+"""Schedule reconstruction and ASCII Gantt rendering.
+
+The makespan model (``SimulatedCluster``) reduces a job to three
+numbers; this module exposes the schedule *behind* those numbers —
+which task ran on which slot, when — so users can see why a pipeline
+costs what it costs (and tests can pin the scheduler's behaviour).
+
+``build_schedule`` replays the same greedy least-loaded-slot policy as
+:func:`repro.mapreduce.cluster.schedule_makespan`, so the derived
+makespan is identical by construction (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.metrics import JobStats, TaskStats
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task's placement in the simulated schedule."""
+
+    name: str
+    slot: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class PhaseSchedule:
+    """One phase (map wave, shuffle, reduce wave) of a job."""
+
+    phase: str  # 'map' | 'shuffle' | 'reduce'
+    start_s: float
+    end_s: float
+    tasks: List[ScheduledTask] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class JobSchedule:
+    """The full reconstructed schedule of one job."""
+
+    job_name: str
+    phases: List[PhaseSchedule]
+
+    @property
+    def makespan_s(self) -> float:
+        return self.phases[-1].end_s if self.phases else 0.0
+
+
+def _schedule_phase(
+    cluster: SimulatedCluster,
+    tasks: Sequence[TaskStats],
+    slots: int,
+    phase: str,
+    offset: float,
+) -> PhaseSchedule:
+    loads = [0.0] * max(1, min(slots, max(1, len(tasks))))
+    placed: List[ScheduledTask] = []
+    for task in tasks:
+        duration = cluster.task_duration(task)
+        slot = min(range(len(loads)), key=lambda s: loads[s])
+        start = offset + loads[slot]
+        placed.append(
+            ScheduledTask(
+                name=str(task.task_id),
+                slot=slot,
+                start_s=start,
+                end_s=start + duration,
+            )
+        )
+        loads[slot] += duration
+    end = offset + (max(loads) if tasks else 0.0)
+    return PhaseSchedule(phase=phase, start_s=offset, end_s=end, tasks=placed)
+
+
+def build_schedule(cluster: SimulatedCluster, stats: JobStats) -> JobSchedule:
+    """Reconstruct the schedule the makespan model implies."""
+    map_phase = _schedule_phase(
+        cluster, stats.map_tasks, cluster.map_slots, "map", 0.0
+    )
+    moved = stats.shuffle_bytes + stats.broadcast_bytes * cluster.num_nodes
+    shuffle_end = map_phase.end_s + moved / cluster.bandwidth_bytes_per_s
+    shuffle_phase = PhaseSchedule(
+        phase="shuffle", start_s=map_phase.end_s, end_s=shuffle_end
+    )
+    reduce_phase = _schedule_phase(
+        cluster, stats.reduce_tasks, cluster.reduce_slots, "reduce", shuffle_end
+    )
+    return JobSchedule(
+        job_name=stats.job_name,
+        phases=[map_phase, shuffle_phase, reduce_phase],
+    )
+
+
+def render_gantt(
+    schedule: JobSchedule, width: int = 64, min_label: int = 14
+) -> str:
+    """Plain-text Gantt chart of a job schedule.
+
+    One row per (phase, slot); ``#`` marks busy time. Proportional to
+    the makespan, so short tasks may render as a single cell.
+    """
+    if width < 8:
+        raise ValidationError(f"width must be >= 8, got {width}")
+    total = schedule.makespan_s
+    if total <= 0:
+        return f"{schedule.job_name}: empty schedule"
+
+    def col(t: float) -> int:
+        return min(width - 1, int(t / total * width))
+
+    lines = [
+        f"{schedule.job_name}: simulated makespan {total:.3f}s "
+        f"(1 col = {total / width:.4f}s)"
+    ]
+    for phase in schedule.phases:
+        if phase.phase == "shuffle":
+            row = [" "] * width
+            for i in range(col(phase.start_s), col(phase.end_s) + 1):
+                row[i] = "~"
+            lines.append(f"{'shuffle':>{min_label}s} |{''.join(row)}|")
+            continue
+        slots = sorted({t.slot for t in phase.tasks})
+        for slot in slots:
+            row = [" "] * width
+            for task in phase.tasks:
+                if task.slot != slot:
+                    continue
+                for i in range(col(task.start_s), col(task.end_s) + 1):
+                    row[i] = "#"
+            label = f"{phase.phase}-slot-{slot}"
+            lines.append(f"{label:>{min_label}s} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def render_pipeline_gantt(
+    cluster: SimulatedCluster, jobs: Sequence[JobStats], width: int = 64
+) -> str:
+    """Gantt charts for a chain of jobs, back to back."""
+    parts = []
+    for stats in jobs:
+        parts.append(render_gantt(build_schedule(cluster, stats), width))
+    return "\n\n".join(parts)

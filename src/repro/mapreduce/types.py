@@ -1,0 +1,121 @@
+"""Foundational types of the MapReduce runtime.
+
+The runtime mirrors Hadoop's programming model (paper Section 2.1):
+``Map(k1, v1) -> list(k2, v2)`` and ``Reduce(k2, list(v2)) ->
+list(k3, v3)``, with setup/cleanup hooks, counters, and a read-only
+distributed cache available to every task through its
+:class:`TaskContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.mapreduce.counters import Counters
+
+KeyValue = Tuple[Any, Any]
+
+
+@dataclass(frozen=True)
+class TaskId:
+    """Identity of one map or reduce task within a job."""
+
+    kind: str  # 'map' | 'reduce' | 'combine'
+    index: int
+
+    def __post_init__(self):
+        if self.kind not in ("map", "reduce", "combine"):
+            raise ValidationError(f"unknown task kind {self.kind!r}")
+        if self.index < 0:
+            raise ValidationError(f"task index must be >= 0, got {self.index}")
+
+    def __str__(self) -> str:
+        return f"{self.kind}-{self.index:04d}"
+
+
+class TaskContext:
+    """What a running task sees: emit(), counters, the cache.
+
+    ``emit`` appends to the task's output buffer; the engine owns
+    shuffling and grouping. ``cache`` is the job's distributed cache
+    (read-only broadcast data, e.g. the global bitstring).
+    """
+
+    __slots__ = ("task_id", "num_reducers", "cache", "counters", "_output")
+
+    def __init__(self, task_id: TaskId, num_reducers: int, cache):
+        self.task_id = task_id
+        self.num_reducers = num_reducers
+        self.cache = cache
+        self.counters = Counters()
+        self._output: List[KeyValue] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        self._output.append((key, value))
+
+    @property
+    def output(self) -> List[KeyValue]:
+        return self._output
+
+
+class Mapper:
+    """Base mapper. Override :meth:`map`; optionally setup/cleanup.
+
+    ``cleanup`` exists because several of the paper's mappers (the
+    bitstring mapper of Algorithm 1, the skyline mappers of
+    Algorithms 3 and 8) accumulate over their whole split and emit only
+    once at the end — exactly how they are written for Hadoop.
+    """
+
+    def setup(self, ctx: TaskContext) -> None:
+        """Called once before the first record."""
+
+    def map(self, key: Any, value: Any, ctx: TaskContext) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, ctx: TaskContext) -> None:
+        """Called once after the last record."""
+
+
+class Reducer:
+    """Base reducer. Override :meth:`reduce`."""
+
+    def setup(self, ctx: TaskContext) -> None:
+        """Called once before the first key group."""
+
+    def reduce(self, key: Any, values: List[Any], ctx: TaskContext) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, ctx: TaskContext) -> None:
+        """Called once after the last key group."""
+
+
+class IdentityMapper(Mapper):
+    """Pass records through unchanged."""
+
+    def map(self, key, value, ctx):
+        ctx.emit(key, value)
+
+
+class IdentityReducer(Reducer):
+    """Emit every (key, value) pair unchanged."""
+
+    def reduce(self, key, values, ctx):
+        for value in values:
+            ctx.emit(key, value)
+
+
+@dataclass
+class InputSplit:
+    """One mapper's share of the input (an HDFS block, conceptually)."""
+
+    split_id: int
+    records: Sequence[KeyValue]
+
+    def __iter__(self) -> Iterator[KeyValue]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

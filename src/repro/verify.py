@@ -1,0 +1,92 @@
+"""Skyline result verification — public, vectorised, O(n·s).
+
+Checking a skyline answer is much cheaper than computing one:
+*soundness* (no reported tuple is dominated) costs one pass of the
+reported set against the data, and *completeness* (every unreported
+tuple is dominated by some reported one) costs one pass of the data
+against the reported set — both via the chunked dominance kernel.
+Examples and downstream users can assert any engine's output without
+touching the O(n²) oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.dominance import dominated_mask
+from repro.core.order import as_dataset, normalize
+from repro.errors import ValidationError
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a skyline verification."""
+
+    ok: bool
+    cardinality: int
+    reported: int
+    dominated_reported: List[int]  # soundness violations (row ids)
+    missing: List[int]  # completeness violations (row ids)
+
+    def raise_if_failed(self) -> None:
+        if self.ok:
+            return
+        parts = []
+        if self.dominated_reported:
+            parts.append(
+                f"{len(self.dominated_reported)} reported tuples are "
+                f"dominated (e.g. rows {self.dominated_reported[:5]})"
+            )
+        if self.missing:
+            parts.append(
+                f"{len(self.missing)} skyline tuples are missing "
+                f"(e.g. rows {self.missing[:5]})"
+            )
+        raise ValidationError("skyline verification failed: " + "; ".join(parts))
+
+
+def verify_skyline(
+    data,
+    indices,
+    prefs=None,
+    max_report: int = 32,
+) -> VerificationReport:
+    """Verify that ``indices`` is exactly the skyline of ``data``.
+
+    ``prefs`` matches :func:`repro.skyline`'s parameter (per-dimension
+    MIN/MAX). Duplicate semantics follow Definition 1: equal tuples do
+    not dominate each other, so *all* duplicates of a skyline point
+    must be reported.
+    """
+    arr = normalize(as_dataset(data), prefs)
+    n = arr.shape[0]
+    idx = np.asarray(indices, dtype=np.int64).ravel()
+    if idx.size != np.unique(idx).size:
+        raise ValidationError("reported indices contain duplicates")
+    if idx.size and (idx.min() < 0 or idx.max() >= n):
+        raise ValidationError("reported indices out of range")
+    reported_mask = np.zeros(n, dtype=bool)
+    reported_mask[idx] = True
+    reported_rows = arr[reported_mask]
+
+    # Soundness: nothing may dominate a reported tuple.
+    dominated = dominated_mask(reported_rows, arr)
+    bad = np.flatnonzero(reported_mask)[dominated][:max_report]
+
+    # Completeness: every unreported tuple must be dominated by the
+    # full dataset (equivalently: it is not a skyline member).
+    unreported_rows = arr[~reported_mask]
+    undominated = ~dominated_mask(unreported_rows, arr)
+    missing = np.flatnonzero(~reported_mask)[undominated][:max_report]
+
+    ok = bad.size == 0 and missing.size == 0
+    return VerificationReport(
+        ok=bool(ok),
+        cardinality=n,
+        reported=int(idx.size),
+        dominated_reported=bad.tolist(),
+        missing=missing.tolist(),
+    )

@@ -1,0 +1,49 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reference import bruteforce_skyline_indices
+from repro.data.generators import generate
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.engine import SerialEngine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def mini_cluster():
+    """A small cluster so tests schedule multiple waves."""
+    return SimulatedCluster(
+        num_nodes=3, reduce_slots_per_node=2, task_overhead_s=0.0
+    )
+
+
+@pytest.fixture
+def engine():
+    return SerialEngine()
+
+
+@pytest.fixture(params=["independent", "correlated", "anticorrelated", "clustered"])
+def distribution(request):
+    return request.param
+
+
+def oracle_ids(data) -> set:
+    """Brute-force skyline indices as a set (the correctness oracle)."""
+    return set(bruteforce_skyline_indices(np.asarray(data, dtype=np.float64)).tolist())
+
+
+def small_dataset(distribution: str, n: int = 200, d: int = 3, seed: int = 0):
+    return generate(distribution, n, d, seed=seed)
+
+
+# Re-exported helpers for test modules.
+@pytest.fixture
+def oracle():
+    return oracle_ids

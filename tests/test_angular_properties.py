@@ -1,0 +1,60 @@
+"""Property-based tests for angular partitioning and the work model."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms.mr_angle import (
+    angular_partition_ids,
+    hyperspherical_angles,
+    sectors_for_target,
+)
+
+
+def point_arrays(max_rows=30, max_dims=5):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, max_rows), st.integers(2, max_dims)),
+        elements=st.floats(0.0, 1.0, width=32),
+    )
+
+
+class TestAngularProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=point_arrays(), sectors=st.integers(1, 6))
+    def test_every_point_gets_a_partition(self, data, sectors):
+        ids = angular_partition_ids(data, np.zeros(data.shape[1]), sectors)
+        d = data.shape[1]
+        assert (ids >= 0).all()
+        assert (ids < sectors ** (d - 1)).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=point_arrays())
+    def test_angles_in_first_quadrant(self, data):
+        angles = hyperspherical_angles(data, np.zeros(data.shape[1]))
+        assert (angles >= -1e-12).all()
+        assert (angles <= np.pi / 2 + 1e-9).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=point_arrays(max_rows=10),
+        scale=st.floats(0.25, 8.0),
+        sectors=st.integers(1, 5),
+    )
+    def test_partition_scale_invariance(self, data, scale, sectors):
+        """Rays from the origin stay in one angular partition."""
+        assume(np.all(data > 1e-6))
+        a = angular_partition_ids(data, np.zeros(data.shape[1]), sectors)
+        b = angular_partition_ids(
+            data * scale, np.zeros(data.shape[1]), sectors
+        )
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(target=st.integers(1, 10_000), d=st.integers(2, 10))
+    def test_sectors_for_target_close(self, target, d):
+        q = sectors_for_target(target, d)
+        assert q >= 1
+        # q is the rounded (d-1)-th root: q-1 and q+1 bracket the target
+        assert (q - 1) ** (d - 1) <= target or q == 1

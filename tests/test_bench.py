@@ -1,0 +1,130 @@
+"""The bench harness and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    Cell,
+    Workload,
+    run_cell,
+    run_cells,
+    scaled_cardinality,
+    workload_data,
+)
+from repro.bench.reporting import format_cell, format_series, format_table, ratio
+from repro.errors import ValidationError
+from repro.mapreduce.cluster import SimulatedCluster
+
+
+@pytest.fixture
+def tiny_cluster():
+    return SimulatedCluster(num_nodes=2, task_overhead_s=0.0)
+
+
+class TestWorkload:
+    def test_materialise_deterministic(self):
+        w = Workload("independent", 50, 3, seed=1)
+        assert np.array_equal(w.materialise(), w.materialise())
+
+    def test_label(self):
+        assert (
+            Workload("independent", 50, 3).label() == "independent-c50-d3"
+        )
+
+    def test_cache_returns_same_array(self):
+        w = Workload("independent", 60, 2, seed=9)
+        assert workload_data(w) is workload_data(w)
+
+
+class TestRunCell:
+    def test_metrics_populated(self, tiny_cluster):
+        cell = Cell.make(Workload("independent", 200, 3, seed=2), "mr-gpsrs")
+        result = run_cell(cell, cluster=tiny_cluster)
+        assert result.runtime_s > 0
+        assert result.skyline_size > 0
+        assert result.wall_s > 0
+        assert not result.is_dnf
+
+    def test_bounds_injected_for_grid_algorithms(self, tiny_cluster):
+        cell = Cell.make(Workload("independent", 100, 2, seed=2), "mr-gpsrs")
+        result = run_cell(cell, cluster=tiny_cluster)
+        grid = result.artifacts["grid"]
+        assert grid.lows.tolist() == [0.0, 0.0]
+        assert grid.highs.tolist() == [1.0, 1.0]
+
+    def test_dnf_cells_skipped(self, tiny_cluster):
+        cell = Cell.make(
+            Workload("independent", 100, 2, seed=2), "mr-gpsrs", dnf=True
+        )
+        result = run_cell(cell, cluster=tiny_cluster)
+        assert result.is_dnf and result.runtime_s is None
+
+    def test_include_dnf_forces_run(self, tiny_cluster):
+        cell = Cell.make(
+            Workload("independent", 100, 2, seed=2), "mr-gpsrs", dnf=True
+        )
+        result = run_cell(cell, cluster=tiny_cluster, include_dnf=True)
+        assert not result.is_dnf
+
+    def test_options_forwarded(self, tiny_cluster):
+        cell = Cell.make(
+            Workload("independent", 100, 2, seed=2), "mr-gpsrs", ppd=5
+        )
+        result = run_cell(cell, cluster=tiny_cluster)
+        assert result.artifacts["grid"].n == 5
+
+    def test_partition_compare_maxima_collected(self, tiny_cluster):
+        cell = Cell.make(
+            Workload("anticorrelated", 300, 3, seed=2),
+            "mr-gpmrs",
+            num_reducers=3,
+            ppd=3,
+        )
+        result = run_cell(cell, cluster=tiny_cluster)
+        assert result.max_mapper_compares > 0
+
+    def test_run_cells_order_preserved(self, tiny_cluster):
+        w = Workload("independent", 80, 2, seed=2)
+        cells = [Cell.make(w, "mr-gpsrs"), Cell.make(w, "mr-bnl")]
+        results = run_cells(cells, cluster=tiny_cluster)
+        assert [r.cell.algorithm for r in results] == ["mr-gpsrs", "mr-bnl"]
+
+
+class TestScaledCardinality:
+    def test_scaling(self):
+        assert scaled_cardinality(100_000, 0.01) == 1000
+
+    def test_floor(self):
+        assert scaled_cardinality(100, 0.0001) == 64
+
+    def test_validates(self):
+        with pytest.raises(ValidationError):
+            scaled_cardinality(1000, 0)
+
+
+class TestReporting:
+    def test_format_cell_dnf(self):
+        assert format_cell(None).strip() == "DNF"
+        assert format_cell(1.23456).strip() == "1.235"
+        assert format_cell(7).strip() == "7"
+
+    def test_format_table(self):
+        text = format_table(
+            ["x", "y"], [[1, 2.0], [3, None]], title="T"
+        )
+        assert "T" in text and "DNF" in text
+        assert text.splitlines()[1].strip().startswith("x")
+
+    def test_format_series_layout(self):
+        text = format_series(
+            "dim", [2, 3], {"a": [1.0, 2.0], "b": [3.0, None]}
+        )
+        lines = text.splitlines()
+        assert "dim" in lines[0] and "a" in lines[0] and "b" in lines[0]
+        assert "DNF" in lines[-1]
+
+    def test_ratio(self):
+        assert ratio(4.0, 2.0) == 2.0
+        assert ratio(None, 2.0) is None
+        assert ratio(2.0, None) is None
+        assert ratio(2.0, 0.0) is None

@@ -1,0 +1,71 @@
+"""Bitmap skyline (Tan et al.) on rank-encoded data."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap import (
+    BitmapIndex,
+    bitmap_skyline_indices,
+    distinct_value_counts,
+)
+from repro.core.reference import bruteforce_skyline_indices
+from repro.errors import DataError
+
+
+def discrete(rng, n, d, levels=8):
+    return rng.integers(0, levels, (n, d)).astype(float)
+
+
+class TestBitmapIndex:
+    def test_ranks_are_dense_ascending(self):
+        data = np.array([[3.0], [1.0], [3.0], [2.0]])
+        index = BitmapIndex(data)
+        assert index.ranks[0].tolist() == [2, 0, 2, 1]
+        assert index.distinct_counts.tolist() == [3]
+
+    def test_le_and_lt_slices(self):
+        data = np.array([[1.0], [2.0], [3.0]])
+        index = BitmapIndex(data)
+        assert index.le_slice(0, 1).tolist() == [True, True, False]
+        assert index.lt_slice(0, 1).tolist() == [True, False, False]
+
+    def test_is_dominated(self):
+        data = np.array([[1.0, 1.0], [2.0, 2.0], [1.0, 2.0]])
+        index = BitmapIndex(data)
+        assert not index.is_dominated(0)
+        assert index.is_dominated(1)
+        assert index.is_dominated(2)
+
+    def test_requires_2d(self):
+        with pytest.raises(DataError):
+            BitmapIndex(np.zeros(4))
+
+
+class TestBitmapSkyline:
+    def test_matches_oracle_on_discrete_data(self, rng):
+        data = discrete(rng, 150, 3)
+        got = set(bitmap_skyline_indices(data).tolist())
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_matches_oracle_on_continuous_data(self, rng):
+        # Correct (if pointless) on continuous values too.
+        data = rng.random((60, 3))
+        got = set(bitmap_skyline_indices(data).tolist())
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_duplicates_kept(self):
+        data = np.array([[1.0, 1.0], [1.0, 1.0], [3.0, 0.0]])
+        assert sorted(bitmap_skyline_indices(data).tolist()) == [0, 1, 2]
+
+    def test_empty(self):
+        assert bitmap_skyline_indices(np.empty((0, 2))).shape == (0,)
+
+
+class TestDistinctCounts:
+    def test_counts(self):
+        data = np.array([[1.0, 5.0], [1.0, 6.0], [2.0, 5.0]])
+        assert distinct_value_counts(data).tolist() == [2, 2]
+
+    def test_requires_2d(self):
+        with pytest.raises(DataError):
+            distinct_value_counts(np.zeros(3))

@@ -1,0 +1,173 @@
+"""Bitstring representation, merging, and Equation-2 pruning.
+
+Pins the paper's running example: Figure 2's occupancy reads 011110100.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+
+
+@pytest.fixture
+def g33():
+    return Grid.unit(3, 2)
+
+
+def figure2_data():
+    """One point in each of Figure 2's non-empty cells {1, 2, 3, 4}...
+
+    The paper's figure marks cells 1, 2, 3, 4 and 6 as non-empty,
+    giving the bitstring 011110100.
+    """
+    g = Grid.unit(3, 2)
+    points = []
+    for cell in (1, 2, 3, 4, 6):
+        points.append(g.min_corner(cell) + g.widths / 2.0)
+    return np.vstack(points)
+
+
+class TestConstruction:
+    def test_paper_bitstring(self, g33):
+        bs = Bitstring.from_data(g33, figure2_data())
+        assert bs.to01() == "011110100"
+
+    def test_from_data_empty(self, g33):
+        bs = Bitstring.from_data(g33, np.empty((0, 2)))
+        assert not bs.any()
+
+    def test_duplicate_points_set_bit_once(self, g33):
+        data = np.array([[0.1, 0.1]] * 10)
+        bs = Bitstring.from_data(g33, data)
+        assert bs.count() == 1
+
+    def test_length_validated(self, g33):
+        with pytest.raises(GridError):
+            Bitstring(g33, np.zeros(5, dtype=bool))
+
+    def test_from01_roundtrip(self, g33):
+        bs = Bitstring.from01(g33, "011110100")
+        assert bs.to01() == "011110100"
+        with pytest.raises(GridError):
+            Bitstring.from01(g33, "01")
+
+
+class TestUnionAndBytes:
+    def test_union_is_bitwise_or(self, g33):
+        a = Bitstring.from01(g33, "100000000")
+        b = Bitstring.from01(g33, "000000001")
+        merged = Bitstring.union(g33, [a, b])
+        assert merged.to01() == "100000001"
+
+    def test_union_mirrors_split_data(self, g33, rng):
+        """Algorithm 2 lines 1-3: OR of split bitstrings equals the
+        bitstring of the whole dataset."""
+        data = rng.random((200, 2))
+        whole = Bitstring.from_data(g33, data)
+        parts = [
+            Bitstring.from_data(g33, chunk)
+            for chunk in np.array_split(data, 7)
+        ]
+        assert Bitstring.union(g33, parts) == whole
+
+    def test_union_grid_mismatch(self, g33):
+        other = Bitstring(Grid.unit(2, 2))
+        with pytest.raises(GridError):
+            Bitstring.union(g33, [other])
+
+    def test_bytes_roundtrip(self, g33):
+        bs = Bitstring.from01(g33, "011110100")
+        assert Bitstring.from_bytes(g33, bs.to_bytes()) == bs
+
+    def test_bytes_are_packed(self):
+        g = Grid.unit(2, 10)  # 1024 cells
+        assert len(Bitstring(g).to_bytes()) == 128
+
+
+class TestQueries:
+    def test_count_and_set_indices(self, g33):
+        bs = Bitstring.from01(g33, "011110100")
+        assert bs.count() == 5
+        assert bs.set_indices().tolist() == [1, 2, 3, 4, 6]
+
+    def test_getitem_setitem(self, g33):
+        bs = Bitstring(g33)
+        assert not bs[0]
+        bs[0] = True
+        assert bs[0]
+
+    def test_iter(self, g33):
+        bs = Bitstring.from01(g33, "100000000")
+        assert list(bs)[0] is True
+        assert sum(list(bs)) == 1
+
+    def test_copy_independent(self, g33):
+        bs = Bitstring.from01(g33, "100000000")
+        cp = bs.copy()
+        cp[0] = False
+        assert bs[0]
+
+    def test_unhashable(self, g33):
+        with pytest.raises(TypeError):
+            hash(Bitstring(g33))
+
+
+class TestPruning:
+    def test_figure2_pruning(self, g33):
+        """With {1,2,3,4,6} occupied: p1 (1,0) dominates nothing strictly
+        ... cell 4 (1,1)'s DR is {8} (empty anyway); no occupied cell
+        strictly dominates another occupied one except none -> pruning
+        keeps all of {1,2,3,4,6}? p4 is strictly dominated only by p0
+        (empty). Verify against the naive Algorithm 2 implementation."""
+        bs = Bitstring.from01(g33, "011110100")
+        assert bs.prune_dominated() == bs.prune_dominated_naive()
+
+    def test_corner_occupancy_prunes_interior(self, g33):
+        bs = Bitstring(g33)
+        for cell in (0, 4, 8):
+            bs[cell] = True
+        pruned = bs.prune_dominated()
+        # p0 dominates p4 and p8.
+        assert pruned.set_indices().tolist() == [0]
+
+    def test_pruning_matches_naive_random(self, g33, rng):
+        for _ in range(20):
+            bits = rng.random(9) < 0.5
+            bs = Bitstring(g33, bits)
+            assert bs.prune_dominated() == bs.prune_dominated_naive()
+
+    def test_pruning_matches_naive_3d(self, rng):
+        g = Grid.unit(3, 3)
+        for _ in range(10):
+            bits = rng.random(27) < 0.4
+            bs = Bitstring(g, bits)
+            assert bs.prune_dominated() == bs.prune_dominated_naive()
+
+    def test_pruning_never_removes_minimal_cells(self, rng):
+        """Equation 2 only clears cells whose tuples are all dominated."""
+        g = Grid.unit(4, 2)
+        bits = rng.random(16) < 0.6
+        bs = Bitstring(g, bits)
+        pruned = bs.prune_dominated()
+        # the best occupied cell (minimal index sum) must survive
+        occupied = bs.set_indices()
+        if occupied.size:
+            coords = g.coords_array()[occupied]
+            best = occupied[np.lexsort(coords.T[::-1])][0]
+            # find an occupied cell not strictly dominated by any other
+            from repro.grid.regions import partition_dominates
+
+            for p in occupied:
+                if not any(
+                    partition_dominates(g, int(q), int(p))
+                    for q in occupied
+                    if q != p
+                ):
+                    assert pruned[int(p)]
+
+    def test_idempotent(self, g33, rng):
+        bits = rng.random(9) < 0.5
+        pruned = Bitstring(g33, bits).prune_dominated()
+        assert pruned.prune_dominated() == pruned

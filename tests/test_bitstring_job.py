@@ -1,0 +1,134 @@
+"""The MapReduce bitstring jobs (Algorithms 1-2 and Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bitstring_job import (
+    extract_bitstring,
+    extract_ppd_choice,
+    make_adaptive_ppd_job,
+    make_bitstring_job,
+    make_bounds_job,
+)
+from repro.errors import AlgorithmError
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.splits import contiguous_splits
+
+
+@pytest.fixture
+def engine():
+    return SerialEngine()
+
+
+class TestBoundsJob:
+    def test_bounds_match_numpy(self, engine, rng):
+        data = rng.random((100, 3)) * 10 - 5
+        result = engine.run(make_bounds_job(contiguous_splits(data, 4)))
+        lows, highs = result.single_value()
+        assert np.allclose(lows, data.min(axis=0))
+        assert np.allclose(highs, data.max(axis=0))
+
+    def test_empty_splits_tolerated(self, engine, rng):
+        data = rng.random((3, 2))
+        result = engine.run(make_bounds_job(contiguous_splits(data, 8)))
+        lows, highs = result.single_value()
+        assert np.allclose(lows, data.min(axis=0))
+        assert np.allclose(highs, data.max(axis=0))
+
+
+class TestBitstringJob:
+    def test_matches_direct_construction(self, engine, rng):
+        data = rng.random((300, 2))
+        grid = Grid.unit(4, 2)
+        job = make_bitstring_job(contiguous_splits(data, 5), grid)
+        result = engine.run(job)
+        got = extract_bitstring(result, grid)
+        expect = Bitstring.from_data(grid, data).prune_dominated()
+        assert got == expect
+
+    def test_prune_flag_off_keeps_equation1(self, engine, rng):
+        data = rng.random((300, 2))
+        grid = Grid.unit(4, 2)
+        job = make_bitstring_job(contiguous_splits(data, 5), grid, prune=False)
+        got = extract_bitstring(engine.run(job), grid)
+        assert got == Bitstring.from_data(grid, data)
+
+    def test_mapper_count_does_not_change_result(self, engine, rng):
+        data = rng.random((200, 3))
+        grid = Grid.unit(3, 3)
+        results = []
+        for m in (1, 3, 9):
+            job = make_bitstring_job(contiguous_splits(data, m), grid)
+            results.append(extract_bitstring(engine.run(job), grid))
+        assert results[0] == results[1] == results[2]
+
+    def test_extract_requires_payload(self, engine, rng):
+        data = rng.random((10, 2))
+        grid = Grid.unit(2, 2)
+        result = engine.run(make_bounds_job(contiguous_splits(data, 1)))
+        with pytest.raises(AlgorithmError):
+            extract_bitstring(result, grid)
+
+    def test_shuffle_carries_packed_bitstrings(self, engine, rng):
+        """Each mapper ships ~n^d/8 bytes, as Hadoop would."""
+        data = rng.random((100, 2))
+        grid = Grid.unit(8, 2)  # 64 cells -> 8 bytes per mapper
+        job = make_bitstring_job(contiguous_splits(data, 4), grid)
+        result = engine.run(job)
+        assert result.stats.shuffle_bytes < 4 * (8 + 64)
+
+
+class TestAdaptivePPDJob:
+    def run_adaptive(self, engine, data, strategy="target", tpp=64):
+        d = data.shape[1]
+        bounds = (np.zeros(d), np.ones(d))
+        candidates = [2, 3, 4, 5]
+        job = make_adaptive_ppd_job(
+            contiguous_splits(data, 4),
+            bounds,
+            candidates,
+            data.shape[0],
+            strategy=strategy,
+            tpp=tpp,
+        )
+        return engine.run(job)
+
+    def test_choice_and_bitstring_consistent(self, engine, rng):
+        data = rng.random((400, 2))
+        result = self.run_adaptive(engine, data)
+        chosen, rho = extract_ppd_choice(result)
+        assert chosen in (2, 3, 4, 5)
+        assert set(rho) == {2, 3, 4, 5}
+        grid = Grid(chosen, np.zeros(2), np.ones(2))
+        got = extract_bitstring(result, grid)
+        expect = Bitstring.from_data(grid, data).prune_dominated()
+        assert got == expect
+
+    def test_rho_counts_nonempty_partitions(self, engine, rng):
+        data = rng.random((400, 2))
+        result = self.run_adaptive(engine, data)
+        _chosen, rho = extract_ppd_choice(result)
+        for j, count in rho.items():
+            grid = Grid(j, np.zeros(2), np.ones(2))
+            assert count == Bitstring.from_data(grid, data).count()
+
+    def test_target_tpp_drives_choice(self, engine, rng):
+        data = rng.random((500, 2))
+        fine = extract_ppd_choice(
+            self.run_adaptive(engine, data, tpp=20)
+        )[0]
+        coarse = extract_ppd_choice(
+            self.run_adaptive(engine, data, tpp=200)
+        )[0]
+        assert fine >= coarse
+
+    def test_extract_choice_requires_payload(self, engine, rng):
+        data = rng.random((10, 2))
+        grid = Grid.unit(2, 2)
+        result = engine.run(
+            make_bitstring_job(contiguous_splits(data, 1), grid)
+        )
+        with pytest.raises(AlgorithmError):
+            extract_ppd_choice(result)

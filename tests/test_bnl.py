@@ -1,0 +1,116 @@
+"""BNL: the paper's Algorithm 4 (InsertTuple) and the windowed pass."""
+
+import numpy as np
+import pytest
+
+from repro.core.bnl import BNLWindow, bnl_skyline_indices, insert_tuple
+from repro.core.dominance import DominanceCounter
+from repro.core.reference import bruteforce_skyline_indices
+from repro.errors import DataError
+
+
+class TestInsertTuple:
+    """Pin the pseudo-code behaviour of Algorithm 4."""
+
+    def test_insert_into_empty_window(self):
+        assert insert_tuple((1.0, 2.0), []) == [(1.0, 2.0)]
+
+    def test_dominated_tuple_rejected(self):
+        window = [(1.0, 1.0)]
+        assert insert_tuple((2.0, 2.0), window) == [(1.0, 1.0)]
+
+    def test_dominating_tuple_evicts(self):
+        window = [(2.0, 2.0), (0.0, 9.0)]
+        out = insert_tuple((1.0, 1.0), window)
+        assert out == [(0.0, 9.0), (1.0, 1.0)]
+
+    def test_incomparable_tuples_coexist(self):
+        window = [(1.0, 3.0)]
+        out = insert_tuple((3.0, 1.0), window)
+        assert set(out) == {(1.0, 3.0), (3.0, 1.0)}
+
+    def test_duplicate_joins_window(self):
+        window = [(1.0, 1.0)]
+        out = insert_tuple((1.0, 1.0), window)
+        assert out == [(1.0, 1.0), (1.0, 1.0)]
+
+    def test_window_mutated_in_place_on_insert(self):
+        window = [(2.0, 2.0)]
+        result = insert_tuple((1.0, 1.0), window)
+        assert result is window and window == [(1.0, 1.0)]
+
+    def test_sequence_reaches_skyline(self, rng):
+        data = rng.random((80, 3))
+        window = []
+        for row in data:
+            insert_tuple(tuple(row), window)
+        expect = {
+            tuple(data[i]) for i in bruteforce_skyline_indices(data)
+        }
+        assert set(window) == expect
+
+
+class TestBNLWindow:
+    def test_matches_insert_tuple_semantics(self, rng):
+        data = rng.random((60, 2))
+        window = BNLWindow(2)
+        pure = []
+        for i, row in enumerate(data):
+            window.insert(i, row)
+            insert_tuple(tuple(row), pure)
+        assert {tuple(v) for v in window.values} == set(pure)
+
+    def test_insert_returns_acceptance(self):
+        window = BNLWindow(2)
+        assert window.insert(0, np.array([1.0, 1.0]))
+        assert not window.insert(1, np.array([2.0, 2.0]))
+
+    def test_ids_track_evictions(self):
+        window = BNLWindow(2)
+        window.insert(0, np.array([2.0, 2.0]))
+        window.insert(1, np.array([1.0, 1.0]))
+        assert window.ids.tolist() == [1]
+
+    def test_growth_beyond_initial_capacity(self):
+        window = BNLWindow(2, capacity=2)
+        # mutually incomparable anti-diagonal points
+        for i in range(20):
+            window.insert(i, np.array([float(i), float(20 - i)]))
+        assert len(window) == 20
+
+    def test_dimension_checked(self):
+        window = BNLWindow(2)
+        with pytest.raises(DataError):
+            window.insert(0, np.array([1.0, 2.0, 3.0]))
+
+    def test_counter_charged(self):
+        counter = DominanceCounter()
+        window = BNLWindow(2)
+        window.insert(0, np.array([1.0, 2.0]), counter)
+        window.insert(1, np.array([2.0, 1.0]), counter)
+        assert counter.pairs == 1  # second insert compares vs 1 window row
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(DataError):
+            BNLWindow(0)
+
+
+class TestBNLSkylineIndices:
+    def test_matches_oracle(self, rng):
+        data = rng.random((150, 4))
+        got = set(bnl_skyline_indices(data).tolist())
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_empty_dataset(self):
+        assert bnl_skyline_indices(np.empty((0, 3))).shape == (0,)
+
+    def test_single_row(self):
+        assert bnl_skyline_indices(np.array([[5.0, 5.0]])).tolist() == [0]
+
+    def test_all_duplicates_kept(self):
+        data = np.ones((5, 2))
+        assert sorted(bnl_skyline_indices(data).tolist()) == [0, 1, 2, 3, 4]
+
+    def test_requires_2d(self):
+        with pytest.raises(DataError):
+            bnl_skyline_indices(np.zeros(5))

@@ -1,0 +1,112 @@
+"""Bounded-window multi-pass BNL (the faithful Börzsönyi algorithm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.bnl import bnl_multipass_skyline_indices, bnl_skyline_indices
+from repro.core.dominance import DominanceCounter
+from repro.core.reference import bruteforce_skyline_indices
+from repro.data.generators import anticorrelated, correlated, independent
+from repro.errors import DataError
+
+
+class TestMultipassBNL:
+    @pytest.mark.parametrize("window", [1, 2, 7, 64, 10_000])
+    def test_matches_oracle_any_window(self, rng, window):
+        data = rng.random((200, 3))
+        got = set(
+            bnl_multipass_skyline_indices(data, window_size=window).tolist()
+        )
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_matches_unbounded_variant(self, rng):
+        data = rng.random((300, 3))
+        bounded = set(
+            bnl_multipass_skyline_indices(data, window_size=5).tolist()
+        )
+        unbounded = set(bnl_skyline_indices(data).tolist())
+        assert bounded == unbounded
+
+    def test_anticorrelated_with_tiny_window(self):
+        """Worst case: huge skyline, window of 3 — many passes."""
+        data = anticorrelated(150, 3, seed=5)
+        got = set(
+            bnl_multipass_skyline_indices(data, window_size=3).tolist()
+        )
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_correlated_confirms_quickly(self):
+        data = correlated(300, 3, seed=5)
+        got = set(
+            bnl_multipass_skyline_indices(data, window_size=4).tolist()
+        )
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_sorted_input_order(self, rng):
+        """Best-for-skyline-first input: everything confirmed in pass 1."""
+        data = rng.random((200, 2))
+        data = data[np.argsort(data.sum(axis=1))]
+        got = set(
+            bnl_multipass_skyline_indices(data, window_size=8).tolist()
+        )
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_reverse_sorted_input_order(self, rng):
+        """Worst input order: the window churns via evictions."""
+        data = rng.random((200, 2))
+        data = data[np.argsort(-data.sum(axis=1))]
+        got = set(
+            bnl_multipass_skyline_indices(data, window_size=8).tolist()
+        )
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_duplicates_kept(self):
+        data = np.array([[0.5, 0.5]] * 6 + [[0.9, 0.9]])
+        got = bnl_multipass_skyline_indices(data, window_size=2)
+        assert got.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_empty_and_single(self):
+        assert bnl_multipass_skyline_indices(
+            np.empty((0, 2)), window_size=4
+        ).shape == (0,)
+        assert bnl_multipass_skyline_indices(
+            np.ones((1, 2)), window_size=1
+        ).tolist() == [0]
+
+    def test_counter_charged(self, rng):
+        counter = DominanceCounter()
+        bnl_multipass_skyline_indices(
+            rng.random((100, 2)), window_size=4, counter=counter
+        )
+        assert counter.pairs > 0
+
+    def test_validation(self, rng):
+        with pytest.raises(DataError):
+            bnl_multipass_skyline_indices(np.zeros(4), window_size=4)
+        with pytest.raises(DataError):
+            bnl_multipass_skyline_indices(np.zeros((4, 2)), window_size=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(0, 40), st.integers(1, 4)),
+            elements=st.sampled_from([0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0]),
+        ),
+        window=st.integers(1, 10),
+    )
+    def test_property_matches_oracle(self, data, window):
+        got = set(
+            bnl_multipass_skyline_indices(data, window_size=window).tolist()
+        )
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_registry_entry(self, oracle, rng):
+        from repro import skyline
+
+        data = rng.random((150, 3))
+        result = skyline(data, algorithm="bnl-multipass", window_size=6)
+        assert set(result.indices.tolist()) == oracle(data)

@@ -1,0 +1,75 @@
+"""Distributed cache and payload size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.pointset import PointSet
+from repro.errors import ValidationError
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.sizes import payload_size
+
+
+class TestDistributedCache:
+    def test_get_and_contains(self):
+        cache = DistributedCache({"grid": 42})
+        assert cache["grid"] == 42
+        assert "grid" in cache and "other" not in cache
+        assert cache.get("other") is None
+
+    def test_missing_key_names_available(self):
+        cache = DistributedCache({"a": 1, "b": 2})
+        with pytest.raises(ValidationError) as exc:
+            cache["zzz"]
+        assert "a" in str(exc.value) and "b" in str(exc.value)
+
+    def test_iteration_and_len(self):
+        cache = DistributedCache({"b": 1, "a": 2})
+        assert list(cache) == ["a", "b"]
+        assert len(cache) == 2
+
+    def test_empty(self):
+        assert len(DistributedCache.empty()) == 0
+
+    def test_payload_bytes_counts_contents(self):
+        small = DistributedCache({"x": b"ab"})
+        big = DistributedCache({"x": b"a" * 10_000})
+        assert big.payload_bytes() > small.payload_bytes()
+
+
+class TestPayloadSize:
+    def test_bytes(self):
+        assert payload_size(b"12345") >= 5
+
+    def test_string_utf8(self):
+        assert payload_size("héllo") >= 6
+
+    def test_numbers_flat_cost(self):
+        assert payload_size(3) == payload_size(1 << 60)
+        assert payload_size(2.5) == payload_size(True)
+
+    def test_ndarray_nbytes(self):
+        arr = np.zeros((10, 10))
+        assert payload_size(arr) >= arr.nbytes
+
+    def test_containers_recurse(self):
+        inner = payload_size(1.0)
+        assert payload_size([1.0, 1.0]) >= 2 * inner
+        assert payload_size({"k": 1.0}) >= payload_size("k") + inner
+
+    def test_pointset_counts_both_arrays(self):
+        ps = PointSet.from_array(np.zeros((100, 4)))
+        assert payload_size(ps) >= ps.ids.nbytes + ps.values.nbytes
+
+    def test_none(self):
+        assert payload_size(None) > 0
+
+    def test_opaque_object_pickled(self):
+        class Thing:
+            pass
+
+        assert payload_size(Thing()) > 0
+
+    def test_larger_data_larger_size(self):
+        small = PointSet.from_array(np.zeros((10, 2)))
+        large = PointSet.from_array(np.zeros((1000, 2)))
+        assert payload_size(large) > payload_size(small)

@@ -1,0 +1,185 @@
+"""The repro-skyline command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.datasets import LabelledDataset, save_csv
+from repro.data.generators import independent
+
+
+class TestList:
+    def test_lists_algorithms_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mr-gpmrs" in out and "fig7" in out
+
+
+class TestCompute:
+    def test_synthetic_workload(self, capsys):
+        code = main(
+            [
+                "compute",
+                "--distribution",
+                "anticorrelated",
+                "-c",
+                "300",
+                "-d",
+                "3",
+                "--algorithm",
+                "mr-gpmrs",
+                "--num-reducers",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skyline of 300 x 3" in out
+        assert "simulated runtime" in out
+
+    def test_csv_input_with_prefs(self, capsys, tmp_path):
+        path = str(tmp_path / "pts.csv")
+        save_csv(
+            path,
+            LabelledDataset(
+                values=[[1.0, 9.0], [2.0, 1.0], [3.0, 10.0]],
+                columns=("cost", "quality"),
+            ),
+        )
+        code = main(
+            [
+                "compute",
+                "--input",
+                path,
+                "--algorithm",
+                "sfs",
+                "--prefs",
+                "min,max",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "has 2 tuples" in out  # rows 0 and 2 dominate on max-quality
+
+    def test_npy_input(self, capsys, tmp_path):
+        path = str(tmp_path / "pts.npy")
+        np.save(path, independent(100, 2, seed=1))
+        assert main(["compute", "--input", path, "--algorithm", "bnl"]) == 0
+
+    def test_show_truncation(self, capsys):
+        main(
+            [
+                "compute",
+                "--distribution",
+                "anticorrelated",
+                "-c",
+                "400",
+                "-d",
+                "4",
+                "--algorithm",
+                "sfs",
+                "--show",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "more" in out
+
+    def test_error_reported_cleanly(self, capsys):
+        code = main(
+            ["compute", "--input", "/nonexistent/never.csv"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperiment:
+    def test_quick_fig10(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "fig10",
+                "--quick",
+                "--scale",
+                "0.002",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out and "reducers" in out
+
+    def test_ablation_runs(self, capsys):
+        code = main(
+            ["experiment", "ablation-merging", "--scale", "0.002"]
+        )
+        assert code == 0
+        assert "merging" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_agreement_table(self, capsys):
+        code = main(
+            [
+                "compare",
+                "-c",
+                "500",
+                "-d",
+                "3",
+                "--algorithms",
+                "mr-gpsrs,mr-gpmrs,sky-mr",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "agrees" in out
+        assert out.count("yes") == 3
+        assert "NO" not in out
+
+
+class TestGantt:
+    def test_renders_pipeline(self, capsys):
+        code = main(
+            ["gantt", "-c", "500", "-d", "3", "--width", "32", "--nodes", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bitstring" in out and "gpmrs-skyline" in out
+        assert "map-slot-0" in out and "shuffle" in out
+
+
+class TestExperimentCSV:
+    def test_csv_flag(self, capsys, tmp_path):
+        path = str(tmp_path / "fig10.csv")
+        code = main(
+            [
+                "experiment",
+                "fig10",
+                "--quick",
+                "--scale",
+                "0.002",
+                "--csv",
+                path,
+            ]
+        )
+        assert code == 0
+        assert "paper-claim verdicts" in capsys.readouterr().out
+        import os
+
+        assert os.path.exists(path)
+
+
+class TestExperimentPlot:
+    def test_plot_flag_renders_charts(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "fig10",
+                "--quick",
+                "--scale",
+                "0.002",
+                "--plot",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "o=mr-gpmrs" in out

@@ -1,0 +1,154 @@
+"""Simulated cluster: scheduling, cost models, makespan."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.mapreduce.cluster import (
+    MINI_CLUSTER,
+    PAPER_CLUSTER,
+    SimulatedCluster,
+    schedule_makespan,
+)
+from repro.mapreduce.counters import TUPLE_COMPARES, Counters
+from repro.mapreduce.metrics import JobStats, PipelineStats, TaskStats
+from repro.mapreduce.types import TaskId
+
+
+def task(kind, index, duration=1.0, compares=0, records=0):
+    counters = Counters({TUPLE_COMPARES: compares})
+    return TaskStats(
+        task_id=TaskId(kind, index),
+        duration_s=duration,
+        records_in=records,
+        records_out=0,
+        bytes_out=0,
+        counters=counters,
+    )
+
+
+class TestScheduleMakespan:
+    def test_single_slot_sums(self):
+        assert schedule_makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_slots_take_max(self):
+        assert schedule_makespan([1.0, 2.0, 3.0], 3) == 3.0
+
+    def test_greedy_least_loaded(self):
+        # 4 tasks x 1s on 2 slots -> 2s.
+        assert schedule_makespan([1.0] * 4, 2) == 2.0
+
+    def test_empty(self):
+        assert schedule_makespan([], 4) == 0.0
+
+    def test_validates(self):
+        with pytest.raises(ValidationError):
+            schedule_makespan([1.0], 0)
+        with pytest.raises(ValidationError):
+            schedule_makespan([-1.0], 2)
+
+
+class TestClusterConfig:
+    def test_paper_defaults(self):
+        assert PAPER_CLUSTER.num_nodes == 13
+        assert PAPER_CLUSTER.map_slots == 13
+        assert PAPER_CLUSTER.reduce_slots == 26
+        assert PAPER_CLUSTER.bandwidth_bytes_per_s == pytest.approx(12.5e6)
+
+    def test_mini_cluster(self):
+        assert MINI_CLUSTER.num_nodes == 4
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SimulatedCluster(num_nodes=0)
+        with pytest.raises(ValidationError):
+            SimulatedCluster(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValidationError):
+            SimulatedCluster(task_overhead_s=-1)
+        with pytest.raises(ValidationError):
+            SimulatedCluster(cost_model="psychic")
+        with pytest.raises(ValidationError):
+            SimulatedCluster(compare_rate=0)
+
+
+class TestWorkModel:
+    def test_duration_from_counters(self):
+        cluster = SimulatedCluster(
+            cost_model="work",
+            compare_rate=100.0,
+            record_rate=10.0,
+            task_overhead_s=0.5,
+        )
+        t = task("map", 0, duration=99.0, compares=200, records=30)
+        # 200/100 + 30/10 + 0.5 = 5.5; measured duration ignored.
+        assert cluster.task_duration(t) == pytest.approx(5.5)
+
+    def test_measured_model_uses_wall_time(self):
+        cluster = SimulatedCluster(cost_model="measured", task_overhead_s=0.25)
+        t = task("map", 0, duration=2.0, compares=10 ** 9)
+        assert cluster.task_duration(t) == pytest.approx(2.25)
+
+
+class TestJobMakespan:
+    def make_stats(self, map_compares, reduce_compares, shuffle=0, broadcast=0):
+        stats = JobStats(job_name="j")
+        stats.map_tasks = [
+            task("map", i, compares=c) for i, c in enumerate(map_compares)
+        ]
+        stats.reduce_tasks = [
+            task("reduce", i, compares=c)
+            for i, c in enumerate(reduce_compares)
+        ]
+        stats.shuffle_bytes = shuffle
+        stats.broadcast_bytes = broadcast
+        return stats
+
+    def test_wave_structure(self):
+        cluster = SimulatedCluster(
+            num_nodes=2,
+            map_slots_per_node=1,
+            reduce_slots_per_node=1,
+            compare_rate=1.0,
+            record_rate=1e9,
+            task_overhead_s=0.0,
+        )
+        # 4 map tasks x 1 compare on 2 slots -> 2s; 1 reduce x 3 -> 3s.
+        stats = self.make_stats([1, 1, 1, 1], [3])
+        assert cluster.job_makespan(stats) == pytest.approx(5.0)
+
+    def test_shuffle_charged_by_bandwidth(self):
+        cluster = SimulatedCluster(
+            bandwidth_bytes_per_s=100.0, task_overhead_s=0.0
+        )
+        stats = self.make_stats([], [], shuffle=500)
+        assert cluster.job_makespan(stats) == pytest.approx(5.0)
+
+    def test_broadcast_replicated_to_every_node(self):
+        cluster = SimulatedCluster(
+            num_nodes=4, bandwidth_bytes_per_s=100.0, task_overhead_s=0.0
+        )
+        stats = self.make_stats([], [], broadcast=100)
+        assert cluster.job_makespan(stats) == pytest.approx(4.0)
+
+    def test_pipeline_sums_jobs(self):
+        cluster = SimulatedCluster(
+            bandwidth_bytes_per_s=100.0, task_overhead_s=0.0
+        )
+        a = self.make_stats([], [], shuffle=100)
+        b = self.make_stats([], [], shuffle=300)
+        assert cluster.pipeline_makespan([a, b]) == pytest.approx(4.0)
+
+    def test_annotate_fills_simulated(self):
+        cluster = SimulatedCluster()
+        pipeline = PipelineStats(jobs=[self.make_stats([1], [1])])
+        out = cluster.annotate(pipeline)
+        assert out.simulated_s is not None and out.simulated_s > 0
+
+    def test_more_reduce_slots_never_slower(self):
+        stats = self.make_stats([], [10 ** 6] * 8)
+        slow = SimulatedCluster(
+            num_nodes=1, reduce_slots_per_node=1, task_overhead_s=0.0
+        )
+        fast = SimulatedCluster(
+            num_nodes=8, reduce_slots_per_node=1, task_overhead_s=0.0
+        )
+        assert fast.job_makespan(stats) <= slow.job_makespan(stats)

@@ -1,0 +1,97 @@
+"""Section 6 cost model: closed forms vs literal summations."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.grid import cost
+
+
+class TestRhoRem:
+    def test_paper_example(self):
+        # 3x3 2-d grid: 3^2 - 2^2 = 5 remaining partitions.
+        assert cost.rho_rem(3, 2) == 5
+
+    def test_n1(self):
+        assert cost.rho_rem(1, 4) == 1
+
+    def test_various(self):
+        assert cost.rho_rem(2, 8) == 2 ** 8 - 1
+        assert cost.rho_rem(4, 3) == 64 - 27
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            cost.rho_rem(0, 2)
+        with pytest.raises(ValidationError):
+            cost.rho_rem(2, 0)
+
+
+class TestRhoDom:
+    def test_paper_example(self):
+        # p2 at 1-based coords (1, 3): 1*3 - 1 = 2 comparisons.
+        assert cost.rho_dom((1, 3)) == 2
+
+    def test_origin_partition(self):
+        assert cost.rho_dom((1, 1, 1)) == 0
+
+    def test_rejects_zero_based(self):
+        with pytest.raises(ValidationError):
+            cost.rho_dom((0, 2))
+
+
+class TestKappa:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_closed_form_equals_bruteforce(self, n, d):
+        assert cost.kappa(n, d) == cost.kappa_bruteforce(n, d)
+
+    def test_value(self):
+        # n=3, d=2: sum over (i,j) in [1,3]^2 of i*j - 1 = 36 - 9 = 27.
+        assert cost.kappa(3, 2) == 27
+
+
+class TestKappaSurfaces:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_each_surface_matches_bruteforce(self, n, d):
+        for j in range(1, d + 1):
+            assert cost.kappa_surface(n, d, j) == cost.kappa_surface_bruteforce(
+                n, d, j
+            ), (n, d, j)
+
+    def test_surface_index_validated(self):
+        with pytest.raises(ValidationError):
+            cost.kappa_surface(3, 2, 0)
+        with pytest.raises(ValidationError):
+            cost.kappa_surface(3, 2, 3)
+
+    def test_overlap_removal_shrinks_surfaces(self):
+        # Later surfaces exclude overlap, so they are never larger.
+        for j in range(1, 4):
+            assert cost.kappa_surface(4, 4, j + 1) <= cost.kappa_surface(
+                4, 4, j
+            )
+
+
+class TestKappaMapperReducer:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_mapper_closed_form(self, n, d):
+        assert cost.kappa_mapper(n, d) == cost.kappa_mapper_bruteforce(n, d)
+
+    def test_reducer_is_biggest_surface(self):
+        assert cost.kappa_reducer(4, 3) == cost.kappa_surface(4, 3, 1)
+
+    def test_reducer_leq_mapper(self):
+        for n in (2, 3, 5):
+            for d in (2, 3, 5, 8):
+                assert cost.kappa_reducer(n, d) <= cost.kappa_mapper(n, d)
+
+    def test_paper_shape_monotone_in_d(self):
+        """The Figure 11 curves grow with dimensionality (fixed n)."""
+        values = [cost.kappa_mapper(3, d) for d in range(2, 9)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_d1_degenerate(self):
+        # One dimension: single surface of a single cell, 0 comparisons.
+        assert cost.kappa_mapper(5, 1) == 0
+        assert cost.kappa_reducer(5, 1) == 0

@@ -1,0 +1,93 @@
+"""End-to-end behaviour of the two cluster cost models."""
+
+import numpy as np
+import pytest
+
+from repro import skyline
+from repro.data.generators import generate
+from repro.mapreduce.cluster import SimulatedCluster
+
+
+class TestWorkModelEndToEnd:
+    def test_deterministic_across_runs(self):
+        """The work model is a pure function of the computation."""
+        data = generate("anticorrelated", 2000, 4, seed=3)
+        cluster = SimulatedCluster(cost_model="work")
+        a = skyline(data, algorithm="mr-gpmrs", cluster=cluster)
+        b = skyline(data, algorithm="mr-gpmrs", cluster=cluster)
+        assert a.runtime_s == pytest.approx(b.runtime_s, rel=1e-12)
+
+    def test_more_work_costs_more(self):
+        cluster = SimulatedCluster(cost_model="work")
+        small = skyline(
+            generate("anticorrelated", 1000, 4, seed=3),
+            algorithm="mr-gpsrs",
+            cluster=cluster,
+        )
+        large = skyline(
+            generate("anticorrelated", 8000, 4, seed=3),
+            algorithm="mr-gpsrs",
+            cluster=cluster,
+        )
+        assert large.runtime_s > small.runtime_s
+
+    def test_rates_scale_runtime(self):
+        data = generate("anticorrelated", 3000, 4, seed=3)
+        slow = SimulatedCluster(compare_rate=1e5, task_overhead_s=0.0)
+        fast = SimulatedCluster(compare_rate=1e8, task_overhead_s=0.0)
+        a = skyline(data, algorithm="mr-gpsrs", cluster=slow)
+        b = skyline(data, algorithm="mr-gpsrs", cluster=fast)
+        assert a.runtime_s > b.runtime_s
+
+    def test_overhead_floors_runtime(self):
+        data = generate("independent", 200, 2, seed=4)
+        cluster = SimulatedCluster(task_overhead_s=1.0)
+        result = skyline(data, algorithm="mr-gpsrs", cluster=cluster)
+        # two jobs, each at least map-wave + reduce overhead = 2s
+        assert result.runtime_s >= 4.0
+
+
+class TestMeasuredModelEndToEnd:
+    def test_measured_mode_runs_and_is_positive(self):
+        data = generate("independent", 2000, 3, seed=5)
+        cluster = SimulatedCluster(cost_model="measured", task_overhead_s=0.0)
+        result = skyline(data, algorithm="mr-gpmrs", cluster=cluster)
+        assert result.runtime_s > 0
+
+    def test_same_skyline_under_both_models(self):
+        data = generate("anticorrelated", 1500, 3, seed=6)
+        work = skyline(
+            data,
+            algorithm="mr-gpmrs",
+            cluster=SimulatedCluster(cost_model="work"),
+        )
+        measured = skyline(
+            data,
+            algorithm="mr-gpmrs",
+            cluster=SimulatedCluster(cost_model="measured"),
+        )
+        assert np.array_equal(work.indices, measured.indices)
+
+
+class TestClusterShapeEffects:
+    def test_more_nodes_never_slower_for_map_heavy_jobs(self):
+        data = generate("independent", 6000, 5, seed=7)
+        small = SimulatedCluster(num_nodes=2, task_overhead_s=0.0)
+        big = SimulatedCluster(num_nodes=16, task_overhead_s=0.0)
+        a = skyline(
+            data, algorithm="mr-gpsrs", cluster=small, num_mappers=16
+        )
+        b = skyline(data, algorithm="mr-gpsrs", cluster=big, num_mappers=16)
+        assert b.runtime_s <= a.runtime_s + 1e-9
+
+    def test_bandwidth_prices_shuffle(self):
+        data = generate("anticorrelated", 5000, 5, seed=8)
+        slow_net = SimulatedCluster(
+            bandwidth_bytes_per_s=1e4, task_overhead_s=0.0
+        )
+        fast_net = SimulatedCluster(
+            bandwidth_bytes_per_s=1e9, task_overhead_s=0.0
+        )
+        a = skyline(data, algorithm="mr-bnl", cluster=slow_net)
+        b = skyline(data, algorithm="mr-bnl", cluster=fast_net)
+        assert a.runtime_s > b.runtime_s * 1.5  # MR-BNL ships everything

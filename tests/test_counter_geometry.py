@@ -1,0 +1,124 @@
+"""Counters ≡ geometry, on arbitrary occupancy.
+
+The Figure-11 measurement is only meaningful if the partition-compare
+counter equals the geometric quantity it claims to count: for each
+partition present at a task, the number of *present* partitions in its
+ADR. These tests recompute that sum independently from the data and
+require exact equality — for the GPSRS reducer (all surviving
+partitions in one place) and for each GPSRS mapper (its own split's
+occupancy).
+"""
+
+import numpy as np
+import pytest
+
+from repro import skyline
+from repro.data.generators import clustered, generate
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.counters import PARTITION_COMPARES
+from repro.mapreduce.splits import contiguous_splits
+
+
+def adr_pair_count(grid, present):
+    """Sum over p in present of |ADR(p) ∩ present|."""
+    present = sorted(present)
+    coords = grid.coords_array()
+    total = 0
+    for p in present:
+        for q in present:
+            if q != p and (coords[q] <= coords[p]).all():
+                total += 1
+    return total
+
+
+@pytest.mark.parametrize(
+    "maker",
+    [
+        lambda: generate("independent", 4000, 3, seed=31),
+        lambda: generate("anticorrelated", 4000, 3, seed=32),
+        lambda: clustered(4000, 3, seed=33, num_clusters=3),
+        lambda: generate("independent", 900, 2, seed=34),
+    ],
+)
+def test_gpsrs_reducer_counter_matches_geometry(maker):
+    data = maker()
+    d = data.shape[1]
+    n = 4
+    cluster = SimulatedCluster()
+    result = skyline(
+        data,
+        algorithm="mr-gpsrs",
+        cluster=cluster,
+        ppd=n,
+        bounds=(np.zeros(d), np.ones(d)),
+    )
+    grid = result.artifacts["grid"]
+    bitstring = result.artifacts["bitstring"]
+    # partitions reaching the reducer: non-pruned cells that contain data
+    cells = grid.cell_indices(data)
+    present = {
+        int(c) for c in np.unique(cells) if bitstring[int(c)]
+    }
+    expected = adr_pair_count(grid, present)
+    job = result.stats.jobs[1]
+    measured = job.max_task_counter("reduce", PARTITION_COMPARES)
+    assert measured == expected
+
+
+def test_gpsrs_mapper_counters_match_per_split_geometry():
+    data = generate("independent", 5000, 3, seed=35)
+    n, d = 3, 3
+    cluster = SimulatedCluster(num_nodes=4)
+    result = skyline(
+        data,
+        algorithm="mr-gpsrs",
+        cluster=cluster,
+        ppd=n,
+        bounds=(np.zeros(d), np.ones(d)),
+    )
+    grid = result.artifacts["grid"]
+    bitstring = result.artifacts["bitstring"]
+    job = result.stats.jobs[1]
+    splits = contiguous_splits(data, cluster.map_slots)
+    for task, split in zip(job.map_tasks, splits):
+        rows = np.vstack([row for _rid, row in split])
+        cells = grid.cell_indices(rows)
+        present = {
+            int(c) for c in np.unique(cells) if bitstring[int(c)]
+        }
+        expected = adr_pair_count(grid, present)
+        assert task.counters[PARTITION_COMPARES] == expected
+
+
+def test_gpmrs_reducer_counters_match_group_geometry():
+    """Each GPMRS reducer compares exactly the ADR pairs *within the
+    partitions it received* (group-local geometry)."""
+    from repro.grid.groups import generate_independent_groups, merge_groups
+
+    data = generate("anticorrelated", 5000, 3, seed=36)
+    n, d, r = 4, 3, 4
+    cluster = SimulatedCluster()
+    result = skyline(
+        data,
+        algorithm="mr-gpmrs",
+        cluster=cluster,
+        ppd=n,
+        num_reducers=r,
+        bounds=(np.zeros(d), np.ones(d)),
+    )
+    grid = result.artifacts["grid"]
+    bitstring = result.artifacts["bitstring"]
+    groups = merge_groups(
+        generate_independent_groups(grid, bitstring), r, "computation"
+    )
+    cells = grid.cell_indices(data)
+    occupied = {int(c) for c in np.unique(cells) if bitstring[int(c)]}
+    job = result.stats.jobs[1]
+    by_index = {t.task_id.index: t for t in job.reduce_tasks}
+    for group in groups:
+        present = set(group.partitions) & occupied
+        expected = adr_pair_count(grid, present)
+        task = by_index[group.group_id]
+        assert task.counters[PARTITION_COMPARES] == expected

@@ -1,0 +1,49 @@
+"""Counter facility tests."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.mapreduce.counters import Counters
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        c = Counters()
+        c.inc("a.b")
+        c.inc("a.b", 4)
+        assert c["a.b"] == 5
+        assert c["missing"] == 0
+        assert c.get("missing", 7) == 7
+
+    def test_initial_values(self):
+        c = Counters({"x": 3})
+        assert c["x"] == 3
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Counters().inc("")
+
+    def test_merge(self):
+        a = Counters({"x": 1, "y": 2})
+        b = Counters({"y": 3, "z": 4})
+        a.merge(b)
+        assert a.as_dict() == {"x": 1, "y": 5, "z": 4}
+
+    def test_contains_len_iter(self):
+        c = Counters({"b": 1, "a": 2})
+        assert "a" in c and "q" not in c
+        assert len(c) == 2
+        assert list(c) == ["a", "b"]  # sorted
+
+    def test_group_strips_prefix(self):
+        c = Counters(
+            {"skyline.compares": 5, "skyline.pruned": 2, "mr.records": 9}
+        )
+        assert c.group("skyline") == {"compares": 5, "pruned": 2}
+        assert c.group("skyline.") == {"compares": 5, "pruned": 2}
+
+    def test_as_dict_is_copy(self):
+        c = Counters({"x": 1})
+        d = c.as_dict()
+        d["x"] = 99
+        assert c["x"] == 1

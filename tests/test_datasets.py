@@ -1,0 +1,109 @@
+"""Labelled datasets, CSV/NPY persistence, demo data."""
+
+import numpy as np
+import pytest
+
+from repro.core.sfs import sfs_skyline_indices
+from repro.data.datasets import (
+    LabelledDataset,
+    hotels,
+    load_csv,
+    load_npy,
+    players,
+    save_csv,
+    save_npy,
+)
+from repro.errors import DataError
+
+
+class TestLabelledDataset:
+    def test_basic(self):
+        ds = LabelledDataset(
+            values=[[1.0, 2.0]], columns=("a", "b"), labels=("row1",)
+        )
+        assert len(ds) == 1
+        assert ds.row_label(0) == "row1"
+
+    def test_default_labels(self):
+        ds = LabelledDataset(values=[[1.0, 2.0]], columns=("a", "b"))
+        assert ds.row_label(0) == "row-0"
+
+    def test_column_count_checked(self):
+        with pytest.raises(DataError):
+            LabelledDataset(values=[[1.0, 2.0]], columns=("a",))
+
+    def test_label_count_checked(self):
+        with pytest.raises(DataError):
+            LabelledDataset(
+                values=[[1.0, 2.0]], columns=("a", "b"), labels=("x", "y")
+            )
+
+
+class TestCSVRoundtrip:
+    def test_roundtrip_with_labels(self, tmp_path):
+        ds = hotels(cardinality=50)
+        path = str(tmp_path / "hotels.csv")
+        save_csv(path, ds)
+        back = load_csv(path, has_labels=True)
+        assert back.columns == ds.columns
+        assert back.labels == ds.labels
+        assert np.allclose(back.values, ds.values)
+
+    def test_roundtrip_without_labels(self, tmp_path):
+        ds = LabelledDataset(values=[[1.5, 2.5]], columns=("x", "y"))
+        path = str(tmp_path / "plain.csv")
+        save_csv(path, ds)
+        back = load_csv(path)
+        assert np.allclose(back.values, ds.values)
+        assert back.columns == ("x", "y")
+
+    def test_missing_file(self):
+        with pytest.raises(DataError):
+            load_csv("/nonexistent/nowhere.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_csv(str(path))
+
+
+class TestNPYRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        data = rng.random((20, 3))
+        path = str(tmp_path / "data.npy")
+        save_npy(path, data)
+        assert np.array_equal(load_npy(path), data)
+
+    def test_missing_file(self):
+        with pytest.raises(DataError):
+            load_npy("/nonexistent/nowhere.npy")
+
+
+class TestDemoDatasets:
+    def test_hotels_shape(self):
+        ds = hotels(cardinality=500)
+        assert ds.values.shape == (500, 3)
+        assert ds.columns == ("price", "distance_km", "noise_db")
+        assert (ds.values[:, 0] > 0).all()
+
+    def test_hotels_deterministic(self):
+        assert np.array_equal(hotels(100).values, hotels(100).values)
+
+    def test_hotels_price_distance_tradeoff(self):
+        ds = hotels(cardinality=3000)
+        r = np.corrcoef(ds.values[:, 0], ds.values[:, 1])[0, 1]
+        assert r < -0.2  # closer -> pricier
+
+    def test_hotels_have_interesting_skyline(self):
+        ds = hotels(cardinality=1000)
+        sky = sfs_skyline_indices(ds.values)
+        assert 2 <= sky.shape[0] <= 200
+
+    def test_players_shape(self):
+        ds = players(cardinality=200)
+        assert ds.values.shape == (200, 4)
+        assert (ds.values >= 0).all()
+
+    def test_players_deterministic(self):
+        assert np.array_equal(players(50).values, players(50).values)

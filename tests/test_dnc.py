@@ -1,0 +1,82 @@
+"""Divide & Conquer skyline [Börzsönyi et al.]."""
+
+import numpy as np
+import pytest
+
+from repro.core.dnc import dnc_skyline, dnc_skyline_indices
+from repro.core.dominance import DominanceCounter
+from repro.core.reference import bruteforce_skyline_indices
+from repro.data.generators import generate
+from repro.errors import DataError, ValidationError
+
+
+class TestDNC:
+    @pytest.mark.parametrize(
+        "distribution", ["independent", "correlated", "anticorrelated"]
+    )
+    def test_matches_oracle(self, oracle, distribution):
+        data = generate(distribution, 300, 3, seed=61)
+        got = set(dnc_skyline_indices(data).tolist())
+        assert got == oracle(data)
+
+    def test_small_block_size_forces_deep_recursion(self, oracle, rng):
+        data = rng.random((200, 3))
+        got = set(dnc_skyline_indices(data, block_size=4).tolist())
+        assert got == oracle(data)
+
+    def test_duplicates_kept(self):
+        data = np.array([[1.0, 1.0]] * 4 + [[2.0, 2.0]])
+        assert sorted(dnc_skyline_indices(data, block_size=2).tolist()) == [
+            0,
+            1,
+            2,
+            3,
+        ]
+
+    def test_constant_dimension(self, oracle, rng):
+        data = rng.random((150, 3))
+        data[:, 0] = 0.5  # ties everywhere on the split dimension
+        got = set(dnc_skyline_indices(data, block_size=8).tolist())
+        assert got == oracle(data)
+
+    def test_all_identical_rows(self):
+        data = np.ones((40, 2))
+        assert dnc_skyline_indices(data, block_size=4).shape == (40,)
+
+    def test_lattice_values_with_boundary_ties(self, oracle):
+        rng = np.random.default_rng(62)
+        data = rng.choice([0.0, 0.25, 0.5, 0.75, 1.0], size=(250, 3))
+        got = set(dnc_skyline_indices(data, block_size=8).tolist())
+        assert got == oracle(data)
+
+    def test_empty_and_single(self):
+        assert dnc_skyline_indices(np.empty((0, 2))).shape == (0,)
+        assert dnc_skyline_indices(np.array([[1.0, 2.0]])).tolist() == [0]
+
+    def test_indices_sorted(self, rng):
+        idx = dnc_skyline_indices(rng.random((200, 3)))
+        assert np.all(np.diff(idx) > 0)
+
+    def test_counter_charged(self, rng):
+        counter = DominanceCounter()
+        dnc_skyline_indices(rng.random((200, 3)), counter=counter)
+        assert counter.pairs > 0
+
+    def test_rows_helper(self, oracle, rng):
+        data = rng.random((100, 2))
+        rows = dnc_skyline(data)
+        expect = data[sorted(oracle(data))]
+        assert np.array_equal(rows, expect)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            dnc_skyline_indices(np.zeros(3))
+        with pytest.raises(ValidationError):
+            dnc_skyline_indices(np.zeros((3, 2)), block_size=1)
+
+    def test_registered_as_centralized_method(self, oracle, rng):
+        from repro import skyline
+
+        data = rng.random((150, 3))
+        result = skyline(data, algorithm="dnc")
+        assert set(result.indices.tolist()) == oracle(data)

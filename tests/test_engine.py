@@ -1,0 +1,268 @@
+"""The serial MapReduce engine: semantics, stats, failure handling.
+
+Exercises the classic word-count shape plus setup/cleanup hooks,
+combiners, partitioning, key sorting, and counter plumbing.
+"""
+
+import pytest
+
+from repro.errors import JobValidationError, TaskFailedError
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partitioners import direct_partitioner, hash_partitioner
+from repro.mapreduce.splits import kv_splits
+from repro.mapreduce.types import (
+    IdentityMapper,
+    IdentityReducer,
+    InputSplit,
+    Mapper,
+    Reducer,
+)
+
+
+class WordMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.emit(word, 1)
+            ctx.counters.inc("wc.words")
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def word_count_job(num_reducers=2, combiner=None):
+    lines = [
+        (0, "the quick brown fox"),
+        (1, "the lazy dog"),
+        (2, "the quick dog"),
+    ]
+    return MapReduceJob(
+        name="word-count",
+        splits=kv_splits(lines, 2),
+        mapper_factory=WordMapper,
+        reducer_factory=SumReducer,
+        combiner_factory=combiner,
+        num_reducers=num_reducers,
+    )
+
+
+class TestWordCount:
+    def test_counts(self, engine):
+        result = engine.run(word_count_job())
+        counts = dict(result.all_pairs())
+        assert counts == {
+            "the": 3,
+            "quick": 2,
+            "brown": 1,
+            "fox": 1,
+            "lazy": 1,
+            "dog": 2,
+        }
+
+    def test_combiner_preserves_result_and_shrinks_shuffle(self, engine):
+        plain = engine.run(word_count_job())
+        combined = engine.run(word_count_job(combiner=SumReducer))
+        assert dict(plain.all_pairs()) == dict(combined.all_pairs())
+        assert (
+            combined.stats.shuffle_bytes < plain.stats.shuffle_bytes
+        )
+
+    def test_keys_sorted_within_reducer(self, engine):
+        result = engine.run(word_count_job(num_reducers=1))
+        keys = [k for k, _ in result.reducer_outputs[0]]
+        assert keys == sorted(keys)
+
+    def test_partitioning_respected(self, engine):
+        result = engine.run(word_count_job(num_reducers=3))
+        for r, chunk in enumerate(result.reducer_outputs):
+            for key, _ in chunk:
+                assert hash_partitioner(key, 3) == r
+
+    def test_counters_aggregated(self, engine):
+        result = engine.run(word_count_job())
+        assert result.stats.counters["wc.words"] == 10
+        assert result.stats.counters["mr.records_in"] >= 3
+
+
+class TestLifecycleHooks:
+    def test_setup_and_cleanup_called_once_per_task(self, engine):
+        events = []
+
+        class HookMapper(Mapper):
+            def setup(self, ctx):
+                events.append(("setup", ctx.task_id.index))
+
+            def map(self, key, value, ctx):
+                ctx.emit(key, value)
+
+            def cleanup(self, ctx):
+                events.append(("cleanup", ctx.task_id.index))
+
+        job = MapReduceJob(
+            name="hooks",
+            splits=kv_splits([(0, "a"), (1, "b")], 2),
+            mapper_factory=HookMapper,
+            reducer_factory=IdentityReducer,
+        )
+        engine.run(job)
+        assert events.count(("setup", 0)) == 1
+        assert events.count(("cleanup", 1)) == 1
+
+    def test_cleanup_emissions_shuffled(self, engine):
+        class EmitAtCleanup(Mapper):
+            def setup(self, ctx):
+                self.seen = 0
+
+            def map(self, key, value, ctx):
+                self.seen += 1
+
+            def cleanup(self, ctx):
+                ctx.emit("total", self.seen)
+
+        job = MapReduceJob(
+            name="cleanup-emit",
+            splits=kv_splits([(i, i) for i in range(10)], 3),
+            mapper_factory=EmitAtCleanup,
+            reducer_factory=SumReducer,
+            num_reducers=1,
+        )
+        result = engine.run(job)
+        assert result.all_pairs() == [("total", 10)]
+
+    def test_cache_visible_in_both_phases(self, engine):
+        class CacheReader(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(key, ctx.cache["factor"] * value)
+
+        class CacheReducer(Reducer):
+            def reduce(self, key, values, ctx):
+                ctx.emit(key, sum(values) + ctx.cache["offset"])
+
+        job = MapReduceJob(
+            name="cache",
+            splits=kv_splits([(0, 1), (1, 2)], 1),
+            mapper_factory=CacheReader,
+            reducer_factory=CacheReducer,
+            num_reducers=1,
+            cache=DistributedCache({"factor": 10, "offset": 1}),
+        )
+        result = engine.run(job)
+        assert dict(result.all_pairs()) == {0: 11, 1: 21}
+
+
+class TestStats:
+    def test_task_counts(self, engine):
+        result = engine.run(word_count_job(num_reducers=3))
+        assert result.stats.num_map_tasks == 2
+        assert result.stats.num_reduce_tasks == 3
+
+    def test_per_task_counters_retained(self, engine):
+        result = engine.run(word_count_job())
+        per_task = [t.counters["wc.words"] for t in result.stats.map_tasks]
+        assert sum(per_task) == 10
+        assert result.stats.max_task_counter("map", "wc.words") == max(per_task)
+
+    def test_broadcast_bytes_recorded(self, engine):
+        job = word_count_job()
+        job.cache = DistributedCache({"blob": b"x" * 1000})
+        result = engine.run(job)
+        assert result.stats.broadcast_bytes >= 1000
+
+    def test_durations_nonnegative(self, engine):
+        result = engine.run(word_count_job())
+        for t in result.stats.map_tasks + result.stats.reduce_tasks:
+            assert t.duration_s >= 0
+
+
+class TestValidationAndFailure:
+    def test_invalid_jobs_rejected(self, engine):
+        job = word_count_job()
+        job.num_reducers = 0
+        with pytest.raises(JobValidationError):
+            engine.run(job)
+
+    def test_mapper_factory_type_checked(self, engine):
+        job = word_count_job()
+        job.mapper_factory = lambda: object()
+        with pytest.raises(JobValidationError):
+            engine.run(job)
+
+    def test_empty_splits_rejected(self, engine):
+        job = word_count_job()
+        job.splits = []
+        with pytest.raises(JobValidationError):
+            engine.run(job)
+
+    def test_map_failure_wrapped(self, engine):
+        class Boom(Mapper):
+            def map(self, key, value, ctx):
+                raise RuntimeError("map exploded")
+
+        job = MapReduceJob(
+            name="boom",
+            splits=kv_splits([(0, 1)], 1),
+            mapper_factory=Boom,
+            reducer_factory=IdentityReducer,
+        )
+        with pytest.raises(TaskFailedError) as exc:
+            engine.run(job)
+        assert "map-0000" in str(exc.value)
+        assert isinstance(exc.value.cause, RuntimeError)
+
+    def test_reduce_failure_wrapped(self, engine):
+        class BoomReducer(Reducer):
+            def reduce(self, key, values, ctx):
+                raise ValueError("reduce exploded")
+
+        job = MapReduceJob(
+            name="boom-r",
+            splits=kv_splits([(0, 1)], 1),
+            mapper_factory=IdentityMapper,
+            reducer_factory=BoomReducer,
+            num_reducers=1,
+        )
+        with pytest.raises(TaskFailedError) as exc:
+            engine.run(job)
+        assert "reduce-0000" in str(exc.value)
+
+
+class TestMixedKeys:
+    def test_unsortable_keys_fall_back_to_repr_order(self, engine):
+        class MixedKeyMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(value, 1)
+
+        job = MapReduceJob(
+            name="mixed",
+            splits=kv_splits([(0, "a"), (1, 3), (2, (1, 2))], 1),
+            mapper_factory=MixedKeyMapper,
+            reducer_factory=SumReducer,
+            num_reducers=1,
+        )
+        result = engine.run(job)
+        assert len(result.all_pairs()) == 3
+
+
+class TestJobResult:
+    def test_single_value(self, engine):
+        class One(Mapper):
+            def map(self, key, value, ctx):
+                pass
+
+            def cleanup(self, ctx):
+                if ctx.task_id.index == 0:
+                    ctx.emit("only", 42)
+
+        job = MapReduceJob(
+            name="one",
+            splits=kv_splits([(0, 1)], 1),
+            mapper_factory=One,
+            reducer_factory=IdentityReducer,
+            num_reducers=1,
+        )
+        result = engine.run(job)
+        assert result.single_value() == 42
+        assert result.all_values() == [42]

@@ -1,0 +1,142 @@
+"""Property-based tests of the MapReduce engine itself."""
+
+from collections import Counter as Multiset
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ThreadPoolEngine
+from repro.mapreduce.partitioners import hash_partitioner
+from repro.mapreduce.splits import kv_splits
+from repro.mapreduce.types import IdentityMapper, IdentityReducer, Mapper, Reducer
+
+
+class KeyedEmitter(Mapper):
+    """Emit (value % 5, value) so keys collide across splits."""
+
+    def map(self, key, value, ctx):
+        ctx.emit(value % 5, value)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+pairs_strategy = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(-100, 100)),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestEngineProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(pairs=pairs_strategy, splits=st.integers(1, 6), reducers=st.integers(1, 5))
+    def test_identity_job_preserves_multiset(self, pairs, splits, reducers):
+        if not pairs:
+            return
+        job = MapReduceJob(
+            name="identity",
+            splits=kv_splits(pairs, splits),
+            mapper_factory=IdentityMapper,
+            reducer_factory=IdentityReducer,
+            num_reducers=reducers,
+        )
+        result = SerialEngine().run(job)
+        assert Multiset(result.all_pairs()) == Multiset(pairs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pairs=pairs_strategy, splits=st.integers(1, 6), reducers=st.integers(1, 5))
+    def test_partitioning_is_respected(self, pairs, splits, reducers):
+        if not pairs:
+            return
+        job = MapReduceJob(
+            name="keyed",
+            splits=kv_splits(pairs, splits),
+            mapper_factory=KeyedEmitter,
+            reducer_factory=IdentityReducer,
+            num_reducers=reducers,
+        )
+        result = SerialEngine().run(job)
+        for r, chunk in enumerate(result.reducer_outputs):
+            for key, _value in chunk:
+                assert hash_partitioner(key, reducers) == r
+
+    @settings(max_examples=40, deadline=None)
+    @given(pairs=pairs_strategy, splits=st.integers(1, 6))
+    def test_split_count_never_changes_results(self, pairs, splits):
+        if not pairs:
+            return
+        outputs = []
+        for s in (1, splits):
+            job = MapReduceJob(
+                name="sum",
+                splits=kv_splits(pairs, s),
+                mapper_factory=KeyedEmitter,
+                reducer_factory=SumReducer,
+                num_reducers=2,
+            )
+            outputs.append(dict(SerialEngine().run(job).all_pairs()))
+        assert outputs[0] == outputs[1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(pairs=pairs_strategy)
+    def test_combiner_invariance_for_associative_reduce(self, pairs):
+        """Sum is associative/commutative: adding the combiner must not
+        change any result."""
+        if not pairs:
+            return
+
+        def run(combiner):
+            job = MapReduceJob(
+                name="sum",
+                splits=kv_splits(pairs, 4),
+                mapper_factory=KeyedEmitter,
+                reducer_factory=SumReducer,
+                combiner_factory=combiner,
+                num_reducers=3,
+            )
+            return dict(SerialEngine().run(job).all_pairs())
+
+        assert run(None) == run(SumReducer)
+
+    @settings(max_examples=20, deadline=None)
+    @given(pairs=pairs_strategy, workers=st.integers(1, 4))
+    def test_thread_engine_equivalent_to_serial(self, pairs, workers):
+        if not pairs:
+            return
+
+        def run(engine):
+            job = MapReduceJob(
+                name="sum",
+                splits=kv_splits(pairs, 3),
+                mapper_factory=KeyedEmitter,
+                reducer_factory=SumReducer,
+                num_reducers=2,
+            )
+            return dict(engine.run(job).all_pairs())
+
+        assert run(SerialEngine()) == run(ThreadPoolEngine(max_workers=workers))
+
+    @settings(max_examples=30, deadline=None)
+    @given(pairs=pairs_strategy)
+    def test_record_counters_are_exact(self, pairs):
+        if not pairs:
+            return
+        job = MapReduceJob(
+            name="identity",
+            splits=kv_splits(pairs, 3),
+            mapper_factory=IdentityMapper,
+            reducer_factory=IdentityReducer,
+            num_reducers=2,
+        )
+        result = SerialEngine().run(job)
+        # mapper records_in == len(pairs); reducer records_out likewise
+        map_in = sum(t.records_in for t in result.stats.map_tasks)
+        red_out = sum(t.records_out for t in result.stats.reduce_tasks)
+        assert map_in == len(pairs)
+        assert red_out == len(pairs)

@@ -1,0 +1,44 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ValidationError",
+        "DataError",
+        "GridError",
+        "JobError",
+        "JobValidationError",
+        "AlgorithmError",
+        "UnknownAlgorithmError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_validation_errors_are_value_errors():
+    assert issubclass(errors.ValidationError, ValueError)
+    assert issubclass(errors.DataError, ValueError)
+    assert issubclass(errors.GridError, ValueError)
+
+
+def test_unknown_algorithm_is_key_error():
+    assert issubclass(errors.UnknownAlgorithmError, KeyError)
+
+
+def test_task_failed_error_carries_cause():
+    cause = RuntimeError("boom")
+    err = errors.TaskFailedError("map-0001", cause)
+    assert err.task_id == "map-0001"
+    assert err.cause is cause
+    assert "map-0001" in str(err)
+    assert "boom" in str(err)
+
+
+def test_one_except_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.GridError("bad grid")
+    with pytest.raises(errors.ReproError):
+        raise errors.TaskFailedError("reduce-0000", ValueError("x"))

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end.
+
+Examples are executed in-process with a trimmed workload size via
+monkeypatching where needed; failures here mean the documented
+walkthroughs have rotted.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_all_examples_discovered():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = Path(__file__).parent.parent / "examples" / script
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,135 @@
+"""Figure experiments: smoke runs at tiny scale + shape assertions.
+
+These use very small cardinalities so the whole module stays fast; the
+full-scale shape validation lives in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    auto_tpp,
+    run_ablation_merging,
+    run_ablation_pruning,
+    run_figure7,
+    run_figure10,
+    run_figure11,
+)
+from repro.mapreduce.cluster import SimulatedCluster
+
+TINY = 0.002  # paper cards 100k/2M -> 200/4000
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return SimulatedCluster()
+
+
+class TestAutoTPP:
+    def test_large_cardinality_uses_default(self):
+        assert auto_tpp(2_000_000, 3) == 512
+
+    def test_small_high_d_shrinks(self):
+        assert auto_tpp(4000, 8) == 15
+
+    def test_floor(self):
+        assert auto_tpp(100, 10) == 4
+
+
+class TestFigure7:
+    def test_quick_run_structure(self, cluster):
+        report = run_figure7(scale=TINY, quick=True, cluster=cluster)
+        assert report.figure_id == "Figure 7"
+        assert len(report.panels) == 4
+        rendered = report.render()
+        assert "mr-gpsrs" in rendered and "mr-angle" in rendered
+
+    def test_no_dnf_on_independent(self, cluster):
+        report = run_figure7(scale=TINY, quick=True, cluster=cluster)
+        for panel in report.panels:
+            for results in panel.series.values():
+                assert all(not r.is_dnf for r in results)
+
+    def test_skyline_sizes_agree_across_algorithms(self, cluster):
+        report = run_figure7(scale=TINY, quick=True, cluster=cluster)
+        for panel in report.panels:
+            series = list(panel.series.values())
+            for i in range(len(panel.x_values)):
+                sizes = {s[i].skyline_size for s in series if not s[i].is_dnf}
+                assert len(sizes) == 1  # all algorithms agree
+
+
+class TestFigure10:
+    def test_x_one_is_gpsrs(self, cluster):
+        report = run_figure10(scale=TINY, quick=True, cluster=cluster)
+        for panel in report.panels:
+            first = panel.series["mr-gpmrs"][0]
+            assert first.cell.algorithm == "mr-gpsrs"
+
+    def test_reducer_counts_requested(self, cluster):
+        report = run_figure10(scale=TINY, quick=True, cluster=cluster)
+        panel = report.panels[0]
+        opts = [r.cell.option_dict() for r in panel.series["mr-gpmrs"][1:]]
+        assert [o["num_reducers"] for o in opts] == panel.x_values[1:]
+
+
+class TestFigure11:
+    def test_estimates_are_upper_bounds(self, cluster):
+        report = run_figure11(scale=TINY, quick=True, cluster=cluster)
+        rendered = report.render()
+        assert "measured(independent)" in rendered
+        assert "estimate(independent)" in rendered
+        # Section 6: the estimate is a worst-case upper bound.
+        for dist in ("independent", "anticorrelated"):
+            results = report.panels[0].series[dist]
+            for r in results:
+                from repro.grid.cost import kappa_mapper
+
+                n = r.artifacts["grid"].n
+                d = r.cell.workload.dimensionality
+                assert r.max_mapper_compares <= kappa_mapper(n, d)
+
+
+class TestAblations:
+    def test_merging_ablation_runs(self, cluster):
+        report = run_ablation_merging(scale=TINY, cluster=cluster)
+        assert "computation" in report.render()
+
+    def test_pruning_ablation_shape(self, cluster):
+        """Pruning may only reduce shuffle volume."""
+        report = run_ablation_pruning(scale=TINY, cluster=cluster)
+        for panel in report.panels:
+            on, off = panel.series["mr-gpsrs"]
+            assert on.shuffle_bytes <= off.shuffle_bytes
+            assert on.skyline_size == off.skyline_size
+
+
+class TestRegistryOfExperiments:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablation-merging",
+            "ablation-ppd",
+            "ablation-pruning",
+            "ablation-local",
+        }
+
+
+class TestCSVExport:
+    def test_to_csv_roundtrips_runtimes(self, cluster, tmp_path):
+        import csv
+
+        report = run_figure10(scale=TINY, quick=True, cluster=cluster)
+        path = str(tmp_path / "fig10.csv")
+        report.to_csv(path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "Figure 10"
+        # one data row per x value per panel
+        data_rows = [r for r in rows if r and r[0].isdigit()]
+        expected = sum(len(p.x_values) for p in report.panels)
+        assert len(data_rows) == expected

@@ -1,0 +1,86 @@
+"""Exactness of the Figure-11 measurement pipeline.
+
+When every grid cell of every mapper is occupied (the cost model's
+first assumption), the busiest mapper's measured partition-compare
+count must equal kappa_mapper *exactly* — the counting path, the
+pruning geometry, and the closed forms all have to line up for this to
+hold, which makes it a strong end-to-end consistency check.
+"""
+
+import numpy as np
+import pytest
+
+from repro import skyline
+from repro.data.generators import generate
+from repro.grid.bitstring import Bitstring
+from repro.grid.cost import kappa_mapper, kappa_reducer
+from repro.grid.grid import Grid
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.counters import PARTITION_COMPARES
+from repro.mapreduce.splits import contiguous_splits
+
+
+def fully_occupied_per_mapper(data, n, d, num_mappers):
+    grid = Grid.unit(n, d)
+    for split in contiguous_splits(data, num_mappers):
+        rows = np.vstack([row for _id, row in split])
+        if Bitstring.from_data(grid, rows).count() != grid.num_partitions:
+            return False
+    return True
+
+
+@pytest.mark.parametrize("n,d", [(3, 2), (3, 3), (2, 4), (2, 6)])
+def test_mapper_compares_equal_kappa_when_dense(n, d):
+    cluster = SimulatedCluster()
+    data = generate("independent", 30_000, d, seed=42)
+    assert fully_occupied_per_mapper(data, n, d, cluster.map_slots), (
+        "test precondition: every mapper must fill every cell"
+    )
+    result = skyline(
+        data,
+        algorithm="mr-gpmrs",
+        cluster=cluster,
+        ppd=n,
+        bounds=(np.zeros(d), np.ones(d)),
+        num_reducers=13,
+    )
+    job = result.stats.jobs[1]
+    measured = job.max_task_counter("map", PARTITION_COMPARES)
+    assert measured == kappa_mapper(n, d)
+
+
+def test_reducer_compares_bounded_by_kappa_reducer():
+    cluster = SimulatedCluster()
+    n, d = 3, 3
+    data = generate("independent", 30_000, d, seed=42)
+    result = skyline(
+        data,
+        algorithm="mr-gpmrs",
+        cluster=cluster,
+        ppd=n,
+        bounds=(np.zeros(d), np.ones(d)),
+        num_reducers=13,
+    )
+    job = result.stats.jobs[1]
+    measured = job.max_task_counter("reduce", PARTITION_COMPARES)
+    assert 0 < measured <= kappa_reducer(n, d)
+
+
+def test_gpsrs_reducer_equals_full_grid_sum_when_dense():
+    """MR-GPSRS's single reducer performs the comparisons of *all*
+    surviving partitions: with dense occupancy that total is
+    sum(rho_dom) over the d surfaces = kappa_mapper (same overlap
+    bookkeeping)."""
+    cluster = SimulatedCluster()
+    n, d = 3, 3
+    data = generate("independent", 30_000, d, seed=42)
+    result = skyline(
+        data,
+        algorithm="mr-gpsrs",
+        cluster=cluster,
+        ppd=n,
+        bounds=(np.zeros(d), np.ones(d)),
+    )
+    job = result.stats.jobs[1]
+    measured = job.max_task_counter("reduce", PARTITION_COMPARES)
+    assert measured == kappa_mapper(n, d)

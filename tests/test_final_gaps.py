@@ -1,0 +1,136 @@
+"""Residual coverage: small public surfaces not pinned elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import _DATA_CACHE, _DATA_CACHE_LIMIT, Workload, workload_data
+from repro.cli import main
+from repro.grid.grid import Grid
+from repro.grid.regions import partition_dominates, weakly_covered_mask
+
+
+class TestWeaklyCoveredMask:
+    def test_matches_pairwise_definition(self, rng):
+        grid = Grid.unit(4, 2)
+        occupied = rng.random(16) < 0.4
+        mask = weakly_covered_mask(grid, occupied)
+        coords = grid.coords_array()
+        for c in range(16):
+            expect = any(
+                occupied[q] and (coords[q] <= coords[c]).all()
+                for q in range(16)
+            )
+            assert mask[c] == expect
+
+    def test_occupied_cells_cover_themselves(self, rng):
+        grid = Grid.unit(3, 3)
+        occupied = rng.random(27) < 0.5
+        mask = weakly_covered_mask(grid, occupied)
+        assert (mask[occupied]).all()
+
+    def test_relationship_to_strict_domination(self, rng):
+        """Weak cover of cell c-(1,..,1) == strict domination of c."""
+        from repro.grid.regions import strictly_dominated_mask
+
+        grid = Grid.unit(4, 2)
+        occupied = rng.random(16) < 0.5
+        strict = strictly_dominated_mask(grid, occupied)
+        weak = weakly_covered_mask(grid, occupied)
+        coords = grid.coords_array()
+        for c in range(16):
+            if (coords[c] >= 1).all():
+                shifted = grid.index_of(tuple(coords[c] - 1))
+                assert strict[c] == weak[shifted]
+            else:
+                assert not strict[c]
+
+
+class TestHarnessCache:
+    def test_cache_evicts_beyond_limit(self):
+        _DATA_CACHE.clear()
+        for i in range(_DATA_CACHE_LIMIT + 3):
+            workload_data(Workload("independent", 64, 2, seed=i))
+        assert len(_DATA_CACHE) <= _DATA_CACHE_LIMIT
+        _DATA_CACHE.clear()
+
+    def test_cache_key_includes_seed(self):
+        a = workload_data(Workload("independent", 64, 2, seed=1))
+        b = workload_data(Workload("independent", 64, 2, seed=2))
+        assert not np.array_equal(a, b)
+
+
+class TestCLIErrorPaths:
+    def test_bad_prefs_reported_cleanly(self, capsys):
+        code = main(
+            [
+                "compute",
+                "--distribution",
+                "independent",
+                "-c",
+                "50",
+                "-d",
+                "3",
+                "--algorithm",
+                "sfs",
+                "--prefs",
+                "min,max",  # wrong count for d=3
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compare_flags_disagreement(self, capsys):
+        """If an algorithm ever disagreed, the table would say NO; with
+        correct algorithms every row says yes (already covered) — here
+        we just pin that at least two algorithms ran."""
+        code = main(
+            [
+                "compare",
+                "-c",
+                "200",
+                "-d",
+                "2",
+                "--algorithms",
+                "sfs,bruteforce",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bruteforce" in out
+
+
+class TestGridReprAndDescribe:
+    def test_describe_mentions_shape(self):
+        text = Grid.unit(3, 2).describe()
+        assert "n=3" in text and "cells=9" in text
+
+    def test_partition_dominates_requires_all_axes(self):
+        g = Grid.unit(3, 3)
+        a = g.index_of((0, 0, 0))
+        b = g.index_of((1, 1, 0))  # equal on axis 2
+        assert not partition_dominates(g, a, b)
+        c = g.index_of((1, 1, 1))
+        assert partition_dominates(g, a, c)
+
+
+class TestPublicInit:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.bench as bench
+        import repro.core as core
+        import repro.grid as grid
+        import repro.mapreduce as mapreduce
+
+        for module in (bench, core, grid, mapreduce):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module, name)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,110 @@
+"""Synthetic data generators (Börzsönyi et al. shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sfs import sfs_skyline_indices
+from repro.data.generators import (
+    DISTRIBUTIONS,
+    anticorrelated,
+    clustered,
+    correlated,
+    generate,
+    independent,
+)
+from repro.errors import ValidationError
+
+
+class TestBasics:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_shape_and_range(self, name):
+        data = generate(name, 500, 4, seed=1)
+        assert data.shape == (500, 4)
+        assert (data >= 0.0).all() and (data <= 1.0).all()
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_deterministic_under_seed(self, name):
+        a = generate(name, 100, 3, seed=9)
+        b = generate(name, 100, 3, seed=9)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_different_seeds_differ(self, name):
+        a = generate(name, 100, 3, seed=1)
+        b = generate(name, 100, 3, seed=2)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_zero_cardinality(self, name):
+        assert generate(name, 0, 3).shape == (0, 3)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValidationError):
+            generate("zipfian", 10, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            independent(-1, 2)
+        with pytest.raises(ValidationError):
+            independent(10, 0)
+        with pytest.raises(ValidationError):
+            clustered(10, 2, num_clusters=0)
+
+
+class TestShapes:
+    """The property that drives every figure in the paper: skyline
+    fraction ordering correlated < independent < anticorrelated."""
+
+    def skyline_fraction(self, data):
+        return sfs_skyline_indices(data).shape[0] / data.shape[0]
+
+    def test_fraction_ordering(self):
+        n, d = 2000, 4
+        corr = self.skyline_fraction(correlated(n, d, seed=5))
+        ind = self.skyline_fraction(independent(n, d, seed=5))
+        anti = self.skyline_fraction(anticorrelated(n, d, seed=5))
+        assert corr < ind < anti
+
+    def test_anticorrelated_fraction_grows_with_d(self):
+        fractions = [
+            self.skyline_fraction(anticorrelated(1500, d, seed=3))
+            for d in (2, 4, 6)
+        ]
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_correlated_dimensions_positively_correlated(self):
+        data = correlated(3000, 2, seed=7)
+        r = np.corrcoef(data[:, 0], data[:, 1])[0, 1]
+        assert r > 0.5
+
+    def test_anticorrelated_dimensions_negatively_correlated(self):
+        data = anticorrelated(3000, 2, seed=7)
+        r = np.corrcoef(data[:, 0], data[:, 1])[0, 1]
+        assert r < -0.5
+
+    def test_independent_dimensions_uncorrelated(self):
+        data = independent(3000, 2, seed=7)
+        r = np.corrcoef(data[:, 0], data[:, 1])[0, 1]
+        assert abs(r) < 0.1
+
+    def test_clustered_is_lumpy(self):
+        """Clustered data occupies far fewer grid cells than uniform."""
+        from repro.grid.bitstring import Bitstring
+        from repro.grid.grid import Grid
+
+        g = Grid.unit(8, 2)
+        uniform_cells = Bitstring.from_data(
+            g, independent(2000, 2, seed=1)
+        ).count()
+        clustered_cells = Bitstring.from_data(
+            g, clustered(2000, 2, seed=1, num_clusters=3)
+        ).count()
+        assert clustered_cells < uniform_cells / 2
+
+
+class TestGeneratorAccceptsGenerator:
+    def test_rng_instance_reused(self):
+        rng = np.random.default_rng(0)
+        a = independent(10, 2, seed=rng)
+        b = independent(10, 2, seed=rng)
+        assert not np.array_equal(a, b)  # stream advances

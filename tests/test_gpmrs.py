@@ -1,0 +1,145 @@
+"""MR-GPMRS (Algorithms 7-9, Sections 5.3-5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.gpmrs import MRGPMRS
+from repro.data.generators import generate
+from repro.errors import ValidationError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.counters import PARTITION_COMPARES
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_matches_oracle(self, oracle, distribution, d):
+        data = generate(distribution, 250, d, seed=23)
+        result = MRGPMRS(ppd=3, num_reducers=4).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    @pytest.mark.parametrize("reducers", [1, 2, 3, 5, 9, 17])
+    def test_reducer_count_invariant(self, oracle, rng, reducers):
+        data = rng.random((300, 3))
+        result = MRGPMRS(ppd=3, num_reducers=reducers).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    @pytest.mark.parametrize("strategy", ["computation", "communication"])
+    def test_merge_strategy_invariant(self, oracle, rng, strategy):
+        data = rng.random((300, 3))
+        result = MRGPMRS(
+            ppd=3, num_reducers=3, merge_strategy=strategy
+        ).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_mapper_count_invariant(self, oracle, rng):
+        data = rng.random((200, 3))
+        expect = oracle(data)
+        for m in (1, 4, 19):
+            result = MRGPMRS(ppd=3, num_reducers=4).compute(
+                data, num_mappers=m
+            )
+            assert set(result.indices.tolist()) == expect, m
+
+    def test_anticorrelated_large_skyline(self, oracle):
+        data = generate("anticorrelated", 400, 4, seed=3)
+        result = MRGPMRS(ppd=3, num_reducers=6).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+        assert len(result) > 100  # genuinely a large skyline
+
+    def test_without_pruning(self, oracle, rng):
+        data = rng.random((250, 3))
+        result = MRGPMRS(
+            ppd=3, num_reducers=4, prune_bitstring=False
+        ).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_empty_dataset(self):
+        result = MRGPMRS().compute(np.empty((0, 4)))
+        assert len(result) == 0
+
+    def test_duplicates_across_groups(self):
+        data = np.vstack(
+            [np.array([[0.05, 0.95]] * 2), np.array([[0.95, 0.05]] * 2)]
+        )
+        result = MRGPMRS(ppd=3, num_reducers=2).compute(data)
+        assert sorted(result.indices.tolist()) == [0, 1, 2, 3]
+
+
+class TestNoDuplicateOutputs:
+    def test_each_partition_output_once(self, rng):
+        """Section 5.4.2: replicated partitions must be emitted by
+        exactly one reducer — assemble_result raises otherwise, so a
+        clean run plus exact-set equality proves dedup works."""
+        data = generate("anticorrelated", 500, 3, seed=9)
+        result = MRGPMRS(ppd=4, num_reducers=5).compute(data)
+        # ids unique?
+        assert len(set(result.indices.tolist())) == len(result)
+
+    def test_skyline_identical_across_reducer_counts(self, rng):
+        data = generate("anticorrelated", 400, 3, seed=11)
+        baseline = MRGPMRS(ppd=4, num_reducers=1).compute(data)
+        for r in (2, 4, 8):
+            other = MRGPMRS(ppd=4, num_reducers=r).compute(data)
+            assert np.array_equal(other.indices, baseline.indices)
+
+
+class TestStructure:
+    def test_two_job_pipeline(self, rng):
+        result = MRGPMRS(ppd=3, num_reducers=2).compute(rng.random((100, 2)))
+        assert [j.job_name for j in result.stats.jobs] == [
+            "bitstring",
+            "gpmrs-skyline",
+        ]
+
+    def test_multiple_reducers_active(self):
+        data = generate("anticorrelated", 600, 2, seed=5)
+        result = MRGPMRS(ppd=6, num_reducers=4).compute(data)
+        job = result.stats.jobs[1]
+        active = [t for t in job.reduce_tasks if t.records_in > 0]
+        assert len(active) >= 2
+
+    def test_default_reducers_one_per_node(self, rng):
+        """Section 7.1: 'MR-GPMRS uses one reducer per node'."""
+        cluster = SimulatedCluster(num_nodes=7)
+        result = MRGPMRS(ppd=3).compute(rng.random((100, 2)), cluster=cluster)
+        assert result.stats.jobs[1].num_reduce_tasks == 7
+
+    def test_artifacts_include_groups(self, rng):
+        result = MRGPMRS(ppd=3, num_reducers=2).compute(rng.random((150, 2)))
+        groups = result.artifacts["independent_groups"]
+        reducer_groups = result.artifacts["reducer_groups"]
+        assert groups and reducer_groups
+        assert len(reducer_groups) <= 2
+
+    def test_partition_compares_counted_per_reducer(self):
+        data = generate("anticorrelated", 500, 2, seed=5)
+        result = MRGPMRS(ppd=6, num_reducers=4).compute(data)
+        job = result.stats.jobs[1]
+        assert job.max_task_counter("reduce", PARTITION_COMPARES) >= 0
+        assert job.max_task_counter("map", PARTITION_COMPARES) > 0
+
+    def test_reducer_work_split_vs_gpsrs(self):
+        """The busiest GPMRS reducer compares no more partitions than
+        MR-GPSRS's single reducer on the same workload."""
+        from repro.algorithms.gpsrs import MRGPSRS
+
+        data = generate("anticorrelated", 800, 3, seed=7)
+        single = MRGPSRS(ppd=4).compute(data)
+        multi = MRGPMRS(ppd=4, num_reducers=6).compute(data)
+        single_max = single.stats.jobs[1].max_task_counter(
+            "reduce", PARTITION_COMPARES
+        )
+        multi_max = multi.stats.jobs[1].max_task_counter(
+            "reduce", PARTITION_COMPARES
+        )
+        assert multi_max <= single_max
+
+
+class TestValidation:
+    def test_bad_num_reducers(self):
+        with pytest.raises(ValidationError):
+            MRGPMRS(num_reducers=0)
+
+    def test_bad_merge_strategy(self):
+        with pytest.raises(ValidationError):
+            MRGPMRS(merge_strategy="psychic")

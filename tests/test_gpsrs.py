@@ -1,0 +1,137 @@
+"""MR-GPSRS (Algorithms 3-6)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.gpsrs import MRGPSRS
+from repro.data.generators import generate
+from repro.errors import ValidationError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.counters import (
+    PARTITION_COMPARES,
+    TUPLES_PRUNED_BY_BITSTRING,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_matches_oracle(self, oracle, distribution, d):
+        data = generate(distribution, 250, d, seed=17)
+        result = MRGPSRS(ppd=3).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_various_ppd(self, oracle, rng):
+        data = rng.random((300, 3))
+        expect = oracle(data)
+        for ppd in (1, 2, 4, 7):
+            result = MRGPSRS(ppd=ppd).compute(data)
+            assert set(result.indices.tolist()) == expect, ppd
+
+    def test_mapper_count_invariant(self, oracle, rng):
+        data = rng.random((200, 3))
+        expect = oracle(data)
+        for m in (1, 2, 7, 25):
+            result = MRGPSRS(ppd=3).compute(data, num_mappers=m)
+            assert set(result.indices.tolist()) == expect, m
+
+    def test_adaptive_strategies(self, oracle, rng):
+        data = rng.random((400, 3))
+        expect = oracle(data)
+        for strategy in ("equation4", "adaptive-target", "adaptive-literal"):
+            result = MRGPSRS(ppd_strategy=strategy).compute(data)
+            assert set(result.indices.tolist()) == expect, strategy
+
+    def test_without_pruning(self, oracle, rng):
+        data = rng.random((300, 3))
+        result = MRGPSRS(ppd=3, prune_bitstring=False).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_explicit_bounds(self, oracle, rng):
+        data = rng.random((200, 2))
+        result = MRGPSRS(
+            ppd=4, bounds=(np.zeros(2), np.ones(2))
+        ).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_duplicates_preserved(self):
+        data = np.vstack([np.array([[0.1, 0.1]] * 3), np.array([[0.9, 0.9]])])
+        result = MRGPSRS(ppd=3).compute(data)
+        assert sorted(result.indices.tolist()) == [0, 1, 2]
+
+    def test_empty_dataset(self):
+        result = MRGPSRS().compute(np.empty((0, 3)))
+        assert len(result) == 0
+        assert result.stats.simulated_s == 0.0
+
+    def test_single_row(self):
+        result = MRGPSRS().compute(np.array([[1.0, 2.0]]))
+        assert result.indices.tolist() == [0]
+
+    def test_identical_rows_only(self):
+        data = np.ones((20, 3))
+        result = MRGPSRS(ppd=2).compute(data)
+        assert len(result) == 20
+
+
+class TestStructure:
+    def test_two_job_pipeline(self, rng):
+        result = MRGPSRS(ppd=3).compute(rng.random((100, 2)))
+        assert [j.job_name for j in result.stats.jobs] == [
+            "bitstring",
+            "gpsrs-skyline",
+        ]
+
+    def test_single_reducer(self, rng):
+        result = MRGPSRS(ppd=3).compute(rng.random((100, 2)))
+        assert result.stats.jobs[1].num_reduce_tasks == 1
+
+    def test_artifacts_exposed(self, rng):
+        result = MRGPSRS(ppd=4).compute(rng.random((100, 2)))
+        assert result.artifacts["grid"].n == 4
+        assert result.artifacts["bitstring"].grid.n == 4
+
+    def test_bitstring_pruning_drops_tuples(self):
+        """Anti-corner clusters: the dominated cluster never shuffles."""
+        rng = np.random.default_rng(3)
+        good = rng.random((100, 2)) * 0.2  # near origin
+        bad = rng.random((100, 2)) * 0.2 + 0.8  # dominated corner
+        data = np.vstack([good, bad])
+        result = MRGPSRS(ppd=4).compute(data)
+        pruned = result.stats.jobs[1].counters[TUPLES_PRUNED_BY_BITSTRING]
+        assert pruned >= 100
+
+    def test_partition_compares_counted(self, rng):
+        result = MRGPSRS(ppd=4).compute(rng.random((300, 2)))
+        assert result.stats.jobs[1].counters[PARTITION_COMPARES] > 0
+
+    def test_runtime_annotated(self, rng):
+        cluster = SimulatedCluster(num_nodes=5)
+        result = MRGPSRS(ppd=3).compute(rng.random((100, 2)), cluster=cluster)
+        assert result.stats.simulated_s == pytest.approx(
+            cluster.pipeline_makespan(result.stats.jobs)
+        )
+
+    def test_values_match_indices(self, rng):
+        data = rng.random((150, 3))
+        result = MRGPSRS(ppd=3).compute(data)
+        assert np.array_equal(result.values, data[result.indices])
+
+    def test_indices_sorted(self, rng):
+        result = MRGPSRS(ppd=3).compute(rng.random((150, 3)))
+        assert np.all(np.diff(result.indices) > 0)
+
+
+class TestValidation:
+    def test_bad_ppd(self):
+        with pytest.raises(ValidationError):
+            MRGPSRS(ppd=0)
+        with pytest.raises(ValidationError):
+            MRGPSRS(ppd=2.5)
+
+    def test_bad_strategy(self):
+        with pytest.raises(ValidationError):
+            MRGPSRS(ppd_strategy="guess")
+
+    def test_bad_tpp(self):
+        with pytest.raises(ValidationError):
+            MRGPSRS(tpp=0)

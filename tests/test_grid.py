@@ -1,0 +1,130 @@
+"""Grid partitioning: indexing, cell assignment, geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid.grid import MAX_PARTITIONS, Grid
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = Grid.unit(3, 2)
+        assert g.n == 3 and g.d == 2 and g.num_partitions == 9
+
+    def test_fit_uses_data_bounds(self):
+        g = Grid.fit([[0.0, 10.0], [4.0, 20.0]], n=2)
+        assert g.lows.tolist() == [0.0, 10.0]
+        assert g.highs.tolist() == [4.0, 20.0]
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(GridError):
+            Grid.unit(0, 2)
+        with pytest.raises(GridError):
+            Grid(2.5, [0.0], [1.0])
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(GridError):
+            Grid(2, [1.0], [0.0])
+
+    def test_rejects_mismatched_bounds(self):
+        with pytest.raises(GridError):
+            Grid(2, [0.0, 0.0], [1.0])
+
+    def test_rejects_oversized_grids(self):
+        with pytest.raises(GridError):
+            Grid.unit(2, 30)  # 2^30 cells > MAX_PARTITIONS
+        assert 2 ** 24 == MAX_PARTITIONS
+
+    def test_equality_and_hash(self):
+        assert Grid.unit(3, 2) == Grid.unit(3, 2)
+        assert Grid.unit(3, 2) != Grid.unit(4, 2)
+        assert hash(Grid.unit(3, 2)) == hash(Grid.unit(3, 2))
+
+
+class TestIndexing:
+    def test_column_major_roundtrip(self):
+        g = Grid.unit(3, 2)
+        for index in range(9):
+            assert g.index_of(g.coords_of(index)) == index
+
+    def test_dimension_zero_varies_fastest(self):
+        g = Grid.unit(3, 2)
+        assert g.coords_of(0) == (0, 0)
+        assert g.coords_of(1) == (1, 0)
+        assert g.coords_of(3) == (0, 1)
+        assert g.coords_of(8) == (2, 2)
+
+    def test_three_dimensions(self):
+        g = Grid.unit(2, 3)
+        assert g.coords_of(7) == (1, 1, 1)
+        assert g.index_of((0, 1, 1)) == 6
+
+    def test_out_of_range_rejected(self):
+        g = Grid.unit(3, 2)
+        with pytest.raises(GridError):
+            g.coords_of(9)
+        with pytest.raises(GridError):
+            g.index_of((3, 0))
+        with pytest.raises(GridError):
+            g.index_of((0,))
+
+    def test_coords_array_matches_coords_of(self):
+        g = Grid.unit(3, 3)
+        arr = g.coords_array()
+        for index in range(g.num_partitions):
+            assert tuple(arr[index]) == g.coords_of(index)
+
+
+class TestCellAssignment:
+    def test_half_open_cells(self):
+        g = Grid.unit(2, 1)
+        assert g.cell_index([0.0]) == 0
+        assert g.cell_index([0.49]) == 0
+        assert g.cell_index([0.5]) == 1  # boundary goes to the upper cell
+
+    def test_top_boundary_closed(self):
+        g = Grid.unit(2, 1)
+        assert g.cell_index([1.0]) == 1  # max clamps into the last cell
+
+    def test_out_of_bounds_clamped(self):
+        g = Grid.unit(2, 2)
+        assert g.cell_index([-5.0, 5.0]) == g.index_of((0, 1))
+
+    def test_vectorised_matches_scalar(self, rng):
+        g = Grid.unit(4, 3)
+        data = rng.random((100, 3))
+        indices = g.cell_indices(data)
+        for i in range(100):
+            assert indices[i] == g.cell_index(data[i])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(GridError):
+            Grid.unit(2, 2).cell_indices(np.zeros((3, 3)))
+
+    def test_degenerate_dimension(self):
+        """All-equal dimension: everything lands in coordinate 0."""
+        g = Grid(3, [0.0, 5.0], [1.0, 5.0])
+        assert g.cell_index([0.9, 5.0]) == g.index_of((2, 0))
+
+
+class TestGeometry:
+    def test_corners(self):
+        g = Grid.unit(3, 2)
+        index = g.index_of((1, 2))
+        assert np.allclose(g.min_corner(index), [1 / 3, 2 / 3])
+        assert np.allclose(g.max_corner(index), [2 / 3, 1.0])
+
+    def test_corners_respect_offset_bounds(self):
+        g = Grid(2, [10.0], [20.0])
+        assert np.allclose(g.min_corner(1), [15.0])
+        assert np.allclose(g.max_corner(1), [20.0])
+
+    def test_shape_reshape_consistency(self):
+        """Fortran-order reshape puts cell (c0, c1) at tensor[c0, c1]."""
+        g = Grid.unit(3, 2)
+        flat = np.arange(9)
+        tensor = flat.reshape(g.shape(), order="F")
+        for index in range(9):
+            c = g.coords_of(index)
+            assert tensor[c] == index

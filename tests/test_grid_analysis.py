@@ -1,0 +1,101 @@
+"""Grid occupancy/pruning analytics."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import anticorrelated, clustered, independent
+from repro.errors import GridError
+from repro.grid.analysis import analyze_grid, ppd_sweep
+from repro.grid.grid import Grid
+
+
+class TestAnalyzeGrid:
+    def test_basic_accounting(self, rng):
+        data = independent(2000, 2, seed=4)
+        grid = Grid.unit(8, 2)
+        analysis = analyze_grid(grid, data)
+        assert analysis.cardinality == 2000
+        assert 0 < analysis.occupied <= 64
+        assert analysis.surviving <= analysis.occupied
+        assert analysis.pruned_partitions == (
+            analysis.occupied - analysis.surviving
+        )
+        assert 0 <= analysis.fill_factor <= 1
+
+    def test_tuples_in_pruned_consistent(self):
+        data = independent(3000, 2, seed=5)
+        grid = Grid.unit(8, 2)
+        analysis = analyze_grid(grid, data)
+        # the pruned tuples are exactly those in pruned cells
+        from repro.grid.bitstring import Bitstring
+
+        occ = Bitstring.from_data(grid, data)
+        pruned = occ.prune_dominated()
+        cells = grid.cell_indices(data)
+        expect = sum(
+            1 for c in cells if occ[int(c)] and not pruned[int(c)]
+        )
+        assert analysis.tuples_in_pruned == expect
+        assert analysis.pruned_tuple_fraction == pytest.approx(
+            expect / 3000
+        )
+
+    def test_uniform_data_surviving_bound(self):
+        """With dense occupancy, survivors ≈ rho_rem (never above
+        occupied count; rho_rem is the fully-occupied exact value)."""
+        data = independent(20000, 2, seed=6)
+        grid = Grid.unit(8, 2)
+        analysis = analyze_grid(grid, data)
+        assert analysis.occupied == 64  # dense
+        assert analysis.surviving == analysis.predicted_surviving_upper
+
+    def test_group_metrics(self):
+        data = anticorrelated(2000, 2, seed=7)
+        analysis = analyze_grid(Grid.unit(6, 2), data)
+        assert analysis.num_groups >= 1
+        assert analysis.largest_group >= 1
+        assert analysis.replicated_partitions >= 0
+
+    def test_clustered_fill_lower_than_uniform(self):
+        grid = Grid.unit(8, 2)
+        uniform = analyze_grid(grid, independent(2000, 2, seed=8))
+        lumpy = analyze_grid(
+            grid, clustered(2000, 2, seed=8, num_clusters=3)
+        )
+        assert lumpy.fill_factor < uniform.fill_factor
+
+    def test_empty_dataset(self):
+        analysis = analyze_grid(Grid.unit(4, 2), np.empty((0, 2)))
+        assert analysis.occupied == 0
+        assert analysis.pruned_tuple_fraction == 0.0
+        assert analysis.num_groups == 0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(GridError):
+            analyze_grid(Grid.unit(4, 2), np.zeros((3, 3)))
+
+    def test_render_mentions_key_numbers(self):
+        data = independent(500, 2, seed=9)
+        text = analyze_grid(Grid.unit(4, 2), data).render()
+        assert "occupied cells" in text
+        assert "independent groups" in text
+        assert "kappa_mapper" in text
+
+
+class TestPPDSweep:
+    def test_sweep_monotonicity(self):
+        """Finer grids: more cells, fewer tuples per cell."""
+        data = independent(5000, 2, seed=10)
+        sweep = ppd_sweep(data, [2, 4, 8, 16], bounds=(np.zeros(2), np.ones(2)))
+        means = [a.tuples_per_occupied_mean for a in sweep]
+        assert all(a > b for a, b in zip(means, means[1:]))
+        assert [a.ppd for a in sweep] == [2, 4, 8, 16]
+
+    def test_pruning_fraction_grows_with_n_on_uniform(self):
+        data = independent(20000, 2, seed=11)
+        sweep = ppd_sweep(data, [2, 8], bounds=(np.zeros(2), np.ones(2)))
+        assert sweep[1].pruned_tuple_fraction > sweep[0].pruned_tuple_fraction
+
+    def test_empty_without_bounds_rejected(self):
+        with pytest.raises(GridError):
+            ppd_sweep(np.empty((0, 2)), [2])

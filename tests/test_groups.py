@@ -1,0 +1,182 @@
+"""Independent partition groups: Algorithm 7, merging, responsibility.
+
+Pins the paper's Figure 6 walk-through: non-empty {p1,p2,p3,p4,p6}
+yields IG1={p3,p6}, IG2={p1,p3,p4}, IG3={p1,p2} (p1 and p3
+replicated).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+from repro.grid.groups import (
+    IndependentGroup,
+    generate_independent_groups,
+    merge_groups,
+    merge_groups_communication,
+    merge_groups_computation,
+)
+from repro.grid.regions import in_anti_dominating_region
+
+
+@pytest.fixture
+def figure6():
+    g = Grid.unit(3, 2)
+    bs = Bitstring.from01(g, "011110100")  # non-empty {1,2,3,4,6}
+    return g, bs
+
+
+class TestGeneration:
+    def test_paper_figure6_groups(self, figure6):
+        g, bs = figure6
+        groups = generate_independent_groups(g, bs)
+        assert [grp.seed for grp in groups] == [6, 4, 2]
+        assert groups[0].members == (3, 6)
+        assert groups[1].members == (1, 3, 4)
+        assert groups[2].members == (1, 2)
+
+    def test_replicated_partitions(self, figure6):
+        g, bs = figure6
+        groups = generate_independent_groups(g, bs)
+        counts = {}
+        for grp in groups:
+            for p in grp.members:
+                counts[p] = counts.get(p, 0) + 1
+        assert counts[1] == 2 and counts[3] == 2  # the paper's p1, p3
+
+    def test_every_nonempty_partition_covered(self, rng):
+        g = Grid.unit(4, 2)
+        bits = rng.random(16) < 0.5
+        bs = Bitstring(g, bits)
+        groups = generate_independent_groups(g, bs)
+        covered = {p for grp in groups for p in grp.members}
+        assert covered == set(bs.set_indices().tolist())
+
+    def test_groups_are_independent(self, rng):
+        """Definition 5: each group is closed under (non-empty) ADR."""
+        g = Grid.unit(3, 3)
+        bits = rng.random(27) < 0.5
+        bs = Bitstring(g, bits)
+        present = set(bs.set_indices().tolist())
+        for grp in generate_independent_groups(g, bs):
+            members = set(grp.members)
+            for p in members:
+                adr = {
+                    q
+                    for q in present
+                    if in_anti_dominating_region(g, q, p)
+                }
+                assert adr <= members
+
+    def test_deterministic(self, rng):
+        g = Grid.unit(3, 3)
+        bits = rng.random(27) < 0.5
+        a = generate_independent_groups(g, Bitstring(g, bits))
+        b = generate_independent_groups(g, Bitstring(g, bits))
+        assert a == b
+
+    def test_empty_bitstring(self):
+        g = Grid.unit(3, 2)
+        assert generate_independent_groups(g, Bitstring(g)) == []
+
+    def test_adr_size(self):
+        grp = IndependentGroup(seed=4, members=(1, 3, 4))
+        assert grp.adr_size == 2
+        assert 3 in grp and 7 not in grp
+
+
+class TestMergingComputation:
+    def test_respects_reducer_count(self, figure6):
+        g, bs = figure6
+        groups = generate_independent_groups(g, bs)
+        merged = merge_groups_computation(groups, 2)
+        assert len(merged) == 2
+
+    def test_fewer_groups_than_reducers(self, figure6):
+        g, bs = figure6
+        groups = generate_independent_groups(g, bs)
+        merged = merge_groups_computation(groups, 10)
+        assert len(merged) == len(groups)
+
+    def test_balances_cost(self):
+        groups = [
+            IndependentGroup(seed=i, members=tuple(range(i + 1)))
+            for i in (9, 7, 5, 3, 1)
+        ]
+        merged = merge_groups_computation(groups, 2)
+        loads = sorted(m.cost for m in merged)
+        # LPT on costs {9,7,5,3,1}: {9,3,1}=13 vs {7,5}=12.
+        assert loads == [12, 13]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            merge_groups_computation([], 0)
+
+
+class TestMergingCommunication:
+    def test_merges_most_overlapping(self):
+        groups = [
+            IndependentGroup(seed=10, members=(1, 2, 3, 10)),
+            IndependentGroup(seed=11, members=(1, 2, 3, 11)),
+            IndependentGroup(seed=12, members=(7, 12)),
+        ]
+        merged = merge_groups_communication(groups, 2)
+        by_seeds = {
+            frozenset(g.seed for g in m.groups) for m in merged
+        }
+        assert frozenset({10, 11}) in by_seeds
+
+    def test_respects_reducer_count(self, figure6):
+        g, bs = figure6
+        groups = generate_independent_groups(g, bs)
+        assert len(merge_groups_communication(groups, 1)) == 1
+
+
+class TestDispatchAndResponsibility:
+    def test_dispatch(self, figure6):
+        g, bs = figure6
+        groups = generate_independent_groups(g, bs)
+        assert merge_groups(groups, 2, "computation")
+        assert merge_groups(groups, 2, "communication")
+        with pytest.raises(ValidationError):
+            merge_groups(groups, 2, "nope")
+
+    def test_each_partition_has_exactly_one_responsible_reducer(
+        self, figure6
+    ):
+        g, bs = figure6
+        groups = generate_independent_groups(g, bs)
+        for r in (1, 2, 3, 5):
+            merged = merge_groups(groups, r)
+            seen = []
+            for m in merged:
+                seen.extend(m.responsible)
+            assert sorted(seen) == sorted(set(seen))  # no duplicates
+            assert set(seen) == {1, 2, 3, 4, 6}  # full coverage
+
+    def test_responsible_subset_of_partitions(self, rng):
+        g = Grid.unit(3, 3)
+        bs = Bitstring(g, rng.random(27) < 0.5)
+        groups = generate_independent_groups(g, bs)
+        if not groups:
+            pytest.skip("empty occupancy drawn")
+        for m in merge_groups(groups, 4):
+            assert set(m.responsible) <= set(m.partitions)
+
+    def test_designation_prefers_cheapest_group(self, figure6):
+        """Section 5.4.2: the group with minimal |pm.ADR| outputs the
+        replicated partition."""
+        g, bs = figure6
+        groups = generate_independent_groups(g, bs)
+        merged = merge_groups(groups, 3)
+        # p3 is in IG1 (seed 6, adr 1) and IG2 (seed 4, adr 2):
+        # IG1's reducer must own it. p1 is in IG2 (adr 2) and IG3
+        # (seed 2, adr 1): IG3's reducer must own it.
+        owner_of = {}
+        for m in merged:
+            for p in m.responsible:
+                owner_of[p] = {grp.seed for grp in m.groups}
+        assert 6 in owner_of[3]
+        assert 2 in owner_of[1]

@@ -1,0 +1,101 @@
+"""The balanced merging strategy (paper Section 8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+from repro.grid.groups import (
+    IndependentGroup,
+    generate_independent_groups,
+    merge_groups,
+    merge_groups_balanced,
+    merge_groups_communication,
+    merge_groups_computation,
+)
+
+
+def random_groups(rng, grid_n=5):
+    grid = Grid.unit(grid_n, 2)
+    bits = rng.random(grid.num_partitions) < 0.5
+    return grid, generate_independent_groups(grid, Bitstring(grid, bits))
+
+
+class TestBalancedMerging:
+    def test_respects_reducer_count(self, rng):
+        _grid, groups = random_groups(rng)
+        if not groups:
+            pytest.skip("empty occupancy drawn")
+        merged = merge_groups_balanced(groups, 3)
+        assert 1 <= len(merged) <= 3
+
+    def test_zero_weight_equals_computation_lpt(self, rng):
+        _grid, groups = random_groups(rng)
+        if not groups:
+            pytest.skip("empty occupancy drawn")
+        balanced = merge_groups_balanced(groups, 3, communication_weight=0.0)
+        lpt = merge_groups_computation(groups, 3)
+        assert sorted(m.cost for m in balanced) == sorted(
+            m.cost for m in lpt
+        )
+
+    def test_full_coverage_and_unique_responsibility(self, rng):
+        _grid, groups = random_groups(rng)
+        if not groups:
+            pytest.skip("empty occupancy drawn")
+        merged = merge_groups_balanced(groups, 4)
+        responsible = [p for m in merged for p in m.responsible]
+        all_members = {p for g in groups for p in g.members}
+        assert sorted(responsible) == sorted(set(responsible))
+        assert set(responsible) == all_members
+
+    def test_interpolates_between_extremes(self):
+        """High communication weight should replicate no more
+        partitions than pure LPT does on an overlap-heavy input."""
+        groups = [
+            IndependentGroup(seed=20, members=(1, 2, 3, 4, 20)),
+            IndependentGroup(seed=21, members=(1, 2, 3, 4, 21)),
+            IndependentGroup(seed=22, members=(9, 22)),
+            IndependentGroup(seed=23, members=(9, 23)),
+        ]
+
+        def replicated(merged):
+            return sum(len(m.partitions) for m in merged)
+
+        sticky = merge_groups_balanced(groups, 2, communication_weight=10.0)
+        lpt = merge_groups_computation(groups, 2)
+        assert replicated(sticky) <= replicated(lpt)
+
+    def test_dispatch_via_merge_groups(self, rng):
+        _grid, groups = random_groups(rng)
+        if not groups:
+            pytest.skip("empty occupancy drawn")
+        merged = merge_groups(groups, 3, strategy="balanced")
+        assert merged
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            merge_groups_balanced([], 0)
+        with pytest.raises(ValidationError):
+            merge_groups_balanced([], 2, communication_weight=-1)
+
+
+class TestBalancedEndToEnd:
+    def test_gpmrs_balanced_matches_oracle(self, oracle, rng):
+        from repro.algorithms.gpmrs import MRGPMRS
+
+        data = rng.random((300, 3))
+        result = MRGPMRS(
+            ppd=4, num_reducers=4, merge_strategy="balanced"
+        ).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_registry_accepts_balanced(self, oracle, rng):
+        from repro import skyline
+
+        data = rng.random((200, 2))
+        result = skyline(
+            data, algorithm="mr-gpmrs", merge_strategy="balanced"
+        )
+        assert set(result.indices.tolist()) == oracle(data)

@@ -1,0 +1,79 @@
+"""The hybrid GPSRS/GPMRS auto-switch (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import RunEnvironment
+from repro.algorithms.hybrid import HybridGridSkyline
+from repro.data.generators import generate
+from repro.errors import ValidationError
+from repro.mapreduce.cluster import SimulatedCluster
+
+
+class TestDecision:
+    def test_small_skyline_picks_gpsrs(self):
+        data = generate("correlated", 1000, 3, seed=1)
+        result = HybridGridSkyline().compute(data)
+        assert result.artifacts["hybrid_delegate"] == "mr-gpsrs"
+
+    def test_large_skyline_picks_gpmrs(self):
+        data = generate("anticorrelated", 1000, 5, seed=1)
+        result = HybridGridSkyline().compute(data)
+        assert result.artifacts["hybrid_delegate"] == "mr-gpmrs"
+
+    def test_fraction_estimate_monotone_in_hardness(self):
+        hybrid = HybridGridSkyline()
+        easy = hybrid.estimate_skyline_fraction(
+            generate("correlated", 2000, 4, seed=2)
+        )
+        hard = hybrid.estimate_skyline_fraction(
+            generate("anticorrelated", 2000, 4, seed=2)
+        )
+        assert easy < hard
+
+    def test_reducer_scaling(self):
+        env = RunEnvironment(cluster=SimulatedCluster(num_nodes=13))
+        hybrid = HybridGridSkyline(threshold=0.1)
+        low = hybrid.choose_num_reducers(0.1, env)
+        high = hybrid.choose_num_reducers(0.9, env)
+        assert low == 13
+        assert high == 26
+        assert low <= hybrid.choose_num_reducers(0.3, env) <= high
+
+    def test_empty_data_fraction_zero(self):
+        assert HybridGridSkyline().estimate_skyline_fraction(
+            np.empty((0, 3))
+        ) == 0.0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "distribution", ["independent", "anticorrelated", "correlated"]
+    )
+    def test_matches_oracle(self, oracle, distribution):
+        data = generate(distribution, 300, 3, seed=6)
+        result = HybridGridSkyline().compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_result_carries_hybrid_name(self, rng):
+        result = HybridGridSkyline().compute(rng.random((100, 3)))
+        assert result.algorithm == "mr-hybrid"
+        assert "hybrid_estimated_fraction" in result.artifacts
+
+    def test_deterministic_sampling(self, rng):
+        data = rng.random((3000, 3))
+        a = HybridGridSkyline().estimate_skyline_fraction(data)
+        b = HybridGridSkyline().estimate_skyline_fraction(data)
+        assert a == b
+
+
+class TestValidation:
+    def test_threshold_range(self):
+        with pytest.raises(ValidationError):
+            HybridGridSkyline(threshold=0.0)
+        with pytest.raises(ValidationError):
+            HybridGridSkyline(threshold=1.5)
+
+    def test_sample_size(self):
+        with pytest.raises(ValidationError):
+            HybridGridSkyline(sample_size=2)

@@ -1,0 +1,144 @@
+"""File-backed input splits (CSV and .npy record readers)."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import LabelledDataset, save_csv
+from repro.errors import DataError, ValidationError
+from repro.mapreduce.io import (
+    CSVRecordReader,
+    count_csv_rows,
+    csv_splits,
+    npy_splits,
+)
+
+
+@pytest.fixture
+def csv_file(tmp_path, rng):
+    data = rng.random((57, 3))
+    path = str(tmp_path / "data.csv")
+    save_csv(
+        path, LabelledDataset(values=data, columns=("a", "b", "c"))
+    )
+    return path, data
+
+
+@pytest.fixture
+def npy_file(tmp_path, rng):
+    data = rng.random((41, 2))
+    path = str(tmp_path / "data.npy")
+    np.save(path, data)
+    return path, data
+
+
+class TestCSV:
+    def test_count_rows(self, csv_file):
+        path, data = csv_file
+        assert count_csv_rows(path) == data.shape[0]
+
+    def test_count_missing_file(self):
+        with pytest.raises(DataError):
+            count_csv_rows("/nope/never.csv")
+
+    def test_splits_cover_all_rows(self, csv_file):
+        path, data = csv_file
+        splits = csv_splits(path, 5)
+        seen = {}
+        for split in splits:
+            for rid, values in split:
+                seen[rid] = values
+        assert sorted(seen) == list(range(data.shape[0]))
+        for rid, values in seen.items():
+            assert np.allclose(values, data[rid])
+
+    def test_reader_rewindable(self, csv_file):
+        path, _data = csv_file
+        reader = CSVRecordReader(path, 0, 5)
+        first = list(reader)
+        second = list(reader)
+        assert len(first) == len(second) == 5
+
+    def test_label_column_skipped(self, tmp_path, rng):
+        data = rng.random((10, 2))
+        path = str(tmp_path / "labelled.csv")
+        save_csv(
+            path,
+            LabelledDataset(
+                values=data,
+                columns=("x", "y"),
+                labels=tuple(f"r{i}" for i in range(10)),
+            ),
+        )
+        splits = csv_splits(path, 2, label_column=True)
+        rows = [v for s in splits for _rid, v in s]
+        assert np.allclose(np.vstack(rows), data)
+
+    def test_non_numeric_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1.0,oops\n")
+        with pytest.raises(DataError):
+            list(CSVRecordReader(str(path), 0, 1))
+
+    def test_validates_num_splits(self, csv_file):
+        with pytest.raises(ValidationError):
+            csv_splits(csv_file[0], 0)
+
+
+class TestNpy:
+    def test_splits_cover_all_rows(self, npy_file):
+        path, data = npy_file
+        splits = npy_splits(path, 4)
+        seen = {}
+        for split in splits:
+            for rid, values in split:
+                seen[rid] = values
+        assert sorted(seen) == list(range(data.shape[0]))
+        assert np.allclose(np.vstack([seen[i] for i in sorted(seen)]), data)
+
+    def test_missing_file(self):
+        with pytest.raises(DataError):
+            npy_splits("/nope/never.npy", 2)
+
+    def test_requires_2d(self, tmp_path):
+        path = str(tmp_path / "one_d.npy")
+        np.save(path, np.zeros(5))
+        with pytest.raises(DataError):
+            npy_splits(path, 2)
+
+
+class TestEndToEndFromFiles:
+    def test_skyline_job_over_csv_splits(self, csv_file, oracle):
+        """Run the actual MR-GPSRS jobs over file-backed splits."""
+        from repro.algorithms.bitstring_job import (
+            extract_bitstring,
+            make_bitstring_job,
+        )
+        from repro.algorithms.gpsrs import GPSRSMapper, GPSRSReducer
+        from repro.algorithms.common import CACHE_BITSTRING, CACHE_GRID, assemble_result
+        from repro.grid.grid import Grid
+        from repro.mapreduce.cache import DistributedCache
+        from repro.mapreduce.engine import SerialEngine
+        from repro.mapreduce.job import MapReduceJob
+        from repro.mapreduce.partitioners import single_partitioner
+
+        path, data = csv_file
+        splits = csv_splits(path, 3)
+        grid = Grid.fit(data, 3)
+        engine = SerialEngine()
+        bits = extract_bitstring(
+            engine.run(make_bitstring_job(splits, grid)), grid
+        )
+        job = MapReduceJob(
+            name="gpsrs-from-csv",
+            splits=splits,
+            mapper_factory=GPSRSMapper,
+            reducer_factory=GPSRSReducer,
+            num_reducers=1,
+            partitioner=single_partitioner,
+            cache=DistributedCache(
+                {CACHE_GRID: grid, CACHE_BITSTRING: bits.to_bytes()}
+            ),
+        )
+        result = engine.run(job)
+        indices, _values = assemble_result(result.all_pairs(), 3)
+        assert set(indices.tolist()) == oracle(data)

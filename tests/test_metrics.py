@@ -1,0 +1,89 @@
+"""JobStats / PipelineStats metrics surface."""
+
+import pytest
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.metrics import JobStats, PipelineStats, TaskStats
+from repro.mapreduce.types import TaskId
+
+
+def task(kind, index, duration=0.5, counters=None, **kw):
+    defaults = dict(records_in=10, records_out=5, bytes_out=100)
+    defaults.update(kw)
+    return TaskStats(
+        task_id=TaskId(kind, index),
+        duration_s=duration,
+        counters=Counters(counters or {}),
+        **defaults,
+    )
+
+
+@pytest.fixture
+def stats():
+    s = JobStats(job_name="j1")
+    s.map_tasks = [
+        task("map", 0, duration=1.0, counters={"c": 5}),
+        task("map", 1, duration=2.0, counters={"c": 9}),
+    ]
+    s.reduce_tasks = [task("reduce", 0, duration=3.0, counters={"c": 4})]
+    s.shuffle_bytes = 1234
+    return s
+
+
+class TestJobStats:
+    def test_counts(self, stats):
+        assert stats.num_map_tasks == 2
+        assert stats.num_reduce_tasks == 1
+
+    def test_durations(self, stats):
+        assert stats.map_durations() == [1.0, 2.0]
+        assert stats.reduce_durations() == [3.0]
+        assert stats.total_cpu_s() == pytest.approx(6.0)
+
+    def test_max_task_counter(self, stats):
+        assert stats.max_task_counter("map", "c") == 9
+        assert stats.max_task_counter("reduce", "c") == 4
+        assert stats.max_task_counter("map", "missing") == 0
+
+    def test_max_task_counter_no_tasks(self):
+        assert JobStats(job_name="empty").max_task_counter("map", "c") == 0
+
+    def test_sum_task_counter(self, stats):
+        assert stats.sum_task_counter("map", "c") == 14
+        assert stats.sum_task_counter("reduce", "c") == 4
+
+
+class TestPipelineStats:
+    def make_pipeline(self, stats):
+        other = JobStats(job_name="j2")
+        other.map_tasks = [task("map", 0, counters={"c": 1})]
+        other.shuffle_bytes = 66
+        pipeline = PipelineStats(jobs=[stats, other], wall_s=1.5)
+        return pipeline
+
+    def test_job_lookup(self, stats):
+        pipeline = self.make_pipeline(stats)
+        assert pipeline.job("j2").shuffle_bytes == 66
+        with pytest.raises(KeyError):
+            pipeline.job("j3")
+
+    def test_counters_merged(self, stats):
+        # job counters live on stats.counters; simulate aggregation
+        stats.counters.inc("x", 2)
+        pipeline = self.make_pipeline(stats)
+        pipeline.jobs[1].counters.inc("x", 3)
+        assert pipeline.counters()["x"] == 5
+
+    def test_totals(self, stats):
+        pipeline = self.make_pipeline(stats)
+        assert pipeline.total_shuffle_bytes() == 1234 + 66
+        assert pipeline.total_cpu_s() == pytest.approx(6.5)
+
+    def test_summary_keys(self, stats):
+        pipeline = self.make_pipeline(stats)
+        summary = pipeline.summary()
+        assert summary["jobs"] == 2
+        assert summary["wall_s"] == 1.5
+        assert summary["simulated_s"] == -1.0  # not annotated
+        pipeline.simulated_s = 9.0
+        assert pipeline.summary()["simulated_s"] == 9.0

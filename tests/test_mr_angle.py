@@ -1,0 +1,111 @@
+"""MR-Angle baseline (Chen et al. / Vlachou et al. angular
+partitioning)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.mr_angle import (
+    MRAngle,
+    angular_partition_ids,
+    hyperspherical_angles,
+    sectors_for_target,
+)
+from repro.data.generators import generate
+from repro.errors import ValidationError
+
+
+class TestAngles:
+    def test_range(self, rng):
+        values = rng.random((200, 4))
+        angles = hyperspherical_angles(values, np.zeros(4))
+        assert angles.shape == (200, 3)
+        assert (angles >= 0).all() and (angles <= np.pi / 2 + 1e-9).all()
+
+    def test_axis_points(self):
+        # A point on the first axis has phi_1 ~ 0; on the last axis
+        # phi_1 ~ pi/2.
+        angles = hyperspherical_angles(
+            np.array([[1.0, 0.0], [0.0, 1.0]]), np.zeros(2)
+        )
+        assert angles[0, 0] < 0.01
+        assert angles[1, 0] > np.pi / 2 - 0.01
+
+    def test_one_dimension_has_no_angles(self):
+        angles = hyperspherical_angles(np.ones((5, 1)), np.zeros(1))
+        assert angles.shape == (5, 0)
+
+    def test_origin_does_not_crash(self):
+        angles = hyperspherical_angles(np.zeros((1, 3)), np.zeros(3))
+        assert np.isfinite(angles).all()
+
+    def test_scale_invariance(self, rng):
+        """Angles depend on direction, not magnitude."""
+        v = rng.random((50, 3)) + 0.1
+        a1 = hyperspherical_angles(v, np.zeros(3))
+        a2 = hyperspherical_angles(v * 7.0, np.zeros(3))
+        assert np.allclose(a1, a2, atol=1e-6)
+
+
+class TestPartitionIds:
+    def test_in_range(self, rng):
+        ids = angular_partition_ids(rng.random((300, 3)), np.zeros(3), 4)
+        assert ids.min() >= 0 and ids.max() < 16
+
+    def test_single_sector(self, rng):
+        ids = angular_partition_ids(rng.random((50, 3)), np.zeros(3), 1)
+        assert (ids == 0).all()
+
+    def test_1d_single_partition(self, rng):
+        ids = angular_partition_ids(rng.random((50, 1)), np.zeros(1), 5)
+        assert (ids == 0).all()
+
+    def test_validates_sectors(self, rng):
+        with pytest.raises(ValidationError):
+            angular_partition_ids(rng.random((5, 2)), np.zeros(2), 0)
+
+
+class TestSectorsForTarget:
+    def test_power_root(self):
+        assert sectors_for_target(16, 3) == 4  # 4^2 = 16
+        assert sectors_for_target(27, 4) == 3
+
+    def test_2d(self):
+        assert sectors_for_target(8, 2) == 8
+
+    def test_1d(self):
+        assert sectors_for_target(100, 1) == 1
+
+    def test_validates(self):
+        with pytest.raises(ValidationError):
+            sectors_for_target(0, 3)
+
+
+class TestMRAngle:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_matches_oracle(self, oracle, distribution, d):
+        data = generate(distribution, 250, d, seed=41)
+        result = MRAngle().compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_partition_target_respected(self, rng):
+        data = rng.random((300, 3))
+        result = MRAngle(num_partitions=9).compute(data)
+        assert result.artifacts["sectors"] == 3
+
+    def test_two_jobs_single_final_reducer(self, rng):
+        result = MRAngle().compute(rng.random((100, 3)))
+        names = [j.job_name for j in result.stats.jobs]
+        assert names == ["mr-angle-local", "mr-angle-merge"]
+        assert result.stats.jobs[1].num_reduce_tasks == 1
+
+    def test_empty(self):
+        assert len(MRAngle().compute(np.empty((0, 2)))) == 0
+
+    def test_1d_data(self, oracle, rng):
+        data = rng.random((100, 1))
+        result = MRAngle().compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_validates(self):
+        with pytest.raises(ValidationError):
+            MRAngle(num_partitions=0)

@@ -1,0 +1,63 @@
+"""MR-Bitmap baseline (Zhang et al.) — discrete domains only."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.mr_bitmap import MRBitmap
+from repro.errors import AlgorithmError, TaskFailedError, ValidationError
+
+
+def discrete(rng, n, d, levels=6):
+    return rng.integers(0, levels, (n, d)).astype(float)
+
+
+class TestMRBitmap:
+    def test_matches_oracle(self, oracle, rng):
+        data = discrete(rng, 300, 3)
+        result = MRBitmap().compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    @pytest.mark.parametrize("reducers", [1, 3, 7])
+    def test_reducer_count_invariant(self, oracle, rng, reducers):
+        data = discrete(rng, 200, 3)
+        result = MRBitmap(num_reducers=reducers).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_continuous_data_rejected(self, rng):
+        data = rng.random((200, 3))
+        with pytest.raises(TaskFailedError) as exc:
+            MRBitmap(max_distinct=16).compute(data)
+        assert isinstance(exc.value.cause, AlgorithmError)
+        assert "distinct" in str(exc.value.cause)
+
+    def test_distinct_counts_reported(self, rng):
+        data = discrete(rng, 100, 2, levels=4)
+        result = MRBitmap().compute(data)
+        counts = result.artifacts["distinct_counts"]
+        assert set(counts) == {0, 1}
+        assert all(v <= 4 for v in counts.values())
+
+    def test_replication_cost_visible(self, rng):
+        """The broadcast-to-every-reducer shuffle is why MR-Bitmap does
+        not scale: bytes grow with the reducer count."""
+        data = discrete(rng, 300, 2)
+        small = MRBitmap(num_reducers=2).compute(data)
+        large = MRBitmap(num_reducers=8).compute(data)
+        assert (
+            large.stats.jobs[1].shuffle_bytes
+            > small.stats.jobs[1].shuffle_bytes
+        )
+
+    def test_duplicates(self):
+        data = np.array([[1.0, 1.0]] * 3 + [[2.0, 2.0]])
+        result = MRBitmap().compute(data)
+        assert sorted(result.indices.tolist()) == [0, 1, 2]
+
+    def test_empty(self):
+        assert len(MRBitmap().compute(np.empty((0, 2)))) == 0
+
+    def test_validates(self):
+        with pytest.raises(ValidationError):
+            MRBitmap(max_distinct=0)
+        with pytest.raises(ValidationError):
+            MRBitmap(num_reducers=0)

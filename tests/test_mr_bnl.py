@@ -1,0 +1,107 @@
+"""MR-BNL / MR-SFS baselines (Zhang et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.mr_bnl import (
+    MRBNL,
+    MRSFS,
+    flag_can_dominate,
+    subspace_flags,
+)
+from repro.data.generators import generate
+from repro.mapreduce.counters import PARTITION_COMPARES
+
+
+class TestSubspaceFlags:
+    def test_median_split(self):
+        mid = np.array([0.5, 0.5])
+        values = np.array(
+            [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9], [0.5, 0.5]]
+        )
+        assert subspace_flags(values, mid).tolist() == [0, 1, 2, 3, 3]
+
+    def test_flag_count_bounded(self, rng):
+        values = rng.random((500, 4))
+        flags = subspace_flags(values, np.full(4, 0.5))
+        assert flags.min() >= 0 and flags.max() < 16
+
+
+class TestFlagDominance:
+    def test_subset_flags_can_dominate(self):
+        assert flag_can_dominate(0b00, 0b11)
+        assert flag_can_dominate(0b01, 0b01)
+        assert flag_can_dominate(0b01, 0b11)
+
+    def test_non_subset_cannot(self):
+        assert not flag_can_dominate(0b10, 0b01)
+        assert not flag_can_dominate(0b11, 0b00)
+
+    def test_filter_is_safe(self, rng):
+        """If flags say 'cannot dominate', no tuple pair may dominate."""
+        from repro.core.dominance import dominates
+
+        values = rng.random((200, 3))
+        mid = np.full(3, 0.5)
+        flags = subspace_flags(values, mid)
+        for i in range(0, 200, 7):
+            for j in range(0, 200, 11):
+                if dominates(values[i], values[j]):
+                    assert flag_can_dominate(int(flags[i]), int(flags[j]))
+
+
+class TestMRBNL:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_matches_oracle(self, oracle, distribution, d):
+        data = generate(distribution, 250, d, seed=31)
+        result = MRBNL().compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_two_jobs(self, rng):
+        result = MRBNL().compute(rng.random((100, 3)))
+        names = [j.job_name for j in result.stats.jobs]
+        assert names == ["mr-bnl-local", "mr-bnl-merge"]
+
+    def test_final_merge_single_reducer(self, rng):
+        result = MRBNL().compute(rng.random((100, 3)))
+        assert result.stats.jobs[1].num_reduce_tasks == 1
+
+    def test_subspace_pair_comparisons_counted(self, rng):
+        result = MRBNL().compute(rng.random((300, 3)))
+        assert result.stats.jobs[1].counters[PARTITION_COMPARES] > 0
+
+    def test_explicit_bounds(self, oracle, rng):
+        data = rng.random((200, 2))
+        result = MRBNL(bounds=(np.zeros(2), np.ones(2))).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_empty(self):
+        assert len(MRBNL().compute(np.empty((0, 3)))) == 0
+
+    def test_duplicates(self):
+        data = np.array([[0.2, 0.2]] * 4 + [[0.9, 0.9]])
+        result = MRBNL().compute(data)
+        assert sorted(result.indices.tolist()) == [0, 1, 2, 3]
+
+    def test_whole_dataset_shuffled(self, rng):
+        """The baseline's weakness: phase 1 ships every tuple."""
+        data = rng.random((500, 4))
+        result = MRBNL().compute(data)
+        assert result.stats.jobs[0].shuffle_bytes >= data.nbytes
+
+
+class TestMRSFS:
+    def test_matches_oracle(self, oracle, rng):
+        data = rng.random((300, 3))
+        result = MRSFS().compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_same_skyline_as_mr_bnl(self, rng):
+        data = generate("anticorrelated", 300, 3, seed=2)
+        a = MRBNL().compute(data)
+        b = MRSFS().compute(data)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_job_names(self, rng):
+        result = MRSFS().compute(rng.random((50, 2)))
+        assert result.stats.jobs[0].job_name == "mr-sfs-local"

@@ -1,0 +1,116 @@
+"""Preference handling and dataset validation (repro.core.order)."""
+
+import numpy as np
+import pytest
+
+from repro.core.order import (
+    Preference,
+    as_dataset,
+    coerce_preferences,
+    iter_rows,
+    minmax_bounds,
+    normalize,
+)
+from repro.errors import DataError, ValidationError
+
+
+class TestPreference:
+    def test_coerce_strings(self):
+        assert Preference.coerce("min") is Preference.MIN
+        assert Preference.coerce("MAX") is Preference.MAX
+
+    def test_coerce_passthrough(self):
+        assert Preference.coerce(Preference.MIN) is Preference.MIN
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            Preference.coerce("upward")
+        with pytest.raises(ValidationError):
+            Preference.coerce(42)
+
+
+class TestCoercePreferences:
+    def test_none_is_all_min(self):
+        assert coerce_preferences(None, 3) == (Preference.MIN,) * 3
+
+    def test_single_value_broadcasts(self):
+        assert coerce_preferences("max", 2) == (Preference.MAX, Preference.MAX)
+
+    def test_sequence_must_match_dimensionality(self):
+        with pytest.raises(ValidationError):
+            coerce_preferences(["min", "max"], 3)
+
+    def test_mixed_sequence(self):
+        out = coerce_preferences(["min", "max", "min"], 3)
+        assert out == (Preference.MIN, Preference.MAX, Preference.MIN)
+
+    def test_zero_dimensionality_rejected(self):
+        with pytest.raises(ValidationError):
+            coerce_preferences(None, 0)
+
+
+class TestAsDataset:
+    def test_lists_become_float_arrays(self):
+        arr = as_dataset([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.shape == (2, 2)
+
+    def test_single_tuple_promoted_to_row(self):
+        assert as_dataset([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataError):
+            as_dataset(np.zeros((2, 2, 2)))
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(DataError):
+            as_dataset(np.zeros((4, 0)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(DataError):
+            as_dataset([[1.0, float("nan")]])
+        with pytest.raises(DataError):
+            as_dataset([[float("inf"), 1.0]])
+
+    def test_empty_rows_allowed(self):
+        assert as_dataset(np.zeros((0, 3))).shape == (0, 3)
+
+
+class TestNormalize:
+    def test_all_min_returns_copy(self):
+        data = np.array([[1.0, 2.0]])
+        out = normalize(data)
+        assert np.array_equal(out, data)
+        out[0, 0] = 99.0
+        assert data[0, 0] == 1.0  # caller's array untouched
+
+    def test_max_dimensions_negated(self):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = normalize(data, ["min", "max"])
+        assert np.array_equal(out[:, 0], data[:, 0])
+        assert np.array_equal(out[:, 1], -data[:, 1])
+
+    def test_negation_preserves_dominance(self):
+        from repro.core.dominance import dominates
+
+        # b beats a on a MAX dimension.
+        a, b = [1.0, 5.0], [1.0, 7.0]
+        norm = normalize([a, b], ["min", "max"])
+        assert dominates(norm[1], norm[0])
+        assert not dominates(norm[0], norm[1])
+
+
+class TestBoundsAndRows:
+    def test_minmax_bounds(self):
+        lows, highs = minmax_bounds([[1.0, 9.0], [4.0, 2.0]])
+        assert lows.tolist() == [1.0, 2.0]
+        assert highs.tolist() == [4.0, 9.0]
+
+    def test_minmax_bounds_empty_rejected(self):
+        with pytest.raises(DataError):
+            minmax_bounds(np.zeros((0, 2)))
+
+    def test_iter_rows_yields_tuples(self):
+        rows = list(iter_rows([[1.0, 2.0], [3.0, 4.0]]))
+        assert rows == [(1.0, 2.0), (3.0, 4.0)]
+        assert all(isinstance(r, tuple) for r in rows)

@@ -1,0 +1,110 @@
+"""End-to-end checks of every worked example in the paper's text."""
+
+import numpy as np
+
+from repro.grid.bitstring import Bitstring
+from repro.grid.cost import kappa, rho_dom, rho_rem
+from repro.grid.grid import Grid
+from repro.grid.groups import generate_independent_groups
+from repro.grid.regions import anti_dominating_region, dominating_region
+
+
+def grid33():
+    return Grid.unit(3, 2)
+
+
+class TestSection31Figure2:
+    """'For partition p4, its dominating region is {p8} and its
+    anti-dominating region is {p0, p1, p3}.'"""
+
+    def test_dr(self):
+        assert list(dominating_region(grid33(), 4)) == [8]
+
+    def test_adr(self):
+        assert list(anti_dominating_region(grid33(), 4)) == [0, 1, 3]
+
+
+class TestSection32Bitstring:
+    """'non-empty partitions are marked with crosses ... the bitstring
+    is 011110100' (column-major order)."""
+
+    def test_bitstring_value(self):
+        g = grid33()
+        points = np.vstack(
+            [g.min_corner(cell) + g.widths / 2 for cell in (1, 2, 3, 4, 6)]
+        )
+        assert Bitstring.from_data(g, points).to01() == "011110100"
+
+
+class TestSection52Figure6:
+    """'the independent group from p6 and p6.ADR = {p3} is
+    IG1 = {p3, p6}. Next ... IG2 = {p1, p3, p4} ... finally
+    IG3 = {p1, p2}.'"""
+
+    def test_group_walkthrough(self):
+        g = grid33()
+        bs = Bitstring.from01(g, "011110100")
+        groups = generate_independent_groups(g, bs)
+        assert [set(grp.members) for grp in groups] == [
+            {3, 6},
+            {1, 3, 4},
+            {1, 2},
+        ]
+
+    def test_replication_note(self):
+        """'It may be necessary to replicate some partitions, e.g.,
+        partitions p1 and p3 in Figure 6.'"""
+        g = grid33()
+        groups = generate_independent_groups(
+            g, Bitstring.from01(g, "011110100")
+        )
+        membership = {}
+        for grp in groups:
+            for p in grp.members:
+                membership.setdefault(p, 0)
+                membership[p] += 1
+        assert membership[1] == 2 and membership[3] == 2
+
+    def test_no_group_is_subset_of_another(self):
+        """'However, independent groups cannot be subsets of each
+        other.'"""
+        g = grid33()
+        groups = generate_independent_groups(
+            g, Bitstring.from01(g, "011110100")
+        )
+        sets = [set(grp.members) for grp in groups]
+        for i, a in enumerate(sets):
+            for j, b in enumerate(sets):
+                if i != j:
+                    assert not a <= b
+
+
+class TestSection6CostExamples:
+    def test_remaining_partitions_example(self):
+        """'the number of remaining partitions after pruning for the
+        3x3 grid is 3^2 - 2^2 = 5.'"""
+        assert rho_rem(3, 2) == 5
+
+    def test_p2_comparisons_example(self):
+        """'partition p2 has coordinates (1, 3) in the grid. The number
+        of partition-wise comparisons for p2 is thus 1*3 - 1 = 2.'"""
+        assert rho_dom((1, 3)) == 2
+
+    def test_surface_enumeration_example(self):
+        """'In this 3x3 2-dimensional grid, there are 2x2 = 4
+        1-dimensional surfaces' — each with 3 partitions; pruning
+        leaves d=2 intact surfaces overlapping in one cell, i.e. 5
+        remaining partitions — consistent with rho_rem."""
+        g = grid33()
+        surf1 = {g.index_of((c, 0)) for c in range(3)}
+        surf2 = {g.index_of((0, c)) for c in range(3)}
+        assert len(surf1 | surf2) == rho_rem(3, 2)
+
+    def test_figure6_pruning_statement(self):
+        """'If each partition was non-empty, then partitions p4, p5,
+        p7, and p8 would be dominated and pruned by using the
+        bitstring.'"""
+        g = grid33()
+        full = Bitstring(g, np.ones(9, dtype=bool))
+        pruned = full.prune_dominated()
+        assert set(pruned.set_indices().tolist()) == {0, 1, 2, 3, 6}

@@ -1,0 +1,94 @@
+"""ThreadPoolEngine: identical semantics to the serial engine."""
+
+import pytest
+
+from repro.errors import TaskFailedError
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ThreadPoolEngine
+from repro.mapreduce.splits import kv_splits
+from repro.mapreduce.types import IdentityReducer, Mapper, Reducer
+
+
+class TokenMapper(Mapper):
+    def map(self, key, value, ctx):
+        for token in value.split():
+            ctx.emit(token, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def make_job(num_reducers=3, num_splits=5):
+    lines = [(i, f"w{i % 4} shared w{i % 3}") for i in range(25)]
+    return MapReduceJob(
+        name="tokens",
+        splits=kv_splits(lines, num_splits),
+        mapper_factory=TokenMapper,
+        reducer_factory=SumReducer,
+        num_reducers=num_reducers,
+    )
+
+
+class TestEquivalence:
+    def test_same_output_as_serial(self):
+        serial = SerialEngine().run(make_job())
+        threaded = ThreadPoolEngine(max_workers=4).run(make_job())
+        assert dict(serial.all_pairs()) == dict(threaded.all_pairs())
+
+    def test_reducer_outputs_in_task_order(self):
+        threaded = ThreadPoolEngine(max_workers=4).run(make_job())
+        serial = SerialEngine().run(make_job())
+        assert threaded.reducer_outputs == serial.reducer_outputs
+
+    def test_counters_match(self):
+        serial = SerialEngine().run(make_job())
+        threaded = ThreadPoolEngine(max_workers=2).run(make_job())
+        assert (
+            serial.stats.counters["mr.records_in"]
+            == threaded.stats.counters["mr.records_in"]
+        )
+
+    def test_combiner_supported(self):
+        job = make_job()
+        job.combiner_factory = SumReducer
+        result = ThreadPoolEngine(max_workers=4).run(job)
+        assert dict(result.all_pairs()) == dict(
+            SerialEngine().run(make_job()).all_pairs()
+        )
+
+
+class TestFailures:
+    def test_map_failure_propagates(self):
+        class Boom(Mapper):
+            def map(self, key, value, ctx):
+                raise RuntimeError("nope")
+
+        job = make_job()
+        job.mapper_factory = Boom
+        with pytest.raises(TaskFailedError):
+            ThreadPoolEngine(max_workers=2).run(job)
+
+    def test_reduce_failure_propagates(self):
+        class Boom(Reducer):
+            def reduce(self, key, values, ctx):
+                raise RuntimeError("nope")
+
+        job = make_job()
+        job.reducer_factory = Boom
+        with pytest.raises(TaskFailedError):
+            ThreadPoolEngine(max_workers=2).run(job)
+
+
+class TestAlgorithmOnThreadEngine:
+    def test_gpmrs_matches_oracle_on_thread_engine(self, oracle):
+        from repro import skyline
+        from repro.data import generate
+
+        data = generate("anticorrelated", 300, 3, seed=5)
+        result = skyline(
+            data, algorithm="mr-gpmrs", engine=ThreadPoolEngine(max_workers=4)
+        )
+        assert set(result.indices.tolist()) == oracle(data)

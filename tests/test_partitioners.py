@@ -1,0 +1,52 @@
+"""Shuffle partitioners."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.mapreduce.partitioners import (
+    direct_partitioner,
+    hash_partitioner,
+    single_partitioner,
+)
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        for key in ["a", "b", (1, 2), 17, None, 3.5]:
+            assert 0 <= hash_partitioner(key, 7) < 7
+
+    def test_int_keys_modulo(self):
+        assert hash_partitioner(13, 5) == 3
+
+    def test_deterministic(self):
+        assert hash_partitioner("abc", 11) == hash_partitioner("abc", 11)
+
+    def test_spreads_keys(self):
+        targets = {hash_partitioner(f"key-{i}", 8) for i in range(100)}
+        assert len(targets) == 8
+
+    def test_validates_reducers(self):
+        with pytest.raises(ValidationError):
+            hash_partitioner("x", 0)
+
+
+class TestDirectPartitioner:
+    def test_key_is_index(self):
+        assert direct_partitioner(3, 5) == 3
+        assert direct_partitioner(0, 5) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            direct_partitioner(5, 5)
+        with pytest.raises(ValidationError):
+            direct_partitioner(-1, 5)
+
+    def test_validates_reducers(self):
+        with pytest.raises(ValidationError):
+            direct_partitioner(0, 0)
+
+
+class TestSinglePartitioner:
+    def test_always_zero(self):
+        assert single_partitioner("anything", 9) == 0
+        assert single_partitioner(42, 1) == 0

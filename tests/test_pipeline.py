@@ -1,0 +1,93 @@
+"""Job chaining."""
+
+import pytest
+
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.pipeline import JobChain
+from repro.mapreduce.splits import kv_splits
+from repro.mapreduce.types import IdentityMapper, Mapper, Reducer
+
+
+class Doubler(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(key, value * 2)
+
+
+class PassReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        for v in values:
+            ctx.emit(key, v)
+
+
+class CachePlus(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(key, value + ctx.cache["delta"])
+
+
+def stage_one(_previous):
+    return MapReduceJob(
+        name="double",
+        splits=kv_splits([(0, 1), (1, 2), (2, 3)], 2),
+        mapper_factory=Doubler,
+        reducer_factory=PassReducer,
+        num_reducers=1,
+    )
+
+
+def stage_two(previous):
+    """Second stage consumes the first stage's output and its sum."""
+    pairs = previous.all_pairs()
+    total = sum(v for _, v in pairs)
+    return MapReduceJob(
+        name="shift",
+        splits=kv_splits(pairs, 1),
+        mapper_factory=CachePlus,
+        reducer_factory=PassReducer,
+        num_reducers=1,
+        cache=DistributedCache({"delta": total}),
+    )
+
+
+class TestJobChain:
+    def test_two_stage_chain(self):
+        chain = JobChain()
+        out = chain.run([stage_one, stage_two])
+        values = sorted(v for _, v in out.final.all_pairs())
+        # stage 1: {2, 4, 6}; total 12; stage 2 adds 12.
+        assert values == [14, 16, 18]
+
+    def test_stats_per_job(self):
+        out = JobChain().run([stage_one, stage_two])
+        assert [j.job_name for j in out.stats.jobs] == ["double", "shift"]
+        assert out.stats.job("double").num_map_tasks == 2
+        with pytest.raises(KeyError):
+            out.stats.job("missing")
+
+    def test_wall_time_recorded(self):
+        out = JobChain().run([stage_one])
+        assert out.stats.wall_s > 0
+
+    def test_cluster_annotation(self):
+        cluster = SimulatedCluster(num_nodes=2)
+        out = JobChain(cluster=cluster).run([stage_one, stage_two])
+        assert out.stats.simulated_s == pytest.approx(
+            cluster.pipeline_makespan(out.stats.jobs)
+        )
+
+    def test_no_cluster_leaves_simulated_none(self):
+        out = JobChain().run([stage_one])
+        assert out.stats.simulated_s is None
+
+    def test_merged_counters(self):
+        out = JobChain().run([stage_one, stage_two])
+        merged = out.stats.counters()
+        assert merged["mr.records_in"] > 0
+
+    def test_totals(self):
+        out = JobChain().run([stage_one, stage_two])
+        assert out.stats.total_shuffle_bytes() > 0
+        assert out.stats.total_cpu_s() >= 0
+        summary = out.stats.summary()
+        assert summary["jobs"] == 2

@@ -1,0 +1,136 @@
+"""PointSet container semantics and dominance operations."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import DominanceCounter
+from repro.core.pointset import PointSet
+from repro.core.reference import bruteforce_skyline_indices
+from repro.errors import DataError
+
+
+def make(values, start_id=0):
+    return PointSet.from_array(np.asarray(values, dtype=np.float64), start_id)
+
+
+class TestConstruction:
+    def test_from_array_assigns_sequential_ids(self):
+        ps = make([[1, 2], [3, 4]], start_id=5)
+        assert ps.ids.tolist() == [5, 6]
+        assert len(ps) == 2 and ps.dimensionality == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DataError):
+            PointSet(np.array([1, 2]), np.zeros((3, 2)))
+
+    def test_values_must_be_2d(self):
+        with pytest.raises(DataError):
+            PointSet(np.array([0]), np.zeros(3))
+
+    def test_empty(self):
+        ps = PointSet.empty(4)
+        assert len(ps) == 0 and ps.dimensionality == 4
+
+    def test_concat(self):
+        ps = PointSet.concat([make([[1, 1]]), make([[2, 2]], start_id=7)])
+        assert ps.ids.tolist() == [0, 7]
+
+    def test_concat_skips_empty_parts(self):
+        ps = PointSet.concat([PointSet.empty(2), make([[1, 1]])])
+        assert len(ps) == 1
+
+    def test_concat_all_empty_rejected(self):
+        with pytest.raises(DataError):
+            PointSet.concat([PointSet.empty(2)])
+
+    def test_equality(self):
+        assert make([[1, 2]]) == make([[1, 2]])
+        assert make([[1, 2]]) != make([[1, 3]])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(make([[1, 2]]))
+
+
+class TestSelection:
+    def test_select_mask(self):
+        ps = make([[1, 1], [2, 2], [3, 3]])
+        sub = ps.select(np.array([True, False, True]))
+        assert sub.ids.tolist() == [0, 2]
+
+    def test_select_indices(self):
+        ps = make([[1, 1], [2, 2], [3, 3]])
+        sub = ps.select(np.array([2, 0]))
+        assert sub.ids.tolist() == [2, 0]
+
+    def test_sort_by(self):
+        ps = make([[3, 3], [1, 1], [2, 2]])
+        out = ps.sort_by(ps.values.sum(axis=1))
+        assert out.ids.tolist() == [1, 2, 0]
+
+    def test_iter(self):
+        ps = make([[1, 2]])
+        [(pid, row)] = list(ps)
+        assert pid == 0 and row.tolist() == [1.0, 2.0]
+
+    def test_copy_is_deep(self):
+        ps = make([[1, 2]])
+        cp = ps.copy()
+        cp.values[0, 0] = 9
+        assert ps.values[0, 0] == 1
+
+
+class TestDominanceOps:
+    def test_remove_dominated_by(self):
+        target = make([[2, 2], [0, 5]])
+        other = make([[1, 1]], start_id=10)
+        out = target.remove_dominated_by(other)
+        assert out.ids.tolist() == [1]  # [0,5] incomparable with [1,1]
+
+    def test_remove_dominated_by_counts_pairs(self):
+        counter = DominanceCounter()
+        make([[2, 2], [3, 3]]).remove_dominated_by(
+            make([[1, 1]]), counter
+        )
+        assert counter.pairs == 2  # 1 source x 2 targets
+
+    def test_remove_dominated_by_empty_other_is_noop(self):
+        target = make([[2, 2]])
+        assert target.remove_dominated_by(PointSet.empty(2)) is target
+
+    def test_local_skyline_matches_oracle(self, rng):
+        data = rng.random((120, 3))
+        ps = PointSet.from_array(data)
+        sky = ps.local_skyline()
+        assert sky.id_set() == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_local_skyline_keeps_duplicates(self):
+        ps = make([[1, 1], [1, 1], [2, 2]])
+        assert ps.local_skyline().id_set() == {0, 1}
+
+    def test_local_skyline_counts_work(self, rng):
+        counter = DominanceCounter()
+        PointSet.from_array(rng.random((50, 2))).local_skyline(counter)
+        assert counter.pairs > 0
+
+    def test_merge_skyline(self, rng):
+        data = rng.random((100, 3))
+        left = PointSet.from_array(data[:50]).local_skyline()
+        right = PointSet(
+            np.arange(50, 100), data[50:]
+        ).local_skyline()
+        merged = left.merge_skyline(right)
+        assert merged.id_set() == set(
+            bruteforce_skyline_indices(data).tolist()
+        )
+
+    def test_merge_skyline_empty_sides(self):
+        ps = make([[1, 1]])
+        assert ps.merge_skyline(PointSet.empty(2)) is ps
+        assert PointSet.empty(2).merge_skyline(ps) is ps
+
+    def test_merge_skyline_identical_duplicate_sets(self):
+        left = make([[1, 1]])
+        right = make([[1, 1]], start_id=5)
+        merged = left.merge_skyline(right)
+        assert merged.id_set() == {0, 5}  # equal points never dominate

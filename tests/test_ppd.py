@@ -1,0 +1,110 @@
+"""PPD selection (Section 3.3)."""
+
+import pytest
+
+from repro.errors import GridError, ValidationError
+from repro.grid.grid import MAX_PARTITIONS
+from repro.grid.ppd import (
+    candidate_ppds,
+    cap_ppd,
+    ppd_from_equation4,
+    select_ppd,
+)
+
+
+class TestEquation4:
+    def test_exact_cube_root(self):
+        # (8000 / 1000)^(1/3) = 2
+        assert ppd_from_equation4(8000, 3, tpp=1000) == 2
+
+    def test_rounding(self):
+        # (1e6/512)^(1/8) = 2.56 -> 3
+        assert ppd_from_equation4(1_000_000, 8, tpp=512) == 3
+
+    def test_never_below_one(self):
+        assert ppd_from_equation4(10, 3, tpp=1000) == 1
+
+    def test_zero_cardinality(self):
+        assert ppd_from_equation4(0, 4) == 1
+
+    def test_capped_to_max_partitions(self):
+        n = ppd_from_equation4(10 ** 9, 2, tpp=1)
+        assert n ** 2 <= MAX_PARTITIONS
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ppd_from_equation4(-1, 2)
+        with pytest.raises(ValidationError):
+            ppd_from_equation4(10, 0)
+        with pytest.raises(ValidationError):
+            ppd_from_equation4(10, 2, tpp=0)
+
+
+class TestCapPPD:
+    def test_no_cap_needed(self):
+        assert cap_ppd(5, 3) == 5
+
+    def test_caps(self):
+        n = cap_ppd(10_000, 3)
+        assert n ** 3 <= MAX_PARTITIONS < (n + 1) ** 3
+
+    def test_floor_is_one(self):
+        assert cap_ppd(0, 2) == 1
+
+
+class TestCandidates:
+    def test_paper_range(self):
+        # n_m = ceil(c^(1/d)); candidates are 2..n_m
+        assert candidate_ppds(1000, 3) == list(range(2, 11))
+
+    def test_tiny_data(self):
+        assert candidate_ppds(1, 3) == [1]
+        assert candidate_ppds(0, 3) == [1]
+
+    def test_capped_by_max_candidates(self):
+        cands = candidate_ppds(10 ** 12, 2)
+        assert len(cands) <= 64
+
+    def test_high_dimensional(self):
+        cands = candidate_ppds(20_000, 10)
+        assert cands[0] == 2 and cands[-1] <= 3
+
+
+class TestSelect:
+    def test_target_strategy_picks_closest_tpp(self):
+        # c=1000; rho: j=2 -> 8 cells (TPPe=125), j=4 -> 50 (TPPe=20)
+        chosen = select_ppd(
+            1000, {2: 8, 4: 50}, 3, strategy="target", tpp=100
+        )
+        assert chosen == 2
+        chosen = select_ppd(
+            1000, {2: 8, 4: 50}, 3, strategy="target", tpp=25
+        )
+        assert chosen == 4
+
+    def test_literal_strategy(self):
+        # |c/rho - c/j^d|: j=2 fully occupied -> 0 error, j=3 sparse.
+        chosen = select_ppd(
+            1000, {2: 8, 3: 20}, 3, strategy="literal"
+        )
+        assert chosen == 2
+
+    def test_literal_prefers_uniform_occupancy(self):
+        # j=3: rho=27 (fully occupied, error 0); j=2: rho=4 of 8.
+        chosen = select_ppd(1000, {2: 4, 3: 27}, 3, strategy="literal")
+        assert chosen == 3
+
+    def test_tie_breaks_to_smallest(self):
+        chosen = select_ppd(1000, {3: 10, 2: 10}, 3, strategy="target", tpp=100)
+        assert chosen == 2
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(GridError):
+            select_ppd(1000, {}, 3)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValidationError):
+            select_ppd(1000, {2: 8}, 3, strategy="magic")
+
+    def test_zero_cardinality(self):
+        assert select_ppd(0, {2: 0, 3: 0}, 3) == 2

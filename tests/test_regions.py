@@ -1,0 +1,164 @@
+"""Partition dominance, DR/ADR, maximum partitions.
+
+Includes the paper's worked examples: Figure 2's 3x3 grid has
+p4.DR = {p8} and p4.ADR = {p0, p1, p3}.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.grid.grid import Grid
+from repro.grid import regions
+
+
+@pytest.fixture
+def g33():
+    return Grid.unit(3, 2)
+
+
+class TestPaperFigure2:
+    def test_p4_dominating_region(self, g33):
+        assert list(regions.dominating_region(g33, 4)) == [8]
+
+    def test_p4_anti_dominating_region(self, g33):
+        assert list(regions.anti_dominating_region(g33, 4)) == [0, 1, 3]
+
+    def test_p0_dominates_interior(self, g33):
+        assert set(regions.dominating_region(g33, 0)) == {4, 5, 7, 8}
+
+    def test_p2_adr_matches_rho_dom(self, g33):
+        # p2 has 1-based coords (3, 1): rho_dom = 3*1 - 1 = 2 -> {p0, p1}
+        assert list(regions.anti_dominating_region(g33, 2)) == [0, 1]
+
+
+class TestPartitionDominance:
+    def test_strict_on_every_axis(self, g33):
+        assert regions.partition_dominates(g33, 0, 8)
+        assert regions.partition_dominates(g33, 0, 4)
+        assert not regions.partition_dominates(g33, 0, 1)  # shares a row
+        assert not regions.partition_dominates(g33, 4, 5)
+
+    def test_irreflexive(self, g33):
+        for i in range(9):
+            assert not regions.partition_dominates(g33, i, i)
+
+    def test_implies_tuple_dominance(self, rng):
+        """Lemma 1: any tuple of pi dominates all tuples of pj."""
+        from repro.core.dominance import dominates
+
+        g = Grid.unit(3, 2)
+        data = rng.random((300, 2))
+        cells = g.cell_indices(data)
+        for i, j in itertools.permutations(range(9), 2):
+            if not regions.partition_dominates(g, i, j):
+                continue
+            for a in data[cells == i][:5]:
+                for b in data[cells == j][:5]:
+                    assert dominates(a, b)
+
+
+class TestADRSemantics:
+    def test_membership_function_matches_enumeration(self, g33):
+        for p in range(9):
+            enumerated = set(regions.anti_dominating_region(g33, p))
+            for q in range(9):
+                assert regions.in_anti_dominating_region(g33, q, p) == (
+                    q in enumerated
+                )
+
+    def test_self_never_in_adr(self, g33):
+        for p in range(9):
+            assert not regions.in_anti_dominating_region(g33, p, p)
+
+    def test_adr_size_closed_form(self):
+        g = Grid.unit(4, 3)
+        for p in range(g.num_partitions):
+            assert regions.adr_size(g, p) == len(
+                list(regions.anti_dominating_region(g, p))
+            )
+
+    def test_dr_size_closed_form(self):
+        g = Grid.unit(4, 3)
+        for p in range(g.num_partitions):
+            assert regions.dr_size(g, p) == len(
+                list(regions.dominating_region(g, p))
+            )
+
+    def test_adr_contains_every_possible_dominator(self, rng):
+        """A tuple can only be dominated from its cell or its ADR."""
+        from repro.core.dominance import dominates
+
+        g = Grid.unit(3, 3)
+        data = rng.random((200, 3))
+        cells = g.cell_indices(data)
+        for i in range(50):
+            for j in range(200):
+                if dominates(data[j], data[i]):
+                    assert cells[j] == cells[i] or regions.in_anti_dominating_region(
+                        g, int(cells[j]), int(cells[i])
+                    )
+
+
+class TestStrictlyDominatedMask:
+    def test_matches_pairwise_definition(self, rng):
+        g = Grid.unit(4, 2)
+        occupied = rng.random(16) < 0.4
+        mask = regions.strictly_dominated_mask(g, occupied)
+        for j in range(16):
+            expect = any(
+                occupied[i] and regions.partition_dominates(g, i, j)
+                for i in range(16)
+            )
+            assert mask[j] == expect
+
+    def test_higher_dimensions(self, rng):
+        g = Grid.unit(3, 4)
+        occupied = rng.random(g.num_partitions) < 0.3
+        mask = regions.strictly_dominated_mask(g, occupied)
+        for j in range(g.num_partitions):
+            expect = any(
+                occupied[i] and regions.partition_dominates(g, i, j)
+                for i in range(g.num_partitions)
+            )
+            assert mask[j] == expect
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            regions.strictly_dominated_mask(Grid.unit(3, 2), np.zeros(5, bool))
+
+
+class TestMaximumPartitions:
+    def test_paper_figure6(self):
+        """Non-empty {p1,p2,p3,p4,p6}: p2, p4, p6 are maximum."""
+        g = Grid.unit(3, 2)
+        occupied = np.zeros(9, dtype=bool)
+        occupied[[1, 2, 3, 4, 6]] = True
+        assert regions.maximum_partitions(g, occupied).tolist() == [2, 4, 6]
+
+    def test_single_occupied_cell_is_maximum(self):
+        g = Grid.unit(3, 2)
+        occupied = np.zeros(9, dtype=bool)
+        occupied[4] = True
+        assert regions.maximum_partitions(g, occupied).tolist() == [4]
+
+    def test_matches_definition6(self, rng):
+        g = Grid.unit(3, 3)
+        occupied = rng.random(27) < 0.4
+        maxima = set(regions.maximum_partitions(g, occupied).tolist())
+        present = np.flatnonzero(occupied)
+        for p in present:
+            in_someones_adr = any(
+                regions.in_anti_dominating_region(g, int(p), int(q))
+                for q in present
+            )
+            assert (int(p) in maxima) == (not in_someones_adr)
+
+    def test_empty_occupancy(self):
+        g = Grid.unit(3, 2)
+        assert regions.maximum_partitions(g, np.zeros(9, bool)).shape == (0,)
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            regions.maximum_partitions(Grid.unit(3, 2), np.zeros(4, bool))

@@ -1,0 +1,118 @@
+"""The public API surface: registry, repro.skyline, result type,
+centralized wrappers."""
+
+import numpy as np
+import pytest
+
+from repro import available_algorithms, make_algorithm, skyline
+from repro.algorithms.base import SkylineResult
+from repro.algorithms.centralized import CentralizedSkyline
+from repro.errors import UnknownAlgorithmError, ValidationError
+
+
+class TestRegistry:
+    def test_all_expected_names_present(self):
+        names = available_algorithms()
+        for expected in (
+            "mr-gpsrs",
+            "mr-gpmrs",
+            "mr-bnl",
+            "mr-sfs",
+            "mr-angle",
+            "mr-bitmap",
+            "mr-hybrid",
+            "bnl",
+            "sfs",
+            "bitmap",
+            "bruteforce",
+        ):
+            assert expected in names
+
+    def test_make_algorithm_forwards_kwargs(self):
+        algo = make_algorithm("mr-gpmrs", num_reducers=5)
+        assert algo.num_reducers == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownAlgorithmError):
+            make_algorithm("mr-psychic")
+
+
+class TestSkylineFunction:
+    def test_default_algorithm(self, oracle, rng):
+        data = rng.random((150, 3))
+        result = skyline(data)
+        assert isinstance(result, SkylineResult)
+        assert result.algorithm == "mr-gpmrs"
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_list_input(self):
+        result = skyline([[1.0, 2.0], [2.0, 1.0], [3.0, 3.0]])
+        assert sorted(result.indices.tolist()) == [0, 1]
+
+    def test_prefs_max(self, rng):
+        data = rng.random((100, 2))
+        result = skyline(data, algorithm="sfs", prefs="max")
+        neg = -data
+        from repro.core.reference import bruteforce_skyline_indices
+
+        expect = set(bruteforce_skyline_indices(neg).tolist())
+        assert set(result.indices.tolist()) == expect
+
+    def test_values_in_original_scale_with_max_prefs(self, rng):
+        data = rng.random((100, 2))
+        result = skyline(data, algorithm="sfs", prefs=["min", "max"])
+        assert np.array_equal(result.values, data[result.indices])
+
+    def test_algorithm_options_forwarded(self, rng):
+        result = skyline(rng.random((100, 2)), algorithm="mr-gpsrs", ppd=5)
+        assert result.artifacts["grid"].n == 5
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            skyline([[1.0, float("nan")]])
+
+
+class TestSkylineResult:
+    def test_len_and_fraction(self, rng):
+        data = rng.random((200, 2))
+        result = skyline(data, algorithm="sfs")
+        assert len(result) == result.indices.shape[0]
+        assert result.skyline_fraction(200) == pytest.approx(
+            len(result) / 200
+        )
+        assert result.skyline_fraction(0) == 0.0
+
+    def test_id_set(self, rng):
+        result = skyline(rng.random((50, 2)), algorithm="sfs")
+        assert result.id_set() == set(result.indices.tolist())
+
+    def test_runtime_prefers_simulated(self, rng):
+        result = skyline(rng.random((50, 2)), algorithm="mr-gpsrs")
+        assert result.runtime_s == result.stats.simulated_s
+
+
+class TestCentralized:
+    @pytest.mark.parametrize("method", ["bnl", "sfs", "bruteforce"])
+    def test_methods_match(self, oracle, rng, method):
+        data = rng.random((120, 3))
+        result = CentralizedSkyline(method=method).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_bitmap_method_on_discrete(self, oracle, rng):
+        data = rng.integers(0, 5, (150, 3)).astype(float)
+        result = CentralizedSkyline(method="bitmap").compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_name_reflects_method(self):
+        assert CentralizedSkyline(method="bnl").name == "centralized-bnl"
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError):
+            CentralizedSkyline(method="dreams")
+
+    def test_env_validation(self, rng):
+        from repro.algorithms.base import RunEnvironment
+
+        env = RunEnvironment(num_mappers=0)
+        with pytest.raises(ValidationError):
+            env.resolved_num_mappers()

@@ -1,0 +1,138 @@
+"""Task-retry fault tolerance (Hadoop's max-attempts behaviour)."""
+
+import threading
+
+import pytest
+
+from repro.errors import TaskFailedError, ValidationError
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ThreadPoolEngine
+from repro.mapreduce.splits import kv_splits
+from repro.mapreduce.types import IdentityReducer, Mapper, Reducer
+
+
+class FlakyOnce:
+    """Injects one failure per task id, then succeeds."""
+
+    def __init__(self):
+        self.failed = set()
+        self.lock = threading.Lock()
+
+    def maybe_fail(self, task_key):
+        with self.lock:
+            if task_key not in self.failed:
+                self.failed.add(task_key)
+                raise RuntimeError(f"injected failure in {task_key}")
+
+
+def make_flaky_mapper(flaky: FlakyOnce):
+    class FlakyMapper(Mapper):
+        def map(self, key, value, ctx):
+            flaky.maybe_fail(("map", ctx.task_id.index))
+            ctx.emit(key % 2, value)
+
+    return FlakyMapper
+
+
+def make_flaky_reducer(flaky: FlakyOnce):
+    class FlakyReducer(Reducer):
+        def reduce(self, key, values, ctx):
+            flaky.maybe_fail(("reduce", ctx.task_id.index))
+            ctx.emit(key, sum(values))
+
+    return FlakyReducer
+
+
+def flaky_job(flaky, reducer_factory=None):
+    return MapReduceJob(
+        name="flaky",
+        splits=kv_splits([(i, i) for i in range(12)], 3),
+        mapper_factory=make_flaky_mapper(flaky),
+        reducer_factory=reducer_factory or IdentityReducer,
+        num_reducers=2,
+    )
+
+
+class TestSerialRetries:
+    def test_default_single_attempt_fails(self):
+        with pytest.raises(TaskFailedError):
+            SerialEngine().run(flaky_job(FlakyOnce()))
+
+    def test_retry_recovers_map_failures(self):
+        engine = SerialEngine(max_attempts=2)
+        result = engine.run(flaky_job(FlakyOnce()))
+        values = sorted(v for _, v in result.all_pairs())
+        assert values == list(range(12))
+
+    def test_retry_recovers_reduce_failures(self):
+        flaky = FlakyOnce()
+        job = MapReduceJob(
+            name="flaky-r",
+            splits=kv_splits([(i, i) for i in range(12)], 3),
+            mapper_factory=make_flaky_mapper(FlakyOnce()),  # never fails twice
+            reducer_factory=make_flaky_reducer(flaky),
+            num_reducers=2,
+        )
+        result = SerialEngine(max_attempts=3).run(job)
+        assert sum(v for _, v in result.all_pairs()) == sum(range(12))
+
+    def test_retried_task_state_is_fresh(self):
+        """A retried attempt must not see partial output of the failed
+        attempt (fresh mapper, fresh context)."""
+        flaky = FlakyOnce()
+
+        class EmitThenFail(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(key, value)  # emit BEFORE possibly failing
+                flaky.maybe_fail(("map", ctx.task_id.index))
+
+        job = MapReduceJob(
+            name="fresh",
+            splits=kv_splits([(i, i) for i in range(6)], 2),
+            mapper_factory=EmitThenFail,
+            reducer_factory=IdentityReducer,
+            num_reducers=1,
+        )
+        result = SerialEngine(max_attempts=2).run(job)
+        # no duplicated records from the failed first attempts
+        assert len(result.all_pairs()) == 6
+
+    def test_exhausted_attempts_raise_with_cause(self):
+        class AlwaysFails(Mapper):
+            def map(self, key, value, ctx):
+                raise RuntimeError("persistent")
+
+        job = MapReduceJob(
+            name="doomed",
+            splits=kv_splits([(0, 1)], 1),
+            mapper_factory=AlwaysFails,
+            reducer_factory=IdentityReducer,
+        )
+        with pytest.raises(TaskFailedError) as exc:
+            SerialEngine(max_attempts=3).run(job)
+        assert "persistent" in str(exc.value)
+
+    def test_validates_max_attempts(self):
+        with pytest.raises(ValidationError):
+            SerialEngine(max_attempts=0)
+
+
+class TestThreadPoolRetries:
+    def test_retry_recovers(self):
+        engine = ThreadPoolEngine(max_workers=3, max_attempts=2)
+        result = engine.run(flaky_job(FlakyOnce()))
+        values = sorted(v for _, v in result.all_pairs())
+        assert values == list(range(12))
+
+    def test_algorithm_completes_on_flaky_engine(self, oracle, rng):
+        """An MR skyline survives injected single failures."""
+        from repro import skyline
+
+        data = rng.random((200, 3))
+        result = skyline(
+            data,
+            algorithm="mr-gpmrs",
+            engine=SerialEngine(max_attempts=4),
+        )
+        assert set(result.indices.tolist()) == oracle(data)

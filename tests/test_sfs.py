@@ -1,0 +1,71 @@
+"""Sort-Filter-Skyline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import DominanceCounter
+from repro.core.reference import bruteforce_skyline_indices
+from repro.core.sfs import sfs_skyline, sfs_skyline_indices
+from repro.errors import DataError
+
+
+class TestSFS:
+    def test_matches_oracle(self, rng):
+        data = rng.random((200, 3))
+        got = set(sfs_skyline_indices(data).tolist())
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_matches_oracle_anticorrelated(self):
+        from repro.data.generators import anticorrelated
+
+        data = anticorrelated(150, 4, seed=3)
+        got = set(sfs_skyline_indices(data).tolist())
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_results_sorted_by_score(self, rng):
+        data = rng.random((100, 3))
+        idx = sfs_skyline_indices(data)
+        scores = data[idx].sum(axis=1)
+        assert np.all(np.diff(scores) >= 0)
+
+    def test_empty(self):
+        assert sfs_skyline_indices(np.empty((0, 2))).shape == (0,)
+
+    def test_duplicates_kept(self):
+        data = np.array([[1.0, 1.0], [1.0, 1.0], [0.5, 2.0]])
+        assert sorted(sfs_skyline_indices(data).tolist()) == [0, 1, 2]
+
+    def test_custom_monotone_key(self, rng):
+        data = rng.random((80, 2)) + 1.0
+        got = set(
+            sfs_skyline_indices(
+                data, key=lambda a: np.log(a).sum(axis=1)
+            ).tolist()
+        )
+        assert got == set(bruteforce_skyline_indices(data).tolist())
+
+    def test_key_length_validated(self, rng):
+        with pytest.raises(DataError):
+            sfs_skyline_indices(
+                rng.random((10, 2)), key=lambda a: np.ones(3)
+            )
+
+    def test_counter_charged(self, rng):
+        counter = DominanceCounter()
+        sfs_skyline_indices(rng.random((50, 2)), counter=counter)
+        assert counter.pairs > 0
+
+    def test_requires_2d(self):
+        with pytest.raises(DataError):
+            sfs_skyline_indices(np.zeros(4))
+
+    def test_sfs_skyline_returns_rows(self, rng):
+        data = rng.random((60, 3))
+        rows = sfs_skyline(data)
+        expect = data[bruteforce_skyline_indices(data)]
+        assert {tuple(r) for r in rows} == {tuple(r) for r in expect}
+
+    def test_negative_values_fine(self):
+        data = np.array([[-1.0, -1.0], [0.0, 0.0], [-2.0, 1.0]])
+        got = set(sfs_skyline_indices(data).tolist())
+        assert got == set(bruteforce_skyline_indices(data).tolist())

@@ -1,0 +1,98 @@
+"""Skewed data, reducer load balance, and engine-variant coverage."""
+
+import numpy as np
+import pytest
+
+from repro import skyline
+from repro.data.generators import clustered, generate
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.counters import TUPLE_COMPARES
+from repro.mapreduce.parallel import ThreadPoolEngine
+
+
+class TestSkewedOccupancy:
+    """Clustered data concentrates tuples in few cells — the regime
+    where grid pruning is strongest and groups are few."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["mr-gpsrs", "mr-gpmrs", "mr-bnl", "mr-angle", "sky-mr"]
+    )
+    def test_correct_on_clustered_data(self, oracle, algorithm):
+        data = clustered(600, 3, seed=12, num_clusters=4)
+        result = skyline(data, algorithm=algorithm)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_single_cluster_degenerates_gracefully(self, oracle):
+        data = clustered(400, 3, seed=13, num_clusters=1, spread=0.02)
+        result = skyline(data, algorithm="mr-gpmrs", num_reducers=8)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_extreme_mass_on_one_point(self, oracle):
+        rng = np.random.default_rng(14)
+        data = np.vstack(
+            [np.full((500, 3), 0.5), rng.random((20, 3))]
+        )
+        for algorithm in ("mr-gpsrs", "mr-gpmrs"):
+            result = skyline(data, algorithm=algorithm)
+            assert set(result.indices.tolist()) == oracle(data), algorithm
+
+
+class TestReducerLoadBalance:
+    """Section 5.4.1's motivation: computation-cost merging balances
+    reducer work."""
+
+    def run_gpmrs(self, strategy, reducers=4):
+        data = generate("anticorrelated", 20_000, 3, seed=54)
+        result = skyline(
+            data,
+            algorithm="mr-gpmrs",
+            num_reducers=reducers,
+            merge_strategy=strategy,
+            ppd=8,
+            bounds=(np.zeros(3), np.ones(3)),
+        )
+        job = result.stats.jobs[1]
+        loads = [
+            t.counters[TUPLE_COMPARES]
+            for t in job.reduce_tasks
+            if t.records_in > 0
+        ]
+        return result, loads
+
+    def test_computation_merging_balances_work(self):
+        _result, loads = self.run_gpmrs("computation")
+        assert len(loads) >= 2
+        assert max(loads) <= 6 * (sum(loads) / len(loads))
+
+    def test_all_strategies_same_skyline(self):
+        results = [
+            self.run_gpmrs(s)[0].id_set()
+            for s in ("computation", "communication", "balanced")
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_communication_merging_ships_fewer_bytes(self):
+        comp, _ = self.run_gpmrs("computation")
+        comm, _ = self.run_gpmrs("communication")
+        assert (
+            comm.stats.jobs[1].shuffle_bytes
+            <= comp.stats.jobs[1].shuffle_bytes
+        )
+
+
+class TestThreadEngineMatrix:
+    """Every MR algorithm must be engine-agnostic."""
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["mr-gpsrs", "mr-gpmrs", "mr-bnl", "mr-angle", "sky-mr", "mr-hybrid"],
+    )
+    def test_thread_engine_matches_oracle(self, oracle, algorithm):
+        data = generate("anticorrelated", 250, 3, seed=15)
+        result = skyline(
+            data,
+            algorithm=algorithm,
+            engine=ThreadPoolEngine(max_workers=4),
+            cluster=SimulatedCluster(num_nodes=3),
+        )
+        assert set(result.indices.tolist()) == oracle(data)

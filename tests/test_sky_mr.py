@@ -1,0 +1,137 @@
+"""SKY-MR-lite (Park et al.): quadtree, sky-filter, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sky_mr import SKYMR, QuadtreeLeaf, SkyQuadtree
+from repro.data.generators import generate
+from repro.errors import ValidationError
+from repro.mapreduce.counters import TUPLES_PRUNED_BY_BITSTRING
+
+
+class TestSkyQuadtree:
+    def build(self, rng, n=200, d=2, **kw):
+        sample = rng.random((n, d))
+        return SkyQuadtree(sample, np.zeros(d), np.ones(d), **kw), sample
+
+    def test_leaves_partition_the_box(self, rng):
+        tree, _sample = self.build(rng, leaf_capacity=16, max_depth=4)
+        probes = rng.random((500, 2))
+        ids = tree.leaf_ids(probes)
+        assert (ids >= 0).all()
+        # each probe inside exactly its assigned leaf
+        for i in range(0, 500, 17):
+            leaf = tree.leaf_by_id(int(ids[i]))
+            assert (probes[i] >= np.asarray(leaf.lows) - 1e-12).all()
+            assert (probes[i] <= np.asarray(leaf.highs) + 1e-12).all()
+
+    def test_assignment_unique(self, rng):
+        """Boundary points land in exactly one leaf (first match wins
+        and box geometry is half-open)."""
+        tree, _ = self.build(rng, leaf_capacity=8, max_depth=3)
+        grid_points = np.array(
+            [[x, y] for x in (0.0, 0.25, 0.5, 1.0) for y in (0.0, 0.5, 1.0)]
+        )
+        ids = tree.leaf_ids(grid_points)
+        assert (ids >= 0).all()
+
+    def test_out_of_box_points_clamped(self, rng):
+        tree, _ = self.build(rng)
+        ids = tree.leaf_ids(np.array([[-1.0, 2.0], [5.0, 5.0]]))
+        assert (ids >= 0).all()
+
+    def test_dominated_leaf_marking_sound(self, rng):
+        """Every point of a dominated leaf is dominated by a sample
+        skyline point."""
+        from repro.core.dominance import dominated_mask
+
+        tree, _sample = self.build(rng, n=400, leaf_capacity=16, max_depth=4)
+        for leaf in tree.leaves:
+            if not leaf.dominated:
+                continue
+            corners = np.asarray([leaf.lows])
+            assert dominated_mask(corners, tree.sample_skyline)[0]
+
+    def test_leaf_capacity_respected_via_depth(self, rng):
+        shallow, _ = self.build(rng, leaf_capacity=1000)
+        assert len(shallow.leaves) == 1
+
+    def test_empty_sample(self):
+        tree = SkyQuadtree(
+            np.empty((0, 2)), np.zeros(2), np.ones(2), max_depth=2
+        )
+        assert tree.sample_skyline.shape == (0, 2)
+        assert not any(leaf.dominated for leaf in tree.leaves)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SkyQuadtree(np.zeros((1, 2)), np.zeros(2), np.ones(2), leaf_capacity=0)
+        with pytest.raises(ValidationError):
+            SkyQuadtree(np.zeros((1, 2)), np.zeros(2), np.ones(2), max_depth=-1)
+
+
+class TestSKYMR:
+    @pytest.mark.parametrize(
+        "distribution", ["independent", "correlated", "anticorrelated"]
+    )
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_matches_oracle(self, oracle, distribution, d):
+        data = generate(distribution, 300, d, seed=78)
+        result = SKYMR().compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_sample_filter_prunes(self):
+        data = generate("correlated", 2000, 3, seed=5)
+        result = SKYMR(sample_size=512).compute(data)
+        pruned = result.stats.jobs[0].counters[TUPLES_PRUNED_BY_BITSTRING]
+        assert pruned > 1000  # most correlated tuples die pre-shuffle
+
+    def test_artifacts(self, rng):
+        result = SKYMR().compute(rng.random((300, 2)))
+        assert result.artifacts["quadtree_leaves"] >= 1
+        assert result.artifacts["sample_skyline_size"] >= 1
+        assert 0 <= result.artifacts["dominated_leaves"] <= (
+            result.artifacts["quadtree_leaves"]
+        )
+
+    def test_two_jobs(self, rng):
+        result = SKYMR().compute(rng.random((100, 2)))
+        assert [j.job_name for j in result.stats.jobs] == [
+            "sky-mr-local",
+            "sky-mr-merge",
+        ]
+
+    def test_small_sample_still_correct(self, oracle, rng):
+        data = rng.random((300, 3))
+        result = SKYMR(sample_size=8).compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_deterministic(self, rng):
+        data = rng.random((300, 3))
+        a = SKYMR(sample_seed=3).compute(data)
+        b = SKYMR(sample_seed=3).compute(data)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_empty(self):
+        assert len(SKYMR().compute(np.empty((0, 3)))) == 0
+
+    def test_duplicates(self):
+        data = np.array([[0.2, 0.2]] * 3 + [[0.9, 0.9]])
+        result = SKYMR().compute(data)
+        assert sorted(result.indices.tolist()) == [0, 1, 2]
+
+    def test_high_dimensional_depth_cap(self, oracle):
+        data = generate("independent", 200, 7, seed=9)
+        result = SKYMR().compute(data)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_registry(self, oracle, rng):
+        from repro import skyline
+
+        data = rng.random((200, 2))
+        result = skyline(data, algorithm="sky-mr", sample_size=64)
+        assert set(result.indices.tolist()) == oracle(data)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SKYMR(sample_size=0)

@@ -1,0 +1,73 @@
+"""Input splitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mapreduce.splits import contiguous_splits, kv_splits, round_robin_splits
+
+
+class TestContiguousSplits:
+    def test_covers_all_rows_once(self, rng):
+        data = rng.random((103, 2))
+        splits = contiguous_splits(data, 7)
+        ids = [pid for split in splits for pid, _row in split]
+        assert sorted(ids) == list(range(103))
+
+    def test_balanced_within_one(self, rng):
+        splits = contiguous_splits(rng.random((103, 2)), 7)
+        sizes = [len(s) for s in splits]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_records_carry_row_values(self, rng):
+        data = rng.random((10, 3))
+        [split] = contiguous_splits(data, 1)
+        for pid, row in split:
+            assert np.array_equal(row, data[pid])
+
+    def test_more_splits_than_rows(self):
+        splits = contiguous_splits(np.ones((3, 2)), 8)
+        assert len(splits) == 8
+        assert sum(len(s) for s in splits) == 3
+
+    def test_split_ids_sequential(self, rng):
+        splits = contiguous_splits(rng.random((20, 2)), 4)
+        assert [s.split_id for s in splits] == [0, 1, 2, 3]
+
+    def test_validates_num_splits(self):
+        with pytest.raises(ValidationError):
+            contiguous_splits(np.ones((3, 2)), 0)
+
+
+class TestRoundRobinSplits:
+    def test_covers_all_rows_once(self, rng):
+        data = rng.random((50, 2))
+        splits = round_robin_splits(data, 6)
+        ids = [pid for split in splits for pid, _row in split]
+        assert sorted(ids) == list(range(50))
+
+    def test_interleaves(self, rng):
+        splits = round_robin_splits(rng.random((10, 2)), 3)
+        assert [pid for pid, _ in splits[0]] == [0, 3, 6, 9]
+        assert [pid for pid, _ in splits[1]] == [1, 4, 7]
+
+    def test_validates_num_splits(self):
+        with pytest.raises(ValidationError):
+            round_robin_splits(np.ones((3, 2)), -1)
+
+
+class TestKVSplits:
+    def test_covers_all_pairs(self):
+        pairs = [(i, f"v{i}") for i in range(11)]
+        splits = kv_splits(pairs, 3)
+        flat = [kv for s in splits for kv in s]
+        assert flat == pairs
+
+    def test_single_split(self):
+        pairs = [("a", 1)]
+        [split] = kv_splits(pairs, 1)
+        assert list(split) == pairs
+
+    def test_validates(self):
+        with pytest.raises(ValidationError):
+            kv_splits([], 0)

@@ -1,0 +1,116 @@
+"""Schedule reconstruction and Gantt rendering."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.counters import TUPLE_COMPARES, Counters
+from repro.mapreduce.metrics import JobStats, TaskStats
+from repro.mapreduce.trace import build_schedule, render_gantt, render_pipeline_gantt
+from repro.mapreduce.types import TaskId
+
+
+def task(kind, index, compares):
+    return TaskStats(
+        task_id=TaskId(kind, index),
+        duration_s=0.0,
+        records_in=0,
+        records_out=0,
+        bytes_out=0,
+        counters=Counters({TUPLE_COMPARES: compares}),
+    )
+
+
+def cluster(**kw):
+    defaults = dict(
+        num_nodes=2,
+        map_slots_per_node=1,
+        reduce_slots_per_node=1,
+        compare_rate=1.0,
+        record_rate=1e12,
+        task_overhead_s=0.0,
+        bandwidth_bytes_per_s=100.0,
+    )
+    defaults.update(kw)
+    return SimulatedCluster(**defaults)
+
+
+def job_stats():
+    stats = JobStats(job_name="demo")
+    stats.map_tasks = [task("map", i, c) for i, c in enumerate([4, 3, 2, 1])]
+    stats.reduce_tasks = [task("reduce", 0, 5)]
+    stats.shuffle_bytes = 200
+    return stats
+
+
+class TestBuildSchedule:
+    def test_makespan_matches_cluster_model(self):
+        c = cluster()
+        stats = job_stats()
+        schedule = build_schedule(c, stats)
+        assert schedule.makespan_s == pytest.approx(c.job_makespan(stats))
+
+    def test_phases_ordered_and_contiguous(self):
+        schedule = build_schedule(cluster(), job_stats())
+        phases = schedule.phases
+        assert [p.phase for p in phases] == ["map", "shuffle", "reduce"]
+        assert phases[0].start_s == 0.0
+        assert phases[1].start_s == pytest.approx(phases[0].end_s)
+        assert phases[2].start_s == pytest.approx(phases[1].end_s)
+
+    def test_greedy_placement(self):
+        # durations 4,3,2,1 on 2 slots: slot0 gets 4 then 1; slot1 3,2.
+        schedule = build_schedule(cluster(), job_stats())
+        map_phase = schedule.phases[0]
+        by_name = {t.name: t for t in map_phase.tasks}
+        assert by_name["map-0000"].slot == 0
+        assert by_name["map-0001"].slot == 1
+        assert by_name["map-0002"].slot == 1  # least-loaded after 4 vs 3
+        assert by_name["map-0003"].slot == 0
+        assert map_phase.end_s == pytest.approx(5.0)
+
+    def test_no_slot_overlap(self):
+        schedule = build_schedule(cluster(), job_stats())
+        for phase in (schedule.phases[0], schedule.phases[2]):
+            by_slot = {}
+            for t in sorted(phase.tasks, key=lambda t: t.start_s):
+                last = by_slot.get(t.slot)
+                if last is not None:
+                    assert t.start_s >= last - 1e-12
+                by_slot[t.slot] = t.end_s
+
+    def test_shuffle_duration(self):
+        schedule = build_schedule(cluster(), job_stats())
+        assert schedule.phases[1].duration_s == pytest.approx(2.0)  # 200/100
+
+
+class TestGantt:
+    def test_render_contains_all_rows(self):
+        text = render_gantt(build_schedule(cluster(), job_stats()))
+        assert "map-slot-0" in text and "map-slot-1" in text
+        assert "shuffle" in text and "reduce-slot-0" in text
+        assert "#" in text and "~" in text
+
+    def test_empty_schedule(self):
+        stats = JobStats(job_name="empty")
+        text = render_gantt(build_schedule(cluster(), stats))
+        assert "empty schedule" in text
+
+    def test_width_validated(self):
+        with pytest.raises(ValidationError):
+            render_gantt(build_schedule(cluster(), job_stats()), width=4)
+
+    def test_pipeline_rendering(self):
+        text = render_pipeline_gantt(cluster(), [job_stats(), job_stats()])
+        assert text.count("demo:") == 2
+
+
+class TestEndToEndGantt:
+    def test_real_pipeline_renders(self, rng):
+        from repro import skyline
+        from repro.mapreduce.trace import render_pipeline_gantt
+
+        c = SimulatedCluster(num_nodes=3)
+        result = skyline(rng.random((400, 3)), algorithm="mr-gpmrs", cluster=c)
+        text = render_pipeline_gantt(c, result.stats.jobs)
+        assert "bitstring" in text and "gpmrs-skyline" in text

@@ -1,0 +1,125 @@
+"""The verification utility and the ASCII plot renderer."""
+
+import numpy as np
+import pytest
+
+from repro import skyline
+from repro.bench.asciiplot import ascii_plot, plot_panel
+from repro.core.reference import bruteforce_skyline_indices
+from repro.errors import ValidationError
+from repro.verify import verify_skyline
+
+
+class TestVerifySkyline:
+    def test_accepts_correct_answer(self, rng):
+        data = rng.random((300, 3))
+        result = skyline(data, algorithm="mr-gpmrs")
+        report = verify_skyline(data, result.indices)
+        assert report.ok
+        assert report.reported == len(result)
+        report.raise_if_failed()  # no-op
+
+    def test_detects_dominated_extra(self, rng):
+        data = rng.random((200, 3))
+        good = bruteforce_skyline_indices(data)
+        # add a dominated row
+        dominated = next(
+            i for i in range(200) if i not in set(good.tolist())
+        )
+        bad = np.concatenate([good, [dominated]])
+        report = verify_skyline(data, bad)
+        assert not report.ok
+        assert dominated in report.dominated_reported
+        with pytest.raises(ValidationError):
+            report.raise_if_failed()
+
+    def test_detects_missing_member(self, rng):
+        data = rng.random((200, 3))
+        good = bruteforce_skyline_indices(data)
+        report = verify_skyline(data, good[:-1])
+        assert not report.ok
+        assert int(good[-1]) in report.missing
+
+    def test_duplicate_semantics(self):
+        data = np.array([[0.1, 0.1], [0.1, 0.1], [0.9, 0.9]])
+        assert verify_skyline(data, [0, 1]).ok
+        assert not verify_skyline(data, [0]).ok  # duplicate missing
+
+    def test_prefs_respected(self, rng):
+        data = rng.random((150, 2))
+        result = skyline(data, algorithm="sfs", prefs=["min", "max"])
+        assert verify_skyline(data, result.indices, prefs=["min", "max"]).ok
+        # with the wrong prefs it should (almost surely) fail
+        assert not verify_skyline(data, result.indices).ok
+
+    def test_input_validation(self, rng):
+        data = rng.random((10, 2))
+        with pytest.raises(ValidationError):
+            verify_skyline(data, [0, 0])
+        with pytest.raises(ValidationError):
+            verify_skyline(data, [99])
+
+    def test_every_algorithm_passes_verification(self, rng):
+        from repro.data.generators import generate
+
+        data = generate("anticorrelated", 250, 3, seed=19)
+        for name in ("mr-gpsrs", "mr-gpmrs", "mr-bnl", "sky-mr"):
+            result = skyline(data, algorithm=name)
+            assert verify_skyline(data, result.indices).ok, name
+
+
+class TestAsciiPlot:
+    def test_basic_rendering(self):
+        text = ascii_plot(
+            [2, 4, 6, 8],
+            {"a": [1.0, 2.0, 4.0, 8.0], "b": [2.0, 2.0, 2.0, 2.0]},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "o=a" in text and "x=b" in text
+        assert "|" in text
+
+    def test_dnf_points_absent(self):
+        text = ascii_plot(
+            [1, 2, 3],
+            {"a": [1.0, None, 3.0]},
+        )
+        assert text.count("o") >= 2
+
+    def test_log_axis(self):
+        text = ascii_plot(
+            [1, 2, 3],
+            {"a": [0.1, 10.0, 1000.0]},
+            logy=True,
+        )
+        assert "log y-axis" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([1, 2], {"a": [0.0, 1.0]}, logy=True)
+
+    def test_all_dnf(self):
+        text = ascii_plot([1, 2], {"a": [None, None]}, title="t")
+        assert "DNF" in text
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([1], {}, width=60)
+        with pytest.raises(ValidationError):
+            ascii_plot([1, 2], {"a": [1.0]})
+        with pytest.raises(ValidationError):
+            ascii_plot([1], {"a": [1.0]}, width=4)
+
+    def test_plot_panel_integration(self):
+        from repro.bench.experiments import run_figure10
+        from repro.mapreduce.cluster import SimulatedCluster
+
+        report = run_figure10(
+            scale=0.002, quick=True, cluster=SimulatedCluster()
+        )
+        text = plot_panel(report.panels[1])
+        assert "mr-gpmrs" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot([1, 2], {"a": [5.0, 5.0]})
+        assert "o" in text
