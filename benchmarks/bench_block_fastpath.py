@@ -1,0 +1,244 @@
+"""Columnar block fast path vs record-at-a-time: records/sec.
+
+Standalone (no pytest-benchmark) so CI can gate on it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_block_fastpath.py --quick
+
+Two measurements on the Figure-9 low-cardinality workload
+(independent, 3-d, 1e5 rows — the paper's smallest sweep point):
+
+* **ingest** — a pass-through MapReduce job (buffering mapper that
+  emits its split as one block, identity reducer). Both paths do the
+  same shuffle and reduce work, so the throughput difference is purely
+  the runtime's per-record cost: record-at-a-time buffering vs handing
+  the split to ``map_block`` as one PointSet. This is the fast-path
+  speedup itself and what the CI gate checks.
+* **algorithm** — end-to-end mr-gpsrs, where map-side skyline
+  computation (identical on both paths) dilutes the runtime gain; the
+  honest real-world number.
+
+Engine configurations:
+
+* ``serial-record``  — SerialEngine with the block path disabled
+  (the pre-fast-path baseline).
+* ``serial-block``   — SerialEngine default: whole splits to
+  ``map_block`` as PointSets, zero per-tuple Python work.
+* ``threads``        — ThreadPoolEngine on the block path.
+* ``processes``      — ProcessPoolEngine on the block path (workers
+  receive the job spec once via the pool initializer, like a
+  Distributed Cache broadcast).
+
+Writes ``BENCH_fastpath.json`` at the repo root with throughput and
+wall-clock per configuration plus the host's CPU count — the
+parallel-engine numbers are only meaningful relative to it. Exits
+non-zero if the block path is slower than the record path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro import skyline
+from repro.core.pointset import PointSet
+from repro.data import generate
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ProcessPoolEngine, ThreadPoolEngine
+from repro.mapreduce.partitioners import single_partitioner
+from repro.mapreduce.splits import contiguous_splits
+from repro.mapreduce.types import IdentityReducer, Mapper, TaskContext
+
+
+class PassThroughMapper(Mapper):
+    """Buffer the split, emit it as one block — no algorithm work.
+
+    Mirrors what every skyline mapper's ingestion phase does, so the
+    record/block throughput ratio isolates the runtime fast path.
+    """
+
+    def setup(self, ctx: TaskContext) -> None:
+        self._ids = []
+        self._rows = []
+
+    def map(self, key, value, ctx: TaskContext) -> None:
+        self._ids.append(int(key))
+        self._rows.append(value)
+
+    def map_block(self, points, ctx: TaskContext) -> None:
+        ctx.emit(0, points)
+
+    def cleanup(self, ctx: TaskContext) -> None:
+        if self._ids:
+            ctx.emit(
+                0,
+                PointSet(
+                    np.asarray(self._ids, dtype=np.int64),
+                    np.vstack(self._rows),
+                ),
+            )
+            self._ids, self._rows = [], []
+
+
+def _engines(workers: int):
+    return {
+        "serial-record": SerialEngine(block_path=False),
+        "serial-block": SerialEngine(),
+        "threads": ThreadPoolEngine(max_workers=workers),
+        "processes": ProcessPoolEngine(max_workers=workers),
+    }
+
+
+def _timed(fn, repeats: int):
+    best = None
+    out = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, out
+
+
+def bench_ingest(data, engine, num_mappers: int, repeats: int) -> dict:
+    def run():
+        job = MapReduceJob(
+            name="fastpath-ingest",
+            splits=contiguous_splits(data, num_mappers),
+            mapper_factory=PassThroughMapper,
+            reducer_factory=IdentityReducer,
+            num_reducers=1,
+            partitioner=single_partitioner,
+        )
+        result = engine.run(job)
+        return sum(len(points) for _key, points in result.all_pairs())
+
+    best, total = _timed(run, repeats)
+    if total != data.shape[0]:
+        raise AssertionError(
+            f"ingest dropped records: {total} != {data.shape[0]}"
+        )
+    return {
+        "engine": repr(engine),
+        "wall_s": round(best, 4),
+        "records_per_s": round(data.shape[0] / best, 1),
+    }
+
+
+def bench_algorithm(data, algorithm: str, engine, repeats: int) -> dict:
+    cluster = SimulatedCluster(num_nodes=13)
+
+    def run():
+        return skyline(
+            data, algorithm=algorithm, cluster=cluster, engine=engine
+        )
+
+    best, result = _timed(run, repeats)
+    return {
+        "engine": repr(engine),
+        "wall_s": round(best, 4),
+        "records_per_s": round(data.shape[0] / best, 1),
+        "skyline_size": len(result),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload + 1 repeat (the CI gate)",
+    )
+    parser.add_argument("--cardinality", type=int, default=None)
+    parser.add_argument("--dimensionality", type=int, default=3)
+    parser.add_argument("--algorithm", default="mr-gpsrs")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--num-mappers", type=int, default=13)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_fastpath.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    cardinality = args.cardinality or (10_000 if args.quick else 100_000)
+    repeats = args.repeats or (1 if args.quick else 3)
+    data = generate("independent", cardinality, args.dimensionality, seed=9)
+
+    print(
+        f"workload: independent {cardinality} x {args.dimensionality}, "
+        f"host cpus {os.cpu_count()}, repeats {repeats}"
+    )
+    ingest = {}
+    print("ingest (pass-through job, runtime cost only):")
+    for label, engine in _engines(args.workers).items():
+        ingest[label] = bench_ingest(data, engine, args.num_mappers, repeats)
+        print(
+            f"  {label:14s} {ingest[label]['wall_s']:8.4f}s  "
+            f"{ingest[label]['records_per_s']:12,.0f} records/s"
+        )
+    ingest_speedup = (
+        ingest["serial-record"]["wall_s"] / ingest["serial-block"]["wall_s"]
+    )
+    print(f"  block-path ingest speedup: {ingest_speedup:.2f}x")
+
+    algo = {}
+    print(f"algorithm (end-to-end {args.algorithm}):")
+    for label, engine in _engines(args.workers).items():
+        algo[label] = bench_algorithm(data, args.algorithm, engine, repeats)
+        print(
+            f"  {label:14s} {algo[label]['wall_s']:8.4f}s  "
+            f"{algo[label]['records_per_s']:12,.0f} records/s"
+        )
+    algo_speedup = (
+        algo["serial-record"]["wall_s"] / algo["serial-block"]["wall_s"]
+    )
+    print(f"  block-path end-to-end speedup: {algo_speedup:.2f}x")
+
+    sizes = {r["skyline_size"] for r in algo.values()}
+    if len(sizes) != 1:
+        print(f"FAIL: engines disagree on skyline size: {sizes}",
+              file=sys.stderr)
+        return 1
+
+    payload = {
+        "workload": {
+            "distribution": "independent",
+            "cardinality": cardinality,
+            "dimensionality": args.dimensionality,
+            "algorithm": args.algorithm,
+            "seed": 9,
+            "num_mappers": args.num_mappers,
+        },
+        "host": {"cpu_count": os.cpu_count(), "workers": args.workers},
+        "ingest": ingest,
+        "ingest_block_vs_record_speedup": round(ingest_speedup, 2),
+        "algorithm": algo,
+        "algorithm_block_vs_record_speedup": round(algo_speedup, 2),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"written: {args.output}")
+
+    if ingest_speedup < 1.0 or algo_speedup < 1.0:
+        print(
+            f"FAIL: block path slower than record path (ingest "
+            f"{ingest_speedup:.2f}x, algorithm {algo_speedup:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

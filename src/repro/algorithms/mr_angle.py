@@ -103,8 +103,8 @@ class AngularMapper(BufferingMapper):
         lows, _highs = ctx.cache[CACHE_BOUNDS]
         sectors = ctx.cache[CACHE_SECTORS]
         ids = angular_partition_ids(points.values, lows, sectors)
-        for pid in np.unique(ids).tolist():
-            ctx.emit(int(pid), points.select(ids == pid))
+        for pid, block in points.split_by(ids):
+            ctx.emit(int(pid), block)
 
 
 class AngularMergeReducer(Reducer):
@@ -189,6 +189,7 @@ class MRAngle(SkylineAlgorithm):
             cache=DistributedCache(
                 {CACHE_BOUNDS: bounds, CACHE_SECTORS: sectors}
             ),
+            merge_point_blocks=True,
         )
         local_result = env.engine.run(local_job)
         stats.jobs.append(local_result.stats)

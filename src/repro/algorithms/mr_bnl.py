@@ -69,8 +69,8 @@ class SubspaceMapper(BufferingMapper):
         lows, highs = ctx.cache[CACHE_BOUNDS]
         midpoint = (np.asarray(lows) + np.asarray(highs)) / 2.0
         flags = subspace_flags(points.values, midpoint)
-        for flag in np.unique(flags).tolist():
-            ctx.emit(int(flag), points.select(flags == flag))
+        for flag, block in points.split_by(flags):
+            ctx.emit(int(flag), block)
 
 
 class _LocalSkylineReducer(Reducer):
@@ -177,6 +177,7 @@ class MRBNL(SkylineAlgorithm):
             num_reducers=local_reducers,
             partitioner=hash_partitioner,
             cache=DistributedCache({CACHE_BOUNDS: bounds}),
+            merge_point_blocks=True,
         )
         local_result = env.engine.run(local_job)
         stats.jobs.append(local_result.stats)

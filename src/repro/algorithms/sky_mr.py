@@ -191,8 +191,8 @@ class SkyMRMapper(BufferingMapper):
             )
             ids = ids[~mask]
             survivors = survivors.select(~mask)
-        for leaf in np.unique(ids).tolist():
-            ctx.emit(int(leaf), survivors.select(ids == leaf))
+        for leaf, block in survivors.split_by(ids):
+            ctx.emit(int(leaf), block)
 
 
 class SkyMRLocalReducer(Reducer):
@@ -313,6 +313,7 @@ class SKYMR(SkylineAlgorithm):
             num_reducers=env.cluster.reduce_slots,
             partitioner=hash_partitioner,
             cache=cache,
+            merge_point_blocks=True,
         )
         local_result = env.engine.run(local_job)
         stats.jobs.append(local_result.stats)

@@ -61,6 +61,18 @@ def _build_parser() -> argparse.ArgumentParser:
     compute.add_argument("--ppd", type=int, default=None)
     compute.add_argument("--nodes", type=int, default=13)
     compute.add_argument(
+        "--engine",
+        default="serial",
+        choices=["serial", "threads", "processes"],
+        help="execution engine for the MapReduce runtime",
+    )
+    compute.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the threads/processes engines",
+    )
+    compute.add_argument(
         "--show", type=int, default=10, help="print the first N skyline rows"
     )
 
@@ -120,6 +132,18 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_engine(name: str, workers: Optional[int]):
+    if name == "threads":
+        from repro.mapreduce.parallel import ThreadPoolEngine
+
+        return ThreadPoolEngine(max_workers=workers)
+    if name == "processes":
+        from repro.mapreduce.parallel import ProcessPoolEngine
+
+        return ProcessPoolEngine(max_workers=workers)
+    return None  # algorithm default: SerialEngine
+
+
 def _cmd_compute(args) -> int:
     if args.input:
         if args.input.endswith(".npy"):
@@ -144,7 +168,12 @@ def _cmd_compute(args) -> int:
         options["ppd"] = args.ppd
     cluster = SimulatedCluster(num_nodes=args.nodes)
     result = skyline(
-        data, algorithm=args.algorithm, prefs=prefs, cluster=cluster, **options
+        data,
+        algorithm=args.algorithm,
+        prefs=prefs,
+        cluster=cluster,
+        engine=_make_engine(args.engine, args.workers),
+        **options,
     )
     print(
         f"{args.algorithm}: skyline of {data.shape[0]} x {data.shape[1]} "

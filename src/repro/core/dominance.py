@@ -91,11 +91,15 @@ def dominated_mask(candidates: np.ndarray, against: np.ndarray) -> np.ndarray:
             f"dimensionality mismatch: {candidates.shape[1]} vs {against.shape[1]}"
         )
     d = candidates.shape[1]
-    step = _row_chunks(against.shape[0], n * d)
     alive = np.arange(n)
-    for start in range(0, against.shape[0], step):
-        if alive.size == 0:
-            break
+    start = 0
+    m = against.shape[0]
+    while start < m and alive.size:
+        # Re-derive the chunk step from the *surviving* candidate
+        # count: as candidates are eliminated the broadcast tensor
+        # shrinks, so later sweeps can take proportionally larger
+        # bites of ``against`` under the same memory budget.
+        step = _row_chunks(m - start, alive.size * d)
         blk = against[start : start + step]
         cand = candidates[alive]
         # (blk_rows, cand_rows, d) broadcast, reduced immediately.
@@ -104,6 +108,7 @@ def dominated_mask(candidates: np.ndarray, against: np.ndarray) -> np.ndarray:
         hit = (le & lt).any(axis=0)
         mask[alive[hit]] = True
         alive = alive[~hit]
+        start += step
     return mask
 
 

@@ -99,6 +99,36 @@ class PointSet:
         order = np.argsort(np.asarray(key), kind="stable")
         return self.select(order)
 
+    def split_by(self, keys: np.ndarray):
+        """Partition rows into per-key blocks.
+
+        Returns ``[(key, PointSet), ...]`` with keys ascending and the
+        original row order preserved within each block — one stable
+        argsort over the whole set instead of a boolean scan per
+        distinct key. This is the partition-aware block split the
+        grid mappers and the block shuffle are built on.
+        """
+        keys = np.asarray(keys).ravel()
+        if keys.shape[0] != len(self):
+            raise DataError(
+                f"keys/rows length mismatch: {keys.shape[0]} vs {len(self)}"
+            )
+        if keys.shape[0] == 0:
+            return []
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        ids = self.ids[order]
+        values = self.values[order]
+        uniq, starts = np.unique(sorted_keys, return_index=True)
+        bounds = np.append(starts, keys.shape[0])
+        return [
+            (
+                uniq[i].item(),
+                PointSet(ids[bounds[i]:bounds[i + 1]], values[bounds[i]:bounds[i + 1]]),
+            )
+            for i in range(uniq.shape[0])
+        ]
+
     def id_set(self) -> set:
         return set(self.ids.tolist())
 

@@ -39,6 +39,12 @@ class TaskFailedError(JobError):
         self.task_id = task_id
         self.cause = cause
 
+    def __reduce__(self):
+        # Default Exception pickling replays ``args`` (the formatted
+        # message) into ``__init__``, which needs (task_id, cause) —
+        # required for crossing the ProcessPoolEngine boundary.
+        return (type(self), (self.task_id, self.cause))
+
 
 class AlgorithmError(ReproError):
     """A skyline algorithm was configured or used incorrectly."""

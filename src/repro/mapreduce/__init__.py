@@ -16,10 +16,10 @@ from repro.mapreduce.cluster import (
 )
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import SerialEngine
-from repro.mapreduce.io import csv_splits, npy_splits
+from repro.mapreduce.io import csv_splits, npy_block_splits, npy_splits
 from repro.mapreduce.job import JobResult, MapReduceJob
 from repro.mapreduce.metrics import JobStats, PipelineStats, TaskStats
-from repro.mapreduce.parallel import ThreadPoolEngine
+from repro.mapreduce.parallel import ProcessPoolEngine, ThreadPoolEngine
 from repro.mapreduce.partitioners import (
     direct_partitioner,
     hash_partitioner,
@@ -27,8 +27,14 @@ from repro.mapreduce.partitioners import (
 )
 from repro.mapreduce.pipeline import ChainResult, JobChain
 from repro.mapreduce.sizes import payload_size
-from repro.mapreduce.splits import contiguous_splits, kv_splits, round_robin_splits
+from repro.mapreduce.splits import (
+    block_splits,
+    contiguous_splits,
+    kv_splits,
+    round_robin_splits,
+)
 from repro.mapreduce.types import (
+    BlockInputSplit,
     IdentityMapper,
     IdentityReducer,
     InputSplit,
@@ -36,9 +42,11 @@ from repro.mapreduce.types import (
     Reducer,
     TaskContext,
     TaskId,
+    supports_block_map,
 )
 
 __all__ = [
+    "BlockInputSplit",
     "ChainResult",
     "Counters",
     "DistributedCache",
@@ -53,6 +61,7 @@ __all__ = [
     "Mapper",
     "PAPER_CLUSTER",
     "PipelineStats",
+    "ProcessPoolEngine",
     "Reducer",
     "SerialEngine",
     "SimulatedCluster",
@@ -60,14 +69,17 @@ __all__ = [
     "TaskId",
     "TaskStats",
     "ThreadPoolEngine",
+    "block_splits",
     "contiguous_splits",
     "csv_splits",
     "direct_partitioner",
     "hash_partitioner",
     "kv_splits",
+    "npy_block_splits",
     "npy_splits",
     "payload_size",
     "round_robin_splits",
     "schedule_makespan",
     "single_partitioner",
+    "supports_block_map",
 ]

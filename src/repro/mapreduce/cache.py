@@ -21,10 +21,11 @@ from repro.mapreduce.sizes import payload_size
 class DistributedCache:
     """Immutable broadcast key-value store for one job."""
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_payload_bytes")
 
     def __init__(self, data: Mapping[str, Any] = None):
         self._data: Dict[str, Any] = dict(data or {})
+        self._payload_bytes: int = -1
 
     def __getitem__(self, key: str) -> Any:
         try:
@@ -48,8 +49,18 @@ class DistributedCache:
         return len(self._data)
 
     def payload_bytes(self) -> int:
-        """Approximate bytes broadcast to each node."""
-        return sum(payload_size(v) for v in self._data.values())
+        """Approximate bytes broadcast to each node.
+
+        Memoized: the cache is write-once at job-build time (grids and
+        bitstrings are immutable once set), and chained pipelines ask
+        for this on every job — re-walking and re-sizing every cached
+        object each time is pure waste.
+        """
+        if self._payload_bytes < 0:
+            self._payload_bytes = sum(
+                payload_size(v) for v in self._data.values()
+            )
+        return self._payload_bytes
 
     @classmethod
     def empty(cls) -> "DistributedCache":

@@ -5,8 +5,18 @@ would — map, optional combine, partition, shuffle/sort/group, reduce —
 but one task at a time, timing every task. Parallelism is *modelled*,
 not exercised: the cluster model turns per-task durations into a
 makespan (see :mod:`repro.mapreduce.cluster`), while
-:class:`~repro.mapreduce.parallel.ThreadPoolEngine` offers genuinely
+:class:`~repro.mapreduce.parallel.ThreadPoolEngine` and
+:class:`~repro.mapreduce.parallel.ProcessPoolEngine` offer genuinely
 concurrent execution with identical semantics.
+
+Map tasks have two input protocols. When a split carries a columnar
+block (:class:`~repro.mapreduce.types.BlockInputSplit`) and the mapper
+overrides :meth:`~repro.mapreduce.types.Mapper.map_block`, the engine
+hands the whole block over in one call — zero per-tuple Python work.
+Otherwise it iterates ``(key, value)`` records exactly as before.
+Counters, shuffle-byte accounting, and outputs are identical on both
+paths; ``block_path=False`` forces the record path (used by the
+fast-path benchmark and the equivalence tests).
 """
 
 from __future__ import annotations
@@ -15,12 +25,18 @@ import time
 from collections import OrderedDict
 from typing import Dict, List, Tuple
 
+from repro.core.pointset import PointSet
 from repro.errors import TaskFailedError, ValidationError
 from repro.mapreduce import counters as counter_names
 from repro.mapreduce.job import JobResult, MapReduceJob
 from repro.mapreduce.metrics import JobStats, TaskStats
 from repro.mapreduce.sizes import payload_size
-from repro.mapreduce.types import KeyValue, TaskContext, TaskId
+from repro.mapreduce.types import (
+    KeyValue,
+    TaskContext,
+    TaskId,
+    supports_block_map,
+)
 
 
 def _sorted_keys(keys) -> List:
@@ -32,16 +48,149 @@ def _sorted_keys(keys) -> List:
         return sorted(keys, key=repr)
 
 
-def _group_by_key(pairs: List[KeyValue], sort: bool) -> "OrderedDict":
+def _group_by_key(
+    pairs: List[KeyValue], sort: bool, merge_blocks: bool = False
+) -> "OrderedDict":
     grouped: Dict = OrderedDict()
     for key, value in pairs:
         grouped.setdefault(key, []).append(value)
+    if merge_blocks:
+        for key, values in grouped.items():
+            if (
+                len(values) > 1
+                and all(isinstance(v, PointSet) for v in values)
+                and any(len(v) for v in values)
+            ):
+                grouped[key] = [PointSet.concat(values)]
     if not sort:
         return grouped
     ordered = OrderedDict()
     for key in _sorted_keys(grouped.keys()):
         ordered[key] = grouped[key]
     return ordered
+
+
+def attempt_task(task_id: TaskId, run_once, max_attempts: int):
+    """Run ``run_once`` with Hadoop-style retry; returns its result.
+
+    A failing attempt is re-run from scratch (the caller builds a fresh
+    task instance and context per attempt), up to ``max_attempts``;
+    only then does the task — and with it the job — fail.
+    """
+    last_error = None
+    for attempt in range(max_attempts):
+        try:
+            return run_once(attempt)
+        except Exception as exc:
+            last_error = exc
+    raise TaskFailedError(str(task_id), last_error) from last_error
+
+
+def run_combiner(
+    job, split_id: int, map_ctx: TaskContext, output: List[KeyValue]
+) -> List[KeyValue]:
+    """Run the combiner over one mapper's output, in the map task."""
+    combine_ctx = TaskContext(
+        TaskId("combine", split_id), job.num_reducers, job.cache
+    )
+    combiner = job.combiner_factory()
+    combiner.setup(combine_ctx)
+    for key, values in _group_by_key(output, job.sort_keys).items():
+        combiner.reduce(key, values, combine_ctx)
+    combiner.cleanup(combine_ctx)
+    map_ctx.counters.merge(combine_ctx.counters)
+    return combine_ctx.output
+
+
+def execute_map_attempt(
+    job, split, task_id: TaskId, block_path: bool
+) -> Tuple[TaskContext, List[KeyValue], int, float]:
+    """One attempt of one map task (block fast path or record path).
+
+    ``job`` only needs mapper/combiner factories, ``num_reducers``,
+    ``cache`` and ``sort_keys`` — engines may pass a slim job spec
+    (the process-pool engine ships one to its workers).
+    """
+    ctx = TaskContext(task_id, job.num_reducers, job.cache)
+    mapper = job.mapper_factory()
+    started = time.perf_counter()
+    mapper.setup(ctx)
+    points = getattr(split, "points", None) if block_path else None
+    if points is not None and supports_block_map(mapper):
+        records_in = len(points)
+        mapper.map_block(points, ctx)
+    else:
+        records_in = 0
+        for key, value in split:
+            records_in += 1
+            mapper.map(key, value, ctx)
+    mapper.cleanup(ctx)
+    output = ctx.output
+    if job.combiner_factory is not None:
+        output = run_combiner(job, split.split_id, ctx, output)
+    return ctx, output, records_in, time.perf_counter() - started
+
+
+def execute_reduce_attempt(
+    job, bucket: List[KeyValue], task_id: TaskId
+) -> Tuple[TaskContext, float]:
+    """One attempt of one reduce task over its shuffled bucket."""
+    ctx = TaskContext(task_id, job.num_reducers, job.cache)
+    reducer = job.reducer_factory()
+    grouped = _group_by_key(
+        bucket, job.sort_keys, getattr(job, "merge_point_blocks", False)
+    )
+    started = time.perf_counter()
+    reducer.setup(ctx)
+    for key, values in grouped.items():
+        reducer.reduce(key, values, ctx)
+    reducer.cleanup(ctx)
+    return ctx, time.perf_counter() - started
+
+
+def finish_map_task(
+    task_id: TaskId, ctx: TaskContext, output: List[KeyValue],
+    records_in: int, duration: float,
+) -> TaskStats:
+    """Charge per-task counters and byte accounting for one map task."""
+    bytes_out = sum(payload_size(k) + payload_size(v) for k, v in output)
+    ctx.counters.inc(counter_names.RECORDS_IN, records_in)
+    ctx.counters.inc(counter_names.RECORDS_OUT, len(output))
+    return TaskStats(
+        task_id=task_id,
+        duration_s=duration,
+        records_in=records_in,
+        records_out=len(output),
+        bytes_out=bytes_out,
+        counters=ctx.counters,
+    )
+
+
+def finish_reduce_task(
+    task_id: TaskId, ctx: TaskContext, records_in: int, duration: float
+) -> TaskStats:
+    """Charge per-task counters and byte accounting for one reduce task."""
+    output = ctx.output
+    bytes_out = sum(payload_size(k) + payload_size(v) for k, v in output)
+    ctx.counters.inc(counter_names.RECORDS_IN, records_in)
+    ctx.counters.inc(counter_names.RECORDS_OUT, len(output))
+    return TaskStats(
+        task_id=task_id,
+        duration_s=duration,
+        records_in=records_in,
+        records_out=len(output),
+        bytes_out=bytes_out,
+        counters=ctx.counters,
+    )
+
+
+def shuffle_outputs(job, map_outputs: List[List[KeyValue]]) -> List[List[KeyValue]]:
+    """Partition map outputs into per-reducer buckets."""
+    buckets: List[List[KeyValue]] = [[] for _ in range(job.num_reducers)]
+    for output in map_outputs:
+        for key, value in output:
+            buckets[job.partitioner(key, job.num_reducers)].append((key, value))
+    return buckets
 
 
 class SerialEngine:
@@ -52,113 +201,84 @@ class SerialEngine:
     fault-tolerance"): a failing task is re-run from scratch with a
     fresh mapper/reducer instance and a fresh context, up to the limit;
     only then does the job fail. Hadoop's default is 4 attempts.
+
+    ``block_path`` enables the columnar fast path for block splits and
+    block-aware mappers (identical results either way; off switches the
+    runtime back to record-at-a-time iteration everywhere).
     """
 
-    def __init__(self, max_attempts: int = 1):
+    def __init__(self, max_attempts: int = 1, block_path: bool = True):
         if max_attempts < 1:
             raise ValidationError(
                 f"max_attempts must be >= 1, got {max_attempts}"
             )
         self.max_attempts = max_attempts
+        self.block_path = bool(block_path)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(block_path={self.block_path})"
 
     def _attempt(self, task_id: TaskId, run_once):
         """Run ``run_once`` with retry; returns its (ctx, ...) result."""
-        last_error = None
-        for attempt in range(self.max_attempts):
-            try:
-                return run_once(attempt)
-            except Exception as exc:
-                last_error = exc
-        raise TaskFailedError(str(task_id), last_error) from last_error
+        return attempt_task(task_id, run_once, self.max_attempts)
+
+    # -- single-task drivers (shared with the concurrent engines) -------
+
+    def _map_task(self, job, split) -> Tuple[TaskStats, List[KeyValue]]:
+        task_id = TaskId("map", split.split_id)
+        ctx, output, records_in, duration = self._attempt(
+            task_id,
+            lambda attempt: execute_map_attempt(
+                job, split, task_id, self.block_path
+            ),
+        )
+        return finish_map_task(task_id, ctx, output, records_in, duration), output
+
+    def _reduce_task(
+        self, job, r: int, bucket: List[KeyValue]
+    ) -> Tuple[TaskStats, List[KeyValue]]:
+        task_id = TaskId("reduce", r)
+        ctx, duration = self._attempt(
+            task_id,
+            lambda attempt: execute_reduce_attempt(job, bucket, task_id),
+        )
+        return finish_reduce_task(task_id, ctx, len(bucket), duration), ctx.output
+
+    # -- phase aggregation ----------------------------------------------
+
+    def _collect_maps(self, stats: JobStats, map_results) -> List[List[KeyValue]]:
+        map_outputs: List[List[KeyValue]] = []
+        for task_stats, output in map_results:
+            stats.map_tasks.append(task_stats)
+            stats.counters.merge(task_stats.counters)
+            stats.shuffle_bytes += task_stats.bytes_out
+            map_outputs.append(output)
+        return map_outputs
+
+    def _collect_reduces(self, stats: JobStats, reduce_results) -> List[List[KeyValue]]:
+        reducer_outputs: List[List[KeyValue]] = []
+        for task_stats, output in reduce_results:
+            stats.reduce_tasks.append(task_stats)
+            stats.counters.merge(task_stats.counters)
+            reducer_outputs.append(output)
+        stats.counters.inc(counter_names.SHUFFLE_BYTES, stats.shuffle_bytes)
+        return reducer_outputs
 
     def run(self, job: MapReduceJob) -> JobResult:
         job.validate()
         stats = JobStats(job_name=job.name)
         stats.broadcast_bytes = job.cache.payload_bytes()
 
-        # -- map phase (+ optional combine) -----------------------------
-        map_outputs: List[List[KeyValue]] = []
-        for split in job.splits:
-            task_id = TaskId("map", split.split_id)
+        map_results = [self._map_task(job, split) for split in job.splits]
+        map_outputs = self._collect_maps(stats, map_results)
 
-            def run_map(attempt, split=split, task_id=task_id):
-                ctx = TaskContext(task_id, job.num_reducers, job.cache)
-                mapper = job.mapper_factory()
-                records_in = 0
-                started = time.perf_counter()
-                mapper.setup(ctx)
-                for key, value in split:
-                    records_in += 1
-                    mapper.map(key, value, ctx)
-                mapper.cleanup(ctx)
-                output = ctx.output
-                if job.combiner_factory is not None:
-                    output = self._combine(job, split.split_id, ctx, output)
-                duration = time.perf_counter() - started
-                return ctx, output, records_in, duration
+        buckets = shuffle_outputs(job, map_outputs)
 
-            ctx, output, records_in, duration = self._attempt(task_id, run_map)
-            bytes_out = sum(
-                payload_size(k) + payload_size(v) for k, v in output
-            )
-            ctx.counters.inc(counter_names.RECORDS_IN, records_in)
-            ctx.counters.inc(counter_names.RECORDS_OUT, len(output))
-            stats.map_tasks.append(
-                TaskStats(
-                    task_id=task_id,
-                    duration_s=duration,
-                    records_in=records_in,
-                    records_out=len(output),
-                    bytes_out=bytes_out,
-                    counters=ctx.counters,
-                )
-            )
-            stats.counters.merge(ctx.counters)
-            map_outputs.append(output)
-            stats.shuffle_bytes += bytes_out
-
-        # -- shuffle: partition map output to reducers -------------------
-        buckets: List[List[KeyValue]] = [[] for _ in range(job.num_reducers)]
-        for output in map_outputs:
-            for key, value in output:
-                buckets[job.partitioner(key, job.num_reducers)].append((key, value))
-
-        # -- reduce phase -------------------------------------------------
-        reducer_outputs: List[List[KeyValue]] = []
-        for r in range(job.num_reducers):
-            task_id = TaskId("reduce", r)
-
-            def run_reduce(attempt, r=r, task_id=task_id):
-                ctx = TaskContext(task_id, job.num_reducers, job.cache)
-                reducer = job.reducer_factory()
-                grouped = _group_by_key(buckets[r], job.sort_keys)
-                started = time.perf_counter()
-                reducer.setup(ctx)
-                for key, values in grouped.items():
-                    reducer.reduce(key, values, ctx)
-                reducer.cleanup(ctx)
-                return ctx, time.perf_counter() - started
-
-            ctx, duration = self._attempt(task_id, run_reduce)
-            records_in = len(buckets[r])
-            output = ctx.output
-            bytes_out = sum(payload_size(k) + payload_size(v) for k, v in output)
-            ctx.counters.inc(counter_names.RECORDS_IN, records_in)
-            ctx.counters.inc(counter_names.RECORDS_OUT, len(output))
-            stats.reduce_tasks.append(
-                TaskStats(
-                    task_id=task_id,
-                    duration_s=duration,
-                    records_in=records_in,
-                    records_out=len(output),
-                    bytes_out=bytes_out,
-                    counters=ctx.counters,
-                )
-            )
-            stats.counters.merge(ctx.counters)
-            reducer_outputs.append(output)
-
-        stats.counters.inc(counter_names.SHUFFLE_BYTES, stats.shuffle_bytes)
+        reduce_results = [
+            self._reduce_task(job, r, buckets[r])
+            for r in range(job.num_reducers)
+        ]
+        reducer_outputs = self._collect_reduces(stats, reduce_results)
         return JobResult(job_name=job.name, reducer_outputs=reducer_outputs, stats=stats)
 
     def _combine(
@@ -169,13 +289,4 @@ class SerialEngine:
         output: List[KeyValue],
     ) -> List[KeyValue]:
         """Run the combiner over one mapper's output, in the map task."""
-        combine_ctx = TaskContext(
-            TaskId("combine", split_id), job.num_reducers, job.cache
-        )
-        combiner = job.combiner_factory()
-        combiner.setup(combine_ctx)
-        for key, values in _group_by_key(output, job.sort_keys).items():
-            combiner.reduce(key, values, combine_ctx)
-        combiner.cleanup(combine_ctx)
-        map_ctx.counters.merge(combine_ctx.counters)
-        return combine_ctx.output
+        return run_combiner(job, split_id, map_ctx, output)

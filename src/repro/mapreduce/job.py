@@ -34,6 +34,11 @@ class MapReduceJob:
     combiner_factory: Optional[Callable[[], Reducer]] = None
     cache: DistributedCache = field(default_factory=DistributedCache)
     sort_keys: bool = True
+    #: Concatenate each reduce key's PointSet values into one block
+    #: before calling the reducer. Safe only for reducers that treat
+    #: their value list as an unordered union of point blocks (the
+    #: local-skyline jobs of MR-BNL / MR-Angle / Sky-MR do).
+    merge_point_blocks: bool = False
 
     def validate(self) -> None:
         if not self.name:

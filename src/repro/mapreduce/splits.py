@@ -3,8 +3,11 @@
 The paper divides R into disjoint subsets R1..Rm, one per mapper —
 Hadoop does this by HDFS block. For an in-memory NumPy dataset we cut
 contiguous row ranges (``contiguous_splits``) or deal rows round-robin
-(``round_robin_splits``); records are ``(row_id, row_values)`` pairs so
-the algorithms can report skyline membership as row indices.
+(``round_robin_splits``). Array splits are *block splits*: each carries
+its share of the dataset as one :class:`~repro.core.pointset.PointSet`
+(ids + 2-D float64 array), which block-aware mappers consume whole
+while legacy mappers iterate the same split as ``(row_id, row_values)``
+records.
 """
 
 from __future__ import annotations
@@ -14,8 +17,9 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.order import as_dataset
+from repro.core.pointset import PointSet
 from repro.errors import ValidationError
-from repro.mapreduce.types import InputSplit
+from repro.mapreduce.types import BlockInputSplit, InputSplit
 
 
 class ArrayRecords:
@@ -35,7 +39,12 @@ class ArrayRecords:
             yield int(self.ids[i]), self.rows[i]
 
 
-def contiguous_splits(data, num_splits: int) -> List[InputSplit]:
+def block_split(split_id: int, ids: np.ndarray, rows: np.ndarray) -> BlockInputSplit:
+    """One block split from an id vector and its value rows."""
+    return BlockInputSplit(split_id=split_id, points=PointSet(ids, rows))
+
+
+def contiguous_splits(data, num_splits: int) -> List[BlockInputSplit]:
     """Cut the dataset into ``num_splits`` contiguous row ranges.
 
     Ranges differ in size by at most one row. Splits beyond the row
@@ -51,11 +60,15 @@ def contiguous_splits(data, num_splits: int) -> List[InputSplit]:
     for s in range(num_splits):
         lo, hi = int(bounds[s]), int(bounds[s + 1])
         ids = np.arange(lo, hi, dtype=np.int64)
-        splits.append(InputSplit(split_id=s, records=ArrayRecords(ids, arr[lo:hi])))
+        splits.append(block_split(s, ids, arr[lo:hi]))
     return splits
 
 
-def round_robin_splits(data, num_splits: int) -> List[InputSplit]:
+#: Alias making the block-oriented nature of array splits explicit.
+block_splits = contiguous_splits
+
+
+def round_robin_splits(data, num_splits: int) -> List[BlockInputSplit]:
     """Deal rows to splits round-robin (destroys input ordering skew)."""
     arr = as_dataset(data)
     if num_splits < 1:
@@ -63,7 +76,7 @@ def round_robin_splits(data, num_splits: int) -> List[InputSplit]:
     splits = []
     for s in range(num_splits):
         ids = np.arange(s, arr.shape[0], num_splits, dtype=np.int64)
-        splits.append(InputSplit(split_id=s, records=ArrayRecords(ids, arr[ids])))
+        splits.append(block_split(s, ids, arr[ids]))
     return splits
 
 

@@ -67,6 +67,14 @@ class Mapper:
     bitstring mapper of Algorithm 1, the skyline mappers of
     Algorithms 3 and 8) accumulate over their whole split and emit only
     once at the end — exactly how they are written for Hadoop.
+
+    Mappers may additionally override :meth:`map_block` to receive a
+    whole columnar split (a :class:`~repro.core.pointset.PointSet`) in
+    one call. Engines use that fast path only when the split carries a
+    block *and* the mapper overrides the method; otherwise they fall
+    back to record-at-a-time :meth:`map`. The default implementation
+    replays the block through :meth:`map`, so the two protocols are
+    interchangeable.
     """
 
     def setup(self, ctx: TaskContext) -> None:
@@ -75,8 +83,27 @@ class Mapper:
     def map(self, key: Any, value: Any, ctx: TaskContext) -> None:
         raise NotImplementedError
 
+    def map_block(self, points, ctx: TaskContext) -> None:
+        """Consume one whole columnar block (compatibility shim).
+
+        ``points`` iterates as ``(row_id, row_values)`` pairs, so the
+        default is exactly the record path.
+        """
+        for key, value in points:
+            self.map(key, value, ctx)
+
     def cleanup(self, ctx: TaskContext) -> None:
         """Called once after the last record."""
+
+
+def supports_block_map(mapper: "Mapper") -> bool:
+    """True iff ``mapper`` overrides :meth:`Mapper.map_block`.
+
+    The runtime takes the block fast path only for mappers that opted
+    in by overriding the method — running the base-class shim through
+    ``map_block`` would just hide the per-record loop from profiling.
+    """
+    return type(mapper).map_block is not Mapper.map_block
 
 
 class Reducer:
@@ -119,3 +146,18 @@ class InputSplit:
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+class BlockInputSplit(InputSplit):
+    """A split backed by one columnar block (ids + 2-D float64 values).
+
+    ``points`` is a :class:`~repro.core.pointset.PointSet`; it doubles
+    as the record sequence because iterating a PointSet yields
+    ``(row_id, row_values)`` pairs, so legacy record-at-a-time mappers
+    run on block splits unchanged. Engines hand ``points`` directly to
+    block-aware mappers with zero per-tuple Python work.
+    """
+
+    def __init__(self, split_id: int, points):
+        super().__init__(split_id=split_id, records=points)
+        self.points = points

@@ -1,0 +1,192 @@
+"""Unit coverage of the columnar block fast path building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import dominated_mask, dominates
+from repro.core.pointset import PointSet
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.io import npy_block_splits, npy_splits
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ProcessPoolEngine, ThreadPoolEngine
+from repro.mapreduce.partitioners import single_partitioner
+from repro.mapreduce.sizes import payload_size
+from repro.mapreduce.splits import block_splits, contiguous_splits
+from repro.mapreduce.types import (
+    BlockInputSplit,
+    IdentityReducer,
+    Mapper,
+    supports_block_map,
+)
+
+
+def _data(n=50, d=3, seed=0):
+    return np.random.default_rng(seed).random((n, d))
+
+
+class RecordOnlyMapper(Mapper):
+    def setup(self, ctx):
+        self.seen = []
+
+    def map(self, key, value, ctx):
+        self.seen.append(int(key))
+        ctx.emit("k", int(key))
+
+
+class BlockAwareMapper(RecordOnlyMapper):
+    def map_block(self, points, ctx):
+        for row_id in points.ids.tolist():
+            ctx.emit("k", row_id)
+
+
+class TestBlockInputSplit:
+    def test_iterates_as_records_for_legacy_mappers(self):
+        data = _data(7)
+        split = BlockInputSplit(
+            split_id=0, points=PointSet(np.arange(7), data)
+        )
+        records = list(split)
+        assert [k for k, _v in records] == list(range(7))
+        assert np.array_equal(np.vstack([v for _k, v in records]), data)
+        assert len(split) == 7
+
+    def test_contiguous_splits_are_block_splits(self):
+        splits = contiguous_splits(_data(10), 3)
+        assert all(isinstance(s, BlockInputSplit) for s in splits)
+        assert sum(len(s.points) for s in splits) == 10
+        assert block_splits is contiguous_splits
+
+    def test_supports_block_map_detection(self):
+        assert not supports_block_map(RecordOnlyMapper())
+        assert supports_block_map(BlockAwareMapper())
+
+
+class TestEnginePathSelection:
+    def _run(self, engine, mapper_factory):
+        job = MapReduceJob(
+            name="path-test",
+            splits=contiguous_splits(_data(20), 4),
+            mapper_factory=mapper_factory,
+            reducer_factory=IdentityReducer,
+            num_reducers=1,
+            partitioner=single_partitioner,
+        )
+        result = engine.run(job)
+        return sorted(v for _k, v in result.all_pairs())
+
+    def test_legacy_mapper_runs_on_block_splits(self):
+        assert self._run(SerialEngine(), RecordOnlyMapper) == list(range(20))
+
+    def test_block_mapper_both_paths_agree(self):
+        fast = self._run(SerialEngine(), BlockAwareMapper)
+        slow = self._run(SerialEngine(block_path=False), BlockAwareMapper)
+        assert fast == slow == list(range(20))
+
+    def test_counters_identical_across_paths(self):
+        def counters(engine):
+            job = MapReduceJob(
+                name="ctr",
+                splits=contiguous_splits(_data(30), 3),
+                mapper_factory=BlockAwareMapper,
+                reducer_factory=IdentityReducer,
+                num_reducers=1,
+                partitioner=single_partitioner,
+            )
+            return engine.run(job).stats.counters.as_dict()
+
+        assert counters(SerialEngine()) == counters(
+            SerialEngine(block_path=False)
+        )
+
+
+class TestSplitBy:
+    def test_matches_boolean_mask_grouping(self):
+        points = PointSet(np.arange(40), _data(40))
+        keys = np.random.default_rng(3).integers(0, 5, 40)
+        got = points.split_by(keys)
+        assert [k for k, _ in got] == sorted(set(keys.tolist()))
+        for key, block in got:
+            expect = np.flatnonzero(keys == key)
+            assert np.array_equal(block.ids, expect)
+            assert np.array_equal(block.values, points.values[expect])
+
+    def test_empty(self):
+        points = PointSet.empty(3)
+        assert points.split_by(np.empty(0, dtype=np.int64)) == []
+
+    def test_length_mismatch_raises(self):
+        points = PointSet(np.arange(4), _data(4))
+        with pytest.raises(Exception):
+            points.split_by(np.zeros(3, dtype=np.int64))
+
+
+class TestNpyBlockSplits:
+    def test_same_records_as_row_splits(self, tmp_path):
+        data = _data(23)
+        path = str(tmp_path / "d.npy")
+        np.save(path, data)
+        rows = [
+            (k, v.tolist()) for s in npy_splits(path, 4) for k, v in s
+        ]
+        blocks = [
+            (k, v.tolist()) for s in npy_block_splits(path, 4) for k, v in s
+        ]
+        assert rows == blocks
+
+    def test_splits_carry_pointsets(self, tmp_path):
+        data = _data(12)
+        path = str(tmp_path / "d.npy")
+        np.save(path, data)
+        splits = npy_block_splits(path, 3)
+        assert all(isinstance(s.points, PointSet) for s in splits)
+        assert np.array_equal(
+            np.vstack([s.points.values for s in splits]), data
+        )
+
+
+class TestDominatedMaskRechunking:
+    def test_matches_naive_on_heavy_elimination(self):
+        """Early chunks eliminate most candidates; later chunks must
+        still produce exact results with the enlarged step."""
+        rng = np.random.default_rng(11)
+        candidates = rng.random((300, 4)) + 1.0  # mostly dominated
+        against = np.vstack([rng.random((50, 4)), rng.random((50, 4)) + 2.0])
+        got = dominated_mask(candidates, against)
+        naive = np.array(
+            [
+                any(dominates(a, c) for a in against)
+                for c in candidates
+            ]
+        )
+        assert np.array_equal(got, naive)
+
+    def test_all_candidates_eliminated_early_stops(self):
+        candidates = np.ones((10, 3)) * 5.0
+        against = np.vstack([np.zeros((1, 3)), np.ones((500, 3)) * 9.0])
+        assert dominated_mask(candidates, against).all()
+
+
+class TestCacheMemoization:
+    def test_payload_bytes_computed_once(self):
+        cache = DistributedCache({"a": np.zeros(100), "b": "text"})
+        first = cache.payload_bytes()
+        assert first == sum(
+            payload_size(v) for v in (np.zeros(100), "text")
+        )
+        assert cache.payload_bytes() is not None
+        assert cache._payload_bytes == first  # memo slot filled
+        assert cache.payload_bytes() == first
+
+    def test_empty_cache(self):
+        assert DistributedCache.empty().payload_bytes() == 0
+
+
+class TestEngineConstruction:
+    def test_process_pool_resolves_workers(self):
+        engine = ProcessPoolEngine(max_workers=3)
+        assert engine._resolved_workers() == 3
+        assert ProcessPoolEngine()._resolved_workers() >= 1
+
+    def test_thread_pool_repr(self):
+        assert "max_workers=5" in repr(ThreadPoolEngine(max_workers=5))
