@@ -1,0 +1,171 @@
+"""Makespan vs injected fault rate: the fault-tolerance scenario.
+
+Standalone (no pytest-benchmark) so CI can gate on it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py --quick
+
+Runs one algorithm on the paper's simulated 13-node cluster across a
+sweep of per-attempt failure rates (plus a straggler scenario with and
+without speculative execution) and reports the simulated makespan of
+each run. The checks that make the paper's "fault-tolerance" claim
+testable rather than assumed:
+
+* the skyline is byte-identical to the fault-free run at every fault
+  rate — re-execution changes cost, never results;
+* the simulated makespan is monotonically non-decreasing in the fault
+  rate — failed attempts occupy slots, exactly as re-execution occupies
+  a real cluster;
+* speculative execution strictly improves the makespan of a
+  straggler-afflicted run — backup copies beat waiting for slow nodes.
+
+Writes ``BENCH_faults.json`` at the repo root; exits non-zero if any
+check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro import skyline
+from repro.data import generate
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.faults import FaultPlan, RetryPolicy
+
+
+def _attempt_totals(jobs) -> dict:
+    totals = {"attempts": 0, "failed": 0, "speculative": 0}
+    for job in jobs:
+        for task in job.map_tasks + job.reduce_tasks:
+            totals["attempts"] += task.num_attempts
+            totals["failed"] += task.failed_attempts
+            totals["speculative"] += task.speculative_attempts
+    return totals
+
+
+def _run(data, algorithm, cluster, faults=None, speculative=False):
+    max_attempts = max(4, faults.min_attempts()) if faults else 1
+    engine = SerialEngine(
+        retry=RetryPolicy(max_attempts=max_attempts),
+        faults=faults,
+        speculative=speculative,
+    )
+    result = skyline(data, algorithm=algorithm, cluster=cluster, engine=engine)
+    row = {
+        "makespan_s": round(result.runtime_s, 4),
+        "skyline_size": len(result),
+        "indices": result.indices.tolist(),
+    }
+    row.update(_attempt_totals(result.stats.jobs))
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small workload")
+    parser.add_argument("--cardinality", type=int, default=None)
+    parser.add_argument("--dimensionality", type=int, default=3)
+    parser.add_argument("--algorithm", default="mr-gpmrs")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_faults.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    cardinality = args.cardinality or (5_000 if args.quick else 50_000)
+    data = generate(
+        "anticorrelated", cardinality, args.dimensionality, seed=args.seed
+    )
+    cluster = SimulatedCluster(num_nodes=13)
+    print(
+        f"workload: anticorrelated {cardinality} x {args.dimensionality}, "
+        f"algorithm {args.algorithm}, 13 simulated nodes"
+    )
+
+    failures = []
+    rates = [0.0, 0.1, 0.25, 0.5]
+    sweep = []
+    print("makespan vs per-attempt fault rate:")
+    for rate in rates:
+        faults = (
+            FaultPlan(seed=args.seed, fail_rate=rate) if rate > 0 else None
+        )
+        row = {"fault_rate": rate}
+        row.update(_run(data, args.algorithm, cluster, faults=faults))
+        sweep.append(row)
+        print(
+            f"  rate {rate:4.2f}: makespan {row['makespan_s']:8.3f}s, "
+            f"{row['attempts']:4d} attempts ({row['failed']} failed), "
+            f"skyline {row['skyline_size']}"
+        )
+
+    baseline = sweep[0]
+    for row in sweep[1:]:
+        if row["indices"] != baseline["indices"]:
+            failures.append(
+                f"fault rate {row['fault_rate']} changed the skyline"
+            )
+    makespans = [row["makespan_s"] for row in sweep]
+    if any(b < a - 1e-9 for a, b in zip(makespans, makespans[1:])):
+        failures.append(
+            f"makespan not monotonic in fault rate: {makespans}"
+        )
+
+    straggler_plan = FaultPlan(
+        seed=args.seed, slow_rate=0.3, slow_factor=4.0
+    )
+    slow = _run(data, args.algorithm, cluster, faults=straggler_plan)
+    spec = _run(
+        data, args.algorithm, cluster, faults=straggler_plan,
+        speculative=True,
+    )
+    print(
+        f"stragglers (30% at 4x): makespan {slow['makespan_s']:.3f}s -> "
+        f"{spec['makespan_s']:.3f}s with speculation "
+        f"({spec['speculative']} backup copies)"
+    )
+    if spec["indices"] != baseline["indices"]:
+        failures.append("speculative execution changed the skyline")
+    if spec["makespan_s"] >= slow["makespan_s"]:
+        failures.append(
+            "speculation did not improve the straggler makespan "
+            f"({slow['makespan_s']}s -> {spec['makespan_s']}s)"
+        )
+
+    for row in sweep:
+        row.pop("indices")
+    slow.pop("indices")
+    spec.pop("indices")
+    payload = {
+        "workload": {
+            "distribution": "anticorrelated",
+            "cardinality": cardinality,
+            "dimensionality": args.dimensionality,
+            "algorithm": args.algorithm,
+            "seed": args.seed,
+        },
+        "fault_rate_sweep": sweep,
+        "stragglers": {"no_speculation": slow, "speculation": spec},
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"written: {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all fault-tolerance checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,41 @@ from repro.bench.experiments import EXPERIMENTS
 from repro.data import generate, load_csv, load_npy
 from repro.errors import ReproError
 from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.faults import FaultPlan, RetryPolicy
+
+
+def _add_fault_args(parser) -> None:
+    """Fault-injection flags shared by ``compute`` and ``gantt``."""
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic fault schedule",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-attempt task failure probability (0 disables injection)",
+    )
+    parser.add_argument(
+        "--slow-rate",
+        type=float,
+        default=0.0,
+        help="per-attempt straggler probability",
+    )
+    parser.add_argument(
+        "--speculative",
+        action="store_true",
+        help="launch backup copies of straggler tasks (first finisher wins)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="task retry budget (default: 1, or enough to survive the "
+        "fault plan when one is active)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,6 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compute.add_argument(
         "--show", type=int, default=10, help="print the first N skyline rows"
     )
+    _add_fault_args(compute)
 
     experiment = sub.add_parser(
         "experiment", help="reproduce a figure of the paper"
@@ -127,20 +163,42 @@ def _build_parser() -> argparse.ArgumentParser:
     gantt.add_argument("--seed", type=int, default=0)
     gantt.add_argument("--nodes", type=int, default=13)
     gantt.add_argument("--width", type=int, default=64)
+    _add_fault_args(gantt)
 
     sub.add_parser("list", help="list algorithms and experiments")
     return parser
 
 
-def _make_engine(name: str, workers: Optional[int]):
+def _fault_plan(args) -> Optional[FaultPlan]:
+    if args.fault_rate <= 0 and args.slow_rate <= 0:
+        return None
+    return FaultPlan(
+        seed=args.fault_seed,
+        fail_rate=args.fault_rate,
+        slow_rate=args.slow_rate,
+    )
+
+
+def _make_engine(name: str, workers: Optional[int], args):
+    faults = _fault_plan(args)
+    max_attempts = args.max_attempts
+    if max_attempts is None:
+        # Hadoop's default budget, stretched if the plan needs more.
+        max_attempts = max(4, faults.min_attempts()) if faults else 1
+    retry = RetryPolicy(max_attempts=max_attempts)
+    kwargs = dict(retry=retry, faults=faults, speculative=args.speculative)
     if name == "threads":
         from repro.mapreduce.parallel import ThreadPoolEngine
 
-        return ThreadPoolEngine(max_workers=workers)
+        return ThreadPoolEngine(max_workers=workers, **kwargs)
     if name == "processes":
         from repro.mapreduce.parallel import ProcessPoolEngine
 
-        return ProcessPoolEngine(max_workers=workers)
+        return ProcessPoolEngine(max_workers=workers, **kwargs)
+    if faults is not None or args.speculative or args.max_attempts:
+        from repro.mapreduce.engine import SerialEngine
+
+        return SerialEngine(**kwargs)
     return None  # algorithm default: SerialEngine
 
 
@@ -172,7 +230,7 @@ def _cmd_compute(args) -> int:
         algorithm=args.algorithm,
         prefs=prefs,
         cluster=cluster,
-        engine=_make_engine(args.engine, args.workers),
+        engine=_make_engine(args.engine, args.workers, args),
         **options,
     )
     print(
@@ -275,7 +333,12 @@ def _cmd_gantt(args) -> int:
         seed=args.seed,
     )
     cluster = SimulatedCluster(num_nodes=args.nodes)
-    result = skyline(data, algorithm=args.algorithm, cluster=cluster)
+    result = skyline(
+        data,
+        algorithm=args.algorithm,
+        cluster=cluster,
+        engine=_make_engine("serial", None, args),
+    )
     print(
         f"{args.algorithm}: skyline {len(result)}, "
         f"simulated {result.runtime_s:.3f}s\n"

@@ -16,9 +16,20 @@ from repro.mapreduce.cluster import (
 )
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.faults import (
+    FaultPlan,
+    InjectedTaskFailure,
+    NodeLostError,
+    RetryPolicy,
+)
 from repro.mapreduce.io import csv_splits, npy_block_splits, npy_splits
 from repro.mapreduce.job import JobResult, MapReduceJob
-from repro.mapreduce.metrics import JobStats, PipelineStats, TaskStats
+from repro.mapreduce.metrics import (
+    AttemptRecord,
+    JobStats,
+    PipelineStats,
+    TaskStats,
+)
 from repro.mapreduce.parallel import ProcessPoolEngine, ThreadPoolEngine
 from repro.mapreduce.partitioners import (
     direct_partitioner,
@@ -46,12 +57,15 @@ from repro.mapreduce.types import (
 )
 
 __all__ = [
+    "AttemptRecord",
     "BlockInputSplit",
     "ChainResult",
     "Counters",
     "DistributedCache",
+    "FaultPlan",
     "IdentityMapper",
     "IdentityReducer",
+    "InjectedTaskFailure",
     "InputSplit",
     "JobChain",
     "JobResult",
@@ -59,10 +73,12 @@ __all__ = [
     "MINI_CLUSTER",
     "MapReduceJob",
     "Mapper",
+    "NodeLostError",
     "PAPER_CLUSTER",
     "PipelineStats",
     "ProcessPoolEngine",
     "Reducer",
+    "RetryPolicy",
     "SerialEngine",
     "SimulatedCluster",
     "TaskContext",

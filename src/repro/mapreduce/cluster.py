@@ -113,22 +113,58 @@ class SimulatedCluster:
 
     # -- makespan -------------------------------------------------------
 
-    def task_duration(self, task: TaskStats) -> float:
-        """Modelled duration of one task, including startup overhead."""
+    def _base_cost(self, task: TaskStats) -> float:
+        """Modelled cost of one *attempt's* work, without the startup
+        overhead (each attempt pays its own)."""
         if self.cost_model == "measured":
-            return task.duration_s + self.task_overhead_s
+            return task.duration_s
         compares = task.counters[TUPLE_COMPARES]
         records = task.records_in + task.records_out
-        return (
-            compares / self.compare_rate
-            + records / self.record_rate
-            + self.task_overhead_s
-        )
+        return compares / self.compare_rate + records / self.record_rate
+
+    def task_duration(self, task: TaskStats) -> float:
+        """Modelled duration of the winning attempt, with overhead."""
+        return self._base_cost(task) + self.task_overhead_s
+
+    def attempt_duration(self, task: TaskStats, record) -> float:
+        """Modelled duration of one recorded attempt of a task.
+
+        Failed attempts are charged in full (the work ran and crashed
+        at the end — the model's pessimistic bound); straggler attempts
+        are charged at their injected ``slowdown``. A ``killed``
+        straggler is charged only up to the point its speculative
+        backup finished (slowdown clamped to 1.0), mirroring Hadoop
+        killing the losing copy. Every attempt pays the per-task
+        startup overhead.
+        """
+        base = self._base_cost(task)
+        slowdown = record.slowdown if record.outcome != "killed" else 1.0
+        return base * slowdown + self.task_overhead_s
+
+    def attempt_durations(self, task: TaskStats) -> List[float]:
+        """Modelled durations of every attempt the task cost the cluster.
+
+        Hand-built stats without attempt history fall back to a single
+        successful attempt, so pre-fault makespans are unchanged.
+        """
+        if not task.attempts:
+            return [self.task_duration(task)]
+        return [self.attempt_duration(task, a) for a in task.attempts]
 
     def job_makespan(self, stats: JobStats) -> float:
-        """Simulated runtime of one job on this cluster."""
-        map_durs = [self.task_duration(t) for t in stats.map_tasks]
-        reduce_durs = [self.task_duration(t) for t in stats.reduce_tasks]
+        """Simulated runtime of one job on this cluster.
+
+        Every attempt — failed, killed, speculative, or winning — is a
+        schedulable unit charged against the phase's slots, so fault
+        injection lengthens the simulated makespan exactly as
+        re-execution occupies a real cluster.
+        """
+        map_durs = [
+            d for t in stats.map_tasks for d in self.attempt_durations(t)
+        ]
+        reduce_durs = [
+            d for t in stats.reduce_tasks for d in self.attempt_durations(t)
+        ]
         map_wave = schedule_makespan(map_durs, self.map_slots)
         reduce_wave = schedule_makespan(reduce_durs, self.reduce_slots)
         moved = stats.shuffle_bytes + stats.broadcast_bytes * self.num_nodes

@@ -24,7 +24,12 @@ class Counters:
     def inc(self, name: str, amount: int = 1) -> None:
         if not name:
             raise ValidationError("counter name must be non-empty")
-        self._values[name] = self._values.get(name, 0) + int(amount)
+        amount = int(amount)
+        if amount < 0:
+            raise ValidationError(
+                f"counters are monotonic: cannot inc {name!r} by {amount}"
+            )
+        self._values[name] = self._values.get(name, 0) + amount
 
     def __getitem__(self, name: str) -> int:
         return self._values.get(name, 0)
@@ -66,6 +71,9 @@ class Counters:
 RECORDS_IN = "mr.records_in"
 RECORDS_OUT = "mr.records_out"
 SHUFFLE_BYTES = "mr.shuffle_bytes"
+TASK_RETRIES = "mr.task_retries"
+SPECULATIVE_ATTEMPTS = "mr.speculative_attempts"
+NODE_LOSS_REEXECS = "mr.node_loss_reexecs"
 PARTITION_COMPARES = "skyline.partition_compares"
 TUPLE_COMPARES = "skyline.tuple_compares"
 TUPLES_PRUNED_BY_BITSTRING = "skyline.tuples_pruned_by_bitstring"

@@ -28,8 +28,9 @@ from typing import Dict, List, Tuple
 from repro.core.pointset import PointSet
 from repro.errors import TaskFailedError, ValidationError
 from repro.mapreduce import counters as counter_names
+from repro.mapreduce.faults import FaultPlan, RetryPolicy
 from repro.mapreduce.job import JobResult, MapReduceJob
-from repro.mapreduce.metrics import JobStats, TaskStats
+from repro.mapreduce.metrics import AttemptRecord, JobStats, TaskStats
 from repro.mapreduce.sizes import payload_size
 from repro.mapreduce.types import (
     KeyValue,
@@ -70,20 +71,160 @@ def _group_by_key(
     return ordered
 
 
-def attempt_task(task_id: TaskId, run_once, max_attempts: int):
-    """Run ``run_once`` with Hadoop-style retry; returns its result.
+def attempt_task(
+    task_id: TaskId,
+    run_once,
+    retry,
+    faults: "FaultPlan" = None,
+    speculative: bool = False,
+):
+    """Run ``run_once`` under a retry policy; returns ``(result, attempts)``.
 
     A failing attempt is re-run from scratch (the caller builds a fresh
-    task instance and context per attempt), up to ``max_attempts``;
-    only then does the task — and with it the job — fail.
+    task instance and context per attempt), up to the policy's attempt
+    budget — but only for *retryable* errors: programming and validation
+    bugs fail identically every time, so the policy surfaces them
+    immediately instead of burning attempts.
+
+    ``faults`` injects deterministic failures and straggler slowdowns
+    per attempt; with ``speculative`` enabled, a straggler attempt gets
+    a backup copy (run on a different simulated node, no injected
+    slowdown) and the first finisher wins — the loser is recorded as
+    ``killed``, exactly Hadoop's speculative execution.
+
+    ``attempts`` is the complete :class:`AttemptRecord` history in
+    execution order; the winning attempt is always last. ``retry`` also
+    accepts a bare int (the legacy ``max_attempts``).
     """
+    if isinstance(retry, int):
+        retry = RetryPolicy.from_attempts(retry)
+    attempts: List[AttemptRecord] = []
     last_error = None
-    for attempt in range(max_attempts):
+    for attempt in range(retry.max_attempts):
+        node = faults.node_of(task_id) if faults is not None else None
+        injected = (
+            faults.injected_error(task_id, attempt)
+            if faults is not None
+            else None
+        )
+        if injected is not None:
+            # The injected crash kills the attempt at the end of its
+            # work (it is still charged in full by the makespan model);
+            # the real task body never runs, so no partial output and
+            # no wasted CPU in the simulation.
+            attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    outcome="failed",
+                    slowdown=faults.slowdown(task_id, attempt),
+                    error=repr(injected),
+                    node=node,
+                )
+            )
+            last_error = injected
+            continue
+        started = time.perf_counter()
         try:
-            return run_once(attempt)
+            result = run_once(attempt)
         except Exception as exc:
+            attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    outcome="failed",
+                    duration_s=time.perf_counter() - started,
+                    error=repr(exc),
+                    node=node,
+                )
+            )
             last_error = exc
+            if not retry.is_retryable(exc):
+                raise TaskFailedError(str(task_id), exc) from exc
+            continue
+        duration = time.perf_counter() - started
+        slowdown = (
+            faults.slowdown(task_id, attempt) if faults is not None else 1.0
+        )
+        if speculative and slowdown > 1.0:
+            backup = _speculate(
+                task_id, run_once, attempt, duration, slowdown, node,
+                faults, attempts,
+            )
+            if backup is not None:
+                return backup, attempts
+            return result, attempts
+        attempts.append(
+            AttemptRecord(
+                attempt=attempt,
+                outcome="success",
+                duration_s=duration,
+                slowdown=slowdown,
+                node=node,
+            )
+        )
+        return result, attempts
     raise TaskFailedError(str(task_id), last_error) from last_error
+
+
+def _speculate(
+    task_id, run_once, attempt, duration, slowdown, node, faults, attempts
+):
+    """Launch a backup copy of a straggler attempt; first finisher wins.
+
+    The backup runs on a neighbouring simulated node at normal speed,
+    so (slowdown > 1 being the trigger) it always finishes first in
+    modelled time: the straggler is recorded as ``killed`` — charged
+    only up to the backup's finish, as Hadoop kills the loser — and the
+    backup's result is used. If the backup itself crashes (only
+    possible with genuinely flaky user code), the straggler's completed
+    result stands and ``None`` is returned.
+    """
+    backup_node = (
+        (node + 1) % faults.num_nodes if node is not None else None
+    )
+    started = time.perf_counter()
+    try:
+        backup_result = run_once(attempt)
+    except Exception as exc:
+        # Winner last: the crashed backup is recorded before the
+        # straggler's surviving success.
+        attempts.append(
+            AttemptRecord(
+                attempt=attempt,
+                outcome="failed",
+                duration_s=time.perf_counter() - started,
+                error=repr(exc),
+                node=backup_node,
+            )
+        )
+        attempts.append(
+            AttemptRecord(
+                attempt=attempt,
+                outcome="success",
+                duration_s=duration,
+                slowdown=slowdown,
+                node=node,
+            )
+        )
+        return None
+    attempts.append(
+        AttemptRecord(
+            attempt=attempt,
+            outcome="killed",
+            duration_s=duration,
+            slowdown=slowdown,
+            node=node,
+        )
+    )
+    attempts.append(
+        AttemptRecord(
+            attempt=attempt,
+            outcome="speculative",
+            duration_s=time.perf_counter() - started,
+            slowdown=1.0,
+            node=backup_node,
+        )
+    )
+    return backup_result
 
 
 def run_combiner(
@@ -148,14 +289,36 @@ def execute_reduce_attempt(
     return ctx, time.perf_counter() - started
 
 
+def _charge_attempt_counters(ctx: TaskContext, attempts) -> None:
+    """Fold the attempt history into the task's counters.
+
+    Only charged when nonzero so fault-free runs keep their exact
+    pre-fault counter fingerprints.
+    """
+    retries = sum(1 for a in attempts if a.outcome == "failed")
+    if retries:
+        ctx.counters.inc(counter_names.TASK_RETRIES, retries)
+    speculative = sum(1 for a in attempts if a.outcome == "speculative")
+    if speculative:
+        ctx.counters.inc(counter_names.SPECULATIVE_ATTEMPTS, speculative)
+    node_losses = sum(
+        1
+        for a in attempts
+        if a.error is not None and a.error.startswith("NodeLostError")
+    )
+    if node_losses:
+        ctx.counters.inc(counter_names.NODE_LOSS_REEXECS, node_losses)
+
+
 def finish_map_task(
     task_id: TaskId, ctx: TaskContext, output: List[KeyValue],
-    records_in: int, duration: float,
+    records_in: int, duration: float, attempts=(),
 ) -> TaskStats:
     """Charge per-task counters and byte accounting for one map task."""
     bytes_out = sum(payload_size(k) + payload_size(v) for k, v in output)
     ctx.counters.inc(counter_names.RECORDS_IN, records_in)
     ctx.counters.inc(counter_names.RECORDS_OUT, len(output))
+    _charge_attempt_counters(ctx, attempts)
     return TaskStats(
         task_id=task_id,
         duration_s=duration,
@@ -163,17 +326,20 @@ def finish_map_task(
         records_out=len(output),
         bytes_out=bytes_out,
         counters=ctx.counters,
+        attempts=list(attempts),
     )
 
 
 def finish_reduce_task(
-    task_id: TaskId, ctx: TaskContext, records_in: int, duration: float
+    task_id: TaskId, ctx: TaskContext, records_in: int, duration: float,
+    attempts=(),
 ) -> TaskStats:
     """Charge per-task counters and byte accounting for one reduce task."""
     output = ctx.output
     bytes_out = sum(payload_size(k) + payload_size(v) for k, v in output)
     ctx.counters.inc(counter_names.RECORDS_IN, records_in)
     ctx.counters.inc(counter_names.RECORDS_OUT, len(output))
+    _charge_attempt_counters(ctx, attempts)
     return TaskStats(
         task_id=task_id,
         duration_s=duration,
@@ -181,68 +347,133 @@ def finish_reduce_task(
         records_out=len(output),
         bytes_out=bytes_out,
         counters=ctx.counters,
+        attempts=list(attempts),
     )
 
 
 def shuffle_outputs(job, map_outputs: List[List[KeyValue]]) -> List[List[KeyValue]]:
-    """Partition map outputs into per-reducer buckets."""
-    buckets: List[List[KeyValue]] = [[] for _ in range(job.num_reducers)]
+    """Partition map outputs into per-reducer buckets.
+
+    Partitioner indices are validated: a negative index would silently
+    wrap to the wrong reducer and an index >= num_reducers would raise
+    a bare IndexError — both are configuration bugs worth naming.
+    """
+    n = job.num_reducers
+    buckets: List[List[KeyValue]] = [[] for _ in range(n)]
     for output in map_outputs:
         for key, value in output:
-            buckets[job.partitioner(key, job.num_reducers)].append((key, value))
+            index = job.partitioner(key, n)
+            if not isinstance(index, int) or isinstance(index, bool):
+                try:
+                    index = int(index)  # allow numpy integer indices
+                except (TypeError, ValueError):
+                    raise ValidationError(
+                        f"partitioner returned non-integer {index!r} "
+                        f"for key {key!r} ({n} reducers)"
+                    ) from None
+            if not 0 <= index < n:
+                raise ValidationError(
+                    f"partitioner routed key {key!r} to reducer {index}, "
+                    f"outside [0, {n})"
+                )
+            buckets[index].append((key, value))
     return buckets
 
 
 class SerialEngine:
     """Run jobs one task at a time with exact per-task accounting.
 
-    ``max_attempts`` reproduces Hadoop's task-retry fault tolerance
-    (the paper's Section 1 motivation for MapReduce: "scalability and
+    ``retry`` (a :class:`~repro.mapreduce.faults.RetryPolicy`)
+    reproduces Hadoop's task-retry fault tolerance (the paper's
+    Section 1 motivation for MapReduce: "scalability and
     fault-tolerance"): a failing task is re-run from scratch with a
-    fresh mapper/reducer instance and a fresh context, up to the limit;
-    only then does the job fail. Hadoop's default is 4 attempts.
+    fresh mapper/reducer instance and a fresh context, up to the
+    policy's budget — except for non-retryable programming/validation
+    errors, which fail the job immediately. Hadoop's default budget is
+    4 attempts; ``max_attempts`` remains as shorthand for
+    ``RetryPolicy(max_attempts=...)``.
+
+    ``faults`` (a :class:`~repro.mapreduce.faults.FaultPlan`) injects
+    deterministic per-attempt failures, node losses, and straggler
+    slowdowns; ``speculative`` enables backup copies of stragglers.
+    Results are engine- and fault-schedule-independent; only the
+    attempt history and the simulated makespan change.
 
     ``block_path`` enables the columnar fast path for block splits and
     block-aware mappers (identical results either way; off switches the
     runtime back to record-at-a-time iteration everywhere).
     """
 
-    def __init__(self, max_attempts: int = 1, block_path: bool = True):
-        if max_attempts < 1:
-            raise ValidationError(
-                f"max_attempts must be >= 1, got {max_attempts}"
-            )
-        self.max_attempts = max_attempts
+    def __init__(
+        self,
+        max_attempts: int = 1,
+        block_path: bool = True,
+        retry: RetryPolicy = None,
+        faults: FaultPlan = None,
+        speculative: bool = False,
+    ):
+        if retry is None:
+            if max_attempts < 1:
+                raise ValidationError(
+                    f"max_attempts must be >= 1, got {max_attempts}"
+                )
+            retry = RetryPolicy.from_attempts(max_attempts)
+        self.retry = retry
+        self.faults = faults
+        self.speculative = bool(speculative)
         self.block_path = bool(block_path)
 
+    @property
+    def max_attempts(self) -> int:
+        return self.retry.max_attempts
+
     def __repr__(self) -> str:
-        return f"{type(self).__name__}(block_path={self.block_path})"
+        extras = ""
+        if self.faults is not None:
+            extras += f", faults={self.faults!r}"
+        if self.speculative:
+            extras += ", speculative=True"
+        return f"{type(self).__name__}(block_path={self.block_path}{extras})"
 
     def _attempt(self, task_id: TaskId, run_once):
-        """Run ``run_once`` with retry; returns its (ctx, ...) result."""
-        return attempt_task(task_id, run_once, self.max_attempts)
+        """Run with retry/faults; returns ((ctx, ...), attempt history)."""
+        return attempt_task(
+            task_id,
+            run_once,
+            self.retry,
+            faults=self.faults,
+            speculative=self.speculative,
+        )
 
     # -- single-task drivers (shared with the concurrent engines) -------
 
     def _map_task(self, job, split) -> Tuple[TaskStats, List[KeyValue]]:
         task_id = TaskId("map", split.split_id)
-        ctx, output, records_in, duration = self._attempt(
+        (ctx, output, records_in, duration), attempts = self._attempt(
             task_id,
             lambda attempt: execute_map_attempt(
                 job, split, task_id, self.block_path
             ),
         )
-        return finish_map_task(task_id, ctx, output, records_in, duration), output
+        return (
+            finish_map_task(
+                task_id, ctx, output, records_in, duration, attempts
+            ),
+            output,
+        )
 
     def _reduce_task(
         self, job, r: int, bucket: List[KeyValue]
     ) -> Tuple[TaskStats, List[KeyValue]]:
         task_id = TaskId("reduce", r)
-        ctx, duration = self._attempt(
+        (ctx, duration), attempts = self._attempt(
             task_id,
             lambda attempt: execute_reduce_attempt(job, bucket, task_id),
         )
-        return finish_reduce_task(task_id, ctx, len(bucket), duration), ctx.output
+        return (
+            finish_reduce_task(task_id, ctx, len(bucket), duration, attempts),
+            ctx.output,
+        )
 
     # -- phase aggregation ----------------------------------------------
 
@@ -280,13 +511,3 @@ class SerialEngine:
         ]
         reducer_outputs = self._collect_reduces(stats, reduce_results)
         return JobResult(job_name=job.name, reducer_outputs=reducer_outputs, stats=stats)
-
-    def _combine(
-        self,
-        job: MapReduceJob,
-        split_id: int,
-        map_ctx: TaskContext,
-        output: List[KeyValue],
-    ) -> List[KeyValue]:
-        """Run the combiner over one mapper's output, in the map task."""
-        return run_combiner(job, split_id, map_ctx, output)

@@ -10,13 +10,55 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import ValidationError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.types import TaskId
+
+#: Attempt outcomes recorded by the engines.
+#: ``success``     — the attempt finished and its output was used.
+#: ``failed``      — the attempt crashed (real or injected) and was retried.
+#: ``killed``      — a straggler attempt killed when its speculative
+#:                   backup finished first (Hadoop kills the loser).
+#: ``speculative`` — a backup copy of a straggler; when present it is
+#:                   the winning attempt.
+ATTEMPT_OUTCOMES = ("success", "failed", "killed", "speculative")
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of one task: what happened and what it cost.
+
+    ``slowdown`` is the straggler factor the fault plan injected into
+    this attempt (1.0 = normal); the cluster model charges the attempt
+    at ``base_cost * slowdown``. ``node`` is the simulated home node
+    when a fault plan placed the attempt, else ``None``.
+    """
+
+    attempt: int
+    outcome: str
+    duration_s: float = 0.0
+    slowdown: float = 1.0
+    error: Optional[str] = None
+    node: Optional[int] = None
+
+    def __post_init__(self):
+        if self.outcome not in ATTEMPT_OUTCOMES:
+            raise ValidationError(
+                f"unknown attempt outcome {self.outcome!r}; "
+                f"expected one of {ATTEMPT_OUTCOMES}"
+            )
 
 
 @dataclass
 class TaskStats:
-    """One task's execution record."""
+    """One task's execution record.
+
+    ``attempts`` is the full per-attempt history (failed attempts,
+    killed stragglers, speculative copies, and the winner — in that
+    execution order, winner last). Engines always populate it; an empty
+    list (hand-built stats) is treated as a single successful attempt
+    by the cluster model.
+    """
 
     task_id: TaskId
     duration_s: float
@@ -24,6 +66,19 @@ class TaskStats:
     records_out: int
     bytes_out: int
     counters: Counters = field(default_factory=Counters)
+    attempts: List[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def num_attempts(self) -> int:
+        return len(self.attempts) if self.attempts else 1
+
+    @property
+    def failed_attempts(self) -> int:
+        return sum(1 for a in self.attempts if a.outcome == "failed")
+
+    @property
+    def speculative_attempts(self) -> int:
+        return sum(1 for a in self.attempts if a.outcome == "speculative")
 
 
 @dataclass
@@ -61,14 +116,26 @@ class JobStats:
         executions are recorded for the mapper and the reducer that have
         the highest number of comparisons".
         """
-        tasks = self.map_tasks if kind == "map" else self.reduce_tasks
+        tasks = self._tasks_of(kind)
         if not tasks:
             return 0
         return max(t.counters[name] for t in tasks)
 
     def sum_task_counter(self, kind: str, name: str) -> int:
-        tasks = self.map_tasks if kind == "map" else self.reduce_tasks
-        return sum(t.counters[name] for t in tasks)
+        return sum(t.counters[name] for t in self._tasks_of(kind))
+
+    def _tasks_of(self, kind: str) -> List[TaskStats]:
+        if kind == "map":
+            return self.map_tasks
+        if kind == "reduce":
+            return self.reduce_tasks
+        raise ValidationError(
+            f"unknown task kind {kind!r}; expected 'map' or 'reduce'"
+        )
+
+    def total_attempts(self, kind: str) -> int:
+        """Total attempts (including failed and speculative) per phase."""
+        return sum(t.num_attempts for t in self._tasks_of(kind))
 
 
 @dataclass

@@ -36,6 +36,7 @@ from repro.mapreduce.engine import (
     finish_reduce_task,
     shuffle_outputs,
 )
+from repro.mapreduce.faults import FaultPlan, RetryPolicy
 from repro.mapreduce.job import JobResult, MapReduceJob
 from repro.mapreduce.metrics import JobStats, TaskStats
 from repro.mapreduce.types import KeyValue, TaskId
@@ -50,8 +51,17 @@ class ThreadPoolEngine(SerialEngine):
         max_workers: Optional[int] = None,
         max_attempts: int = 1,
         block_path: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        speculative: bool = False,
     ):
-        super().__init__(max_attempts=max_attempts, block_path=block_path)
+        super().__init__(
+            max_attempts=max_attempts,
+            block_path=block_path,
+            retry=retry,
+            faults=faults,
+            speculative=speculative,
+        )
         self.max_workers = max_workers
 
     def __repr__(self) -> str:
@@ -102,7 +112,9 @@ class _JobSpec:
     cache: Any
     sort_keys: bool
     merge_point_blocks: bool
-    max_attempts: int
+    retry: RetryPolicy
+    faults: Optional[FaultPlan]
+    speculative: bool
     block_path: bool
 
 
@@ -118,24 +130,34 @@ def _install_worker_spec(spec: _JobSpec) -> None:
 def _worker_map_task(split) -> Tuple[TaskStats, List[KeyValue]]:
     spec = _WORKER_SPEC
     task_id = TaskId("map", split.split_id)
-    ctx, output, records_in, duration = attempt_task(
+    (ctx, output, records_in, duration), attempts = attempt_task(
         task_id,
         lambda attempt: execute_map_attempt(spec, split, task_id, spec.block_path),
-        spec.max_attempts,
+        spec.retry,
+        faults=spec.faults,
+        speculative=spec.speculative,
     )
-    return finish_map_task(task_id, ctx, output, records_in, duration), output
+    return (
+        finish_map_task(task_id, ctx, output, records_in, duration, attempts),
+        output,
+    )
 
 
 def _worker_reduce_task(args) -> Tuple[TaskStats, List[KeyValue]]:
     r, bucket = args
     spec = _WORKER_SPEC
     task_id = TaskId("reduce", r)
-    ctx, duration = attempt_task(
+    (ctx, duration), attempts = attempt_task(
         task_id,
         lambda attempt: execute_reduce_attempt(spec, bucket, task_id),
-        spec.max_attempts,
+        spec.retry,
+        faults=spec.faults,
+        speculative=spec.speculative,
     )
-    return finish_reduce_task(task_id, ctx, len(bucket), duration), ctx.output
+    return (
+        finish_reduce_task(task_id, ctx, len(bucket), duration, attempts),
+        ctx.output,
+    )
 
 
 class ProcessPoolEngine(SerialEngine):
@@ -157,8 +179,17 @@ class ProcessPoolEngine(SerialEngine):
         max_attempts: int = 1,
         block_path: bool = True,
         start_method: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        speculative: bool = False,
     ):
-        super().__init__(max_attempts=max_attempts, block_path=block_path)
+        super().__init__(
+            max_attempts=max_attempts,
+            block_path=block_path,
+            retry=retry,
+            faults=faults,
+            speculative=speculative,
+        )
         if max_workers is not None and max_workers < 1:
             raise ValidationError(
                 f"max_workers must be >= 1, got {max_workers}"
@@ -192,7 +223,9 @@ class ProcessPoolEngine(SerialEngine):
             cache=job.cache,
             sort_keys=job.sort_keys,
             merge_point_blocks=job.merge_point_blocks,
-            max_attempts=self.max_attempts,
+            retry=self.retry,
+            faults=self.faults,
+            speculative=self.speculative,
             block_path=self.block_path,
         )
         mp_context = multiprocessing.get_context(self.start_method)

@@ -22,12 +22,18 @@ from repro.mapreduce.metrics import JobStats, TaskStats
 
 @dataclass(frozen=True)
 class ScheduledTask:
-    """One task's placement in the simulated schedule."""
+    """One task attempt's placement in the simulated schedule.
+
+    ``outcome`` distinguishes failed attempts, killed stragglers, and
+    speculative backup copies from ordinary successes so the Gantt can
+    render re-execution distinctly.
+    """
 
     name: str
     slot: int
     start_s: float
     end_s: float
+    outcome: str = "success"
 
     @property
     def duration_s(self) -> float:
@@ -60,6 +66,31 @@ class JobSchedule:
         return self.phases[-1].end_s if self.phases else 0.0
 
 
+def _attempt_units(cluster: SimulatedCluster, task: TaskStats):
+    """Expand one task into its schedulable attempt units.
+
+    Tasks without recorded history schedule as a single success under
+    the plain task name (pre-fault behaviour); tasks with several
+    attempts get ``/0``, ``/1``, ... suffixes in execution order.
+    """
+    if not task.attempts:
+        return [(str(task.task_id), cluster.task_duration(task), "success")]
+    if len(task.attempts) == 1:
+        record = task.attempts[0]
+        return [
+            (str(task.task_id), cluster.attempt_duration(task, record),
+             record.outcome)
+        ]
+    return [
+        (
+            f"{task.task_id}/{position}",
+            cluster.attempt_duration(task, record),
+            record.outcome,
+        )
+        for position, record in enumerate(task.attempts)
+    ]
+
+
 def _schedule_phase(
     cluster: SimulatedCluster,
     tasks: Sequence[TaskStats],
@@ -67,22 +98,23 @@ def _schedule_phase(
     phase: str,
     offset: float,
 ) -> PhaseSchedule:
-    loads = [0.0] * max(1, min(slots, max(1, len(tasks))))
+    units = [u for task in tasks for u in _attempt_units(cluster, task)]
+    loads = [0.0] * max(1, min(slots, max(1, len(units))))
     placed: List[ScheduledTask] = []
-    for task in tasks:
-        duration = cluster.task_duration(task)
+    for name, duration, outcome in units:
         slot = min(range(len(loads)), key=lambda s: loads[s])
         start = offset + loads[slot]
         placed.append(
             ScheduledTask(
-                name=str(task.task_id),
+                name=name,
                 slot=slot,
                 start_s=start,
                 end_s=start + duration,
+                outcome=outcome,
             )
         )
         loads[slot] += duration
-    end = offset + (max(loads) if tasks else 0.0)
+    end = offset + (max(loads) if units else 0.0)
     return PhaseSchedule(phase=phase, start_s=offset, end_s=end, tasks=placed)
 
 
@@ -105,13 +137,21 @@ def build_schedule(cluster: SimulatedCluster, stats: JobStats) -> JobSchedule:
     )
 
 
+#: Gantt cell per attempt outcome: failed attempts and killed
+#: stragglers render as ``x``, speculative backup copies as ``+``.
+_OUTCOME_CELLS = {"failed": "x", "killed": "x", "speculative": "+"}
+
+
 def render_gantt(
     schedule: JobSchedule, width: int = 64, min_label: int = 14
 ) -> str:
     """Plain-text Gantt chart of a job schedule.
 
-    One row per (phase, slot); ``#`` marks busy time. Proportional to
-    the makespan, so short tasks may render as a single cell.
+    One row per (phase, slot); ``#`` marks busy time, ``x`` a failed or
+    killed attempt, ``+`` a speculative backup copy. Proportional to
+    the makespan, so short tasks may render as a single cell;
+    zero-duration phases (e.g. a shuffle that moved no bytes) render
+    empty rather than pretending to occupy a column.
     """
     if width < 8:
         raise ValidationError(f"width must be >= 8, got {width}")
@@ -129,18 +169,20 @@ def render_gantt(
     for phase in schedule.phases:
         if phase.phase == "shuffle":
             row = [" "] * width
-            for i in range(col(phase.start_s), col(phase.end_s) + 1):
-                row[i] = "~"
+            if phase.duration_s > 0:
+                for i in range(col(phase.start_s), col(phase.end_s) + 1):
+                    row[i] = "~"
             lines.append(f"{'shuffle':>{min_label}s} |{''.join(row)}|")
             continue
         slots = sorted({t.slot for t in phase.tasks})
         for slot in slots:
             row = [" "] * width
             for task in phase.tasks:
-                if task.slot != slot:
+                if task.slot != slot or task.duration_s <= 0:
                     continue
+                cell = _OUTCOME_CELLS.get(task.outcome, "#")
                 for i in range(col(task.start_s), col(task.end_s) + 1):
-                    row[i] = "#"
+                    row[i] = cell
             label = f"{phase.phase}-slot-{slot}"
             lines.append(f"{label:>{min_label}s} |{''.join(row)}|")
     return "\n".join(lines)

@@ -23,6 +23,19 @@ class TestCounters:
         with pytest.raises(ValidationError):
             Counters().inc("")
 
+    def test_negative_amount_rejected(self):
+        """Counters are documented monotonic; a negative inc is a bug
+        in the caller, not a decrement facility."""
+        c = Counters({"x": 5})
+        with pytest.raises(ValidationError):
+            c.inc("x", -1)
+        assert c["x"] == 5  # unchanged after the rejected inc
+
+    def test_zero_amount_allowed(self):
+        c = Counters()
+        c.inc("x", 0)
+        assert c["x"] == 0
+
     def test_merge(self):
         a = Counters({"x": 1, "y": 2})
         b = Counters({"y": 3, "z": 4})

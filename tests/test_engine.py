@@ -6,7 +6,7 @@ combiners, partitioning, key sorting, and counter plumbing.
 
 import pytest
 
-from repro.errors import JobValidationError, TaskFailedError
+from repro.errors import JobValidationError, TaskFailedError, ValidationError
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.engine import SerialEngine
 from repro.mapreduce.job import MapReduceJob
@@ -227,6 +227,53 @@ class TestValidationAndFailure:
         with pytest.raises(TaskFailedError) as exc:
             engine.run(job)
         assert "reduce-0000" in str(exc.value)
+
+
+class TestShuffleRouting:
+    """A buggy partitioner must be named, not silently honoured: a
+    negative index used to wrap to the wrong reducer and a too-large
+    one raised a bare IndexError."""
+
+    def routed_job(self, partitioner):
+        return MapReduceJob(
+            name="routed",
+            splits=kv_splits([(i, i) for i in range(6)], 2),
+            mapper_factory=IdentityMapper,
+            reducer_factory=IdentityReducer,
+            num_reducers=3,
+            partitioner=partitioner,
+        )
+
+    def test_negative_index_rejected(self, engine):
+        job = self.routed_job(lambda key, n: -1)
+        with pytest.raises(ValidationError) as exc:
+            engine.run(job)
+        message = str(exc.value)
+        assert "-1" in message and "[0, 3)" in message
+
+    def test_out_of_range_index_rejected(self, engine):
+        job = self.routed_job(lambda key, n: n)
+        with pytest.raises(ValidationError) as exc:
+            engine.run(job)
+        assert "reducer 3" in str(exc.value) and "[0, 3)" in str(exc.value)
+
+    def test_error_names_the_key(self, engine):
+        job = self.routed_job(lambda key, n: -2 if key == 4 else key % n)
+        with pytest.raises(ValidationError) as exc:
+            engine.run(job)
+        assert "4" in str(exc.value)
+
+    def test_non_integer_index_rejected(self, engine):
+        job = self.routed_job(lambda key, n: "zero")
+        with pytest.raises(ValidationError) as exc:
+            engine.run(job)
+        assert "zero" in str(exc.value)
+
+    def test_numpy_integer_indices_accepted(self, engine):
+        np = pytest.importorskip("numpy")
+        job = self.routed_job(lambda key, n: np.int64(key % n))
+        result = engine.run(job)
+        assert sorted(v for _, v in result.all_pairs()) == list(range(6))
 
 
 class TestMixedKeys:

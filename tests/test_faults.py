@@ -1,0 +1,299 @@
+"""Fault injection, retry policy, and speculative execution.
+
+The FaultPlan is the deterministic substitute for real cluster
+failures: every test here asserts both the *semantics* (results
+survive any fault schedule unchanged) and the *accounting* (failed and
+speculative attempts are recorded per task and charged in the
+makespan).
+"""
+
+import pytest
+
+from repro.errors import TaskFailedError, ValidationError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.counters import (
+    NODE_LOSS_REEXECS,
+    SPECULATIVE_ATTEMPTS,
+    TASK_RETRIES,
+)
+from repro.mapreduce.engine import SerialEngine, attempt_task
+from repro.mapreduce.faults import (
+    FaultPlan,
+    InjectedTaskFailure,
+    NodeLostError,
+    RetryPolicy,
+)
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.metrics import AttemptRecord
+from repro.mapreduce.splits import kv_splits
+from repro.mapreduce.trace import build_schedule, render_gantt
+from repro.mapreduce.types import IdentityReducer, Mapper, TaskId
+
+
+class DoubleMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(key % 2, value * 2)
+
+
+def simple_job(n=12, splits=3, reducers=2):
+    return MapReduceJob(
+        name="faulty",
+        splits=kv_splits([(i, i) for i in range(n)], splits),
+        mapper_factory=DoubleMapper,
+        reducer_factory=IdentityReducer,
+        num_reducers=reducers,
+    )
+
+
+def engine_for(plan, max_attempts=None, speculative=False):
+    attempts = max_attempts or plan.min_attempts()
+    return SerialEngine(
+        retry=RetryPolicy(max_attempts=attempts),
+        faults=plan,
+        speculative=speculative,
+    )
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValidationError):
+            FaultPlan(fail_rate=1.5)
+        with pytest.raises(ValidationError):
+            FaultPlan(slow_rate=-0.1)
+        with pytest.raises(ValidationError):
+            FaultPlan(map_fail_rate=2.0)
+
+    def test_slow_factor_at_least_one(self):
+        with pytest.raises(ValidationError):
+            FaultPlan(slow_factor=0.5)
+
+    def test_lost_nodes_in_range(self):
+        with pytest.raises(ValidationError):
+            FaultPlan(lost_nodes=(4,), num_nodes=4)
+
+    def test_min_attempts(self):
+        assert FaultPlan().min_attempts() == 3  # 2 failures + success
+        assert FaultPlan(max_failures_per_task=1).min_attempts() == 2
+        assert (
+            FaultPlan(max_failures_per_task=1, lost_nodes=(0,)).min_attempts()
+            == 3
+        )
+
+
+class TestFaultPlanDeterminism:
+    def test_decisions_are_pure(self):
+        plan = FaultPlan(seed=5, fail_rate=0.5, slow_rate=0.5)
+        for kind in ("map", "reduce"):
+            for index in range(20):
+                task = TaskId(kind, index)
+                for attempt in range(3):
+                    first = plan.injected_error(task, attempt)
+                    second = plan.injected_error(task, attempt)
+                    assert (first is None) == (second is None)
+                    assert plan.slowdown(task, attempt) == plan.slowdown(
+                        task, attempt
+                    )
+
+    def test_seed_changes_schedule(self):
+        a = FaultPlan(seed=1, fail_rate=0.5)
+        b = FaultPlan(seed=2, fail_rate=0.5)
+        decisions_a = [
+            a.injected_error(TaskId("map", i), 0) is not None
+            for i in range(64)
+        ]
+        decisions_b = [
+            b.injected_error(TaskId("map", i), 0) is not None
+            for i in range(64)
+        ]
+        assert decisions_a != decisions_b
+
+    def test_rate_one_fails_every_budgeted_attempt(self):
+        plan = FaultPlan(seed=0, fail_rate=1.0, max_failures_per_task=2)
+        task = TaskId("map", 3)
+        assert isinstance(plan.injected_error(task, 0), InjectedTaskFailure)
+        assert isinstance(plan.injected_error(task, 1), InjectedTaskFailure)
+        assert plan.injected_error(task, 2) is None  # budget exhausted
+
+    def test_per_phase_rates(self):
+        plan = FaultPlan(seed=0, map_fail_rate=1.0, reduce_fail_rate=0.0)
+        assert plan.injected_error(TaskId("map", 0), 0) is not None
+        assert plan.injected_error(TaskId("reduce", 0), 0) is None
+
+    def test_node_loss_kills_first_attempt(self):
+        plan = FaultPlan(seed=0, lost_nodes=(1,), num_nodes=4)
+        lost = TaskId("map", 5)  # 5 % 4 == 1
+        safe = TaskId("map", 6)
+        assert isinstance(plan.injected_error(lost, 0), NodeLostError)
+        assert plan.injected_error(lost, 1) is None  # retried elsewhere
+        assert plan.injected_error(safe, 0) is None
+
+
+class TestInjectedFailures:
+    def test_results_survive_any_fault_schedule(self):
+        plan = FaultPlan(seed=3, fail_rate=1.0)
+        clean = SerialEngine().run(simple_job())
+        faulty = engine_for(plan).run(simple_job())
+        assert sorted(faulty.all_pairs()) == sorted(clean.all_pairs())
+
+    def test_attempt_history_recorded(self):
+        plan = FaultPlan(seed=3, fail_rate=1.0, max_failures_per_task=2)
+        result = engine_for(plan).run(simple_job())
+        for task in result.stats.map_tasks + result.stats.reduce_tasks:
+            outcomes = [a.outcome for a in task.attempts]
+            assert outcomes == ["failed", "failed", "success"]
+            assert task.num_attempts == 3
+            assert task.failed_attempts == 2
+
+    def test_retry_counters_charged(self):
+        plan = FaultPlan(seed=3, fail_rate=1.0, max_failures_per_task=1)
+        result = engine_for(plan).run(simple_job(splits=3, reducers=2))
+        # 3 map + 2 reduce tasks, one injected failure each
+        assert result.stats.counters[TASK_RETRIES] == 5
+
+    def test_exhausted_budget_fails_job(self):
+        plan = FaultPlan(seed=3, fail_rate=1.0, max_failures_per_task=2)
+        engine = engine_for(plan, max_attempts=2)
+        with pytest.raises(TaskFailedError) as exc:
+            engine.run(simple_job())
+        assert "injected failure" in str(exc.value)
+
+    def test_fault_free_runs_keep_clean_counters(self):
+        result = SerialEngine().run(simple_job())
+        assert TASK_RETRIES not in result.stats.counters
+        assert SPECULATIVE_ATTEMPTS not in result.stats.counters
+
+
+class TestNodeLoss:
+    def test_lost_node_tasks_reexecute(self):
+        plan = FaultPlan(seed=0, fail_rate=0.0, lost_nodes=(0,), num_nodes=3)
+        result = engine_for(plan).run(simple_job(splits=6, reducers=3))
+        clean = SerialEngine().run(simple_job(splits=6, reducers=3))
+        assert sorted(result.all_pairs()) == sorted(clean.all_pairs())
+        # map tasks 0 and 3 and reduce task 0 live on node 0
+        relocated = [
+            t
+            for t in result.stats.map_tasks + result.stats.reduce_tasks
+            if plan.node_of(t.task_id) == 0
+        ]
+        assert relocated and all(
+            t.attempts[0].outcome == "failed"
+            and "NodeLostError" in t.attempts[0].error
+            for t in relocated
+        )
+        assert result.stats.counters[NODE_LOSS_REEXECS] == len(relocated)
+
+
+class TestSpeculativeExecution:
+    def plan(self):
+        return FaultPlan(seed=1, slow_rate=1.0, slow_factor=4.0)
+
+    def test_backup_copies_win_and_are_recorded(self):
+        result = engine_for(self.plan(), speculative=True).run(simple_job())
+        for task in result.stats.map_tasks + result.stats.reduce_tasks:
+            outcomes = [a.outcome for a in task.attempts]
+            assert outcomes == ["killed", "speculative"]
+            assert task.attempts[-1].slowdown == 1.0
+        assert result.stats.counters[SPECULATIVE_ATTEMPTS] == len(
+            result.stats.map_tasks
+        ) + len(result.stats.reduce_tasks)
+
+    def test_speculation_preserves_results(self):
+        clean = SerialEngine().run(simple_job())
+        spec = engine_for(self.plan(), speculative=True).run(simple_job())
+        assert sorted(spec.all_pairs()) == sorted(clean.all_pairs())
+
+    def test_speculation_improves_straggler_makespan(self):
+        # Overhead-free cluster with expensive records: task work
+        # dominates, so a backup at 1x beats waiting for the 4x
+        # straggler. (With overhead-dominated tiny tasks speculation
+        # rightly costs more than it saves — Hadoop's short-task
+        # heuristic exists for the same reason.)
+        cluster = SimulatedCluster(
+            num_nodes=4, task_overhead_s=0.0, record_rate=10.0
+        )
+        slow = engine_for(self.plan()).run(simple_job())
+        spec = engine_for(self.plan(), speculative=True).run(simple_job())
+        assert cluster.job_makespan(spec.stats) < cluster.job_makespan(
+            slow.stats
+        )
+
+    def test_without_speculation_stragglers_just_run_slow(self):
+        result = engine_for(self.plan()).run(simple_job())
+        for task in result.stats.map_tasks:
+            assert [a.outcome for a in task.attempts] == ["success"]
+            assert task.attempts[0].slowdown == 4.0
+
+
+class TestMakespanCharging:
+    def cluster(self):
+        return SimulatedCluster(num_nodes=2, task_overhead_s=0.05)
+
+    def test_failed_attempts_lengthen_makespan(self):
+        plan = FaultPlan(seed=3, fail_rate=1.0, max_failures_per_task=2)
+        clean = SerialEngine().run(simple_job())
+        faulty = engine_for(plan).run(simple_job())
+        c = self.cluster()
+        assert c.job_makespan(faulty.stats) > c.job_makespan(clean.stats)
+
+    def test_attempt_durations_expand_history(self):
+        plan = FaultPlan(seed=3, fail_rate=1.0, max_failures_per_task=1)
+        faulty = engine_for(plan).run(simple_job())
+        c = self.cluster()
+        task = faulty.stats.map_tasks[0]
+        durations = c.attempt_durations(task)
+        assert len(durations) == 2  # one failure + the success
+        assert all(d >= c.task_overhead_s for d in durations)
+
+    def test_schedule_and_gantt_show_failed_attempts(self):
+        plan = FaultPlan(seed=3, fail_rate=1.0, max_failures_per_task=1)
+        faulty = engine_for(plan).run(simple_job())
+        c = self.cluster()
+        schedule = build_schedule(c, faulty.stats)
+        assert schedule.makespan_s == pytest.approx(
+            c.job_makespan(faulty.stats)
+        )
+        outcomes = {t.outcome for p in schedule.phases for t in p.tasks}
+        assert "failed" in outcomes and "success" in outcomes
+        text = render_gantt(schedule)
+        assert "x" in text and "#" in text
+
+    def test_gantt_shows_speculative_copies(self):
+        plan = FaultPlan(seed=1, slow_rate=1.0)
+        result = engine_for(plan, speculative=True).run(simple_job())
+        text = render_gantt(build_schedule(self.cluster(), result.stats))
+        assert "+" in text and "x" in text
+
+
+class TestRetryPolicy:
+    def test_validates_attempt_budget(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+
+    def test_transient_errors_are_retryable(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.is_retryable(RuntimeError("boom"))
+        assert policy.is_retryable(OSError("disk"))
+
+    def test_programming_errors_are_not(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.is_retryable(ValidationError("bad config"))
+        assert not policy.is_retryable(TypeError("bad call"))
+        assert not policy.is_retryable(NotImplementedError())
+
+    def test_attempt_task_accepts_legacy_int(self):
+        calls = []
+
+        def run_once(attempt):
+            calls.append(attempt)
+            if attempt == 0:
+                raise RuntimeError("transient")
+            return "ok"
+
+        result, attempts = attempt_task(TaskId("map", 0), run_once, 2)
+        assert result == "ok"
+        assert calls == [0, 1]
+        assert [a.outcome for a in attempts] == ["failed", "success"]
+
+    def test_attempt_record_validates_outcome(self):
+        with pytest.raises(ValidationError):
+            AttemptRecord(attempt=0, outcome="exploded")

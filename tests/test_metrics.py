@@ -2,8 +2,14 @@
 
 import pytest
 
+from repro.errors import ValidationError
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.metrics import JobStats, PipelineStats, TaskStats
+from repro.mapreduce.metrics import (
+    AttemptRecord,
+    JobStats,
+    PipelineStats,
+    TaskStats,
+)
 from repro.mapreduce.types import TaskId
 
 
@@ -51,6 +57,44 @@ class TestJobStats:
     def test_sum_task_counter(self, stats):
         assert stats.sum_task_counter("map", "c") == 14
         assert stats.sum_task_counter("reduce", "c") == 4
+
+    def test_unknown_kind_rejected(self, stats):
+        """'combine' (or a typo) used to silently read the reduce
+        tasks; now it is named and rejected."""
+        for method in (stats.max_task_counter, stats.sum_task_counter):
+            with pytest.raises(ValidationError):
+                method("combine", "c")
+            with pytest.raises(ValidationError):
+                method("reduce ", "c")
+
+    def test_total_attempts_counts_history(self, stats):
+        stats.map_tasks[0].attempts = [
+            AttemptRecord(attempt=0, outcome="failed", error="boom"),
+            AttemptRecord(attempt=1, outcome="success"),
+        ]
+        assert stats.total_attempts("map") == 3  # 2 + bare task
+        assert stats.total_attempts("reduce") == 1
+        with pytest.raises(ValidationError):
+            stats.total_attempts("shuffle")
+
+
+class TestTaskStatsAttempts:
+    def test_bare_task_is_one_successful_attempt(self):
+        t = task("map", 0)
+        assert t.num_attempts == 1
+        assert t.failed_attempts == 0
+        assert t.speculative_attempts == 0
+
+    def test_history_breakdown(self):
+        t = task("map", 0)
+        t.attempts = [
+            AttemptRecord(attempt=0, outcome="failed", error="x"),
+            AttemptRecord(attempt=1, outcome="killed", slowdown=4.0),
+            AttemptRecord(attempt=1, outcome="speculative"),
+        ]
+        assert t.num_attempts == 3
+        assert t.failed_attempts == 1
+        assert t.speculative_attempts == 1
 
 
 class TestPipelineStats:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import TaskFailedError, ValidationError
 from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.faults import RetryPolicy
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.parallel import ThreadPoolEngine
 from repro.mapreduce.splits import kv_splits
@@ -116,6 +117,72 @@ class TestSerialRetries:
     def test_validates_max_attempts(self):
         with pytest.raises(ValidationError):
             SerialEngine(max_attempts=0)
+
+    def test_attempt_history_recorded_on_recovery(self):
+        engine = SerialEngine(max_attempts=2)
+        result = engine.run(flaky_job(FlakyOnce()))
+        for task in result.stats.map_tasks:
+            outcomes = [a.outcome for a in task.attempts]
+            assert outcomes == ["failed", "success"]
+
+
+class TestNonRetryableErrors:
+    """Programming/validation bugs fail identically on every attempt:
+    retrying them burns the budget and masks the real defect."""
+
+    def make_counting_mapper(self, error):
+        calls = []
+
+        class BrokenMapper(Mapper):
+            def map(self, key, value, ctx):
+                calls.append(ctx.task_id.index)
+                raise error
+
+        return BrokenMapper, calls
+
+    def one_split_job(self, mapper_factory):
+        return MapReduceJob(
+            name="broken",
+            splits=kv_splits([(0, 1)], 1),
+            mapper_factory=mapper_factory,
+            reducer_factory=IdentityReducer,
+        )
+
+    def test_validation_error_not_retried(self):
+        factory, calls = self.make_counting_mapper(
+            ValidationError("bad config")
+        )
+        with pytest.raises(TaskFailedError) as exc:
+            SerialEngine(max_attempts=4).run(self.one_split_job(factory))
+        assert len(calls) == 1  # no burned attempts
+        assert "bad config" in str(exc.value)
+
+    def test_type_error_not_retried(self):
+        factory, calls = self.make_counting_mapper(TypeError("bad call"))
+        with pytest.raises(TaskFailedError):
+            SerialEngine(max_attempts=4).run(self.one_split_job(factory))
+        assert len(calls) == 1
+
+    def test_transient_error_still_retried(self):
+        factory, calls = self.make_counting_mapper(RuntimeError("flaky"))
+        with pytest.raises(TaskFailedError):
+            SerialEngine(max_attempts=3).run(self.one_split_job(factory))
+        assert len(calls) == 3  # full budget spent
+
+    def test_custom_policy_overrides_default(self):
+        factory, calls = self.make_counting_mapper(
+            ValidationError("transient here")
+        )
+        engine = SerialEngine(
+            retry=RetryPolicy(max_attempts=2, non_retryable=())
+        )
+        with pytest.raises(TaskFailedError):
+            engine.run(self.one_split_job(factory))
+        assert len(calls) == 2  # everything retryable under this policy
+
+    def test_engine_exposes_policy_budget(self):
+        engine = SerialEngine(retry=RetryPolicy(max_attempts=5))
+        assert engine.max_attempts == 5
 
 
 class TestThreadPoolRetries:

@@ -96,6 +96,22 @@ class TestGantt:
         text = render_gantt(build_schedule(cluster(), stats))
         assert "empty schedule" in text
 
+    def test_zero_byte_shuffle_renders_empty(self):
+        """A job that moved no bytes has an instantaneous shuffle: the
+        bar must be empty, not a one-column '~' pretending otherwise."""
+        stats = job_stats()
+        stats.shuffle_bytes = 0
+        text = render_gantt(build_schedule(cluster(), stats))
+        shuffle_row = next(
+            line for line in text.splitlines() if "shuffle" in line
+        )
+        assert "~" not in shuffle_row
+        assert "#" in text  # task rows still render
+
+    def test_nonzero_shuffle_still_renders(self):
+        text = render_gantt(build_schedule(cluster(), job_stats()))
+        assert "~" in text
+
     def test_width_validated(self):
         with pytest.raises(ValidationError):
             render_gantt(build_schedule(cluster(), job_stats()), width=4)
