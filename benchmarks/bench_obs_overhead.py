@@ -1,0 +1,168 @@
+"""Telemetry overhead gate: the event bus must be (nearly) free.
+
+Standalone (no pytest-benchmark) so CI can gate on it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick
+
+Runs the same pipeline three ways and compares best-of-N wall times:
+
+* ``baseline``  — no bus at all (``bus=None``), the default;
+* ``detached``  — a bus attached but with **no subscriber**: every
+  emission site must bail on one attribute read before constructing
+  any event object, budget **< 2%** over baseline;
+* ``attached``  — span tracer + metrics collector subscribed, the full
+  telemetry pipeline live, budget **< 10%** over baseline.
+
+Also asserts the observability layer is a pure observer: the skyline
+indices and the counter fingerprint of the observed run are
+byte-identical to the baseline's.
+
+Writes ``BENCH_obs.json`` at the repo root; exits non-zero if any
+budget or invariant check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro import skyline
+from repro.data import generate
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.engine import SerialEngine
+from repro.obs import EventBus, MetricsCollector, SpanTracer
+
+#: Relative budgets (fraction over baseline) per configuration.
+BUDGETS = {"detached": 0.02, "attached": 0.10}
+
+#: Absolute slack added to each budget: on sub-second quick runs, OS
+#: scheduling jitter alone exceeds 2% — a fixed floor keeps the gate
+#: meaningful without flaking.
+ABS_SLACK_S = 0.05
+
+
+def _run_once(data, algorithm, cluster, bus):
+    engine = SerialEngine(bus=bus)
+    started = time.perf_counter()
+    result = skyline(data, algorithm=algorithm, cluster=cluster, engine=engine)
+    elapsed = time.perf_counter() - started
+    return elapsed, result
+
+
+def _best_of(repeats, data, algorithm, cluster, make_bus):
+    best = None
+    result = None
+    for _ in range(repeats):
+        elapsed, result = _run_once(data, algorithm, cluster, make_bus())
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small workload")
+    parser.add_argument("--cardinality", type=int, default=None)
+    parser.add_argument("--dimensionality", type=int, default=3)
+    parser.add_argument("--algorithm", default="mr-gpmrs")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_obs.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    cardinality = args.cardinality or (10_000 if args.quick else 50_000)
+    data = generate(
+        "anticorrelated", cardinality, args.dimensionality, seed=args.seed
+    )
+    cluster = SimulatedCluster(num_nodes=13)
+    print(
+        f"workload: anticorrelated {cardinality} x {args.dimensionality}, "
+        f"algorithm {args.algorithm}, best of {args.repeats}"
+    )
+
+    def attached_bus():
+        bus = EventBus()
+        bus.subscribe(SpanTracer())
+        bus.subscribe(MetricsCollector())
+        return bus
+
+    configs = {
+        "baseline": lambda: None,
+        "detached": EventBus,  # attached, zero subscribers
+        "attached": attached_bus,
+    }
+    times = {}
+    results = {}
+    for name, make_bus in configs.items():
+        times[name], results[name] = _best_of(
+            args.repeats, data, args.algorithm, cluster, make_bus
+        )
+        print(f"  {name:9s} {times[name] * 1e3:9.2f} ms")
+
+    failures = []
+    baseline = times["baseline"]
+    overheads = {}
+    for name, budget in BUDGETS.items():
+        overheads[name] = times[name] / baseline - 1.0
+        limit = baseline * (1.0 + budget) + ABS_SLACK_S
+        print(
+            f"  {name} overhead {overheads[name] * 100:+6.2f}% "
+            f"(budget {budget * 100:.0f}% + {ABS_SLACK_S * 1e3:.0f} ms slack)"
+        )
+        if times[name] > limit:
+            failures.append(
+                f"{name} bus overhead {overheads[name] * 100:.2f}% exceeds "
+                f"the {budget * 100:.0f}% budget"
+            )
+
+    # Observation must never perturb the computation.
+    base_result = results["baseline"]
+    for name in ("detached", "attached"):
+        observed = results[name]
+        if observed.indices.tolist() != base_result.indices.tolist():
+            failures.append(f"{name} bus changed the skyline")
+        if (
+            observed.stats.counters().as_dict()
+            != base_result.stats.counters().as_dict()
+        ):
+            failures.append(f"{name} bus changed the counter fingerprint")
+
+    payload = {
+        "workload": {
+            "distribution": "anticorrelated",
+            "cardinality": cardinality,
+            "dimensionality": args.dimensionality,
+            "algorithm": args.algorithm,
+            "seed": args.seed,
+            "repeats": args.repeats,
+        },
+        "best_s": {name: round(t, 6) for name, t in times.items()},
+        "overhead_pct": {
+            name: round(v * 100, 3) for name, v in overheads.items()
+        },
+        "budgets_pct": {k: v * 100 for k, v in BUDGETS.items()},
+        "abs_slack_s": ABS_SLACK_S,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"written: {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all telemetry overhead checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

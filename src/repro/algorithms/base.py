@@ -19,6 +19,7 @@ from repro.errors import ValidationError
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.engine import SerialEngine
 from repro.mapreduce.metrics import PipelineStats
+from repro.obs.events import PipelineEnd, PipelineStart
 
 
 @dataclass
@@ -104,9 +105,22 @@ class SkylineAlgorithm(abc.ABC):
             engine=engine or SerialEngine(),
             num_mappers=num_mappers,
         )
+        bus = getattr(env.engine, "bus", None)
+        if bus is not None and bus.active:
+            bus.emit(PipelineStart(algorithm=self.name))
         result = self._run(normalized, env)
         # Report values from the caller's original (un-negated) data.
         result.values = original[result.indices]
+        if bus is not None and bus.active:
+            bus.emit(
+                PipelineEnd(
+                    algorithm=self.name,
+                    jobs=len(result.stats.jobs),
+                    wall_s=result.stats.wall_s,
+                    simulated_s=result.stats.simulated_s,
+                    skyline_size=len(result),
+                )
+            )
         return result
 
     @abc.abstractmethod

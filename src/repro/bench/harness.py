@@ -88,6 +88,8 @@ class CellResult:
     max_reducer_compares: int = 0
     shuffle_bytes: int = 0
     artifacts: Dict[str, Any] = field(default_factory=dict)
+    #: Full run report (only populated by ``run_cell(report=True)``).
+    report: Optional[Dict[str, Any]] = None
 
     @property
     def is_dnf(self) -> bool:
@@ -113,8 +115,17 @@ def run_cell(
     cluster: Optional[SimulatedCluster] = None,
     engine=None,
     include_dnf: bool = False,
+    report: bool = False,
 ) -> CellResult:
-    """Execute one cell and collect its metrics."""
+    """Execute one cell and collect its metrics.
+
+    With ``report=True``, a telemetry bus with a
+    :class:`~repro.obs.metrics.MetricsCollector` observes the run and
+    the full machine-readable run report lands in
+    :attr:`CellResult.report` (an engine is created if the caller
+    supplied none; a caller-supplied engine gets the bus attached for
+    the duration of the cell).
+    """
     if cell.dnf and not include_dnf:
         return CellResult(cell=cell, runtime_s=None)
     cluster = cluster or SimulatedCluster()
@@ -124,8 +135,25 @@ def run_cell(
         d = cell.workload.dimensionality
         options["bounds"] = (np.zeros(d), np.ones(d))
     algo = make_algorithm(cell.algorithm, **options)
+    collector = None
+    caller_engine = engine is not None
+    if report:
+        from repro.mapreduce.engine import SerialEngine
+        from repro.obs import EventBus, MetricsCollector
+
+        bus = EventBus()
+        collector = bus.subscribe(MetricsCollector())
+        if caller_engine:
+            previous_bus = getattr(engine, "bus", None)
+            engine.bus = bus
+        else:
+            engine = SerialEngine(bus=bus)
     started = time.perf_counter()
-    result = algo.compute(data, cluster=cluster, engine=engine)
+    try:
+        result = algo.compute(data, cluster=cluster, engine=engine)
+    finally:
+        if report and caller_engine:
+            engine.bus = previous_bus
     wall = time.perf_counter() - started
     max_map = 0
     max_red = 0
@@ -133,6 +161,26 @@ def run_cell(
         max_map = max(max_map, job.max_task_counter("map", PARTITION_COMPARES))
         max_red = max(
             max_red, job.max_task_counter("reduce", PARTITION_COMPARES)
+        )
+    cell_report = None
+    if report:
+        from repro.obs import build_report
+
+        options_json = {
+            k: v if isinstance(v, (int, float, str, bool)) else repr(v)
+            for k, v in cell.options
+        }
+        cell_report = build_report(
+            result,
+            data,
+            cluster,
+            engine=engine,
+            collector=collector,
+            config={
+                "workload": cell.workload.label(),
+                "workload_seed": cell.workload.seed,
+                "options": options_json,
+            },
         )
     return CellResult(
         cell=cell,
@@ -143,6 +191,7 @@ def run_cell(
         max_reducer_compares=max_red,
         shuffle_bytes=result.stats.total_shuffle_bytes(),
         artifacts=result.artifacts,
+        report=cell_report,
     )
 
 

@@ -3,16 +3,23 @@
 Subcommands
 -----------
 ``compute``     — compute a skyline of a CSV/NPY file or a generated
-                  synthetic workload, with any registered algorithm.
+                  synthetic workload, with any registered algorithm;
+                  ``--trace-out`` exports a Perfetto-loadable Chrome
+                  trace, ``--report-out`` a machine-readable run report.
 ``experiment``  — reproduce one of the paper's figures (or an
                   ablation) and print its series.
-``list``        — list algorithms and experiments.
+``report``      — pretty-print one run report, or diff two.
+``list``        — list algorithms and experiments (``--counters`` adds
+                  the documented counter/histogram vocabulary).
 
 Examples::
 
     repro-skyline compute --distribution anticorrelated -c 10000 -d 5 \
         --algorithm mr-gpmrs
     repro-skyline compute --input hotels.csv --prefs min,min,max
+    repro-skyline compute --algo mr-gpmrs --trace-out t.json --report-out r.json
+    repro-skyline report r.json
+    repro-skyline report a.json b.json
     repro-skyline experiment fig7 --scale 0.005 --verbose
 """
 
@@ -110,6 +117,16 @@ def _build_parser() -> argparse.ArgumentParser:
     compute.add_argument(
         "--show", type=int, default=10, help="print the first N skyline rows"
     )
+    compute.add_argument(
+        "--trace-out",
+        help="write a Chrome trace-event JSON (Perfetto/chrome://tracing) "
+        "with the simulated schedule and the measured wall-clock spans",
+    )
+    compute.add_argument(
+        "--report-out",
+        help="write a machine-readable run report (JSON); see "
+        "docs/observability.md for the format",
+    )
     _add_fault_args(compute)
 
     experiment = sub.add_parser(
@@ -165,7 +182,22 @@ def _build_parser() -> argparse.ArgumentParser:
     gantt.add_argument("--width", type=int, default=64)
     _add_fault_args(gantt)
 
-    sub.add_parser("list", help="list algorithms and experiments")
+    report = sub.add_parser(
+        "report", help="pretty-print one run report, or diff two"
+    )
+    report.add_argument(
+        "files",
+        nargs="+",
+        help="one report to render, or two reports to diff "
+        "(wall-clock differences are ignored)",
+    )
+
+    lister = sub.add_parser("list", help="list algorithms and experiments")
+    lister.add_argument(
+        "--counters",
+        action="store_true",
+        help="also list the documented counter/histogram/gauge vocabulary",
+    )
     return parser
 
 
@@ -179,14 +211,16 @@ def _fault_plan(args) -> Optional[FaultPlan]:
     )
 
 
-def _make_engine(name: str, workers: Optional[int], args):
+def _make_engine(name: str, workers: Optional[int], args, bus=None):
     faults = _fault_plan(args)
     max_attempts = args.max_attempts
     if max_attempts is None:
         # Hadoop's default budget, stretched if the plan needs more.
         max_attempts = max(4, faults.min_attempts()) if faults else 1
     retry = RetryPolicy(max_attempts=max_attempts)
-    kwargs = dict(retry=retry, faults=faults, speculative=args.speculative)
+    kwargs = dict(
+        retry=retry, faults=faults, speculative=args.speculative, bus=bus
+    )
     if name == "threads":
         from repro.mapreduce.parallel import ThreadPoolEngine
 
@@ -195,7 +229,12 @@ def _make_engine(name: str, workers: Optional[int], args):
         from repro.mapreduce.parallel import ProcessPoolEngine
 
         return ProcessPoolEngine(max_workers=workers, **kwargs)
-    if faults is not None or args.speculative or args.max_attempts:
+    if (
+        faults is not None
+        or args.speculative
+        or args.max_attempts
+        or bus is not None
+    ):
         from repro.mapreduce.engine import SerialEngine
 
         return SerialEngine(**kwargs)
@@ -225,12 +264,21 @@ def _cmd_compute(args) -> int:
     if args.ppd is not None and args.algorithm in ("mr-gpsrs", "mr-gpmrs"):
         options["ppd"] = args.ppd
     cluster = SimulatedCluster(num_nodes=args.nodes)
+    observing = bool(args.trace_out or args.report_out)
+    bus = tracer = collector = None
+    if observing:
+        from repro.obs import EventBus, MetricsCollector, SpanTracer
+
+        bus = EventBus()
+        tracer = bus.subscribe(SpanTracer())
+        collector = bus.subscribe(MetricsCollector())
+    engine = _make_engine(args.engine, args.workers, args, bus=bus)
     result = skyline(
         data,
         algorithm=args.algorithm,
         prefs=prefs,
         cluster=cluster,
-        engine=_make_engine(args.engine, args.workers, args),
+        engine=engine,
         **options,
     )
     print(
@@ -247,6 +295,35 @@ def _cmd_compute(args) -> int:
         print(f"  #{result.indices[i]}: [{row}]")
     if len(result) > args.show:
         print(f"  ... and {len(result) - args.show} more")
+    if args.trace_out:
+        from repro.mapreduce.trace import schedule_spans
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(
+            args.trace_out,
+            {
+                "simulated": schedule_spans(cluster, result.stats.jobs),
+                "wall": tracer.wall_spans(),
+            },
+        )
+        print(f"trace written to {args.trace_out} (open in Perfetto)")
+    if args.report_out:
+        from repro.obs import build_report, write_report
+
+        report = build_report(
+            result,
+            data,
+            cluster,
+            engine=engine,
+            collector=collector,
+            config={
+                "source": args.input or (args.distribution or "independent"),
+                "seed": args.seed,
+                "prefs": args.prefs,
+            },
+        )
+        write_report(args.report_out, report)
+        print(f"report written to {args.report_out}")
     return 0
 
 
@@ -347,13 +424,47 @@ def _cmd_gantt(args) -> int:
     return 0
 
 
-def _cmd_list() -> int:
+def _cmd_report(args) -> int:
+    from repro.obs import diff_reports, load_report, render_report
+
+    if len(args.files) == 1:
+        print(render_report(load_report(args.files[0])))
+        return 0
+    if len(args.files) != 2:
+        print("error: report takes one or two files", file=sys.stderr)
+        return 2
+    first, second = (load_report(path) for path in args.files)
+    differences = diff_reports(first, second)
+    if not differences:
+        print(
+            f"{args.files[0]} and {args.files[1]} are identical "
+            "(wall-clock fields ignored)"
+        )
+        return 0
+    print(f"{len(differences)} difference(s):")
+    for line in differences:
+        print(f"  {line}")
+    return 1
+
+
+def _cmd_list(args) -> int:
     print("algorithms:")
     for name in available_algorithms():
         print(f"  {name}")
     print("experiments:")
     for name in sorted(EXPERIMENTS):
         print(f"  {name}")
+    if getattr(args, "counters", False):
+        from repro.obs import documented_metrics
+
+        scopes = sorted({spec.scope for spec in documented_metrics()})
+        for scope in scopes:
+            print(f"{scope} metrics:")
+            for spec in documented_metrics(scope):
+                print(
+                    f"  {spec.name:36s} {spec.kind:9s} [{spec.unit}] "
+                    f"{spec.description}"
+                )
     return 0
 
 
@@ -368,7 +479,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "gantt":
             return _cmd_gantt(args)
-        return _cmd_list()
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_list(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -180,6 +180,20 @@ class SimulatedCluster:
         pipeline.simulated_s = self.pipeline_makespan(pipeline.jobs)
         return pipeline
 
+    def describe(self) -> dict:
+        """The full configuration as a JSON-serializable dict (run
+        reports embed this so a report pins the exact cluster model)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "map_slots_per_node": self.map_slots_per_node,
+            "reduce_slots_per_node": self.reduce_slots_per_node,
+            "bandwidth_bytes_per_s": self.bandwidth_bytes_per_s,
+            "task_overhead_s": self.task_overhead_s,
+            "cost_model": self.cost_model,
+            "compare_rate": self.compare_rate,
+            "record_rate": self.record_rate,
+        }
+
 
 #: The paper's testbed, as a ready-made constant.
 PAPER_CLUSTER = SimulatedCluster()

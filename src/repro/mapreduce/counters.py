@@ -78,3 +78,25 @@ PARTITION_COMPARES = "skyline.partition_compares"
 TUPLE_COMPARES = "skyline.tuple_compares"
 TUPLES_PRUNED_BY_BITSTRING = "skyline.tuples_pruned_by_bitstring"
 LOCAL_SKYLINE_SIZE = "skyline.local_skyline_size"
+
+#: One-line documentation per canonical counter. The observability
+#: metric registry (:mod:`repro.obs.metrics`) and ``repro-skyline list
+#: --counters`` read this mapping, so the docs cannot drift from the
+#: names the engines actually charge.
+COUNTER_DOCS = {
+    RECORDS_IN: "Records consumed by tasks (map inputs + reduce inputs).",
+    RECORDS_OUT: "Records emitted by tasks (map outputs + reduce outputs).",
+    SHUFFLE_BYTES: "Bytes of map output moved through the shuffle.",
+    TASK_RETRIES: "Failed task attempts that were re-executed.",
+    SPECULATIVE_ATTEMPTS: "Speculative backup copies that won their race.",
+    NODE_LOSS_REEXECS: "Re-executions caused by simulated node losses.",
+    PARTITION_COMPARES: (
+        "Partition-pair comparisons (the Section 6 cost-model quantity; "
+        "Figure 11 plots the per-task maxima)."
+    ),
+    TUPLE_COMPARES: "Tuple-pair dominance tests across all skyline stages.",
+    TUPLES_PRUNED_BY_BITSTRING: (
+        "Tuples discarded because their partition's bitstring bit was 0."
+    ),
+    LOCAL_SKYLINE_SIZE: "Tuples surviving into partition-local skylines.",
+}

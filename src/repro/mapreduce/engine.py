@@ -38,6 +38,25 @@ from repro.mapreduce.types import (
     TaskId,
     supports_block_map,
 )
+from repro.obs.events import (
+    Broadcast,
+    EventBus,
+    FaultInjected,
+    JobEnd,
+    JobStart,
+    Shuffle,
+    SpeculationLaunched,
+    TaskAttemptEnd,
+    TaskAttemptStart,
+    replay_task_events,
+)
+
+
+def _bus_active(bus) -> bool:
+    """One cheap guard for every emission site: the telemetry layer's
+    documented overhead budget requires that no event object is even
+    constructed unless a subscriber is attached."""
+    return bus is not None and bus.active
 
 
 def _sorted_keys(keys) -> List:
@@ -77,6 +96,8 @@ def attempt_task(
     retry,
     faults: "FaultPlan" = None,
     speculative: bool = False,
+    bus: "EventBus" = None,
+    job: str = None,
 ):
     """Run ``run_once`` under a retry policy; returns ``(result, attempts)``.
 
@@ -102,6 +123,12 @@ def attempt_task(
     last_error = None
     for attempt in range(retry.max_attempts):
         node = faults.node_of(task_id) if faults is not None else None
+        if _bus_active(bus):
+            bus.emit(
+                TaskAttemptStart(
+                    job=job, task_id=str(task_id), attempt=attempt, node=node
+                )
+            )
         injected = (
             faults.injected_error(task_id, attempt)
             if faults is not None
@@ -112,30 +139,61 @@ def attempt_task(
             # work (it is still charged in full by the makespan model);
             # the real task body never runs, so no partial output and
             # no wasted CPU in the simulation.
-            attempts.append(
-                AttemptRecord(
-                    attempt=attempt,
-                    outcome="failed",
-                    slowdown=faults.slowdown(task_id, attempt),
-                    error=repr(injected),
-                    node=node,
-                )
+            record = AttemptRecord(
+                attempt=attempt,
+                outcome="failed",
+                slowdown=faults.slowdown(task_id, attempt),
+                error=repr(injected),
+                node=node,
             )
+            attempts.append(record)
+            if _bus_active(bus):
+                bus.emit(
+                    FaultInjected(
+                        job=job,
+                        task_id=str(task_id),
+                        attempt=attempt,
+                        error=record.error,
+                        node=node,
+                    )
+                )
+                bus.emit(
+                    TaskAttemptEnd(
+                        job=job,
+                        task_id=str(task_id),
+                        attempt=attempt,
+                        outcome="failed",
+                        slowdown=record.slowdown,
+                        error=record.error,
+                        node=node,
+                    )
+                )
             last_error = injected
             continue
         started = time.perf_counter()
         try:
             result = run_once(attempt)
         except Exception as exc:
-            attempts.append(
-                AttemptRecord(
-                    attempt=attempt,
-                    outcome="failed",
-                    duration_s=time.perf_counter() - started,
-                    error=repr(exc),
-                    node=node,
-                )
+            record = AttemptRecord(
+                attempt=attempt,
+                outcome="failed",
+                duration_s=time.perf_counter() - started,
+                error=repr(exc),
+                node=node,
             )
+            attempts.append(record)
+            if _bus_active(bus):
+                bus.emit(
+                    TaskAttemptEnd(
+                        job=job,
+                        task_id=str(task_id),
+                        attempt=attempt,
+                        outcome="failed",
+                        duration_s=record.duration_s,
+                        error=record.error,
+                        node=node,
+                    )
+                )
             last_error = exc
             if not retry.is_retryable(exc):
                 raise TaskFailedError(str(task_id), exc) from exc
@@ -147,7 +205,7 @@ def attempt_task(
         if speculative and slowdown > 1.0:
             backup = _speculate(
                 task_id, run_once, attempt, duration, slowdown, node,
-                faults, attempts,
+                faults, attempts, bus=bus, job=job,
             )
             if backup is not None:
                 return backup, attempts
@@ -161,12 +219,25 @@ def attempt_task(
                 node=node,
             )
         )
+        if _bus_active(bus):
+            bus.emit(
+                TaskAttemptEnd(
+                    job=job,
+                    task_id=str(task_id),
+                    attempt=attempt,
+                    outcome="success",
+                    duration_s=duration,
+                    slowdown=slowdown,
+                    node=node,
+                )
+            )
         return result, attempts
     raise TaskFailedError(str(task_id), last_error) from last_error
 
 
 def _speculate(
-    task_id, run_once, attempt, duration, slowdown, node, faults, attempts
+    task_id, run_once, attempt, duration, slowdown, node, faults, attempts,
+    bus=None, job=None,
 ):
     """Launch a backup copy of a straggler attempt; first finisher wins.
 
@@ -181,6 +252,25 @@ def _speculate(
     backup_node = (
         (node + 1) % faults.num_nodes if node is not None else None
     )
+    if _bus_active(bus):
+        bus.emit(
+            SpeculationLaunched(
+                job=job,
+                task_id=str(task_id),
+                attempt=attempt,
+                node=node,
+                backup_node=backup_node,
+            )
+        )
+        bus.emit(
+            TaskAttemptStart(
+                job=job,
+                task_id=str(task_id),
+                attempt=attempt,
+                node=backup_node,
+                speculative=True,
+            )
+        )
     started = time.perf_counter()
     try:
         backup_result = run_once(attempt)
@@ -205,6 +295,31 @@ def _speculate(
                 node=node,
             )
         )
+        if _bus_active(bus):
+            failed_backup, straggler = attempts[-2], attempts[-1]
+            bus.emit(
+                TaskAttemptEnd(
+                    job=job,
+                    task_id=str(task_id),
+                    attempt=attempt,
+                    outcome="failed",
+                    duration_s=failed_backup.duration_s,
+                    error=failed_backup.error,
+                    node=backup_node,
+                    speculative=True,
+                )
+            )
+            bus.emit(
+                TaskAttemptEnd(
+                    job=job,
+                    task_id=str(task_id),
+                    attempt=attempt,
+                    outcome="success",
+                    duration_s=straggler.duration_s,
+                    slowdown=straggler.slowdown,
+                    node=node,
+                )
+            )
         return None
     attempts.append(
         AttemptRecord(
@@ -224,6 +339,30 @@ def _speculate(
             node=backup_node,
         )
     )
+    if _bus_active(bus):
+        killed, winner = attempts[-2], attempts[-1]
+        bus.emit(
+            TaskAttemptEnd(
+                job=job,
+                task_id=str(task_id),
+                attempt=attempt,
+                outcome="killed",
+                duration_s=killed.duration_s,
+                slowdown=killed.slowdown,
+                node=node,
+            )
+        )
+        bus.emit(
+            TaskAttemptEnd(
+                job=job,
+                task_id=str(task_id),
+                attempt=attempt,
+                outcome="speculative",
+                duration_s=winner.duration_s,
+                node=backup_node,
+                speculative=True,
+            )
+        )
     return backup_result
 
 
@@ -402,7 +541,20 @@ class SerialEngine:
     ``block_path`` enables the columnar fast path for block splits and
     block-aware mappers (identical results either way; off switches the
     runtime back to record-at-a-time iteration everywhere).
+
+    ``bus`` (an :class:`~repro.obs.events.EventBus`) receives the typed
+    telemetry stream — job/task lifecycles, shuffle, broadcast, faults,
+    speculation. ``None`` (the default) costs one ``is not None`` test
+    per site; attached-but-unobserved stays within the documented < 2%
+    budget because events are only constructed when a subscriber is
+    listening.
     """
+
+    #: Whether task attempts emit bus events live, as they run. The
+    #: process-pool engine flips this off (worker processes have no
+    #: channel to the parent's bus) and replays recorded histories in
+    #: the collect phase instead.
+    _live_task_events = True
 
     def __init__(
         self,
@@ -411,6 +563,7 @@ class SerialEngine:
         retry: RetryPolicy = None,
         faults: FaultPlan = None,
         speculative: bool = False,
+        bus: EventBus = None,
     ):
         if retry is None:
             if max_attempts < 1:
@@ -422,6 +575,7 @@ class SerialEngine:
         self.faults = faults
         self.speculative = bool(speculative)
         self.block_path = bool(block_path)
+        self.bus = bus
 
     @property
     def max_attempts(self) -> int:
@@ -435,7 +589,7 @@ class SerialEngine:
             extras += ", speculative=True"
         return f"{type(self).__name__}(block_path={self.block_path}{extras})"
 
-    def _attempt(self, task_id: TaskId, run_once):
+    def _attempt(self, task_id: TaskId, run_once, job_name: str = None):
         """Run with retry/faults; returns ((ctx, ...), attempt history)."""
         return attempt_task(
             task_id,
@@ -443,6 +597,8 @@ class SerialEngine:
             self.retry,
             faults=self.faults,
             speculative=self.speculative,
+            bus=self.bus if self._live_task_events else None,
+            job=job_name,
         )
 
     # -- single-task drivers (shared with the concurrent engines) -------
@@ -454,6 +610,7 @@ class SerialEngine:
             lambda attempt: execute_map_attempt(
                 job, split, task_id, self.block_path
             ),
+            job_name=job.name,
         )
         return (
             finish_map_task(
@@ -469,17 +626,64 @@ class SerialEngine:
         (ctx, duration), attempts = self._attempt(
             task_id,
             lambda attempt: execute_reduce_attempt(job, bucket, task_id),
+            job_name=job.name,
         )
         return (
             finish_reduce_task(task_id, ctx, len(bucket), duration, attempts),
             ctx.output,
         )
 
+    # -- telemetry ------------------------------------------------------
+
+    def _emit_job_start(self, job) -> None:
+        if not _bus_active(self.bus):
+            return
+        self.bus.emit(
+            JobStart(
+                job=job.name,
+                num_mappers=len(job.splits),
+                num_reducers=job.num_reducers,
+            )
+        )
+        self.bus.emit(
+            Broadcast(
+                job=job.name,
+                payload_bytes=job.cache.payload_bytes(),
+                num_keys=len(job.cache),
+            )
+        )
+
+    def _emit_shuffle(self, job, buckets) -> None:
+        if not _bus_active(self.bus):
+            return
+        # Per-partition byte sizing is the one genuinely expensive probe
+        # (payload_size per record), so it only ever runs on this
+        # subscriber-attached path.
+        partition_bytes = tuple(
+            sum(payload_size(k) + payload_size(v) for k, v in bucket)
+            for bucket in buckets
+        )
+        self.bus.emit(
+            Shuffle(
+                job=job.name,
+                partition_records=tuple(len(b) for b in buckets),
+                partition_bytes=partition_bytes,
+                total_bytes=sum(partition_bytes),
+            )
+        )
+
+    def _emit_job_end(self, stats: JobStats) -> None:
+        if _bus_active(self.bus):
+            self.bus.emit(JobEnd(job=stats.job_name, stats=stats))
+
     # -- phase aggregation ----------------------------------------------
 
     def _collect_maps(self, stats: JobStats, map_results) -> List[List[KeyValue]]:
+        replay = not self._live_task_events and _bus_active(self.bus)
         map_outputs: List[List[KeyValue]] = []
         for task_stats, output in map_results:
+            if replay:
+                replay_task_events(self.bus, stats.job_name, task_stats)
             stats.map_tasks.append(task_stats)
             stats.counters.merge(task_stats.counters)
             stats.shuffle_bytes += task_stats.bytes_out
@@ -487,8 +691,11 @@ class SerialEngine:
         return map_outputs
 
     def _collect_reduces(self, stats: JobStats, reduce_results) -> List[List[KeyValue]]:
+        replay = not self._live_task_events and _bus_active(self.bus)
         reducer_outputs: List[List[KeyValue]] = []
         for task_stats, output in reduce_results:
+            if replay:
+                replay_task_events(self.bus, stats.job_name, task_stats)
             stats.reduce_tasks.append(task_stats)
             stats.counters.merge(task_stats.counters)
             reducer_outputs.append(output)
@@ -499,15 +706,18 @@ class SerialEngine:
         job.validate()
         stats = JobStats(job_name=job.name)
         stats.broadcast_bytes = job.cache.payload_bytes()
+        self._emit_job_start(job)
 
         map_results = [self._map_task(job, split) for split in job.splits]
         map_outputs = self._collect_maps(stats, map_results)
 
         buckets = shuffle_outputs(job, map_outputs)
+        self._emit_shuffle(job, buckets)
 
         reduce_results = [
             self._reduce_task(job, r, buckets[r])
             for r in range(job.num_reducers)
         ]
         reducer_outputs = self._collect_reduces(stats, reduce_results)
+        self._emit_job_end(stats)
         return JobResult(job_name=job.name, reducer_outputs=reducer_outputs, stats=stats)

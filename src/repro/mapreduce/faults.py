@@ -157,6 +157,21 @@ class FaultPlan:
         node_loss_attempts = 1 if self.lost_nodes else 0
         return self.max_failures_per_task + node_loss_attempts + 1
 
+    def describe(self) -> dict:
+        """The plan as a JSON-serializable dict (embedded in run
+        reports: a fault schedule is part of a run's configuration)."""
+        return {
+            "seed": self.seed,
+            "fail_rate": self.fail_rate,
+            "map_fail_rate": self.map_fail_rate,
+            "reduce_fail_rate": self.reduce_fail_rate,
+            "slow_rate": self.slow_rate,
+            "slow_factor": self.slow_factor,
+            "lost_nodes": list(self.lost_nodes),
+            "num_nodes": self.num_nodes,
+            "max_failures_per_task": self.max_failures_per_task,
+        }
+
 
 #: Error types a retry cannot fix: configuration and programming bugs.
 #: Retrying these burns attempts and masks the real defect.

@@ -165,10 +165,19 @@ class PipelineStats:
         return sum(stats.total_cpu_s() for stats in self.jobs)
 
     def summary(self) -> Dict[str, float]:
-        return {
+        """Headline numbers as a flat dict.
+
+        ``simulated_s`` is present only when a cluster model annotated
+        the run — absent means "no simulation", which a ``-1.0``
+        sentinel (the old encoding) silently poisoned in downstream
+        arithmetic.
+        """
+        summary = {
             "jobs": len(self.jobs),
             "wall_s": self.wall_s,
-            "simulated_s": self.simulated_s if self.simulated_s is not None else -1.0,
             "cpu_s": self.total_cpu_s(),
             "shuffle_bytes": self.total_shuffle_bytes(),
         }
+        if self.simulated_s is not None:
+            summary["simulated_s"] = self.simulated_s
+        return summary

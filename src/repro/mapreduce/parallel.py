@@ -54,6 +54,7 @@ class ThreadPoolEngine(SerialEngine):
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
         speculative: bool = False,
+        bus=None,
     ):
         super().__init__(
             max_attempts=max_attempts,
@@ -61,6 +62,7 @@ class ThreadPoolEngine(SerialEngine):
             retry=retry,
             faults=faults,
             speculative=speculative,
+            bus=bus,
         )
         self.max_workers = max_workers
 
@@ -74,6 +76,7 @@ class ThreadPoolEngine(SerialEngine):
         job.validate()
         stats = JobStats(job_name=job.name)
         stats.broadcast_bytes = job.cache.payload_bytes()
+        self._emit_job_start(job)
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             map_results = list(
@@ -82,6 +85,7 @@ class ThreadPoolEngine(SerialEngine):
             map_outputs = self._collect_maps(stats, map_results)
 
             buckets = shuffle_outputs(job, map_outputs)
+            self._emit_shuffle(job, buckets)
 
             reduce_results = list(
                 pool.map(
@@ -90,6 +94,7 @@ class ThreadPoolEngine(SerialEngine):
                 )
             )
         reducer_outputs = self._collect_reduces(stats, reduce_results)
+        self._emit_job_end(stats)
         return JobResult(job_name=job.name, reducer_outputs=reducer_outputs, stats=stats)
 
 
@@ -171,7 +176,16 @@ class ProcessPoolEngine(SerialEngine):
     engine. Requires mapper/reducer factories, the cache contents, and
     emitted values to be picklable — true for everything this library
     ships.
+
+    Task events cannot stream live across the process boundary, so the
+    parent replays each task's recorded attempt history onto the bus
+    (``replay=True``) as results are collected; job/shuffle/broadcast
+    events still emit live from the parent.
     """
+
+    #: Workers hold no channel to the parent's bus; events are replayed
+    #: from recorded attempt histories in the collect phase.
+    _live_task_events = False
 
     def __init__(
         self,
@@ -182,6 +196,7 @@ class ProcessPoolEngine(SerialEngine):
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
         speculative: bool = False,
+        bus=None,
     ):
         super().__init__(
             max_attempts=max_attempts,
@@ -189,6 +204,7 @@ class ProcessPoolEngine(SerialEngine):
             retry=retry,
             faults=faults,
             speculative=speculative,
+            bus=bus,
         )
         if max_workers is not None and max_workers < 1:
             raise ValidationError(
@@ -214,6 +230,7 @@ class ProcessPoolEngine(SerialEngine):
         job.validate()
         stats = JobStats(job_name=job.name)
         stats.broadcast_bytes = job.cache.payload_bytes()
+        self._emit_job_start(job)
 
         spec = _JobSpec(
             mapper_factory=job.mapper_factory,
@@ -239,6 +256,7 @@ class ProcessPoolEngine(SerialEngine):
             map_outputs = self._collect_maps(stats, map_results)
 
             buckets = shuffle_outputs(job, map_outputs)
+            self._emit_shuffle(job, buckets)
 
             reduce_results = list(
                 pool.map(
@@ -247,4 +265,5 @@ class ProcessPoolEngine(SerialEngine):
                 )
             )
         reducer_outputs = self._collect_reduces(stats, reduce_results)
+        self._emit_job_end(stats)
         return JobResult(job_name=job.name, reducer_outputs=reducer_outputs, stats=stats)

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 from repro.errors import ValidationError
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.metrics import JobStats, TaskStats
+from repro.obs.spans import Span, render_span_rows
 
 
 @dataclass(frozen=True)
@@ -137,9 +138,73 @@ def build_schedule(cluster: SimulatedCluster, stats: JobStats) -> JobSchedule:
     )
 
 
-#: Gantt cell per attempt outcome: failed attempts and killed
-#: stragglers render as ``x``, speculative backup copies as ``+``.
-_OUTCOME_CELLS = {"failed": "x", "killed": "x", "speculative": "+"}
+def _schedule_track_order(schedule: JobSchedule) -> List[str]:
+    """Track names in presentation order: map slots, shuffle, reduce
+    slots — matching phase order."""
+    tracks: List[str] = []
+    for phase in schedule.phases:
+        if phase.phase == "shuffle":
+            tracks.append("shuffle")
+            continue
+        for slot in sorted({t.slot for t in phase.tasks}):
+            tracks.append(f"{phase.phase}-slot-{slot}")
+    return tracks
+
+
+def _schedule_to_spans(
+    schedule: JobSchedule, offset: float = 0.0
+) -> List[Span]:
+    """One :class:`~repro.obs.spans.Span` per scheduled attempt unit.
+
+    The single simulated-clock source for both renderers: the ASCII
+    Gantt and the Chrome-trace export draw these same spans, so the two
+    views cannot drift apart.
+    """
+    spans: List[Span] = []
+    for phase in schedule.phases:
+        if phase.phase == "shuffle":
+            spans.append(
+                Span(
+                    name=f"{schedule.job_name} shuffle",
+                    track="shuffle",
+                    start_s=offset + phase.start_s,
+                    end_s=offset + phase.end_s,
+                    category="shuffle",
+                    args={"job": schedule.job_name},
+                )
+            )
+            continue
+        for task in phase.tasks:
+            spans.append(
+                Span(
+                    name=task.name,
+                    track=f"{phase.phase}-slot-{task.slot}",
+                    start_s=offset + task.start_s,
+                    end_s=offset + task.end_s,
+                    outcome=task.outcome,
+                    args={"job": schedule.job_name, "phase": phase.phase},
+                )
+            )
+    return spans
+
+
+def schedule_spans(
+    cluster: SimulatedCluster, jobs: Sequence[JobStats]
+) -> List[Span]:
+    """Simulated-clock spans of a job chain, laid out back to back.
+
+    Each job starts where the previous one's makespan ended (jobs in a
+    chain run strictly sequentially), one track per simulated slot plus
+    the shuffle track. This is the ``"simulated"`` clock of the Chrome
+    trace written by ``repro-skyline compute --trace-out``.
+    """
+    spans: List[Span] = []
+    offset = 0.0
+    for stats in jobs:
+        schedule = build_schedule(cluster, stats)
+        spans.extend(_schedule_to_spans(schedule, offset))
+        offset += schedule.makespan_s
+    return spans
 
 
 def render_gantt(
@@ -148,43 +213,31 @@ def render_gantt(
     """Plain-text Gantt chart of a job schedule.
 
     One row per (phase, slot); ``#`` marks busy time, ``x`` a failed or
-    killed attempt, ``+`` a speculative backup copy. Proportional to
-    the makespan, so short tasks may render as a single cell;
-    zero-duration phases (e.g. a shuffle that moved no bytes) render
-    empty rather than pretending to occupy a column.
+    killed attempt, ``+`` a speculative backup copy, ``~`` the shuffle.
+    Proportional to the makespan, so short tasks may render as a single
+    cell; zero-duration phases (e.g. a shuffle that moved no bytes)
+    render empty rather than pretending to occupy a column. Column
+    painting is half-open: a task ending at time ``t`` and a task
+    starting at ``t`` never share a cell.
     """
     if width < 8:
         raise ValidationError(f"width must be >= 8, got {width}")
     total = schedule.makespan_s
     if total <= 0:
         return f"{schedule.job_name}: empty schedule"
-
-    def col(t: float) -> int:
-        return min(width - 1, int(t / total * width))
-
     lines = [
         f"{schedule.job_name}: simulated makespan {total:.3f}s "
         f"(1 col = {total / width:.4f}s)"
     ]
-    for phase in schedule.phases:
-        if phase.phase == "shuffle":
-            row = [" "] * width
-            if phase.duration_s > 0:
-                for i in range(col(phase.start_s), col(phase.end_s) + 1):
-                    row[i] = "~"
-            lines.append(f"{'shuffle':>{min_label}s} |{''.join(row)}|")
-            continue
-        slots = sorted({t.slot for t in phase.tasks})
-        for slot in slots:
-            row = [" "] * width
-            for task in phase.tasks:
-                if task.slot != slot or task.duration_s <= 0:
-                    continue
-                cell = _OUTCOME_CELLS.get(task.outcome, "#")
-                for i in range(col(task.start_s), col(task.end_s) + 1):
-                    row[i] = cell
-            label = f"{phase.phase}-slot-{slot}"
-            lines.append(f"{label:>{min_label}s} |{''.join(row)}|")
+    lines.extend(
+        render_span_rows(
+            _schedule_to_spans(schedule),
+            _schedule_track_order(schedule),
+            total,
+            width,
+            min_label=min_label,
+        )
+    )
     return "\n".join(lines)
 
 

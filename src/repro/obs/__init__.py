@@ -1,0 +1,107 @@
+"""repro.obs — structured run telemetry for the MapReduce runtime.
+
+The observability layer the paper's whole evaluation (Sections 7,
+Figures 7–11) implicitly asks for: instead of bolting a new probe onto
+the runtime for every question ("where did the time go inside the
+bitstring job?", "what did attempt 2 of map-3 see?"), the engines emit
+**typed events** once, and everything else is a subscriber:
+
+* :class:`EventBus` / :mod:`repro.obs.events` — the event vocabulary
+  (job/task-attempt lifecycles, shuffle, broadcast, fault injection,
+  speculation, pipeline completion) with a documented near-zero
+  overhead budget when nobody listens;
+* :class:`SpanTracer` / :mod:`repro.obs.spans` — spans on two clocks
+  (real wall time, simulated cluster time) exported as Chrome
+  trace-event JSON loadable in Perfetto / ``chrome://tracing``; the
+  ASCII Gantt renders from the same simulated spans;
+* :class:`MetricsCollector` / :mod:`repro.obs.metrics` — a documented
+  metric registry layered on counters: deterministic fixed-bucket
+  histograms and gauges;
+* :mod:`repro.obs.report` — one machine-readable JSON report per run
+  (config, dataset fingerprint, counters, histograms, attempt
+  histories, schedule, skyline checksum), diffable with wall-clock
+  noise isolated under one key;
+* :mod:`repro.obs.schema` — validators for the event, trace, and
+  report formats (used by tests and the CI trace-smoke job).
+
+See ``docs/observability.md`` for the full schemas and a Perfetto
+walkthrough.
+"""
+
+from repro.obs.events import (
+    ATTEMPT_EVENT_OUTCOMES,
+    EVENT_TYPES,
+    Broadcast,
+    Event,
+    EventBus,
+    EventLog,
+    FaultInjected,
+    JobEnd,
+    JobStart,
+    PipelineEnd,
+    PipelineStart,
+    Shuffle,
+    SpeculationLaunched,
+    TaskAttemptEnd,
+    TaskAttemptStart,
+    replay_task_events,
+)
+from repro.obs.metrics import (
+    METRICS,
+    Histogram,
+    MetricsCollector,
+    MetricSpec,
+    documented_metrics,
+)
+from repro.obs.report import (
+    build_report,
+    canonical_json,
+    diff_reports,
+    load_report,
+    render_report,
+    write_report,
+)
+from repro.obs.schema import (
+    validate_chrome_trace,
+    validate_events,
+    validate_report,
+)
+from repro.obs.spans import Span, chrome_trace, write_chrome_trace
+from repro.obs.tracer import SpanTracer
+
+__all__ = [
+    "ATTEMPT_EVENT_OUTCOMES",
+    "Broadcast",
+    "EVENT_TYPES",
+    "Event",
+    "EventBus",
+    "EventLog",
+    "FaultInjected",
+    "Histogram",
+    "JobEnd",
+    "JobStart",
+    "METRICS",
+    "MetricSpec",
+    "MetricsCollector",
+    "PipelineEnd",
+    "PipelineStart",
+    "Shuffle",
+    "Span",
+    "SpanTracer",
+    "SpeculationLaunched",
+    "TaskAttemptEnd",
+    "TaskAttemptStart",
+    "build_report",
+    "canonical_json",
+    "chrome_trace",
+    "diff_reports",
+    "documented_metrics",
+    "load_report",
+    "render_report",
+    "replay_task_events",
+    "validate_chrome_trace",
+    "validate_events",
+    "validate_report",
+    "write_chrome_trace",
+    "write_report",
+]

@@ -1,0 +1,268 @@
+"""Metric registry, fixed-bucket histograms, and the bus collector.
+
+Layered *on top of* the existing hierarchical
+:class:`~repro.mapreduce.counters.Counters` (which stay the source of
+truth for totals): this module adds **distributions** — how dominance
+tests spread over tasks, how records and bytes spread over shuffle
+partitions, how long attempts took — plus gauges, and a registry of
+documented metric names that the CLI (``repro-skyline list
+--counters``) and the run report both read, so documentation can never
+drift from collection.
+
+Determinism: histograms use *fixed* bucket boundaries (powers of two
+for counts/bytes, decades for seconds) and order-insensitive state
+(count / total / min / max / bucket tallies), so the same pipeline
+yields byte-identical summaries on the serial, thread-pool, and
+process-pool engines regardless of completion order. Wall-clock
+distributions are flagged ``wall_clock=True`` and are segregated into
+the run report's single wall-clock key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.mapreduce.counters import COUNTER_DOCS
+from repro.obs.events import Event, JobEnd, PipelineEnd, Shuffle, TaskAttemptEnd
+
+#: Fixed power-of-two upper bounds for count/byte histograms.
+POW2_BOUNDS: Tuple[int, ...] = tuple(2 ** k for k in range(0, 41))
+
+#: Fixed decade upper bounds (seconds) for duration histograms.
+DECADE_BOUNDS: Tuple[float, ...] = tuple(
+    10.0 ** k for k in range(-6, 4)
+)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One documented metric name: what it is and who emits it."""
+
+    name: str
+    kind: str  # 'counter' | 'histogram' | 'gauge'
+    unit: str
+    description: str
+    #: Dotted-prefix scope: 'mr.' metrics apply to every algorithm,
+    #: 'skyline.' to the skyline computations, 'obs.' to the layer
+    #: itself. ``repro-skyline list --counters`` groups by this.
+    scope: str = "mr"
+    wall_clock: bool = False
+
+    def __post_init__(self):
+        if self.kind not in ("counter", "histogram", "gauge"):
+            raise ValidationError(f"unknown metric kind {self.kind!r}")
+
+
+class Histogram:
+    """A fixed-bucket histogram with deterministic summaries."""
+
+    __slots__ = ("name", "bounds", "_buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Tuple[float, ...] = POW2_BOUNDS):
+        if list(bounds) != sorted(bounds) or len(bounds) < 1:
+            raise ValidationError(
+                f"histogram bounds must be ascending, got {bounds!r}"
+            )
+        self.name = name
+        self.bounds = tuple(bounds)
+        self._buckets: Dict[float, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for bound in self.bounds:
+            if value <= bound:
+                self._buckets[bound] = self._buckets.get(bound, 0) + 1
+                return
+        self._buckets[float("inf")] = self._buckets.get(float("inf"), 0) + 1
+
+    def summary(self) -> Dict:
+        """Order-insensitive summary; buckets keyed by upper bound.
+
+        Only occupied buckets appear (keeps reports small); keys are
+        strings so the summary round-trips through JSON unchanged.
+        """
+        def num(x: float):
+            return int(x) if float(x).is_integer() and x != float("inf") else x
+
+        buckets = {
+            str(num(bound)): self._buckets[bound]
+            for bound in sorted(self._buckets)
+        }
+        return {
+            "count": self.count,
+            "total": num(self.total),
+            "min": num(self.min) if self.min is not None else None,
+            "max": num(self.max) if self.max is not None else None,
+            "buckets": buckets,
+        }
+
+
+#: The documented metric vocabulary. Counter entries are sourced from
+#: the canonical names in :mod:`repro.mapreduce.counters` — one source
+#: of truth, surfaced here with kind/unit metadata.
+METRICS: Dict[str, MetricSpec] = {}
+
+
+def register(spec: MetricSpec) -> MetricSpec:
+    if spec.name in METRICS:
+        raise ValidationError(f"metric {spec.name!r} already registered")
+    METRICS[spec.name] = spec
+    return spec
+
+
+_COUNTER_UNITS = {
+    "mr.shuffle_bytes": "bytes",
+}
+
+for _name, _doc in COUNTER_DOCS.items():
+    register(
+        MetricSpec(
+            name=_name,
+            kind="counter",
+            unit=_COUNTER_UNITS.get(_name, "count"),
+            description=_doc,
+            scope=_name.split(".", 1)[0],
+        )
+    )
+
+#: Histogram/gauge names (module constants so call sites can't typo).
+H_TUPLE_COMPARES_PER_TASK = register(
+    MetricSpec(
+        "obs.tuple_compares_per_task",
+        "histogram",
+        "comparisons",
+        "Distribution of tuple-dominance tests over tasks (the skew "
+        "behind Figure 11's per-task maxima).",
+        scope="obs",
+    )
+).name
+H_SHUFFLE_PARTITION_RECORDS = register(
+    MetricSpec(
+        "obs.shuffle_partition_records",
+        "histogram",
+        "records",
+        "Records per shuffle partition (reducer bucket) per job.",
+        scope="obs",
+    )
+).name
+H_SHUFFLE_PARTITION_BYTES = register(
+    MetricSpec(
+        "obs.shuffle_partition_bytes",
+        "histogram",
+        "bytes",
+        "Bytes per shuffle partition (reducer bucket) per job.",
+        scope="obs",
+    )
+).name
+H_ATTEMPT_DURATION = register(
+    MetricSpec(
+        "obs.attempt_duration_s",
+        "histogram",
+        "seconds",
+        "Measured wall-clock duration of every task attempt.",
+        scope="obs",
+        wall_clock=True,
+    )
+).name
+G_BROADCAST_BYTES = register(
+    MetricSpec(
+        "obs.broadcast_bytes",
+        "gauge",
+        "bytes",
+        "Distributed-cache payload of the largest job's broadcast.",
+        scope="obs",
+    )
+).name
+G_SKYLINE_SIZE = register(
+    MetricSpec(
+        "obs.skyline_size",
+        "gauge",
+        "tuples",
+        "Size of the computed skyline (set at pipeline end).",
+        scope="obs",
+    )
+).name
+
+
+def documented_metrics(scope: Optional[str] = None) -> List[MetricSpec]:
+    """All registered metric specs, sorted by name."""
+    specs = sorted(METRICS.values(), key=lambda s: s.name)
+    if scope is not None:
+        specs = [s for s in specs if s.scope == scope]
+    return specs
+
+
+class MetricsCollector:
+    """Bus subscriber populating the registry's histograms and gauges.
+
+    Histogram state is order-insensitive, so concurrent engines
+    produce byte-identical :meth:`summaries` for the same pipeline;
+    the single wall-clock histogram is reported separately so reports
+    can isolate nondeterminism in one key.
+    """
+
+    def __init__(self):
+        from repro.mapreduce.counters import TUPLE_COMPARES
+
+        self._tuple_compares = TUPLE_COMPARES
+        self.histograms: Dict[str, Histogram] = {
+            H_TUPLE_COMPARES_PER_TASK: Histogram(H_TUPLE_COMPARES_PER_TASK),
+            H_SHUFFLE_PARTITION_RECORDS: Histogram(
+                H_SHUFFLE_PARTITION_RECORDS
+            ),
+            H_SHUFFLE_PARTITION_BYTES: Histogram(H_SHUFFLE_PARTITION_BYTES),
+            H_ATTEMPT_DURATION: Histogram(
+                H_ATTEMPT_DURATION, bounds=DECADE_BOUNDS
+            ),
+        }
+        self.gauges: Dict[str, float] = {}
+
+    def set_gauge(self, name: str, value) -> None:
+        if name not in METRICS or METRICS[name].kind != "gauge":
+            raise ValidationError(f"{name!r} is not a registered gauge")
+        self.gauges[name] = value
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, TaskAttemptEnd):
+            self.histograms[H_ATTEMPT_DURATION].observe(event.duration_s)
+        elif isinstance(event, Shuffle):
+            records_hist = self.histograms[H_SHUFFLE_PARTITION_RECORDS]
+            for records in event.partition_records:
+                records_hist.observe(records)
+            bytes_hist = self.histograms[H_SHUFFLE_PARTITION_BYTES]
+            for size in event.partition_bytes:
+                bytes_hist.observe(size)
+        elif isinstance(event, JobEnd) and event.stats is not None:
+            compares = self.histograms[H_TUPLE_COMPARES_PER_TASK]
+            for task in list(event.stats.map_tasks) + list(
+                event.stats.reduce_tasks
+            ):
+                compares.observe(task.counters[self._tuple_compares])
+            self.gauges[G_BROADCAST_BYTES] = max(
+                self.gauges.get(G_BROADCAST_BYTES, 0),
+                event.stats.broadcast_bytes,
+            )
+        elif isinstance(event, PipelineEnd):
+            if event.skyline_size is not None:
+                self.gauges[G_SKYLINE_SIZE] = event.skyline_size
+
+    def summaries(self, wall_clock: bool) -> Dict[str, Dict]:
+        """Histogram summaries for one clock domain, sorted by name."""
+        return {
+            name: hist.summary()
+            for name, hist in sorted(self.histograms.items())
+            if METRICS[name].wall_clock == wall_clock and hist.count
+        }
+
+    def gauge_values(self) -> Dict[str, float]:
+        return dict(sorted(self.gauges.items()))

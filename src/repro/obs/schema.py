@@ -1,0 +1,209 @@
+"""The documented wire schemas: events, Chrome traces, run reports.
+
+Three validators, used by the test suite and the CI trace-smoke job:
+
+* :func:`validate_events` — a stream of bus events against the typed
+  vocabulary of :mod:`repro.obs.events` (field presence, outcome and
+  kind vocabularies, non-negative quantities);
+* :func:`validate_chrome_trace` — an exported trace JSON object (or
+  file) against the Chrome trace-event format subset we emit: ``"X"``
+  complete events with microsecond ``ts``/``dur`` and named
+  pid/tid lanes, plus ``"M"`` metadata records — the contract that
+  makes the file loadable in Perfetto / ``chrome://tracing``;
+* :func:`validate_report` — a run report against the structure
+  documented in ``docs/observability.md`` (schema version, required
+  top-level keys, wall-clock isolation).
+
+Each returns a list of human-readable problems (empty = valid); the
+module doubles as a command-line checker::
+
+    python -m repro.obs.schema trace.json --kind trace
+    python -m repro.obs.schema report.json --kind report
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.events import ATTEMPT_EVENT_OUTCOMES, EVENT_TYPES, Event
+
+#: Report keys whose contents are deterministic for a fixed
+#: (data, config, engine-semantics) triple; everything wall-clock
+#: lives under the single "wall" key.
+REPORT_REQUIRED_KEYS = (
+    "schema_version",
+    "algorithm",
+    "config",
+    "dataset",
+    "skyline",
+    "jobs",
+    "counters",
+    "histograms",
+    "simulated",
+    "wall",
+)
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def validate_events(events: Sequence[Event]) -> List[str]:
+    problems: List[str] = []
+    for position, event in enumerate(events):
+        kind = getattr(event, "kind", None)
+        if kind not in EVENT_TYPES:
+            problems.append(f"event {position}: unknown kind {kind!r}")
+            continue
+        if not isinstance(event, EVENT_TYPES[kind]):
+            problems.append(
+                f"event {position}: kind {kind!r} carried by "
+                f"{type(event).__name__}"
+            )
+        if kind == "task_attempt_end":
+            if event.outcome not in ATTEMPT_EVENT_OUTCOMES:
+                problems.append(
+                    f"event {position}: outcome {event.outcome!r} not in "
+                    f"{ATTEMPT_EVENT_OUTCOMES}"
+                )
+            if event.duration_s < 0:
+                problems.append(f"event {position}: negative duration")
+            if event.slowdown < 1.0:
+                problems.append(f"event {position}: slowdown < 1")
+        if kind == "shuffle":
+            if any(r < 0 for r in event.partition_records):
+                problems.append(f"event {position}: negative record count")
+            if sum(event.partition_bytes) != event.total_bytes:
+                problems.append(
+                    f"event {position}: partition bytes do not sum to total"
+                )
+        if kind in ("task_attempt_start", "task_attempt_end") and (
+            event.attempt < 0
+        ):
+            problems.append(f"event {position}: negative attempt index")
+    return problems
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Validate an exported trace object (dict) or JSON string/path."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"trace must be a JSON object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace has no traceEvents array"]
+    named_pids = set()
+    named_tids = set()
+    used_lanes = set()
+    for position, record in enumerate(events):
+        if not isinstance(record, dict):
+            problems.append(f"record {position}: not an object")
+            continue
+        ph = record.get("ph")
+        if ph not in ("X", "M", "i"):
+            problems.append(f"record {position}: unsupported ph {ph!r}")
+            continue
+        if "name" not in record or "pid" not in record or "tid" not in record:
+            problems.append(f"record {position}: missing name/pid/tid")
+            continue
+        if ph == "M":
+            if record["name"] == "process_name":
+                named_pids.add(record["pid"])
+            elif record["name"] == "thread_name":
+                named_tids.add((record["pid"], record["tid"]))
+            if "name" not in record.get("args", {}):
+                problems.append(
+                    f"record {position}: metadata without args.name"
+                )
+        if ph == "X":
+            used_lanes.add((record["pid"], record["tid"]))
+            ts, dur = record.get("ts"), record.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"record {position}: bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"record {position}: bad dur {dur!r}")
+    for pid, tid in sorted(used_lanes):
+        if pid not in named_pids:
+            problems.append(f"pid {pid} has events but no process_name")
+        if (pid, tid) not in named_tids:
+            problems.append(
+                f"lane (pid={pid}, tid={tid}) has events but no thread_name"
+            )
+    if not any(r.get("ph") == "X" for r in events if isinstance(r, dict)):
+        problems.append("trace contains no complete ('X') events")
+    return problems
+
+
+def validate_report(report: Any) -> List[str]:
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return [f"report must be a JSON object, got {type(report).__name__}"]
+    for key in REPORT_REQUIRED_KEYS:
+        if key not in report:
+            problems.append(f"report missing top-level key {key!r}")
+    if report.get("schema_version") != REPORT_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {report.get('schema_version')!r} != "
+            f"{REPORT_SCHEMA_VERSION}"
+        )
+    jobs = report.get("jobs")
+    if isinstance(jobs, list):
+        for job in jobs:
+            for key in ("name", "counters", "tasks", "schedule"):
+                if key not in job:
+                    problems.append(
+                        f"job {job.get('name', '?')!r} missing {key!r}"
+                    )
+    # Wall-clock isolation: nothing outside "wall" may carry wall keys.
+    def walk(node, path):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                if "wall" in str(key) and path:
+                    problems.append(
+                        f"wall-clock field {'.'.join(path + [str(key)])} "
+                        "outside the top-level 'wall' key"
+                    )
+                walk(value, path + [str(key)])
+        elif isinstance(node, list):
+            for item in node:
+                walk(item, path)
+
+    for key, value in report.items():
+        if key != "wall":
+            walk(value, [key])
+    return problems
+
+
+def _load(path: str) -> Any:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:  # pragma: no cover - exercised by CI
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="Validate an exported trace or run report."
+    )
+    parser.add_argument("path")
+    parser.add_argument(
+        "--kind", choices=["trace", "report"], default="trace"
+    )
+    args = parser.parse_args(argv)
+    payload = _load(args.path)
+    problems = (
+        validate_chrome_trace(payload)
+        if args.kind == "trace"
+        else validate_report(payload)
+    )
+    for problem in problems:
+        print(f"INVALID: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"{args.path}: valid {args.kind}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

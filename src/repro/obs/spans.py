@@ -1,0 +1,191 @@
+"""Spans and their exporters: Chrome trace-event JSON + ASCII rows.
+
+A :class:`Span` is one named interval on one named *track* (a simulated
+slot, a worker thread, a job lane). Spans come from two clocks:
+
+* **simulated cluster time** — reconstructed from the deterministic
+  schedule (:func:`repro.mapreduce.trace.schedule_spans`), one track
+  per simulated map/reduce slot plus a shuffle track;
+* **real wall time** — assembled live from bus events by
+  :class:`repro.obs.tracer.SpanTracer`, one track per emitting thread.
+
+Both clocks export into one Chrome trace-event JSON file (the
+"JSON Array Format" with ``"X"`` complete events and ``"M"`` metadata
+records) that loads directly in Perfetto or ``chrome://tracing`` —
+each clock appears as a separate process, each track as a thread. The
+ASCII Gantt (:func:`render_span_rows`, consumed by
+``repro.mapreduce.trace.render_gantt``) renders the *same* simulated
+spans, so the two views can never drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+#: Gantt cell per span outcome: failed attempts and killed stragglers
+#: render as ``x``, speculative backup copies as ``+``, shuffle as
+#: ``~``, everything else as ``#``.
+OUTCOME_CELLS = {"failed": "x", "killed": "x", "speculative": "+"}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on one track of one clock."""
+
+    name: str
+    track: str
+    start_s: float
+    end_s: float
+    category: str = "task"  # 'task' | 'shuffle' | 'job' | 'pipeline'
+    outcome: str = "success"
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.end_s < self.start_s:
+            raise ValidationError(
+                f"span {self.name!r} ends ({self.end_s}) before it "
+                f"starts ({self.start_s})"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def _cell_for(span: Span) -> str:
+    if span.category == "shuffle":
+        return "~"
+    return OUTCOME_CELLS.get(span.outcome, "#")
+
+
+def span_columns(
+    start_s: float, end_s: float, total_s: float, width: int
+) -> Tuple[int, int]:
+    """Half-open column range ``[first, last]`` of an interval.
+
+    The cell containing the exact end instant belongs to whatever
+    starts there: a task ending at time ``t`` and a task starting at
+    ``t`` never paint the same column (the old inclusive-end painting
+    overdrew it, merging adjacent bars on dense schedules).
+    """
+    first = min(width - 1, int(start_s / total_s * width))
+    # ceil(end * width / total) - 1 without float-noise from math.ceil
+    scaled = end_s / total_s * width
+    last = int(scaled) - 1 if scaled == int(scaled) else int(scaled)
+    return first, max(first, min(width - 1, last))
+
+
+def render_span_rows(
+    spans: Sequence[Span],
+    tracks: Sequence[str],
+    total_s: float,
+    width: int,
+    min_label: int = 14,
+) -> List[str]:
+    """One ASCII row per track, proportional to ``total_s``.
+
+    Zero-duration spans are skipped (an instantaneous shuffle renders
+    as an empty row rather than pretending to occupy a column).
+    """
+    if width < 8:
+        raise ValidationError(f"width must be >= 8, got {width}")
+    by_track: Dict[str, List[Span]] = {track: [] for track in tracks}
+    for span in spans:
+        if span.track in by_track:
+            by_track[span.track].append(span)
+    rows = []
+    for track in tracks:
+        row = [" "] * width
+        for span in by_track[track]:
+            if span.duration_s <= 0 or total_s <= 0:
+                continue
+            first, last = span_columns(
+                span.start_s, span.end_s, total_s, width
+            )
+            cell = _cell_for(span)
+            for i in range(first, last + 1):
+                row[i] = cell
+        rows.append(f"{track:>{min_label}s} |{''.join(row)}|")
+    return rows
+
+
+# -- Chrome trace-event export -------------------------------------------
+
+
+def chrome_trace_events(
+    clocks: Mapping[str, Sequence[Span]]
+) -> List[Dict[str, Any]]:
+    """Flatten clocks of spans into Chrome trace-event records.
+
+    ``clocks`` maps a clock name (e.g. ``"simulated"``, ``"wall"``) to
+    its spans. Each clock becomes one process (``pid``), each distinct
+    track one thread (``tid``); ``"M"`` metadata records name both so
+    Perfetto shows human-readable lanes. Timestamps are microseconds,
+    per the trace-event spec.
+    """
+    records: List[Dict[str, Any]] = []
+    for pid, (clock, spans) in enumerate(sorted(clocks.items()), start=1):
+        records.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{clock} time"},
+            }
+        )
+        tracks: List[str] = []
+        for span in spans:
+            if span.track not in tracks:
+                tracks.append(span.track)
+        tids = {track: tid for tid, track in enumerate(tracks, start=1)}
+        for track, tid in tids.items():
+            records.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        for span in spans:
+            args = dict(span.args)
+            args["outcome"] = span.outcome
+            records.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tids[span.track],
+                    "ts": round(span.start_s * 1e6, 3),
+                    "dur": round(span.duration_s * 1e6, 3),
+                    "args": args,
+                }
+            )
+    return records
+
+
+def chrome_trace(clocks: Mapping[str, Sequence[Span]]) -> Dict[str, Any]:
+    """The full Chrome trace JSON object for a set of clocks."""
+    return {
+        "traceEvents": chrome_trace_events(clocks),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(
+    path: str, clocks: Mapping[str, Sequence[Span]]
+) -> Dict[str, Any]:
+    """Write a Perfetto/chrome://tracing-loadable trace file."""
+    payload = chrome_trace(clocks)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload

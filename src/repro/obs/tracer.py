@@ -1,0 +1,194 @@
+"""The span tracer: a bus subscriber assembling wall-clock spans.
+
+Subscribes to the :class:`~repro.obs.events.EventBus` and turns the
+event stream into nested :class:`~repro.obs.spans.Span` intervals on
+the **real wall clock** (time zero = tracer construction):
+
+* one ``pipeline`` span per algorithm run,
+* one ``job`` span per MapReduce job (on the ``jobs`` track),
+* one ``task`` span per task *attempt*, tracked per emitting thread —
+  so the thread-pool engine's genuine concurrency is visible as
+  parallel lanes, while the serial engine shows one sequential lane.
+  Replayed events (process-pool workers can't stream live) synthesize
+  back-to-back spans on a per-job ``replay`` lane from the recorded
+  attempt durations.
+
+The simulated-clock counterpart lives in
+:func:`repro.mapreduce.trace.schedule_spans`; both clocks export into
+one Chrome trace file via
+:func:`repro.obs.spans.write_chrome_trace` (see ``repro-skyline
+compute --trace-out``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import (
+    Event,
+    FaultInjected,
+    JobEnd,
+    JobStart,
+    PipelineEnd,
+    PipelineStart,
+    Shuffle,
+    SpeculationLaunched,
+    TaskAttemptEnd,
+    TaskAttemptStart,
+)
+from repro.obs.spans import Span
+
+
+class SpanTracer:
+    """Assemble bus events into wall-clock spans (thread-safe)."""
+
+    def __init__(self):
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self.spans: List[Span] = []
+        self.events: List[Event] = []
+        self._open_tasks: Dict[
+            Tuple[str, str, int, bool], Tuple[float, str]
+        ] = {}
+        self._open_jobs: Dict[str, float] = {}
+        self._open_pipelines: Dict[str, float] = {}
+        self._replay_cursor: Dict[str, float] = {}
+        self._thread_names: Dict[int, str] = {}
+
+    # -- clock helpers ---------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _thread_track(self) -> str:
+        ident = threading.get_ident()
+        name = self._thread_names.get(ident)
+        if name is None:
+            name = f"thread-{len(self._thread_names)}"
+            self._thread_names[ident] = name
+        return name
+
+    # -- subscriber protocol ---------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        with self._lock:
+            self.events.append(event)
+            if isinstance(event, TaskAttemptStart):
+                self._task_start(event)
+            elif isinstance(event, TaskAttemptEnd):
+                self._task_end(event)
+            elif isinstance(event, JobStart):
+                self._open_jobs[event.job] = self._now()
+            elif isinstance(event, JobEnd):
+                self._close(
+                    self._open_jobs,
+                    event.job,
+                    name=event.job,
+                    track="jobs",
+                    category="job",
+                )
+            elif isinstance(event, PipelineStart):
+                self._open_pipelines[event.algorithm] = self._now()
+            elif isinstance(event, PipelineEnd):
+                self._close(
+                    self._open_pipelines,
+                    event.algorithm,
+                    name=event.algorithm,
+                    track="pipeline",
+                    category="pipeline",
+                    args={"jobs": event.jobs},
+                )
+            elif isinstance(event, (Shuffle, SpeculationLaunched, FaultInjected)):
+                now = self._now()
+                self.spans.append(
+                    Span(
+                        name=event.kind,
+                        track="markers",
+                        start_s=now,
+                        end_s=now,
+                        category="marker",
+                        args={"job": getattr(event, "job", None) or ""},
+                    )
+                )
+
+    def _close(self, table, key, *, name, track, category, args=None):
+        started = table.pop(key, None)
+        if started is None:
+            return
+        self.spans.append(
+            Span(
+                name=name,
+                track=track,
+                start_s=started,
+                end_s=self._now(),
+                category=category,
+                args=args or {},
+            )
+        )
+
+    def _task_start(self, event: TaskAttemptStart) -> None:
+        if event.replay:
+            return  # replayed ends carry the duration; starts are noise
+        # A speculative backup shares (task, attempt) with the straggler
+        # it races; the flag keeps their open spans distinct.
+        key = (event.job or "", event.task_id, event.attempt, event.speculative)
+        self._open_tasks[key] = (self._now(), self._thread_track())
+
+    def _task_end(self, event: TaskAttemptEnd) -> None:
+        args = {
+            "job": event.job or "",
+            "attempt": event.attempt,
+            "slowdown": event.slowdown,
+        }
+        if event.node is not None:
+            args["node"] = event.node
+        if event.replay:
+            # Synthetic back-to-back placement on a per-job replay lane.
+            track = f"replay/{event.job or 'job'}"
+            cursor = self._replay_cursor.get(track, 0.0)
+            self.spans.append(
+                Span(
+                    name=f"{event.task_id}@{event.attempt}",
+                    track=track,
+                    start_s=cursor,
+                    end_s=cursor + max(0.0, event.duration_s),
+                    outcome=event.outcome,
+                    args=args,
+                )
+            )
+            self._replay_cursor[track] = cursor + max(0.0, event.duration_s)
+            return
+        key = (
+            event.job or "",
+            event.task_id,
+            event.attempt,
+            event.speculative,
+        )
+        opened = self._open_tasks.pop(key, None)
+        now = self._now()
+        if opened is None:
+            opened = (max(0.0, now - event.duration_s), self._thread_track())
+        started, track = opened
+        self.spans.append(
+            Span(
+                name=f"{event.task_id}@{event.attempt}",
+                track=track,
+                start_s=started,
+                end_s=max(started, now),
+                outcome=event.outcome,
+                args=args,
+            )
+        )
+
+    # -- results ---------------------------------------------------------
+
+    def wall_spans(self) -> List[Span]:
+        """All closed spans, ordered by start time (stable)."""
+        with self._lock:
+            return sorted(self.spans, key=lambda s: (s.start_s, s.track))
+
+    def event_kinds(self) -> List[str]:
+        with self._lock:
+            return [e.kind for e in self.events]

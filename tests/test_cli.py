@@ -183,3 +183,126 @@ class TestExperimentPlot:
         assert code == 0
         out = capsys.readouterr().out
         assert "o=mr-gpmrs" in out
+
+
+class TestTelemetryExport:
+    def _compute(self, tmp_path, *extra):
+        tmp_path.mkdir(parents=True, exist_ok=True)
+        trace = str(tmp_path / "trace.json")
+        report = str(tmp_path / "report.json")
+        code = main(
+            [
+                "compute",
+                "--distribution",
+                "anticorrelated",
+                "-c",
+                "300",
+                "-d",
+                "3",
+                "--algorithm",
+                "mr-gpmrs",
+                "--nodes",
+                "3",
+                "--trace-out",
+                trace,
+                "--report-out",
+                report,
+                *extra,
+            ]
+        )
+        return code, trace, report
+
+    def test_artifacts_written_and_valid(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.schema import validate_chrome_trace, validate_report
+
+        code, trace, report = self._compute(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out and "report written" in out
+        with open(trace) as handle:
+            assert validate_chrome_trace(json.load(handle)) == []
+        with open(report) as handle:
+            assert validate_report(json.load(handle)) == []
+
+    def test_report_counters_match_a_direct_run(self, capsys, tmp_path):
+        import json
+
+        from repro import skyline
+        from repro.data.generators import generate
+        from repro.mapreduce.cluster import SimulatedCluster
+
+        code, _, report_path = self._compute(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        with open(report_path) as handle:
+            report = json.load(handle)
+        result = skyline(
+            generate("anticorrelated", 300, 3, seed=0),
+            algorithm="mr-gpmrs",
+            cluster=SimulatedCluster(num_nodes=3),
+        )
+        assert report["counters"] == result.stats.counters().as_dict()
+
+    def test_render_single_report(self, capsys, tmp_path):
+        code, _, report = self._compute(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", report]) == 0
+        out = capsys.readouterr().out
+        assert "mr-gpmrs" in out and "counters:" in out
+
+    def test_diff_identical_runs_exits_zero(self, capsys, tmp_path):
+        code, _, first = self._compute(tmp_path / "a")
+        assert code == 0
+        code, _, second = self._compute(tmp_path / "b")
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", first, second]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_different_runs_exits_one(self, capsys, tmp_path):
+        code, _, first = self._compute(tmp_path / "a")
+        assert code == 0
+        code, _, second = self._compute(tmp_path / "b", "--seed", "1")
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", first, second]) == 1
+        out = capsys.readouterr().out
+        assert "difference" in out
+
+    def test_diff_rejects_more_than_two(self, capsys, tmp_path):
+        code, _, report = self._compute(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", report, report, report]) == 2
+
+    def test_parallel_engine_report_diffs_clean(self, capsys, tmp_path):
+        """The acceptance property end to end: a threads-engine run
+        diffs clean against serial except the declared engine name."""
+        code, _, serial = self._compute(tmp_path / "serial")
+        assert code == 0
+        code, _, threads = self._compute(
+            tmp_path / "threads", "--engine", "threads", "--workers", "4"
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", serial, threads]) == 1
+        out = capsys.readouterr().out
+        assert "1 difference(s):" in out
+        assert "config.engine" in out
+
+
+class TestListCounters:
+    def test_counters_flag_prints_vocabulary(self, capsys):
+        assert main(["list", "--counters"]) == 0
+        out = capsys.readouterr().out
+        assert "mr metrics:" in out and "obs metrics:" in out
+        assert "mr.shuffle_bytes" in out
+        assert "obs.tuple_compares_per_task" in out
+        assert "[bytes]" in out and "histogram" in out
+
+    def test_plain_list_omits_vocabulary(self, capsys):
+        assert main(["list"]) == 0
+        assert "metrics:" not in capsys.readouterr().out

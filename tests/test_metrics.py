@@ -128,6 +128,6 @@ class TestPipelineStats:
         summary = pipeline.summary()
         assert summary["jobs"] == 2
         assert summary["wall_s"] == 1.5
-        assert summary["simulated_s"] == -1.0  # not annotated
+        assert "simulated_s" not in summary  # not annotated -> omitted
         pipeline.simulated_s = 9.0
         assert pipeline.summary()["simulated_s"] == 9.0

@@ -1,0 +1,316 @@
+"""The event bus and the engines' event streams.
+
+Pins the observability contract documented in docs/observability.md:
+the bus vanishes when detached, all three engines emit the same event
+vocabulary for the same pipeline (live on serial/threads, replayed on
+processes), the fault layer narrates injections and speculation, and
+every emitted stream validates against the typed schema.
+"""
+
+import pytest
+
+from repro import skyline
+from repro.data.generators import generate
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.faults import FaultPlan, RetryPolicy
+from repro.mapreduce.metrics import ATTEMPT_OUTCOMES
+from repro.mapreduce.parallel import ProcessPoolEngine, ThreadPoolEngine
+from repro.obs.events import (
+    ATTEMPT_EVENT_OUTCOMES,
+    EVENT_TYPES,
+    EventBus,
+    EventLog,
+    JobStart,
+    TaskAttemptEnd,
+)
+from repro.obs.schema import validate_events
+
+CLUSTER = SimulatedCluster(num_nodes=3)
+
+
+def _run(engine, n=250, d=3, algorithm="mr-gpmrs"):
+    data = generate("anticorrelated", n, d, seed=7)
+    return skyline(data, algorithm=algorithm, cluster=CLUSTER, engine=engine)
+
+
+def _observed_run(make_engine, **kw):
+    bus = EventBus()
+    log = bus.subscribe(EventLog())
+    result = _run(make_engine(bus), **kw)
+    return result, log
+
+
+class TestEventBus:
+    def test_inactive_without_subscribers(self):
+        bus = EventBus()
+        assert not bus.active
+        bus.emit(JobStart(job="j", num_mappers=1, num_reducers=1))  # no-op
+
+    def test_subscribe_object_and_callable(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())  # on_event protocol
+        seen = []
+        bus.subscribe(seen.append)  # bare callable
+        assert bus.active
+        event = JobStart(job="j", num_mappers=2, num_reducers=1)
+        bus.emit(event)
+        assert log.events == [event]
+        assert seen == [event]
+
+    def test_unsubscribe_deactivates(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        bus.unsubscribe(log)
+        assert not bus.active
+        bus.emit(JobStart(job="j", num_mappers=1, num_reducers=1))
+        assert log.events == []
+
+    def test_rejects_non_subscriber(self):
+        with pytest.raises(TypeError):
+            EventBus().subscribe(object())
+
+    def test_outcome_vocabulary_pinned_to_attempt_records(self):
+        # One vocabulary: events must never drift from AttemptRecord.
+        assert ATTEMPT_EVENT_OUTCOMES == ATTEMPT_OUTCOMES
+
+    def test_every_kind_is_its_own_wire_name(self):
+        for kind, cls in EVENT_TYPES.items():
+            assert cls.kind == kind
+
+
+class TestSerialEventStream:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return _observed_run(lambda bus: SerialEngine(bus=bus))
+
+    def test_stream_validates(self, run):
+        _, log = run
+        assert validate_events(log.events) == []
+
+    def test_pipeline_brackets_everything(self, run):
+        result, log = run
+        kinds = log.kinds()
+        assert kinds[0] == "pipeline_start"
+        assert kinds[-1] == "pipeline_end"
+        (end,) = log.of_kind("pipeline_end")
+        assert end.algorithm == "mr-gpmrs"
+        assert end.jobs == len(result.stats.jobs)
+        assert end.skyline_size == len(result)
+
+    def test_job_lifecycle_order(self, run):
+        result, log = run
+        starts = log.of_kind("job_start")
+        ends = log.of_kind("job_end")
+        assert [e.job for e in starts] == [
+            j.job_name for j in result.stats.jobs
+        ]
+        assert [e.job for e in ends] == [e.job for e in starts]
+        # per job: start, broadcast, tasks, shuffle, tasks, end
+        kinds = log.kinds()
+        for name in (e.job for e in starts):
+            sequence = [
+                e.kind
+                for e in log.events
+                if getattr(e, "job", None) == name
+                and e.kind in ("job_start", "broadcast", "shuffle", "job_end")
+            ]
+            assert sequence == ["job_start", "broadcast", "shuffle", "job_end"]
+        assert kinds.index("job_start") < kinds.index("task_attempt_start")
+
+    def test_one_attempt_pair_per_task(self, run):
+        result, log = run
+        tasks = sum(
+            j.num_map_tasks + j.num_reduce_tasks for j in result.stats.jobs
+        )
+        assert len(log.of_kind("task_attempt_start")) == tasks
+        ends = log.of_kind("task_attempt_end")
+        assert len(ends) == tasks
+        assert all(e.outcome == "success" and not e.replay for e in ends)
+
+    def test_shuffle_matches_counter(self, run):
+        result, log = run
+        by_job = {j.job_name: j for j in result.stats.jobs}
+        for event in log.of_kind("shuffle"):
+            stats = by_job[event.job]
+            assert sum(event.partition_records) == sum(
+                t.records_out for t in stats.map_tasks
+            )
+            assert event.total_bytes == stats.shuffle_bytes
+            assert len(event.partition_records) == stats.num_reduce_tasks
+
+    def test_broadcast_matches_counter(self, run):
+        result, log = run
+        by_job = {j.job_name: j for j in result.stats.jobs}
+        for event in log.of_kind("broadcast"):
+            assert event.payload_bytes == by_job[event.job].broadcast_bytes
+
+
+class TestParallelEventStreams:
+    """Threads emit live, processes replay — same vocabulary either way."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return _observed_run(lambda bus: SerialEngine(bus=bus))
+
+    def _task_fingerprint(self, log):
+        return sorted(
+            (e.job, e.task_id, e.attempt, e.outcome)
+            for e in log.of_kind("task_attempt_end")
+        )
+
+    def _frame_kinds(self, log):
+        """Non-task events in order (task placement is engine timing)."""
+        return [
+            e.kind
+            for e in log.events
+            if not e.kind.startswith("task_attempt")
+        ]
+
+    def test_thread_engine_emits_live(self, serial):
+        result, log = _observed_run(
+            lambda bus: ThreadPoolEngine(max_workers=4, bus=bus)
+        )
+        assert validate_events(log.events) == []
+        assert all(
+            not e.replay
+            for e in log.events
+            if e.kind.startswith("task_attempt")
+        )
+        assert self._task_fingerprint(log) == self._task_fingerprint(
+            serial[1]
+        )
+        assert self._frame_kinds(log) == self._frame_kinds(serial[1])
+        assert result.indices.tolist() == serial[0].indices.tolist()
+
+    def test_process_engine_replays(self, serial):
+        result, log = _observed_run(
+            lambda bus: ProcessPoolEngine(max_workers=2, bus=bus)
+        )
+        assert validate_events(log.events) == []
+        task_events = [
+            e for e in log.events if e.kind.startswith("task_attempt")
+        ]
+        assert task_events and all(e.replay for e in task_events)
+        assert self._task_fingerprint(log) == self._task_fingerprint(
+            serial[1]
+        )
+        assert self._frame_kinds(log) == self._frame_kinds(serial[1])
+        assert result.indices.tolist() == serial[0].indices.tolist()
+
+
+class TestFaultEvents:
+    #: Every task fails its first attempt; surviving attempts straggle
+    #: at 25% and get speculative backups.
+    PLAN = FaultPlan(
+        seed=13,
+        fail_rate=1.0,
+        max_failures_per_task=1,
+        slow_rate=0.25,
+        num_nodes=5,
+    )
+
+    def _engine(self, bus):
+        return SerialEngine(
+            retry=RetryPolicy(max_attempts=self.PLAN.min_attempts()),
+            faults=self.PLAN,
+            speculative=True,
+            bus=bus,
+        )
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return _observed_run(self._engine)
+
+    def test_stream_validates(self, run):
+        _, log = run
+        assert validate_events(log.events) == []
+
+    def test_every_task_reports_its_injected_failure(self, run):
+        result, log = run
+        tasks = sum(
+            j.num_map_tasks + j.num_reduce_tasks for j in result.stats.jobs
+        )
+        faults = log.of_kind("fault_injected")
+        assert len(faults) == tasks  # fail_rate 1.0, one budgeted failure
+        failed = [
+            e for e in log.of_kind("task_attempt_end") if e.outcome == "failed"
+        ]
+        assert len(failed) == tasks
+        assert all(e.error for e in failed)
+
+    def test_speculation_narrated(self, run):
+        result, log = run
+        launches = log.of_kind("speculation_launched")
+        assert launches  # slow_rate 0.25 over dozens of tasks
+        # Each race ends in either killed+speculative (backup won) or a
+        # straggler success plus a failed backup; backup ends carry the
+        # speculative flag regardless of outcome.
+        backup_ends = [
+            e for e in log.of_kind("task_attempt_end") if e.speculative
+        ]
+        assert len(backup_ends) == len(launches)
+        recorded = {
+            o
+            for j in result.stats.jobs
+            for t in list(j.map_tasks) + list(j.reduce_tasks)
+            for o in (a.outcome for a in t.attempts)
+        }
+        emitted = {e.outcome for e in log.of_kind("task_attempt_end")}
+        assert emitted == recorded
+
+    def test_observation_does_not_perturb(self, run):
+        observed, _ = run
+        bare = _run(self._engine(bus=None))
+        assert observed.indices.tolist() == bare.indices.tolist()
+        assert (
+            observed.stats.counters().as_dict()
+            == bare.stats.counters().as_dict()
+        )
+
+
+class TestReplayedFaultEvents:
+    def test_process_pool_replays_faults_and_speculation(self):
+        plan = TestFaultEvents.PLAN
+        _, log = _observed_run(
+            lambda bus: ProcessPoolEngine(
+                max_workers=2,
+                retry=RetryPolicy(max_attempts=plan.min_attempts()),
+                faults=plan,
+                speculative=True,
+                bus=bus,
+            )
+        )
+        assert validate_events(log.events) == []
+        assert log.of_kind("fault_injected")
+        assert all(e.replay for e in log.of_kind("fault_injected"))
+        ends = log.of_kind("task_attempt_end")
+        assert {e.outcome for e in ends} >= {"success", "failed"}
+
+
+class TestEventPayloads:
+    def test_as_dict_round_trip(self):
+        event = TaskAttemptEnd(
+            job="j", task_id="map-0000", attempt=0, outcome="success"
+        )
+        payload = event.as_dict()
+        assert payload["kind"] == "task_attempt_end"
+        assert payload["task_id"] == "map-0000"
+        rebuilt = EVENT_TYPES[payload.pop("kind")](**payload)
+        assert rebuilt == event
+
+    def test_events_are_frozen(self):
+        event = JobStart(job="j", num_mappers=1, num_reducers=1)
+        with pytest.raises(Exception):
+            event.job = "other"
+
+    def test_validate_events_flags_garbage(self):
+        bad = TaskAttemptEnd(
+            job="j",
+            task_id="t",
+            attempt=0,
+            outcome="success",
+            duration_s=-1.0,
+        )
+        assert validate_events([bad])
+        assert validate_events([object()])

@@ -1,0 +1,339 @@
+"""Spans, the wall-clock tracer, the Chrome-trace export, and metrics."""
+
+import json
+
+import pytest
+
+from repro import skyline
+from repro.data.generators import generate
+from repro.errors import ValidationError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.parallel import ProcessPoolEngine, ThreadPoolEngine
+from repro.mapreduce.trace import schedule_spans
+from repro.obs.events import (
+    EventBus,
+    JobEnd,
+    JobStart,
+    PipelineEnd,
+    PipelineStart,
+    TaskAttemptEnd,
+    TaskAttemptStart,
+)
+from repro.obs.metrics import (
+    DECADE_BOUNDS,
+    G_SKYLINE_SIZE,
+    H_ATTEMPT_DURATION,
+    H_SHUFFLE_PARTITION_RECORDS,
+    H_TUPLE_COMPARES_PER_TASK,
+    METRICS,
+    Histogram,
+    MetricsCollector,
+    MetricSpec,
+    documented_metrics,
+)
+from repro.obs.schema import validate_chrome_trace
+from repro.obs.spans import (
+    Span,
+    chrome_trace,
+    span_columns,
+    render_span_rows,
+    write_chrome_trace,
+)
+from repro.obs.tracer import SpanTracer
+
+CLUSTER = SimulatedCluster(num_nodes=3)
+
+
+def _observed_run(engine_cls, **engine_kw):
+    bus = EventBus()
+    tracer = bus.subscribe(SpanTracer())
+    collector = bus.subscribe(MetricsCollector())
+    data = generate("anticorrelated", 250, 3, seed=7)
+    result = skyline(
+        data,
+        algorithm="mr-gpmrs",
+        cluster=CLUSTER,
+        engine=engine_cls(bus=bus, **engine_kw),
+    )
+    return result, tracer, collector
+
+
+class TestSpanColumns:
+    def test_half_open_boundary(self):
+        # A task ending at t and one starting at t never share a column.
+        assert span_columns(0.0, 1.0, 2.0, 8) == (0, 3)
+        assert span_columns(1.0, 2.0, 2.0, 8) == (4, 7)
+
+    def test_tiny_span_still_occupies_its_cell(self):
+        first, last = span_columns(0.999, 1.0, 8.0, 8)
+        assert first == last == 0
+
+    def test_span_validates_ordering(self):
+        with pytest.raises(ValidationError):
+            Span(name="bad", track="t", start_s=2.0, end_s=1.0)
+
+
+class TestRenderSpanRows:
+    def test_adjacent_spans_do_not_overdraw(self):
+        spans = [
+            Span(name="a", track="slot", start_s=0.0, end_s=1.0),
+            Span(
+                name="b",
+                track="slot",
+                start_s=1.0,
+                end_s=2.0,
+                outcome="failed",
+            ),
+        ]
+        (row,) = render_span_rows(spans, ["slot"], total_s=2.0, width=8)
+        assert row.endswith("|####xxxx|")
+
+    def test_zero_duration_span_skipped(self):
+        spans = [Span(name="instant", track="t", start_s=1.0, end_s=1.0)]
+        (row,) = render_span_rows(spans, ["t"], total_s=2.0, width=8)
+        assert row.endswith("|        |")
+
+    def test_width_validated(self):
+        with pytest.raises(ValidationError):
+            render_span_rows([], [], total_s=1.0, width=4)
+
+
+class TestChromeTrace:
+    def _spans(self):
+        return {
+            "simulated": [
+                Span(name="map-0000", track="map-slot-0", start_s=0.0, end_s=1.5),
+                Span(
+                    name="shuffle",
+                    track="shuffle",
+                    start_s=1.5,
+                    end_s=2.0,
+                    category="shuffle",
+                ),
+            ],
+            "wall": [
+                Span(name="map-0000@0", track="thread-0", start_s=0.0, end_s=0.01)
+            ],
+        }
+
+    def test_valid_and_loadable(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        payload = write_chrome_trace(path, self._spans())
+        assert validate_chrome_trace(payload) == []
+        with open(path) as handle:
+            assert json.load(handle) == payload
+
+    def test_two_clocks_two_processes(self):
+        records = chrome_trace(self._spans())["traceEvents"]
+        pids = {r["pid"] for r in records if r["ph"] == "X"}
+        assert len(pids) == 2
+        names = {
+            r["args"]["name"]
+            for r in records
+            if r["ph"] == "M" and r["name"] == "process_name"
+        }
+        assert names == {"simulated time", "wall time"}
+
+    def test_microsecond_timestamps(self):
+        records = chrome_trace(self._spans())["traceEvents"]
+        span_record = next(
+            r for r in records if r["ph"] == "X" and r["name"] == "map-0000"
+        )
+        assert span_record["ts"] == 0.0
+        assert span_record["dur"] == pytest.approx(1.5e6)
+
+    def test_validator_flags_unnamed_lanes(self):
+        payload = {
+            "traceEvents": [
+                {"name": "t", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 1}
+            ]
+        }
+        problems = validate_chrome_trace(payload)
+        assert any("process_name" in p for p in problems)
+
+    def test_end_to_end_both_clocks(self, tmp_path):
+        result, tracer, _ = _observed_run(SerialEngine)
+        payload = write_chrome_trace(
+            str(tmp_path / "trace.json"),
+            {
+                "simulated": schedule_spans(CLUSTER, result.stats.jobs),
+                "wall": tracer.wall_spans(),
+            },
+        )
+        assert validate_chrome_trace(payload) == []
+
+
+class TestScheduleSpans:
+    def test_jobs_laid_out_back_to_back(self):
+        result, _, _ = _observed_run(SerialEngine)
+        spans = schedule_spans(CLUSTER, result.stats.jobs)
+        by_job = {}
+        for span in spans:
+            job = span.args["job"]
+            lo, hi = by_job.get(job, (span.start_s, span.end_s))
+            by_job[job] = (min(lo, span.start_s), max(hi, span.end_s))
+        windows = [by_job[j.job_name] for j in result.stats.jobs]
+        assert windows[0][0] == 0.0
+        for (_, prev_end), (start, _) in zip(windows, windows[1:]):
+            assert start == pytest.approx(prev_end)
+
+
+class TestSpanTracer:
+    def test_real_run_spans(self):
+        result, tracer, _ = _observed_run(SerialEngine)
+        spans = tracer.wall_spans()
+        by_category = {}
+        for span in spans:
+            by_category.setdefault(span.category, []).append(span)
+        assert len(by_category["pipeline"]) == 1
+        assert len(by_category["job"]) == len(result.stats.jobs)
+        tasks = sum(
+            j.num_map_tasks + j.num_reduce_tasks for j in result.stats.jobs
+        )
+        assert len(by_category["task"]) == tasks
+        # shuffle markers: one per job
+        markers = [s for s in by_category["marker"] if s.name == "shuffle"]
+        assert len(markers) == len(result.stats.jobs)
+
+    def test_thread_engine_uses_thread_tracks(self):
+        _, tracer, _ = _observed_run(ThreadPoolEngine, max_workers=4)
+        task_tracks = {
+            s.track for s in tracer.wall_spans() if s.category == "task"
+        }
+        assert task_tracks and all(t.startswith("thread-") for t in task_tracks)
+
+    def test_process_engine_uses_replay_lanes(self):
+        result, tracer, _ = _observed_run(ProcessPoolEngine, max_workers=2)
+        task_spans = [
+            s for s in tracer.wall_spans() if s.category == "task"
+        ]
+        assert task_spans
+        assert all(s.track.startswith("replay/") for s in task_spans)
+        # back-to-back within each lane
+        by_track = {}
+        for span in task_spans:
+            by_track.setdefault(span.track, []).append(span)
+        for spans in by_track.values():
+            for prev, nxt in zip(spans, spans[1:]):
+                assert nxt.start_s == pytest.approx(prev.end_s)
+
+    def test_speculative_racers_get_distinct_spans(self):
+        tracer = SpanTracer()
+        bus = EventBus()
+        bus.subscribe(tracer)
+        bus.emit(PipelineStart(algorithm="demo"))
+        bus.emit(JobStart(job="j", num_mappers=1, num_reducers=0))
+        common = dict(job="j", task_id="map-0000", attempt=0)
+        bus.emit(TaskAttemptStart(node=0, **common))
+        bus.emit(TaskAttemptStart(node=1, speculative=True, **common))
+        # the backup crashes; the straggler still finishes
+        bus.emit(
+            TaskAttemptEnd(
+                outcome="failed", error="boom", speculative=True, **common
+            )
+        )
+        bus.emit(TaskAttemptEnd(outcome="success", slowdown=4.0, **common))
+        bus.emit(JobEnd(job="j"))
+        bus.emit(PipelineEnd(algorithm="demo", jobs=1, wall_s=0.0))
+        tasks = [s for s in tracer.wall_spans() if s.category == "task"]
+        assert sorted(s.outcome for s in tasks) == ["failed", "success"]
+
+
+class TestHistogram:
+    def test_order_insensitive_summary(self):
+        values = [1, 100, 3, 7, 2048, 5, 5, 0]
+        a, b = Histogram("a"), Histogram("b")
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        assert a.summary() == b.summary()
+
+    def test_summary_json_stable(self):
+        hist = Histogram("h")
+        for v in (1, 3, 900):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary == json.loads(json.dumps(summary))
+        assert summary["count"] == 3
+        assert summary["min"] == 1 and summary["max"] == 900
+        assert sum(summary["buckets"].values()) == 3
+
+    def test_fixed_bounds(self):
+        hist = Histogram("h")
+        hist.observe(3)  # -> bucket 4
+        hist.observe(4)  # inclusive upper bound -> bucket 4
+        hist.observe(5)  # -> bucket 8
+        assert hist.summary()["buckets"] == {"4": 2, "8": 1}
+
+    def test_overflow_bucket(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        hist.observe(99)
+        assert hist.summary()["buckets"] == {"inf": 1}
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValidationError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+
+class TestMetricsRegistry:
+    def test_counters_sourced_from_counter_docs(self):
+        from repro.mapreduce.counters import COUNTER_DOCS
+
+        counter_specs = {
+            s.name for s in documented_metrics() if s.kind == "counter"
+        }
+        assert counter_specs == set(COUNTER_DOCS)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.obs.metrics import register
+
+        existing = next(iter(METRICS))
+        with pytest.raises(ValidationError):
+            register(METRICS[existing])
+
+    def test_kind_validated(self):
+        with pytest.raises(ValidationError):
+            MetricSpec(name="x", kind="timer", unit="s", description="")
+
+    def test_wall_clock_metrics_flagged(self):
+        assert METRICS[H_ATTEMPT_DURATION].wall_clock
+        assert not METRICS[H_TUPLE_COMPARES_PER_TASK].wall_clock
+
+
+class TestMetricsCollector:
+    def test_populates_from_real_run(self):
+        result, _, collector = _observed_run(SerialEngine)
+        summaries = collector.summaries(wall_clock=False)
+        tasks = sum(
+            j.num_map_tasks + j.num_reduce_tasks for j in result.stats.jobs
+        )
+        assert summaries[H_TUPLE_COMPARES_PER_TASK]["count"] == tasks
+        reducers = sum(j.num_reduce_tasks for j in result.stats.jobs)
+        assert summaries[H_SHUFFLE_PARTITION_RECORDS]["count"] == reducers
+        assert collector.gauge_values()[G_SKYLINE_SIZE] == len(result)
+
+    def test_wall_clock_segregated(self):
+        _, _, collector = _observed_run(SerialEngine)
+        wall = collector.summaries(wall_clock=True)
+        assert set(wall) == {H_ATTEMPT_DURATION}
+        assert H_ATTEMPT_DURATION not in collector.summaries(wall_clock=False)
+
+    def test_summaries_identical_across_engines(self):
+        _, _, serial = _observed_run(SerialEngine)
+        _, _, threads = _observed_run(ThreadPoolEngine, max_workers=4)
+        _, _, processes = _observed_run(ProcessPoolEngine, max_workers=2)
+        expected = serial.summaries(wall_clock=False)
+        assert threads.summaries(wall_clock=False) == expected
+        assert processes.summaries(wall_clock=False) == expected
+        assert threads.gauge_values() == serial.gauge_values()
+        assert processes.gauge_values() == serial.gauge_values()
+
+    def test_gauge_names_validated(self):
+        with pytest.raises(ValidationError):
+            MetricsCollector().set_gauge("obs.not_a_gauge", 1)
+
+    def test_duration_histogram_uses_decades(self):
+        collector = MetricsCollector()
+        assert collector.histograms[H_ATTEMPT_DURATION].bounds == DECADE_BOUNDS

@@ -1,0 +1,222 @@
+"""Run reports: structure, determinism, rendering, diffing.
+
+The load-bearing property: identical (data, seed, configuration) runs
+produce byte-identical reports outside the single top-level ``wall``
+key on every engine — the serial run twice, and each parallel engine
+against serial (whose reports differ only in the declared engine name).
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro import skyline
+from repro.data.generators import generate
+from repro.errors import ValidationError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.parallel import ProcessPoolEngine, ThreadPoolEngine
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsCollector
+from repro.obs.report import (
+    build_report,
+    canonical_json,
+    dataset_fingerprint,
+    diff_reports,
+    load_report,
+    render_report,
+    skyline_checksum,
+    write_report,
+)
+from repro.obs.schema import (
+    REPORT_REQUIRED_KEYS,
+    validate_report,
+)
+
+CLUSTER = SimulatedCluster(num_nodes=3)
+CONFIG = {"source": "anticorrelated", "seed": 7, "prefs": None}
+
+
+def _report(engine_cls, **engine_kw):
+    bus = EventBus()
+    collector = bus.subscribe(MetricsCollector())
+    data = generate("anticorrelated", 250, 3, seed=7)
+    engine = engine_cls(bus=bus, **engine_kw)
+    result = skyline(
+        data, algorithm="mr-gpmrs", cluster=CLUSTER, engine=engine
+    )
+    report = build_report(
+        result,
+        data,
+        CLUSTER,
+        engine=engine,
+        collector=collector,
+        config=dict(CONFIG),
+    )
+    return report, result
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def built(self):
+        return _report(SerialEngine)
+
+    def test_validates_against_schema(self, built):
+        report, _ = built
+        assert validate_report(report) == []
+
+    def test_required_keys_present(self, built):
+        report, _ = built
+        assert set(REPORT_REQUIRED_KEYS) <= set(report)
+
+    def test_counters_match_pipeline_stats(self, built):
+        report, result = built
+        assert report["counters"] == result.stats.counters().as_dict()
+
+    def test_dataset_and_skyline_fingerprints(self, built):
+        report, result = built
+        data = generate("anticorrelated", 250, 3, seed=7)
+        assert report["dataset"] == dataset_fingerprint(data)
+        assert report["dataset"]["cardinality"] == 250
+        assert report["skyline"] == skyline_checksum(result)
+        assert report["skyline"]["size"] == len(result)
+
+    def test_config_declares_engine_and_caller_context(self, built):
+        report, _ = built
+        assert report["config"]["engine"] == "SerialEngine"
+        assert report["config"]["cluster"] == CLUSTER.describe()
+        assert report["config"]["seed"] == 7
+
+    def test_jobs_carry_tasks_and_schedules(self, built):
+        report, result = built
+        assert [j["name"] for j in report["jobs"]] == [
+            j.job_name for j in result.stats.jobs
+        ]
+        for job, stats in zip(report["jobs"], result.stats.jobs):
+            assert len(job["tasks"]) == (
+                stats.num_map_tasks + stats.num_reduce_tasks
+            )
+            assert job["shuffle_bytes"] == stats.shuffle_bytes
+            assert job["schedule"]["makespan_s"] == pytest.approx(
+                CLUSTER.job_makespan(stats)
+            )
+            for task in job["tasks"]:
+                assert task["attempts"]
+                # durations are wall-clock: banned from the entry
+                assert "duration_s" not in task["attempts"][0]
+
+    def test_simulated_matches_stats(self, built):
+        report, result = built
+        assert report["simulated"]["makespan_s"] == pytest.approx(
+            result.stats.simulated_s
+        )
+
+    def test_wall_isolation_enforced_by_validator(self, built):
+        report, _ = built
+        leaky = copy.deepcopy(report)
+        leaky["config"]["wall_s"] = 1.0
+        assert any("wall" in p for p in validate_report(leaky))
+
+    def test_json_serializable(self, built):
+        report, _ = built
+        assert json.loads(json.dumps(report)) == report
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return _report(SerialEngine)[0]
+
+    def test_serial_twice_byte_identical(self, serial):
+        again = _report(SerialEngine)[0]
+        assert canonical_json(serial) == canonical_json(again)
+        assert diff_reports(serial, again) == []
+
+    @pytest.mark.parametrize(
+        "engine_cls,engine_kw",
+        [
+            (ThreadPoolEngine, {"max_workers": 4}),
+            (ProcessPoolEngine, {"max_workers": 2}),
+        ],
+        ids=["threads", "processes"],
+    )
+    def test_parallel_engines_differ_only_in_declared_name(
+        self, serial, engine_cls, engine_kw
+    ):
+        report = _report(engine_cls, **engine_kw)[0]
+        assert validate_report(report) == []
+        # The engine's class name is declared configuration, so it is
+        # the one legitimate difference; everything else — counters,
+        # histograms, schedules, checksums — must match byte for byte.
+        assert diff_reports(serial, report) == [
+            "config.engine: 'SerialEngine' != "
+            f"'{engine_cls.__name__}'"
+        ]
+        trimmed = json.loads(canonical_json(report))
+        expected = json.loads(canonical_json(serial))
+        trimmed["config"].pop("engine")
+        expected["config"].pop("engine")
+        assert json.dumps(trimmed, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+
+    def test_canonical_json_excludes_wall(self, serial):
+        assert '"wall"' not in canonical_json(serial)
+        assert "wall_s" not in canonical_json(serial)
+
+    def test_different_seed_changes_report(self, serial):
+        data = generate("anticorrelated", 250, 3, seed=8)
+        engine = SerialEngine()
+        result = skyline(
+            data, algorithm="mr-gpmrs", cluster=CLUSTER, engine=engine
+        )
+        other = build_report(result, data, CLUSTER, engine=engine)
+        assert diff_reports(serial, other)
+
+
+class TestRoundTripAndRendering:
+    def test_write_load_round_trip(self, tmp_path):
+        report, _ = _report(SerialEngine)
+        path = str(tmp_path / "report.json")
+        write_report(path, report)
+        assert load_report(path) == report
+
+    def test_load_rejects_non_reports(self, tmp_path):
+        path = str(tmp_path / "junk.json")
+        with open(path, "w") as handle:
+            json.dump({"not": "a report"}, handle)
+        with pytest.raises(ValidationError):
+            load_report(path)
+
+    def test_render_mentions_the_essentials(self):
+        report, result = _report(SerialEngine)
+        text = render_report(report)
+        assert "mr-gpmrs" in text
+        assert f"{len(result)} tuples" in text
+        assert "mr.records_in" in text
+        assert "obs.tuple_compares_per_task" in text
+
+
+class TestDiff:
+    def test_reports_a_doctored_counter(self):
+        report, _ = _report(SerialEngine)
+        doctored = copy.deepcopy(report)
+        doctored["counters"]["mr.records_in"] += 1
+        (difference,) = diff_reports(report, doctored)
+        assert difference.startswith("counters.mr.records_in:")
+
+    def test_ignores_wall_by_default(self):
+        report, _ = _report(SerialEngine)
+        doctored = copy.deepcopy(report)
+        doctored["wall"]["wall_s"] = 999.0
+        assert diff_reports(report, doctored) == []
+
+    def test_reports_missing_keys_and_length_mismatches(self):
+        report, _ = _report(SerialEngine)
+        doctored = copy.deepcopy(report)
+        del doctored["skyline"]
+        doctored["jobs"] = doctored["jobs"][:-1]
+        differences = diff_reports(report, doctored)
+        assert "skyline: only in first" in differences
+        assert any(d.startswith("jobs: length") for d in differences)

@@ -6,7 +6,14 @@ from repro.errors import ValidationError
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.counters import TUPLE_COMPARES, Counters
 from repro.mapreduce.metrics import JobStats, TaskStats
-from repro.mapreduce.trace import build_schedule, render_gantt, render_pipeline_gantt
+from repro.mapreduce.trace import (
+    JobSchedule,
+    PhaseSchedule,
+    ScheduledTask,
+    build_schedule,
+    render_gantt,
+    render_pipeline_gantt,
+)
 from repro.mapreduce.types import TaskId
 
 
@@ -119,6 +126,50 @@ class TestGantt:
     def test_pipeline_rendering(self):
         text = render_pipeline_gantt(cluster(), [job_stats(), job_stats()])
         assert text.count("demo:") == 2
+
+    def test_adjacent_tasks_never_share_a_column(self):
+        """Half-open painting regression: a task ending at time t and a
+        task starting at t on the same slot must not overdraw each
+        other's boundary cell (the old inclusive-end painting let the
+        second bar overwrite the first's last column)."""
+        schedule = JobSchedule(
+            job_name="demo",
+            phases=[
+                PhaseSchedule(
+                    phase="map",
+                    start_s=0.0,
+                    end_s=2.0,
+                    tasks=[
+                        ScheduledTask("a", 0, 0.0, 1.0, outcome="success"),
+                        ScheduledTask("b", 0, 1.0, 2.0, outcome="failed"),
+                    ],
+                )
+            ],
+        )
+        text = render_gantt(schedule, width=8)
+        row = next(l for l in text.splitlines() if "map-slot-0" in l)
+        # exactly half '#' and half 'x': the boundary cell belongs to
+        # whatever starts there, and nothing is overdrawn.
+        assert row.endswith("|####xxxx|")
+
+    def test_retried_attempts_render_distinctly(self):
+        """A task with a failed first attempt renders the re-execution:
+        the failed unit paints 'x', the retry '#'."""
+        from repro.mapreduce.metrics import AttemptRecord
+
+        stats = JobStats(job_name="demo")
+        retried = task("map", 0, 4)
+        retried.attempts = [
+            AttemptRecord(attempt=0, outcome="failed", error="boom"),
+            AttemptRecord(attempt=1, outcome="success"),
+        ]
+        stats.map_tasks = [retried]
+        stats.reduce_tasks = [task("reduce", 0, 2)]
+        stats.shuffle_bytes = 100
+        # one map slot so both attempt units land on the same row
+        text = render_gantt(build_schedule(cluster(num_nodes=1), stats))
+        map_row = next(l for l in text.splitlines() if "map-slot-0" in l)
+        assert "x" in map_row and "#" in map_row
 
 
 class TestEndToEndGantt:
