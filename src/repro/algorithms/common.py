@@ -16,7 +16,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -225,6 +225,11 @@ def assemble_result(
             np.empty((0, dimensionality)),
         )
     combined = PointSet.concat(parts)
+    if np.unique(combined.ids).size != combined.ids.size:
+        raise AlgorithmError(
+            "reducers emitted duplicate row ids across partitions; "
+            "responsibility-based duplicate elimination is broken"
+        )
     order = np.argsort(combined.ids, kind="stable")
     return combined.ids[order], combined.values[order]
 

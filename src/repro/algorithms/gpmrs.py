@@ -20,7 +20,7 @@ groups — the consistency Algorithm 8 line 11 requires.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.algorithms.common import (
     CACHE_BITSTRING,

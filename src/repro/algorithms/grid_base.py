@@ -36,7 +36,6 @@ from repro.algorithms.bitstring_job import (
 )
 from repro.algorithms.common import assemble_result
 from repro.errors import ValidationError
-from repro.grid.bitstring import Bitstring
 from repro.grid.grid import Grid
 from repro.grid.ppd import DEFAULT_TPP, candidate_ppds, cap_ppd, ppd_from_equation4
 from repro.mapreduce.metrics import PipelineStats

@@ -13,7 +13,7 @@ bench suite's shape assertions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.experiments import FigureReport, Panel
 
@@ -319,7 +319,11 @@ def evaluate_report(
         try:
             held = bool(expectation.check(report))
             detail = ""
-        except Exception as exc:  # claim not evaluable on this report
+        except Exception as exc:  # repro: allow[REP006]
+            # Claims are arbitrary user lambdas over partial reports; a
+            # non-evaluable claim (missing series, zero division, ...)
+            # is a *verdict*, not a crash — and the error is surfaced
+            # in the verdict detail, never swallowed silently.
             held = False
             detail = f"check errored: {exc!r}"
         verdicts.append(Verdict(expectation=expectation, held=held, detail=detail))

@@ -1,0 +1,33 @@
+"""repro.check — determinism & MapReduce-purity checking.
+
+Two complementary halves:
+
+* a **static lint engine** (:mod:`repro.check.rules`,
+  :mod:`repro.check.visitor`, :mod:`repro.check.runner`) with the
+  repo-specific rules REP001-REP007, runnable as ``repro-skyline check
+  src/`` or ``python -m repro.check src/`` and enforced by the CI
+  ``check-gate`` job;
+* a **dynamic contract checker**
+  (:class:`~repro.check.contracts.ContractCheckingEngine`) that any
+  test or CLI run can opt into to prove mapper/reducer purity,
+  reducer order-insensitivity, and partitioner determinism at run time.
+
+See ``docs/static_analysis.md`` for the rule catalogue, the pragma
+syntax, and the exact guarantees the contract checker certifies.
+"""
+
+from repro.check.contracts import ContractCheckingEngine
+from repro.check.fingerprint import fingerprint
+from repro.check.rules import RULES, Rule, Violation
+from repro.check.runner import check_paths, check_source, main
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Violation",
+    "ContractCheckingEngine",
+    "check_paths",
+    "check_source",
+    "fingerprint",
+    "main",
+]

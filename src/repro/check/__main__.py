@@ -1,0 +1,10 @@
+"""``python -m repro.check`` — the CI entry point of the checker."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.check.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

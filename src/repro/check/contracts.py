@@ -1,0 +1,233 @@
+"""Dynamic contract checking: the runtime assumptions, enforced.
+
+The engines assume — and the cross-engine equivalence suite only
+samples — four contracts that Afrati et al. formalise for MapReduce
+computations:
+
+1. **Input immutability.**  Mappers must not mutate their input splits,
+   reducers must not mutate the shuffled values they receive, and no
+   task may mutate the broadcast distributed-cache payloads: all three
+   are shared (across retries, across tasks on the thread engine) and
+   conceptually replicated (on the process engine and real Hadoop), so
+   in-place writes diverge silently between engines.
+2. **Reducer order-insensitivity.**  A reducer's output may depend only
+   on the *multiset* of values per key, never on their arrival order —
+   Hadoop guarantees key grouping, not value order.
+3. **Usable keys.**  Emitted keys must be hashable (they index shuffle
+   buckets) and mutually sortable when the job sorts keys.
+4. **Deterministic partitioning.**  The partitioner must be a pure
+   function of ``(key, num_reducers)``.
+
+:class:`ContractCheckingEngine` enforces all four at run time while
+executing jobs with normal serial semantics.  It fingerprints inputs
+before and after every task (any in-place mutation changes the digest),
+re-runs every reduce task with each key's value list deterministically
+seed-shuffled and compares canonical outputs, and probes every
+map-emitted key (reduce output is final — it never meets this job's
+partitioner).  Any breach raises :class:`~repro.errors.ContractViolation`
+(non-retryable, so it surfaces immediately instead of burning
+attempts).
+
+The engine is a drop-in ``engine=`` argument anywhere a
+:class:`~repro.mapreduce.engine.SerialEngine` is accepted — tests opt
+in per job or per pipeline, and ``repro-skyline compute
+--engine contract`` runs a whole algorithm under it.  Checking is
+strictly additive: a contract-clean job produces byte-identical
+results, stats, and counters to ``SerialEngine``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.check.fingerprint import fingerprint
+from repro.errors import ContractViolation
+from repro.mapreduce.engine import SerialEngine, execute_reduce_attempt
+from repro.mapreduce.job import JobResult, MapReduceJob
+from repro.mapreduce.metrics import TaskStats
+from repro.mapreduce.types import KeyValue, TaskId
+
+
+def _derive_seed(*parts: Any) -> int:
+    """Stable shuffle seed from structured parts (engine/run invariant)."""
+    digest = hashlib.blake2b(
+        "\x1f".join(repr(p) for p in parts).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _shuffled_bucket(bucket: List[KeyValue], seed: int) -> List[KeyValue]:
+    """The same multiset of pairs with value order shuffled per key.
+
+    Key first-appearance order is preserved (grouping is insensitive to
+    it anyway); within each key the value list is permuted by a seeded
+    RNG, which is exactly the degree of freedom Hadoop refuses to pin
+    down.
+    """
+    grouped: Dict[Any, List[Any]] = {}
+    order: List[Any] = []
+    for key, value in bucket:
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(value)
+    rng = random.Random(seed)
+    out: List[KeyValue] = []
+    for key in order:
+        values = grouped[key]
+        if len(values) > 1:
+            rng.shuffle(values)
+        out.extend((key, value) for value in values)
+    return out
+
+
+def _split_payload(split: Any) -> Any:
+    """What a mapper is handed: the block for block splits, else records."""
+    points = getattr(split, "points", None)
+    if points is not None:
+        return points
+    return tuple(split)
+
+
+class ContractCheckingEngine(SerialEngine):
+    """A :class:`SerialEngine` that proves the purity contracts hold.
+
+    ``shuffle_seed`` varies which value permutation the
+    order-insensitivity re-run sees; any single seed catches a
+    first-value/last-value dependent reducer, and sweeping a few seeds
+    strengthens the certificate.  All other constructor arguments are
+    inherited (retry/faults/speculation/bus/block_path).
+    """
+
+    def __init__(self, shuffle_seed: int = 0, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.shuffle_seed = int(shuffle_seed)
+
+    def __repr__(self) -> str:
+        base = super().__repr__()
+        return f"{base[:-1]}, shuffle_seed={self.shuffle_seed})"
+
+    # -- hooks ----------------------------------------------------------
+
+    def run(self, job: MapReduceJob) -> JobResult:
+        cache_before = {key: fingerprint(job.cache[key]) for key in job.cache}
+        result = super().run(job)
+        for key in job.cache:
+            after = fingerprint(job.cache[key])
+            if after != cache_before[key]:
+                raise ContractViolation(
+                    f"job {job.name!r}: a task mutated distributed-cache "
+                    f"entry {key!r} in place; broadcast payloads are "
+                    "read-only and shared by every task"
+                )
+        return result
+
+    def _map_task(
+        self, job: MapReduceJob, split: Any
+    ) -> Tuple[TaskStats, List[KeyValue]]:
+        payload = _split_payload(split)
+        before = fingerprint(payload)
+        stats, output = super()._map_task(job, split)
+        if fingerprint(payload) != before:
+            raise ContractViolation(
+                f"job {job.name!r}: mapper for split {split.split_id} "
+                "mutated its input split in place; splits are re-read "
+                "on retry and shared with other engines"
+            )
+        self._validate_emissions(job, output, f"map split {split.split_id}")
+        return stats, output
+
+    def _reduce_task(
+        self, job: MapReduceJob, r: int, bucket: List[KeyValue]
+    ) -> Tuple[TaskStats, List[KeyValue]]:
+        before = fingerprint(tuple(bucket))
+        stats, output = super()._reduce_task(job, r, bucket)
+        if fingerprint(tuple(bucket)) != before:
+            raise ContractViolation(
+                f"job {job.name!r}: reducer {r} mutated its input "
+                "values in place; shuffled values are owned by the "
+                "engine and re-used on retry"
+            )
+        self._check_order_insensitivity(job, r, bucket, output)
+        # Reduce output is final (or re-partitioned by the *next* job's
+        # partitioner in a chain): the emission probes apply only to
+        # map-side output, which this engine's shuffle consumes.
+        return stats, output
+
+    # -- the contracts --------------------------------------------------
+
+    def _check_order_insensitivity(
+        self,
+        job: MapReduceJob,
+        r: int,
+        bucket: List[KeyValue],
+        output: List[KeyValue],
+    ) -> None:
+        """Re-run the reduce with seed-shuffled value lists; canonical
+        outputs must agree (Hadoop never promises value order)."""
+        seed = _derive_seed(self.shuffle_seed, job.name, r)
+        shuffled = _shuffled_bucket(bucket, seed)
+        # Identity comparison, not ==: values may be arrays/PointSets
+        # whose __eq__ is elementwise, and the shuffle only rearranges
+        # the original objects.
+        if all(
+            s[0] is b[0] and s[1] is b[1] for s, b in zip(shuffled, bucket)
+        ):
+            return  # permutation was a no-op: nothing to vary
+        task_id = TaskId("reduce", r)
+        shadow_ctx, _ = execute_reduce_attempt(job, shuffled, task_id)
+        got = _canonical_output(shadow_ctx.output)
+        want = _canonical_output(output)
+        if got != want:
+            raise ContractViolation(
+                f"job {job.name!r}: reducer {r} is order-sensitive — "
+                "re-running it with value lists shuffled "
+                f"(seed {seed}) changed its output; reducers may "
+                "depend only on the multiset of values per key"
+            )
+
+    def _validate_emissions(
+        self, job: MapReduceJob, output: List[KeyValue], where: str
+    ) -> None:
+        seen_types: Dict[type, Any] = {}
+        for key, _ in output:
+            try:
+                hash(key)
+            except TypeError:
+                raise ContractViolation(
+                    f"job {job.name!r}: {where} emitted unhashable key "
+                    f"of type {type(key).__name__}; keys index shuffle "
+                    "buckets and must be hashable"
+                ) from None
+            first = job.partitioner(key, job.num_reducers)
+            second = job.partitioner(key, job.num_reducers)
+            if first != second:
+                raise ContractViolation(
+                    f"job {job.name!r}: partitioner is nondeterministic "
+                    f"for key {key!r} ({first} != {second}); partition "
+                    "choice must be a pure function of the key"
+                )
+            seen_types.setdefault(type(key), key)
+        if job.sort_keys and len(seen_types) > 1:
+            samples = list(seen_types.values())
+            try:
+                sorted(samples)
+            except TypeError:
+                names = sorted(t.__name__ for t in seen_types)
+                raise ContractViolation(
+                    f"job {job.name!r}: {where} emitted keys of "
+                    f"mutually unsortable types {names}; sorted-key "
+                    "grouping would fall back to repr order, which is "
+                    "not stable across processes"
+                ) from None
+
+
+def _canonical_output(output: List[KeyValue]) -> List[Tuple[str, str]]:
+    """Engine-guaranteed view of task output: a sorted multiset of
+    (key fingerprint, canonical value fingerprint) pairs."""
+    return sorted(
+        (fingerprint(key), fingerprint(value, canonical=True))
+        for key, value in output
+    )

@@ -1,0 +1,125 @@
+"""Deterministic structural fingerprints for contract checking.
+
+:func:`fingerprint` hashes a value's *structure and content* — never
+its identity — so two calls on an unmutated object always agree, and
+any in-place mutation (an array write, a list append, a dict update)
+changes the digest.  ``canonical=True`` additionally canonicalises
+order-free containers (a :class:`~repro.core.pointset.PointSet` is
+hashed with its rows sorted by id), which is the right equality for
+comparing reducer outputs across value orderings: MapReduce only
+promises the *set* of rows, not their physical order inside a block.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Any, Callable, List
+
+import numpy as np
+
+from repro.core.pointset import PointSet
+
+_TAG_SEP = b"\x00"
+
+
+def _hash_parts(*parts: bytes) -> bytes:
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(part)
+        h.update(_TAG_SEP)
+    return h.digest()
+
+
+def _walk(value: Any, canonical: bool, emit: Callable[[bytes], None]) -> None:
+    if value is None or isinstance(value, (bool, int, float, complex, str, bytes)):
+        emit(f"{type(value).__name__}:{value!r}".encode())
+        return
+    if isinstance(value, (bytearray, memoryview)):
+        emit(b"bytes:" + bytes(value))
+        return
+    if isinstance(value, PointSet):
+        ids = np.asarray(value.ids)
+        values = np.asarray(value.values)
+        if canonical and ids.shape[0] > 1:
+            order = np.argsort(ids, kind="stable")
+            ids, values = ids[order], values[order]
+        emit(
+            b"PointSet:"
+            + str(values.shape).encode()
+            + ids.tobytes()
+            + np.ascontiguousarray(values).tobytes()
+        )
+        return
+    if isinstance(value, np.ndarray):
+        emit(
+            b"ndarray:"
+            + str(value.dtype).encode()
+            + str(value.shape).encode()
+            + np.ascontiguousarray(value).tobytes()
+        )
+        return
+    if isinstance(value, np.generic):
+        emit(b"npscalar:" + str(value.dtype).encode() + value.tobytes())
+        return
+    if isinstance(value, (tuple, list)):
+        emit(f"{type(value).__name__}:{len(value)}".encode())
+        for item in value:
+            _walk(item, canonical, emit)
+        return
+    if isinstance(value, (set, frozenset)):
+        emit(f"set:{len(value)}".encode())
+        digests: List[bytes] = []
+        for item in value:
+            sub: List[bytes] = []
+            _walk(item, canonical, sub.append)
+            digests.append(_hash_parts(*sub))
+        for digest in sorted(digests):
+            emit(digest)
+        return
+    if isinstance(value, dict):
+        emit(f"dict:{len(value)}".encode())
+        entries: List[bytes] = []
+        for key, item in value.items():
+            pair: List[bytes] = []
+            _walk(key, canonical, pair.append)
+            _walk(item, canonical, pair.append)
+            entries.append(_hash_parts(*pair))
+        for digest in sorted(entries):
+            emit(digest)
+        return
+    # Library containers: a DistributedCache walks as its sorted items;
+    # anything exposing as_dict() (counters, events) walks as a dict.
+    items = getattr(value, "as_dict", None)
+    if callable(items):
+        _walk({"__type__": type(value).__name__, **items()}, canonical, emit)
+        return
+    if hasattr(value, "__getitem__") and hasattr(value, "__iter__") and hasattr(
+        value, "__len__"
+    ):
+        try:
+            keys = list(value)
+            emit(f"{type(value).__name__}:{len(keys)}".encode())
+            for key in keys:
+                _walk(key, canonical, emit)
+                _walk(value[key], canonical, emit)
+            return
+        except Exception:  # repro: allow[REP006]
+            pass  # fall through to pickle/repr for non-mapping iterables
+    try:
+        emit(b"pickle:" + pickle.dumps(value, protocol=4))
+    except (pickle.PicklingError, TypeError, AttributeError, RecursionError):
+        emit(f"repr:{type(value).__name__}:{value!r}".encode())
+
+
+def fingerprint(value: Any, canonical: bool = False) -> str:
+    """Hex digest of ``value``'s structure and content.
+
+    ``canonical=False`` (the default) is exact — any observable
+    mutation, including a pure reordering, changes the digest.
+    ``canonical=True`` ignores physical row order inside PointSets, the
+    equality MapReduce actually guarantees for reducer output blocks.
+    """
+    parts: List[bytes] = []
+    _walk(value, canonical, parts.append)
+    return _hash_parts(*parts).hex()

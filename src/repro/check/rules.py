@@ -1,0 +1,326 @@
+"""The rule vocabulary of ``repro.check``.
+
+Each rule names one invariant the runtime's determinism story depends
+on (see ``docs/static_analysis.md`` for the full contract each rule
+protects, and :mod:`repro.check.visitor` for how it is detected):
+
+========  ==============================================================
+REP000    file does not parse (reported so a broken file cannot slip
+          through the gate unchecked)
+REP001    wall-clock reads or unseeded randomness on deterministic
+          paths (``time.time``, ``datetime.now``, module-level
+          ``random.*`` / legacy ``numpy.random.*`` calls, unseeded RNG
+          construction, UUIDs, ``os.urandom``)
+REP002    iteration over an unordered ``set``/``frozenset`` value that
+          can flow into output ordering
+REP003    counter names outside the documented ``COUNTER_DOCS``
+          vocabulary
+REP004    impure mapper/reducer/combiner code (``global``/``nonlocal``
+          writes, mutation of input keys/values/blocks)
+REP005    event emissions bypassing the typed ``repro.obs.events``
+          vocabulary
+REP006    broad ``except Exception``/bare ``except`` that can swallow
+          ``ValidationError``
+REP007    a ``# repro: allow[...]`` pragma that suppresses nothing
+          (unused suppressions rot into silent blind spots)
+========  ==============================================================
+
+Suppression pragma syntax: ``# repro: allow[REP001]`` (or a
+comma-separated list ``allow[REP002, REP006]``) on the flagged line or
+the line directly above it.  The runner verifies every pragma actually
+suppresses a violation; an unused pragma is itself a violation
+(REP007).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named invariant the checker enforces."""
+
+    rule_id: str
+    title: str
+    description: str
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+RULES: Dict[str, Rule] = {
+    rule.rule_id: rule
+    for rule in (
+        Rule(
+            "REP000",
+            "unparseable file",
+            "The file failed to parse; the checker cannot vouch for it.",
+        ),
+        Rule(
+            "REP001",
+            "wall-clock or unseeded randomness on a deterministic path",
+            "time.time()/datetime.now()-style wall-clock reads, "
+            "module-level random.*/legacy numpy.random.* calls (global "
+            "RNG state), unseeded RNG construction, uuid4, or "
+            "os.urandom. Wall-clock belongs only in the report's "
+            "'wall' fields (time.perf_counter is the one sanctioned "
+            "probe); randomness must be seeded.",
+        ),
+        Rule(
+            "REP002",
+            "iteration over an unordered set",
+            "Iterating a set/frozenset (directly, via list()/tuple()/"
+            "enumerate()/join(), or through a set-typed local) feeds "
+            "hash order into whatever consumes the loop; wrap the set "
+            "in sorted() before any order-sensitive use.",
+        ),
+        Rule(
+            "REP003",
+            "undocumented counter name",
+            "Counters.inc() must charge a name from the documented "
+            "COUNTER_DOCS vocabulary (repro.mapreduce.counters); "
+            "ad-hoc names silently fall out of reports, docs and the "
+            "metric registry.",
+        ),
+        Rule(
+            "REP004",
+            "impure mapper/reducer/combiner",
+            "Task code must not write module globals (global/nonlocal) "
+            "or mutate its input keys/values/blocks in place; tasks "
+            "may be re-run, re-ordered, and executed on any engine, so "
+            "any such side effect breaks engine equivalence.",
+        ),
+        Rule(
+            "REP005",
+            "untyped event emission",
+            "EventBus.emit() takes only the typed event classes of "
+            "repro.obs.events; raw dicts/strings bypass the schema, "
+            "the trace exporter, and the report writer.",
+        ),
+        Rule(
+            "REP006",
+            "broad exception handler",
+            "except Exception / bare except can swallow "
+            "ValidationError (and every other ReproError); catch the "
+            "concrete types, or justify the catch-all with "
+            "# repro: allow[REP006].",
+        ),
+        Rule(
+            "REP007",
+            "unused suppression pragma",
+            "A # repro: allow[...] pragma must suppress at least one "
+            "violation of the named rule on its line (or the line "
+            "below); stale pragmas are silent blind spots.",
+        ),
+    )
+}
+
+#: Rules the AST visitor implements (REP000/REP007 belong to the runner).
+VISITOR_RULES: FrozenSet[str] = frozenset(
+    ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006")
+)
+
+
+# ---------------------------------------------------------------------------
+# REP001 vocabulary
+# ---------------------------------------------------------------------------
+
+#: Fully-qualified calls that read the wall clock. ``time.perf_counter``
+#: is deliberately absent: it is the runtime's one sanctioned wall-clock
+#: probe, and everything it feeds is isolated under wall-only report
+#: fields (see docs/observability.md).
+WALL_CLOCK_CALLS: FrozenSet[str] = frozenset(
+    (
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    )
+)
+
+#: Other per-call entropy sources.
+ENTROPY_CALLS: FrozenSet[str] = frozenset(
+    (
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+    )
+)
+
+#: ``random.<fn>()`` module-level calls share one ambient, seedable-
+#: from-anywhere global RNG — never acceptable on deterministic paths.
+STDLIB_RANDOM_FUNCS: FrozenSet[str] = frozenset(
+    (
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "seed",
+    )
+)
+
+#: Legacy ``numpy.random.<fn>()`` calls against the global NumPy state.
+NUMPY_RANDOM_FUNCS: FrozenSet[str] = frozenset(
+    (
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "seed",
+        "get_state",
+        "set_state",
+    )
+)
+
+#: RNG constructors that are deterministic *only when seeded*: a call
+#: with no arguments (or an explicit ``None`` seed) draws OS entropy.
+RNG_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    (
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+    )
+)
+
+#: Always-entropy constructors (no seed parameter exists).
+UNSEEDABLE_RNG_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    ("random.SystemRandom",)
+)
+
+
+# ---------------------------------------------------------------------------
+# REP002 vocabulary
+# ---------------------------------------------------------------------------
+
+#: Builtins that materialise their argument *in iteration order*.
+ORDER_SENSITIVE_CONSUMERS: FrozenSet[str] = frozenset(
+    ("list", "tuple", "enumerate", "iter", "next", "reversed", "zip", "map")
+)
+
+#: Builtins whose result does not depend on argument order — a set
+#: flowing straight into one of these is safe.
+ORDER_INSENSITIVE_CONSUMERS: FrozenSet[str] = frozenset(
+    (
+        "sorted",
+        "min",
+        "max",
+        "sum",
+        "len",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+        "dict",
+        "Counter",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# REP004 vocabulary
+# ---------------------------------------------------------------------------
+
+#: Methods whose *data* parameters (everything but self/ctx) are engine-
+#: owned inputs and must not be mutated.
+PURE_TASK_METHODS: FrozenSet[str] = frozenset(("map", "map_block", "reduce"))
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS: FrozenSet[str] = frozenset(
+    (
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "add",
+        "discard",
+        "sort",
+        "reverse",
+        "setdefault",
+        # NumPy in-place mutators reachable from PointSet payloads.
+        "fill",
+        "put",
+        "itemset",
+        "partition",
+        "resize",
+        "byteswap",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic vocabularies (resolved from the live package so the checker
+# can never drift from what the runtime actually documents).
+# ---------------------------------------------------------------------------
+
+
+def counter_vocabulary() -> FrozenSet[str]:
+    """Documented counter names (the COUNTER_DOCS keys)."""
+    from repro.mapreduce.counters import COUNTER_DOCS
+
+    return frozenset(COUNTER_DOCS)
+
+
+def counter_constants() -> Mapping[str, str]:
+    """UPPER_CASE constant name -> counter name, from the counters module."""
+    from repro.mapreduce import counters
+
+    return {
+        name: value
+        for name, value in vars(counters).items()
+        if name.isupper() and isinstance(value, str)
+    }
+
+
+def event_class_names() -> FrozenSet[str]:
+    """Class names of the typed event vocabulary (EVENT_TYPES values)."""
+    from repro.obs.events import EVENT_TYPES
+
+    return frozenset(cls.__name__ for cls in EVENT_TYPES.values())

@@ -1,0 +1,246 @@
+"""Run the REP rules over files/trees, honouring suppression pragmas.
+
+The pragma contract is strict in both directions: a violation survives
+unless a ``# repro: allow[RULE]`` pragma sits on the violating line or
+the line directly above it, **and** every pragma must suppress at least
+one violation — a pragma that suppresses nothing (because the code it
+excused was fixed, moved, or never violated anything) is reported as
+REP007 so suppressions cannot rot into permanent blind spots.
+
+``python -m repro.check src/`` (or ``repro-skyline check src/``) exits
+0 only when the tree is entirely clean: zero violations *and* zero
+unused pragmas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check.rules import RULES, Violation
+from repro.check.visitor import CheckVisitor
+
+#: Matches ``repro: allow[REP001]`` and ``repro: allow[REP002, REP006]``
+#: inside comment tokens.
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            out.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(out)
+
+
+def parse_pragmas(
+    source: str, path: str
+) -> Tuple[Dict[int, Set[str]], Set[int], List[Violation]]:
+    """Extract pragmas from *comments* as ``{line: {rule_ids}}``.
+
+    Tokenizing (rather than regex-scanning raw lines) means pragma
+    examples inside docstrings and string literals are inert — only a
+    real ``#`` comment can suppress anything.  Malformed or unknown
+    rule ids are reported immediately as REP007.
+
+    Also returns the set of *standalone* pragma lines (comment-only
+    lines): only those may excuse the line below them — a trailing
+    pragma applies strictly to its own line, so one suppression can
+    never silently leak onto the next statement.
+    """
+    pragmas: Dict[int, Set[str]] = {}
+    standalone: Set[int] = set()
+    bad: List[Violation] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}, set(), []  # the ast pass reports the file as REP000
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        unknown = sorted(i for i in ids if i not in RULES)
+        if not ids or unknown:
+            bad.append(
+                Violation(
+                    rule_id="REP007",
+                    path=path,
+                    line=lineno,
+                    col=token.start[1],
+                    message=(
+                        f"pragma names unknown rule(s) {unknown}"
+                        if unknown
+                        else "pragma names no rule"
+                    ),
+                )
+            )
+            continue
+        pragmas.setdefault(lineno, set()).update(ids)
+        if not token.line[: token.start[1]].strip():
+            standalone.add(lineno)
+    return pragmas, standalone, bad
+
+
+def check_source(source: str, path: str) -> List[Violation]:
+    """Check one module's source text; applies and verifies pragmas."""
+    pragmas, standalone, violations = parse_pragmas(source, path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        violations.append(
+            Violation(
+                rule_id="REP000",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return violations
+
+    visitor = CheckVisitor(path)
+    visitor.visit(tree)
+
+    used: Set[Tuple[int, str]] = set()
+    for violation in visitor.violations:
+        suppressed = False
+        candidates = [violation.line]
+        if violation.line - 1 in standalone:
+            candidates.append(violation.line - 1)
+        for line in candidates:
+            if violation.rule_id in pragmas.get(line, ()):
+                used.add((line, violation.rule_id))
+                suppressed = True
+                break
+        if not suppressed:
+            violations.append(violation)
+
+    for line in sorted(pragmas):
+        for rule_id in sorted(pragmas[line]):
+            if (line, rule_id) not in used:
+                violations.append(
+                    Violation(
+                        rule_id="REP007",
+                        path=path,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"pragma allow[{rule_id}] suppresses nothing; "
+                            "remove it (or it is masking a fixed rule)"
+                        ),
+                    )
+                )
+    violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return violations
+
+
+def check_file(path: Path) -> List[Violation]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Violation(
+                rule_id="REP000",
+                path=str(path),
+                line=0,
+                col=0,
+                message=f"file is unreadable: {exc}",
+            )
+        ]
+    return check_source(source, str(path))
+
+
+def check_paths(paths: Sequence[str]) -> List[Violation]:
+    """Check every ``.py`` file under ``paths``; sorted by location."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(check_file(path))
+    return violations
+
+
+def render_text(violations: Iterable[Violation]) -> str:
+    lines = [v.render() for v in violations]
+    count = len(lines)
+    lines.append(
+        "clean: no violations, no unused pragmas"
+        if count == 0
+        else f"{count} violation(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(violations: Iterable[Violation]) -> str:
+    return json.dumps(
+        [
+            {
+                "rule": v.rule_id,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        indent=2,
+    )
+
+
+def list_rules() -> str:
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"        {rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline check",
+        description="Determinism & MapReduce-purity checker "
+        "(rules REP001-REP007; see docs/static_analysis.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        violations = check_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    output = (
+        render_json(violations) if args.fmt == "json" else render_text(violations)
+    )
+    print(output)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,467 @@
+"""The AST pass behind ``repro.check`` (rules REP001-REP006).
+
+One :class:`CheckVisitor` walks a parsed module and collects
+:class:`~repro.check.rules.Violation` objects.  The visitor is purely
+syntactic plus a small amount of module-local inference:
+
+* imports are tracked so dotted call targets resolve through aliases
+  (``import numpy as np`` makes ``np.random.rand`` read as
+  ``numpy.random.rand``);
+* names assigned from a set expression in the same scope are treated as
+  set-typed for REP002 (the ``seen = set()`` idiom);
+* classes are classified as mapper/reducer/combiner by base-class name
+  (``Mapper``/``Reducer``/``Combiner`` suffixes), which is exactly how
+  the runtime's own hierarchy is spelled.
+
+The visitor never imports the module under analysis, so it is safe on
+code that would fail at import time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.check import rules as R
+from repro.check.rules import Violation
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """Last attribute/name segment of an expression, if any."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """The base Name at the bottom of an Attribute/Subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class CheckVisitor(ast.NodeVisitor):
+    """Collects violations of REP001-REP006 for one module."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.violations: List[Violation] = []
+        #: alias -> fully qualified module or attribute path
+        self._imports: Dict[str, str] = {}
+        #: names known to hold set values, per enclosing function scope
+        self._set_names: List[Set[str]] = [set()]
+        #: node ids exempt from REP002 (direct args of order-insensitive
+        #: consumers, membership tests, ...)
+        self._order_exempt: Set[int] = set()
+        self._class_stack: List[ast.ClassDef] = []
+        self._counter_vocab = R.counter_vocabulary()
+        self._counter_constants = R.counter_constants()
+        self._event_classes = R.event_class_names()
+
+    # -- helpers --------------------------------------------------------
+
+    def _report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule_id=rule_id,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def _dotted(self, node: ast.expr) -> Optional[str]:
+        """Render a Name/Attribute chain as a dotted path, resolving
+        import aliases at the root; None for anything else."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -- imports --------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._imports[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self._imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    # -- scope tracking for set-typed names -----------------------------
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_function(node)
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        """Syntactically set-valued: literals, set()/frozenset() calls,
+        set algebra over set-valued operands, and set-typed locals."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = self._dotted(node.func)
+            if name in ("set", "frozenset", "builtins.set", "builtins.frozenset"):
+                return True
+            # set.union(...)-style methods returning sets
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            ):
+                return self._is_set_expr(node.func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._set_names)
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names[-1].add(target.id)
+        else:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            node.value is not None
+            and isinstance(node.target, ast.Name)
+            and self._is_set_expr(node.value)
+        ):
+            self._set_names[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    # -- REP002 ---------------------------------------------------------
+
+    def _check_iterable(self, node: ast.expr) -> None:
+        if id(node) in self._order_exempt:
+            return
+        if self._is_set_expr(node):
+            self._report(
+                "REP002",
+                node,
+                "iteration over an unordered set; wrap in sorted() "
+                "before any order-sensitive use",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension_node(self, node: ast.expr) -> None:
+        for gen in getattr(node, "generators", []):
+            self._check_iterable(gen.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension_node(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension_node(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # The result is itself unordered: iteration order cannot leak.
+        for gen in node.generators:
+            self._order_exempt.add(id(gen.iter))
+        self._visit_comprehension_node(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        # Dict insertion order *does* leak (dicts preserve it), so dict
+        # comprehensions over sets are real REP002 hazards.
+        self._visit_comprehension_node(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        # Membership tests do not iterate in order.
+        if any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+            for comparator in node.comparators:
+                self._order_exempt.add(id(comparator))
+        self.generic_visit(node)
+
+    # -- calls: REP001 / REP002 / REP003 / REP005 -----------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._dotted(node.func)
+        terminal = _terminal_name(node.func)
+
+        # REP002 exemptions and consumer checks first, so generic_visit
+        # sees the exemption marks.
+        if name in R.ORDER_INSENSITIVE_CONSUMERS:
+            for arg in node.args:
+                self._order_exempt.add(id(arg))
+                if isinstance(
+                    arg,
+                    (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp),
+                ):
+                    for gen in arg.generators:
+                        self._order_exempt.add(id(gen.iter))
+        elif name in R.ORDER_SENSITIVE_CONSUMERS and node.args:
+            for arg in node.args:
+                self._check_iterable(arg)
+        elif terminal == "join" and node.args:
+            self._check_iterable(node.args[0])
+
+        self._check_rep001(node, name)
+        self._check_rep003(node, terminal)
+        self._check_rep005(node, terminal)
+        self.generic_visit(node)
+
+    def _check_rep001(self, node: ast.Call, name: Optional[str]) -> None:
+        if name is None:
+            return
+        if name in R.WALL_CLOCK_CALLS:
+            self._report(
+                "REP001",
+                node,
+                f"wall-clock read {name}(); deterministic paths may "
+                "only use time.perf_counter for wall-only fields",
+            )
+            return
+        if name in R.ENTROPY_CALLS or name in R.UNSEEDABLE_RNG_CONSTRUCTORS:
+            self._report("REP001", node, f"entropy source {name}()")
+            return
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] == "random" and (
+            parts[1] in R.STDLIB_RANDOM_FUNCS
+        ):
+            self._report(
+                "REP001",
+                node,
+                f"call to the global RNG {name}(); use a seeded "
+                "random.Random/numpy Generator instead",
+            )
+            return
+        if (
+            len(parts) == 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] in R.NUMPY_RANDOM_FUNCS
+        ):
+            self._report(
+                "REP001",
+                node,
+                f"call to NumPy's global RNG {name}(); use a seeded "
+                "numpy.random.default_rng(seed) Generator",
+            )
+            return
+        if name in R.RNG_CONSTRUCTORS:
+            unseeded = not node.args and not node.keywords
+            if node.args and isinstance(node.args[0], ast.Constant):
+                unseeded = node.args[0].value is None
+            if unseeded:
+                self._report(
+                    "REP001",
+                    node,
+                    f"unseeded RNG construction {name}(); pass an "
+                    "explicit seed",
+                )
+
+    def _check_rep003(self, node: ast.Call, terminal: Optional[str]) -> None:
+        if terminal != "inc" or not isinstance(node.func, ast.Attribute):
+            return
+        receiver = _terminal_name(node.func.value)
+        if receiver != "counters":
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if arg.value not in self._counter_vocab:
+                self._report(
+                    "REP003",
+                    node,
+                    f"counter {arg.value!r} is not in the documented "
+                    "COUNTER_DOCS vocabulary "
+                    "(repro.mapreduce.counters)",
+                )
+            return
+        if isinstance(arg, ast.Attribute):
+            base = self._dotted(arg.value)
+            if base is not None and base.endswith("counters"):
+                value = self._counter_constants.get(arg.attr)
+                if value is None:
+                    self._report(
+                        "REP003",
+                        node,
+                        f"counter constant {arg.attr!r} does not exist "
+                        "in repro.mapreduce.counters",
+                    )
+                elif value not in self._counter_vocab:
+                    self._report(
+                        "REP003",
+                        node,
+                        f"counter constant {arg.attr!r} ({value!r}) is "
+                        "missing from COUNTER_DOCS",
+                    )
+
+    def _check_rep005(self, node: ast.Call, terminal: Optional[str]) -> None:
+        if terminal != "emit" or not isinstance(node.func, ast.Attribute):
+            return
+        receiver = _terminal_name(node.func.value)
+        if receiver is None or "bus" not in receiver.lower():
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(
+            arg, (ast.Constant, ast.Dict, ast.List, ast.Tuple, ast.JoinedStr, ast.Set)
+        ):
+            self._report(
+                "REP005",
+                node,
+                "bus.emit() requires a typed event from "
+                "repro.obs.events, not a raw literal",
+            )
+            return
+        if isinstance(arg, ast.Call):
+            event = _terminal_name(arg.func)
+            if event is not None and event not in self._event_classes:
+                self._report(
+                    "REP005",
+                    node,
+                    f"bus.emit({event}(...)) is not in the typed event "
+                    "vocabulary of repro.obs.events",
+                )
+
+    # -- REP004 ---------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node)
+        if self._is_task_class(node):
+            self._check_task_class(node)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    @staticmethod
+    def _is_task_class(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = _terminal_name(base)
+            if name is None:
+                continue
+            if name.endswith(("Mapper", "Reducer", "Combiner")):
+                return True
+        return False
+
+    def _check_task_class(self, node: ast.ClassDef) -> None:
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(item):
+                if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+                    self._report(
+                        "REP004",
+                        stmt,
+                        f"task class {node.name}.{item.name} writes "
+                        "non-local state; tasks must be pure",
+                    )
+            if item.name in R.PURE_TASK_METHODS:
+                self._check_input_mutation(node.name, item)
+
+    def _check_input_mutation(
+        self, class_name: str, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        params = [a.arg for a in fn.args.args]
+        data_params = {
+            p for p in params[1:] if p not in ("ctx", "context")
+        }
+        if not data_params:
+            return
+
+        def flag(stmt: ast.AST, root: str, what: str) -> None:
+            self._report(
+                "REP004",
+                stmt,
+                f"{class_name}.{fn.name} {what} its input {root!r}; "
+                "task inputs are engine-owned and may be re-used by "
+                "retries and other engines",
+            )
+
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        root = _root_name(target)
+                        if root in data_params:
+                            flag(stmt, root, "writes into")
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        root = _root_name(target)
+                        if root in data_params:
+                            flag(stmt, root, "deletes from")
+            elif isinstance(stmt, ast.Call) and isinstance(
+                stmt.func, ast.Attribute
+            ):
+                if stmt.func.attr in R.MUTATOR_METHODS:
+                    root = _root_name(stmt.func.value)
+                    if root in data_params:
+                        flag(stmt, root, f"mutates (.{stmt.func.attr})")
+
+    # -- REP006 ---------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = False
+        if node.type is None:
+            broad = True
+        else:
+            exprs = (
+                list(node.type.elts)
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for expr in exprs:
+                if _terminal_name(expr) in ("Exception", "BaseException"):
+                    broad = True
+        if broad:
+            self._report(
+                "REP006",
+                node,
+                "broad exception handler can swallow ValidationError; "
+                "catch concrete types or justify with "
+                "# repro: allow[REP006]",
+            )
+        self.generic_visit(node)

@@ -9,6 +9,9 @@ Subcommands
 ``experiment``  — reproduce one of the paper's figures (or an
                   ablation) and print its series.
 ``report``      — pretty-print one run report, or diff two.
+``check``       — run the determinism / MapReduce-purity lint
+                  (see docs/static_analysis.md); the CI gate is
+                  ``repro-skyline check src``.
 ``list``        — list algorithms and experiments (``--counters`` adds
                   the documented counter/histogram vocabulary).
 
@@ -21,6 +24,7 @@ Examples::
     repro-skyline report r.json
     repro-skyline report a.json b.json
     repro-skyline experiment fig7 --scale 0.005 --verbose
+    repro-skyline check src --format json
 """
 
 from __future__ import annotations
@@ -29,7 +33,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 from repro import available_algorithms, skyline
 from repro.bench.experiments import EXPERIMENTS
@@ -105,8 +108,9 @@ def _build_parser() -> argparse.ArgumentParser:
     compute.add_argument(
         "--engine",
         default="serial",
-        choices=["serial", "threads", "processes"],
-        help="execution engine for the MapReduce runtime",
+        choices=["serial", "threads", "processes", "contract"],
+        help="execution engine for the MapReduce runtime ('contract' "
+        "runs serially while asserting purity/determinism contracts)",
     )
     compute.add_argument(
         "--workers",
@@ -192,6 +196,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "(wall-clock differences are ignored)",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="lint for determinism / MapReduce-purity violations",
+        description="Static analysis gate: REP001-REP007 (see "
+        "docs/static_analysis.md). Exit 0 means no violations and no "
+        "unused suppression pragmas.",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    check.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     lister = sub.add_parser("list", help="list algorithms and experiments")
     lister.add_argument(
         "--counters",
@@ -229,6 +258,10 @@ def _make_engine(name: str, workers: Optional[int], args, bus=None):
         from repro.mapreduce.parallel import ProcessPoolEngine
 
         return ProcessPoolEngine(max_workers=workers, **kwargs)
+    if name == "contract":
+        from repro.check.contracts import ContractCheckingEngine
+
+        return ContractCheckingEngine(**kwargs)
     if (
         faults is not None
         or args.speculative
@@ -346,7 +379,10 @@ def _cmd_experiment(args) -> int:
             try:
                 print()
                 print(plot_panel(panel, logy=args.logy))
-            except Exception as exc:
+            except (ReproError, ValueError, ArithmeticError, LookupError) as exc:
+                # Degenerate series (empty, non-positive on --logy,
+                # ragged) — plotting is cosmetic, the report already
+                # printed. Anything else is a real bug and propagates.
                 print(f"(cannot plot panel {panel.title!r}: {exc})")
     from repro.bench.expectations import evaluate_report, render_verdicts
 
@@ -447,6 +483,24 @@ def _cmd_report(args) -> int:
     return 1
 
 
+def _cmd_check(args) -> int:
+    from repro.check import runner
+
+    if args.list_rules:
+        print(runner.list_rules())
+        return 0
+    try:
+        violations = runner.check_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(runner.render_json(violations))
+    else:
+        print(runner.render_text(violations))
+    return 1 if violations else 0
+
+
 def _cmd_list(args) -> int:
     print("algorithms:")
     for name in available_algorithms():
@@ -481,6 +535,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_gantt(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "check":
+            return _cmd_check(args)
         return _cmd_list(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -11,7 +11,6 @@ dimension has a limited number of distinct values.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

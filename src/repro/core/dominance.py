@@ -13,7 +13,6 @@ bounded regardless of input size.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -46,6 +46,18 @@ class TaskFailedError(JobError):
         return (type(self), (self.task_id, self.cause))
 
 
+class ContractViolation(ValidationError):
+    """User task code broke a MapReduce purity/determinism contract.
+
+    Raised by :class:`repro.check.contracts.ContractCheckingEngine`
+    when a mapper/reducer mutates its inputs or the distributed cache,
+    depends on the order of its value lists, emits unusable keys, or
+    uses a nondeterministic partitioner.  Subclasses
+    :class:`ValidationError` so retry policies treat it as
+    non-retryable: a contract breach fails identically every attempt.
+    """
+
+
 class AlgorithmError(ReproError):
     """A skyline algorithm was configured or used incorrectly."""
 

@@ -41,6 +41,24 @@ class IndependentGroup:
     seed: int
     members: Tuple[int, ...]  # sorted ascending, includes the seed
 
+    def __post_init__(self):
+        # The sorted-ascending invariant is what keeps every downstream
+        # iteration (merging, responsibility designation, reducer
+        # routing) deterministic; constructing members from an
+        # unordered set would silently poison all of it (REP002's
+        # dynamic counterpart).
+        if any(
+            a >= b for a, b in zip(self.members, self.members[1:])
+        ):
+            raise ValidationError(
+                f"group members must be strictly ascending, got "
+                f"{self.members[:8]}..."
+            )
+        if self.seed not in self.members:
+            raise ValidationError(
+                f"group seed {self.seed} missing from its members"
+            )
+
     @property
     def adr_size(self) -> int:
         """|pm.ADR ∩ non-empty| — the paper's computation-cost estimate."""

@@ -18,7 +18,7 @@ Equation 6's ``∏ coords − 1`` with 1-based coordinates.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Tuple
+from typing import Iterator
 
 import numpy as np
 

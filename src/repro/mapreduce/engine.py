@@ -173,7 +173,11 @@ def attempt_task(
         started = time.perf_counter()
         try:
             result = run_once(attempt)
-        except Exception as exc:
+        except Exception as exc:  # repro: allow[REP006]
+            # The fault-tolerance boundary: ANY user-code error is a
+            # task failure by definition (exactly Hadoop's child-JVM
+            # catch). ValidationError is not swallowed — the retry
+            # policy classifies it non-retryable and re-raises below.
             record = AttemptRecord(
                 attempt=attempt,
                 outcome="failed",
@@ -274,7 +278,10 @@ def _speculate(
     started = time.perf_counter()
     try:
         backup_result = run_once(attempt)
-    except Exception as exc:
+    except Exception as exc:  # repro: allow[REP006]
+        # Same fault-tolerance boundary as attempt_task: a crashed
+        # backup of any error type must not kill the job while the
+        # straggler's completed result stands.
         # Winner last: the crashed backup is recorded before the
         # straggler's surviving success.
         attempts.append(

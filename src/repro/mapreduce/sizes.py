@@ -60,5 +60,8 @@ def payload_size(value: Any) -> int:
         return int(ids.nbytes + values.nbytes) + _OVERHEAD
     try:
         return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError, RecursionError):
+        # The concrete ways pickling an arbitrary object fails. A bare
+        # Exception here would also swallow ValidationError raised by a
+        # payload's own __reduce__, hiding real configuration bugs.
         return 64  # opaque object; charge a flat token

@@ -13,7 +13,7 @@ makespan is identical by construction (tested).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.errors import ValidationError
 from repro.mapreduce.cluster import SimulatedCluster

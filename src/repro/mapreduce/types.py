@@ -9,8 +9,8 @@ distributed cache available to every task through its
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Sequence, Tuple
 
 from repro.errors import ValidationError
 from repro.mapreduce.counters import Counters

@@ -24,7 +24,7 @@ module doubles as a command-line checker::
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence
+from typing import Any, List, Sequence
 
 from repro.obs.events import ATTEMPT_EVENT_OUTCOMES, EVENT_TYPES, Event
 

@@ -12,7 +12,7 @@ touching the O(n²) oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

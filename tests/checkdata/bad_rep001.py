@@ -1,0 +1,31 @@
+"""Known-bad fixture: REP001 wall-clock reads and unseeded randomness."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def timestamp():
+    return time.time()  # <- REP001
+
+
+def today():
+    return datetime.now()  # <- REP001
+
+
+def pick(items):
+    return random.choice(items)  # <- REP001
+
+
+def noise():
+    return np.random.rand(3)  # <- REP001
+
+
+def fresh_rng():
+    return random.Random()  # <- REP001
+
+
+def fresh_generator():
+    return np.random.default_rng()  # <- REP001

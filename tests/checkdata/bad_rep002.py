@@ -1,0 +1,23 @@
+"""Known-bad fixture: REP002 iteration over unordered sets."""
+
+
+def direct(points):
+    cells = {p.cell for p in points}
+    for cell in cells:  # <- REP002
+        yield cell
+
+
+def through_list():
+    seen = set()
+    seen.add(1)
+    return list(seen)  # <- REP002
+
+
+def joined(names):
+    tags = {n.strip() for n in names}
+    return ",".join(tags)  # <- REP002
+
+
+def comprehended(groups):
+    replicated = set(groups) & set(groups[:1])
+    return {g: i for i, g in enumerate(replicated)}  # <- REP002

@@ -1,0 +1,11 @@
+"""Known-bad fixture: REP003 undocumented counter names."""
+
+from repro.mapreduce import counters as counter_names
+
+
+class CountingThing:
+    def run(self, ctx):
+        ctx.counters.inc("my_adhoc_counter")  # <- REP003
+        ctx.counters.inc(counter_names.TOTALLY_BOGUS)  # <- REP003
+        ctx.counters.inc("skyline.tuple_compares")  # documented: fine
+        ctx.counters.inc(counter_names.TUPLE_COMPARES)  # constant: fine

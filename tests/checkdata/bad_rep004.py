@@ -1,0 +1,25 @@
+"""Known-bad fixture: REP004 impure mapper/reducer task code."""
+
+TOTALS = {}
+
+
+class LeakyMapper(Mapper):  # noqa: F821 -- never imported, parse-only
+    def map(self, key, value, ctx):
+        global TOTALS  # <- REP004
+        TOTALS[key] = value
+        value[0] = 0.0  # <- REP004
+        value.sort()  # <- REP004
+        ctx.emit(key, value)
+
+
+class SideEffectReducer(Reducer):  # noqa: F821
+    def reduce(self, key, values, ctx):
+        values.append(None)  # <- REP004
+        ctx.emit(key, len(values))
+
+
+class CleanReducer(Reducer):  # noqa: F821
+    def reduce(self, key, values, ctx):
+        merged = list(values)
+        merged.sort()
+        ctx.emit(key, merged)

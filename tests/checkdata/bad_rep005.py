@@ -1,0 +1,9 @@
+"""Known-bad fixture: REP005 untyped event emissions."""
+
+from repro.obs.events import JobStart
+
+
+def publish(bus, job):
+    bus.emit({"type": "job_start", "job": job.name})  # <- REP005
+    bus.emit(FrobnicationDone(job=job.name))  # noqa: F821  # <- REP005
+    bus.emit(JobStart(job=job.name, pipeline="p"))  # typed: fine

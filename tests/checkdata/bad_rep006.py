@@ -1,0 +1,29 @@
+"""Known-bad fixture: REP006 broad exception handlers."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # <- REP006
+        return None
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # <- REP006
+        return None
+
+
+def swallow_in_tuple(fn):
+    try:
+        return fn()
+    except (ValueError, Exception):  # <- REP006
+        return None
+
+
+def narrow(fn):
+    try:
+        return fn()
+    except (ValueError, KeyError):
+        return None

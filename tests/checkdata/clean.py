@@ -1,0 +1,43 @@
+"""Fixture: determinism-conscious code the checker must fully accept."""
+
+import random
+import time
+
+from repro.mapreduce import counters as counter_names
+from repro.obs.events import JobEnd
+
+
+def seeded():
+    return random.Random(7).random()
+
+
+def probe():
+    return time.perf_counter()
+
+
+def ordered(points):
+    cells = {p.cell for p in points}
+    for cell in sorted(cells):
+        yield cell
+
+
+def consumed(cells):
+    other = frozenset(range(3))
+    return len(cells), max(other), (1 in cells), set(c + 1 for c in other)
+
+
+class TidyMapper(Mapper):  # noqa: F821 -- never imported, parse-only
+    def map(self, key, value, ctx):
+        ctx.counters.inc(counter_names.TUPLE_COMPARES)
+        ctx.emit(key, list(value))
+
+
+def farewell(bus, job):
+    bus.emit(JobEnd(job=job.name, pipeline="p"))
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except (ValueError, OSError):
+        return None

@@ -1,0 +1,6 @@
+"""Fixture: a stale pragma suppressing nothing -> REP007."""
+
+
+def fine():
+    # repro: allow[REP001]  <- REP007
+    return 42

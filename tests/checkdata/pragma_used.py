@@ -1,0 +1,12 @@
+"""Fixture: pragmas that legitimately suppress violations -> clean."""
+
+import time
+
+
+def wall():
+    return time.time()  # repro: allow[REP001]
+
+
+def wall_above():
+    # repro: allow[REP001]
+    return time.time()

@@ -1,0 +1,132 @@
+"""The REP rule catalogue against the known-bad fixture programs.
+
+Every ``tests/checkdata/bad_repNNN.py`` fixture tags its violations
+with ``<- REPNNN`` markers; the checker must report exactly the marked
+(line, rule) pairs.  Both directions are enforced: a missed marker is a
+false negative, an unmarked report is a false positive.
+
+The suite also pins the pragma contract (suppression on the line or the
+line above, REP007 for stale/unknown pragmas, docstring pragmas inert)
+and — the actual gate — that the shipped ``src/repro`` tree is clean.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.check import RULES, check_paths, check_source
+from repro.check.rules import VISITOR_RULES
+from repro.check.runner import check_file, iter_python_files, main
+
+DATA = Path(__file__).parent / "checkdata"
+MARKER = re.compile(r"<-\s*(REP\d{3})")
+
+BAD_FIXTURES = sorted(DATA.glob("bad_rep*.py"))
+
+
+def expected_markers(path):
+    out = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = MARKER.search(line)
+        if match:
+            out.add((lineno, match.group(1)))
+    return out
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
+    def test_rule_fires_exactly_at_markers(self, path):
+        expected = expected_markers(path)
+        assert expected, f"fixture {path.name} has no <- REPNNN markers"
+        got = {(v.line, v.rule_id) for v in check_file(path)}
+        assert got == expected
+
+    def test_every_visitor_rule_has_a_fixture(self):
+        covered = set()
+        for path in BAD_FIXTURES:
+            covered.update(rule for _, rule in expected_markers(path))
+        assert covered == set(VISITOR_RULES)
+
+    def test_clean_fixture_is_clean(self):
+        assert check_file(DATA / "clean.py") == []
+
+    def test_violations_carry_rule_metadata(self):
+        for violation in check_file(DATA / "bad_rep001.py"):
+            assert violation.rule_id in RULES
+            assert str(DATA / "bad_rep001.py") == violation.path
+            rendered = violation.render()
+            assert violation.rule_id in rendered
+            assert f":{violation.line}:" in rendered
+
+
+class TestPragmas:
+    def test_pragma_suppresses_on_line_and_line_above(self):
+        assert check_file(DATA / "pragma_used.py") == []
+
+    def test_stale_pragma_is_rep007(self):
+        violations = check_file(DATA / "pragma_unused.py")
+        assert [v.rule_id for v in violations] == ["REP007"]
+        assert violations[0].line == 5
+
+    def test_unknown_rule_in_pragma_is_rep007(self):
+        violations = check_source("x = 1  # repro: allow[REP999]\n", "inline")
+        assert [v.rule_id for v in violations] == ["REP007"]
+        assert "REP999" in violations[0].message
+
+    def test_empty_pragma_is_rep007(self):
+        violations = check_source("x = 1  # repro: allow[]\n", "inline")
+        assert [v.rule_id for v in violations] == ["REP007"]
+
+    def test_docstring_pragma_is_inert(self):
+        source = (
+            '"""Examples use # repro: allow[REP001] in docs."""\n'
+            "import time\n"
+            "\n"
+            "\n"
+            "def wall():\n"
+            "    return time.time()\n"
+        )
+        violations = check_source(source, "inline")
+        assert [v.rule_id for v in violations] == ["REP001"]
+
+    def test_pragma_does_not_leak_to_other_lines(self):
+        source = (
+            "import time\n"
+            "a = time.time()  # repro: allow[REP001]\n"
+            "b = time.time()\n"
+        )
+        violations = check_source(source, "inline")
+        assert [(v.rule_id, v.line) for v in violations] == [("REP001", 3)]
+
+
+class TestRunner:
+    def test_unparseable_file_is_rep000(self):
+        violations = check_source("def broken(:\n", "inline")
+        assert [v.rule_id for v in violations] == ["REP000"]
+
+    def test_iter_python_files_rejects_missing_paths(self):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files(["no/such/path"])
+
+    def test_main_exit_codes(self, capsys):
+        assert main([str(DATA / "clean.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+        assert main([str(DATA / "bad_rep006.py")]) == 1
+        assert "REP006" in capsys.readouterr().out
+        assert main(["no/such/path"]) == 2
+        assert main(["--list-rules"]) == 0
+        assert "REP004" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert main([str(DATA / "bad_rep006.py"), "--format", "json"]) == 1
+        payload = capsys.readouterr().out
+        assert '"rule": "REP006"' in payload
+
+
+class TestRepoIsClean:
+    def test_shipped_tree_has_no_violations_and_no_stale_pragmas(self):
+        src_tree = Path(repro.__file__).parent
+        violations = check_paths([str(src_tree)])
+        assert violations == [], "\n".join(v.render() for v in violations)

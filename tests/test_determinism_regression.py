@@ -1,0 +1,168 @@
+"""Determinism regression suite for the set-order hazard surface.
+
+``repro.grid.groups`` and ``repro.algorithms.common`` are the modules
+where unordered-set iteration could leak Python hash order into group
+assignments and skyline output (the REP002 hazard class).  This suite
+pins the guarantees from three directions:
+
+* **hash-seed invariance** — the full group pipeline and an mr-gpmrs
+  skyline are computed in subprocesses under different
+  ``PYTHONHASHSEED`` values and must agree byte for byte (any
+  set/str-hash order leak anywhere in the pipeline fails this);
+* **permutation invariance** — functions documented as order-free
+  really are, under shuffled inputs;
+* **constructor guards** — the invariants the determinism rests on
+  (sorted group members, globally unique output ids) raise loudly
+  instead of silently reordering.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.algorithms.common import assemble_result, compare_partitions_within
+from repro.errors import AlgorithmError, ValidationError
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+from repro.grid.groups import (
+    IndependentGroup,
+    generate_independent_groups,
+    merge_groups,
+)
+from repro.core.pointset import PointSet
+from repro.mapreduce.counters import Counters
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+HASHSEED_SCRIPT = """
+import json
+import numpy as np
+from repro import skyline
+from repro.data import generate
+from repro.grid.bitstring import Bitstring
+from repro.grid.grid import Grid
+from repro.grid.groups import generate_independent_groups, merge_groups
+
+grid = Grid.unit(4, 3)
+rng = np.random.default_rng(5)
+bits = rng.random(64) < 0.6
+groups = generate_independent_groups(grid, Bitstring(grid, bits))
+merges = {
+    strategy: [
+        [list(g.partitions), list(g.responsible)]
+        for g in merge_groups(groups, 3, strategy)
+    ]
+    for strategy in ("computation", "communication", "balanced")
+}
+data = generate("anticorrelated", 500, 3, seed=9)
+result = skyline(data, algorithm="mr-gpmrs")
+print(json.dumps({
+    "groups": [[g.seed, list(g.members)] for g in groups],
+    "merges": merges,
+    "skyline": sorted(result.indices.tolist()),
+}))
+"""
+
+
+def _run_under_hashseed(seed):
+    env = dict(os.environ, PYTHONHASHSEED=str(seed), PYTHONPATH=str(SRC))
+    proc = subprocess.run(
+        [sys.executable, "-c", HASHSEED_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+class TestHashSeedInvariance:
+    def test_groups_merging_and_skyline_ignore_hash_order(self):
+        baseline = _run_under_hashseed(0)
+        assert baseline["skyline"], "skyline unexpectedly empty"
+        for seed in (42, 31337):
+            assert _run_under_hashseed(seed) == baseline
+
+
+class TestPermutationInvariance:
+    def test_assemble_result_ignores_pair_order(self):
+        rng = np.random.default_rng(2)
+        pairs = [
+            (cell, PointSet(
+                np.arange(3, dtype=np.int64) + 10 * cell,
+                rng.random((3, 2)),
+            ))
+            for cell in (5, 1, 9, 3)
+        ]
+        ids, values = assemble_result(list(pairs), 2)
+        for _ in range(5):
+            rng.shuffle(pairs)
+            ids2, values2 = assemble_result(list(pairs), 2)
+            np.testing.assert_array_equal(ids, ids2)
+            np.testing.assert_array_equal(values, values2)
+
+    def test_compare_partitions_ignores_dict_insertion_order(self):
+        grid = Grid.unit(3, 2)
+        rng = np.random.default_rng(7)
+        cells = [0, 1, 3, 4, 8]
+        base = {
+            cell: PointSet(
+                np.arange(4, dtype=np.int64) + 10 * cell,
+                grid.min_corner(cell) + 0.3 * rng.random((4, 2)),
+            )
+            for cell in cells
+        }
+
+        def run(order):
+            ctx = SimpleNamespace(counters=Counters())
+            skylines = {
+                c: PointSet(base[c].ids.copy(), base[c].values.copy())
+                for c in order
+            }
+            compare_partitions_within(skylines, grid, ctx)
+            return (
+                {c: sorted(s.ids.tolist()) for c, s in skylines.items()},
+                ctx.counters.as_dict(),
+            )
+
+        survivors, counts = run(cells)
+        assert run(list(reversed(cells))) == (survivors, counts)
+        assert run([3, 8, 0, 4, 1]) == (survivors, counts)
+
+
+class TestGuards:
+    def test_group_members_must_be_sorted(self):
+        with pytest.raises(ValidationError, match="ascending"):
+            IndependentGroup(seed=3, members=(3, 1, 2))
+
+    def test_group_members_must_be_unique(self):
+        with pytest.raises(ValidationError, match="ascending"):
+            IndependentGroup(seed=2, members=(1, 2, 2))
+
+    def test_group_seed_must_be_member(self):
+        with pytest.raises(ValidationError, match="missing"):
+            IndependentGroup(seed=9, members=(1, 2))
+
+    def test_generated_groups_satisfy_the_guard(self):
+        grid = Grid.unit(3, 3)
+        rng = np.random.default_rng(1)
+        bits = rng.random(27) < 0.5
+        groups = generate_independent_groups(grid, Bitstring(grid, bits))
+        assert groups  # guard ran in every constructor without raising
+        merged = merge_groups(groups, 2, "balanced")
+        assert all(
+            g.partitions == tuple(sorted(g.partitions)) for g in merged
+        )
+
+    def test_assemble_result_rejects_duplicate_row_ids(self):
+        points = PointSet(
+            np.array([1, 2], dtype=np.int64), np.zeros((2, 2))
+        )
+        with pytest.raises(AlgorithmError, match="duplicate row ids"):
+            assemble_result([(0, points), (1, points)], 2)
