@@ -1,0 +1,178 @@
+"""Serving-layer load benchmark: the `serve-gate` CI scenario.
+
+Standalone (no pytest-benchmark) so CI can gate on it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+
+Replays every registered serve workload through the virtual-clock
+frontend and writes ``BENCH_serve.json`` with the headline serving
+numbers (throughput, exact p50/p99 latency, cache hit rate, shed and
+timeout rates). Every number is on the deterministic virtual clock, so
+the gate has no wall-clock noise to tolerate. The checks:
+
+* **determinism** — replaying the same (workload, seed) twice yields
+  the identical report, byte for byte;
+* **capacity ratio** — with admission limits lifted (huge queue, huge
+  timeout) so both policies answer every query, delta maintenance must
+  answer at least ``--min-ratio`` (default 10) times more queries per
+  virtual second than the recompute-per-query baseline;
+* **exactness under load** — after each replay, the incrementally
+  maintained skyline is byte-identical to a from-scratch MR-GPMRS
+  batch recompute of the final dataset;
+* **mechanism liveness** — the bursty workload actually sheds, the
+  read-heavy workload actually hits its cache, and p50 <= p99.
+
+Exits non-zero if any check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+
+from repro import skyline
+from repro.serve.workloads import SERVE_WORKLOADS, run_workload
+
+
+def _batch_ids(index) -> list:
+    """Ids of a from-scratch batch recompute of the index's data."""
+    snap = index.snapshot()
+    if len(snap) == 0:
+        return []
+    result = skyline(snap.values, algorithm="mr-gpmrs")
+    return snap.ids[result.indices].tolist()
+
+
+def _capacity_report(workload, seed: int, policy: str) -> dict:
+    """Replay with admission limits lifted: pure serving capacity.
+
+    The arrival process is compressed to near-instantaneous so both
+    policies are saturated — throughput then measures how fast the
+    server *can* answer, not how fast the workload happened to ask.
+    """
+    uncontended = dataclasses.replace(
+        workload,
+        queue_capacity=1_000_000,
+        timeout_s=1e6,
+        mean_interarrival_s=1e-6,
+    )
+    report, frontend = run_workload(uncontended, seed=seed, policy=policy)
+    report["exact"] = (
+        frontend.index.skyline_ids().tolist() == _batch_ids(frontend.index)
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small workloads")
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=10.0,
+        help="required delta/recompute capacity ratio",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_serve.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+    scale = 0.5 if args.quick else 1.0
+    failures = []
+
+    workload_reports = {}
+    print(f"serve workloads (seed {args.seed}, scale {scale}):")
+    for name in sorted(SERVE_WORKLOADS):
+        workload = SERVE_WORKLOADS[name].scaled(scale)
+        report, frontend = run_workload(workload, seed=args.seed)
+        repeat, _ = run_workload(workload, seed=args.seed)
+        if report != repeat:
+            failures.append(f"{name}: replay is not deterministic")
+        report["exact"] = (
+            frontend.index.skyline_ids().tolist()
+            == _batch_ids(frontend.index)
+        )
+        if not report["exact"]:
+            failures.append(
+                f"{name}: incremental skyline differs from batch recompute"
+            )
+        if report["p50_latency_s"] > report["p99_latency_s"]:
+            failures.append(f"{name}: p50 > p99")
+        workload_reports[name] = report
+        print(
+            f"  {name:24s} served {report['queries_served']:4d} "
+            f"(shed {report['queries_shed']}, "
+            f"timeout {report['queries_timed_out']}), "
+            f"hit rate {100 * report['cache_hit_rate']:5.1f}%, "
+            f"p50 {1e6 * report['p50_latency_s']:8.1f}us, "
+            f"p99 {1e6 * report['p99_latency_s']:8.1f}us, "
+            f"{report['queries_per_s']:8.0f} q/s"
+        )
+
+    if workload_reports["bursty-shed"]["queries_shed"] == 0:
+        failures.append("bursty-shed workload never shed a query")
+    if workload_reports["read-heavy"]["cache_hit_rate"] < 0.3:
+        failures.append(
+            "read-heavy cache hit rate below 30%: "
+            f"{workload_reports['read-heavy']['cache_hit_rate']}"
+        )
+
+    capacity_workload = SERVE_WORKLOADS["mixed-anticorrelated"].scaled(scale)
+    delta = _capacity_report(capacity_workload, args.seed, "delta")
+    recompute = _capacity_report(capacity_workload, args.seed, "recompute")
+    ratio = delta["queries_per_s"] / max(recompute["queries_per_s"], 1e-12)
+    print(
+        "capacity (admission limits lifted, mixed-anticorrelated): "
+        f"delta {delta['queries_per_s']:.0f} q/s vs recompute "
+        f"{recompute['queries_per_s']:.0f} q/s -> {ratio:.1f}x"
+    )
+    for label, report in (("delta", delta), ("recompute", recompute)):
+        if not report["exact"]:
+            failures.append(
+                f"capacity/{label}: incremental skyline differs from batch"
+            )
+        if report["queries_shed"] or report["queries_timed_out"]:
+            failures.append(
+                f"capacity/{label}: dropped queries with limits lifted"
+            )
+    if ratio < args.min_ratio:
+        failures.append(
+            f"delta/recompute capacity ratio {ratio:.2f} below the "
+            f"required {args.min_ratio}x"
+        )
+    if delta["queries_served"] != recompute["queries_served"]:
+        failures.append("capacity runs served different query counts")
+
+    payload = {
+        "seed": args.seed,
+        "scale": scale,
+        "min_ratio": args.min_ratio,
+        "workloads": workload_reports,
+        "capacity": {
+            "delta": delta,
+            "recompute": recompute,
+            "ratio": ratio,
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"written: {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all serving checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

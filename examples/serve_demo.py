@@ -1,0 +1,84 @@
+"""Serving demo: an incremental skyline index behind a query frontend.
+
+Run:  python examples/serve_demo.py
+
+Walks the serving layer end to end: build a SkylineIndex over a batch
+dataset, absorb live inserts/deletes while the skyline stays exact,
+then put the admission-controlled frontend in front of it and replay a
+seeded workload — comparing delta maintenance against the
+recompute-per-query baseline on the deterministic virtual clock.
+"""
+
+import numpy as np
+
+from repro import skyline
+from repro.data import generate
+from repro.serve import QueryFrontend, SkylineIndex, run_workload
+
+
+def main():
+    # 1. Build the index from a batch dataset. The constructor runs a
+    #    full MR-GPMRS batch job and adopts its grid and bitstring.
+    data = generate("anticorrelated", cardinality=800, dimensionality=3, seed=7)
+    index = SkylineIndex(data, staleness_budget=200)
+    print(f"index: {index.describe()}")
+
+    # 2. Absorb deltas. Inserts repair the skyline with two vectorised
+    #    dominance passes; deletes of members re-examine only the
+    #    dominated-region cells the bitstring says are still viable.
+    rng = np.random.default_rng(13)
+    for point_id in range(800, 830):
+        index.insert(rng.random(3), point_id)
+    for point_id in range(0, 60, 2):
+        index.delete(point_id)
+    print(
+        f"after 30 inserts + 30 deletes: skyline {len(index.skyline())}, "
+        f"epoch {index.epoch}, budget {index.deltas_since_refresh}/"
+        f"{index.staleness_budget}"
+    )
+
+    # 3. The maintained skyline is exactly the batch answer.
+    snap = index.snapshot()
+    batch = skyline(snap.values, algorithm="mr-gpmrs")
+    incremental = index.skyline_ids()
+    assert np.array_equal(incremental, snap.ids[batch.indices])
+    print(f"incremental == batch recompute: True ({len(incremental)} tuples)")
+
+    # 4. Serve queries through the frontend: LRU cache keyed on
+    #    (epoch, region), bounded queue, timeouts, load shedding.
+    frontend = QueryFrontend(index, queue_capacity=8, timeout_s=0.01)
+    region = ((0.0, 0.0, 0.0), (0.5, 0.5, 0.5))
+    now = 0.0
+    for step in range(50):
+        now += 2e-4
+        frontend.submit_query(now, region if step % 3 else None)
+    responses = frontend.flush()
+    served = sum(1 for r in responses if r.status == "ok")
+    hits = sum(1 for r in responses if r.cache_hit)
+    print(
+        f"frontend: served {served}/{len(responses)} queries, "
+        f"{hits} cache hits, hit rate "
+        f"{100 * frontend.cache.hit_rate():.0f}%"
+    )
+
+    # 5. Replay a registered workload under both serving policies.
+    print("\nworkload replay (mixed-anticorrelated, seed 0):")
+    for policy in ("delta", "recompute"):
+        report, _ = run_workload(
+            "mixed-anticorrelated", seed=0, policy=policy, scale=0.5
+        )
+        print(
+            f"  {policy:9s} served {report['queries_served']:3d} "
+            f"(shed {report['queries_shed']:3d}), "
+            f"p99 {1e6 * report['p99_latency_s']:9.1f}us, "
+            f"{report['queries_per_s']:7.0f} queries/s"
+        )
+    print(
+        "\ndelta maintenance keeps the skyline exact between batch "
+        "refreshes;\nthe recompute baseline pays the full dominance "
+        "bill on every miss."
+    )
+
+
+if __name__ == "__main__":
+    main()

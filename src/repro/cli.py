@@ -12,8 +12,13 @@ Subcommands
 ``check``       — run the determinism / MapReduce-purity lint
                   (see docs/static_analysis.md); the CI gate is
                   ``repro-skyline check src``.
-``list``        — list algorithms and experiments (``--counters`` adds
-                  the documented counter/histogram vocabulary).
+``serve``       — replay a seeded serving workload through the
+                  incremental skyline frontend (``--compare`` also runs
+                  the recompute-per-query baseline and prints the
+                  throughput ratio).
+``list``        — list algorithms, experiments and serve workloads
+                  (``--counters`` adds the documented
+                  counter/histogram vocabulary).
 
 Examples::
 
@@ -24,6 +29,7 @@ Examples::
     repro-skyline report r.json
     repro-skyline report a.json b.json
     repro-skyline experiment fig7 --scale 0.005 --verbose
+    repro-skyline serve mixed-anticorrelated --compare
     repro-skyline check src --format json
 """
 
@@ -221,7 +227,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
 
-    lister = sub.add_parser("list", help="list algorithms and experiments")
+    from repro.serve.workloads import SERVE_WORKLOADS
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a serving workload through the incremental frontend",
+    )
+    serve.add_argument(
+        "workload",
+        nargs="?",
+        default="read-heavy",
+        choices=sorted(SERVE_WORKLOADS),
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--policy",
+        default="delta",
+        choices=["delta", "recompute"],
+        help="'delta' serves from the maintained index; 'recompute' is "
+        "the recompute-per-query baseline",
+    )
+    serve.add_argument(
+        "--compare",
+        action="store_true",
+        help="run both policies and print the throughput ratio",
+    )
+    serve.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale the workload's cardinality and op count",
+    )
+    serve.add_argument(
+        "--engine",
+        default="serial",
+        choices=["serial", "threads", "processes", "contract"],
+        help="engine for staleness-budget batch refreshes",
+    )
+    serve.add_argument("--workers", type=int, default=None)
+
+    lister = sub.add_parser(
+        "list", help="list algorithms, experiments and serve workloads"
+    )
     lister.add_argument(
         "--counters",
         action="store_true",
@@ -501,13 +548,93 @@ def _cmd_check(args) -> int:
     return 1 if violations else 0
 
 
+def _serve_engine(name: str, workers: Optional[int]):
+    if name == "threads":
+        from repro.mapreduce.parallel import ThreadPoolEngine
+
+        return ThreadPoolEngine(max_workers=workers)
+    if name == "processes":
+        from repro.mapreduce.parallel import ProcessPoolEngine
+
+        return ProcessPoolEngine(max_workers=workers)
+    if name == "contract":
+        from repro.check.contracts import ContractCheckingEngine
+
+        return ContractCheckingEngine()
+    return None  # SkylineIndex default: SerialEngine
+
+
+def _render_serve_report(report: dict) -> str:
+    ops = report["ops"]
+    lines = [
+        f"serve workload {report['workload']!r} "
+        f"(policy={report['policy']}, seed={report['seed']})",
+        f"  ops: {ops['query']} queries / {ops['insert']} inserts / "
+        f"{ops['delete']} deletes",
+        f"  served {report['queries_served']}, "
+        f"shed {report['queries_shed']}, "
+        f"timed out {report['queries_timed_out']}",
+        f"  cache hit rate {100 * report['cache_hit_rate']:.1f}%",
+        f"  latency p50 {1e6 * report['p50_latency_s']:.1f}us, "
+        f"p99 {1e6 * report['p99_latency_s']:.1f}us",
+        f"  throughput {report['queries_per_s']:.0f} queries/s "
+        f"over {report['makespan_s']:.4f} virtual seconds",
+        f"  final skyline {report['final_skyline_size']} tuples, "
+        f"epoch {report['final_epoch']}, "
+        f"batch refreshes {report['batch_refreshes']}",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.workloads import run_workload
+
+    engine = _serve_engine(args.engine, args.workers)
+    report, _ = run_workload(
+        args.workload,
+        seed=args.seed,
+        policy=args.policy,
+        engine=engine,
+        scale=args.scale,
+    )
+    print(_render_serve_report(report))
+    if args.compare:
+        other_policy = "recompute" if args.policy == "delta" else "delta"
+        other, _ = run_workload(
+            args.workload,
+            seed=args.seed,
+            policy=other_policy,
+            engine=engine,
+            scale=args.scale,
+        )
+        print()
+        print(_render_serve_report(other))
+        delta_qps = (
+            report if report["policy"] == "delta" else other
+        )["queries_per_s"]
+        recompute_qps = (
+            other if report["policy"] == "delta" else report
+        )["queries_per_s"]
+        ratio = delta_qps / max(recompute_qps, 1e-12)
+        print(
+            f"\ndelta maintenance served {ratio:.1f}x more queries per "
+            "virtual second than recompute-per-query"
+        )
+    return 0
+
+
 def _cmd_list(args) -> int:
+    from repro.serve.workloads import SERVE_WORKLOADS
+
     print("algorithms:")
     for name in available_algorithms():
         print(f"  {name}")
     print("experiments:")
     for name in sorted(EXPERIMENTS):
         print(f"  {name}")
+    print("serve workloads:")
+    for name in sorted(SERVE_WORKLOADS):
+        print(f"  {name:24s} {SERVE_WORKLOADS[name].description}")
     if getattr(args, "counters", False):
         from repro.obs import documented_metrics
 
@@ -537,6 +664,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "check":
             return _cmd_check(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_list(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -79,6 +79,18 @@ TUPLE_COMPARES = "skyline.tuple_compares"
 TUPLES_PRUNED_BY_BITSTRING = "skyline.tuples_pruned_by_bitstring"
 LOCAL_SKYLINE_SIZE = "skyline.local_skyline_size"
 
+#: Serving-layer counters (:mod:`repro.serve`).
+SERVE_QUERIES = "serve.queries"
+SERVE_CACHE_HITS = "serve.cache_hits"
+SERVE_CACHE_MISSES = "serve.cache_misses"
+SERVE_CACHE_EVICTIONS = "serve.cache_evictions"
+SERVE_QUERIES_SHED = "serve.queries_shed"
+SERVE_QUERIES_TIMED_OUT = "serve.queries_timed_out"
+SERVE_INSERTS = "serve.inserts"
+SERVE_DELETES = "serve.deletes"
+SERVE_DELTA_REPAIRS = "serve.delta_repairs"
+SERVE_BATCH_REFRESHES = "serve.batch_refreshes"
+
 #: One-line documentation per canonical counter. The observability
 #: metric registry (:mod:`repro.obs.metrics`) and ``repro-skyline list
 #: --counters`` read this mapping, so the docs cannot drift from the
@@ -99,4 +111,24 @@ COUNTER_DOCS = {
         "Tuples discarded because their partition's bitstring bit was 0."
     ),
     LOCAL_SKYLINE_SIZE: "Tuples surviving into partition-local skylines.",
+    SERVE_QUERIES: "Skyline queries admitted and answered by the frontend.",
+    SERVE_CACHE_HITS: "Queries answered straight from the result cache.",
+    SERVE_CACHE_MISSES: "Queries that had to consult the skyline index.",
+    SERVE_CACHE_EVICTIONS: "Result-cache entries evicted (LRU or epoch).",
+    SERVE_QUERIES_SHED: (
+        "Queries rejected by admission control (bounded queue full)."
+    ),
+    SERVE_QUERIES_TIMED_OUT: (
+        "Admitted queries dropped because their deadline passed in queue."
+    ),
+    SERVE_INSERTS: "Point inserts applied to the skyline index.",
+    SERVE_DELETES: "Point deletes applied to the skyline index.",
+    SERVE_DELTA_REPAIRS: (
+        "Deletes of skyline members repaired from the dominated-region "
+        "cells instead of a full recompute."
+    ),
+    SERVE_BATCH_REFRESHES: (
+        "Full batch recomputes triggered by the staleness budget "
+        "(MR-GPSRS/MR-GPMRS through the configured engine)."
+    ),
 }

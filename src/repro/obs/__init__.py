@@ -31,6 +31,7 @@ walkthrough.
 from repro.obs.events import (
     ATTEMPT_EVENT_OUTCOMES,
     EVENT_TYPES,
+    SERVE_REJECT_REASONS,
     Broadcast,
     Event,
     EventBus,
@@ -40,6 +41,10 @@ from repro.obs.events import (
     JobStart,
     PipelineEnd,
     PipelineStart,
+    ServeBatchRefresh,
+    ServeDeltaApplied,
+    ServeQueryRejected,
+    ServeQueryServed,
     Shuffle,
     SpeculationLaunched,
     TaskAttemptEnd,
@@ -85,6 +90,11 @@ __all__ = [
     "MetricsCollector",
     "PipelineEnd",
     "PipelineStart",
+    "SERVE_REJECT_REASONS",
+    "ServeBatchRefresh",
+    "ServeDeltaApplied",
+    "ServeQueryRejected",
+    "ServeQueryServed",
     "Shuffle",
     "Span",
     "SpanTracer",

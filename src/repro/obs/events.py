@@ -178,6 +178,63 @@ class SpeculationLaunched(Event):
     replay: bool = False
 
 
+#: Rejection vocabulary of :class:`ServeQueryRejected`.
+SERVE_REJECT_REASONS = ("shed", "timeout")
+
+
+@dataclass(frozen=True)
+class ServeQueryServed(Event):
+    """The serving frontend answered one skyline query.
+
+    ``latency_s`` is on the frontend's clock — the deterministic
+    virtual clock under a replayed schedule, wall time in threaded
+    mode. ``source`` says where the answer came from (``cache`` /
+    ``index``)."""
+
+    kind = "serve_query_served"
+    request_id: int
+    epoch: int
+    cache_hit: bool
+    latency_s: float
+    result_size: int
+    source: str = "index"
+
+
+@dataclass(frozen=True)
+class ServeQueryRejected(Event):
+    """A query was refused: shed at admission or expired in queue."""
+
+    kind = "serve_query_rejected"
+    request_id: int
+    reason: str  # 'shed' | 'timeout'
+    queue_depth: int = 0
+
+
+@dataclass(frozen=True)
+class ServeDeltaApplied(Event):
+    """One insert/delete absorbed by the index's delta path."""
+
+    kind = "serve_delta_applied"
+    op: str  # 'insert' | 'delete'
+    point_id: int
+    cell: int
+    epoch: int
+    bit_flipped: bool = False
+    repair_candidates: int = 0
+    skyline_size: int = 0
+
+
+@dataclass(frozen=True)
+class ServeBatchRefresh(Event):
+    """The staleness budget triggered a full batch recompute."""
+
+    kind = "serve_batch_refresh"
+    epoch: int
+    deltas_absorbed: int
+    algorithm: str
+    skyline_size: int = 0
+
+
 #: Every event type, keyed by wire name (drives the schema module).
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
@@ -192,6 +249,10 @@ EVENT_TYPES: Dict[str, type] = {
         TaskAttemptEnd,
         FaultInjected,
         SpeculationLaunched,
+        ServeQueryServed,
+        ServeQueryRejected,
+        ServeDeltaApplied,
+        ServeBatchRefresh,
     )
 }
 

@@ -25,7 +25,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ValidationError
 from repro.mapreduce.counters import COUNTER_DOCS
-from repro.obs.events import Event, JobEnd, PipelineEnd, Shuffle, TaskAttemptEnd
+from repro.obs.events import (
+    Event,
+    JobEnd,
+    PipelineEnd,
+    ServeDeltaApplied,
+    ServeQueryServed,
+    Shuffle,
+    TaskAttemptEnd,
+)
 
 #: Fixed power-of-two upper bounds for count/byte histograms.
 POW2_BOUNDS: Tuple[int, ...] = tuple(2 ** k for k in range(0, 41))
@@ -192,6 +200,27 @@ G_SKYLINE_SIZE = register(
         scope="obs",
     )
 ).name
+H_SERVE_QUERY_LATENCY = register(
+    MetricSpec(
+        "serve.query_latency_s",
+        "histogram",
+        "seconds",
+        "Per-query latency on the serving frontend's clock (virtual "
+        "time under a replayed schedule, so deterministic; the serve "
+        "report derives exact p50/p99 from the raw samples).",
+        scope="serve",
+    )
+).name
+H_SERVE_REPAIR_CANDIDATES = register(
+    MetricSpec(
+        "serve.repair_candidates",
+        "histogram",
+        "tuples",
+        "Candidate tuples re-examined per delete-repair (the points "
+        "of the deleted member's dominated-region cells).",
+        scope="serve",
+    )
+).name
 
 
 def documented_metrics(scope: Optional[str] = None) -> List[MetricSpec]:
@@ -224,6 +253,10 @@ class MetricsCollector:
             H_ATTEMPT_DURATION: Histogram(
                 H_ATTEMPT_DURATION, bounds=DECADE_BOUNDS
             ),
+            H_SERVE_QUERY_LATENCY: Histogram(
+                H_SERVE_QUERY_LATENCY, bounds=DECADE_BOUNDS
+            ),
+            H_SERVE_REPAIR_CANDIDATES: Histogram(H_SERVE_REPAIR_CANDIDATES),
         }
         self.gauges: Dict[str, float] = {}
 
@@ -255,6 +288,13 @@ class MetricsCollector:
         elif isinstance(event, PipelineEnd):
             if event.skyline_size is not None:
                 self.gauges[G_SKYLINE_SIZE] = event.skyline_size
+        elif isinstance(event, ServeQueryServed):
+            self.histograms[H_SERVE_QUERY_LATENCY].observe(event.latency_s)
+        elif isinstance(event, ServeDeltaApplied):
+            if event.op == "delete":
+                self.histograms[H_SERVE_REPAIR_CANDIDATES].observe(
+                    event.repair_candidates
+                )
 
     def summaries(self, wall_clock: bool) -> Dict[str, Dict]:
         """Histogram summaries for one clock domain, sorted by name."""

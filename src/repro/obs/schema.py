@@ -26,7 +26,12 @@ from __future__ import annotations
 import json
 from typing import Any, List, Sequence
 
-from repro.obs.events import ATTEMPT_EVENT_OUTCOMES, EVENT_TYPES, Event
+from repro.obs.events import (
+    ATTEMPT_EVENT_OUTCOMES,
+    EVENT_TYPES,
+    SERVE_REJECT_REASONS,
+    Event,
+)
 
 #: Report keys whose contents are deterministic for a fixed
 #: (data, config, engine-semantics) triple; everything wall-clock
@@ -80,6 +85,23 @@ def validate_events(events: Sequence[Event]) -> List[str]:
             event.attempt < 0
         ):
             problems.append(f"event {position}: negative attempt index")
+        if kind == "serve_query_served":
+            if event.latency_s < 0:
+                problems.append(f"event {position}: negative latency")
+            if event.result_size < 0:
+                problems.append(f"event {position}: negative result size")
+        if kind == "serve_query_rejected" and (
+            event.reason not in SERVE_REJECT_REASONS
+        ):
+            problems.append(
+                f"event {position}: reason {event.reason!r} not in "
+                f"{SERVE_REJECT_REASONS}"
+            )
+        if kind == "serve_delta_applied" and event.op not in (
+            "insert",
+            "delete",
+        ):
+            problems.append(f"event {position}: unknown delta op {event.op!r}")
     return problems
 
 

@@ -1,0 +1,70 @@
+"""repro.serve — the incremental skyline serving layer.
+
+The batch pipelines answer "what is the skyline of this dataset";
+``repro.serve`` keeps answering while the dataset changes and queries
+arrive concurrently:
+
+* :class:`SkylineIndex` (:mod:`repro.serve.index`) — the batch
+  substrate (grid, global bitstring, per-cell buckets, skyline) kept
+  exact under ``insert``/``delete`` deltas, with a bounded local
+  repair for deletes and a staleness-budget batch refresh that reuses
+  MR-GPSRS/MR-GPMRS through the existing engines;
+* :class:`ResultCache` (:mod:`repro.serve.cache`) — LRU results keyed
+  on (dataset epoch, constraint region), epoch-invalidated on deltas;
+* :class:`QueryFrontend` / :class:`ThreadedFrontend`
+  (:mod:`repro.serve.frontend`) — admission control with a bounded
+  queue, timeouts, and load shedding; deterministic under a seeded
+  schedule on the virtual clock, with a real-thread mode for demos;
+* :data:`SERVE_WORKLOADS` (:mod:`repro.serve.workloads`) — seeded
+  load generators + the replay driver behind ``repro-skyline serve``
+  and ``benchmarks/bench_serve.py``.
+
+See ``docs/serving.md`` for the design and the correctness argument.
+"""
+
+from repro.serve.cache import ResultCache, region_key
+from repro.serve.frontend import (
+    RESPONSE_STATUSES,
+    SERVING_POLICIES,
+    CostModel,
+    QueryFrontend,
+    QueryResponse,
+    ThreadedFrontend,
+)
+from repro.serve.index import (
+    DEFAULT_STALENESS_BUDGET,
+    REFRESH_ALGORITHMS,
+    SkylineIndex,
+)
+from repro.serve.workloads import (
+    SERVE_WORKLOADS,
+    OpStream,
+    ServeWorkload,
+    build_serve_report,
+    exact_percentile,
+    generate_ops,
+    replay,
+    run_workload,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_STALENESS_BUDGET",
+    "OpStream",
+    "QueryFrontend",
+    "QueryResponse",
+    "REFRESH_ALGORITHMS",
+    "RESPONSE_STATUSES",
+    "ResultCache",
+    "SERVE_WORKLOADS",
+    "SERVING_POLICIES",
+    "ServeWorkload",
+    "SkylineIndex",
+    "ThreadedFrontend",
+    "build_serve_report",
+    "exact_percentile",
+    "generate_ops",
+    "region_key",
+    "replay",
+    "run_workload",
+]

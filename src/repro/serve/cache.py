@@ -1,0 +1,106 @@
+"""LRU result cache keyed on (dataset epoch, constraint region).
+
+The frontend's fast path: a query's answer depends only on the index
+**epoch** (bumped by every insert/delete) and the **constraint region**
+it asked for, so ``(epoch, region)`` is a sound cache key — a delta
+arriving between two identical queries changes the epoch, and the stale
+entry can never be returned. Eviction is two-pronged:
+
+* **LRU** — the cache holds at most ``capacity`` entries; a hit
+  refreshes the entry's recency, a put over capacity drops the least
+  recently used entry;
+* **epoch invalidation** — after a delta the frontend calls
+  :meth:`invalidate_before`, dropping every entry from an older epoch
+  in one sweep (they can never hit again; keeping them only displaces
+  live entries).
+
+All hits/misses/evictions are charged to the documented ``serve.*``
+counters. Not thread-safe on its own — the frontend serialises access
+(virtual mode is single-threaded; threaded mode holds a lock).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.counters import Counters
+
+
+def region_key(region: Optional[Tuple]) -> Optional[Tuple]:
+    """Canonical hashable form of a constraint region (None = full)."""
+    if region is None:
+        return None
+    lows = tuple(float(x) for x in np.asarray(region[0]).ravel())
+    highs = tuple(float(x) for x in np.asarray(region[1]).ravel())
+    return (lows, highs)
+
+
+class ResultCache:
+    """Bounded LRU of query results keyed on (epoch, region)."""
+
+    def __init__(
+        self, capacity: int = 128, counters: Optional[Counters] = None
+    ):
+        if capacity < 0:
+            raise ValidationError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.counters = counters if counters is not None else Counters()
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, epoch: int, region: Optional[Tuple]) -> Tuple:
+        return (int(epoch), region_key(region))
+
+    def get(self, epoch: int, region: Optional[Tuple] = None):
+        """Cached result or None; a hit refreshes LRU recency."""
+        key = self._key(epoch, region)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.counters.inc(counter_names.SERVE_CACHE_HITS)
+            return self._entries[key]
+        self.misses += 1
+        self.counters.inc(counter_names.SERVE_CACHE_MISSES)
+        return None
+
+    def put(self, epoch: int, region: Optional[Tuple], value) -> None:
+        if self.capacity == 0:
+            return
+        key = self._key(epoch, region)
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self.counters.inc(counter_names.SERVE_CACHE_EVICTIONS)
+
+    def invalidate_before(self, epoch: int) -> int:
+        """Drop every entry whose epoch predates ``epoch``."""
+        stale = [key for key in self._entries if key[0] < epoch]
+        for key in stale:
+            del self._entries[key]
+            self.evictions += 1
+            self.counters.inc(counter_names.SERVE_CACHE_EVICTIONS)
+        return len(stale)
+
+    def contains(self, epoch: int, region: Optional[Tuple] = None) -> bool:
+        """Membership probe without touching recency or counters."""
+        return self._key(epoch, region) in self._entries
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Current keys, LRU-first (tests and debugging)."""
+        return tuple(self._entries.keys())
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

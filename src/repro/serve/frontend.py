@@ -1,0 +1,492 @@
+"""The admission-controlled query frontend over a :class:`SkylineIndex`.
+
+Two execution modes share one serving core (result cache in front of
+the index, typed events, documented counters):
+
+* :class:`QueryFrontend` — the **deterministic virtual-clock mode**.
+  Requests carry explicit arrival times and are replayed through a
+  single-server FIFO queueing model: a query starts at
+  ``max(server_free, arrival)``, is **shed** at admission when the
+  bounded queue is full, **times out** when it would wait longer than
+  the timeout, and otherwise runs for a virtual service time
+  proportional to the *measured* work (dominance pairs charged by the
+  index, result tuples copied, cache probes). Given the same seeded
+  request schedule the whole run — every latency, every shed, every
+  cache hit — is byte-identical, which is what lets the serve-gate CI
+  job enforce latency/throughput thresholds without wall-clock noise.
+
+* :class:`ThreadedFrontend` — a thin **real-thread mode** (worker
+  thread + bounded ``queue.Queue``) for demos and smoke tests. Same
+  cache/admission semantics, but latencies come from
+  ``time.perf_counter`` and are *not* deterministic; nothing in CI
+  asserts on them beyond liveness.
+
+Serving policies (virtual mode):
+
+* ``delta`` — answer from the incrementally-maintained skyline (cache
+  in front); mutations pay their measured repair work on the server's
+  clock. This is the subsystem under test.
+* ``recompute`` — the baseline the ISSUE's ≥10x claim is measured
+  against: every cache-less query recomputes the skyline from scratch
+  (the paper's sequential sort-filter over a snapshot) and pays the
+  measured comparison work; mutations only pay the storage update.
+
+Both policies run the *same* cost model, so the throughput ratio
+reflects algorithmic work, not tuned constants.
+"""
+
+from __future__ import annotations
+
+import math
+import queue as queue_module
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dominance import DominanceCounter
+from repro.core.pointset import PointSet
+from repro.errors import ValidationError
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.counters import Counters
+from repro.obs.events import ServeQueryRejected, ServeQueryServed
+from repro.serve.cache import ResultCache
+from repro.serve.index import SkylineIndex
+
+SERVING_POLICIES = ("delta", "recompute")
+
+#: Response statuses (the rejection subset mirrors
+#: :data:`repro.obs.events.SERVE_REJECT_REASONS`).
+RESPONSE_STATUSES = ("ok", "shed", "timeout")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual seconds charged per unit of measured work.
+
+    The absolute scale is arbitrary (it cancels out of the
+    delta-vs-recompute throughput ratio); the *relative* weights say
+    that a dominance pair and a copied result tuple cost the same, a
+    cache hit skips the index entirely, and every operation pays a
+    fixed dispatch overhead.
+    """
+
+    seconds_per_pair: float = 1e-7
+    per_result_tuple_s: float = 1e-7
+    query_base_s: float = 1e-4
+    cache_hit_s: float = 1e-5
+    mutation_base_s: float = 2e-5
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Outcome of one submitted query."""
+
+    request_id: int
+    status: str  # 'ok' | 'shed' | 'timeout'
+    arrival_s: float
+    finish_s: float
+    latency_s: float
+    cache_hit: bool = False
+    result_size: int = 0
+    result: Optional[PointSet] = None
+
+
+def _bus_active(bus) -> bool:
+    return bus is not None and bus.active
+
+
+class _ServingCore:
+    """Cache + index lookup shared by both frontends."""
+
+    def __init__(
+        self,
+        index: SkylineIndex,
+        policy: str,
+        cache_capacity: int,
+        counters: Counters,
+        bus,
+        cost: CostModel,
+    ):
+        if policy not in SERVING_POLICIES:
+            raise ValidationError(
+                f"policy must be one of {SERVING_POLICIES}, got {policy!r}"
+            )
+        self.index = index
+        self.policy = policy
+        self.counters = counters
+        self.bus = bus
+        self.cost = cost
+        self.cache = ResultCache(cache_capacity, counters)
+
+    def answer(self, region) -> Tuple[PointSet, bool, float]:
+        """(result, cache_hit, virtual service seconds) for one query."""
+        epoch = self.index.epoch
+        if self.cache.capacity:
+            cached = self.cache.get(epoch, region)
+            if cached is not None:
+                return cached, True, self.cost.cache_hit_s
+        if self.policy == "delta":
+            result = self.index.query(region)
+            pairs = 0
+        else:
+            counter = DominanceCounter()
+            snapshot = self.index.snapshot()
+            sky = snapshot.local_skyline(counter)
+            sky = sky.sort_by(sky.ids)  # the batch output convention
+            self.counters.inc(counter_names.TUPLE_COMPARES, counter.pairs)
+            result = _filter_region(sky, region)
+            pairs = counter.pairs
+        if self.cache.capacity:
+            self.cache.put(epoch, region, result)
+        duration = (
+            self.cost.query_base_s
+            + pairs * self.cost.seconds_per_pair
+            + len(result) * self.cost.per_result_tuple_s
+        )
+        return result, False, duration
+
+
+def _filter_region(sky: PointSet, region) -> PointSet:
+    if region is None or len(sky) == 0:
+        return sky
+    lows = np.asarray(region[0], dtype=np.float64).ravel()
+    highs = np.asarray(region[1], dtype=np.float64).ravel()
+    inside = (sky.values >= lows).all(axis=1) & (sky.values <= highs).all(
+        axis=1
+    )
+    return sky.select(inside)
+
+
+class QueryFrontend:
+    """Deterministic virtual-clock frontend (single-server FIFO).
+
+    Calls must arrive in nondecreasing virtual time; every entry point
+    first *drains* queued queries whose service would start at or
+    before the new time — so a query always sees exactly the index
+    state at its start instant, even with interleaved mutations — and
+    then applies its own operation. :meth:`flush` drains the remainder
+    (no further mutations can precede them) and returns all responses.
+    """
+
+    def __init__(
+        self,
+        index: SkylineIndex,
+        *,
+        policy: str = "delta",
+        cache_capacity: int = 128,
+        queue_capacity: int = 16,
+        timeout_s: float = 0.05,
+        cost_model: Optional[CostModel] = None,
+        counters: Optional[Counters] = None,
+        bus=None,
+    ):
+        if queue_capacity < 1:
+            raise ValidationError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        if timeout_s <= 0:
+            raise ValidationError(f"timeout_s must be > 0, got {timeout_s}")
+        self.index = index
+        self.queue_capacity = int(queue_capacity)
+        self.timeout_s = float(timeout_s)
+        self.counters = counters if counters is not None else index.counters
+        self.bus = bus if bus is not None else index.bus
+        self.core = _ServingCore(
+            index,
+            policy,
+            cache_capacity,
+            self.counters,
+            self.bus,
+            cost_model if cost_model is not None else CostModel(),
+        )
+        self._queue: deque = deque()  # (request_id, arrival_s, region)
+        self._now_s = 0.0
+        self._server_free_s = 0.0
+        self._next_request = 0
+        self.responses: List[QueryResponse] = []
+
+    @property
+    def cache(self) -> ResultCache:
+        return self.core.cache
+
+    @property
+    def policy(self) -> str:
+        return self.core.policy
+
+    # -- virtual-clock mechanics ---------------------------------------
+
+    def _advance(self, at_s: float) -> None:
+        if at_s < self._now_s - 1e-12:
+            raise ValidationError(
+                f"operations must be time-ordered: {at_s} < {self._now_s}"
+            )
+        self._now_s = max(self._now_s, float(at_s))
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._queue:
+            request_id, arrival_s, region = self._queue[0]
+            start_s = max(self._server_free_s, arrival_s)
+            if start_s > self._now_s:
+                break
+            self._queue.popleft()
+            if start_s - arrival_s > self.timeout_s:
+                self._reject(
+                    request_id, "timeout", arrival_s, arrival_s + self.timeout_s
+                )
+                continue
+            result, cache_hit, duration = self.core.answer(region)
+            finish_s = start_s + duration
+            self._server_free_s = finish_s
+            self._record_served(
+                request_id, arrival_s, finish_s, cache_hit, result
+            )
+
+    def _record_served(
+        self, request_id, arrival_s, finish_s, cache_hit, result
+    ) -> None:
+        latency_s = finish_s - arrival_s
+        self.responses.append(
+            QueryResponse(
+                request_id=request_id,
+                status="ok",
+                arrival_s=arrival_s,
+                finish_s=finish_s,
+                latency_s=latency_s,
+                cache_hit=cache_hit,
+                result_size=len(result),
+                result=result,
+            )
+        )
+        self.counters.inc(counter_names.SERVE_QUERIES)
+        if _bus_active(self.bus):
+            self.bus.emit(
+                ServeQueryServed(
+                    request_id=request_id,
+                    epoch=self.index.epoch,
+                    cache_hit=cache_hit,
+                    latency_s=latency_s,
+                    result_size=len(result),
+                    source="cache" if cache_hit else "index",
+                )
+            )
+
+    def _reject(self, request_id, reason, arrival_s, decided_s) -> None:
+        self.responses.append(
+            QueryResponse(
+                request_id=request_id,
+                status=reason,
+                arrival_s=arrival_s,
+                finish_s=decided_s,
+                latency_s=decided_s - arrival_s,
+            )
+        )
+        name = (
+            counter_names.SERVE_QUERIES_SHED
+            if reason == "shed"
+            else counter_names.SERVE_QUERIES_TIMED_OUT
+        )
+        self.counters.inc(name)
+        if _bus_active(self.bus):
+            self.bus.emit(
+                ServeQueryRejected(
+                    request_id=request_id,
+                    reason=reason,
+                    queue_depth=len(self._queue),
+                )
+            )
+
+    # -- entry points ---------------------------------------------------
+
+    def submit_query(self, at_s: float, region=None) -> int:
+        """Submit one query at virtual time ``at_s``; returns its id."""
+        self._advance(at_s)
+        request_id = self._next_request
+        self._next_request += 1
+        busy = self._server_free_s > self._now_s
+        if busy and len(self._queue) >= self.queue_capacity:
+            self._reject(request_id, "shed", at_s, at_s)
+            return request_id
+        self._queue.append((request_id, float(at_s), region))
+        self._drain()
+        return request_id
+
+    def apply_insert(self, at_s: float, point, point_id=None) -> int:
+        """Insert at virtual time ``at_s``; pays measured repair work."""
+        self._advance(at_s)
+        pid = self._apply_mutation(
+            at_s, lambda: self.index.insert(point, point_id)
+        )
+        return pid
+
+    def apply_delete(self, at_s: float, point_id: int) -> None:
+        """Delete at virtual time ``at_s``; pays measured repair work."""
+        self._advance(at_s)
+        self._apply_mutation(at_s, lambda: self.index.delete(point_id))
+
+    def _apply_mutation(self, at_s: float, op):
+        before = self.counters.get(counter_names.TUPLE_COMPARES)
+        outcome = op()
+        pairs = self.counters.get(counter_names.TUPLE_COMPARES) - before
+        cost = self.core.cost
+        duration = cost.mutation_base_s
+        if self.core.policy == "delta":
+            # The maintained index pays its repair work on the serving
+            # clock; the recompute baseline stores the point and defers
+            # all comparison work to query time.
+            duration += pairs * cost.seconds_per_pair
+        self._server_free_s = max(self._server_free_s, at_s) + duration
+        self.core.cache.invalidate_before(self.index.epoch)
+        return outcome
+
+    def flush(self) -> List[QueryResponse]:
+        """Serve every queued query and return responses by id."""
+        self._now_s = math.inf
+        self._drain()
+        self._now_s = self._server_free_s
+        return sorted(self.responses, key=lambda r: r.request_id)
+
+
+class ThreadedFrontend:
+    """Real-thread serving loop: one worker, bounded queue, wall clock.
+
+    Same cache/admission/timeout semantics as the virtual mode, with
+    ``time.perf_counter`` latencies (not deterministic — smoke tests
+    assert liveness and bookkeeping, never exact timings).
+    """
+
+    _STOP = object()
+
+    def __init__(
+        self,
+        index: SkylineIndex,
+        *,
+        policy: str = "delta",
+        cache_capacity: int = 128,
+        queue_capacity: int = 16,
+        timeout_s: float = 5.0,
+        counters: Optional[Counters] = None,
+        bus=None,
+    ):
+        self.index = index
+        self.timeout_s = float(timeout_s)
+        self.counters = counters if counters is not None else index.counters
+        self.bus = bus if bus is not None else index.bus
+        self.core = _ServingCore(
+            index, policy, cache_capacity, self.counters, self.bus, CostModel()
+        )
+        self._queue: "queue_module.Queue" = queue_module.Queue(
+            maxsize=queue_capacity
+        )
+        self._lock = threading.Lock()
+        self._next_request = 0
+        self._worker: Optional[threading.Thread] = None
+        self.responses: List[QueryResponse] = []
+
+    def start(self) -> "ThreadedFrontend":
+        if self._worker is not None:
+            raise ValidationError("frontend already started")
+        self._worker = threading.Thread(target=self._run, daemon=True)
+        self._worker.start()
+        return self
+
+    def submit(self, region=None) -> int:
+        """Enqueue one query; sheds immediately when the queue is full."""
+        with self._lock:
+            request_id = self._next_request
+            self._next_request += 1
+        arrival = time.perf_counter()
+        try:
+            self._queue.put_nowait((request_id, region, arrival))
+        except queue_module.Full:
+            self._record_reject(request_id, "shed", arrival, arrival)
+        return request_id
+
+    def apply_insert(self, point, point_id=None) -> int:
+        pid = self.index.insert(point, point_id)
+        with self._lock:
+            self.core.cache.invalidate_before(self.index.epoch)
+        return pid
+
+    def apply_delete(self, point_id: int) -> None:
+        self.index.delete(point_id)
+        with self._lock:
+            self.core.cache.invalidate_before(self.index.epoch)
+
+    def stop(self) -> List[QueryResponse]:
+        """Drain the queue, stop the worker, return responses by id."""
+        self._queue.put(self._STOP)
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+        with self._lock:
+            return sorted(self.responses, key=lambda r: r.request_id)
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is self._STOP:
+                return
+            request_id, region, arrival = item
+            waited = time.perf_counter() - arrival
+            if waited > self.timeout_s:
+                self._record_reject(
+                    request_id, "timeout", arrival, time.perf_counter()
+                )
+                continue
+            with self._lock:
+                result, cache_hit, _ = self.core.answer(region)
+            finish = time.perf_counter()
+            response = QueryResponse(
+                request_id=request_id,
+                status="ok",
+                arrival_s=arrival,
+                finish_s=finish,
+                latency_s=finish - arrival,
+                cache_hit=cache_hit,
+                result_size=len(result),
+                result=result,
+            )
+            with self._lock:
+                self.responses.append(response)
+                self.counters.inc(counter_names.SERVE_QUERIES)
+            if _bus_active(self.bus):
+                self.bus.emit(
+                    ServeQueryServed(
+                        request_id=request_id,
+                        epoch=self.index.epoch,
+                        cache_hit=cache_hit,
+                        latency_s=finish - arrival,
+                        result_size=len(result),
+                        source="cache" if cache_hit else "index",
+                    )
+                )
+
+    def _record_reject(self, request_id, reason, arrival, decided) -> None:
+        response = QueryResponse(
+            request_id=request_id,
+            status=reason,
+            arrival_s=arrival,
+            finish_s=decided,
+            latency_s=decided - arrival,
+        )
+        name = (
+            counter_names.SERVE_QUERIES_SHED
+            if reason == "shed"
+            else counter_names.SERVE_QUERIES_TIMED_OUT
+        )
+        with self._lock:
+            self.responses.append(response)
+            self.counters.inc(name)
+        if _bus_active(self.bus):
+            self.bus.emit(
+                ServeQueryRejected(
+                    request_id=request_id,
+                    reason=reason,
+                    queue_depth=self._queue.qsize(),
+                )
+            )

@@ -1,0 +1,300 @@
+"""Seeded serve workloads: op-stream generators and the replay driver.
+
+A workload is a *recipe* — initial dataset distribution, op mix,
+arrival process, admission limits — and :func:`generate_ops` turns it
+into a concrete, fully deterministic op stream under a seed: every
+arrival time, query region, inserted point, and deleted id is drawn
+from one ``numpy`` generator, so the same ``(workload, seed)`` pair
+replays byte-identically (the property the oracle tests and the
+serve-gate CI job rely on).
+
+:func:`replay` feeds a stream through a frontend and
+:func:`build_serve_report` reduces the responses to the headline
+serving numbers (throughput, exact p50/p99 latency, cache hit rate,
+shed/timeout rates) that ``repro-skyline serve`` prints and
+``benchmarks/bench_serve.py`` writes to ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.generators import generate
+from repro.errors import ValidationError
+from repro.serve.frontend import QueryFrontend, QueryResponse
+from repro.serve.index import SkylineIndex
+
+#: Op-stream entries: ("query", t, region) / ("insert", t, point, id) /
+#: ("delete", t, id).
+Op = Tuple
+
+
+@dataclass(frozen=True)
+class ServeWorkload:
+    """One named serving scenario (see :data:`SERVE_WORKLOADS`)."""
+
+    name: str
+    description: str
+    distribution: str = "independent"
+    cardinality: int = 500
+    dimensionality: int = 2
+    num_ops: int = 400
+    query_fraction: float = 0.9
+    region_fraction: float = 0.5
+    region_pool: int = 8
+    mean_interarrival_s: float = 2e-4
+    burst: bool = False
+    queue_capacity: int = 16
+    timeout_s: float = 0.05
+    cache_capacity: int = 64
+    staleness_budget: int = 128
+
+    def scaled(self, factor: float) -> "ServeWorkload":
+        """Shrink/grow the workload (``--quick`` benchmark runs)."""
+        return replace(
+            self,
+            cardinality=max(16, int(self.cardinality * factor)),
+            num_ops=max(32, int(self.num_ops * factor)),
+        )
+
+
+#: The registry `repro-skyline list` enumerates and the bench loads.
+SERVE_WORKLOADS: Dict[str, ServeWorkload] = {
+    workload.name: workload
+    for workload in (
+        ServeWorkload(
+            name="read-heavy",
+            description=(
+                "95% queries over a slowly-drifting independent dataset; "
+                "the cache does most of the serving."
+            ),
+            query_fraction=0.95,
+            region_fraction=0.6,
+        ),
+        ServeWorkload(
+            name="write-heavy",
+            description=(
+                "Half the stream is inserts/deletes; exercises the delta "
+                "path, epoch invalidation, and the staleness budget."
+            ),
+            query_fraction=0.5,
+            region_fraction=0.4,
+            staleness_budget=64,
+        ),
+        ServeWorkload(
+            name="mixed-anticorrelated",
+            description=(
+                "80/20 read/write over anticorrelated data (large "
+                "skylines): the hard case for delete repair."
+            ),
+            distribution="anticorrelated",
+            dimensionality=3,
+            query_fraction=0.8,
+            region_fraction=0.5,
+            mean_interarrival_s=5e-4,
+        ),
+        ServeWorkload(
+            name="bursty-shed",
+            description=(
+                "Square-wave arrival bursts against a short queue and a "
+                "tight timeout; exercises load shedding."
+            ),
+            query_fraction=0.97,
+            region_fraction=0.3,
+            cache_capacity=4,
+            queue_capacity=4,
+            timeout_s=2e-3,
+            mean_interarrival_s=1e-4,
+            burst=True,
+        ),
+    )
+}
+
+
+@dataclass
+class OpStream:
+    """A generated workload instance: initial data + timed operations."""
+
+    workload: ServeWorkload
+    seed: int
+    initial_data: np.ndarray
+    ops: List[Op] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        out = {"query": 0, "insert": 0, "delete": 0}
+        for op in self.ops:
+            out[op[0]] += 1
+        return out
+
+
+def _region_pool(
+    rng: np.random.Generator, workload: ServeWorkload
+) -> List[Tuple[Tuple[float, ...], Tuple[float, ...]]]:
+    pool = []
+    for _ in range(workload.region_pool):
+        centre = rng.random(workload.dimensionality)
+        half = 0.15 + 0.2 * rng.random()
+        lows = np.clip(centre - half, 0.0, 1.0)
+        highs = np.clip(centre + half, 0.0, 1.0)
+        pool.append((tuple(lows.tolist()), tuple(highs.tolist())))
+    return pool
+
+
+def generate_ops(workload: ServeWorkload, seed: int = 0) -> OpStream:
+    """Materialise a workload into a deterministic op stream."""
+    if workload.num_ops < 1:
+        raise ValidationError("workload needs at least one operation")
+    rng = np.random.default_rng(seed)
+    initial = generate(
+        workload.distribution,
+        workload.cardinality,
+        workload.dimensionality,
+        seed=rng,
+    )
+    pool = _region_pool(rng, workload)
+    live: List[int] = list(range(workload.cardinality))
+    next_id = workload.cardinality
+    write_fraction = 1.0 - workload.query_fraction
+
+    ops: List[Op] = []
+    now = 0.0
+    for position in range(workload.num_ops):
+        gap = workload.mean_interarrival_s
+        if workload.burst:
+            # Square wave: 50-op bursts at 10x rate, then 50 slow ops.
+            gap = gap / 10.0 if (position // 50) % 2 == 0 else gap * 2.0
+        now += float(rng.exponential(gap))
+        draw = rng.random()
+        if draw < workload.query_fraction or len(live) < 2:
+            region = None
+            if rng.random() < workload.region_fraction:
+                region = pool[int(rng.integers(0, len(pool)))]
+            ops.append(("query", now, region))
+        elif draw < workload.query_fraction + write_fraction / 2.0:
+            point = generate(
+                workload.distribution, 1, workload.dimensionality, seed=rng
+            )[0]
+            ops.append(("insert", now, tuple(point.tolist()), next_id))
+            live.append(next_id)
+            next_id += 1
+        else:
+            victim = live.pop(int(rng.integers(0, len(live))))
+            ops.append(("delete", now, victim))
+    return OpStream(workload=workload, seed=seed, initial_data=initial, ops=ops)
+
+
+def replay(frontend: QueryFrontend, stream: OpStream) -> List[QueryResponse]:
+    """Feed an op stream through a virtual-clock frontend and flush."""
+    for op in stream.ops:
+        kind = op[0]
+        if kind == "query":
+            frontend.submit_query(op[1], op[2])
+        elif kind == "insert":
+            frontend.apply_insert(op[1], op[2], op[3])
+        elif kind == "delete":
+            frontend.apply_delete(op[1], op[2])
+        else:
+            raise ValidationError(f"unknown op kind {kind!r}")
+    return frontend.flush()
+
+
+def exact_percentile(samples: Sequence[float], q: float) -> float:
+    """Exact order statistic (nearest-rank): no interpolation, so the
+    value is always one of the observed samples."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValidationError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def build_serve_report(
+    stream: OpStream,
+    frontend: QueryFrontend,
+    responses: Sequence[QueryResponse],
+) -> Dict:
+    """Headline serving numbers for one replayed stream."""
+    ok = [r for r in responses if r.status == "ok"]
+    shed = sum(1 for r in responses if r.status == "shed")
+    timed_out = sum(1 for r in responses if r.status == "timeout")
+    latencies = [r.latency_s for r in ok]
+    if responses:
+        first_arrival = min(r.arrival_s for r in responses)
+        last_finish = max(r.finish_s for r in ok) if ok else max(
+            r.finish_s for r in responses
+        )
+        makespan = max(last_finish - first_arrival, 1e-12)
+    else:
+        makespan = 1e-12
+    index = frontend.index
+    return {
+        "workload": stream.workload.name,
+        "seed": stream.seed,
+        "policy": frontend.policy,
+        "ops": stream.counts(),
+        "queries_submitted": len(responses),
+        "queries_served": len(ok),
+        "queries_shed": shed,
+        "queries_timed_out": timed_out,
+        "cache_hit_rate": round(frontend.cache.hit_rate(), 6),
+        "p50_latency_s": exact_percentile(latencies, 0.50),
+        "p99_latency_s": exact_percentile(latencies, 0.99),
+        "makespan_s": makespan,
+        "queries_per_s": len(ok) / makespan,
+        "final_epoch": index.epoch,
+        "final_skyline_size": len(index.skyline()),
+        "batch_refreshes": index.refreshes,
+    }
+
+
+def run_workload(
+    workload,
+    *,
+    seed: int = 0,
+    policy: str = "delta",
+    engine=None,
+    cluster=None,
+    counters=None,
+    bus=None,
+    scale: float = 1.0,
+) -> Tuple[Dict, QueryFrontend]:
+    """Build index + frontend for a workload, replay it, report.
+
+    ``workload`` is a name from :data:`SERVE_WORKLOADS` or a
+    :class:`ServeWorkload`. The ``recompute`` policy disables the cache
+    (a recompute-per-query baseline has nothing sound to cache between
+    deltas at these write rates; the comparison stays work-vs-work).
+    """
+    if isinstance(workload, str):
+        if workload not in SERVE_WORKLOADS:
+            raise ValidationError(
+                f"unknown serve workload {workload!r}; "
+                f"available: {sorted(SERVE_WORKLOADS)}"
+            )
+        workload = SERVE_WORKLOADS[workload]
+    if scale != 1.0:
+        workload = workload.scaled(scale)
+    stream = generate_ops(workload, seed)
+    index = SkylineIndex(
+        stream.initial_data,
+        staleness_budget=workload.staleness_budget,
+        engine=engine,
+        cluster=cluster,
+        counters=counters,
+        bus=bus,
+    )
+    frontend = QueryFrontend(
+        index,
+        policy=policy,
+        cache_capacity=workload.cache_capacity if policy == "delta" else 0,
+        queue_capacity=workload.queue_capacity,
+        timeout_s=workload.timeout_s,
+    )
+    responses = replay(frontend, stream)
+    return build_serve_report(stream, frontend, responses), frontend

@@ -14,6 +14,15 @@ class TestList:
         out = capsys.readouterr().out
         assert "mr-gpmrs" in out and "fig7" in out
 
+    def test_lists_serve_workloads(self, capsys):
+        from repro.serve import SERVE_WORKLOADS
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve workloads:" in out
+        for name in SERVE_WORKLOADS:
+            assert name in out
+
 
 class TestCompute:
     def test_synthetic_workload(self, capsys):
@@ -306,3 +315,44 @@ class TestListCounters:
     def test_plain_list_omits_vocabulary(self, capsys):
         assert main(["list"]) == 0
         assert "metrics:" not in capsys.readouterr().out
+
+    def test_serve_counters_are_documented(self, capsys):
+        assert main(["list", "--counters"]) == 0
+        out = capsys.readouterr().out
+        assert "serve metrics:" in out
+        assert "serve.cache_hits" in out
+        assert "serve.queries_shed" in out
+        assert "serve.query_latency_s" in out
+
+
+class TestServe:
+    def test_replays_a_workload(self, capsys):
+        code = main(
+            ["serve", "read-heavy", "--seed", "3", "--scale", "0.25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve workload 'read-heavy'" in out
+        assert "cache hit rate" in out
+        assert "throughput" in out
+
+    def test_compare_prints_the_ratio(self, capsys):
+        code = main(
+            [
+                "serve",
+                "mixed-anticorrelated",
+                "--seed",
+                "3",
+                "--scale",
+                "0.25",
+                "--compare",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy=delta" in out and "policy=recompute" in out
+        assert "more queries per" in out
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "nope"])

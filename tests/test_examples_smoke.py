@@ -19,7 +19,8 @@ EXAMPLES = sorted(
 
 def test_all_examples_discovered():
     assert "quickstart.py" in EXAMPLES
-    assert len(EXAMPLES) >= 7
+    assert "serve_demo.py" in EXAMPLES
+    assert len(EXAMPLES) >= 8
 
 
 @pytest.mark.parametrize("script", EXAMPLES)

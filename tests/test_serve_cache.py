@@ -1,0 +1,92 @@
+"""ResultCache: LRU mechanics, epoch invalidation, counter charging."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.mapreduce.counters import (
+    SERVE_CACHE_EVICTIONS,
+    SERVE_CACHE_HITS,
+    SERVE_CACHE_MISSES,
+    Counters,
+)
+from repro.serve import ResultCache, region_key
+
+
+class TestRegionKey:
+    def test_none_means_full_skyline(self):
+        assert region_key(None) is None
+
+    def test_canonicalises_array_likes(self):
+        import numpy as np
+
+        a = region_key(([0.1, 0.2], [0.9, 0.8]))
+        b = region_key((np.array([0.1, 0.2]), np.array([0.9, 0.8])))
+        assert a == b == ((0.1, 0.2), (0.9, 0.8))
+        assert hash(a) == hash(b)
+
+
+class TestLRU:
+    def test_hit_miss_and_recency(self):
+        cache = ResultCache(capacity=2)
+        assert cache.get(0, None) is None  # miss
+        cache.put(0, None, "full")
+        assert cache.get(0, None) == "full"  # hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        r1 = ((0.0,), (0.5,))
+        r2 = ((0.5,), (1.0,))
+        cache.put(0, None, "a")
+        cache.put(0, r1, "b")
+        assert cache.get(0, None) == "a"  # refresh 'a': now r1 is LRU
+        cache.put(0, r2, "c")  # evicts r1
+        assert cache.evictions == 1
+        assert cache.get(0, r1) is None
+        assert cache.get(0, None) == "a"
+        assert cache.get(0, r2) == "c"
+
+    def test_zero_capacity_never_stores(self):
+        cache = ResultCache(capacity=0)
+        cache.put(0, None, "x")
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            ResultCache(capacity=-1)
+
+    def test_put_same_key_overwrites_without_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put(0, None, "old")
+        cache.put(0, None, "new")
+        assert len(cache) == 1 and cache.evictions == 0
+        assert cache.get(0, None) == "new"
+
+
+class TestEpochInvalidation:
+    def test_stale_epochs_cannot_hit(self):
+        cache = ResultCache(capacity=8)
+        cache.put(0, None, "epoch0")
+        assert cache.get(1, None) is None  # epoch moved on: key mismatch
+
+    def test_invalidate_before_sweeps_old_entries(self):
+        cache = ResultCache(capacity=8)
+        cache.put(0, None, "a")
+        cache.put(1, None, "b")
+        cache.put(2, None, "c")
+        assert cache.invalidate_before(2) == 2
+        assert len(cache) == 1
+        assert cache.contains(2, None)
+        assert cache.evictions == 2
+
+    def test_counters_are_charged(self):
+        counters = Counters()
+        cache = ResultCache(capacity=1, counters=counters)
+        cache.get(0, None)
+        cache.put(0, None, "a")
+        cache.get(0, None)
+        cache.put(1, None, "b")  # evicts epoch-0 entry (capacity)
+        assert counters[SERVE_CACHE_MISSES] == 1
+        assert counters[SERVE_CACHE_HITS] == 1
+        assert counters[SERVE_CACHE_EVICTIONS] == 1

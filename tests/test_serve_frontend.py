@@ -1,0 +1,287 @@
+"""QueryFrontend: admission control, shedding, timeouts, determinism.
+
+Virtual-clock tests pin the queueing semantics with hand-built cost
+models (service times chosen so the schedule is easy to reason about);
+the workload tests assert seeded end-to-end determinism; the threaded
+smoke only asserts liveness and bookkeeping, never wall timings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate
+from repro.errors import ValidationError
+from repro.mapreduce.counters import (
+    SERVE_QUERIES,
+    SERVE_QUERIES_SHED,
+    SERVE_QUERIES_TIMED_OUT,
+)
+from repro.obs import EventBus, EventLog, validate_events
+from repro.serve import (
+    SERVE_WORKLOADS,
+    CostModel,
+    QueryFrontend,
+    SkylineIndex,
+    ThreadedFrontend,
+    build_serve_report,
+    generate_ops,
+    replay,
+    run_workload,
+)
+
+#: One virtual second per query: trivial to schedule by hand.
+SLOW = CostModel(
+    seconds_per_pair=0.0,
+    per_result_tuple_s=0.0,
+    query_base_s=1.0,
+    cache_hit_s=1.0,
+    mutation_base_s=0.0,
+)
+
+
+def small_index(**kwargs) -> SkylineIndex:
+    data = generate("independent", 50, 2, seed=1)
+    kwargs.setdefault("staleness_budget", 10_000)
+    return SkylineIndex(data, **kwargs)
+
+
+class TestVirtualQueueing:
+    def test_fifo_service_and_latency(self):
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=10,
+            timeout_s=100.0,
+            cost_model=SLOW,
+        )
+        fe.submit_query(0.0)  # starts 0, finishes 1
+        fe.submit_query(0.0)  # starts 1, finishes 2
+        fe.submit_query(0.5)  # starts 2, finishes 3
+        responses = fe.flush()
+        assert [r.status for r in responses] == ["ok"] * 3
+        assert [r.finish_s for r in responses] == [1.0, 2.0, 3.0]
+        assert responses[2].latency_s == pytest.approx(2.5)
+
+    def test_shed_when_queue_full(self):
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=2,
+            timeout_s=100.0,
+            cost_model=SLOW,
+        )
+        # First query occupies the server for [0, 1); the next two wait;
+        # the fourth finds the queue full and is shed at admission.
+        for _ in range(4):
+            fe.submit_query(0.1)
+        responses = fe.flush()
+        statuses = [r.status for r in responses]
+        assert statuses == ["ok", "ok", "ok", "shed"]
+        assert fe.counters[SERVE_QUERIES] == 3
+        assert fe.counters[SERVE_QUERIES_SHED] == 1
+
+    def test_timeout_when_wait_exceeds_budget(self):
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=10,
+            timeout_s=1.5,
+            cost_model=SLOW,
+        )
+        fe.submit_query(0.0)  # serves [0, 1)
+        fe.submit_query(0.0)  # waits 1.0 <= 1.5: serves [1, 2)
+        fe.submit_query(0.0)  # would wait 2.0 > 1.5: times out
+        responses = fe.flush()
+        assert [r.status for r in responses] == ["ok", "ok", "timeout"]
+        assert responses[2].latency_s == pytest.approx(1.5)
+        assert fe.counters[SERVE_QUERIES_TIMED_OUT] == 1
+
+    def test_mutations_occupy_the_server(self):
+        cost = CostModel(
+            seconds_per_pair=0.0,
+            per_result_tuple_s=0.0,
+            query_base_s=1.0,
+            cache_hit_s=1.0,
+            mutation_base_s=5.0,
+        )
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=10,
+            timeout_s=100.0,
+            cost_model=cost,
+        )
+        fe.apply_insert(0.0, [0.5, 0.5])  # server busy until 5.0
+        fe.submit_query(1.0)  # starts 5.0, finishes 6.0
+        (response,) = fe.flush()
+        assert response.finish_s == pytest.approx(6.0)
+
+    def test_out_of_order_times_rejected(self):
+        fe = QueryFrontend(small_index())
+        fe.submit_query(1.0)
+        with pytest.raises(ValidationError):
+            fe.submit_query(0.5)
+
+    def test_query_sees_index_state_at_its_start_time(self):
+        """A query queued behind a long service starts after a later
+        mutation's timestamp — it must see the mutated index."""
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=10,
+            timeout_s=100.0,
+            cost_model=SLOW,
+        )
+        fe.submit_query(0.0)  # serves [0, 1)
+        fe.submit_query(0.0)  # starts at 1.0, after the insert below
+        fe.apply_insert(0.5, [0.0, 0.0], 999)  # dominates everything
+        responses = fe.flush()
+        assert responses[0].result.ids.tolist() != [999]
+        assert responses[1].result.ids.tolist() == [999]
+
+
+class TestCacheIntegration:
+    def test_repeat_query_hits_until_a_delta_lands(self):
+        fe = QueryFrontend(small_index(), queue_capacity=10, timeout_s=10.0)
+        fe.submit_query(0.0)
+        fe.submit_query(0.1)
+        fe.apply_insert(0.2, [0.99, 0.99], 777)  # epoch bump (non-member)
+        fe.submit_query(0.3)
+        fe.submit_query(0.4)
+        responses = fe.flush()
+        assert [r.cache_hit for r in responses] == [
+            False,
+            True,
+            False,
+            True,
+        ]
+
+    def test_policies_agree_on_results(self):
+        region = ((0.0, 0.0), (0.6, 0.6))
+        answers = {}
+        for policy in ("delta", "recompute"):
+            fe = QueryFrontend(
+                small_index(),
+                policy=policy,
+                cache_capacity=0,
+                queue_capacity=100,
+                timeout_s=1e6,
+            )
+            fe.submit_query(0.0)
+            fe.submit_query(0.1, region)
+            fe.apply_delete(0.2, int(fe.index.skyline_ids()[0]))
+            fe.submit_query(0.3)
+            answers[policy] = [
+                r.result.ids.tolist() for r in fe.flush()
+            ]
+        assert answers["delta"] == answers["recompute"]
+
+
+class TestWorkloadReplay:
+    @pytest.mark.parametrize("name", sorted(SERVE_WORKLOADS))
+    def test_replay_is_deterministic(self, name):
+        report, _ = run_workload(name, seed=5, scale=0.25)
+        again, _ = run_workload(name, seed=5, scale=0.25)
+        assert report == again
+
+    def test_reports_carry_the_headline_numbers(self):
+        report, _ = run_workload("read-heavy", seed=2, scale=0.25)
+        assert report["queries_submitted"] == sum(
+            (
+                report["queries_served"],
+                report["queries_shed"],
+                report["queries_timed_out"],
+            )
+        )
+        assert 0.0 <= report["cache_hit_rate"] <= 1.0
+        assert report["p50_latency_s"] <= report["p99_latency_s"]
+        assert report["queries_per_s"] > 0
+
+    def test_bursty_workload_sheds(self):
+        report, _ = run_workload("bursty-shed", seed=17, scale=0.5)
+        assert report["queries_shed"] > 0
+
+    def test_events_validate_end_to_end(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        workload = SERVE_WORKLOADS["write-heavy"].scaled(0.25)
+        stream = generate_ops(workload, seed=3)
+        index = SkylineIndex(
+            stream.initial_data,
+            staleness_budget=workload.staleness_budget,
+            bus=bus,
+        )
+        frontend = QueryFrontend(
+            index,
+            cache_capacity=workload.cache_capacity,
+            queue_capacity=workload.queue_capacity,
+            timeout_s=workload.timeout_s,
+        )
+        responses = replay(frontend, stream)
+        assert validate_events(log.events) == []
+        served = [e for e in log.events if e.kind == "serve_query_served"]
+        assert len(served) == sum(1 for r in responses if r.status == "ok")
+        report = build_serve_report(stream, frontend, responses)
+        assert report["final_epoch"] == index.epoch
+
+
+class TestThreadedSmoke:
+    def test_serves_and_stops_cleanly(self):
+        index = small_index()
+        fe = ThreadedFrontend(index, queue_capacity=64, timeout_s=30.0)
+        fe.start()
+        for _ in range(20):
+            fe.submit()
+        fe.apply_insert([0.01, 0.01], 500)
+        for _ in range(10):
+            fe.submit()
+        responses = fe.stop()
+        ok = [r for r in responses if r.status == "ok"]
+        assert len(ok) + sum(
+            1 for r in responses if r.status in ("shed", "timeout")
+        ) == 30
+        assert all(r.latency_s >= 0 for r in ok)
+        # Queries served after the insert see the new near-origin point
+        # (it is undominated, so it must be a skyline member).
+        assert 500 in ok[-1].result.ids.tolist()
+
+    def test_double_start_rejected(self):
+        fe = ThreadedFrontend(small_index())
+        fe.start()
+        with pytest.raises(ValidationError):
+            fe.start()
+        fe.stop()
+
+
+class TestMetricsIntegration:
+    def test_collector_fills_serve_histograms(self):
+        from repro.obs import MetricsCollector
+        from repro.obs.metrics import (
+            H_SERVE_QUERY_LATENCY,
+            H_SERVE_REPAIR_CANDIDATES,
+        )
+
+        bus = EventBus()
+        collector = bus.subscribe(MetricsCollector())
+        index = small_index(bus=bus)
+        fe = QueryFrontend(index, queue_capacity=100, timeout_s=1e6)
+        fe.submit_query(0.0)
+        fe.apply_delete(0.1, int(index.skyline_ids()[0]))
+        fe.submit_query(0.2)
+        fe.flush()
+        assert collector.histograms[H_SERVE_QUERY_LATENCY].count == 2
+        assert collector.histograms[H_SERVE_REPAIR_CANDIDATES].count == 1
+        summaries = collector.summaries(wall_clock=False)
+        assert H_SERVE_QUERY_LATENCY in summaries
+
+
+def test_virtual_mode_matches_bruteforce_under_load():
+    """End-to-end: after a replayed mixed stream the served results are
+    consistent with the index, and the index with brute force."""
+    from repro.core.dominance import skyline_mask_bruteforce
+
+    report, frontend = run_workload("write-heavy", seed=41, scale=0.25)
+    snap = frontend.index.snapshot()
+    expect = snap.ids[skyline_mask_bruteforce(snap.values)]
+    assert np.array_equal(frontend.index.skyline_ids(), expect)
+    assert report["final_skyline_size"] == expect.shape[0]

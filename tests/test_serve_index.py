@@ -1,0 +1,248 @@
+"""SkylineIndex delta maintenance: the correctness oracle suite.
+
+The load-bearing property: after ANY seeded stream of inserts and
+deletes, the incrementally maintained skyline is byte-identical to a
+from-scratch batch recompute of the surviving points — per-delta
+against the brute-force O(n^2) oracle, and at every staleness-budget
+boundary against the full MR-GPMRS pipeline across engines (including
+the contract-checking engine).
+"""
+
+import numpy as np
+import pytest
+
+from repro import skyline
+from repro.check.contracts import ContractCheckingEngine
+from repro.core.dominance import skyline_mask_bruteforce
+from repro.data.generators import generate
+from repro.errors import ValidationError
+from repro.grid.bitstring import Bitstring
+from repro.mapreduce.counters import (
+    SERVE_BATCH_REFRESHES,
+    SERVE_DELETES,
+    SERVE_DELTA_REPAIRS,
+    SERVE_INSERTS,
+)
+from repro.obs import EventBus, EventLog, validate_events
+from repro.serve import SkylineIndex
+
+DISTRIBUTIONS = ["independent", "anticorrelated", "clustered"]
+
+ENGINES = {
+    "serial": lambda: None,  # SkylineIndex default engine
+    "contract": ContractCheckingEngine,
+}
+
+
+def oracle_ids(index: SkylineIndex) -> np.ndarray:
+    """Brute-force skyline ids of the index's current points."""
+    snap = index.snapshot()
+    if len(snap) == 0:
+        return np.empty(0, dtype=np.int64)
+    return snap.ids[skyline_mask_bruteforce(snap.values)]
+
+
+def drive(index: SkylineIndex, rng, steps: int, d: int, check=None):
+    """Apply a seeded insert/delete stream, calling ``check`` per delta."""
+    live = sorted(index.snapshot().ids.tolist())
+    next_id = (max(live) + 1) if live else 0
+    for _ in range(steps):
+        if rng.random() < 0.55 or len(live) < 2:
+            index.insert(rng.random(d), next_id)
+            live.append(next_id)
+            next_id += 1
+        else:
+            victim = live.pop(int(rng.integers(0, len(live))))
+            index.delete(victim)
+        if check is not None:
+            check(index)
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_every_delta_matches_bruteforce(self, distribution):
+        data = generate(distribution, 120, 2, seed=3)
+        index = SkylineIndex(data, staleness_budget=1000)
+
+        def check(idx):
+            assert np.array_equal(idx.skyline_ids(), oracle_ids(idx))
+
+        check(index)
+        drive(index, np.random.default_rng(7), 150, 2, check=check)
+        assert index.refreshes == 1  # only the constructor's
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    @pytest.mark.parametrize("engine_name", sorted(ENGINES))
+    def test_staleness_boundaries_match_mr_gpmrs(
+        self, distribution, engine_name
+    ):
+        """At every staleness-budget boundary the index equals a full
+        MR-GPMRS recompute, byte for byte (ids AND values)."""
+        engine = ENGINES[engine_name]()
+        data = generate(distribution, 100, 3, seed=11)
+        index = SkylineIndex(
+            data, staleness_budget=16, refresh_algorithm="mr-gpmrs",
+            engine=engine,
+        )
+        boundaries = []
+
+        def check(idx):
+            if idx.deltas_since_refresh == 0:  # refresh just fired
+                snap = idx.snapshot()
+                result = skyline(
+                    snap.values, algorithm="mr-gpmrs", engine=engine
+                )
+                assert np.array_equal(
+                    idx.skyline_ids(), snap.ids[result.indices]
+                )
+                assert (
+                    idx.skyline().values.tobytes()
+                    == result.values.tobytes()
+                )
+                boundaries.append(idx.epoch)
+
+        drive(index, np.random.default_rng(23), 48, 3, check=check)
+        assert len(boundaries) == 3  # 48 deltas / budget 16
+
+    def test_delete_heavy_stream_stays_exact(self):
+        data = generate("anticorrelated", 150, 2, seed=5)
+        index = SkylineIndex(data, staleness_budget=1000)
+        rng = np.random.default_rng(9)
+        live = list(range(150))
+        # Delete down to a handful, checking at every step — exercises
+        # the repair path on skyline members over and over.
+        while len(live) > 3:
+            victim = live.pop(int(rng.integers(0, len(live))))
+            index.delete(victim)
+            assert np.array_equal(index.skyline_ids(), oracle_ids(index))
+
+    def test_refresh_is_content_neutral(self):
+        data = generate("independent", 80, 2, seed=2)
+        index = SkylineIndex(data, staleness_budget=1000)
+        drive(index, np.random.default_rng(4), 20, 2)
+        before = index.skyline_ids()
+        epoch = index.epoch
+        index.batch_refresh()
+        assert np.array_equal(index.skyline_ids(), before)
+        assert index.epoch == epoch  # refresh never invalidates caches
+        assert index.deltas_since_refresh == 0
+
+
+class TestBitstringInvariants:
+    """Single-cell-flip invariants of the live occupancy bitstring."""
+
+    def test_bitstring_tracks_occupancy_through_deltas(self):
+        data = generate("clustered", 90, 2, seed=13)
+        index = SkylineIndex(data, staleness_budget=10_000, ppd=4)
+
+        def check(idx):
+            snap = idx.snapshot()
+            fresh = Bitstring.from_data(idx.grid, snap.values)
+            assert idx.bitstring == fresh
+            assert idx.pruned_bitstring == fresh.prune_dominated()
+
+        check(index)
+        drive(index, np.random.default_rng(21), 120, 2, check=check)
+
+    def test_insert_into_empty_cell_flips_exactly_one_bit(self):
+        index = SkylineIndex(dimensionality=2, ppd=4, staleness_budget=10_000)
+        assert index.bitstring.count() == 0
+        index.insert([0.9, 0.9], 0)
+        assert index.bitstring.count() == 1
+        cell = index.grid.cell_index([0.9, 0.9])
+        assert index.bitstring[cell]
+        # A second point in the same cell flips nothing.
+        index.insert([0.95, 0.95], 1)
+        assert index.bitstring.count() == 1
+        # Deleting one of them keeps the bit; deleting both clears it.
+        index.delete(0)
+        assert index.bitstring[cell]
+        index.delete(1)
+        assert index.bitstring.count() == 0
+
+    def test_flip_union_equals_from_scratch(self):
+        """OR of per-cell flips == Bitstring.from_data (Equation 1)."""
+        index = SkylineIndex(dimensionality=2, ppd=4, staleness_budget=10_000)
+        rng = np.random.default_rng(31)
+        points = rng.random((40, 2))
+        singles = []
+        for position, point in enumerate(points):
+            index.insert(point, position)
+            singles.append(Bitstring.from_data(index.grid, point.reshape(1, 2)))
+        union = Bitstring.union(index.grid, singles)
+        assert index.bitstring == union
+        assert union == Bitstring.from_data(index.grid, points)
+
+    def test_pruned_bits_never_hold_skyline_members(self):
+        data = generate("independent", 200, 2, seed=17)
+        index = SkylineIndex(data, staleness_budget=10_000, ppd=5)
+        drive(index, np.random.default_rng(19), 60, 2)
+        sky = index.skyline()
+        cells = index.grid.cell_indices(sky.values)
+        assert all(index.pruned_bitstring[int(c)] for c in cells)
+
+
+class TestEdgesAndAccounting:
+    def test_duplicate_id_and_unknown_id_raise(self):
+        index = SkylineIndex(dimensionality=2)
+        index.insert([0.5, 0.5], 7)
+        with pytest.raises(ValidationError):
+            index.insert([0.1, 0.1], 7)
+        with pytest.raises(ValidationError):
+            index.delete(99)
+
+    def test_duplicate_points_both_stay_in_skyline(self):
+        index = SkylineIndex(dimensionality=2, staleness_budget=10_000)
+        index.insert([0.2, 0.2], 0)
+        index.insert([0.2, 0.2], 1)
+        assert index.skyline_ids().tolist() == [0, 1]
+        index.delete(0)
+        assert index.skyline_ids().tolist() == [1]
+
+    def test_empty_to_full_to_empty(self):
+        index = SkylineIndex(dimensionality=2, staleness_budget=10_000)
+        assert len(index.skyline()) == 0
+        index.insert([0.3, 0.7], 0)
+        index.insert([0.7, 0.3], 1)
+        index.insert([0.8, 0.8], 2)  # dominated
+        assert index.skyline_ids().tolist() == [0, 1]
+        for pid in (0, 1, 2):
+            index.delete(pid)
+        assert len(index) == 0
+        assert len(index.skyline()) == 0
+
+    def test_counters_and_events(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        data = generate("independent", 60, 2, seed=29)
+        index = SkylineIndex(data, staleness_budget=8, bus=bus)
+        drive(index, np.random.default_rng(37), 24, 2)
+        counters = index.counters
+        assert counters[SERVE_INSERTS] + counters[SERVE_DELETES] == 24
+        assert counters[SERVE_BATCH_REFRESHES] == index.refreshes
+        # Deleting a skyline member takes the bounded-repair path.
+        member = int(index.skyline_ids()[0])
+        index.delete(member)
+        assert counters[SERVE_DELTA_REPAIRS] >= 1
+        deltas = log.of_kind("serve_delta_applied")
+        assert len(deltas) == 25
+        assert log.of_kind("serve_batch_refresh")
+        assert validate_events(log.events) == []
+
+    def test_query_region_filters_the_skyline(self):
+        index = SkylineIndex(dimensionality=2, staleness_budget=10_000)
+        index.insert([0.1, 0.9], 0)
+        index.insert([0.9, 0.1], 1)
+        region = ((0.0, 0.5), (0.5, 1.0))
+        assert index.query(region).ids.tolist() == [0]
+        assert index.query().ids.tolist() == [0, 1]
+        with pytest.raises(ValidationError):
+            index.query(((0.0,), (1.0,)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValidationError):
+            SkylineIndex()  # needs data, bounds, or dimensionality
+        with pytest.raises(ValidationError):
+            SkylineIndex(dimensionality=2, staleness_budget=0)
+        with pytest.raises(ValidationError):
+            SkylineIndex(dimensionality=2, refresh_algorithm="mr-bnl")
