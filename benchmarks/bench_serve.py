@@ -20,7 +20,14 @@ the gate has no wall-clock noise to tolerate. The checks:
   maintained skyline is byte-identical to a from-scratch MR-GPMRS
   batch recompute of the final dataset;
 * **mechanism liveness** — the bursty workload actually sheds, the
-  read-heavy workload actually hits its cache, and p50 <= p99.
+  read-heavy workload actually hits its cache, and p50 <= p99;
+* **shard scaling** — the same saturated mixed-anticorrelated stream
+  replayed through the sharded fleet (``--max-shards`` counts, default
+  1..4) must serve byte-identical final skylines to the single-process
+  index at every shard count, with query capacity non-decreasing in
+  the shard count and strictly higher at the top than at one shard
+  (mutation repair pairs divide across shards; the frontend charges
+  the *largest* per-shard repair, so divided work is served capacity).
 
 Exits non-zero if any check fails.
 """
@@ -46,6 +53,40 @@ def _batch_ids(index) -> list:
     return snap.ids[result.indices].tolist()
 
 
+def _uncontended(workload):
+    """Lift admission limits and saturate arrivals: pure capacity."""
+    return dataclasses.replace(
+        workload,
+        queue_capacity=1_000_000,
+        timeout_s=1e6,
+        mean_interarrival_s=1e-6,
+    )
+
+
+def _shard_sweep(workload, seed: int, max_shards: int):
+    """Replay the saturated stream at 1..max_shards shards.
+
+    Returns the single-process reference report plus one report per
+    shard count, each annotated with ``exact_vs_single`` (final
+    skyline ids byte-identical to the unsharded index) and
+    ``effective_shards`` (the plan may merge to fewer groups than
+    requested on tiny data).
+    """
+    saturated = _uncontended(workload)
+    reference, ref_frontend = run_workload(saturated, seed=seed)
+    ref_ids = ref_frontend.index.skyline_ids().tolist()
+    reference["exact"] = ref_ids == _batch_ids(ref_frontend.index)
+    sweep = []
+    for shards in range(1, max_shards + 1):
+        report, frontend = run_workload(saturated, seed=seed, shards=shards)
+        report["exact_vs_single"] = (
+            frontend.index.skyline_ids().tolist() == ref_ids
+        )
+        report["effective_shards"] = frontend.index.num_shards
+        sweep.append(report)
+    return reference, sweep
+
+
 def _capacity_report(workload, seed: int, policy: str) -> dict:
     """Replay with admission limits lifted: pure serving capacity.
 
@@ -53,13 +94,9 @@ def _capacity_report(workload, seed: int, policy: str) -> dict:
     policies are saturated — throughput then measures how fast the
     server *can* answer, not how fast the workload happened to ask.
     """
-    uncontended = dataclasses.replace(
-        workload,
-        queue_capacity=1_000_000,
-        timeout_s=1e6,
-        mean_interarrival_s=1e-6,
+    report, frontend = run_workload(
+        _uncontended(workload), seed=seed, policy=policy
     )
-    report, frontend = run_workload(uncontended, seed=seed, policy=policy)
     report["exact"] = (
         frontend.index.skyline_ids().tolist() == _batch_ids(frontend.index)
     )
@@ -75,6 +112,12 @@ def main(argv=None) -> int:
         type=float,
         default=10.0,
         help="required delta/recompute capacity ratio",
+    )
+    parser.add_argument(
+        "--max-shards",
+        type=int,
+        default=4,
+        help="sweep sharded capacity at 1..N shards",
     )
     parser.add_argument(
         "--output",
@@ -150,6 +193,46 @@ def main(argv=None) -> int:
     if delta["queries_served"] != recompute["queries_served"]:
         failures.append("capacity runs served different query counts")
 
+    single, sweep = _shard_sweep(
+        capacity_workload, args.seed, args.max_shards
+    )
+    print(
+        "shard sweep (same stream, mixed-anticorrelated, "
+        f"single-process {single['queries_per_s']:.0f} q/s):"
+    )
+    if not single["exact"]:
+        failures.append("shards/single: reference index is not exact")
+    for report in sweep:
+        shards = report["shards"]
+        print(
+            f"  shards={shards} (effective {report['effective_shards']}) "
+            f"served {report['queries_served']:4d} at "
+            f"{report['queries_per_s']:8.0f} q/s, "
+            f"exact-vs-single {report['exact_vs_single']}"
+        )
+        if not report["exact_vs_single"]:
+            failures.append(
+                f"shards={shards}: final skyline differs from the "
+                "single-process index"
+            )
+        if report["queries_served"] != single["queries_served"]:
+            failures.append(
+                f"shards={shards}: served a different query count than "
+                "the single-process run"
+            )
+    rates = [report["queries_per_s"] for report in sweep]
+    for prev, curr, report in zip(rates, rates[1:], sweep[1:]):
+        if curr < prev:
+            failures.append(
+                f"shard capacity regressed at shards={report['shards']}: "
+                f"{curr:.0f} q/s < {prev:.0f} q/s"
+            )
+    if len(rates) > 1 and rates[-1] <= rates[0]:
+        failures.append(
+            f"sharding bought no capacity: {rates[0]:.0f} q/s at 1 shard "
+            f"vs {rates[-1]:.0f} q/s at {sweep[-1]['shards']}"
+        )
+
     payload = {
         "seed": args.seed,
         "scale": scale,
@@ -159,6 +242,11 @@ def main(argv=None) -> int:
             "delta": delta,
             "recompute": recompute,
             "ratio": ratio,
+        },
+        "shard_sweep": {
+            "max_shards": args.max_shards,
+            "single": single,
+            "sharded": sweep,
         },
     }
     with open(args.output, "w") as handle:

@@ -265,6 +265,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="engine for staleness-budget batch refreshes",
     )
     serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve from a sharded index (independent reducer groups) "
+        "with a batching router frontend",
+    )
 
     lister = sub.add_parser(
         "list", help="list algorithms, experiments and serve workloads"
@@ -566,9 +573,11 @@ def _serve_engine(name: str, workers: Optional[int]):
 
 def _render_serve_report(report: dict) -> str:
     ops = report["ops"]
+    shards = report.get("shards", 1)
+    sharded = f", shards={shards}" if shards > 1 else ""
     lines = [
         f"serve workload {report['workload']!r} "
-        f"(policy={report['policy']}, seed={report['seed']})",
+        f"(policy={report['policy']}, seed={report['seed']}{sharded})",
         f"  ops: {ops['query']} queries / {ops['insert']} inserts / "
         f"{ops['delete']} deletes",
         f"  served {report['queries_served']}, "
@@ -596,6 +605,7 @@ def _cmd_serve(args) -> int:
         policy=args.policy,
         engine=engine,
         scale=args.scale,
+        shards=args.shards,
     )
     print(_render_serve_report(report))
     if args.compare:
@@ -606,6 +616,7 @@ def _cmd_serve(args) -> int:
             policy=other_policy,
             engine=engine,
             scale=args.scale,
+            shards=args.shards,
         )
         print()
         print(_render_serve_report(other))

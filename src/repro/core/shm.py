@@ -1,0 +1,470 @@
+"""Zero-copy shared-memory substrate for :class:`PointSet` blocks.
+
+The process-pool engine used to pickle every split, cache payload, and
+task output across the process boundary — for a columnar block that is
+a full copy of two large arrays on each hop. This module puts block
+storage in POSIX shared memory instead, so a block crosses a process
+boundary as a ~100-byte :class:`BlockRef` descriptor (segment name,
+offsets, shape) and every process maps the same physical pages.
+
+Three pieces:
+
+* :class:`BlockRef` — the picklable descriptor of one block inside a
+  named segment (ids are always int64, values float64; offsets are
+  8-byte aligned by construction).
+* :class:`ShmBlock` — a :class:`PointSet` whose arrays are read-only
+  views into a segment. It pickles as ``(attach_block, (ref,))``, so
+  re-emitting an input block costs a descriptor, never a copy. Every
+  derived operation (``select``, ``local_skyline``, ...) returns a
+  plain owning :class:`PointSet`, so results never alias a segment
+  that might be retired.
+* :class:`SharedArena` — the owner of segment lifecycle. The creating
+  process packs blocks into segments, workers attach on demand (by
+  name — works identically under ``fork`` and ``spawn``), and only the
+  arena ever unlinks. A ``weakref.finalize`` guarantees the names are
+  released even if the owner crashes past the arena's creation (the
+  finalizer also runs at interpreter exit).
+
+Lifecycle rules (the ones the leak tests pin down):
+
+* the **owner** (arena) unlinks its segments on :meth:`SharedArena.unlink`,
+  on garbage collection, and at interpreter exit;
+* **attachers** never unlink. On Python < 3.13 merely attaching
+  re-registers the name with ``multiprocessing.resource_tracker`` —
+  benign in this architecture, because attachers are always members of
+  the owner's process family and share its tracker process, whose
+  name cache has set semantics (3.13+ skips it via ``track=False``);
+* unlinking while mappings are live is safe (POSIX keeps the pages
+  until the last mapping closes), so parent-held views of a retired
+  job's outputs stay valid while the name is already released — each
+  :class:`ShmBlock` pins its segment handle, and the mapping closes
+  only when the last block over it is garbage-collected.
+
+Segment names are deterministic — ``repro-shm-<pid>-<seq>`` from a
+process-local counter — so runs are reproducible and the checker's
+no-unseeded-randomness rule holds; a name collision with a leftover
+segment from a dead process is resolved by bumping the sequence.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pointset import PointSet
+from repro.errors import ValidationError
+
+#: Prefix of every segment this module creates (the leak tests scan
+#: ``/dev/shm`` for it).
+SEGMENT_PREFIX = "repro-shm-"
+
+_ITEM = 8  # int64 / float64 element size; keeps offsets aligned
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """Descriptor of one columnar block inside a shared segment."""
+
+    segment: str
+    ids_offset: int
+    values_offset: int
+    rows: int
+    dims: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * _ITEM + self.rows * self.dims * _ITEM
+
+
+class ShmBlock(PointSet):
+    """A PointSet whose arrays live in a shared-memory segment.
+
+    Behaves exactly like :class:`PointSet` (all derived operations
+    return plain owning PointSets); only identity pickling differs —
+    the block crosses process boundaries as its :class:`BlockRef`.
+
+    The block pins its segment handle (``_shm``): numpy does *not*
+    keep the underlying mmap exported, so without the pin an eager
+    ``close()`` elsewhere would silently unmap pages these arrays
+    still point into.
+    """
+
+    __slots__ = ("ref", "_shm")
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        values: np.ndarray,
+        ref: BlockRef,
+        shm: Optional[shared_memory.SharedMemory] = None,
+    ):
+        super().__init__(ids, values)
+        self.ref = ref
+        self._shm = shm
+
+    def __reduce__(self):
+        return (attach_block, (self.ref,))
+
+
+# -- segment registry (per process) ----------------------------------------
+
+#: name -> open SharedMemory handle. Owners register at creation;
+#: attachers populate on first use. One handle per segment per process.
+_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+_REGISTRY_LOCK = threading.Lock()
+_SEQ = 0
+#: Monotonic count of real segment attachments this process performed
+#: (registry hits excluded). Attachment happens while descriptors are
+#: *unpickled* — before any task body runs — so engines report it via
+#: this counter's deltas rather than by snapshotting around a call.
+_ATTACH_COUNT = 0
+
+
+def _next_name() -> str:
+    """Deterministic process-local segment name."""
+    import os
+
+    global _SEQ
+    with _REGISTRY_LOCK:
+        _SEQ += 1
+        return f"{SEGMENT_PREFIX}{os.getpid()}-{_SEQ}"
+
+
+def _register(shm: shared_memory.SharedMemory) -> None:
+    with _REGISTRY_LOCK:
+        _SEGMENTS[shm.name] = shm
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Open (or reuse) a mapping of ``name`` without taking ownership."""
+    with _REGISTRY_LOCK:
+        shm = _SEGMENTS.get(name)
+    if shm is not None:
+        return shm
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        # Attaching re-registers the name with the resource tracker.
+        # That is harmless here: workers share the owner's tracker
+        # process, whose cache is a *set* — the add is idempotent, and
+        # the owner's eventual unlink() performs the one balancing
+        # unregister. (Unregistering manually after attach would
+        # instead remove the owner's registration from the shared set
+        # and make that unlink a double-unregister.)
+        shm = shared_memory.SharedMemory(name=name)
+    global _ATTACH_COUNT
+    with _REGISTRY_LOCK:
+        _ATTACH_COUNT += 1
+    _register(shm)
+    return shm
+
+
+def attach_count() -> int:
+    """Total real attachments performed by this process so far."""
+    with _REGISTRY_LOCK:
+        return _ATTACH_COUNT
+
+
+def _forget_segment(name: str) -> None:
+    """Drop this process's registry entry for ``name``.
+
+    Deliberately no eager ``close()``: numpy views built over the
+    segment do not keep the mmap exported, so closing here would
+    unmap pages still reachable through handed-out arrays (a silent
+    segfault, not a BufferError). Every :class:`ShmBlock` pins its
+    handle instead — the mapping closes when the last block (or
+    nothing, if none are live) is garbage-collected.
+    """
+    with _REGISTRY_LOCK:
+        _SEGMENTS.pop(name, None)
+
+
+def attach_block(ref: BlockRef) -> ShmBlock:
+    """Rebuild a block from its descriptor (the unpickle entry point)."""
+    shm = _attach_segment(ref.segment)
+    ids = np.ndarray(
+        (ref.rows,), dtype=np.int64, buffer=shm.buf, offset=ref.ids_offset
+    )
+    values = np.ndarray(
+        (ref.rows, ref.dims),
+        dtype=np.float64,
+        buffer=shm.buf,
+        offset=ref.values_offset,
+    )
+    ids.flags.writeable = False
+    values.flags.writeable = False
+    return ShmBlock(ids, values, ref, shm)
+
+
+def attached_segments() -> Tuple[str, ...]:
+    """Names this process currently holds a mapping for (tests)."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_SEGMENTS))
+
+
+# -- the owning arena ------------------------------------------------------
+
+
+def _unlink_names(names: List[str]) -> None:
+    """Finalizer body: release every still-owned segment name."""
+    for name in list(names):
+        try:
+            shared_memory.SharedMemory(name=name, track=False).unlink()
+        except TypeError:
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            # No manual unregister here: attaching registered the name
+            # with the tracker and unlink() unregisters it — balanced.
+            shm.unlink()
+            try:
+                shm.close()
+            except BufferError:
+                pass
+        except FileNotFoundError:
+            continue
+    names.clear()
+
+
+class SharedArena:
+    """Creates, tracks, and (alone) unlinks shared segments.
+
+    One arena per job is the intended granularity: the engine packs a
+    job's splits and cache blocks into the arena, runs the job, and
+    retires the arena when the *next* job starts or the engine shuts
+    down — so returned outputs stay mapped while no name ever leaks.
+    """
+
+    def __init__(self):
+        self._names: List[str] = []
+        self._closed = False
+        self.segments_created = 0
+        self.blocks_shared = 0
+        self.bytes_shared = 0
+        # Runs on gc and at interpreter exit; detached once unlink()
+        # has run explicitly.
+        self._finalizer = weakref.finalize(self, _unlink_names, self._names)
+
+    # -- creation -----------------------------------------------------
+
+    def _create_segment(self, size: int) -> shared_memory.SharedMemory:
+        while True:
+            name = _next_name()
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(size, _ITEM)
+                )
+                break
+            except FileExistsError:
+                continue  # leftover from a dead pid: bump the sequence
+        _register(shm)
+        self._names.append(shm.name)
+        self.segments_created += 1
+        return shm
+
+    def share_blocks(self, blocks: Sequence[PointSet]) -> List[ShmBlock]:
+        """Pack blocks into ONE segment; returns shared equivalents.
+
+        One segment per batch means workers open one shm handle per
+        job, not one per split. Blocks that are already shared pass
+        through untouched (no re-copy, no new segment).
+        """
+        if self._closed:
+            raise ValidationError("arena is closed")
+        todo = [
+            (i, b)
+            for i, b in enumerate(blocks)
+            if not isinstance(b, ShmBlock)
+        ]
+        out: List[PointSet] = list(blocks)
+        if not todo:
+            return out
+        total = sum(
+            b.ids.nbytes + b.values.nbytes for _i, b in todo
+        )
+        shm = self._create_segment(total)
+        offset = 0
+        for i, block in todo:
+            ids_nbytes = block.ids.nbytes
+            values_nbytes = block.values.nbytes
+            ref = BlockRef(
+                segment=shm.name,
+                ids_offset=offset,
+                values_offset=offset + ids_nbytes,
+                rows=len(block),
+                dims=block.dimensionality,
+            )
+            ids = np.ndarray(
+                (ref.rows,),
+                dtype=np.int64,
+                buffer=shm.buf,
+                offset=ref.ids_offset,
+            )
+            values = np.ndarray(
+                (ref.rows, ref.dims),
+                dtype=np.float64,
+                buffer=shm.buf,
+                offset=ref.values_offset,
+            )
+            np.copyto(ids, block.ids)
+            np.copyto(values, block.values)
+            ids.flags.writeable = False
+            values.flags.writeable = False
+            out[i] = ShmBlock(ids, values, ref, shm)
+            offset += ids_nbytes + values_nbytes
+            self.blocks_shared += 1
+            self.bytes_shared += ids_nbytes + values_nbytes
+        return out
+
+    def share_block(self, block: PointSet) -> ShmBlock:
+        return self.share_blocks([block])[0]
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._names)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def unlink(self) -> None:
+        """Release every owned segment name (idempotent).
+
+        Existing mappings — including views this process handed out —
+        stay valid until their holders drop them; only the names (and
+        thus the leak surface) disappear.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        names = list(self._names)
+        self._finalizer.detach()
+        for name in names:
+            try:
+                _segment_unlink(name)
+            finally:
+                _forget_segment(name)
+        self._names.clear()
+
+
+def _segment_unlink(name: str) -> None:
+    with _REGISTRY_LOCK:
+        shm = _SEGMENTS.get(name)
+    if shm is None:
+        _unlink_names([name])
+        return
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+# -- engine-facing promotion helpers ---------------------------------------
+
+
+def promote_splits(splits: Iterable, arena: SharedArena) -> List:
+    """Re-home the block payloads of input splits into the arena.
+
+    Block splits come back as new ``BlockInputSplit``-alikes whose
+    ``points`` is a :class:`ShmBlock`; record splits (no ``points``)
+    pass through unchanged. Split ids and ordering are preserved, so
+    task identity — and with it the fault plan's schedule — is
+    untouched.
+    """
+    splits = list(splits)
+    blocks = []
+    where = []
+    for i, split in enumerate(splits):
+        points = getattr(split, "points", None)
+        if isinstance(points, PointSet) and not isinstance(points, ShmBlock):
+            where.append(i)
+            blocks.append(points)
+    if not where:
+        return splits
+    shared = arena.share_blocks(blocks)
+    for pos, i in enumerate(where):
+        split = splits[i]
+        splits[i] = type(split)(split_id=split.split_id, points=shared[pos])
+    return splits
+
+
+def promote_cache(cache, arena: SharedArena):
+    """Re-home PointSet cache payloads; other values ship as-is.
+
+    Returns the original cache when nothing qualifies (preserving its
+    memoized payload size). Sizing is unchanged either way — a
+    :class:`ShmBlock` is a PointSet, so ``payload_size`` charges the
+    same bytes and broadcast accounting stays byte-identical.
+    """
+    items = list(cache._data.items())
+    todo = [
+        (key, value)
+        for key, value in items
+        if isinstance(value, PointSet) and not isinstance(value, ShmBlock)
+    ]
+    if not todo:
+        return cache
+    shared = arena.share_blocks([value for _key, value in todo])
+    replaced = dict(cache._data)
+    for pos, (key, _value) in enumerate(todo):
+        replaced[key] = shared[pos]
+    return cache.replaced(replaced)
+
+
+def live_segments() -> Tuple[str, ...]:
+    """Segment names currently linked on this host (the leak probe).
+
+    Reads ``/dev/shm`` where available (Linux); returns an empty tuple
+    elsewhere, which keeps the leak tests vacuously green on platforms
+    without an enumerable shm namespace.
+    """
+    import os
+
+    try:
+        entries = os.listdir("/dev/shm")
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return ()
+    return tuple(
+        sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))
+    )
+
+
+def segment_exists(name: str) -> bool:
+    """Whether ``name`` is still linked (attach-probe, then close)."""
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return False
+        shm.close()
+        return True
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+def release_attachments(keep: Optional[Iterable[str]] = None) -> int:
+    """Drop cached attachments not in ``keep`` (worker-side hygiene).
+
+    Long-lived pool workers attach one segment per job; names are
+    never reused, so stale handles would pile up. Engines pass the
+    current job's segment names; everything else is closed (or left to
+    die with its last live view if a BufferError says views remain).
+    """
+    keep_set = set(keep or ())
+    with _REGISTRY_LOCK:
+        stale = [name for name in _SEGMENTS if name not in keep_set]
+    for name in stale:
+        _forget_segment(name)
+    return len(stale)

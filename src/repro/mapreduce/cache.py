@@ -62,6 +62,23 @@ class DistributedCache:
             )
         return self._payload_bytes
 
+    def replaced(self, data: Mapping[str, Any]) -> "DistributedCache":
+        """A new cache with the same keys but substituted values.
+
+        Used by the zero-copy substrate to swap block payloads for
+        their shared-memory equivalents. The key set must be
+        unchanged; the memoized payload size carries over because the
+        substitution is size-preserving by construction (a shared
+        block sizes exactly like the PointSet it mirrors).
+        """
+        if set(data) != set(self._data):
+            raise ValidationError(
+                "replaced() must keep the cache's key set unchanged"
+            )
+        out = DistributedCache(data)
+        out._payload_bytes = self._payload_bytes
+        return out
+
     @classmethod
     def empty(cls) -> "DistributedCache":
         return cls({})

@@ -79,6 +79,15 @@ TUPLE_COMPARES = "skyline.tuple_compares"
 TUPLES_PRUNED_BY_BITSTRING = "skyline.tuples_pruned_by_bitstring"
 LOCAL_SKYLINE_SIZE = "skyline.local_skyline_size"
 
+#: Zero-copy substrate counters (:mod:`repro.core.shm`), charged on the
+#: engine's own bag — never into job stats, which must stay
+#: byte-identical across engines.
+SHM_SEGMENTS_CREATED = "mr.shm.segments_created"
+SHM_SEGMENTS_UNLINKED = "mr.shm.segments_unlinked"
+SHM_BLOCKS_SHARED = "mr.shm.blocks_shared"
+SHM_BYTES_SHARED = "mr.shm.bytes_shared"
+SHM_ATTACHES = "mr.shm.attaches"
+
 #: Serving-layer counters (:mod:`repro.serve`).
 SERVE_QUERIES = "serve.queries"
 SERVE_CACHE_HITS = "serve.cache_hits"
@@ -90,6 +99,13 @@ SERVE_INSERTS = "serve.inserts"
 SERVE_DELETES = "serve.deletes"
 SERVE_DELTA_REPAIRS = "serve.delta_repairs"
 SERVE_BATCH_REFRESHES = "serve.batch_refreshes"
+
+#: Sharded-fleet counters (:mod:`repro.serve.shard`).
+SERVE_SHARD_QUERIES_FANNED = "serve.shard.queries_fanned_out"
+SERVE_SHARD_DELTA_BATCHES = "serve.shard.delta_batches"
+SERVE_SHARD_BATCHED_OPS = "serve.shard.batched_ops"
+SERVE_SHARD_REPLICATED_POINTS = "serve.shard.replicated_points"
+SERVE_SHARD_RESHARDS = "serve.shard.reshards"
 
 #: One-line documentation per canonical counter. The observability
 #: metric registry (:mod:`repro.obs.metrics`) and ``repro-skyline list
@@ -130,5 +146,41 @@ COUNTER_DOCS = {
     SERVE_BATCH_REFRESHES: (
         "Full batch recomputes triggered by the staleness budget "
         "(MR-GPSRS/MR-GPMRS through the configured engine)."
+    ),
+    SHM_SEGMENTS_CREATED: (
+        "Shared-memory segments created by the zero-copy substrate."
+    ),
+    SHM_SEGMENTS_UNLINKED: (
+        "Shared-memory segments unlinked (lifecycle completed, no leak)."
+    ),
+    SHM_BLOCKS_SHARED: (
+        "PointSet blocks re-homed into shared memory (splits + cache)."
+    ),
+    SHM_BYTES_SHARED: (
+        "Bytes of block data placed in shared segments instead of being "
+        "pickled per process hop."
+    ),
+    SHM_ATTACHES: (
+        "Segment attachments performed when materialising block "
+        "descriptors received from another process."
+    ),
+    SERVE_SHARD_QUERIES_FANNED: (
+        "Per-shard sub-queries dispatched by the sharded router "
+        "(fan-out; one query may touch several shards)."
+    ),
+    SERVE_SHARD_DELTA_BATCHES: (
+        "Coalesced delta batches applied across the shard fleet."
+    ),
+    SERVE_SHARD_BATCHED_OPS: (
+        "Individual insert/delete operations absorbed inside coalesced "
+        "delta batches."
+    ),
+    SERVE_SHARD_REPLICATED_POINTS: (
+        "Extra copies of points stored because their cell belongs to "
+        "more than one independent-group shard (Figure 6 replication)."
+    ),
+    SERVE_SHARD_RESHARDS: (
+        "Full fleet rebuilds triggered by a point landing in a cell no "
+        "shard's group covers."
     ),
 }

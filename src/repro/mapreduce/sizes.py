@@ -11,8 +11,9 @@ PointSets).
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
@@ -58,6 +59,9 @@ def payload_size(value: Any) -> int:
     values = getattr(value, "values", None)
     if isinstance(ids, np.ndarray) and isinstance(values, np.ndarray):
         return int(ids.nbytes + values.nbytes) + _OVERHEAD
+    structural = _structural_size(value)
+    if structural is not None:
+        return structural
     try:
         return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
     except (pickle.PicklingError, TypeError, AttributeError, RecursionError):
@@ -65,3 +69,38 @@ def payload_size(value: Any) -> int:
         # Exception here would also swallow ValidationError raised by a
         # payload's own __reduce__, hiding real configuration bugs.
         return 64  # opaque object; charge a flat token
+
+
+def _structural_size(value: Any) -> Optional[int]:
+    """Size dataclass/slotted library objects by walking their fields.
+
+    Grids, bitstrings, reducer groups, block descriptors and the other
+    structured values the runtime broadcasts all end up here, so the
+    shuffle/broadcast accounting never round-trips them through
+    ``pickle.dumps`` (the former cold-path cost). Plain ``__dict__``
+    objects keep the pickle fallback: their layout is not ours to
+    assume.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            sum(
+                payload_size(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            )
+            + _OVERHEAD
+        )
+    slots: list = []
+    for klass in type(value).__mro__:
+        declared = klass.__dict__.get("__slots__")
+        if declared is None:
+            continue
+        slots.extend((declared,) if isinstance(declared, str) else declared)
+    if not slots:
+        return None
+    total = _OVERHEAD
+    for name in slots:
+        try:
+            total += payload_size(getattr(value, name))
+        except AttributeError:
+            continue  # slot declared but never assigned
+    return total

@@ -235,6 +235,60 @@ class ServeBatchRefresh(Event):
     skyline_size: int = 0
 
 
+@dataclass(frozen=True)
+class ShmBlocksShared(Event):
+    """Block payloads re-homed into shared memory for one job.
+
+    Emitted by the process-pool engine after promoting splits and
+    cache blocks: the job's data now crosses process boundaries as
+    descriptors, and ``payload_bytes`` is the volume that was *not*
+    pickled per hop."""
+
+    kind = "shm_blocks_shared"
+    job: str
+    segments: int
+    blocks: int
+    payload_bytes: int
+
+
+@dataclass(frozen=True)
+class ShmArenaRetired(Event):
+    """A job arena's segments were unlinked (lifecycle completed)."""
+
+    kind = "shm_arena_retired"
+    job: str
+    segments: int
+
+
+@dataclass(frozen=True)
+class ServeDeltaBatch(Event):
+    """A coalesced burst of deltas applied in one repair pass.
+
+    ``max_shard_pairs`` is the largest per-shard repair work of the
+    batch — the quantity that bounds the fleet's parallel (virtual)
+    service time."""
+
+    kind = "serve_delta_batch"
+    ops: int
+    inserts: int
+    deletes: int
+    epoch: int
+    shards_touched: int = 1
+    max_shard_pairs: int = 0
+    skyline_size: int = 0
+
+
+@dataclass(frozen=True)
+class ServeReshard(Event):
+    """The sharded router rebuilt its fleet (coverage exhausted)."""
+
+    kind = "serve_reshard"
+    reason: str
+    shards: int
+    groups: int
+    epoch: int
+
+
 #: Every event type, keyed by wire name (drives the schema module).
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
@@ -253,6 +307,10 @@ EVENT_TYPES: Dict[str, type] = {
         ServeQueryRejected,
         ServeDeltaApplied,
         ServeBatchRefresh,
+        ShmBlocksShared,
+        ShmArenaRetired,
+        ServeDeltaBatch,
+        ServeReshard,
     )
 }
 

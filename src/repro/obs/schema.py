@@ -102,6 +102,19 @@ def validate_events(events: Sequence[Event]) -> List[str]:
             "delete",
         ):
             problems.append(f"event {position}: unknown delta op {event.op!r}")
+        if kind == "serve_delta_batch":
+            if event.inserts + event.deletes != event.ops:
+                problems.append(
+                    f"event {position}: inserts + deletes != ops"
+                )
+            if event.shards_touched < 0 or event.max_shard_pairs < 0:
+                problems.append(
+                    f"event {position}: negative shard quantities"
+                )
+        if kind == "shm_blocks_shared" and (
+            event.segments < 0 or event.blocks < 0 or event.payload_bytes < 0
+        ):
+            problems.append(f"event {position}: negative shm quantities")
     return problems
 
 

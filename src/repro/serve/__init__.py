@@ -17,7 +17,15 @@ arrive concurrently:
   schedule on the virtual clock, with a real-thread mode for demos;
 * :data:`SERVE_WORKLOADS` (:mod:`repro.serve.workloads`) — seeded
   load generators + the replay driver behind ``repro-skyline serve``
-  and ``benchmarks/bench_serve.py``.
+  and ``benchmarks/bench_serve.py``;
+* :class:`ShardedSkylineIndex` / :class:`ShardedFrontend`
+  (:mod:`repro.serve.shard`) — the index partitioned by independent
+  groups (Lemma 2) across shards behind a router with one global
+  epoch and delta batching; exact by construction, scales write-heavy
+  capacity with the shard count;
+* :class:`SkylineFleet` (:mod:`repro.serve.fleet`) — the same shard
+  plan across real worker processes, initial shard datasets shipped
+  zero-copy through :mod:`repro.core.shm`.
 
 See ``docs/serving.md`` for the design and the correctness argument.
 """
@@ -31,10 +39,18 @@ from repro.serve.frontend import (
     QueryResponse,
     ThreadedFrontend,
 )
+from repro.serve.fleet import FleetError, SkylineFleet
 from repro.serve.index import (
     DEFAULT_STALENESS_BUDGET,
     REFRESH_ALGORITHMS,
     SkylineIndex,
+)
+from repro.serve.shard import (
+    ShardedFrontend,
+    ShardedSkylineIndex,
+    ShardPlan,
+    UncoveredCellError,
+    plan_shards,
 )
 from repro.serve.workloads import (
     SERVE_WORKLOADS,
@@ -50,6 +66,7 @@ from repro.serve.workloads import (
 __all__ = [
     "CostModel",
     "DEFAULT_STALENESS_BUDGET",
+    "FleetError",
     "OpStream",
     "QueryFrontend",
     "QueryResponse",
@@ -59,11 +76,17 @@ __all__ = [
     "SERVE_WORKLOADS",
     "SERVING_POLICIES",
     "ServeWorkload",
+    "ShardPlan",
+    "ShardedFrontend",
+    "ShardedSkylineIndex",
+    "SkylineFleet",
     "SkylineIndex",
     "ThreadedFrontend",
+    "UncoveredCellError",
     "build_serve_report",
     "exact_percentile",
     "generate_ops",
+    "plan_shards",
     "region_key",
     "replay",
     "run_workload",

@@ -1,0 +1,388 @@
+"""A process-backed shard fleet: one OS process per skyline shard.
+
+:class:`~repro.serve.shard.ShardedSkylineIndex` proves the routing and
+exactness story in one process; :class:`SkylineFleet` is the same plan
+(:func:`~repro.serve.shard.plan_shards` — identical grid, groups, and
+owner tie-breaks) stretched across real worker processes:
+
+* each worker hosts one :class:`~repro.serve.index.SkylineIndex` and
+  talks to the router over a duplex :class:`multiprocessing.Pipe`
+  (synchronous request/response — the router is the only client, so a
+  queue buys nothing but reordering hazards);
+* the initial per-shard datasets travel as **zero-copy shared-memory
+  blocks** (:meth:`repro.core.shm.SharedArena.share_blocks`): the
+  router packs every shard's ids+values into one segment and pickles
+  only descriptors into the spawn args — workers map the segment
+  read-only and copy their slice exactly once, into their own index
+  storage. The arena is retired on :meth:`stop`, and the lifecycle
+  tests assert no segment outlives the fleet;
+* deltas route to covering shards exactly like the in-process index; a
+  batch becomes at most one repair RPC per shard. Inserts outside
+  every group's coverage raise
+  :class:`~repro.serve.shard.UncoveredCellError` — a process fleet
+  does not reshard in place (tearing down live workers mid-stream is a
+  deployment event, not a data-path one); callers rebuild the fleet.
+
+The fleet is wall-clock real (no virtual time): it exists to prove the
+sharded serving plan survives process boundaries and to host the
+lifecycle tests; capacity claims are made by the deterministic
+virtual-clock :class:`~repro.serve.shard.ShardedFrontend`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.order import as_dataset
+from repro.core.pointset import PointSet
+from repro.core.shm import SharedArena
+from repro.errors import ValidationError
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.counters import Counters
+from repro.serve.index import SkylineIndex
+from repro.serve.shard import ShardPlan, plan_shards
+
+
+def _shard_worker(conn, block, dimensionality: int) -> None:
+    """Worker loop: build the shard index, answer RPCs until 'stop'.
+
+    ``block`` arrives as a :class:`~repro.core.shm.ShmBlock` descriptor
+    (or ``None`` for an empty shard) — unpickling it maps the shared
+    segment; the index constructor copies the slice into private
+    storage, so the segment's pages are never needed again (the cached
+    mapping simply dies with the process; the router owns the name).
+    """
+    if block is not None:
+        index = SkylineIndex(
+            np.array(block.values, dtype=np.float64),
+            point_ids=np.array(block.ids, dtype=np.int64),
+        )
+    else:
+        index = SkylineIndex(dimensionality=dimensionality)
+    del block  # drop the shared mapping; the index owns its copies
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:  # router died; nothing left to serve
+            return
+        op = msg[0]
+        try:
+            if op == "stop":
+                conn.send(("ok", None))
+                return
+            elif op == "insert":
+                _, row, pid = msg
+                index.insert(row, pid)
+                conn.send(("ok", None))
+            elif op == "delete":
+                index.delete(msg[1])
+                conn.send(("ok", None))
+            elif op == "batch":
+                pairs = index.apply_delta_batch(msg[1])
+                conn.send(("ok", pairs))
+            elif op == "skyline":
+                sky = index.skyline()
+                conn.send(("ok", (sky.ids.copy(), sky.values.copy())))
+            elif op == "snapshot":
+                snap = index.snapshot()
+                conn.send(("ok", (snap.ids.copy(), snap.values.copy())))
+            else:
+                conn.send(("err", f"unknown op {op!r}"))
+        except Exception as exc:  # repro: allow[REP006] - relayed to router
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+
+
+class FleetError(RuntimeError):
+    """A worker reported a failure or died mid-request."""
+
+
+class SkylineFleet:
+    """Router + one shard process per reducer group.
+
+    Mirrors the :class:`~repro.serve.shard.ShardedSkylineIndex` data
+    path (same plan, same covering/owner routing, same id-ordered
+    merge) over real processes. Use as a context manager — workers and
+    the shared-memory arena are released on :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        data,
+        *,
+        num_shards: int,
+        ppd: Optional[int] = None,
+        start_method: Optional[str] = None,
+        counters: Optional[Counters] = None,
+    ):
+        if num_shards < 1:
+            raise ValidationError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        values = as_dataset(data)
+        if values.shape[0] == 0:
+            raise ValidationError(
+                "SkylineFleet needs a non-empty initial dataset"
+            )
+        self.counters = counters if counters is not None else Counters()
+        self._d = int(values.shape[1])
+        self.epoch = 0
+        self._plan: ShardPlan = plan_shards(values, num_shards, ppd=ppd)
+        ids = np.arange(values.shape[0], dtype=np.int64)
+        self._next_id = int(values.shape[0])
+
+        cells = self._plan.grid.cell_indices(values)
+        n_shards = self._plan.num_shards
+        shard_ids: List[List[int]] = [[] for _ in range(n_shards)]
+        shard_rows: List[List[np.ndarray]] = [[] for _ in range(n_shards)]
+        self._owner: Dict[int, int] = {}
+        self._members: Dict[int, Tuple[int, ...]] = {}
+        route_cache: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+        replicated = 0
+        for pos in range(values.shape[0]):
+            pid = int(ids[pos])
+            cell = int(cells[pos])
+            route = route_cache.get(cell)
+            if route is None:
+                route = self._plan.route_cell(cell)
+                route_cache[cell] = route
+            shards, owner = route
+            self._owner[pid] = owner
+            self._members[pid] = shards
+            replicated += len(shards) - 1
+            for s in shards:
+                shard_ids[s].append(pid)
+                shard_rows[s].append(values[pos])
+        self.counters.inc(
+            counter_names.SERVE_SHARD_REPLICATED_POINTS, replicated
+        )
+
+        # Ship every shard's dataset through ONE shared segment: the
+        # pickled spawn args carry descriptors, not arrays.
+        self._arena = SharedArena()
+        payload: List[Optional[PointSet]] = []
+        blocks = []
+        for s in range(n_shards):
+            if shard_ids[s]:
+                blocks.append(
+                    PointSet(
+                        np.asarray(shard_ids[s], dtype=np.int64),
+                        np.vstack(shard_rows[s]),
+                    )
+                )
+            else:
+                blocks.append(None)
+        shared = self._arena.share_blocks([b for b in blocks if b is not None])
+        it = iter(shared)
+        for b in blocks:
+            payload.append(next(it) if b is not None else None)
+
+        ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._conns = []
+        self._procs = []
+        self._stopped = False
+        try:
+            for s in range(n_shards):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(child, payload[s], self._d),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+        except BaseException:  # repro: allow[REP006] - cleanup, re-raised
+            self.stop()
+            raise
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._procs)
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+    def __enter__(self) -> "SkylineFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        """Stop every worker and release the shared-memory arena."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(5.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._arena.unlink()
+
+    def _call(self, shard: int, msg: Tuple):
+        if self._stopped:
+            raise FleetError("fleet is stopped")
+        conn = self._conns[shard]
+        try:
+            conn.send(msg)
+            status, payload = conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise FleetError(
+                f"shard {shard} worker died during {msg[0]!r}"
+            ) from exc
+        if status != "ok":
+            raise FleetError(f"shard {shard}: {payload}")
+        return payload
+
+    # -- data path ------------------------------------------------------
+
+    def insert(self, point, point_id: Optional[int] = None) -> int:
+        row = np.asarray(point, dtype=np.float64).ravel()
+        if row.shape[0] != self._d:
+            raise ValidationError(
+                f"point has {row.shape[0]} dimensions, fleet has {self._d}"
+            )
+        pid = self._next_id if point_id is None else int(point_id)
+        if pid in self._owner:
+            raise ValidationError(f"point id {pid} already present")
+        cell = self._plan.grid.cell_index(row)
+        shards, owner = self._plan.route_cell(cell)  # may raise Uncovered
+        self._next_id = max(self._next_id, pid + 1)
+        for s in shards:
+            self._call(s, ("insert", row, pid))
+        self._owner[pid] = owner
+        self._members[pid] = shards
+        self.counters.inc(counter_names.SERVE_INSERTS)
+        self.counters.inc(
+            counter_names.SERVE_SHARD_REPLICATED_POINTS, len(shards) - 1
+        )
+        self.epoch += 1
+        return pid
+
+    def delete(self, point_id: int) -> None:
+        pid = int(point_id)
+        if pid not in self._owner:
+            raise ValidationError(f"unknown point id {pid}")
+        for s in self._members.pop(pid):
+            self._call(s, ("delete", pid))
+        del self._owner[pid]
+        self.counters.inc(counter_names.SERVE_DELETES)
+        self.epoch += 1
+
+    def apply_delta_batch(self, ops: List[Tuple]) -> Dict[int, int]:
+        """One repair RPC per touched shard; per-shard pairs returned."""
+        if not ops:
+            return {}
+        per_shard: Dict[int, List[Tuple]] = {}
+        routed: List[Tuple] = []
+        for op in ops:
+            if op[0] == "insert":
+                _k, point, pid = op
+                row = np.asarray(point, dtype=np.float64).ravel()
+                if row.shape[0] != self._d:
+                    raise ValidationError(
+                        f"point has {row.shape[0]} dimensions, fleet "
+                        f"has {self._d}"
+                    )
+                if pid is None:
+                    pid = self._next_id
+                pid = int(pid)
+                cell = self._plan.grid.cell_index(row)
+                shards, owner = self._plan.route_cell(cell)
+                self._next_id = max(self._next_id, pid + 1)
+                for s in shards:
+                    per_shard.setdefault(s, []).append(("insert", row, pid))
+                routed.append(("insert", pid, shards, owner))
+            elif op[0] == "delete":
+                pid = int(op[1])
+                members = self._members.get(pid)
+                if members is None:
+                    entry = next(
+                        (
+                            r
+                            for r in reversed(routed)
+                            if r[0] == "insert" and r[1] == pid
+                        ),
+                        None,
+                    )
+                    if entry is None:
+                        raise ValidationError(f"unknown point id {pid}")
+                    members = entry[2]
+                for s in members:
+                    per_shard.setdefault(s, []).append(("delete", pid))
+                routed.append(("delete", pid, members, None))
+            else:
+                raise ValidationError(f"unknown delta op {op[0]!r}")
+        pairs: Dict[int, int] = {}
+        for s in sorted(per_shard):
+            pairs[s] = int(self._call(s, ("batch", per_shard[s])))
+        inserts = deletes = 0
+        for entry in routed:
+            if entry[0] == "insert":
+                _k, pid, shards, owner = entry
+                self._owner[pid] = owner
+                self._members[pid] = shards
+                self.counters.inc(
+                    counter_names.SERVE_SHARD_REPLICATED_POINTS,
+                    len(shards) - 1,
+                )
+                inserts += 1
+            else:
+                _k, pid, _shards, _owner = entry
+                self._members.pop(pid, None)
+                self._owner.pop(pid, None)
+                deletes += 1
+        self.counters.inc(counter_names.SERVE_INSERTS, inserts)
+        self.counters.inc(counter_names.SERVE_DELETES, deletes)
+        self.counters.inc(counter_names.SERVE_SHARD_DELTA_BATCHES)
+        self.counters.inc(counter_names.SERVE_SHARD_BATCHED_OPS, len(ops))
+        self.epoch += 1
+        return pairs
+
+    # -- read side ------------------------------------------------------
+
+    def skyline(self) -> PointSet:
+        """Fan out, filter to owned ids, merge in id order."""
+        parts: List[PointSet] = []
+        for s in range(self.num_shards):
+            ids, values = self._call(s, ("skyline",))
+            if len(ids):
+                owned = np.fromiter(
+                    (self._owner.get(int(pid)) == s for pid in ids),
+                    dtype=bool,
+                    count=len(ids),
+                )
+                parts.append(PointSet(ids, values).select(owned))
+            else:
+                parts.append(PointSet(ids, values))
+        self.counters.inc(
+            counter_names.SERVE_SHARD_QUERIES_FANNED, self.num_shards
+        )
+        merged = PointSet.concat(parts)
+        return merged.select(np.argsort(merged.ids, kind="stable"))
+
+    def skyline_ids(self) -> np.ndarray:
+        return self.skyline().ids.copy()

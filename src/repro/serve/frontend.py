@@ -79,6 +79,13 @@ class CostModel:
     query_base_s: float = 1e-4
     cache_hit_s: float = 1e-5
     mutation_base_s: float = 2e-5
+    # Sharded-fleet constants (trailing, defaulted: positional callers
+    # of the original five fields are unaffected). A fanned-out query
+    # pays dispatch per shard on the router plus the *slowest* shard
+    # read; mutations pay the largest per-shard repair, which is how a
+    # fleet turns divided repair work into served capacity.
+    shard_dispatch_s: float = 2e-6
+    shard_read_base_s: float = 2e-5
 
 
 @dataclass(frozen=True)
@@ -327,6 +334,23 @@ class QueryFrontend:
         """Delete at virtual time ``at_s``; pays measured repair work."""
         self._advance(at_s)
         self._apply_mutation(at_s, lambda: self.index.delete(point_id))
+
+    def apply_batch(self, at_s: float, ops) -> None:
+        """Apply a coalesced mutation batch in ONE repair pass.
+
+        ``ops`` follows :meth:`SkylineIndex.apply_delta_batch` —
+        ``("insert", point, point_id)`` / ``("delete", point_id)``.
+        The whole burst pays one ``mutation_base_s`` plus its measured
+        repair pairs (delta policy), and bumps the epoch once, so the
+        result cache survives a write burst it would otherwise lose
+        once per op. Single-process parity twin of the sharded
+        frontend's batching, so capacity comparisons isolate sharding
+        itself.
+        """
+        self._advance(at_s)
+        self._apply_mutation(
+            at_s, lambda: self.index.apply_delta_batch(list(ops))
+        )
 
     def _apply_mutation(self, at_s: float, op):
         before = self.counters.get(counter_names.TUPLE_COMPARES)

@@ -59,7 +59,11 @@ from repro.grid.grid import Grid
 from repro.grid.ppd import cap_ppd, ppd_from_equation4
 from repro.mapreduce import counters as counter_names
 from repro.mapreduce.counters import Counters
-from repro.obs.events import ServeBatchRefresh, ServeDeltaApplied
+from repro.obs.events import (
+    ServeBatchRefresh,
+    ServeDeltaApplied,
+    ServeDeltaBatch,
+)
 
 #: Algorithms the batch refresh may use: both expose the grid/bitstring
 #: artifacts the index adopts after a refresh.
@@ -80,6 +84,7 @@ class SkylineIndex:
         self,
         data=None,
         *,
+        point_ids=None,
         dimensionality: Optional[int] = None,
         bounds: Optional[Tuple] = None,
         ppd: Optional[int] = None,
@@ -137,12 +142,27 @@ class SkylineIndex:
         self._sky = PointSet.empty(self._d)
 
         if values is not None and values.shape[0]:
-            ids = np.arange(values.shape[0], dtype=np.int64)
-            self._next_id = int(values.shape[0])
+            if point_ids is None:
+                ids = np.arange(values.shape[0], dtype=np.int64)
+            else:
+                # Sharded routers feed each shard a subset of a global
+                # id space; the shard must preserve those ids so the
+                # merged skyline is byte-identical to the unsharded one.
+                ids = np.asarray(point_ids, dtype=np.int64).ravel()
+                if ids.shape[0] != values.shape[0]:
+                    raise ValidationError(
+                        f"point_ids has {ids.shape[0]} entries for "
+                        f"{values.shape[0]} points"
+                    )
+                if np.unique(ids).shape[0] != ids.shape[0]:
+                    raise ValidationError("point_ids must be unique")
+            self._next_id = int(ids.max()) + 1
             for i in range(values.shape[0]):
                 self._points[int(ids[i])] = values[i].copy()
             self._rebuild_substrate(self._grid)
             self.batch_refresh()
+        elif point_ids is not None:
+            raise ValidationError("point_ids given without data")
 
     # -- construction helpers ------------------------------------------
 
@@ -360,6 +380,171 @@ class SkylineIndex:
             np.asarray(ids, dtype=np.int64),
             np.vstack([self._points[i] for i in ids]),
         )
+
+    def apply_delta_batch(self, ops: List[Tuple]) -> int:
+        """Absorb a burst of deltas in ONE repair pass; returns pairs.
+
+        ``ops`` is a sequence of ``("insert", point, point_id)`` /
+        ``("delete", point_id)`` tuples, applied to storage in order
+        (so insert-then-delete of the same id within a batch is legal)
+        but repaired *once*:
+
+        1. storage (buckets/occupancy) absorbs every op sequentially;
+        2. the bitstring and its pruned form are rebuilt once;
+        3. the repair works from ``base`` = the old skyline minus
+           deleted members. Candidates are the surviving inserted
+           points plus — for each deleted member — the live points of
+           its dominated-region cells whose (post-batch) pruned bit is
+           set; the batch survivors are the candidates' local skyline
+           screened against ``base``, and survivors can in turn evict
+           ``base`` members (an insert may dominate an old member).
+
+        Exactness: any point the batch can surface was exclusively
+        dominated by some deleted member (→ in its repair region) or
+        arrived in the batch (→ a candidate); any point the batch can
+        evict is dominated by a surviving candidate (→ screened in
+        step 3). The oracle suite asserts byte-identity against a
+        from-scratch recompute after every batch.
+
+        One epoch bump for the whole batch — this is what makes
+        coalescing pay for result caches and sharded fan-out — but the
+        staleness budget still advances by ``len(ops)``, so refresh
+        cadence matches the op-by-op path. Returns the number of
+        tuple-pair comparisons the repair charged (the serving cost
+        model's service-time quantity).
+        """
+        with self._lock:
+            if not ops:
+                return 0
+            sky0 = self._sky
+            sky0_ids = set(sky0.ids.tolist())
+            inserted: Dict[int, np.ndarray] = {}
+            deleted_member_cells: List[int] = []
+            deleted_ids: set = set()
+            num_inserts = 0
+            num_deletes = 0
+            for op in ops:
+                if op[0] == "insert":
+                    _kind, point, point_id = op
+                    row = np.asarray(point, dtype=np.float64).ravel()
+                    if row.shape[0] != self._d:
+                        raise ValidationError(
+                            f"point has {row.shape[0]} dimensions, "
+                            f"index has {self._d}"
+                        )
+                    if point_id is None:
+                        point_id = self._next_id
+                    else:
+                        point_id = int(point_id)
+                    if point_id in self._points:
+                        raise ValidationError(
+                            f"point id {point_id} already present"
+                        )
+                    self._next_id = max(self._next_id, point_id + 1)
+                    cell = self._grid.cell_index(row)
+                    self._points[point_id] = row
+                    self._cells[point_id] = cell
+                    self._buckets.setdefault(cell, {})[point_id] = None
+                    self._occupancy[cell] += 1
+                    inserted[point_id] = row
+                    deleted_ids.discard(point_id)
+                    num_inserts += 1
+                elif op[0] == "delete":
+                    point_id = int(op[1])
+                    if point_id not in self._points:
+                        raise ValidationError(
+                            f"unknown point id {point_id}"
+                        )
+                    del self._points[point_id]
+                    cell = self._cells.pop(point_id)
+                    del self._buckets[cell][point_id]
+                    if not self._buckets[cell]:
+                        del self._buckets[cell]
+                    self._occupancy[cell] -= 1
+                    if point_id in inserted:
+                        del inserted[point_id]
+                    elif point_id in sky0_ids:
+                        deleted_member_cells.append(cell)
+                        deleted_ids.add(point_id)
+                    else:
+                        deleted_ids.add(point_id)
+                    num_deletes += 1
+                else:
+                    raise ValidationError(f"unknown delta op {op[0]!r}")
+
+            # One substrate rebuild for the whole burst.
+            self._bitstring = Bitstring(self._grid, self._occupancy > 0)
+            self._pruned = self._bitstring.prune_dominated()
+
+            base = sky0
+            if deleted_ids:
+                keep = np.array(
+                    [int(i) not in deleted_ids for i in sky0.ids],
+                    dtype=bool,
+                )
+                base = sky0.select(keep)
+            base_ids = set(base.ids.tolist())
+
+            candidate_rows: Dict[int, np.ndarray] = dict(inserted)
+            if deleted_member_cells:
+                coords = self._grid.coords_array()
+                region = np.zeros(len(self._pruned.bits), dtype=bool)
+                for cell in deleted_member_cells:
+                    region |= (coords >= coords[cell]).all(axis=1)
+                region &= self._pruned.bits
+                for c in np.flatnonzero(region).tolist():
+                    bucket = self._buckets.get(c)
+                    if bucket:
+                        for pid in bucket:
+                            if pid not in base_ids:
+                                candidate_rows[pid] = self._points[pid]
+
+            counter = DominanceCounter()
+            sky = base
+            if candidate_rows:
+                cand_ids = sorted(candidate_rows)
+                candidates = PointSet(
+                    np.asarray(cand_ids, dtype=np.int64),
+                    np.vstack([candidate_rows[i] for i in cand_ids]),
+                )
+                survivors = candidates.local_skyline(
+                    counter
+                ).remove_dominated_by(base, counter)
+                if len(survivors):
+                    if len(base):
+                        base = base.remove_dominated_by(survivors, counter)
+                    merged = PointSet.concat([base, survivors])
+                    order = np.argsort(merged.ids, kind="stable")
+                    sky = merged.select(order)
+                else:
+                    sky = base
+            self._sky = sky
+
+            self.counters.inc(counter_names.SERVE_INSERTS, num_inserts)
+            self.counters.inc(counter_names.SERVE_DELETES, num_deletes)
+            self.counters.inc(
+                counter_names.SERVE_DELTA_REPAIRS,
+                len(deleted_member_cells),
+            )
+            self.counters.inc(counter_names.TUPLE_COMPARES, counter.pairs)
+
+            self.epoch += 1
+            self.deltas_since_refresh += len(ops)
+            if _bus_active(self.bus):
+                self.bus.emit(
+                    ServeDeltaBatch(
+                        ops=len(ops),
+                        inserts=num_inserts,
+                        deletes=num_deletes,
+                        epoch=self.epoch,
+                        shards_touched=1,
+                        max_shard_pairs=counter.pairs,
+                        skyline_size=len(self._sky),
+                    )
+                )
+            if self.deltas_since_refresh >= self.staleness_budget:
+                self.batch_refresh()
+            return counter.pairs
 
     def _after_delta(
         self,

@@ -237,6 +237,7 @@ def build_serve_report(
         "workload": stream.workload.name,
         "seed": stream.seed,
         "policy": frontend.policy,
+        "shards": getattr(index, "num_shards", 1),
         "ops": stream.counts(),
         "queries_submitted": len(responses),
         "queries_served": len(ok),
@@ -258,6 +259,7 @@ def run_workload(
     *,
     seed: int = 0,
     policy: str = "delta",
+    shards: Optional[int] = None,
     engine=None,
     cluster=None,
     counters=None,
@@ -270,6 +272,10 @@ def run_workload(
     :class:`ServeWorkload`. The ``recompute`` policy disables the cache
     (a recompute-per-query baseline has nothing sound to cache between
     deltas at these write rates; the comparison stays work-vs-work).
+    With ``shards`` set, the same stream is served by a
+    :class:`~repro.serve.shard.ShardedSkylineIndex` behind the batching
+    :class:`~repro.serve.shard.ShardedFrontend` — results stay exact
+    (the shard oracle tests pin this), only capacity changes.
     """
     if isinstance(workload, str):
         if workload not in SERVE_WORKLOADS:
@@ -281,20 +287,44 @@ def run_workload(
     if scale != 1.0:
         workload = workload.scaled(scale)
     stream = generate_ops(workload, seed)
-    index = SkylineIndex(
-        stream.initial_data,
-        staleness_budget=workload.staleness_budget,
-        engine=engine,
-        cluster=cluster,
-        counters=counters,
-        bus=bus,
-    )
-    frontend = QueryFrontend(
-        index,
-        policy=policy,
-        cache_capacity=workload.cache_capacity if policy == "delta" else 0,
-        queue_capacity=workload.queue_capacity,
-        timeout_s=workload.timeout_s,
-    )
+    if shards is not None:
+        from repro.serve.shard import ShardedFrontend, ShardedSkylineIndex
+
+        index = ShardedSkylineIndex(
+            stream.initial_data,
+            num_shards=shards,
+            staleness_budget=workload.staleness_budget,
+            engine=engine,
+            cluster=cluster,
+            counters=counters,
+            bus=bus,
+        )
+        frontend = ShardedFrontend(
+            index,
+            policy=policy,
+            cache_capacity=(
+                workload.cache_capacity if policy == "delta" else 0
+            ),
+            queue_capacity=workload.queue_capacity,
+            timeout_s=workload.timeout_s,
+        )
+    else:
+        index = SkylineIndex(
+            stream.initial_data,
+            staleness_budget=workload.staleness_budget,
+            engine=engine,
+            cluster=cluster,
+            counters=counters,
+            bus=bus,
+        )
+        frontend = QueryFrontend(
+            index,
+            policy=policy,
+            cache_capacity=(
+                workload.cache_capacity if policy == "delta" else 0
+            ),
+            queue_capacity=workload.queue_capacity,
+            timeout_s=workload.timeout_s,
+        )
     responses = replay(frontend, stream)
     return build_serve_report(stream, frontend, responses), frontend

@@ -160,11 +160,12 @@ class TestParallelEventStreams:
         )
 
     def _frame_kinds(self, log):
-        """Non-task events in order (task placement is engine timing)."""
+        """Non-task events in order (task placement is engine timing;
+        ``shm_*`` frames are process-engine substrate diagnostics)."""
         return [
             e.kind
             for e in log.events
-            if not e.kind.startswith("task_attempt")
+            if not e.kind.startswith(("task_attempt", "shm_"))
         ]
 
     def test_thread_engine_emits_live(self, serial):
@@ -197,6 +198,12 @@ class TestParallelEventStreams:
         )
         assert self._frame_kinds(log) == self._frame_kinds(serial[1])
         assert result.indices.tolist() == serial[0].indices.tolist()
+        # The zero-copy substrate narrates its lifecycle: block splits
+        # were promoted into shared segments for each job.
+        shared = log.of_kind("shm_blocks_shared")
+        assert shared and all(
+            e.segments >= 1 and e.payload_bytes > 0 for e in shared
+        )
 
 
 class TestFaultEvents:

@@ -1,0 +1,304 @@
+"""Exactness and capacity tests for the sharded serving fleet.
+
+The load-bearing claim: a :class:`ShardedSkylineIndex` (and the
+process-backed :class:`SkylineFleet`) answers **byte-identically** to a
+single :class:`SkylineIndex` fed the same deltas, for every shard
+count — sharding may only change capacity, never answers. Each oracle
+below replays a seeded mutation stream against both and compares ids
+and values exactly at every step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.shm import live_segments
+from repro.errors import ValidationError
+from repro.mapreduce.counters import (
+    SERVE_SHARD_BATCHED_OPS,
+    SERVE_SHARD_DELTA_BATCHES,
+    SERVE_SHARD_QUERIES_FANNED,
+    SERVE_SHARD_REPLICATED_POINTS,
+    SERVE_SHARD_RESHARDS,
+)
+from repro.obs.events import EventBus, EventLog
+from repro.serve.fleet import SkylineFleet
+from repro.serve.frontend import QueryFrontend
+from repro.serve.index import SkylineIndex
+from repro.serve.shard import (
+    ShardedFrontend,
+    ShardedSkylineIndex,
+    UncoveredCellError,
+    plan_shards,
+)
+from repro.serve.workloads import run_workload
+
+
+def _data(n=120, d=3, seed=0):
+    return np.random.default_rng(seed).random((n, d))
+
+
+def _assert_same(a, b, context=""):
+    assert np.array_equal(a.ids, b.ids), context
+    assert np.array_equal(a.values, b.values), context
+
+
+class TestPlanShards:
+    def test_plans_requested_shard_count(self):
+        plan = plan_shards(_data(200), 4)
+        assert plan.num_shards == 4
+        assert len(plan.groups) >= 4
+
+    def test_every_occupied_cell_routes(self):
+        data = _data(150)
+        plan = plan_shards(data, 3)
+        for cell in np.unique(plan.grid.cell_indices(data)):
+            shards, owner = plan.route_cell(int(cell))
+            assert owner in shards
+            assert shards == tuple(sorted(set(shards)))
+
+    def test_coverage_is_downward_closed(self):
+        # If a cell routes to shard set S, every cell it anti-dominates
+        # (coords <= its coords) routes to a superset of S.
+        data = _data(100, d=2)
+        plan = plan_shards(data, 3)
+        cells = [int(c) for c in np.unique(plan.grid.cell_indices(data))]
+        coords = plan.coords
+        for c in cells[:10]:
+            shards_c, _ = plan.route_cell(c)
+            for other in cells:
+                if (coords[other] <= coords[c]).all():
+                    shards_o, _ = plan.route_cell(other)
+                    assert set(shards_c) <= set(shards_o)
+
+    def test_single_shard_plan_covers_everything(self):
+        plan = plan_shards(_data(50), 1)
+        assert plan.num_shards == 1
+
+
+class TestShardedIndexExactness:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4])
+    def test_initial_skyline_matches_single_index(self, shards):
+        data = _data(140)
+        single = SkylineIndex(data.copy())
+        sharded = ShardedSkylineIndex(data.copy(), num_shards=shards)
+        _assert_same(single.skyline(), sharded.skyline())
+
+    def test_mutation_stream_oracle(self):
+        rng = np.random.default_rng(42)
+        data = rng.random((100, 3))
+        twin = SkylineIndex(data.copy())
+        sharded = ShardedSkylineIndex(data.copy(), num_shards=3)
+        live = list(range(100))
+        next_id = 100
+        for step in range(60):
+            draw = rng.random()
+            if draw < 0.45 or len(live) < 5:
+                point = rng.random(3)
+                twin.insert(point, next_id)
+                sharded.insert(point, next_id)
+                live.append(next_id)
+                next_id += 1
+            elif draw < 0.8:
+                victim = live.pop(int(rng.integers(len(live))))
+                twin.delete(victim)
+                sharded.delete(victim)
+            else:
+                ops = [
+                    ("insert", rng.random(3), next_id),
+                    ("delete", live.pop(0)),
+                ]
+                live.append(next_id)
+                next_id += 1
+                twin.apply_delta_batch(ops)
+                sharded.apply_delta_batch(ops)
+            _assert_same(twin.skyline(), sharded.skyline(), f"step {step}")
+        _assert_same(twin.snapshot(), sharded.snapshot())
+
+    def test_batch_bumps_epoch_once_and_reports_per_shard_pairs(self):
+        data = _data(90)
+        sharded = ShardedSkylineIndex(data, num_shards=3)
+        before = sharded.epoch
+        # Re-inserting existing coordinates keeps every op inside the
+        # fitted coverage (the uncovered path is tested separately).
+        pairs = sharded.apply_delta_batch(
+            [
+                ("insert", data[0], 500),
+                ("insert", data[1], 501),
+                ("delete", 500),
+            ]
+        )
+        assert sharded.epoch == before + 1
+        assert pairs == sharded.last_shard_pairs
+        assert all(
+            shard_id in range(sharded.num_shards) and count >= 0
+            for shard_id, count in pairs.items()
+        )
+        assert sharded.counters.get(SERVE_SHARD_DELTA_BATCHES) == 1
+        assert sharded.counters.get(SERVE_SHARD_BATCHED_OPS) == 3
+
+    def test_out_of_bounds_insert_reshards_and_stays_exact(self):
+        data = _data(80)
+        twin = SkylineIndex(data.copy())
+        sharded = ShardedSkylineIndex(data.copy(), num_shards=3)
+        outside = np.array([1.7, 1.7, 1.7])  # past every fitted seed
+        twin.insert(outside, 400)
+        sharded.insert(outside, 400)
+        assert sharded.counters.get(SERVE_SHARD_RESHARDS) == 1
+        _assert_same(twin.skyline(), sharded.skyline())
+        # And the rebuilt fleet keeps serving deltas exactly.
+        twin.delete(400)
+        sharded.delete(400)
+        _assert_same(twin.skyline(), sharded.skyline())
+
+    def test_region_queries_match_single_index(self):
+        data = _data(130)
+        single = SkylineIndex(data.copy())
+        sharded = ShardedSkylineIndex(data.copy(), num_shards=4)
+        region = ((0.0, 0.0, 0.0), (0.5, 0.6, 0.7))
+        _assert_same(single.query(region), sharded.query(region))
+
+    def test_replication_and_fanout_are_counted(self):
+        sharded = ShardedSkylineIndex(_data(100), num_shards=4)
+        sharded.skyline()
+        assert sharded.counters.get(SERVE_SHARD_QUERIES_FANNED) >= 4
+        assert sharded.counters.get(SERVE_SHARD_REPLICATED_POINTS) >= 0
+        assert sum(len(s) for s in sharded.shards) == 100 + sharded.counters.get(
+            SERVE_SHARD_REPLICATED_POINTS
+        )
+
+    def test_rejects_empty_data_and_bad_shard_count(self):
+        with pytest.raises(ValidationError):
+            ShardedSkylineIndex(np.empty((0, 2)), num_shards=2)
+        with pytest.raises(ValidationError):
+            ShardedSkylineIndex(_data(20), num_shards=0)
+
+    def test_emits_delta_batch_event_with_shard_fields(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        data = _data(60)
+        sharded = ShardedSkylineIndex(data, num_shards=2, bus=bus)
+        sharded.apply_delta_batch(
+            [("insert", data[0], 300), ("delete", 300)]
+        )
+        events = log.of_kind("serve_delta_batch")
+        assert events
+        last = events[-1]
+        assert last.ops == 2
+        assert last.shards_touched >= 1
+        assert last.max_shard_pairs >= 0
+
+
+class TestShardedFrontend:
+    def test_batching_coalesces_mutations(self):
+        index = ShardedSkylineIndex(_data(80), num_shards=2)
+        frontend = ShardedFrontend(
+            index, batch_window_s=1.0, max_batch=64
+        )
+        t = 0.0
+        for i in range(10):
+            t += 0.001
+            frontend.apply_insert(t, np.full(3, 0.5), 200 + i)
+        frontend.flush()
+        # Ten mutations landed inside one window: one repair pass.
+        assert index.counters.get(SERVE_SHARD_DELTA_BATCHES) == 1
+        assert index.counters.get(SERVE_SHARD_BATCHED_OPS) == 10
+
+    def test_query_flushes_pending_batch(self):
+        index = ShardedSkylineIndex(_data(80), num_shards=2)
+        frontend = ShardedFrontend(index, batch_window_s=10.0)
+        frontend.apply_insert(0.001, np.full(3, 1e-4), 999)
+        frontend.submit_query(0.002)
+        responses = frontend.flush()
+        served = [r for r in responses if r.status == "ok"]
+        assert served
+        # The query observed the insert that arrived before it.
+        assert 999 in served[0].result.ids.tolist()
+
+    def test_final_state_matches_plain_frontend(self):
+        rng = np.random.default_rng(9)
+        data = rng.random((100, 3))
+        plain = QueryFrontend(SkylineIndex(data.copy()))
+        sharded = ShardedFrontend(
+            ShardedSkylineIndex(data.copy(), num_shards=3)
+        )
+        t = 0.0
+        next_id = 100
+        live = list(range(100))
+        for _ in range(80):
+            t += float(rng.random()) * 0.002
+            draw = rng.random()
+            if draw < 0.4:
+                point = rng.random(3)
+                plain.apply_insert(t, point, next_id)
+                sharded.apply_insert(t, point, next_id)
+                live.append(next_id)
+                next_id += 1
+            elif draw < 0.6 and len(live) > 10:
+                victim = live.pop(int(rng.integers(len(live))))
+                plain.apply_delete(t, victim)
+                sharded.apply_delete(t, victim)
+            else:
+                plain.submit_query(t)
+                sharded.submit_query(t)
+        plain.flush()
+        sharded.flush()
+        _assert_same(plain.index.skyline(), sharded.index.skyline())
+
+    def test_workload_capacity_does_not_degrade_with_shards(self):
+        # The bench sweeps 1..4 with a monotonic gate; the test pins the
+        # cheap endpoint comparison on a write-heavy stream.
+        one, _ = run_workload("write-heavy", seed=3, shards=1, scale=0.5)
+        four, _ = run_workload("write-heavy", seed=3, shards=4, scale=0.5)
+        assert four["queries_served"] >= one["queries_served"]
+        assert four["shards"] == 4
+
+    def test_workload_sharded_results_match_unsharded(self):
+        base, plain_fe = run_workload("write-heavy", seed=5, scale=0.5)
+        sharded, shard_fe = run_workload(
+            "write-heavy", seed=5, shards=3, scale=0.5
+        )
+        _assert_same(plain_fe.index.skyline(), shard_fe.index.skyline())
+        assert sharded["final_skyline_size"] == base["final_skyline_size"]
+
+
+class TestSkylineFleet:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_fleet_matches_single_index_and_frees_segments(
+        self, start_method
+    ):
+        rng = np.random.default_rng(17)
+        data = rng.random((90, 3))
+        twin = SkylineIndex(data.copy())
+        with SkylineFleet(
+            data.copy(), num_shards=3, start_method=start_method
+        ) as fleet:
+            _assert_same(twin.skyline(), fleet.skyline())
+            next_id = 90
+            for step in range(8):
+                point = rng.random(3)
+                twin.insert(point, next_id)
+                fleet.insert(point, next_id)
+                next_id += 1
+                if step % 3 == 2:
+                    ops = [("insert", rng.random(3), next_id)]
+                    next_id += 1
+                    twin.apply_delta_batch(ops)
+                    fleet.apply_delta_batch(ops)
+                _assert_same(
+                    twin.skyline(), fleet.skyline(), f"step {step}"
+                )
+            twin.delete(0)
+            fleet.delete(0)
+            _assert_same(twin.skyline(), fleet.skyline())
+        assert live_segments() == ()
+
+    def test_uncovered_insert_raises(self):
+        with SkylineFleet(_data(40), num_shards=2) as fleet:
+            with pytest.raises(UncoveredCellError):
+                fleet.insert(np.array([2.5, 2.5, 2.5]))
+
+    def test_stop_is_idempotent(self):
+        fleet = SkylineFleet(_data(30), num_shards=2)
+        fleet.stop()
+        fleet.stop()
+        assert live_segments() == ()

@@ -1,0 +1,312 @@
+"""Lifecycle tests for the zero-copy shared-memory substrate.
+
+The invariant under test: **no segment name outlives its owner's
+intent** — engine shutdown, worker crash, arena GC, and explicit
+unlink all leave ``/dev/shm`` clean, under both ``fork`` and ``spawn``
+start methods — while mappings handed out before retirement stay
+readable (POSIX keeps pages until the last mapping closes).
+"""
+
+import gc
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.core.pointset import PointSet
+from repro.core.shm import (
+    SEGMENT_PREFIX,
+    SharedArena,
+    ShmBlock,
+    attach_block,
+    attached_segments,
+    live_segments,
+    promote_cache,
+    promote_splits,
+    release_attachments,
+    segment_exists,
+)
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.counters import (
+    SHM_ATTACHES,
+    SHM_BLOCKS_SHARED,
+    SHM_SEGMENTS_CREATED,
+    SHM_SEGMENTS_UNLINKED,
+)
+from repro.mapreduce.parallel import ProcessPoolEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partitioners import single_partitioner
+from repro.mapreduce.splits import contiguous_splits
+from repro.mapreduce.types import IdentityReducer, Mapper
+
+START_METHODS = ("fork", "spawn")
+
+
+def _data(n=40, d=3, seed=0):
+    return np.random.default_rng(seed).random((n, d))
+
+
+def _block(n=10, d=2, seed=1):
+    return PointSet(np.arange(n, dtype=np.int64), _data(n, d, seed))
+
+
+class CountMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit("n", 1)
+
+
+class CrashMapper(Mapper):
+    """Kills its worker process outright (simulates an OOM kill)."""
+
+    def map(self, key, value, ctx):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _job(name="shm-job", n=40, splits=4):
+    return MapReduceJob(
+        name=name,
+        splits=contiguous_splits(_data(n), splits),
+        mapper_factory=CountMapper,
+        reducer_factory=IdentityReducer,
+        num_reducers=1,
+        partitioner=single_partitioner,
+    )
+
+
+class TestShmBlock:
+    def test_round_trips_through_pickle_as_descriptor(self):
+        arena = SharedArena()
+        try:
+            shared = arena.share_block(_block())
+            payload = pickle.dumps(shared)
+            # The wire bytes carry a descriptor, not the arrays.
+            assert len(payload) < shared.ids.nbytes + shared.values.nbytes
+            clone = pickle.loads(payload)
+            assert isinstance(clone, ShmBlock)
+            assert clone.ref == shared.ref
+            assert np.array_equal(clone.ids, shared.ids)
+            assert np.array_equal(clone.values, shared.values)
+        finally:
+            arena.unlink()
+
+    def test_views_are_read_only(self):
+        arena = SharedArena()
+        try:
+            shared = arena.share_block(_block())
+            with pytest.raises(ValueError):
+                shared.values[0, 0] = 99.0
+        finally:
+            arena.unlink()
+
+    def test_derived_operations_return_plain_pointsets(self):
+        arena = SharedArena()
+        try:
+            shared = arena.share_block(_block())
+            picked = shared.select(np.array([0, 2]))
+            assert type(picked) is PointSet
+            sky = shared.local_skyline()
+            assert type(sky) is PointSet
+        finally:
+            arena.unlink()
+
+
+class TestSharedArena:
+    def test_packs_blocks_into_one_segment(self):
+        arena = SharedArena()
+        try:
+            blocks = [_block(seed=i) for i in range(5)]
+            shared = arena.share_blocks(blocks)
+            assert len({b.ref.segment for b in shared}) == 1
+            assert arena.segments_created == 1
+            assert arena.blocks_shared == 5
+            assert arena.bytes_shared == sum(
+                b.ids.nbytes + b.values.nbytes for b in blocks
+            )
+            for original, out in zip(blocks, shared):
+                assert np.array_equal(out.ids, original.ids)
+                assert np.array_equal(out.values, original.values)
+        finally:
+            arena.unlink()
+
+    def test_already_shared_blocks_pass_through(self):
+        arena = SharedArena()
+        try:
+            shared = arena.share_block(_block())
+            again = arena.share_blocks([shared])
+            assert again[0] is shared
+            assert arena.segments_created == 1
+        finally:
+            arena.unlink()
+
+    def test_unlink_is_idempotent_and_clears_names(self):
+        arena = SharedArena()
+        arena.share_block(_block())
+        names = arena.names
+        assert all(segment_exists(n) for n in names)
+        arena.unlink()
+        arena.unlink()
+        assert arena.closed
+        assert arena.names == ()
+        assert not any(segment_exists(n) for n in names)
+
+    def test_views_survive_unlink(self):
+        arena = SharedArena()
+        shared = arena.share_block(_block())
+        expected = shared.values.copy()
+        arena.unlink()
+        # The name is gone but the mapping (and pages) remain valid.
+        assert np.array_equal(shared.values, expected)
+
+    def test_gc_finalizer_releases_names(self):
+        arena = SharedArena()
+        arena.share_block(_block())
+        names = arena.names
+        del arena
+        gc.collect()
+        assert not any(segment_exists(n) for n in names)
+
+    def test_deterministic_name_prefix(self):
+        arena = SharedArena()
+        try:
+            shared = arena.share_block(_block())
+            assert shared.ref.segment.startswith(
+                f"{SEGMENT_PREFIX}{os.getpid()}-"
+            )
+        finally:
+            arena.unlink()
+
+    def test_release_attachments_drops_stale_handles(self):
+        arena = SharedArena()
+        try:
+            shared = arena.share_block(_block())
+            # Re-attach through the unpickle path so the registry holds
+            # the segment, then release everything not kept.
+            attach_block(shared.ref)
+            assert shared.ref.segment in attached_segments()
+            release_attachments(keep=())
+            assert shared.ref.segment not in attached_segments()
+        finally:
+            arena.unlink()
+
+
+class TestPromotion:
+    def test_promote_splits_rehomes_blocks_in_place_order(self):
+        splits = contiguous_splits(_data(30), 3)
+        arena = SharedArena()
+        try:
+            promoted = promote_splits(splits, arena)
+            assert [s.split_id for s in promoted] == [
+                s.split_id for s in splits
+            ]
+            assert all(isinstance(s.points, ShmBlock) for s in promoted)
+            for before, after in zip(splits, promoted):
+                assert np.array_equal(before.points.ids, after.points.ids)
+                assert np.array_equal(
+                    before.points.values, after.points.values
+                )
+        finally:
+            arena.unlink()
+
+    def test_promote_cache_preserves_keys_and_sizes(self):
+        from repro.mapreduce.sizes import payload_size
+
+        cache = DistributedCache({"sky": _block(), "config": {"k": 1}})
+        size_before = cache.payload_bytes()
+        arena = SharedArena()
+        try:
+            promoted = promote_cache(cache, arena)
+            assert set(promoted) == set(cache)
+            assert isinstance(promoted.get("sky"), ShmBlock)
+            assert promoted.get("config") == {"k": 1}
+            assert promoted.payload_bytes() == size_before
+            assert payload_size(promoted.get("sky")) == payload_size(
+                cache.get("sky")
+            )
+        finally:
+            arena.unlink()
+
+    def test_promote_cache_without_blocks_returns_original(self):
+        cache = DistributedCache({"config": {"k": 1}})
+        arena = SharedArena()
+        try:
+            assert promote_cache(cache, arena) is cache
+            assert arena.segments_created == 0
+        finally:
+            arena.unlink()
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+class TestEngineLifecycle:
+    """The tentpole invariant: engines never leak segment names."""
+
+    @pytest.fixture(autouse=True)
+    def _flush_foreign_arenas(self):
+        # Engines from other tests release their arenas on GC; collect
+        # first so this class's /dev/shm scans see only its own work.
+        gc.collect()
+        yield
+
+    def test_shutdown_unlinks_all_segments(self, start_method):
+        engine = ProcessPoolEngine(max_workers=2, start_method=start_method)
+        try:
+            result = engine.run(_job())
+            assert sorted(v for _k, v in result.all_pairs()) == [1] * 40
+            # The job's arena stays linked after the run (returned
+            # views must remain valid) ...
+            assert engine.shm_counters.get(SHM_SEGMENTS_CREATED) >= 1
+            assert engine.shm_counters.get(SHM_BLOCKS_SHARED) >= 4
+        finally:
+            engine.shutdown()
+        # ... and shutdown retires it.
+        assert engine.shm_counters.get(SHM_SEGMENTS_UNLINKED) >= 1
+        assert live_segments() == ()
+
+    def test_next_run_retires_previous_arena(self, start_method):
+        with ProcessPoolEngine(
+            max_workers=2, start_method=start_method
+        ) as engine:
+            engine.run(_job("first"))
+            first = set(live_segments())
+            assert first
+            engine.run(_job("second"))
+            # First job's segments are gone; second job's are live.
+            assert not (first & set(live_segments()))
+            # The persistent workers predate the second job's segment,
+            # so they must have attached it by name. (The first job's
+            # segment can arrive for free — fork inherits the mapping —
+            # which is why this is asserted on the second run.)
+            assert engine.shm_counters.get(SHM_ATTACHES) >= 1
+        assert live_segments() == ()
+
+    def test_worker_crash_retires_arena(self, start_method):
+        engine = ProcessPoolEngine(max_workers=2, start_method=start_method)
+        try:
+            crash = MapReduceJob(
+                name="crash",
+                splits=contiguous_splits(_data(12), 2),
+                mapper_factory=CrashMapper,
+                reducer_factory=IdentityReducer,
+                num_reducers=1,
+                partitioner=single_partitioner,
+            )
+            with pytest.raises(BrokenProcessPool):
+                engine.run(crash)
+            assert live_segments() == ()
+            # The engine recovers: a fresh pool serves the next job.
+            result = engine.run(_job("after-crash"))
+            assert sorted(v for _k, v in result.all_pairs()) == [1] * 40
+        finally:
+            engine.shutdown()
+        assert live_segments() == ()
+
+    def test_shm_disabled_creates_no_segments(self, start_method):
+        with ProcessPoolEngine(
+            max_workers=2, start_method=start_method, shm=False
+        ) as engine:
+            result = engine.run(_job())
+            assert sorted(v for _k, v in result.all_pairs()) == [1] * 40
+            assert engine.shm_counters.get(SHM_SEGMENTS_CREATED) == 0
+            assert live_segments() == ()
