@@ -27,7 +27,15 @@ the gate has no wall-clock noise to tolerate. The checks:
   index at every shard count, with query capacity non-decreasing in
   the shard count and strictly higher at the top than at one shard
   (mutation repair pairs divide across shards; the frontend charges
-  the *largest* per-shard repair, so divided work is served capacity).
+  the *largest* per-shard repair, so divided work is served capacity);
+* **tenant fairness / p99 isolation** — the flash-crowd trace (one hot
+  Zipfian tenant at 8x rate) replayed at ``--max-shards`` shards must
+  keep the cold tenants' aggregate p99 within ``--p99-isolation``
+  (default 2x) of a no-hot-tenant baseline (same stream with the hot
+  tenant's queries removed, mutations kept), keep the aggregate shed
+  rate within the workload's ``shed_bound``, confine every quota shed
+  to the hot tenant, and reproduce byte-identically from
+  ``(workload, seed)``.
 
 Exits non-zero if any check fails.
 """
@@ -41,7 +49,16 @@ import os
 import sys
 
 from repro import skyline
-from repro.serve.workloads import SERVE_WORKLOADS, run_workload
+from repro.serve.workloads import (
+    SERVE_WORKLOADS,
+    OpStream,
+    exact_percentile,
+    generate_ops,
+    op_tenant,
+    run_workload,
+    serve_stream,
+    tenant_name,
+)
 
 
 def _batch_ids(index) -> list:
@@ -103,6 +120,100 @@ def _capacity_report(workload, seed: int, policy: str) -> dict:
     return report
 
 
+def _cold_p99(frontend, hot: str) -> float:
+    """Aggregate p99 latency over every served non-hot-tenant query."""
+    latencies = [
+        r.latency_s
+        for r in frontend.responses
+        if r.status == "ok" and r.tenant != hot
+    ]
+    return exact_percentile(latencies, 0.99)
+
+
+def _fairness_gate(seed: int, scale: float, shards: int, bound: float):
+    """The tenant-isolation check on the flash-crowd trace.
+
+    Replays the trace loaded (hot tenant included) and as a
+    no-hot-tenant baseline (the hot tenant's *queries* dropped from
+    the same generated stream; its mutations stay so both runs
+    maintain the identical index), both at ``shards`` shards, and
+    compares the cold tenants' aggregate p99.
+    """
+    workload = SERVE_WORKLOADS["flash-crowd"].scaled(scale)
+    hot = tenant_name(0)
+    stream = generate_ops(workload, seed)
+    loaded, loaded_frontend = serve_stream(stream, shards=shards)
+    repeat, _ = serve_stream(generate_ops(workload, seed), shards=shards)
+    baseline_ops = [
+        op
+        for op in stream.ops
+        if not (op[0] == "query" and op_tenant(op) == hot)
+    ]
+    baseline_stream = OpStream(
+        workload=workload,
+        seed=seed,
+        initial_data=stream.initial_data,
+        ops=baseline_ops,
+    )
+    baseline, baseline_frontend = serve_stream(
+        baseline_stream, shards=shards
+    )
+    cold_loaded = _cold_p99(loaded_frontend, hot)
+    cold_baseline = _cold_p99(baseline_frontend, hot)
+    shed_rate = loaded["queries_shed"] / max(
+        loaded["queries_submitted"], 1
+    )
+    failures = []
+    if loaded != repeat:
+        failures.append("fairness: flash-crowd replay is not deterministic")
+    if cold_loaded > bound * cold_baseline:
+        failures.append(
+            f"fairness: cold tenants' p99 {1e6 * cold_loaded:.1f}us "
+            f"exceeds {bound}x the no-hot-tenant baseline "
+            f"{1e6 * cold_baseline:.1f}us"
+        )
+    if shed_rate > workload.shed_bound:
+        failures.append(
+            f"fairness: aggregate shed rate {shed_rate:.3f} exceeds the "
+            f"workload bound {workload.shed_bound}"
+        )
+    hot_shed = loaded["tenants"].get(hot, {}).get("shed", 0)
+    if not hot_shed:
+        failures.append(
+            "fairness: the hot tenant never shed (the gate is vacuous)"
+        )
+    cold_shed = sum(
+        stats["shed"]
+        for tenant, stats in loaded["tenants"].items()
+        if tenant != hot
+    )
+    total_shed = hot_shed + cold_shed
+    # Shed-fairness: the flash crowd's cost lands on the tenant that
+    # caused it. Cold tenants may occasionally hit their own quota,
+    # but the overwhelming share of sheds must be the hot tenant's.
+    if total_shed and cold_shed / total_shed > 0.1:
+        failures.append(
+            f"fairness: cold tenants absorbed {cold_shed}/{total_shed} "
+            "sheds — more than 10% of the flash crowd's cost"
+        )
+    record = {
+        "workload": workload.name,
+        "shards": shards,
+        "hot_tenant": hot,
+        "p99_isolation_bound": bound,
+        "cold_p99_loaded_s": cold_loaded,
+        "cold_p99_baseline_s": cold_baseline,
+        "p99_ratio": cold_loaded / max(cold_baseline, 1e-12),
+        "shed_rate": shed_rate,
+        "shed_bound": workload.shed_bound,
+        "hot_shed": hot_shed,
+        "cold_shed": cold_shed,
+        "loaded": loaded,
+        "baseline": baseline,
+    }
+    return record, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small workloads")
@@ -118,6 +229,13 @@ def main(argv=None) -> int:
         type=int,
         default=4,
         help="sweep sharded capacity at 1..N shards",
+    )
+    parser.add_argument(
+        "--p99-isolation",
+        type=float,
+        default=2.0,
+        help="allowed cold-tenant p99 inflation vs the no-hot-tenant "
+        "baseline on the flash-crowd trace",
     )
     parser.add_argument(
         "--output",
@@ -233,6 +351,19 @@ def main(argv=None) -> int:
             f"vs {rates[-1]:.0f} q/s at {sweep[-1]['shards']}"
         )
 
+    fairness, fairness_failures = _fairness_gate(
+        args.seed, scale, args.max_shards, args.p99_isolation
+    )
+    failures.extend(fairness_failures)
+    print(
+        f"fairness (flash-crowd, {fairness['shards']} shards): cold p99 "
+        f"{1e6 * fairness['cold_p99_loaded_s']:.1f}us loaded vs "
+        f"{1e6 * fairness['cold_p99_baseline_s']:.1f}us baseline "
+        f"({fairness['p99_ratio']:.2f}x, bound "
+        f"{fairness['p99_isolation_bound']}x), shed rate "
+        f"{fairness['shed_rate']:.3f} (bound {fairness['shed_bound']})"
+    )
+
     payload = {
         "seed": args.seed,
         "scale": scale,
@@ -248,6 +379,7 @@ def main(argv=None) -> int:
             "single": single,
             "sharded": sweep,
         },
+        "fairness": fairness,
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)

@@ -266,6 +266,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="override the workload's tenant count (>1 attributes ops "
+        "to Zipf-popular tenants under weighted-fair admission)",
+    )
+    serve.add_argument(
         "--shards",
         type=int,
         default=None,
@@ -592,6 +599,13 @@ def _render_serve_report(report: dict) -> str:
         f"epoch {report['final_epoch']}, "
         f"batch refreshes {report['batch_refreshes']}",
     ]
+    for tenant, stats in sorted(report.get("tenants", {}).items()):
+        lines.append(
+            f"  tenant {tenant}: {stats['served']}/{stats['submitted']} "
+            f"served, shed {stats['shed']}, "
+            f"timed out {stats['timed_out']}, "
+            f"p99 {1e6 * stats['p99_latency_s']:.1f}us"
+        )
     return "\n".join(lines)
 
 
@@ -606,6 +620,7 @@ def _cmd_serve(args) -> int:
         engine=engine,
         scale=args.scale,
         shards=args.shards,
+        tenants=args.tenants,
     )
     print(_render_serve_report(report))
     if args.compare:
@@ -617,6 +632,7 @@ def _cmd_serve(args) -> int:
             engine=engine,
             scale=args.scale,
             shards=args.shards,
+            tenants=args.tenants,
         )
         print()
         print(_render_serve_report(other))
@@ -645,7 +661,15 @@ def _cmd_list(args) -> int:
         print(f"  {name}")
     print("serve workloads:")
     for name in sorted(SERVE_WORKLOADS):
-        print(f"  {name:24s} {SERVE_WORKLOADS[name].description}")
+        workload = SERVE_WORKLOADS[name]
+        suffix = ""
+        if workload.tenants > 1:
+            suffix = (
+                f" [tenants={workload.tenants}, "
+                f"shape={workload.arrival_shape}, "
+                f"quota={workload.tenant_quota:g}]"
+            )
+        print(f"  {name:24s} {workload.description}{suffix}")
     if getattr(args, "counters", False):
         from repro.obs import documented_metrics
 

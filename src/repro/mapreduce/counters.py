@@ -107,6 +107,36 @@ SERVE_SHARD_BATCHED_OPS = "serve.shard.batched_ops"
 SERVE_SHARD_REPLICATED_POINTS = "serve.shard.replicated_points"
 SERVE_SHARD_RESHARDS = "serve.shard.reshards"
 
+#: Per-tenant serving counters are a *family*: one counter per
+#: ``(tenant, field)`` pair, named through :func:`tenant_counter` so
+#: every charge site produces a name matching the documented
+#: ``serve.tenant.<tenant>.<field>`` template (the placeholder form is
+#: what COUNTER_DOCS and the metric registry list — tenant ids are
+#: data, not vocabulary).
+TENANT_COUNTER_FIELDS = ("queries", "shed", "timed_out")
+
+#: The documented placeholder spellings of the per-tenant family.
+SERVE_TENANT_QUERIES = "serve.tenant.<tenant>.queries"
+SERVE_TENANT_SHED = "serve.tenant.<tenant>.shed"
+SERVE_TENANT_TIMED_OUT = "serve.tenant.<tenant>.timed_out"
+
+
+def tenant_counter(tenant: str, field: str) -> str:
+    """Dotted per-tenant counter name: ``serve.tenant.<tenant>.<field>``.
+
+    ``field`` must come from :data:`TENANT_COUNTER_FIELDS`; the tenant
+    id is free-form (it is workload data). Centralising the spelling
+    keeps every charge site inside the documented family.
+    """
+    if field not in TENANT_COUNTER_FIELDS:
+        raise ValidationError(
+            f"tenant counter field must be one of "
+            f"{TENANT_COUNTER_FIELDS}, got {field!r}"
+        )
+    if not tenant:
+        raise ValidationError("tenant id must be non-empty")
+    return f"serve.tenant.{tenant}.{field}"
+
 #: One-line documentation per canonical counter. The observability
 #: metric registry (:mod:`repro.obs.metrics`) and ``repro-skyline list
 #: --counters`` read this mapping, so the docs cannot drift from the
@@ -182,5 +212,17 @@ COUNTER_DOCS = {
     SERVE_SHARD_RESHARDS: (
         "Full fleet rebuilds triggered by a point landing in a cell no "
         "shard's group covers."
+    ),
+    SERVE_TENANT_QUERIES: (
+        "Queries admitted and answered for one tenant (per-tenant "
+        "family; names produced by tenant_counter())."
+    ),
+    SERVE_TENANT_SHED: (
+        "Queries shed for one tenant — the global queue was full or "
+        "the tenant exceeded its quota of queue slots."
+    ),
+    SERVE_TENANT_TIMED_OUT: (
+        "Queries dropped for one tenant because their wait reached "
+        "the timeout (at admission or in queue)."
     ),
 }

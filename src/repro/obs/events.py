@@ -198,6 +198,7 @@ class ServeQueryServed(Event):
     latency_s: float
     result_size: int
     source: str = "index"
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -208,6 +209,7 @@ class ServeQueryRejected(Event):
     request_id: int
     reason: str  # 'shed' | 'timeout'
     queue_depth: int = 0
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -289,6 +291,35 @@ class ServeReshard(Event):
     epoch: int
 
 
+@dataclass(frozen=True)
+class ServeTenantShed(Event):
+    """Admission shed a query because its *tenant* was over quota.
+
+    Fires in addition to :class:`ServeQueryRejected` (which records the
+    query-level outcome): the global queue still had room, but the
+    tenant already held ``quota_slots`` of the bounded queue, so
+    weighted-fair admission refused to let it crowd out the others."""
+
+    kind = "serve_tenant_shed"
+    request_id: int
+    tenant: str
+    queued: int
+    quota_slots: int
+
+
+@dataclass(frozen=True)
+class ServeQuotaUpdate(Event):
+    """A tenant's fair-queueing parameters were (re)established.
+
+    Emitted when a frontend first sees a tenant: its WFQ weight and
+    the number of bounded-queue slots its quota allows."""
+
+    kind = "serve_quota_update"
+    tenant: str
+    weight: float
+    quota_slots: int
+
+
 #: Every event type, keyed by wire name (drives the schema module).
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
@@ -311,6 +342,8 @@ EVENT_TYPES: Dict[str, type] = {
         ShmArenaRetired,
         ServeDeltaBatch,
         ServeReshard,
+        ServeTenantShed,
+        ServeQuotaUpdate,
     )
 }
 

@@ -111,6 +111,20 @@ def validate_events(events: Sequence[Event]) -> List[str]:
                 problems.append(
                     f"event {position}: negative shard quantities"
                 )
+        if kind == "serve_tenant_shed":
+            if not event.tenant:
+                problems.append(f"event {position}: empty tenant id")
+            if event.queued < 0 or event.quota_slots < 1:
+                problems.append(
+                    f"event {position}: bad tenant-shed quantities"
+                )
+        if kind == "serve_quota_update":
+            if not event.tenant:
+                problems.append(f"event {position}: empty tenant id")
+            if event.weight <= 0:
+                problems.append(f"event {position}: non-positive weight")
+            if event.quota_slots < 1:
+                problems.append(f"event {position}: quota_slots < 1")
         if kind == "shm_blocks_shared" and (
             event.segments < 0 or event.blocks < 0 or event.payload_bytes < 0
         ):

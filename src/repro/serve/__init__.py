@@ -13,8 +13,10 @@ arrive concurrently:
   on (dataset epoch, constraint region), epoch-invalidated on deltas;
 * :class:`QueryFrontend` / :class:`ThreadedFrontend`
   (:mod:`repro.serve.frontend`) — admission control with a bounded
-  queue, timeouts, and load shedding; deterministic under a seeded
-  schedule on the virtual clock, with a real-thread mode for demos;
+  weighted-fair queue (per-tenant virtual start/finish tags and
+  quotas via :class:`TenantPolicy`), timeouts, and load shedding;
+  deterministic under a seeded schedule on the virtual clock, with a
+  real-thread mode for demos;
 * :data:`SERVE_WORKLOADS` (:mod:`repro.serve.workloads`) — seeded
   load generators + the replay driver behind ``repro-skyline serve``
   and ``benchmarks/bench_serve.py``;
@@ -32,11 +34,13 @@ See ``docs/serving.md`` for the design and the correctness argument.
 
 from repro.serve.cache import ResultCache, region_key
 from repro.serve.frontend import (
+    DEFAULT_TENANT,
     RESPONSE_STATUSES,
     SERVING_POLICIES,
     CostModel,
     QueryFrontend,
     QueryResponse,
+    TenantPolicy,
     ThreadedFrontend,
 )
 from repro.serve.fleet import FleetError, SkylineFleet
@@ -53,19 +57,25 @@ from repro.serve.shard import (
     plan_shards,
 )
 from repro.serve.workloads import (
+    ARRIVAL_SHAPES,
     SERVE_WORKLOADS,
     OpStream,
     ServeWorkload,
     build_serve_report,
     exact_percentile,
     generate_ops,
+    op_tenant,
     replay,
     run_workload,
+    serve_stream,
+    tenant_name,
 )
 
 __all__ = [
+    "ARRIVAL_SHAPES",
     "CostModel",
     "DEFAULT_STALENESS_BUDGET",
+    "DEFAULT_TENANT",
     "FleetError",
     "OpStream",
     "QueryFrontend",
@@ -81,13 +91,17 @@ __all__ = [
     "ShardedSkylineIndex",
     "SkylineFleet",
     "SkylineIndex",
+    "TenantPolicy",
     "ThreadedFrontend",
     "UncoveredCellError",
     "build_serve_report",
     "exact_percentile",
     "generate_ops",
+    "op_tenant",
     "plan_shards",
     "region_key",
     "replay",
     "run_workload",
+    "serve_stream",
+    "tenant_name",
 ]

@@ -75,11 +75,21 @@ def _shard_worker(conn, block, dimensionality: int) -> None:
                 return
             elif op == "insert":
                 _, row, pid = msg
+                before = index.counters.get(counter_names.TUPLE_COMPARES)
                 index.insert(row, pid)
-                conn.send(("ok", None))
+                conn.send(
+                    ("ok",
+                     index.counters.get(counter_names.TUPLE_COMPARES)
+                     - before)
+                )
             elif op == "delete":
+                before = index.counters.get(counter_names.TUPLE_COMPARES)
                 index.delete(msg[1])
-                conn.send(("ok", None))
+                conn.send(
+                    ("ok",
+                     index.counters.get(counter_names.TUPLE_COMPARES)
+                     - before)
+                )
             elif op == "batch":
                 pairs = index.apply_delta_batch(msg[1])
                 conn.send(("ok", pairs))
@@ -129,6 +139,11 @@ class SkylineFleet:
         self.counters = counters if counters is not None else Counters()
         self._d = int(values.shape[1])
         self.epoch = 0
+        #: Per-shard repair pairs of the last mutating call — the same
+        #: duck-typed attribute :class:`ShardedSkylineIndex` exposes,
+        #: so the sharded frontend's cost model (charge the *largest*
+        #: per-shard repair) works over a process fleet too.
+        self.last_shard_pairs: Dict[int, int] = {}
         self._plan: ShardPlan = plan_shards(values, num_shards, ppd=ppd)
         ids = np.arange(values.shape[0], dtype=np.int64)
         self._next_id = int(values.shape[0])
@@ -271,8 +286,10 @@ class SkylineFleet:
         cell = self._plan.grid.cell_index(row)
         shards, owner = self._plan.route_cell(cell)  # may raise Uncovered
         self._next_id = max(self._next_id, pid + 1)
+        pairs: Dict[int, int] = {}
         for s in shards:
-            self._call(s, ("insert", row, pid))
+            pairs[s] = int(self._call(s, ("insert", row, pid)))
+        self.last_shard_pairs = {s: p for s, p in pairs.items() if p}
         self._owner[pid] = owner
         self._members[pid] = shards
         self.counters.inc(counter_names.SERVE_INSERTS)
@@ -286,8 +303,10 @@ class SkylineFleet:
         pid = int(point_id)
         if pid not in self._owner:
             raise ValidationError(f"unknown point id {pid}")
+        pairs: Dict[int, int] = {}
         for s in self._members.pop(pid):
-            self._call(s, ("delete", pid))
+            pairs[s] = int(self._call(s, ("delete", pid)))
+        self.last_shard_pairs = {s: p for s, p in pairs.items() if p}
         del self._owner[pid]
         self.counters.inc(counter_names.SERVE_DELETES)
         self.epoch += 1
@@ -339,6 +358,7 @@ class SkylineFleet:
         pairs: Dict[int, int] = {}
         for s in sorted(per_shard):
             pairs[s] = int(self._call(s, ("batch", per_shard[s])))
+        self.last_shard_pairs = dict(pairs)
         inserts = deletes = 0
         for entry in routed:
             if entry[0] == "insert":

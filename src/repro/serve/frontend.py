@@ -5,21 +5,39 @@ the index, typed events, documented counters):
 
 * :class:`QueryFrontend` — the **deterministic virtual-clock mode**.
   Requests carry explicit arrival times and are replayed through a
-  single-server FIFO queueing model: a query starts at
-  ``max(server_free, arrival)``, is **shed** at admission when the
-  bounded queue is full, **times out** when it would wait longer than
-  the timeout, and otherwise runs for a virtual service time
-  proportional to the *measured* work (dominance pairs charged by the
-  index, result tuples copied, cache probes). Given the same seeded
-  request schedule the whole run — every latency, every shed, every
-  cache hit — is byte-identical, which is what lets the serve-gate CI
-  job enforce latency/throughput thresholds without wall-clock noise.
+  single-server queueing model with **weighted-fair admission**: every
+  query is stamped with virtual start/finish tags on the existing
+  virtual clock (the VirtualClock discipline — per-tenant
+  ``vc = max(arrival, vc) + nominal / weight``) and the server picks
+  the smallest finish tag, so a flooding tenant's backlog is stamped
+  far into virtual time and other tenants keep their latency. A query
+  is **shed** at admission when the bounded queue is full *or* its
+  tenant already holds its quota of queue slots
+  (:class:`TenantPolicy`), **times out** when its wait reaches the
+  timeout, and otherwise runs for a virtual service time proportional
+  to the *measured* work (dominance pairs charged by the index, result
+  tuples copied, cache probes). With a single tenant the finish tags
+  are admission-ordered, so the schedule degenerates to exactly the
+  old FIFO. Given the same seeded request schedule the whole run —
+  every latency, every shed, every cache hit — is byte-identical,
+  which is what lets the serve-gate CI job enforce latency/throughput
+  and tenant-isolation thresholds without wall-clock noise.
 
 * :class:`ThreadedFrontend` — a thin **real-thread mode** (worker
   thread + bounded ``queue.Queue``) for demos and smoke tests. Same
-  cache/admission semantics, but latencies come from
-  ``time.perf_counter`` and are *not* deterministic; nothing in CI
-  asserts on them beyond liveness.
+  cache/quota/timeout semantics (the queue itself stays FIFO — wall
+  time cannot be re-ordered deterministically), but latencies come
+  from ``time.perf_counter`` and are *not* deterministic; nothing in
+  CI asserts on them beyond liveness.
+
+Timeout convention (both frontends)
+-----------------------------------
+The wait budget is **half-open**: a query is served iff its queueing
+wait ``w`` satisfies ``0 <= w < timeout_s``; a wait of *exactly*
+``timeout_s`` is rejected. The virtual frontend additionally rejects
+at admission time when the earliest possible start is already out of
+budget (``max(server_free, arrival) - arrival >= timeout_s``) — a
+doomed query must not occupy a queue slot it can only waste.
 
 Serving policies (virtual mode):
 
@@ -37,13 +55,13 @@ reflects algorithmic work, not tuned constants.
 
 from __future__ import annotations
 
+import heapq
 import math
 import queue as queue_module
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -51,8 +69,13 @@ from repro.core.dominance import DominanceCounter
 from repro.core.pointset import PointSet
 from repro.errors import ValidationError
 from repro.mapreduce import counters as counter_names
-from repro.mapreduce.counters import Counters
-from repro.obs.events import ServeQueryRejected, ServeQueryServed
+from repro.mapreduce.counters import Counters, tenant_counter
+from repro.obs.events import (
+    ServeQueryRejected,
+    ServeQueryServed,
+    ServeQuotaUpdate,
+    ServeTenantShed,
+)
 from repro.serve.cache import ResultCache
 from repro.serve.index import SkylineIndex
 
@@ -61,6 +84,64 @@ SERVING_POLICIES = ("delta", "recompute")
 #: Response statuses (the rejection subset mirrors
 #: :data:`repro.obs.events.SERVE_REJECT_REASONS`).
 RESPONSE_STATUSES = ("ok", "shed", "timeout")
+
+#: Tenant id used when a caller does not name one; with a single
+#: tenant and the default policy the weighted-fair schedule reduces
+#: exactly to the old FIFO.
+DEFAULT_TENANT = "default"
+
+
+class TenantPolicy:
+    """Weights and queue quota for weighted-fair admission.
+
+    ``weights`` maps tenant ids to relative service weights (a tenant
+    with weight 2 accumulates virtual finish tags half as fast as a
+    weight-1 tenant, so it gets twice the service share under
+    contention). Unknown tenants fall back to ``default_weight``.
+
+    ``quota_fraction`` bounds how much of the bounded queue any single
+    tenant may occupy: a tenant already holding
+    ``max(1, int(quota_fraction * queue_capacity))`` slots is shed at
+    admission even when the global queue has room. The default of 1.0
+    never binds, which is what keeps single-tenant replays
+    byte-identical to the pre-tenancy frontend.
+    """
+
+    __slots__ = ("weights", "default_weight", "quota_fraction")
+
+    def __init__(
+        self,
+        weights: Optional[Mapping[str, float]] = None,
+        *,
+        default_weight: float = 1.0,
+        quota_fraction: float = 1.0,
+    ):
+        if default_weight <= 0:
+            raise ValidationError(
+                f"default_weight must be > 0, got {default_weight}"
+            )
+        if not 0.0 < quota_fraction <= 1.0:
+            raise ValidationError(
+                f"quota_fraction must be in (0, 1], got {quota_fraction}"
+            )
+        self.weights: Dict[str, float] = {}
+        for tenant, weight in dict(weights or {}).items():
+            if not tenant:
+                raise ValidationError("tenant id must be non-empty")
+            if weight <= 0:
+                raise ValidationError(
+                    f"tenant weight must be > 0, got {weight} for {tenant!r}"
+                )
+            self.weights[str(tenant)] = float(weight)
+        self.default_weight = float(default_weight)
+        self.quota_fraction = float(quota_fraction)
+
+    def weight(self, tenant: str) -> float:
+        return self.weights.get(tenant, self.default_weight)
+
+    def quota_slots(self, queue_capacity: int) -> int:
+        """Queue slots one tenant may hold (floored at one)."""
+        return max(1, int(self.quota_fraction * queue_capacity))
 
 
 @dataclass(frozen=True)
@@ -100,6 +181,7 @@ class QueryResponse:
     cache_hit: bool = False
     result_size: int = 0
     result: Optional[PointSet] = None
+    tenant: str = DEFAULT_TENANT
 
 
 def _bus_active(bus) -> bool:
@@ -169,7 +251,7 @@ def _filter_region(sky: PointSet, region) -> PointSet:
 
 
 class QueryFrontend:
-    """Deterministic virtual-clock frontend (single-server FIFO).
+    """Deterministic virtual-clock frontend (single-server WFQ).
 
     Calls must arrive in nondecreasing virtual time; every entry point
     first *drains* queued queries whose service would start at or
@@ -177,6 +259,15 @@ class QueryFrontend:
     state at its start instant, even with interleaved mutations — and
     then applies its own operation. :meth:`flush` drains the remainder
     (no further mutations can precede them) and returns all responses.
+
+    Queued queries are ordered by weighted-fair virtual finish tags
+    (VirtualClock discipline): tenant ``t``'s clock advances
+    ``vc_t = max(arrival, vc_t) + query_base_s / weight(t)`` per
+    admitted query, and the server always picks the smallest
+    ``(finish_tag, request_id)``. Because queries only queue while the
+    server is busy, every queued entry could start at the same instant
+    — the heap order *is* the fairness decision, and with one tenant
+    it is admission order (the old FIFO), byte for byte.
     """
 
     def __init__(
@@ -188,6 +279,7 @@ class QueryFrontend:
         queue_capacity: int = 16,
         timeout_s: float = 0.05,
         cost_model: Optional[CostModel] = None,
+        tenant_policy: Optional[TenantPolicy] = None,
         counters: Optional[Counters] = None,
         bus=None,
     ):
@@ -200,6 +292,9 @@ class QueryFrontend:
         self.index = index
         self.queue_capacity = int(queue_capacity)
         self.timeout_s = float(timeout_s)
+        self.tenant_policy = (
+            tenant_policy if tenant_policy is not None else TenantPolicy()
+        )
         self.counters = counters if counters is not None else index.counters
         self.bus = bus if bus is not None else index.bus
         self.core = _ServingCore(
@@ -210,10 +305,16 @@ class QueryFrontend:
             self.bus,
             cost_model if cost_model is not None else CostModel(),
         )
-        self._queue: deque = deque()  # (request_id, arrival_s, region)
+        # Heap of (finish_tag, request_id, arrival_s, region, tenant).
+        self._queue: list = []
         self._now_s = 0.0
         self._server_free_s = 0.0
         self._next_request = 0
+        self._quota_slots = self.tenant_policy.quota_slots(
+            self.queue_capacity
+        )
+        self._tenant_vc: Dict[str, float] = {}
+        self._tenant_queued: Dict[str, int] = {}
         self.responses: List[QueryResponse] = []
 
     @property
@@ -236,25 +337,30 @@ class QueryFrontend:
 
     def _drain(self) -> None:
         while self._queue:
-            request_id, arrival_s, region = self._queue[0]
+            _, request_id, arrival_s, region, tenant = self._queue[0]
             start_s = max(self._server_free_s, arrival_s)
             if start_s > self._now_s:
                 break
-            self._queue.popleft()
-            if start_s - arrival_s > self.timeout_s:
+            heapq.heappop(self._queue)
+            self._tenant_queued[tenant] -= 1
+            if start_s - arrival_s >= self.timeout_s:
                 self._reject(
-                    request_id, "timeout", arrival_s, arrival_s + self.timeout_s
+                    request_id,
+                    "timeout",
+                    arrival_s,
+                    arrival_s + self.timeout_s,
+                    tenant,
                 )
                 continue
             result, cache_hit, duration = self.core.answer(region)
             finish_s = start_s + duration
             self._server_free_s = finish_s
             self._record_served(
-                request_id, arrival_s, finish_s, cache_hit, result
+                request_id, arrival_s, finish_s, cache_hit, result, tenant
             )
 
     def _record_served(
-        self, request_id, arrival_s, finish_s, cache_hit, result
+        self, request_id, arrival_s, finish_s, cache_hit, result, tenant
     ) -> None:
         latency_s = finish_s - arrival_s
         self.responses.append(
@@ -267,9 +373,11 @@ class QueryFrontend:
                 cache_hit=cache_hit,
                 result_size=len(result),
                 result=result,
+                tenant=tenant,
             )
         )
         self.counters.inc(counter_names.SERVE_QUERIES)
+        self.counters.inc(tenant_counter(tenant, "queries"))
         if _bus_active(self.bus):
             self.bus.emit(
                 ServeQueryServed(
@@ -279,10 +387,13 @@ class QueryFrontend:
                     latency_s=latency_s,
                     result_size=len(result),
                     source="cache" if cache_hit else "index",
+                    tenant=tenant,
                 )
             )
 
-    def _reject(self, request_id, reason, arrival_s, decided_s) -> None:
+    def _reject(
+        self, request_id, reason, arrival_s, decided_s, tenant
+    ) -> None:
         self.responses.append(
             QueryResponse(
                 request_id=request_id,
@@ -290,35 +401,92 @@ class QueryFrontend:
                 arrival_s=arrival_s,
                 finish_s=decided_s,
                 latency_s=decided_s - arrival_s,
+                tenant=tenant,
             )
         )
-        name = (
-            counter_names.SERVE_QUERIES_SHED
-            if reason == "shed"
-            else counter_names.SERVE_QUERIES_TIMED_OUT
-        )
-        self.counters.inc(name)
+        if reason == "shed":
+            self.counters.inc(counter_names.SERVE_QUERIES_SHED)
+            self.counters.inc(tenant_counter(tenant, "shed"))
+        else:
+            self.counters.inc(counter_names.SERVE_QUERIES_TIMED_OUT)
+            self.counters.inc(tenant_counter(tenant, "timed_out"))
         if _bus_active(self.bus):
             self.bus.emit(
                 ServeQueryRejected(
                     request_id=request_id,
                     reason=reason,
                     queue_depth=len(self._queue),
+                    tenant=tenant,
+                )
+            )
+
+    def _note_tenant(self, tenant: str) -> None:
+        if tenant in self._tenant_vc:
+            return
+        self._tenant_vc[tenant] = 0.0
+        self._tenant_queued.setdefault(tenant, 0)
+        if _bus_active(self.bus):
+            self.bus.emit(
+                ServeQuotaUpdate(
+                    tenant=tenant,
+                    weight=self.tenant_policy.weight(tenant),
+                    quota_slots=self._quota_slots,
                 )
             )
 
     # -- entry points ---------------------------------------------------
 
-    def submit_query(self, at_s: float, region=None) -> int:
+    def submit_query(
+        self, at_s: float, region=None, tenant: str = DEFAULT_TENANT
+    ) -> int:
         """Submit one query at virtual time ``at_s``; returns its id."""
         self._advance(at_s)
+        tenant = str(tenant)
+        if not tenant:
+            raise ValidationError("tenant id must be non-empty")
+        self._note_tenant(tenant)
         request_id = self._next_request
         self._next_request += 1
         busy = self._server_free_s > self._now_s
-        if busy and len(self._queue) >= self.queue_capacity:
-            self._reject(request_id, "shed", at_s, at_s)
-            return request_id
-        self._queue.append((request_id, float(at_s), region))
+        if busy:
+            if len(self._queue) >= self.queue_capacity:
+                self._reject(request_id, "shed", at_s, at_s, tenant)
+                return request_id
+            queued = self._tenant_queued[tenant]
+            if queued >= self._quota_slots:
+                if _bus_active(self.bus):
+                    self.bus.emit(
+                        ServeTenantShed(
+                            request_id=request_id,
+                            tenant=tenant,
+                            queued=queued,
+                            quota_slots=self._quota_slots,
+                        )
+                    )
+                self._reject(request_id, "shed", at_s, at_s, tenant)
+                return request_id
+            if self._server_free_s - at_s >= self.timeout_s:
+                # Doomed at admission: the earliest possible start is
+                # already past the wait budget, so taking a queue slot
+                # could only starve an in-time successor.
+                self._reject(
+                    request_id,
+                    "timeout",
+                    at_s,
+                    at_s + self.timeout_s,
+                    tenant,
+                )
+                return request_id
+        arrival = float(at_s)
+        start_tag = max(arrival, self._tenant_vc[tenant])
+        finish_tag = start_tag + (
+            self.core.cost.query_base_s / self.tenant_policy.weight(tenant)
+        )
+        self._tenant_vc[tenant] = finish_tag
+        self._tenant_queued[tenant] += 1
+        heapq.heappush(
+            self._queue, (finish_tag, request_id, arrival, region, tenant)
+        )
         self._drain()
         return request_id
 
@@ -393,11 +561,15 @@ class ThreadedFrontend:
         cache_capacity: int = 128,
         queue_capacity: int = 16,
         timeout_s: float = 5.0,
+        tenant_policy: Optional[TenantPolicy] = None,
         counters: Optional[Counters] = None,
         bus=None,
     ):
         self.index = index
         self.timeout_s = float(timeout_s)
+        self.tenant_policy = (
+            tenant_policy if tenant_policy is not None else TenantPolicy()
+        )
         self.counters = counters if counters is not None else index.counters
         self.bus = bus if bus is not None else index.bus
         self.core = _ServingCore(
@@ -406,6 +578,10 @@ class ThreadedFrontend:
         self._queue: "queue_module.Queue" = queue_module.Queue(
             maxsize=queue_capacity
         )
+        self._quota_slots = self.tenant_policy.quota_slots(
+            int(queue_capacity)
+        )
+        self._tenant_queued: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._next_request = 0
         self._worker: Optional[threading.Thread] = None
@@ -418,16 +594,48 @@ class ThreadedFrontend:
         self._worker.start()
         return self
 
-    def submit(self, region=None) -> int:
-        """Enqueue one query; sheds immediately when the queue is full."""
+    def submit(self, region=None, tenant: str = DEFAULT_TENANT) -> int:
+        """Enqueue one query; sheds immediately when the queue is full
+        or the tenant already holds its quota of queue slots."""
+        tenant = str(tenant)
+        if not tenant:
+            raise ValidationError("tenant id must be non-empty")
         with self._lock:
             request_id = self._next_request
             self._next_request += 1
+            if tenant not in self._tenant_queued:
+                self._tenant_queued[tenant] = 0
+                if _bus_active(self.bus):
+                    self.bus.emit(
+                        ServeQuotaUpdate(
+                            tenant=tenant,
+                            weight=self.tenant_policy.weight(tenant),
+                            quota_slots=self._quota_slots,
+                        )
+                    )
+            queued = self._tenant_queued[tenant]
+            over_quota = queued >= self._quota_slots
+            if not over_quota:
+                self._tenant_queued[tenant] = queued + 1
         arrival = time.perf_counter()
+        if over_quota:
+            if _bus_active(self.bus):
+                self.bus.emit(
+                    ServeTenantShed(
+                        request_id=request_id,
+                        tenant=tenant,
+                        queued=queued,
+                        quota_slots=self._quota_slots,
+                    )
+                )
+            self._record_reject(request_id, "shed", arrival, arrival, tenant)
+            return request_id
         try:
-            self._queue.put_nowait((request_id, region, arrival))
+            self._queue.put_nowait((request_id, region, arrival, tenant))
         except queue_module.Full:
-            self._record_reject(request_id, "shed", arrival, arrival)
+            with self._lock:
+                self._tenant_queued[tenant] -= 1
+            self._record_reject(request_id, "shed", arrival, arrival, tenant)
         return request_id
 
     def apply_insert(self, point, point_id=None) -> int:
@@ -455,11 +663,13 @@ class ThreadedFrontend:
             item = self._queue.get()
             if item is self._STOP:
                 return
-            request_id, region, arrival = item
+            request_id, region, arrival, tenant = item
+            with self._lock:
+                self._tenant_queued[tenant] -= 1
             waited = time.perf_counter() - arrival
-            if waited > self.timeout_s:
+            if waited >= self.timeout_s:
                 self._record_reject(
-                    request_id, "timeout", arrival, time.perf_counter()
+                    request_id, "timeout", arrival, time.perf_counter(), tenant
                 )
                 continue
             with self._lock:
@@ -474,10 +684,12 @@ class ThreadedFrontend:
                 cache_hit=cache_hit,
                 result_size=len(result),
                 result=result,
+                tenant=tenant,
             )
             with self._lock:
                 self.responses.append(response)
                 self.counters.inc(counter_names.SERVE_QUERIES)
+                self.counters.inc(tenant_counter(tenant, "queries"))
             if _bus_active(self.bus):
                 self.bus.emit(
                     ServeQueryServed(
@@ -487,17 +699,22 @@ class ThreadedFrontend:
                         latency_s=finish - arrival,
                         result_size=len(result),
                         source="cache" if cache_hit else "index",
+                        tenant=tenant,
                     )
                 )
 
-    def _record_reject(self, request_id, reason, arrival, decided) -> None:
+    def _record_reject(
+        self, request_id, reason, arrival, decided, tenant
+    ) -> None:
         response = QueryResponse(
             request_id=request_id,
             status=reason,
             arrival_s=arrival,
             finish_s=decided,
             latency_s=decided - arrival,
+            tenant=tenant,
         )
+        field = "shed" if reason == "shed" else "timed_out"
         name = (
             counter_names.SERVE_QUERIES_SHED
             if reason == "shed"
@@ -506,11 +723,13 @@ class ThreadedFrontend:
         with self._lock:
             self.responses.append(response)
             self.counters.inc(name)
+            self.counters.inc(tenant_counter(tenant, field))
         if _bus_active(self.bus):
             self.bus.emit(
                 ServeQueryRejected(
                     request_id=request_id,
                     reason=reason,
                     queue_depth=self._queue.qsize(),
+                    tenant=tenant,
                 )
             )

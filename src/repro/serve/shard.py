@@ -64,7 +64,7 @@ from repro.grid.ppd import cap_ppd, ppd_from_equation4
 from repro.mapreduce import counters as counter_names
 from repro.mapreduce.counters import Counters
 from repro.obs.events import ServeDeltaBatch, ServeReshard
-from repro.serve.frontend import QueryFrontend, _ServingCore
+from repro.serve.frontend import DEFAULT_TENANT, QueryFrontend, _ServingCore
 from repro.serve.index import DEFAULT_STALENESS_BUDGET, SkylineIndex
 
 #: Ceiling for the adaptive partitions-per-dimension search: doubling
@@ -680,8 +680,9 @@ class _ShardServingCore(_ServingCore):
 class ShardedFrontend(QueryFrontend):
     """Virtual-clock router frontend over a :class:`ShardedSkylineIndex`.
 
-    Identical admission control (bounded FIFO, shed, timeout) and
-    determinism guarantees as :class:`QueryFrontend`, plus:
+    Identical admission control (bounded weighted-fair queue, tenant
+    quotas, shed, timeout) and determinism guarantees as
+    :class:`QueryFrontend`, plus:
 
     * **delta batching** — mutations arriving within
       ``batch_window_s`` of the pending batch's first op (and below
@@ -772,10 +773,12 @@ class ShardedFrontend(QueryFrontend):
 
     # -- entry points ---------------------------------------------------
 
-    def submit_query(self, at_s: float, region=None) -> int:
+    def submit_query(
+        self, at_s: float, region=None, tenant: str = DEFAULT_TENANT
+    ) -> int:
         self._advance(at_s)
         self._flush_batch(at_s)
-        return super().submit_query(at_s, region)
+        return super().submit_query(at_s, region, tenant)
 
     def apply_insert(self, at_s: float, point, point_id=None) -> int:
         if point_id is None:

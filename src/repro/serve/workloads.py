@@ -25,12 +25,36 @@ import numpy as np
 
 from repro.data.generators import generate
 from repro.errors import ValidationError
-from repro.serve.frontend import QueryFrontend, QueryResponse
+from repro.serve.frontend import (
+    DEFAULT_TENANT,
+    QueryFrontend,
+    QueryResponse,
+    TenantPolicy,
+)
 from repro.serve.index import SkylineIndex
 
 #: Op-stream entries: ("query", t, region) / ("insert", t, point, id) /
-#: ("delete", t, id).
+#: ("delete", t, id); multi-tenant workloads append the tenant id as a
+#: trailing element on every op (single-tenant streams keep the bare
+#: shapes, so pre-tenancy replays stay byte-identical).
 Op = Tuple
+
+#: Arrival processes a workload can request. ``poisson`` is the flat
+#: exponential process; ``diurnal`` modulates the rate sinusoidally
+#: over the stream (the day/night curve, compressed to virtual time);
+#: ``flash-crowd`` multiplies the rate by ``flash_factor`` inside a
+#: fractional window of the stream while the tenant mixture collapses
+#: toward the hot tenant. The ``burst`` square wave composes on top.
+ARRIVAL_SHAPES = ("poisson", "diurnal", "flash-crowd")
+
+
+def tenant_name(index: int) -> str:
+    """Canonical tenant id for position ``index``: ``t0``, ``t1``, …
+
+    ``t0`` is always the most popular (and, in flash-crowd traces, the
+    hot) tenant — Zipf popularity is assigned in index order.
+    """
+    return f"t{index}"
 
 
 @dataclass(frozen=True)
@@ -52,14 +76,48 @@ class ServeWorkload:
     timeout_s: float = 0.05
     cache_capacity: int = 64
     staleness_budget: int = 128
+    #: Multi-tenancy: ops are attributed to ``tenants`` ids whose
+    #: popularity follows a Zipf law with exponent ``tenant_skew``
+    #: (tenant ``t0`` most popular). ``tenant_quota`` is the fraction
+    #: of the bounded queue any one tenant may occupy (1.0 = quotas
+    #: never bind); ``shed_bound`` is the aggregate shed rate the
+    #: serve-gate allows for this workload.
+    tenants: int = 1
+    tenant_skew: float = 1.1
+    tenant_quota: float = 1.0
+    arrival_shape: str = "poisson"
+    diurnal_amplitude: float = 0.8
+    diurnal_cycles: float = 2.0
+    flash_factor: float = 8.0
+    flash_window: Tuple[float, float] = (0.4, 0.6)
+    hot_tenant_share: float = 0.9
+    shed_bound: float = 1.0
 
     def scaled(self, factor: float) -> "ServeWorkload":
-        """Shrink/grow the workload (``--quick`` benchmark runs)."""
+        """Shrink/grow the workload (``--quick`` benchmark runs).
+
+        The admission knobs scale *with* the op volume — a quarter-size
+        replay against a full-size queue, cache, and staleness budget
+        would report distorted shed and hit rates — floored so scaling
+        never produces a degenerate frontend (a zero-slot queue or an
+        instantly-stale index).
+        """
         return replace(
             self,
             cardinality=max(16, int(self.cardinality * factor)),
             num_ops=max(32, int(self.num_ops * factor)),
+            queue_capacity=max(2, int(self.queue_capacity * factor)),
+            cache_capacity=(
+                max(2, int(self.cache_capacity * factor))
+                if self.cache_capacity > 0
+                else 0
+            ),
+            staleness_budget=max(16, int(self.staleness_budget * factor)),
         )
+
+    def tenant_policy(self) -> TenantPolicy:
+        """The frontend admission policy this workload implies."""
+        return TenantPolicy(quota_fraction=self.tenant_quota)
 
 
 #: The registry `repro-skyline list` enumerates and the bench loads.
@@ -111,6 +169,44 @@ SERVE_WORKLOADS: Dict[str, ServeWorkload] = {
             mean_interarrival_s=1e-4,
             burst=True,
         ),
+        ServeWorkload(
+            name="multi-tenant-diurnal",
+            description=(
+                "Eight Zipf-popular tenants on a diurnal arrival curve "
+                "behind per-tenant quotas; exercises weighted-fair "
+                "admission under a production-shaped day/night load."
+            ),
+            query_fraction=0.9,
+            region_fraction=0.5,
+            mean_interarrival_s=2e-4,
+            tenants=8,
+            tenant_skew=1.1,
+            tenant_quota=0.5,
+            arrival_shape="diurnal",
+            shed_bound=0.5,
+        ),
+        ServeWorkload(
+            name="flash-crowd",
+            description=(
+                "One hot Zipfian tenant flash-crowds the middle of the "
+                "trace at 8x rate against a short queue and tight "
+                "quotas; the fairness gate pins the cold tenants' p99."
+            ),
+            query_fraction=0.95,
+            region_fraction=0.4,
+            cache_capacity=8,
+            queue_capacity=8,
+            timeout_s=4e-3,
+            mean_interarrival_s=2e-4,
+            tenants=6,
+            tenant_skew=1.2,
+            tenant_quota=0.25,
+            arrival_shape="flash-crowd",
+            flash_factor=8.0,
+            flash_window=(0.4, 0.6),
+            hot_tenant_share=0.9,
+            shed_bound=0.6,
+        ),
     )
 }
 
@@ -144,10 +240,57 @@ def _region_pool(
     return pool
 
 
+def _zipf_cumprobs(workload: ServeWorkload) -> np.ndarray:
+    """Cumulative Zipf popularity over tenants ``t0`` … ``tN-1``."""
+    ranks = np.arange(1, workload.tenants + 1, dtype=np.float64)
+    raw = ranks ** -workload.tenant_skew
+    return np.cumsum(raw / raw.sum())
+
+
+def _flash_cumprobs(workload: ServeWorkload) -> np.ndarray:
+    """In-window mixture: the hot tenant ``t0`` takes
+    ``hot_tenant_share``; the rest split the remainder by their base
+    Zipf popularity, renormalised."""
+    cum = _zipf_cumprobs(workload)
+    probs = np.diff(cum, prepend=0.0)
+    cold = probs[1:]
+    cold = cold / cold.sum() * (1.0 - workload.hot_tenant_share)
+    return np.cumsum(
+        np.concatenate(([workload.hot_tenant_share], cold))
+    )
+
+
 def generate_ops(workload: ServeWorkload, seed: int = 0) -> OpStream:
-    """Materialise a workload into a deterministic op stream."""
+    """Materialise a workload into a deterministic op stream.
+
+    Single-tenant workloads draw exactly the same random sequence as
+    before tenancy existed (no tenant draws at all), so their streams
+    are byte-identical across versions; multi-tenant workloads spend
+    one extra uniform per op on the tenant and append it to the op
+    tuple.
+    """
     if workload.num_ops < 1:
         raise ValidationError("workload needs at least one operation")
+    if workload.arrival_shape not in ARRIVAL_SHAPES:
+        raise ValidationError(
+            f"arrival_shape must be one of {ARRIVAL_SHAPES}, "
+            f"got {workload.arrival_shape!r}"
+        )
+    if workload.tenants < 1:
+        raise ValidationError(
+            f"tenants must be >= 1, got {workload.tenants}"
+        )
+    if not 0.0 < workload.hot_tenant_share < 1.0:
+        raise ValidationError(
+            f"hot_tenant_share must be in (0, 1), "
+            f"got {workload.hot_tenant_share}"
+        )
+    lo, hi = workload.flash_window
+    if not 0.0 <= lo < hi <= 1.0:
+        raise ValidationError(
+            f"flash_window must satisfy 0 <= lo < hi <= 1, "
+            f"got {workload.flash_window}"
+        )
     rng = np.random.default_rng(seed)
     initial = generate(
         workload.distribution,
@@ -159,6 +302,13 @@ def generate_ops(workload: ServeWorkload, seed: int = 0) -> OpStream:
     live: List[int] = list(range(workload.cardinality))
     next_id = workload.cardinality
     write_fraction = 1.0 - workload.query_fraction
+    multi_tenant = workload.tenants > 1
+    base_cum = _zipf_cumprobs(workload) if multi_tenant else None
+    flash_cum = (
+        _flash_cumprobs(workload)
+        if multi_tenant and workload.arrival_shape == "flash-crowd"
+        else base_cum
+    )
 
     ops: List[Op] = []
     now = 0.0
@@ -167,32 +317,67 @@ def generate_ops(workload: ServeWorkload, seed: int = 0) -> OpStream:
         if workload.burst:
             # Square wave: 50-op bursts at 10x rate, then 50 slow ops.
             gap = gap / 10.0 if (position // 50) % 2 == 0 else gap * 2.0
+        frac = position / workload.num_ops
+        in_flash = (
+            workload.arrival_shape == "flash-crowd" and lo <= frac < hi
+        )
+        if workload.arrival_shape == "diurnal":
+            # Sinusoidal rate modulation — the day/night curve; the
+            # amplitude stays < 1 so the rate never hits zero.
+            gap /= 1.0 + workload.diurnal_amplitude * math.sin(
+                2.0 * math.pi * workload.diurnal_cycles * frac
+            )
+        elif in_flash:
+            gap /= workload.flash_factor
         now += float(rng.exponential(gap))
+        tenant = None
+        if multi_tenant:
+            cum = flash_cum if in_flash else base_cum
+            idx = int(np.searchsorted(cum, rng.random(), side="right"))
+            tenant = tenant_name(min(idx, workload.tenants - 1))
         draw = rng.random()
         if draw < workload.query_fraction or len(live) < 2:
             region = None
             if rng.random() < workload.region_fraction:
                 region = pool[int(rng.integers(0, len(pool)))]
-            ops.append(("query", now, region))
+            op: Op = ("query", now, region)
         elif draw < workload.query_fraction + write_fraction / 2.0:
             point = generate(
                 workload.distribution, 1, workload.dimensionality, seed=rng
             )[0]
-            ops.append(("insert", now, tuple(point.tolist()), next_id))
+            op = ("insert", now, tuple(point.tolist()), next_id)
             live.append(next_id)
             next_id += 1
         else:
             victim = live.pop(int(rng.integers(0, len(live))))
-            ops.append(("delete", now, victim))
+            op = ("delete", now, victim)
+        ops.append(op + (tenant,) if tenant is not None else op)
     return OpStream(workload=workload, seed=seed, initial_data=initial, ops=ops)
 
 
+#: Bare op-tuple arity per kind; a longer tuple carries the tenant id.
+_OP_ARITY = {"query": 3, "insert": 4, "delete": 3}
+
+
+def op_tenant(op: Op) -> str:
+    """The tenant an op is attributed to (default for bare tuples)."""
+    arity = _OP_ARITY.get(op[0])
+    if arity is None:
+        raise ValidationError(f"unknown op kind {op[0]!r}")
+    return op[arity] if len(op) > arity else DEFAULT_TENANT
+
+
 def replay(frontend: QueryFrontend, stream: OpStream) -> List[QueryResponse]:
-    """Feed an op stream through a virtual-clock frontend and flush."""
+    """Feed an op stream through a virtual-clock frontend and flush.
+
+    Queries carry their tenant into admission; mutations are not
+    admission-controlled (their tenant attribution exists for trace
+    filtering, e.g. the fairness gate's no-hot-tenant baseline).
+    """
     for op in stream.ops:
         kind = op[0]
         if kind == "query":
-            frontend.submit_query(op[1], op[2])
+            frontend.submit_query(op[1], op[2], op_tenant(op))
         elif kind == "insert":
             frontend.apply_insert(op[1], op[2], op[3])
         elif kind == "delete":
@@ -233,7 +418,7 @@ def build_serve_report(
     else:
         makespan = 1e-12
     index = frontend.index
-    return {
+    report = {
         "workload": stream.workload.name,
         "seed": stream.seed,
         "policy": frontend.policy,
@@ -252,6 +437,24 @@ def build_serve_report(
         "final_skyline_size": len(index.skyline()),
         "batch_refreshes": index.refreshes,
     }
+    tenants = sorted({r.tenant for r in responses})
+    if stream.workload.tenants > 1 or tenants not in ([], [DEFAULT_TENANT]):
+        per_tenant: Dict[str, Dict] = {}
+        for t in tenants:
+            mine = [r for r in responses if r.tenant == t]
+            served = [r.latency_s for r in mine if r.status == "ok"]
+            per_tenant[t] = {
+                "submitted": len(mine),
+                "served": len(served),
+                "shed": sum(1 for r in mine if r.status == "shed"),
+                "timed_out": sum(
+                    1 for r in mine if r.status == "timeout"
+                ),
+                "p50_latency_s": exact_percentile(served, 0.50),
+                "p99_latency_s": exact_percentile(served, 0.99),
+            }
+        report["tenants"] = per_tenant
+    return report
 
 
 def run_workload(
@@ -265,6 +468,7 @@ def run_workload(
     counters=None,
     bus=None,
     scale: float = 1.0,
+    tenants: Optional[int] = None,
 ) -> Tuple[Dict, QueryFrontend]:
     """Build index + frontend for a workload, replay it, report.
 
@@ -286,7 +490,38 @@ def run_workload(
         workload = SERVE_WORKLOADS[workload]
     if scale != 1.0:
         workload = workload.scaled(scale)
+    if tenants is not None:
+        workload = replace(workload, tenants=int(tenants))
     stream = generate_ops(workload, seed)
+    return serve_stream(
+        stream,
+        policy=policy,
+        shards=shards,
+        engine=engine,
+        cluster=cluster,
+        counters=counters,
+        bus=bus,
+    )
+
+
+def serve_stream(
+    stream: OpStream,
+    *,
+    policy: str = "delta",
+    shards: Optional[int] = None,
+    engine=None,
+    cluster=None,
+    counters=None,
+    bus=None,
+) -> Tuple[Dict, QueryFrontend]:
+    """Serve an already-materialised op stream; report + frontend.
+
+    The split from :func:`run_workload` exists so callers (the bench's
+    fairness gate) can *edit* a generated stream — e.g. drop the hot
+    tenant's queries to build a no-hot-tenant baseline — and replay the
+    result under identical frontend configuration.
+    """
+    workload = stream.workload
     if shards is not None:
         from repro.serve.shard import ShardedFrontend, ShardedSkylineIndex
 
@@ -307,6 +542,7 @@ def run_workload(
             ),
             queue_capacity=workload.queue_capacity,
             timeout_s=workload.timeout_s,
+            tenant_policy=workload.tenant_policy(),
         )
     else:
         index = SkylineIndex(
@@ -325,6 +561,7 @@ def run_workload(
             ),
             queue_capacity=workload.queue_capacity,
             timeout_s=workload.timeout_s,
+            tenant_policy=workload.tenant_policy(),
         )
     responses = replay(frontend, stream)
     return build_serve_report(stream, frontend, responses), frontend

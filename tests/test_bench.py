@@ -128,3 +128,50 @@ class TestReporting:
         assert ratio(None, 2.0) is None
         assert ratio(2.0, None) is None
         assert ratio(2.0, 0.0) is None
+
+
+class TestServeWorkloadScaling:
+    """`ServeWorkload.scaled` must shrink the admission knobs with the
+    load, or --quick bench runs see distorted shed/hit rates."""
+
+    def test_scaled_shrinks_admission_knobs(self):
+        from repro.serve import SERVE_WORKLOADS
+
+        base = SERVE_WORKLOADS["flash-crowd"]
+        half = base.scaled(0.5)
+        assert half.queue_capacity == max(2, base.queue_capacity // 2)
+        assert half.cache_capacity == max(2, base.cache_capacity // 2)
+        assert half.staleness_budget == max(16, base.staleness_budget // 2)
+
+    def test_scaled_floors_never_degenerate(self):
+        from repro.serve import SERVE_WORKLOADS
+
+        tiny = SERVE_WORKLOADS["flash-crowd"].scaled(0.01)
+        assert tiny.queue_capacity >= 2
+        assert tiny.cache_capacity >= 2
+        assert tiny.staleness_budget >= 16
+        # Zero stays zero: scaling must not re-enable a disabled cache.
+        from dataclasses import replace
+
+        uncached = replace(SERVE_WORKLOADS["flash-crowd"], cache_capacity=0)
+        assert uncached.scaled(0.5).cache_capacity == 0
+
+    def test_scaled_preserves_shed_rate(self):
+        """Shed rate is a property of the workload *shape*: halving the
+        trace with the knobs scaled along must land near the full-scale
+        rate (it drifted several-fold when only num_ops shrank)."""
+        from repro.serve import SERVE_WORKLOADS, generate_ops, serve_stream
+
+        base = SERVE_WORKLOADS["flash-crowd"]
+        rates = []
+        for factor in (1.0, 0.5):
+            report, _ = serve_stream(
+                generate_ops(base.scaled(factor), seed=0)
+            )
+            rates.append(
+                report["queries_shed"] / report["queries_submitted"]
+            )
+        full, half = rates
+        assert full > 0  # the workload actually sheds at full scale
+        assert abs(half - full) < 0.1
+        assert half <= base.shed_bound

@@ -356,3 +356,39 @@ class TestServe:
     def test_unknown_workload_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["serve", "nope"])
+
+    def test_multi_tenant_workload_prints_per_tenant_lines(self, capsys):
+        code = main(
+            ["serve", "flash-crowd", "--seed", "3", "--scale", "0.25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenant t0:" in out
+        assert "served" in out and "shed" in out
+
+    def test_tenants_flag_overrides_the_count(self, capsys):
+        code = main(
+            [
+                "serve",
+                "read-heavy",
+                "--seed",
+                "3",
+                "--scale",
+                "0.25",
+                "--tenants",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenant t0:" in out
+        assert "tenant t2:" in out
+
+
+class TestListTenants:
+    def test_list_marks_multi_tenant_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tenants=6" in out  # flash-crowd
+        assert "shape=flash-crowd" in out
+        assert "quota=0.25" in out

@@ -140,6 +140,140 @@ class TestVirtualQueueing:
         assert responses[1].result.ids.tolist() == [999]
 
 
+class TestAdmissionBoundaries:
+    """The satellite bugfixes: doomed admissions and the half-open
+    timeout convention (served iff wait < timeout_s)."""
+
+    def test_doomed_query_rejected_at_admission_frees_the_slot(self):
+        """A query whose earliest start is already past the wait budget
+        must not occupy a queue slot: the slot stays available for a
+        later in-time query."""
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=1,
+            timeout_s=0.5,
+            cost_model=SLOW,
+        )
+        fe.submit_query(0.0)  # serves [0, 1)
+        fe.submit_query(0.2)  # would wait 0.8 >= 0.5: doomed, rejected now
+        fe.submit_query(0.6)  # waits 0.4 < 0.5: takes the freed slot
+        responses = fe.flush()
+        assert [r.status for r in responses] == ["ok", "timeout", "ok"]
+        # The doomed query's outcome is decided at arrival + timeout.
+        assert responses[1].latency_s == pytest.approx(0.5)
+        assert fe.counters[SERVE_QUERIES_SHED] == 0
+        assert fe.counters[SERVE_QUERIES_TIMED_OUT] == 1
+
+    def test_exact_timeout_wait_is_rejected_in_queue(self):
+        """Half-open budget on the drain path: a mutation pushes an
+        already-queued query's wait to exactly timeout_s → rejected."""
+        cost = CostModel(
+            seconds_per_pair=0.0,
+            per_result_tuple_s=0.0,
+            query_base_s=1.0,
+            cache_hit_s=1.0,
+            mutation_base_s=1.5,
+        )
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=10,
+            timeout_s=2.0,
+            cost_model=cost,
+        )
+        fe.submit_query(0.0)  # serves [0, 1)
+        fe.submit_query(0.5)  # queued: would wait 0.5 < 2.0 at admission
+        fe.apply_insert(0.6, [0.5, 0.5])  # server busy until 2.5
+        responses = fe.flush()
+        # The queued query's start moved to 2.5: wait 2.0 == timeout_s.
+        assert [r.status for r in responses] == ["ok", "timeout"]
+        assert responses[1].latency_s == pytest.approx(2.0)
+
+    def test_exact_timeout_wait_is_rejected_at_admission(self):
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=10,
+            timeout_s=1.0,
+            cost_model=SLOW,
+        )
+        fe.submit_query(0.0)  # serves [0, 1)
+        fe.submit_query(0.0)  # earliest start 1.0: wait == timeout_s
+        responses = fe.flush()
+        assert [r.status for r in responses] == ["ok", "timeout"]
+        assert responses[1].latency_s == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("submissions", [2, 3, 4, 5, 8])
+    def test_frontends_agree_on_the_capacity_edge(self, submissions):
+        """QueryFrontend and ThreadedFrontend produce the same status
+        multiset when arrivals sweep across the exact queue capacity
+        (both are made busy first so every submission must queue)."""
+        capacity = 3
+        busy_cost = CostModel(
+            seconds_per_pair=0.0,
+            per_result_tuple_s=0.0,
+            query_base_s=1.0,
+            cache_hit_s=1.0,
+            mutation_base_s=1e6,
+        )
+        virtual = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=capacity,
+            timeout_s=1e9,
+            cost_model=busy_cost,
+        )
+        virtual.apply_insert(0.0, [0.5, 0.5])  # server busy ~forever...
+        for _ in range(submissions):
+            virtual.submit_query(1.0)
+        virtual_statuses = sorted(
+            r.status for r in virtual.flush()
+        )
+
+        threaded = ThreadedFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=capacity,
+            timeout_s=1e9,
+        )
+        # Submit everything before start(): the bounded queue fills to
+        # exactly `capacity` and the overflow sheds, deterministically.
+        for _ in range(submissions):
+            threaded.submit()
+        threaded.start()
+        threaded_statuses = sorted(r.status for r in threaded.stop())
+
+        assert virtual_statuses == threaded_statuses
+        assert virtual_statuses == sorted(
+            ["ok"] * min(submissions, capacity)
+            + ["shed"] * max(0, submissions - capacity)
+        )
+
+    @pytest.mark.parametrize("gap", [0.0, 0.4, 0.5, 0.6, 1.1])
+    def test_outcome_conservation_across_timeout_edges(self, gap):
+        """serve.queries + shed + timed_out == submissions, with
+        arrivals swept across the exact-timeout boundary."""
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=2,
+            timeout_s=0.5,
+            cost_model=SLOW,
+        )
+        submissions = 6
+        for i in range(submissions):
+            fe.submit_query(i * gap)
+        responses = fe.flush()
+        assert len(responses) == submissions
+        assert (
+            fe.counters[SERVE_QUERIES]
+            + fe.counters[SERVE_QUERIES_SHED]
+            + fe.counters[SERVE_QUERIES_TIMED_OUT]
+            == submissions
+        )
+
+
 class TestCacheIntegration:
     def test_repeat_query_hits_until_a_delta_lands(self):
         fe = QueryFrontend(small_index(), queue_capacity=10, timeout_s=10.0)

@@ -1,0 +1,387 @@
+"""Multi-tenant admission: weighted-fair queueing, quotas, traces.
+
+The virtual-clock tests pin the WFQ discipline with hand-built tenant
+policies (weights chosen so finish tags are easy to compute by hand);
+the trace tests pin the production-shaped generators (Zipf popularity,
+diurnal / flash-crowd arrivals) and their determinism; the accounting
+tests pin the per-tenant counter family against the global totals.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mapreduce.counters import (
+    SERVE_QUERIES,
+    SERVE_QUERIES_SHED,
+    SERVE_QUERIES_TIMED_OUT,
+    tenant_counter,
+)
+from repro.obs import EventBus, EventLog, validate_events
+from repro.serve import (
+    ARRIVAL_SHAPES,
+    DEFAULT_TENANT,
+    SERVE_WORKLOADS,
+    CostModel,
+    QueryFrontend,
+    SkylineIndex,
+    TenantPolicy,
+    ThreadedFrontend,
+    build_serve_report,
+    generate_ops,
+    op_tenant,
+    replay,
+    serve_stream,
+    tenant_name,
+)
+from repro.data.generators import generate
+
+#: One virtual second per query: trivial to schedule by hand.
+SLOW = CostModel(
+    seconds_per_pair=0.0,
+    per_result_tuple_s=0.0,
+    query_base_s=1.0,
+    cache_hit_s=1.0,
+    mutation_base_s=0.0,
+)
+
+
+def small_index(**kwargs) -> SkylineIndex:
+    data = generate("independent", 50, 2, seed=1)
+    kwargs.setdefault("staleness_budget", 10_000)
+    return SkylineIndex(data, **kwargs)
+
+
+class TestTenantPolicy:
+    def test_defaults_never_bind(self):
+        policy = TenantPolicy()
+        assert policy.weight("anything") == 1.0
+        assert policy.quota_slots(8) == 8
+
+    def test_quota_slots_floor_at_one(self):
+        assert TenantPolicy(quota_fraction=0.25).quota_slots(2) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            TenantPolicy(default_weight=0.0)
+        with pytest.raises(ValidationError):
+            TenantPolicy(quota_fraction=0.0)
+        with pytest.raises(ValidationError):
+            TenantPolicy(quota_fraction=1.5)
+        with pytest.raises(ValidationError):
+            TenantPolicy(weights={"": 1.0})
+        with pytest.raises(ValidationError):
+            TenantPolicy(weights={"t0": -1.0})
+
+
+class TestWeightedFairQueueing:
+    def _frontend(self, policy, **kwargs):
+        kwargs.setdefault("cache_capacity", 0)
+        kwargs.setdefault("queue_capacity", 10)
+        kwargs.setdefault("timeout_s", 100.0)
+        return QueryFrontend(
+            small_index(), cost_model=SLOW, tenant_policy=policy, **kwargs
+        )
+
+    def test_heavier_tenant_served_first(self):
+        """Both tenants backlog while the server is busy; the 2x-weight
+        tenant's finish tag is smaller, so it is served first even
+        though it arrived second."""
+        fe = self._frontend(TenantPolicy(weights={"gold": 2.0}))
+        fe.submit_query(0.0, tenant="bronze")  # serves [0, 1); vc_bronze=1
+        fe.submit_query(0.1, tenant="bronze")  # tags [1.0, 2.0)
+        fe.submit_query(0.2, tenant="gold")  # tags [0.2, 0.7)
+        served = sorted(
+            (r for r in fe.flush() if r.status == "ok"),
+            key=lambda r: r.finish_s,
+        )
+        assert [r.tenant for r in served] == ["bronze", "gold", "bronze"]
+        # gold starts at 1.0 (arrival 0.2), bronze #2 at 2.0 (arrival 0.1)
+        assert served[1].latency_s == pytest.approx(1.8)
+        assert served[2].latency_s == pytest.approx(2.9)
+
+    def test_equal_weights_interleave_fairly(self):
+        """Tenant a backlogs three queries before b's one; WFQ lets b's
+        first query jump a's later ones instead of waiting out the
+        whole burst."""
+        fe = self._frontend(TenantPolicy())
+        fe.submit_query(0.0, tenant="a")  # serves [0, 1); vc_a=1
+        fe.submit_query(0.1, tenant="a")  # tags [1.0, 2.0)
+        fe.submit_query(0.1, tenant="a")  # tags [2.0, 3.0)
+        fe.submit_query(0.2, tenant="b")  # tags [0.2, 1.2)
+        served = sorted(
+            (r for r in fe.flush() if r.status == "ok"),
+            key=lambda r: r.finish_s,
+        )
+        assert [r.tenant for r in served] == ["a", "b", "a", "a"]
+
+    def test_single_tenant_reduces_to_fifo(self):
+        """With one tenant the WFQ heap is admission-ordered: the
+        original FIFO timings hold exactly."""
+        fe = self._frontend(TenantPolicy())
+        fe.submit_query(0.0)
+        fe.submit_query(0.0)
+        fe.submit_query(0.5)
+        responses = fe.flush()
+        assert [r.status for r in responses] == ["ok", "ok", "ok"]
+        assert [r.finish_s for r in responses] == [1.0, 2.0, 3.0]
+        assert all(r.tenant == DEFAULT_TENANT for r in responses)
+
+    def test_invalid_tenant_rejected(self):
+        fe = self._frontend(TenantPolicy())
+        with pytest.raises(ValidationError):
+            fe.submit_query(0.0, tenant="")
+
+
+class TestTenantQuotas:
+    def test_over_quota_tenant_shed_under_global_room(self):
+        """quota_fraction 0.25 of capacity 8 = 2 slots: the hog's third
+        queued query sheds while the queue still has global room, and a
+        polite tenant still gets in afterwards."""
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=8,
+            timeout_s=100.0,
+            cost_model=SLOW,
+            tenant_policy=TenantPolicy(quota_fraction=0.25),
+            bus=bus,
+        )
+        fe.submit_query(0.0, tenant="hog")  # in service
+        fe.submit_query(0.1, tenant="hog")  # queued (1/2)
+        fe.submit_query(0.1, tenant="hog")  # queued (2/2)
+        fe.submit_query(0.2, tenant="hog")  # over quota: shed
+        fe.submit_query(0.2, tenant="polite")  # global room: admitted
+        responses = fe.flush()
+        by_tenant = {}
+        for r in responses:
+            by_tenant.setdefault(r.tenant, []).append(r.status)
+        assert by_tenant["hog"] == ["ok", "ok", "ok", "shed"]
+        assert by_tenant["polite"] == ["ok"]
+
+        events = log.events
+        validate_events(events)
+        sheds = log.of_kind("serve_tenant_shed")
+        assert len(sheds) == 1
+        assert sheds[0].tenant == "hog"
+        assert sheds[0].queued == 2
+        assert sheds[0].quota_slots == 2
+        quota_updates = {
+            e.tenant: e for e in log.of_kind("serve_quota_update")
+        }
+        assert set(quota_updates) == {"hog", "polite"}
+        assert quota_updates["hog"].quota_slots == 2
+
+    def test_threaded_frontend_enforces_the_same_quota(self):
+        """Submit-before-start is deterministic: the hog's queued count
+        crosses its quota before any query is drained."""
+        fe = ThreadedFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=8,
+            timeout_s=100.0,
+            tenant_policy=TenantPolicy(quota_fraction=0.25),
+        )
+        for _ in range(3):
+            fe.submit(tenant="hog")
+        fe.submit(tenant="polite")
+        fe.start()
+        responses = fe.stop()
+        by_tenant = {}
+        for r in responses:
+            by_tenant.setdefault(r.tenant, []).append(r.status)
+        assert sorted(by_tenant["hog"]) == ["ok", "ok", "shed"]
+        assert by_tenant["polite"] == ["ok"]
+        assert fe.counters[tenant_counter("hog", "shed")] == 1
+
+
+class TestTenantAccounting:
+    def test_per_tenant_counters_partition_the_globals(self):
+        """serve.queries + serve.queries_shed + serve.queries_timed_out
+        equals submissions, and each global equals the sum of its
+        per-tenant family."""
+        fe = QueryFrontend(
+            small_index(),
+            cache_capacity=0,
+            queue_capacity=2,
+            timeout_s=1.5,
+            cost_model=SLOW,
+            tenant_policy=TenantPolicy(quota_fraction=0.5),
+        )
+        tenants = ["a", "b", "a", "c", "b", "a", "c", "a"]
+        for i, t in enumerate(tenants):
+            fe.submit_query(i * 0.3, tenant=t)
+        fe.flush()
+        counters = fe.counters
+        served = counters[SERVE_QUERIES]
+        shed = counters[SERVE_QUERIES_SHED]
+        timed_out = counters[SERVE_QUERIES_TIMED_OUT]
+        assert served + shed + timed_out == len(tenants)
+        for field, total in (
+            ("queries", served),
+            ("shed", shed),
+            ("timed_out", timed_out),
+        ):
+            assert (
+                sum(
+                    counters[tenant_counter(t, field)]
+                    for t in set(tenants)
+                )
+                == total
+            )
+
+    def test_report_carries_per_tenant_sections(self):
+        workload = SERVE_WORKLOADS["multi-tenant-diurnal"].scaled(0.25)
+        stream = generate_ops(workload, seed=7)
+        report, _ = serve_stream(stream)
+        tenants = report["tenants"]
+        assert set(tenants) <= {tenant_name(i) for i in range(workload.tenants)}
+        queries = sum(1 for op in stream.ops if op[0] == "query")
+        assert (
+            sum(
+                t["served"] + t["shed"] + t["timed_out"]
+                for t in tenants.values()
+            )
+            == queries
+        )
+        assert (
+            sum(t["submitted"] for t in tenants.values()) == queries
+        )
+
+
+class TestTraceShapes:
+    def test_zipf_popularity_orders_tenants(self):
+        """With skew > 0, tenant t0 must draw the most queries and the
+        ranking must follow the Zipf ranks (modulo tail noise)."""
+        workload = replace(
+            SERVE_WORKLOADS["multi-tenant-diurnal"],
+            num_ops=4000,
+            tenants=4,
+            tenant_skew=1.5,
+        )
+        stream = generate_ops(workload, seed=3)
+        counts = {tenant_name(i): 0 for i in range(4)}
+        for op in stream.ops:
+            counts[op_tenant(op)] += 1
+        assert counts["t0"] > counts["t1"] > counts["t3"]
+        assert counts["t0"] > len(stream.ops) * 0.4
+
+    def test_flash_window_concentrates_hot_tenant(self):
+        """Inside the flash window the hot tenant takes ~hot_tenant_share
+        of ops; outside it keeps its base Zipf share."""
+        workload = replace(
+            SERVE_WORKLOADS["flash-crowd"], num_ops=4000, hot_tenant_share=0.9
+        )
+        stream = generate_ops(workload, seed=5)
+        lo, hi = workload.flash_window
+        n = len(stream.ops)
+        inside = [
+            op_tenant(op)
+            for i, op in enumerate(stream.ops)
+            if lo <= i / n < hi
+        ]
+        outside = [
+            op_tenant(op)
+            for i, op in enumerate(stream.ops)
+            if not lo <= i / n < hi
+        ]
+        hot_inside = inside.count("t0") / len(inside)
+        hot_outside = outside.count("t0") / len(outside)
+        assert hot_inside > 0.8
+        assert hot_outside < 0.6
+        assert hot_inside > hot_outside + 0.25
+
+    def test_flash_window_accelerates_arrivals(self):
+        workload = replace(SERVE_WORKLOADS["flash-crowd"], num_ops=2000)
+        stream = generate_ops(workload, seed=2)
+        lo, hi = workload.flash_window
+        n = len(stream.ops)
+        times = [op[1] for op in stream.ops]
+        gaps_in = [
+            times[i] - times[i - 1]
+            for i in range(1, n)
+            if lo <= i / n < hi
+        ]
+        gaps_out = [
+            times[i] - times[i - 1]
+            for i in range(1, n)
+            if not lo <= i / n < hi
+        ]
+        # Mean gap inside the window shrinks by ~flash_factor.
+        assert np.mean(gaps_out) / np.mean(gaps_in) > workload.flash_factor / 2
+
+    def test_diurnal_shape_modulates_gaps(self):
+        workload = replace(
+            SERVE_WORKLOADS["multi-tenant-diurnal"],
+            num_ops=2000,
+            diurnal_amplitude=0.9,
+            diurnal_cycles=1.0,
+        )
+        stream = generate_ops(workload, seed=4)
+        times = [op[1] for op in stream.ops]
+        gaps = np.array(
+            [times[i] - times[i - 1] for i in range(1, len(times))]
+        )
+        n = len(gaps)
+        # cycles=1.0: rate peaks mid-trace, so mid-trace gaps shrink.
+        peak = gaps[int(n * 0.4) : int(n * 0.6)]
+        trough = np.concatenate([gaps[: int(n * 0.1)], gaps[int(n * 0.9) :]])
+        assert np.mean(peak) < np.mean(trough)
+
+    def test_single_tenant_streams_keep_bare_op_tuples(self):
+        """Back-compat: tenants == 1 must not change op arities or the
+        RNG draw sequence of existing workloads."""
+        workload = SERVE_WORKLOADS["mixed-anticorrelated"]
+        stream = generate_ops(workload, seed=0)
+        for op in stream.ops:
+            if op[0] == "query":
+                assert len(op) == 3
+            elif op[0] == "insert":
+                assert len(op) == 4
+            else:
+                assert len(op) == 3
+            assert op_tenant(op) == DEFAULT_TENANT
+
+    def test_multi_tenant_ops_carry_trailing_tenant(self):
+        workload = replace(SERVE_WORKLOADS["flash-crowd"], num_ops=200)
+        stream = generate_ops(workload, seed=1)
+        assert any(op[0] != "query" for op in stream.ops)
+        for op in stream.ops:
+            assert op[-1].startswith("t")
+            if op[0] == "query":
+                assert len(op) == 4
+            elif op[0] == "insert":
+                assert len(op) == 5
+            else:
+                assert len(op) == 4
+
+    def test_unknown_shape_rejected(self):
+        assert set(ARRIVAL_SHAPES) == {"poisson", "diurnal", "flash-crowd"}
+        workload = replace(
+            SERVE_WORKLOADS["multi-tenant-diurnal"], arrival_shape="bursty"
+        )
+        with pytest.raises(ValidationError):
+            generate_ops(workload, seed=0)
+
+
+class TestMultiTenantReplay:
+    @pytest.mark.parametrize("name", ["multi-tenant-diurnal", "flash-crowd"])
+    def test_replay_is_deterministic(self, name):
+        workload = SERVE_WORKLOADS[name].scaled(0.25)
+        stream = generate_ops(workload, seed=11)
+        first, _ = serve_stream(stream)
+        second, _ = serve_stream(stream)
+        assert first == second
+
+    def test_replay_events_validate(self):
+        workload = SERVE_WORKLOADS["flash-crowd"].scaled(0.25)
+        stream = generate_ops(workload, seed=11)
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        serve_stream(stream, bus=bus)
+        validate_events(log.events)
+        assert "serve_quota_update" in set(log.kinds())
