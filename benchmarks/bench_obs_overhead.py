@@ -17,6 +17,12 @@ Also asserts the observability layer is a pure observer: the skyline
 indices and the counter fingerprint of the observed run are
 byte-identical to the baseline's.
 
+The serving path gets the same treatment: a ``mixed-anticorrelated``
+replay runs baseline / detached / attached (serve tracer + SLO monitor
++ metrics collector), under the same budgets, and the attached
+headline report must be byte-identical to the baseline's (the virtual
+clock must not see the observers).
+
 Writes ``BENCH_obs.json`` at the repo root; exits non-zero if any
 budget or invariant check fails.
 """
@@ -59,6 +65,47 @@ def _best_of(repeats, data, algorithm, cluster, make_bus):
         elapsed, result = _run_once(data, algorithm, cluster, make_bus())
         best = elapsed if best is None else min(best, elapsed)
     return best, result
+
+
+def _serve_run_once(workload, seed, config):
+    """One serving replay; returns (wall_s, headline report)."""
+    from repro.obs import (
+        EventBus,
+        MetricsCollector,
+        ServeTracer,
+        SLOMonitor,
+        default_objectives,
+        default_window_s,
+    )
+    from repro.serve.workloads import generate_ops, serve_stream
+
+    stream = generate_ops(workload, seed=seed)
+    bus = tracer = None
+    if config == "detached":
+        bus = EventBus()
+    elif config == "attached":
+        bus = EventBus()
+        bus.subscribe(MetricsCollector())
+        bus.subscribe(
+            SLOMonitor(
+                default_objectives(workload),
+                window_s=default_window_s(workload),
+            )
+        )
+        tracer = ServeTracer()
+    started = time.perf_counter()
+    headline, _ = serve_stream(stream, bus=bus, tracer=tracer)
+    elapsed = time.perf_counter() - started
+    return elapsed, headline
+
+
+def _serve_best_of(repeats, workload, seed, config):
+    best = None
+    headline = None
+    for _ in range(repeats):
+        elapsed, headline = _serve_run_once(workload, seed, config)
+        best = elapsed if best is None else min(best, elapsed)
+    return best, headline
 
 
 def main(argv=None) -> int:
@@ -135,6 +182,42 @@ def main(argv=None) -> int:
         ):
             failures.append(f"{name} bus changed the counter fingerprint")
 
+    # -- serving path ---------------------------------------------------
+    from repro.serve.workloads import resolve_workload
+
+    serve_scale = 0.5 if args.quick else 1.0
+    serve_workload = resolve_workload(
+        "mixed-anticorrelated", scale=serve_scale
+    )
+    print(
+        f"serve workload: {serve_workload.name} x{serve_scale}, "
+        f"best of {args.repeats}"
+    )
+    serve_times = {}
+    serve_headlines = {}
+    for name in ("baseline", "detached", "attached"):
+        serve_times[name], serve_headlines[name] = _serve_best_of(
+            args.repeats, serve_workload, args.seed, name
+        )
+        print(f"  {name:9s} {serve_times[name] * 1e3:9.2f} ms")
+    serve_overheads = {}
+    for name, budget in BUDGETS.items():
+        serve_overheads[name] = serve_times[name] / serve_times["baseline"] - 1.0
+        limit = serve_times["baseline"] * (1.0 + budget) + ABS_SLACK_S
+        print(
+            f"  {name} overhead {serve_overheads[name] * 100:+6.2f}% "
+            f"(budget {budget * 100:.0f}% + {ABS_SLACK_S * 1e3:.0f} ms slack)"
+        )
+        if serve_times[name] > limit:
+            failures.append(
+                f"serve {name} overhead {serve_overheads[name] * 100:.2f}% "
+                f"exceeds the {budget * 100:.0f}% budget"
+            )
+        if serve_headlines[name] != serve_headlines["baseline"]:
+            failures.append(
+                f"serve {name} observers perturbed the headline report"
+            )
+
     payload = {
         "workload": {
             "distribution": "anticorrelated",
@@ -150,6 +233,18 @@ def main(argv=None) -> int:
         },
         "budgets_pct": {k: v * 100 for k, v in BUDGETS.items()},
         "abs_slack_s": ABS_SLACK_S,
+        "serve": {
+            "workload": serve_workload.name,
+            "scale": serve_scale,
+            "seed": args.seed,
+            "best_s": {
+                name: round(t, 6) for name, t in serve_times.items()
+            },
+            "overhead_pct": {
+                name: round(v * 100, 3)
+                for name, v in serve_overheads.items()
+            },
+        },
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)

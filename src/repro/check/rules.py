@@ -91,9 +91,11 @@ RULES: Dict[str, Rule] = {
             "REP003",
             "undocumented counter name",
             "Counters.inc() must charge a name from the documented "
-            "COUNTER_DOCS vocabulary (repro.mapreduce.counters); "
-            "ad-hoc names silently fall out of reports, docs and the "
-            "metric registry.",
+            "COUNTER_DOCS vocabulary (repro.mapreduce.counters) — "
+            "either an exact documented name or an instance of a "
+            "documented <placeholder> family built by a registered "
+            "family builder; ad-hoc names silently fall out of "
+            "reports, docs and the metric registry.",
         ),
         Rule(
             "REP004",
@@ -317,6 +319,24 @@ def counter_constants() -> Mapping[str, str]:
         for name, value in vars(counters).items()
         if name.isupper() and isinstance(value, str)
     }
+
+
+def counter_family_regexes():
+    """Compiled regexes of documented counter families (the
+    ``<placeholder>`` COUNTER_DOCS keys), for matching literal and
+    f-string counter names."""
+    from repro.mapreduce.counters import counter_family_regexes
+
+    return tuple(
+        regex for _name, regex in sorted(counter_family_regexes().items())
+    )
+
+
+def counter_family_builders() -> FrozenSet[str]:
+    """Functions documented to build counter-family instances."""
+    from repro.mapreduce.counters import COUNTER_FAMILY_BUILDERS
+
+    return frozenset(COUNTER_FAMILY_BUILDERS)
 
 
 def event_class_names() -> FrozenSet[str]:

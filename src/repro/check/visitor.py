@@ -60,6 +60,8 @@ class CheckVisitor(ast.NodeVisitor):
         self._class_stack: List[ast.ClassDef] = []
         self._counter_vocab = R.counter_vocabulary()
         self._counter_constants = R.counter_constants()
+        self._counter_families = R.counter_family_regexes()
+        self._family_builders = R.counter_family_builders()
         self._event_classes = R.event_class_names()
 
     # -- helpers --------------------------------------------------------
@@ -305,13 +307,50 @@ class CheckVisitor(ast.NodeVisitor):
             return
         arg = node.args[0]
         if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
-            if arg.value not in self._counter_vocab:
+            if arg.value not in self._counter_vocab and not any(
+                regex.fullmatch(arg.value)
+                for regex in self._counter_families
+            ):
                 self._report(
                     "REP003",
                     node,
                     f"counter {arg.value!r} is not in the documented "
                     "COUNTER_DOCS vocabulary "
                     "(repro.mapreduce.counters)",
+                )
+            return
+        if isinstance(arg, ast.JoinedStr):
+            # An f-string name is acceptable only when its literal
+            # skeleton instantiates a documented <placeholder> family
+            # (each interpolation standing for one name segment).
+            template = "".join(
+                str(part.value)
+                if isinstance(part, ast.Constant)
+                else "x"
+                for part in arg.values
+            )
+            if not any(
+                regex.fullmatch(template)
+                for regex in self._counter_families
+            ):
+                self._report(
+                    "REP003",
+                    node,
+                    f"f-string counter name (template {template!r}) "
+                    "does not instantiate any documented COUNTER_DOCS "
+                    "family",
+                )
+            return
+        if isinstance(arg, ast.Call):
+            builder = _terminal_name(arg.func)
+            if builder is not None and builder not in self._family_builders:
+                self._report(
+                    "REP003",
+                    node,
+                    f"counter name computed by {builder}(); only the "
+                    "documented family builders "
+                    "(repro.mapreduce.counters.COUNTER_FAMILY_BUILDERS) "
+                    "may mint counter names",
                 )
             return
         if isinstance(arg, ast.Attribute):

@@ -279,6 +279,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve from a sharded index (independent reducer groups) "
         "with a batching router frontend",
     )
+    serve.add_argument(
+        "--fleet",
+        action="store_true",
+        help="serve the shards from real worker processes "
+        "(requires --shards; implied by --trace-out with --shards > 1 "
+        "so the trace shows genuine multi-process spans)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        help="export the serving-path trace (frontend, per-shard, and "
+        "fleet-worker spans stitched by request id) as Chrome "
+        "trace-event JSON, loadable in Perfetto",
+    )
+    serve.add_argument(
+        "--report-out",
+        help="write the machine-readable serve run report (counters, "
+        "latency histograms, SLO burn rates, flight-recorder dumps)",
+    )
 
     lister = sub.add_parser(
         "list", help="list algorithms, experiments and serve workloads"
@@ -610,19 +628,98 @@ def _render_serve_report(report: dict) -> str:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve.workloads import run_workload
+    import time
+
+    from repro.serve.workloads import resolve_workload, run_workload
 
     engine = _serve_engine(args.engine, args.workers)
+    fleet = bool(
+        args.fleet
+        or (args.trace_out and args.shards is not None and args.shards > 1)
+    )
+    observing = bool(args.trace_out or args.report_out or fleet)
+    bus = tracer = monitor = collector = None
+    artifacts = {} if observing else None
+    workload = resolve_workload(
+        args.workload, scale=args.scale, tenants=args.tenants
+    )
+    if observing:
+        from repro.obs import (
+            EventBus,
+            MetricsCollector,
+            ServeTracer,
+            SLOMonitor,
+            default_objectives,
+            default_window_s,
+        )
+
+        bus = EventBus()
+        collector = bus.subscribe(MetricsCollector())
+        monitor = bus.subscribe(
+            SLOMonitor(
+                default_objectives(workload),
+                window_s=default_window_s(workload),
+            )
+        )
+        tracer = ServeTracer()
+    wall0 = time.perf_counter()
     report, _ = run_workload(
-        args.workload,
+        workload,
         seed=args.seed,
         policy=args.policy,
         engine=engine,
-        scale=args.scale,
         shards=args.shards,
-        tenants=args.tenants,
+        bus=bus,
+        tracer=tracer,
+        fleet=fleet,
+        artifacts=artifacts,
     )
+    wall_s = time.perf_counter() - wall0
     print(_render_serve_report(report))
+    if monitor is not None:
+        monitor.finalize()
+        monitor.ingest_spans(tracer.serve_spans())
+        monitor.ingest_spans(tracer.fleet_spans())
+        summary = monitor.summary()
+        for objective in summary["objectives"]:
+            tripped = (
+                f", {objective['tripped_windows']} window(s) TRIPPED"
+                if objective["tripped_windows"]
+                else ""
+            )
+            print(
+                f"  slo {objective['name']}: worst burn "
+                f"{objective['worst_burn']:.2f}x{tripped}"
+            )
+        dumps = summary["flight_recorder"]["dumps"]
+        if dumps:
+            print(f"  flight recorder: {len(dumps)} dump(s)")
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace_out, tracer.clocks())
+        print(f"trace written to {args.trace_out} (open in Perfetto)")
+    if args.report_out:
+        from repro.obs import build_serve_run_report, write_report
+
+        run_report = build_serve_run_report(
+            artifacts["stream"],
+            report,
+            artifacts["frontend"],
+            skyline=artifacts["final_skyline"],
+            monitor=monitor,
+            collector=collector,
+            config={
+                "workload": workload.name,
+                "seed": args.seed,
+                "policy": args.policy,
+                "shards": args.shards or 1,
+                "fleet": fleet,
+            },
+            wall_s=wall_s,
+        )
+        write_report(args.report_out, run_report)
+        print(f"report written to {args.report_out}")
     if args.compare:
         other_policy = "recompute" if args.policy == "delta" else "delta"
         other, _ = run_workload(

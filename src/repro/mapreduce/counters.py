@@ -8,7 +8,8 @@ that have the highest number of comparisons".
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping
+import re
+from typing import Dict, Iterator, Mapping, Pattern
 
 from repro.errors import ValidationError
 
@@ -136,6 +137,41 @@ def tenant_counter(tenant: str, field: str) -> str:
     if not tenant:
         raise ValidationError("tenant id must be non-empty")
     return f"serve.tenant.{tenant}.{field}"
+
+
+#: Builder functions whose return values are instances of a documented
+#: counter family. The REP003 lint accepts ``Counters.inc(<builder>(…))``
+#: charge sites for exactly these callees — any other computed name is
+#: flagged, so dynamic counters can't silently drift out of the
+#: documented vocabulary.
+COUNTER_FAMILY_BUILDERS = ("tenant_counter",)
+
+
+def counter_family_regexes() -> Dict[str, Pattern[str]]:
+    """Compiled regex per documented counter *family*.
+
+    A :data:`COUNTER_DOCS` key containing ``<placeholder>`` segments
+    documents a family rather than a single counter; each placeholder
+    matches exactly one dotted-name segment, so
+    ``serve.tenant.<tenant>.queries`` covers every concrete tenant id
+    (tenant ids are workload data, not vocabulary). Keys without
+    placeholders are not returned — they match exactly or not at all.
+    """
+    families: Dict[str, Pattern[str]] = {}
+    for name in COUNTER_DOCS:
+        if "<" not in name:
+            continue
+        pattern = re.sub(r"<[^<>]+>", r"[^.]+", re.escape(name))
+        families[name] = re.compile(pattern)
+    return families
+
+
+def matches_counter_family(name: str) -> bool:
+    """True when ``name`` instantiates a documented counter family."""
+    return any(
+        regex.fullmatch(name) for regex in counter_family_regexes().values()
+    )
+
 
 #: One-line documentation per canonical counter. The observability
 #: metric registry (:mod:`repro.obs.metrics`) and ``repro-skyline list

@@ -60,9 +60,11 @@ from repro.obs.metrics import (
 )
 from repro.obs.report import (
     build_report,
+    build_serve_run_report,
     canonical_json,
     diff_reports,
     load_report,
+    pointset_checksum,
     render_report,
     write_report,
 )
@@ -70,6 +72,19 @@ from repro.obs.schema import (
     validate_chrome_trace,
     validate_events,
     validate_report,
+)
+from repro.obs.serve_trace import (
+    ServeTracer,
+    TraceContext,
+    merge_span_records,
+    sort_spans,
+)
+from repro.obs.slo import (
+    FlightRecorder,
+    SLOMonitor,
+    SLOObjective,
+    default_objectives,
+    default_window_s,
 )
 from repro.obs.spans import Span, chrome_trace, write_chrome_trace
 from repro.obs.tracer import SpanTracer
@@ -82,6 +97,7 @@ __all__ = [
     "EventBus",
     "EventLog",
     "FaultInjected",
+    "FlightRecorder",
     "Histogram",
     "JobEnd",
     "JobStart",
@@ -91,24 +107,34 @@ __all__ = [
     "PipelineEnd",
     "PipelineStart",
     "SERVE_REJECT_REASONS",
+    "SLOMonitor",
+    "SLOObjective",
     "ServeBatchRefresh",
     "ServeDeltaApplied",
     "ServeQueryRejected",
     "ServeQueryServed",
+    "ServeTracer",
     "Shuffle",
     "Span",
     "SpanTracer",
     "SpeculationLaunched",
     "TaskAttemptEnd",
     "TaskAttemptStart",
+    "TraceContext",
     "build_report",
+    "build_serve_run_report",
     "canonical_json",
     "chrome_trace",
+    "default_objectives",
+    "default_window_s",
     "diff_reports",
     "documented_metrics",
     "load_report",
+    "merge_span_records",
+    "pointset_checksum",
     "render_report",
     "replay_task_events",
+    "sort_spans",
     "validate_chrome_trace",
     "validate_events",
     "validate_report",

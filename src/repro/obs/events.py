@@ -189,7 +189,9 @@ class ServeQueryServed(Event):
     ``latency_s`` is on the frontend's clock — the deterministic
     virtual clock under a replayed schedule, wall time in threaded
     mode. ``source`` says where the answer came from (``cache`` /
-    ``index``)."""
+    ``index``). ``at_s`` is the finish instant on the same clock and
+    ``wait_s`` the queueing share of the latency — the fields the SLO
+    monitor's fixed windows and wait histograms key on."""
 
     kind = "serve_query_served"
     request_id: int
@@ -199,6 +201,8 @@ class ServeQueryServed(Event):
     result_size: int
     source: str = "index"
     tenant: str = "default"
+    at_s: float = 0.0
+    wait_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -210,6 +214,7 @@ class ServeQueryRejected(Event):
     reason: str  # 'shed' | 'timeout'
     queue_depth: int = 0
     tenant: str = "default"
+    at_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -305,6 +310,7 @@ class ServeTenantShed(Event):
     tenant: str
     queued: int
     quota_slots: int
+    at_s: float = 0.0
 
 
 @dataclass(frozen=True)

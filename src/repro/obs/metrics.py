@@ -211,6 +211,17 @@ H_SERVE_QUERY_LATENCY = register(
         scope="serve",
     )
 ).name
+H_SERVE_QUEUE_WAIT = register(
+    MetricSpec(
+        "serve.queue_wait_s",
+        "histogram",
+        "seconds",
+        "Per-query admission-to-start wait on the serving frontend's "
+        "virtual clock (the queueing share of each served query's "
+        "latency under WFQ).",
+        scope="serve",
+    )
+).name
 H_SERVE_REPAIR_CANDIDATES = register(
     MetricSpec(
         "serve.repair_candidates",
@@ -256,6 +267,9 @@ class MetricsCollector:
             H_SERVE_QUERY_LATENCY: Histogram(
                 H_SERVE_QUERY_LATENCY, bounds=DECADE_BOUNDS
             ),
+            H_SERVE_QUEUE_WAIT: Histogram(
+                H_SERVE_QUEUE_WAIT, bounds=DECADE_BOUNDS
+            ),
             H_SERVE_REPAIR_CANDIDATES: Histogram(H_SERVE_REPAIR_CANDIDATES),
         }
         self.gauges: Dict[str, float] = {}
@@ -290,6 +304,7 @@ class MetricsCollector:
                 self.gauges[G_SKYLINE_SIZE] = event.skyline_size
         elif isinstance(event, ServeQueryServed):
             self.histograms[H_SERVE_QUERY_LATENCY].observe(event.latency_s)
+            self.histograms[H_SERVE_QUEUE_WAIT].observe(event.wait_s)
         elif isinstance(event, ServeDeltaApplied):
             if event.op == "delete":
                 self.histograms[H_SERVE_REPAIR_CANDIDATES].observe(

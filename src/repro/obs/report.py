@@ -58,6 +58,15 @@ def skyline_checksum(result) -> Dict[str, Any]:
     return {"size": len(result), "sha256": digest.hexdigest()}
 
 
+def pointset_checksum(points) -> Dict[str, Any]:
+    """Size + content hash of a PointSet (ids and values) — the serving
+    layer's skyline fingerprint (point ids, not positional indices)."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(points.ids).tobytes())
+    digest.update(np.ascontiguousarray(points.values).tobytes())
+    return {"size": len(points), "sha256": digest.hexdigest()}
+
+
 def _task_entry(task) -> Dict[str, Any]:
     """One task's deterministic record (durations live under 'wall')."""
     return {
@@ -187,6 +196,83 @@ def build_report(
     return report
 
 
+#: Counters a serve run report keeps: request-level names whose values
+#: are identical between the unsharded frontend and a shards=1 sharded
+#: replay of the same stream (the byte-identical-report contract).
+#: Shard-internal work counters (``serve.shard.*``, repair/refresh/
+#: compare totals) legitimately differ between those twins and are
+#: deliberately excluded. The ``serve.tenant.<tenant>.*`` family is
+#: kept wholesale — tenant attribution is request-level.
+SERVE_REPORT_COUNTERS = frozenset(
+    (
+        "serve.queries",
+        "serve.cache_hits",
+        "serve.cache_misses",
+        "serve.cache_evictions",
+        "serve.queries_shed",
+        "serve.queries_timed_out",
+        "serve.inserts",
+        "serve.deletes",
+    )
+)
+
+#: Histograms a serve run report keeps (same contract: request-level).
+SERVE_REPORT_HISTOGRAMS = ("serve.query_latency_s", "serve.queue_wait_s")
+
+
+def build_serve_run_report(
+    stream,
+    headline: Dict[str, Any],
+    frontend,
+    *,
+    skyline,
+    monitor=None,
+    collector=None,
+    config: Optional[Dict[str, Any]] = None,
+    wall_s: float = 0.0,
+) -> Dict[str, Any]:
+    """Assemble the run report for one served op stream.
+
+    The serving twin of :func:`build_report` (``"kind": "serve"``,
+    validated by ``repro.obs.schema``): ``headline`` is the
+    :func:`repro.serve.workloads.build_serve_report` summary, ``stream``
+    fingerprints the inputs, ``skyline`` is the final skyline
+    :class:`~repro.core.pointset.PointSet`, ``monitor`` the optional
+    :class:`~repro.obs.slo.SLOMonitor` (its summary lands under
+    ``"slo"``), and ``collector`` the optional metrics collector (only
+    the request-level serve histograms are kept). Everything outside
+    ``"wall"`` is deterministic, and at ``shards=1`` with batching
+    disabled the sharded and unsharded frontends produce byte-identical
+    reports for the same stream.
+    """
+    counters = {
+        name: value
+        for name, value in sorted(frontend.counters.as_dict().items())
+        if name in SERVE_REPORT_COUNTERS
+        or name.startswith("serve.tenant.")
+    }
+    histograms: Dict[str, Any] = {}
+    if collector is not None:
+        summaries = collector.summaries(wall_clock=False)
+        histograms = {
+            name: summaries[name]
+            for name in SERVE_REPORT_HISTOGRAMS
+            if name in summaries
+        }
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "kind": "serve",
+        "workload": headline,
+        "config": dict(config or {}),
+        "dataset": dataset_fingerprint(stream.initial_data),
+        "skyline": pointset_checksum(skyline),
+        "counters": counters,
+        "histograms": histograms,
+        "slo": monitor.summary() if monitor is not None else {},
+        "wall": {"wall_s": wall_s},
+    }
+
+
 def write_report(path: str, report: Dict[str, Any]) -> None:
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -209,6 +295,8 @@ def canonical_json(report: Dict[str, Any], ignore=("wall",)) -> str:
 
 def render_report(report: Dict[str, Any]) -> str:
     """Human-readable summary of one report."""
+    if report.get("kind") == "serve":
+        return _render_serve_report(report)
     lines = [
         f"algorithm:  {report.get('algorithm')}",
         f"dataset:    {report['dataset']['cardinality']} x "
@@ -242,6 +330,44 @@ def render_report(report: Dict[str, Any]) -> str:
                 f"  {name:40s} n={summary['count']} "
                 f"min={summary['min']} max={summary['max']}"
             )
+    return "\n".join(lines)
+
+
+def _render_serve_report(report: Dict[str, Any]) -> str:
+    headline = report.get("workload", {})
+    lines = [
+        f"workload:   {headline.get('workload')} "
+        f"(seed {headline.get('seed')}, policy {headline.get('policy')}, "
+        f"shards {headline.get('shards')})",
+        f"dataset:    {report['dataset']['cardinality']} x "
+        f"{report['dataset']['dimensionality']}  "
+        f"(sha256 {report['dataset']['sha256'][:12]}…)",
+        f"skyline:    {report['skyline']['size']} tuples  "
+        f"(sha256 {report['skyline']['sha256'][:12]}…)",
+        f"served:     {headline.get('queries_served')} ok, "
+        f"{headline.get('queries_shed')} shed, "
+        f"{headline.get('queries_timed_out')} timed out  "
+        f"(p99 {headline.get('p99_latency_s')}s)",
+        f"wall:       {report['wall']['wall_s']:.3f}s",
+    ]
+    slo = report.get("slo") or {}
+    for objective in slo.get("objectives", ()):
+        lines.append(
+            f"slo {objective['name']}: worst burn "
+            f"{objective['worst_burn']} over {slo.get('windows_closed')} "
+            f"windows, {objective.get('tripped_windows', 0)} tripped"
+        )
+    recorder = slo.get("flight_recorder") or {}
+    if recorder:
+        lines.append(
+            f"flight recorder: {len(recorder.get('dumps', ()))} dumps "
+            f"(+{recorder.get('suppressed_dumps', 0)} suppressed)"
+        )
+    counters = report.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:40s} {counters[name]}")
     return "\n".join(lines)
 
 

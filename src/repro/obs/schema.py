@@ -51,6 +51,22 @@ REPORT_REQUIRED_KEYS = (
 
 REPORT_SCHEMA_VERSION = 1
 
+#: Required keys of a *serving* run report (``"kind": "serve"``): the
+#: batch pipeline's jobs/schedule sections have no serving analogue,
+#: and the SLO monitor's summary takes the place of ``simulated``.
+SERVE_REPORT_REQUIRED_KEYS = (
+    "schema_version",
+    "kind",
+    "workload",
+    "config",
+    "dataset",
+    "skyline",
+    "counters",
+    "histograms",
+    "slo",
+    "wall",
+)
+
 
 def validate_events(events: Sequence[Event]) -> List[str]:
     problems: List[str] = []
@@ -90,6 +106,10 @@ def validate_events(events: Sequence[Event]) -> List[str]:
                 problems.append(f"event {position}: negative latency")
             if event.result_size < 0:
                 problems.append(f"event {position}: negative result size")
+            if event.wait_s < 0 or event.wait_s > event.latency_s:
+                problems.append(
+                    f"event {position}: wait_s outside [0, latency_s]"
+                )
         if kind == "serve_query_rejected" and (
             event.reason not in SERVE_REJECT_REASONS
         ):
@@ -97,6 +117,12 @@ def validate_events(events: Sequence[Event]) -> List[str]:
                 f"event {position}: reason {event.reason!r} not in "
                 f"{SERVE_REJECT_REASONS}"
             )
+        if kind in (
+            "serve_query_served",
+            "serve_query_rejected",
+            "serve_tenant_shed",
+        ) and event.at_s < 0:
+            problems.append(f"event {position}: negative at_s")
         if kind == "serve_delta_applied" and event.op not in (
             "insert",
             "delete",
@@ -186,7 +212,9 @@ def validate_report(report: Any) -> List[str]:
     problems: List[str] = []
     if not isinstance(report, dict):
         return [f"report must be a JSON object, got {type(report).__name__}"]
-    for key in REPORT_REQUIRED_KEYS:
+    serve = report.get("kind") == "serve"
+    required = SERVE_REPORT_REQUIRED_KEYS if serve else REPORT_REQUIRED_KEYS
+    for key in required:
         if key not in report:
             problems.append(f"report missing top-level key {key!r}")
     if report.get("schema_version") != REPORT_SCHEMA_VERSION:
@@ -194,6 +222,12 @@ def validate_report(report: Any) -> List[str]:
             f"schema_version {report.get('schema_version')!r} != "
             f"{REPORT_SCHEMA_VERSION}"
         )
+    if serve:
+        slo = report.get("slo")
+        if isinstance(slo, dict) and slo:
+            for key in ("objectives", "requests", "flight_recorder"):
+                if key not in slo:
+                    problems.append(f"slo summary missing {key!r}")
     jobs = report.get("jobs")
     if isinstance(jobs, list):
         for job in jobs:

@@ -1,0 +1,342 @@
+"""Per-request tracing of the serving path, across process boundaries.
+
+Every op a frontend admits — query, insert, delete, coalesced batch —
+gets a :class:`TraceContext` (kind, sequence number, tenant). The
+frontend commits one span per op on the deterministic virtual clock,
+the serving cores contribute *relative* phase spans (cache probe,
+index read, per-shard fan-out) that the tracer rebases onto the op's
+start instant, and :class:`~repro.serve.fleet.SkylineFleet` workers —
+who live in other processes and cannot see the clock — batch
+``(rpc_seq, op, ctx, work)`` records back over their duplex pipes.
+:meth:`ServeTracer.ingest_fleet_records` stitches those records onto
+the router-side interval registered for the same context, so one
+export (:func:`repro.obs.spans.write_chrome_trace` over
+:meth:`ServeTracer.clocks`) shows the frontend, the shard phases, and
+the fleet workers as separate Perfetto processes with spans joined by
+``request_id``.
+
+Everything here is deterministic: spans carry virtual times only, and
+the final order is a total sort on ``(start, end, sequence, track,
+name)`` — independent of pipe/thread interleaving. The same property
+backs :func:`merge_span_records`, the canonical merge for record
+batches arriving from concurrent producers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.spans import Span
+
+#: Clock (Perfetto process) names of the serving trace.
+SERVE_CLOCK = "serve"
+FLEET_CLOCK = "fleet"
+
+#: Context kinds: queries carry their request id, mutations a tracer
+#: sequence number (the two spaces never collide — kind is part of
+#: the context identity).
+TRACE_OP_KINDS = ("query", "insert", "delete", "batch")
+
+
+@dataclass(frozen=True, order=True)
+class TraceContext:
+    """Identity of one traced serving op; crosses pipes by value."""
+
+    kind: str
+    seq: int
+    tenant: str = "default"
+
+    def label(self) -> str:
+        return f"{self.kind}#{self.seq}"
+
+
+def _span_sort_key(span: Span) -> Tuple:
+    args = span.args
+    seq = args.get("request_id", args.get("mutation_seq", -1))
+    return (span.start_s, span.end_s, seq, span.track, span.name)
+
+
+def sort_spans(spans: Iterable[Span]) -> List[Span]:
+    """Total deterministic order: (start, end, sequence, track, name)."""
+    return sorted(spans, key=_span_sort_key)
+
+
+def merge_span_records(
+    batches: Iterable[Iterable[Mapping[str, Any]]]
+) -> List[Dict[str, Any]]:
+    """Deterministically merge per-producer record batches.
+
+    Fleet workers and engine threads hand their span/event records
+    over in whatever interleaving the transport produced; the merged
+    order must not depend on it. Records are mappings carrying at
+    least ``at_s`` (virtual timestamp) and ``request_id``; ties beyond
+    that pair break on the full sorted item list, so any two distinct
+    records have one stable relative order no matter which producer
+    delivered first.
+    """
+    merged = [dict(record) for batch in batches for record in batch]
+
+    def key(record: Dict[str, Any]) -> Tuple:
+        rest = tuple(sorted((str(k), repr(v)) for k, v in record.items()))
+        return (
+            float(record.get("at_s", 0.0)),
+            int(record.get("request_id", -1)),
+            rest,
+        )
+
+    return sorted(merged, key=key)
+
+
+class ServeTracer:
+    """Assembles one multi-process serving trace on the virtual clock.
+
+    Frontends drive the op lifecycle (begin / phase / commit or
+    reject); the fleet router feeds worker record batches in
+    afterwards. Attaching a tracer never changes virtual timings —
+    every cost is computed exactly as in the untraced run and the
+    tracer only *records* the instants (asserted by the obs-overhead
+    gate's perturbation checks).
+    """
+
+    def __init__(self):
+        self._serve_spans: List[Span] = []
+        self._fleet_spans: List[Span] = []
+        # Pending relative phases of the op in flight:
+        # (name, track, rel_start_s, rel_end_s, extra_args).
+        self._phases: List[Tuple[str, str, float, float, Dict[str, Any]]] = []
+        self._intervals: Dict[TraceContext, Tuple[float, float]] = {}
+        self.current_ctx: Optional[TraceContext] = None
+        self._mutation_seq = 0
+
+    # -- op lifecycle (called by the frontends) -------------------------
+
+    def begin_query(self, request_id: int, tenant: str) -> TraceContext:
+        ctx = TraceContext("query", int(request_id), str(tenant))
+        self.current_ctx = ctx
+        self._phases = []
+        return ctx
+
+    def begin_mutation(self, kind: str) -> TraceContext:
+        ctx = TraceContext(str(kind), self._mutation_seq)
+        self._mutation_seq += 1
+        self.current_ctx = ctx
+        self._phases = []
+        return ctx
+
+    def phase(
+        self,
+        name: str,
+        rel_start_s: float,
+        rel_end_s: float,
+        track: str = "index",
+        **args: Any,
+    ) -> None:
+        """Record one relative phase of the op in flight.
+
+        Serving cores don't know when the server will actually start
+        the op — phases are offsets from the (future) start instant,
+        rebased at commit time.
+        """
+        self._phases.append(
+            (name, track, float(rel_start_s), float(rel_end_s), args)
+        )
+
+    def clear_phases(self) -> None:
+        """Drop pending phases (a core re-pricing the op re-phases it)."""
+        self._phases = []
+
+    def commit_query(
+        self,
+        ctx: TraceContext,
+        arrival_s: float,
+        start_s: float,
+        finish_s: float,
+        *,
+        cache_hit: bool,
+        result_size: int,
+        epoch: int,
+    ) -> None:
+        args = {"request_id": ctx.seq, "tenant": ctx.tenant}
+        if start_s > arrival_s:
+            self._serve_spans.append(
+                Span(
+                    name=f"wait#{ctx.seq}",
+                    track="queue",
+                    start_s=arrival_s,
+                    end_s=start_s,
+                    category="serve",
+                    args=dict(args, wait_s=start_s - arrival_s),
+                )
+            )
+        self._serve_spans.append(
+            Span(
+                name=f"query#{ctx.seq}",
+                track="frontend",
+                start_s=start_s,
+                end_s=finish_s,
+                category="serve",
+                args=dict(
+                    args,
+                    cache_hit=bool(cache_hit),
+                    result_size=int(result_size),
+                    epoch=int(epoch),
+                ),
+            )
+        )
+        self._flush_phases(start_s, args)
+        self._intervals[ctx] = (start_s, finish_s)
+        self.current_ctx = None
+
+    def reject_query(
+        self,
+        request_id: int,
+        tenant: str,
+        arrival_s: float,
+        decided_s: float,
+        reason: str,
+    ) -> None:
+        self._serve_spans.append(
+            Span(
+                name=f"{reason}#{int(request_id)}",
+                track="admission",
+                start_s=arrival_s,
+                end_s=decided_s,
+                category="serve",
+                outcome="failed",
+                args={
+                    "request_id": int(request_id),
+                    "tenant": str(tenant),
+                    "reason": str(reason),
+                },
+            )
+        )
+        self._phases = []
+        self.current_ctx = None
+
+    def commit_mutation(
+        self,
+        ctx: TraceContext,
+        arrival_s: float,
+        start_s: float,
+        finish_s: float,
+        *,
+        pairs: int,
+        epoch: int,
+        per_shard_pairs: Optional[Mapping[int, int]] = None,
+        seconds_per_pair: float = 0.0,
+    ) -> None:
+        args = {"mutation_seq": ctx.seq, "op": ctx.kind}
+        if start_s > arrival_s:
+            self._serve_spans.append(
+                Span(
+                    name=f"wait#{ctx.label()}",
+                    track="queue",
+                    start_s=arrival_s,
+                    end_s=start_s,
+                    category="mutation",
+                    args=dict(args, wait_s=start_s - arrival_s),
+                )
+            )
+        self._serve_spans.append(
+            Span(
+                name=ctx.label(),
+                track="frontend",
+                start_s=start_s,
+                end_s=finish_s,
+                category="mutation",
+                args=dict(args, pairs=int(pairs), epoch=int(epoch)),
+            )
+        )
+        if per_shard_pairs:
+            # The router charged the *largest* per-shard repair; the
+            # per-shard spans show where the parallel work actually
+            # went (they tile under the frontend span).
+            for shard, shard_pairs in sorted(per_shard_pairs.items()):
+                self._serve_spans.append(
+                    Span(
+                        name=f"repair#{ctx.seq}",
+                        track=f"shard-{int(shard)}",
+                        start_s=start_s,
+                        end_s=start_s + shard_pairs * seconds_per_pair,
+                        category="mutation",
+                        args=dict(args, pairs=int(shard_pairs)),
+                    )
+                )
+        self._flush_phases(start_s, args)
+        self._intervals[ctx] = (start_s, finish_s)
+        self.current_ctx = None
+
+    def _flush_phases(self, base_s: float, args: Dict[str, Any]) -> None:
+        for name, track, rel0, rel1, extra in self._phases:
+            merged = dict(args)
+            merged.update(extra)
+            self._serve_spans.append(
+                Span(
+                    name=name,
+                    track=track,
+                    start_s=base_s + rel0,
+                    end_s=base_s + rel1,
+                    category="serve",
+                    args=merged,
+                )
+            )
+        self._phases = []
+
+    # -- fleet stitching ------------------------------------------------
+
+    def ingest_fleet_records(
+        self, shard: int, records: Iterable[Tuple]
+    ) -> int:
+        """Rebase one worker's batched records onto the virtual clock.
+
+        Workers have no clock — each record is ``(rpc_seq, op, ctx,
+        work)`` in RPC order. The router-side interval registered for
+        the same context places the worker span; records whose context
+        never committed (e.g. an op that raised) are skipped. Returns
+        the number of spans ingested.
+        """
+        count = 0
+        for rpc_seq, op, ctx, work in records:
+            interval = self._intervals.get(ctx)
+            if interval is None:
+                continue
+            start_s, end_s = interval
+            args: Dict[str, Any] = {
+                "op": str(op),
+                "work": int(work),
+                "rpc_seq": int(rpc_seq),
+                "tenant": ctx.tenant,
+            }
+            if ctx.kind == "query":
+                args["request_id"] = ctx.seq
+            else:
+                args["mutation_seq"] = ctx.seq
+            self._fleet_spans.append(
+                Span(
+                    name=f"{op}#{ctx.seq}",
+                    track=f"worker-{int(shard)}",
+                    start_s=start_s,
+                    end_s=end_s,
+                    category="fleet",
+                    args=args,
+                )
+            )
+            count += 1
+        return count
+
+    # -- export ---------------------------------------------------------
+
+    def serve_spans(self) -> List[Span]:
+        return sort_spans(self._serve_spans)
+
+    def fleet_spans(self) -> List[Span]:
+        return sort_spans(self._fleet_spans)
+
+    def clocks(self) -> Dict[str, List[Span]]:
+        """Chrome-trace clocks: the frontend process, plus the fleet
+        process when worker records were ingested."""
+        clocks = {SERVE_CLOCK: self.serve_spans()}
+        if self._fleet_spans:
+            clocks[FLEET_CLOCK] = self.fleet_spans()
+        return clocks

@@ -33,6 +33,8 @@ from repro.obs.events import (
     JobStart,
     PipelineEnd,
     PipelineStart,
+    ServeBatchRefresh,
+    ServeReshard,
     Shuffle,
     SpeculationLaunched,
     TaskAttemptEnd,
@@ -100,7 +102,19 @@ class SpanTracer:
                     category="pipeline",
                     args={"jobs": event.jobs},
                 )
-            elif isinstance(event, (Shuffle, SpeculationLaunched, FaultInjected)):
+            elif isinstance(
+                event,
+                (
+                    Shuffle,
+                    SpeculationLaunched,
+                    FaultInjected,
+                    # Serving landmarks: a staleness-budget recompute or
+                    # a fleet rebuild mid-stream is exactly the kind of
+                    # cliff a wall-clock trace should pin an instant on.
+                    ServeBatchRefresh,
+                    ServeReshard,
+                ),
+            ):
                 now = self._now()
                 self.spans.append(
                     Span(

@@ -19,14 +19,27 @@ owner tie-breaks) stretched across real worker processes:
 * deltas route to covering shards exactly like the in-process index; a
   batch becomes at most one repair RPC per shard. Inserts outside
   every group's coverage raise
-  :class:`~repro.serve.shard.UncoveredCellError` — a process fleet
-  does not reshard in place (tearing down live workers mid-stream is a
-  deployment event, not a data-path one); callers rebuild the fleet.
+  :class:`~repro.serve.shard.UncoveredCellError` by default — tearing
+  down live workers mid-stream is a deployment event, not a data-path
+  one. Pass ``reshard=True`` to opt into in-place resharding (the
+  serving pipeline does: the fleet snapshots itself, respawns around
+  the new coverage, and emits :class:`~repro.obs.events.ServeReshard`);
+* every data RPC carries the router's current
+  :class:`~repro.obs.serve_trace.TraceContext` (or ``None`` when no
+  tracer is attached). Workers **batch span records** —
+  ``(rpc_seq, op, ctx, work)`` — locally and hand them back over the
+  same pipe when the router drains them
+  (:meth:`drain_span_records` / ``("spans",)``), so a
+  :class:`~repro.obs.serve_trace.ServeTracer` can stitch worker spans
+  into the one multi-process trace by request id.
 
 The fleet is wall-clock real (no virtual time): it exists to prove the
 sharded serving plan survives process boundaries and to host the
 lifecycle tests; capacity claims are made by the deterministic
-virtual-clock :class:`~repro.serve.shard.ShardedFrontend`.
+virtual-clock :class:`~repro.serve.shard.ShardedFrontend` — which can
+drive a fleet directly (the fleet duck-types the sharded index's read
+and delta surface: ``query``/``snapshot``/``shard_contributions``/
+``last_shard_pairs``/``refreshes``).
 """
 
 from __future__ import annotations
@@ -42,11 +55,18 @@ from repro.core.shm import SharedArena
 from repro.errors import ValidationError
 from repro.mapreduce import counters as counter_names
 from repro.mapreduce.counters import Counters
+from repro.obs.events import ServeReshard
 from repro.serve.index import SkylineIndex
-from repro.serve.shard import ShardPlan, plan_shards
+from repro.serve.shard import (
+    ShardPlan,
+    UncoveredCellError,
+    plan_shards,
+)
 
 
-def _shard_worker(conn, block, dimensionality: int) -> None:
+def _shard_worker(
+    conn, block, dimensionality: int, staleness_budget: Optional[int]
+) -> None:
     """Worker loop: build the shard index, answer RPCs until 'stop'.
 
     ``block`` arrives as a :class:`~repro.core.shm.ShmBlock` descriptor
@@ -54,15 +74,27 @@ def _shard_worker(conn, block, dimensionality: int) -> None:
     segment; the index constructor copies the slice into private
     storage, so the segment's pages are never needed again (the cached
     mapping simply dies with the process; the router owns the name).
+
+    Data RPCs carry a trailing trace context. The worker has no clock
+    of its own — it appends ``(rpc_seq, op, ctx, work)`` to a local
+    batch in RPC order and ships the batch back when the router sends
+    ``("spans",)``; the router rebases the records onto the virtual
+    interval it registered for the same context.
     """
+    kwargs = {}
+    if staleness_budget is not None:
+        kwargs["staleness_budget"] = staleness_budget
     if block is not None:
         index = SkylineIndex(
             np.array(block.values, dtype=np.float64),
             point_ids=np.array(block.ids, dtype=np.int64),
+            **kwargs,
         )
     else:
-        index = SkylineIndex(dimensionality=dimensionality)
+        index = SkylineIndex(dimensionality=dimensionality, **kwargs)
     del block  # drop the shared mapping; the index owns its copies
+    records: List[Tuple] = []
+    rpc_seq = 0
     while True:
         try:
             msg = conn.recv()
@@ -73,31 +105,62 @@ def _shard_worker(conn, block, dimensionality: int) -> None:
             if op == "stop":
                 conn.send(("ok", None))
                 return
-            elif op == "insert":
-                _, row, pid = msg
+            elif op == "spans":
+                conn.send(("ok", records))
+                records = []
+                continue
+            elif op == "stats":
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            "refreshes": index.refreshes,
+                            "points": len(index),
+                            "skyline": len(index.skyline()),
+                        },
+                    )
+                )
+                continue
+            rpc_seq += 1
+            if op == "insert":
+                _, row, pid, ctx = msg
                 before = index.counters.get(counter_names.TUPLE_COMPARES)
                 index.insert(row, pid)
-                conn.send(
-                    ("ok",
-                     index.counters.get(counter_names.TUPLE_COMPARES)
-                     - before)
+                work = (
+                    index.counters.get(counter_names.TUPLE_COMPARES)
+                    - before
                 )
+                if ctx is not None:
+                    records.append((rpc_seq, "insert", ctx, work))
+                conn.send(("ok", work))
             elif op == "delete":
+                _, pid, ctx = msg
                 before = index.counters.get(counter_names.TUPLE_COMPARES)
-                index.delete(msg[1])
-                conn.send(
-                    ("ok",
-                     index.counters.get(counter_names.TUPLE_COMPARES)
-                     - before)
+                index.delete(pid)
+                work = (
+                    index.counters.get(counter_names.TUPLE_COMPARES)
+                    - before
                 )
+                if ctx is not None:
+                    records.append((rpc_seq, "delete", ctx, work))
+                conn.send(("ok", work))
             elif op == "batch":
-                pairs = index.apply_delta_batch(msg[1])
+                _, ops, ctx = msg
+                pairs = index.apply_delta_batch(ops)
+                if ctx is not None:
+                    records.append((rpc_seq, "batch", ctx, pairs))
                 conn.send(("ok", pairs))
             elif op == "skyline":
+                ctx = msg[1] if len(msg) > 1 else None
                 sky = index.skyline()
+                if ctx is not None:
+                    records.append((rpc_seq, "skyline", ctx, len(sky)))
                 conn.send(("ok", (sky.ids.copy(), sky.values.copy())))
             elif op == "snapshot":
+                ctx = msg[1] if len(msg) > 1 else None
                 snap = index.snapshot()
+                if ctx is not None:
+                    records.append((rpc_seq, "snapshot", ctx, len(snap)))
                 conn.send(("ok", (snap.ids.copy(), snap.values.copy())))
             else:
                 conn.send(("err", f"unknown op {op!r}"))
@@ -126,6 +189,10 @@ class SkylineFleet:
         ppd: Optional[int] = None,
         start_method: Optional[str] = None,
         counters: Optional[Counters] = None,
+        bus=None,
+        tracer=None,
+        staleness_budget: Optional[int] = None,
+        reshard: bool = False,
     ):
         if num_shards < 1:
             raise ValidationError(
@@ -137,6 +204,13 @@ class SkylineFleet:
                 "SkylineFleet needs a non-empty initial dataset"
             )
         self.counters = counters if counters is not None else Counters()
+        self.bus = bus
+        self.tracer = tracer
+        self.staleness_budget = staleness_budget
+        self._reshard_enabled = bool(reshard)
+        self._start_method = start_method
+        self._ppd = ppd
+        self._requested_shards = int(num_shards)
         self._d = int(values.shape[1])
         self.epoch = 0
         #: Per-shard repair pairs of the last mutating call — the same
@@ -144,9 +218,25 @@ class SkylineFleet:
         #: so the sharded frontend's cost model (charge the *largest*
         #: per-shard repair) works over a process fleet too.
         self.last_shard_pairs: Dict[int, int] = {}
-        self._plan: ShardPlan = plan_shards(values, num_shards, ppd=ppd)
+        self._stopped = False
+        self._conns: List = []
+        self._procs: List = []
+        self._sky_cache: Optional[PointSet] = None
+        self._sky_cache_epoch = -1
+        self._contributions: List[int] = []
+        self._refreshes_cache = 0
         ids = np.arange(values.shape[0], dtype=np.int64)
-        self._next_id = int(values.shape[0])
+        self._build(ids, values)
+
+    def _build(self, ids: np.ndarray, values: np.ndarray) -> None:
+        """Plan shards, pack the arena, spawn one worker per shard."""
+        self._plan: ShardPlan = plan_shards(
+            values, self._requested_shards, ppd=self._ppd
+        )
+        self._next_id = int(ids.max()) + 1 if len(ids) else 0
+        self._sky_cache = None
+        self._sky_cache_epoch = -1
+        self._contributions = []
 
         cells = self._plan.grid.cell_indices(values)
         n_shards = self._plan.num_shards
@@ -195,19 +285,18 @@ class SkylineFleet:
             payload.append(next(it) if b is not None else None)
 
         ctx = (
-            multiprocessing.get_context(start_method)
-            if start_method
+            multiprocessing.get_context(self._start_method)
+            if self._start_method
             else multiprocessing.get_context()
         )
         self._conns = []
         self._procs = []
-        self._stopped = False
         try:
             for s in range(n_shards):
                 parent, child = ctx.Pipe()
                 proc = ctx.Process(
                     target=_shard_worker,
-                    args=(child, payload[s], self._d),
+                    args=(child, payload[s], self._d, self.staleness_budget),
                     daemon=True,
                 )
                 proc.start()
@@ -238,6 +327,9 @@ class SkylineFleet:
         if self._stopped:
             return
         self._stopped = True
+        self._shutdown_workers()
+
+    def _shutdown_workers(self) -> None:
         for conn in self._conns:
             try:
                 conn.send(("stop",))
@@ -255,6 +347,8 @@ class SkylineFleet:
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
                 proc.join(timeout=5.0)
+        self._conns = []
+        self._procs = []
         self._arena.unlink()
 
     def _call(self, shard: int, msg: Tuple):
@@ -272,6 +366,42 @@ class SkylineFleet:
             raise FleetError(f"shard {shard}: {payload}")
         return payload
 
+    def _ctx(self):
+        return self.tracer.current_ctx if self.tracer is not None else None
+
+    # -- reshard --------------------------------------------------------
+
+    def _reshard_with(self, extra: Tuple[int, np.ndarray]) -> None:
+        """Respawn the fleet around current live points + one new one."""
+        if self.tracer is not None:
+            # The outgoing workers hold span records for committed ops;
+            # stitch them in now or the respawn drops them.
+            for s, recs in self.drain_span_records().items():
+                self.tracer.ingest_fleet_records(s, recs)
+        snap = self.snapshot()
+        pid, row = extra
+        ids = np.append(snap.ids, np.int64(pid))
+        values = (
+            np.vstack([snap.values, row[None, :]])
+            if len(snap)
+            else row[None, :]
+        )
+        order = np.argsort(ids, kind="stable")
+        self._refreshes_cache = self.refreshes
+        self._shutdown_workers()
+        self._build(ids[order], values[order])
+        self.last_shard_pairs = {}
+        self.counters.inc(counter_names.SERVE_SHARD_RESHARDS)
+        if self.bus is not None and self.bus.active:
+            self.bus.emit(
+                ServeReshard(
+                    reason="uncovered",
+                    shards=self.num_shards,
+                    groups=self._plan.num_shards,
+                    epoch=self.epoch + 1,
+                )
+            )
+
     # -- data path ------------------------------------------------------
 
     def insert(self, point, point_id: Optional[int] = None) -> int:
@@ -284,11 +414,20 @@ class SkylineFleet:
         if pid in self._owner:
             raise ValidationError(f"point id {pid} already present")
         cell = self._plan.grid.cell_index(row)
-        shards, owner = self._plan.route_cell(cell)  # may raise Uncovered
+        try:
+            shards, owner = self._plan.route_cell(cell)
+        except UncoveredCellError:
+            if not self._reshard_enabled:
+                raise
+            self._reshard_with((pid, row))
+            self.counters.inc(counter_names.SERVE_INSERTS)
+            self.epoch += 1
+            return pid
         self._next_id = max(self._next_id, pid + 1)
+        ctx = self._ctx()
         pairs: Dict[int, int] = {}
         for s in shards:
-            pairs[s] = int(self._call(s, ("insert", row, pid)))
+            pairs[s] = int(self._call(s, ("insert", row, pid, ctx)))
         self.last_shard_pairs = {s: p for s, p in pairs.items() if p}
         self._owner[pid] = owner
         self._members[pid] = shards
@@ -303,9 +442,10 @@ class SkylineFleet:
         pid = int(point_id)
         if pid not in self._owner:
             raise ValidationError(f"unknown point id {pid}")
+        ctx = self._ctx()
         pairs: Dict[int, int] = {}
         for s in self._members.pop(pid):
-            pairs[s] = int(self._call(s, ("delete", pid)))
+            pairs[s] = int(self._call(s, ("delete", pid, ctx)))
         self.last_shard_pairs = {s: p for s, p in pairs.items() if p}
         del self._owner[pid]
         self.counters.inc(counter_names.SERVE_DELETES)
@@ -330,7 +470,12 @@ class SkylineFleet:
                     pid = self._next_id
                 pid = int(pid)
                 cell = self._plan.grid.cell_index(row)
-                shards, owner = self._plan.route_cell(cell)
+                try:
+                    shards, owner = self._plan.route_cell(cell)
+                except UncoveredCellError:
+                    if not self._reshard_enabled:
+                        raise
+                    return self._sequential_fallback(ops)
                 self._next_id = max(self._next_id, pid + 1)
                 for s in shards:
                     per_shard.setdefault(s, []).append(("insert", row, pid))
@@ -355,9 +500,10 @@ class SkylineFleet:
                 routed.append(("delete", pid, members, None))
             else:
                 raise ValidationError(f"unknown delta op {op[0]!r}")
+        ctx = self._ctx()
         pairs: Dict[int, int] = {}
         for s in sorted(per_shard):
-            pairs[s] = int(self._call(s, ("batch", per_shard[s])))
+            pairs[s] = int(self._call(s, ("batch", per_shard[s], ctx)))
         self.last_shard_pairs = dict(pairs)
         inserts = deletes = 0
         for entry in routed:
@@ -382,13 +528,35 @@ class SkylineFleet:
         self.epoch += 1
         return pairs
 
+    def _sequential_fallback(self, ops: List[Tuple]) -> Dict[int, int]:
+        """Apply a batch op-by-op (an insert needs a reshard mid-batch)."""
+        merged: Dict[int, int] = {}
+        for op in ops:
+            if op[0] == "insert":
+                self.insert(op[1], op[2])
+            else:
+                self.delete(op[1])
+            for s, p in self.last_shard_pairs.items():
+                merged[s] = max(merged.get(s, 0), p)
+        self.last_shard_pairs = merged
+        return merged
+
     # -- read side ------------------------------------------------------
 
     def skyline(self) -> PointSet:
-        """Fan out, filter to owned ids, merge in id order."""
+        """Fan out, filter to owned ids, merge in id order.
+
+        Memoized per epoch, like the in-process sharded index: repeat
+        queries between deltas reuse the merged result (and the cached
+        per-shard contribution sizes the cost model reads).
+        """
+        if self._sky_cache_epoch == self.epoch:
+            return self._sky_cache
+        ctx = self._ctx()
         parts: List[PointSet] = []
+        contributions: List[int] = []
         for s in range(self.num_shards):
-            ids, values = self._call(s, ("skyline",))
+            ids, values = self._call(s, ("skyline", ctx))
             if len(ids):
                 owned = np.fromiter(
                     (self._owner.get(int(pid)) == s for pid in ids),
@@ -398,11 +566,81 @@ class SkylineFleet:
                 parts.append(PointSet(ids, values).select(owned))
             else:
                 parts.append(PointSet(ids, values))
+            contributions.append(len(parts[-1]))
         self.counters.inc(
             counter_names.SERVE_SHARD_QUERIES_FANNED, self.num_shards
         )
         merged = PointSet.concat(parts)
-        return merged.select(np.argsort(merged.ids, kind="stable"))
+        self._sky_cache = merged.select(
+            np.argsort(merged.ids, kind="stable")
+        )
+        self._sky_cache_epoch = self.epoch
+        self._contributions = contributions
+        return self._sky_cache
 
     def skyline_ids(self) -> np.ndarray:
         return self.skyline().ids.copy()
+
+    def shard_contributions(self) -> List[int]:
+        """Owned skyline members per shard (current epoch)."""
+        self.skyline()
+        return list(self._contributions)
+
+    def query(self, region: Optional[Tuple] = None) -> PointSet:
+        """Skyline members inside a constraint box (router merge)."""
+        sky = self.skyline()
+        if region is None or len(sky) == 0:
+            return sky
+        lows = np.asarray(region[0], dtype=np.float64).ravel()
+        highs = np.asarray(region[1], dtype=np.float64).ravel()
+        if lows.shape[0] != self._d or highs.shape[0] != self._d:
+            raise ValidationError(f"region must have {self._d} dimensions")
+        inside = (sky.values >= lows).all(axis=1) & (
+            sky.values <= highs
+        ).all(axis=1)
+        return sky.select(inside)
+
+    def snapshot(self) -> PointSet:
+        """All live points (deduplicated via ownership), ids ascending."""
+        ctx = self._ctx()
+        rows: Dict[int, np.ndarray] = {}
+        for s in range(self.num_shards):
+            ids, values = self._call(s, ("snapshot", ctx))
+            for pos in range(len(ids)):
+                pid = int(ids[pos])
+                if self._owner.get(pid) == s:
+                    rows[pid] = values[pos]
+        if not rows:
+            return PointSet.empty(self._d)
+        sorted_ids = sorted(rows)
+        return PointSet(
+            np.asarray(sorted_ids, dtype=np.int64),
+            np.vstack([rows[i] for i in sorted_ids]),
+        )
+
+    @property
+    def refreshes(self) -> int:
+        """Sum of worker-side batch refreshes (RPC; cached once stopped)."""
+        if self._stopped or not self._conns:
+            return self._refreshes_cache
+        total = 0
+        for s in range(self.num_shards):
+            total += int(self._call(s, ("stats",))["refreshes"])
+        self._refreshes_cache = total
+        return total
+
+    # -- trace plumbing -------------------------------------------------
+
+    def drain_span_records(self) -> Dict[int, List[Tuple]]:
+        """Collect every worker's batched span records (and clear them).
+
+        Feed the result to
+        :meth:`repro.obs.serve_trace.ServeTracer.ingest_fleet_records`
+        per shard; do this before :meth:`stop`.
+        """
+        drained: Dict[int, List[Tuple]] = {}
+        for s in range(self.num_shards):
+            records = self._call(s, ("spans",))
+            if records:
+                drained[s] = list(records)
+        return drained

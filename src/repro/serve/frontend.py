@@ -210,6 +210,10 @@ class _ServingCore:
         self.bus = bus
         self.cost = cost
         self.cache = ResultCache(cache_capacity, counters)
+        # Optional ServeTracer: assigned by the owning frontend. The
+        # core contributes *relative* phases (offsets from the op's
+        # future start instant); the frontend commits them.
+        self.tracer = None
 
     def answer(self, region) -> Tuple[PointSet, bool, float]:
         """(result, cache_hit, virtual service seconds) for one query."""
@@ -217,6 +221,14 @@ class _ServingCore:
         if self.cache.capacity:
             cached = self.cache.get(epoch, region)
             if cached is not None:
+                if self.tracer is not None:
+                    self.tracer.phase(
+                        "cache_hit",
+                        0.0,
+                        self.cost.cache_hit_s,
+                        track="cache",
+                        epoch=epoch,
+                    )
                 return cached, True, self.cost.cache_hit_s
         if self.policy == "delta":
             result = self.index.query(region)
@@ -236,6 +248,16 @@ class _ServingCore:
             + pairs * self.cost.seconds_per_pair
             + len(result) * self.cost.per_result_tuple_s
         )
+        if self.tracer is not None:
+            self.tracer.phase(
+                "index_read" if self.policy == "delta" else "recompute",
+                0.0,
+                duration,
+                track="index",
+                epoch=epoch,
+                pairs=pairs,
+                result_size=len(result),
+            )
         return result, False, duration
 
 
@@ -282,6 +304,7 @@ class QueryFrontend:
         tenant_policy: Optional[TenantPolicy] = None,
         counters: Optional[Counters] = None,
         bus=None,
+        tracer=None,
     ):
         if queue_capacity < 1:
             raise ValidationError(
@@ -290,6 +313,7 @@ class QueryFrontend:
         if timeout_s <= 0:
             raise ValidationError(f"timeout_s must be > 0, got {timeout_s}")
         self.index = index
+        self.tracer = tracer
         self.queue_capacity = int(queue_capacity)
         self.timeout_s = float(timeout_s)
         self.tenant_policy = (
@@ -305,6 +329,7 @@ class QueryFrontend:
             self.bus,
             cost_model if cost_model is not None else CostModel(),
         )
+        self.core.tracer = tracer
         # Heap of (finish_tag, request_id, arrival_s, region, tenant).
         self._queue: list = []
         self._now_s = 0.0
@@ -352,15 +377,38 @@ class QueryFrontend:
                     tenant,
                 )
                 continue
+            tracer = self.tracer
+            ctx = (
+                tracer.begin_query(request_id, tenant)
+                if tracer is not None
+                else None
+            )
             result, cache_hit, duration = self.core.answer(region)
             finish_s = start_s + duration
             self._server_free_s = finish_s
+            if ctx is not None:
+                tracer.commit_query(
+                    ctx,
+                    arrival_s,
+                    start_s,
+                    finish_s,
+                    cache_hit=cache_hit,
+                    result_size=len(result),
+                    epoch=self.index.epoch,
+                )
             self._record_served(
-                request_id, arrival_s, finish_s, cache_hit, result, tenant
+                request_id,
+                arrival_s,
+                start_s,
+                finish_s,
+                cache_hit,
+                result,
+                tenant,
             )
 
     def _record_served(
-        self, request_id, arrival_s, finish_s, cache_hit, result, tenant
+        self, request_id, arrival_s, start_s, finish_s, cache_hit, result,
+        tenant,
     ) -> None:
         latency_s = finish_s - arrival_s
         self.responses.append(
@@ -388,6 +436,8 @@ class QueryFrontend:
                     result_size=len(result),
                     source="cache" if cache_hit else "index",
                     tenant=tenant,
+                    at_s=finish_s,
+                    wait_s=start_s - arrival_s,
                 )
             )
 
@@ -410,6 +460,10 @@ class QueryFrontend:
         else:
             self.counters.inc(counter_names.SERVE_QUERIES_TIMED_OUT)
             self.counters.inc(tenant_counter(tenant, "timed_out"))
+        if self.tracer is not None:
+            self.tracer.reject_query(
+                request_id, tenant, arrival_s, decided_s, reason
+            )
         if _bus_active(self.bus):
             self.bus.emit(
                 ServeQueryRejected(
@@ -417,6 +471,7 @@ class QueryFrontend:
                     reason=reason,
                     queue_depth=len(self._queue),
                     tenant=tenant,
+                    at_s=decided_s,
                 )
             )
 
@@ -461,6 +516,7 @@ class QueryFrontend:
                             tenant=tenant,
                             queued=queued,
                             quota_slots=self._quota_slots,
+                            at_s=at_s,
                         )
                     )
                 self._reject(request_id, "shed", at_s, at_s, tenant)
@@ -494,14 +550,16 @@ class QueryFrontend:
         """Insert at virtual time ``at_s``; pays measured repair work."""
         self._advance(at_s)
         pid = self._apply_mutation(
-            at_s, lambda: self.index.insert(point, point_id)
+            at_s, lambda: self.index.insert(point, point_id), kind="insert"
         )
         return pid
 
     def apply_delete(self, at_s: float, point_id: int) -> None:
         """Delete at virtual time ``at_s``; pays measured repair work."""
         self._advance(at_s)
-        self._apply_mutation(at_s, lambda: self.index.delete(point_id))
+        self._apply_mutation(
+            at_s, lambda: self.index.delete(point_id), kind="delete"
+        )
 
     def apply_batch(self, at_s: float, ops) -> None:
         """Apply a coalesced mutation batch in ONE repair pass.
@@ -520,7 +578,9 @@ class QueryFrontend:
             at_s, lambda: self.index.apply_delta_batch(list(ops))
         )
 
-    def _apply_mutation(self, at_s: float, op):
+    def _apply_mutation(self, at_s: float, op, kind: str = "batch"):
+        tracer = self.tracer
+        ctx = tracer.begin_mutation(kind) if tracer is not None else None
         before = self.counters.get(counter_names.TUPLE_COMPARES)
         outcome = op()
         pairs = self.counters.get(counter_names.TUPLE_COMPARES) - before
@@ -531,8 +591,18 @@ class QueryFrontend:
             # clock; the recompute baseline stores the point and defers
             # all comparison work to query time.
             duration += pairs * cost.seconds_per_pair
-        self._server_free_s = max(self._server_free_s, at_s) + duration
+        start_s = max(self._server_free_s, at_s)
+        self._server_free_s = start_s + duration
         self.core.cache.invalidate_before(self.index.epoch)
+        if ctx is not None:
+            tracer.commit_mutation(
+                ctx,
+                at_s,
+                start_s,
+                start_s + duration,
+                pairs=pairs,
+                epoch=self.index.epoch,
+            )
         return outcome
 
     def flush(self) -> List[QueryResponse]:
@@ -626,6 +696,7 @@ class ThreadedFrontend:
                         tenant=tenant,
                         queued=queued,
                         quota_slots=self._quota_slots,
+                        at_s=arrival,
                     )
                 )
             self._record_reject(request_id, "shed", arrival, arrival, tenant)
@@ -700,6 +771,8 @@ class ThreadedFrontend:
                         result_size=len(result),
                         source="cache" if cache_hit else "index",
                         tenant=tenant,
+                        at_s=finish,
+                        wait_s=waited,
                     )
                 )
 
@@ -731,5 +804,6 @@ class ThreadedFrontend:
                     reason=reason,
                     queue_depth=self._queue.qsize(),
                     tenant=tenant,
+                    at_s=decided,
                 )
             )

@@ -511,7 +511,13 @@ class SkylineIndex:
                     counter
                 ).remove_dominated_by(base, counter)
                 if len(survivors):
-                    if len(base):
+                    # Screening the base against survivors is only
+                    # needed when the batch inserted points: a
+                    # delete-only survivor dominating a base member
+                    # would contradict base ⊆ old skyline. Skipping it
+                    # keeps one-op delete batches pair-identical to
+                    # the single-op delete path.
+                    if len(base) and inserted:
                         base = base.remove_dominated_by(survivors, counter)
                     merged = PointSet.concat([base, survivors])
                     order = np.argsort(merged.ids, kind="stable")

@@ -659,6 +659,10 @@ class _ShardServingCore(_ServingCore):
         result, cache_hit, duration = super().answer(region)
         if cache_hit or self.policy != "delta":
             return result, cache_hit, duration
+        if self.index.num_shards <= 1:
+            # A one-shard index has no fan-out: flat pricing, identical
+            # to the single-index core (the shards=1 parity anchor).
+            return result, cache_hit, duration
         contributions = self.index.shard_contributions()
         slowest = max(
             (
@@ -674,6 +678,41 @@ class _ShardServingCore(_ServingCore):
             + slowest
             + len(result) * self.cost.per_result_tuple_s
         )
+        if self.tracer is not None:
+            # Replace the flat index_read phase the parent recorded
+            # with the fan-out's real shape: dispatch, parallel
+            # per-shard reads, merge — they tile [0, duration].
+            self.tracer.clear_phases()
+            dispatch_end = (
+                self.cost.query_base_s
+                + len(contributions) * self.cost.shard_dispatch_s
+            )
+            self.tracer.phase(
+                "dispatch",
+                0.0,
+                dispatch_end,
+                track="router",
+                shards=len(contributions),
+            )
+            for s, c in enumerate(contributions):
+                read_s = (
+                    self.cost.shard_read_base_s
+                    + c * self.cost.per_result_tuple_s
+                )
+                self.tracer.phase(
+                    "read",
+                    dispatch_end,
+                    dispatch_end + read_s,
+                    track=f"shard-{s}",
+                    contribution=int(c),
+                )
+            self.tracer.phase(
+                "merge",
+                dispatch_end + slowest,
+                duration,
+                track="router",
+                result_size=len(result),
+            )
         return result, cache_hit, duration
 
 
@@ -729,11 +768,23 @@ class ShardedFrontend(QueryFrontend):
             self.bus,
             self.core.cost,
         )
+        self.core.tracer = self.tracer
 
     # -- batching -------------------------------------------------------
 
     def _enqueue_op(self, at_s: float, op: Tuple) -> None:
         self._advance(at_s)
+        if self.batch_window_s == 0.0:
+            # Window zero disables coalescing entirely: every op is its
+            # own one-op batch, applied at its own arrival instant —
+            # the configuration that replays byte-identically against
+            # an unsharded QueryFrontend.
+            self._apply_mutation(
+                at_s,
+                lambda: self.index.apply_delta_batch([op]),
+                kind=str(op[0]),
+            )
+            return
         if self._pending and (
             at_s - self._pending_start_s > self.batch_window_s
             or len(self._pending) >= self.max_batch
@@ -751,7 +802,7 @@ class ShardedFrontend(QueryFrontend):
         self._pending = []
         self._apply_mutation(at_s, lambda: self.index.apply_delta_batch(ops))
 
-    def _apply_mutation(self, at_s: float, op):
+    def _apply_mutation(self, at_s: float, op, kind: str = "batch"):
         """Charge the *largest* per-shard repair, not the sum.
 
         The router's own counter bag never carries ``TUPLE_COMPARES``
@@ -759,16 +810,35 @@ class ShardedFrontend(QueryFrontend):
         counter-delta measurement would read zero; the index reports
         per-shard pairs from the last mutating call instead.
         """
+        tracer = self.tracer
+        ctx = tracer.begin_mutation(kind) if tracer is not None else None
         outcome = op()
         cost = self.core.cost
         duration = cost.mutation_base_s
+        per_shard = {}
         if self.core.policy == "delta":
-            per_shard = self.index.last_shard_pairs
+            per_shard = dict(self.index.last_shard_pairs)
             duration += (
                 max(per_shard.values(), default=0) * cost.seconds_per_pair
             )
-        self._server_free_s = max(self._server_free_s, at_s) + duration
+        start_s = max(self._server_free_s, at_s)
+        self._server_free_s = start_s + duration
         self.core.cache.invalidate_before(self.index.epoch)
+        if ctx is not None:
+            tracer.commit_mutation(
+                ctx,
+                at_s,
+                start_s,
+                start_s + duration,
+                pairs=max(per_shard.values(), default=0),
+                epoch=self.index.epoch,
+                # At one shard there is no fan-out to show (and the
+                # trace stays span-identical to an unsharded replay).
+                per_shard_pairs=(
+                    per_shard if self.index.num_shards > 1 else None
+                ),
+                seconds_per_pair=cost.seconds_per_pair,
+            )
         return outcome
 
     # -- entry points ---------------------------------------------------
@@ -786,7 +856,7 @@ class ShardedFrontend(QueryFrontend):
             self._advance(at_s)
             self._flush_batch(at_s)
             return self._apply_mutation(
-                at_s, lambda: self.index.insert(point, None)
+                at_s, lambda: self.index.insert(point, None), kind="insert"
             )
         row = np.asarray(point, dtype=np.float64).ravel()
         self._enqueue_op(at_s, ("insert", row, int(point_id)))

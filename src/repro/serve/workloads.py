@@ -457,29 +457,17 @@ def build_serve_report(
     return report
 
 
-def run_workload(
+def resolve_workload(
     workload,
     *,
-    seed: int = 0,
-    policy: str = "delta",
-    shards: Optional[int] = None,
-    engine=None,
-    cluster=None,
-    counters=None,
-    bus=None,
     scale: float = 1.0,
     tenants: Optional[int] = None,
-) -> Tuple[Dict, QueryFrontend]:
-    """Build index + frontend for a workload, replay it, report.
+) -> ServeWorkload:
+    """Resolve a workload name/object plus the CLI-style overrides.
 
-    ``workload`` is a name from :data:`SERVE_WORKLOADS` or a
-    :class:`ServeWorkload`. The ``recompute`` policy disables the cache
-    (a recompute-per-query baseline has nothing sound to cache between
-    deltas at these write rates; the comparison stays work-vs-work).
-    With ``shards`` set, the same stream is served by a
-    :class:`~repro.serve.shard.ShardedSkylineIndex` behind the batching
-    :class:`~repro.serve.shard.ShardedFrontend` — results stay exact
-    (the shard oracle tests pin this), only capacity changes.
+    Exposed so observability callers (the CLI's SLO monitor needs the
+    *effective* workload before the replay starts) resolve overrides
+    exactly the way :func:`run_workload` does.
     """
     if isinstance(workload, str):
         if workload not in SERVE_WORKLOADS:
@@ -492,6 +480,38 @@ def run_workload(
         workload = workload.scaled(scale)
     if tenants is not None:
         workload = replace(workload, tenants=int(tenants))
+    return workload
+
+
+def run_workload(
+    workload,
+    *,
+    seed: int = 0,
+    policy: str = "delta",
+    shards: Optional[int] = None,
+    engine=None,
+    cluster=None,
+    counters=None,
+    bus=None,
+    scale: float = 1.0,
+    tenants: Optional[int] = None,
+    tracer=None,
+    fleet: bool = False,
+    batch_window_s: Optional[float] = None,
+    artifacts: Optional[Dict] = None,
+) -> Tuple[Dict, QueryFrontend]:
+    """Build index + frontend for a workload, replay it, report.
+
+    ``workload`` is a name from :data:`SERVE_WORKLOADS` or a
+    :class:`ServeWorkload`. The ``recompute`` policy disables the cache
+    (a recompute-per-query baseline has nothing sound to cache between
+    deltas at these write rates; the comparison stays work-vs-work).
+    With ``shards`` set, the same stream is served by a
+    :class:`~repro.serve.shard.ShardedSkylineIndex` behind the batching
+    :class:`~repro.serve.shard.ShardedFrontend` — results stay exact
+    (the shard oracle tests pin this), only capacity changes.
+    """
+    workload = resolve_workload(workload, scale=scale, tenants=tenants)
     stream = generate_ops(workload, seed)
     return serve_stream(
         stream,
@@ -501,6 +521,10 @@ def run_workload(
         cluster=cluster,
         counters=counters,
         bus=bus,
+        tracer=tracer,
+        fleet=fleet,
+        batch_window_s=batch_window_s,
+        artifacts=artifacts,
     )
 
 
@@ -513,6 +537,10 @@ def serve_stream(
     cluster=None,
     counters=None,
     bus=None,
+    tracer=None,
+    fleet: bool = False,
+    batch_window_s: Optional[float] = None,
+    artifacts: Optional[Dict] = None,
 ) -> Tuple[Dict, QueryFrontend]:
     """Serve an already-materialised op stream; report + frontend.
 
@@ -520,20 +548,52 @@ def serve_stream(
     fairness gate) can *edit* a generated stream — e.g. drop the hot
     tenant's queries to build a no-hot-tenant baseline — and replay the
     result under identical frontend configuration.
+
+    ``tracer`` attaches a :class:`~repro.obs.serve_trace.ServeTracer`
+    (pure observer — virtual timings are unchanged). With ``fleet``
+    (requires ``shards``), the sharded frontend drives a real
+    :class:`~repro.serve.fleet.SkylineFleet` instead of the in-process
+    index: worker span records are drained into the tracer and the
+    fleet is stopped before returning (the returned frontend's index
+    answers no further RPCs). ``batch_window_s`` overrides the sharded
+    frontend's coalescing window (0 disables batching — the
+    shards=1-parity configuration). ``artifacts``, when given, is
+    filled with the intermediate objects (``stream``, ``responses``,
+    ``frontend``, ``final_skyline``) observability callers need —
+    ``final_skyline`` matters for fleet runs, where the index stops
+    answering once this function returns.
     """
     workload = stream.workload
+    if fleet and shards is None:
+        raise ValidationError("fleet serving requires shards")
     if shards is not None:
         from repro.serve.shard import ShardedFrontend, ShardedSkylineIndex
 
-        index = ShardedSkylineIndex(
-            stream.initial_data,
-            num_shards=shards,
-            staleness_budget=workload.staleness_budget,
-            engine=engine,
-            cluster=cluster,
-            counters=counters,
-            bus=bus,
-        )
+        if fleet:
+            from repro.serve.fleet import SkylineFleet
+
+            index = SkylineFleet(
+                stream.initial_data,
+                num_shards=shards,
+                staleness_budget=workload.staleness_budget,
+                counters=counters,
+                bus=bus,
+                tracer=tracer,
+                reshard=True,
+            )
+        else:
+            index = ShardedSkylineIndex(
+                stream.initial_data,
+                num_shards=shards,
+                staleness_budget=workload.staleness_budget,
+                engine=engine,
+                cluster=cluster,
+                counters=counters,
+                bus=bus,
+            )
+        shard_kwargs = {}
+        if batch_window_s is not None:
+            shard_kwargs["batch_window_s"] = batch_window_s
         frontend = ShardedFrontend(
             index,
             policy=policy,
@@ -543,6 +603,8 @@ def serve_stream(
             queue_capacity=workload.queue_capacity,
             timeout_s=workload.timeout_s,
             tenant_policy=workload.tenant_policy(),
+            tracer=tracer,
+            **shard_kwargs,
         )
     else:
         index = SkylineIndex(
@@ -562,6 +624,23 @@ def serve_stream(
             queue_capacity=workload.queue_capacity,
             timeout_s=workload.timeout_s,
             tenant_policy=workload.tenant_policy(),
+            tracer=tracer,
         )
-    responses = replay(frontend, stream)
-    return build_serve_report(stream, frontend, responses), frontend
+    try:
+        responses = replay(frontend, stream)
+        report = build_serve_report(stream, frontend, responses)
+        # Snapshot before the fleet (if any) is stopped; skyline() is
+        # memoized at the final epoch so this costs nothing extra.
+        final_skyline = index.skyline()
+    finally:
+        if fleet:
+            if tracer is not None:
+                for s, recs in index.drain_span_records().items():
+                    tracer.ingest_fleet_records(s, recs)
+            index.stop()
+    if artifacts is not None:
+        artifacts["stream"] = stream
+        artifacts["responses"] = responses
+        artifacts["frontend"] = frontend
+        artifacts["final_skyline"] = final_skyline
+    return report, frontend

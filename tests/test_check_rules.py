@@ -125,6 +125,65 @@ class TestRunner:
         assert '"rule": "REP006"' in payload
 
 
+class TestCounterFamilies:
+    """REP003's documented-family handling (satellite of the serve-trace
+    work: per-tenant counters are linted, not accidentally exempt)."""
+
+    def test_family_regexes_cover_tenant_counters(self):
+        from repro.mapreduce.counters import (
+            counter_family_regexes,
+            matches_counter_family,
+            tenant_counter,
+        )
+
+        regexes = counter_family_regexes()
+        assert "serve.tenant.<tenant>.queries" in regexes
+        assert matches_counter_family(tenant_counter("t7", "queries"))
+        assert not matches_counter_family("serve.tenant.t7.bogus")
+        # A placeholder matches exactly one segment, never dots.
+        assert not matches_counter_family("serve.tenant.a.b.queries")
+
+    def test_literal_family_instance_is_accepted(self):
+        source = (
+            "def f(ctx):\n"
+            "    ctx.counters.inc('serve.tenant.t3.shed')\n"
+        )
+        assert check_source(source, "inline") == []
+
+    def test_fstring_outside_family_is_flagged(self):
+        source = (
+            "def f(ctx, t):\n"
+            "    ctx.counters.inc(f'serve.{t}.queries')\n"
+        )
+        assert [v.rule_id for v in check_source(source, "inline")] == [
+            "REP003"
+        ]
+
+    def test_builder_call_is_accepted_and_others_flagged(self):
+        good = (
+            "from repro.mapreduce.counters import tenant_counter\n"
+            "def f(ctx, t):\n"
+            "    ctx.counters.inc(tenant_counter(t, 'queries'))\n"
+        )
+        assert check_source(good, "inline") == []
+        bad = (
+            "def f(ctx, t):\n"
+            "    ctx.counters.inc(make_name(t))\n"
+        )
+        assert [v.rule_id for v in check_source(bad, "inline")] == [
+            "REP003"
+        ]
+
+    def test_bare_name_argument_stays_exempt(self):
+        # A plain variable carries no syntactic evidence either way;
+        # the lint only judges what it can see.
+        source = (
+            "def f(ctx, name):\n"
+            "    ctx.counters.inc(name)\n"
+        )
+        assert check_source(source, "inline") == []
+
+
 class TestRepoIsClean:
     def test_shipped_tree_has_no_violations_and_no_stale_pragmas(self):
         src_tree = Path(repro.__file__).parent

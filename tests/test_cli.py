@@ -385,6 +385,77 @@ class TestServe:
         assert "tenant t2:" in out
 
 
+class TestServeObservability:
+    def test_trace_and_report_out_write_valid_artifacts(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        from repro.obs import validate_chrome_trace, validate_report
+
+        trace_path = tmp_path / "serve-trace.json"
+        report_path = tmp_path / "serve-report.json"
+        code = main(
+            [
+                "serve",
+                "flash-crowd",
+                "--seed",
+                "3",
+                "--scale",
+                "0.25",
+                "--trace-out",
+                str(trace_path),
+                "--report-out",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slo latency:" in out and "slo availability:" in out
+        assert "trace written" in out and "report written" in out
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        report = json.loads(report_path.read_text())
+        assert validate_report(report) == []
+        assert report["kind"] == "serve"
+        assert report["config"]["workload"] == "flash-crowd"
+
+    def test_trace_out_with_shards_implies_a_fleet_trace(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        trace_path = tmp_path / "fleet-trace.json"
+        code = main(
+            [
+                "serve",
+                "flash-crowd",
+                "--seed",
+                "3",
+                "--scale",
+                "0.25",
+                "--shards",
+                "2",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert names == {"serve time", "fleet time"}
+        tracks = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert {"worker-0", "worker-1"} <= tracks
+
+
 class TestListTenants:
     def test_list_marks_multi_tenant_workloads(self, capsys):
         assert main(["list"]) == 0

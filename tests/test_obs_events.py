@@ -295,6 +295,84 @@ class TestReplayedFaultEvents:
         assert {e.outcome for e in ends} >= {"success", "failed"}
 
 
+class TestConcurrentProducers:
+    """The bus/log under concurrent producers, and the canonical merge.
+
+    Fleet workers and engine threads hand events and span-record
+    batches over from multiple threads; the bus must drop nothing,
+    each producer's own order must survive, and the downstream merge
+    (:func:`repro.obs.serve_trace.merge_span_records`) must not depend
+    on which producer delivered first.
+    """
+
+    PRODUCERS = 8
+    PER_PRODUCER = 200
+
+    def _emit_concurrently(self, bus):
+        import threading
+
+        from repro.obs.events import ServeQueryServed
+
+        barrier = threading.Barrier(self.PRODUCERS)
+
+        def produce(worker):
+            barrier.wait()
+            for i in range(self.PER_PRODUCER):
+                bus.emit(
+                    ServeQueryServed(
+                        request_id=worker * self.PER_PRODUCER + i,
+                        epoch=0,
+                        cache_hit=False,
+                        latency_s=1e-4,
+                        result_size=1,
+                        tenant=f"t{worker}",
+                        at_s=i * 1e-3,
+                    )
+                )
+
+        threads = [
+            threading.Thread(target=produce, args=(w,))
+            for w in range(self.PRODUCERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_no_event_is_dropped_and_producer_order_survives(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        self._emit_concurrently(bus)
+        assert len(log.events) == self.PRODUCERS * self.PER_PRODUCER
+        assert validate_events(log.events) == []
+        by_tenant = {}
+        for event in log.events:
+            by_tenant.setdefault(event.tenant, []).append(event.request_id)
+        # Interleaving across producers is arbitrary; within one
+        # producer the log preserves emission order exactly.
+        for worker in range(self.PRODUCERS):
+            ids = by_tenant[f"t{worker}"]
+            assert ids == sorted(ids)
+            assert len(ids) == self.PER_PRODUCER
+
+    def test_merge_of_concurrent_batches_is_deterministic(self):
+        from repro.obs.serve_trace import merge_span_records
+
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        self._emit_concurrently(bus)
+        batches = {}
+        for event in log.events:
+            batches.setdefault(event.tenant, []).append(event.as_dict())
+        ordered = [batches[f"t{w}"] for w in range(self.PRODUCERS)]
+        merged = merge_span_records(ordered)
+        assert merged == merge_span_records(reversed(ordered))
+        assert len(merged) == self.PRODUCERS * self.PER_PRODUCER
+        # Virtual timestamp first, request id second: one total order.
+        keys = [(r["at_s"], r["request_id"]) for r in merged]
+        assert keys == sorted(keys)
+
+
 class TestEventPayloads:
     def test_as_dict_round_trip(self):
         event = TaskAttemptEnd(

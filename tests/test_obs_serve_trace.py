@@ -1,0 +1,206 @@
+"""Unit tests for the serving-path tracer (repro.obs.serve_trace).
+
+The tracer's contract: frontends drive the op lifecycle on the virtual
+clock, cores contribute *relative* phases rebased at commit, fleet
+workers batch ``(rpc_seq, op, ctx, work)`` records stitched onto the
+router-registered interval, and every output order is a total sort —
+independent of thread/pipe interleaving.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.obs.schema import validate_chrome_trace
+from repro.obs.serve_trace import (
+    ServeTracer,
+    TraceContext,
+    merge_span_records,
+    sort_spans,
+)
+from repro.obs.spans import chrome_trace
+
+
+class TestTraceContext:
+    def test_identity_is_value_based_and_hashable(self):
+        a = TraceContext("query", 7, "t0")
+        b = TraceContext("query", 7, "t0")
+        assert a == b
+        assert {a: 1}[b] == 1
+        assert a != TraceContext("insert", 7, "t0")
+
+    def test_crosses_pipes_by_value(self):
+        ctx = TraceContext("batch", 3, "t2")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_label_and_default_tenant(self):
+        ctx = TraceContext("delete", 12)
+        assert ctx.label() == "delete#12"
+        assert ctx.tenant == "default"
+
+
+class TestQueryLifecycle:
+    def test_commit_rebases_phases_onto_start_instant(self):
+        tracer = ServeTracer()
+        ctx = tracer.begin_query(5, "t1")
+        tracer.phase("cache_probe", 0.0, 0.001, track="cache")
+        tracer.phase("index_read", 0.001, 0.004, track="index", epoch=2)
+        tracer.commit_query(
+            ctx, 1.0, 1.0, 1.004, cache_hit=False, result_size=9, epoch=2
+        )
+        spans = {s.name: s for s in tracer.serve_spans()}
+        assert spans["cache_probe"].start_s == pytest.approx(1.0)
+        assert spans["index_read"].end_s == pytest.approx(1.004)
+        assert spans["index_read"].args["epoch"] == 2
+        assert spans["index_read"].args["request_id"] == 5
+        assert spans["query#5"].track == "frontend"
+
+    def test_wait_span_only_when_queued(self):
+        tracer = ServeTracer()
+        ctx = tracer.begin_query(1, "t0")
+        tracer.commit_query(
+            ctx, 2.0, 2.0, 2.001, cache_hit=True, result_size=1, epoch=0
+        )
+        assert not [s for s in tracer.serve_spans() if s.track == "queue"]
+        ctx = tracer.begin_query(2, "t0")
+        tracer.commit_query(
+            ctx, 3.0, 3.5, 3.6, cache_hit=True, result_size=1, epoch=0
+        )
+        (wait,) = [s for s in tracer.serve_spans() if s.track == "queue"]
+        assert wait.args["wait_s"] == pytest.approx(0.5)
+
+    def test_reject_drops_pending_phases(self):
+        tracer = ServeTracer()
+        tracer.begin_query(3, "t4")
+        tracer.phase("cache_probe", 0.0, 0.001, track="cache")
+        tracer.reject_query(3, "t4", 1.0, 1.0, "shed")
+        spans = tracer.serve_spans()
+        assert [s.name for s in spans] == ["shed#3"]
+        assert spans[0].track == "admission"
+        assert spans[0].outcome == "failed"
+        assert tracer.current_ctx is None
+
+    def test_clear_phases_supports_repricing(self):
+        tracer = ServeTracer()
+        ctx = tracer.begin_query(4, "t0")
+        tracer.phase("index_read", 0.0, 0.9, track="index")
+        tracer.clear_phases()
+        tracer.phase("index_read", 0.0, 0.1, track="index")
+        tracer.commit_query(
+            ctx, 0.0, 0.0, 0.1, cache_hit=False, result_size=2, epoch=1
+        )
+        (read,) = [s for s in tracer.serve_spans() if s.name == "index_read"]
+        assert read.end_s == pytest.approx(0.1)
+
+
+class TestMutationLifecycle:
+    def test_mutation_seq_increments_independently_of_queries(self):
+        tracer = ServeTracer()
+        a = tracer.begin_mutation("insert")
+        tracer.commit_mutation(a, 0.0, 0.0, 0.1, pairs=3, epoch=1)
+        b = tracer.begin_mutation("batch")
+        tracer.commit_mutation(b, 0.2, 0.2, 0.3, pairs=5, epoch=2)
+        assert (a.seq, b.seq) == (0, 1)
+
+    def test_per_shard_repair_spans_tile_under_frontend_span(self):
+        tracer = ServeTracer()
+        ctx = tracer.begin_mutation("batch")
+        tracer.commit_mutation(
+            ctx,
+            0.0,
+            0.0,
+            0.4,
+            pairs=40,
+            epoch=3,
+            per_shard_pairs={1: 10, 0: 40},
+            seconds_per_pair=0.01,
+        )
+        repairs = [
+            s for s in tracer.serve_spans() if s.track.startswith("shard-")
+        ]
+        # Total order sorts on (start, end, ...): the shorter repair
+        # (shard-1, 10 pairs) precedes the longer one (shard-0, 40).
+        assert [s.track for s in repairs] == ["shard-1", "shard-0"]
+        assert repairs[0].end_s == pytest.approx(0.1)
+        assert repairs[1].end_s == pytest.approx(0.4)
+        assert all(s.args["mutation_seq"] == ctx.seq for s in repairs)
+
+
+class TestFleetStitching:
+    def test_records_place_at_registered_interval(self):
+        tracer = ServeTracer()
+        ctx = tracer.begin_query(9, "t2")
+        tracer.commit_query(
+            ctx, 1.0, 1.0, 1.02, cache_hit=False, result_size=4, epoch=0
+        )
+        count = tracer.ingest_fleet_records(2, [(0, "skyline", ctx, 17)])
+        assert count == 1
+        (span,) = tracer.fleet_spans()
+        assert span.track == "worker-2"
+        assert (span.start_s, span.end_s) == (1.0, 1.02)
+        assert span.args["work"] == 17
+        assert span.args["request_id"] == 9
+
+    def test_uncommitted_context_records_are_skipped(self):
+        tracer = ServeTracer()
+        ghost = TraceContext("query", 99, "t0")
+        assert tracer.ingest_fleet_records(0, [(0, "skyline", ghost, 1)]) == 0
+        assert tracer.fleet_spans() == []
+
+    def test_fleet_clock_appears_only_with_worker_spans(self):
+        tracer = ServeTracer()
+        ctx = tracer.begin_query(0, "t0")
+        tracer.commit_query(
+            ctx, 0.0, 0.0, 0.01, cache_hit=False, result_size=1, epoch=0
+        )
+        assert set(tracer.clocks()) == {"serve"}
+        tracer.ingest_fleet_records(0, [(0, "skyline", ctx, 2)])
+        assert set(tracer.clocks()) == {"serve", "fleet"}
+        assert validate_chrome_trace(chrome_trace(tracer.clocks())) == []
+
+
+class TestDeterministicOrder:
+    def _spans(self):
+        tracer = ServeTracer()
+        for rid in range(20):
+            ctx = tracer.begin_query(rid, f"t{rid % 3}")
+            tracer.phase("index_read", 0.0, 0.001, track="index")
+            tracer.commit_query(
+                ctx,
+                rid * 0.01,
+                rid * 0.01,
+                rid * 0.01 + 0.002,
+                cache_hit=False,
+                result_size=1,
+                epoch=0,
+            )
+        return tracer.serve_spans()
+
+    def test_sort_spans_is_interleaving_independent(self):
+        spans = self._spans()
+        shuffled = list(spans)
+        random.Random(3).shuffle(shuffled)
+        assert sort_spans(shuffled) == spans
+
+    def test_merge_span_records_ignores_batch_arrival_order(self):
+        batches = [
+            [
+                {"at_s": 0.2, "request_id": 4, "shard": 1},
+                {"at_s": 0.1, "request_id": 2, "shard": 1},
+            ],
+            [
+                {"at_s": 0.1, "request_id": 7, "shard": 0},
+                {"at_s": 0.2, "request_id": 4, "shard": 0},
+            ],
+        ]
+        merged = merge_span_records(batches)
+        assert merged == merge_span_records(reversed(batches))
+        assert [(r["at_s"], r["request_id"]) for r in merged] == [
+            (0.1, 2),
+            (0.1, 7),
+            (0.2, 4),
+            (0.2, 4),
+        ]
+        # The tie at (0.2, 4) breaks on content, not producer order.
+        assert [r["shard"] for r in merged[-2:]] == [0, 1]

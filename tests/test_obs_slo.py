@@ -1,0 +1,221 @@
+"""Unit tests for the deterministic SLO monitor (repro.obs.slo).
+
+Fixed virtual windows, burn-rate arithmetic, flight-recorder dumps on
+burn trips and shed bursts, and the JSON-safe summary — all computed
+from event timestamps on the virtual clock, so everything here is
+exactly reproducible.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.events import ServeQueryRejected, ServeQueryServed
+from repro.obs.slo import (
+    FlightRecorder,
+    SLOMonitor,
+    SLOObjective,
+    default_objectives,
+    default_window_s,
+    exact_percentile,
+)
+from repro.obs.spans import Span
+from repro.serve.workloads import SERVE_WORKLOADS
+
+
+def _served(rid, at_s, latency_s=0.001, tenant="t0"):
+    return ServeQueryServed(
+        request_id=rid,
+        epoch=0,
+        cache_hit=False,
+        latency_s=latency_s,
+        result_size=1,
+        tenant=tenant,
+        at_s=at_s,
+    )
+
+
+def _rejected(rid, at_s, reason="shed", tenant="t0"):
+    return ServeQueryRejected(
+        request_id=rid, reason=reason, tenant=tenant, at_s=at_s
+    )
+
+
+def _monitor(**kw):
+    kw.setdefault("window_s", 1.0)
+    objectives = kw.pop(
+        "objectives",
+        (
+            SLOObjective(name="latency", threshold_s=0.002),
+            SLOObjective(
+                name="availability", kind="availability", target=0.9,
+                burn_threshold=5.0,
+            ),
+        ),
+    )
+    return SLOMonitor(objectives, **kw)
+
+
+class TestObjectiveValidation:
+    def test_latency_requires_threshold(self):
+        with pytest.raises(ValidationError):
+            SLOObjective(name="x", kind="latency", threshold_s=None)
+
+    def test_target_and_kind_bounds(self):
+        with pytest.raises(ValidationError):
+            SLOObjective(name="x", threshold_s=1.0, target=1.0)
+        with pytest.raises(ValidationError):
+            SLOObjective(name="x", kind="throughput")
+
+    def test_monitor_rejects_bad_config(self):
+        good = (SLOObjective(name="a", threshold_s=1.0),)
+        with pytest.raises(ValidationError):
+            SLOMonitor((), window_s=1.0)
+        with pytest.raises(ValidationError):
+            SLOMonitor(good + good, window_s=1.0)
+        with pytest.raises(ValidationError):
+            SLOMonitor(good, window_s=0.0)
+
+
+class TestWindowsAndBurn:
+    def test_burn_is_bad_fraction_over_error_budget(self):
+        monitor = _monitor(
+            objectives=(
+                SLOObjective(
+                    name="latency", threshold_s=0.002, target=0.9,
+                    burn_threshold=100.0,
+                ),
+            )
+        )
+        # Window 0: 3 good, 1 bad -> bad_fraction 0.25, budget 0.1.
+        for rid in range(3):
+            monitor.on_event(_served(rid, at_s=0.1 * rid))
+        monitor.on_event(_served(3, at_s=0.5, latency_s=0.01))
+        monitor.on_event(_served(4, at_s=1.5))  # rolls to window 1
+        monitor.finalize()
+        summary = monitor.summary()
+        (objective,) = summary["objectives"]
+        assert objective["worst_burn"] == pytest.approx(2.5)
+        assert objective["worst_window"] == 0
+        assert objective["burn_by_window"] == [[0, 2.5]]
+        assert summary["windows_closed"] == 2
+
+    def test_late_events_never_reopen_closed_windows(self):
+        monitor = _monitor()
+        monitor.on_event(_served(0, at_s=2.5))
+        monitor.on_event(_served(1, at_s=0.1))  # late: counted in open win
+        monitor.finalize()
+        assert monitor.summary()["windows_closed"] == 1
+        assert monitor.summary()["requests"]["served"] == 2
+
+    def test_empty_windows_between_events_are_counted(self):
+        monitor = _monitor()
+        monitor.on_event(_served(0, at_s=0.5))
+        monitor.on_event(_served(1, at_s=5.5))
+        monitor.finalize()
+        assert monitor.summary()["windows_closed"] == 6
+
+
+class TestTripsAndDumps:
+    def test_burn_trip_snapshots_the_recorder(self):
+        monitor = _monitor(shed_burst=100)
+        # Window 0: every request shed -> availability burn 1/0.1 = 10.
+        for rid in range(5):
+            monitor.on_event(_rejected(rid, at_s=0.1 * rid))
+        monitor.on_event(_served(9, at_s=1.5))
+        monitor.finalize()
+        dumps = monitor.dumps
+        assert len(dumps) == 1
+        assert dumps[0]["reason"] == "burn:availability"
+        assert dumps[0]["window"] == 0
+        assert [e["request_id"] for e in dumps[0]["events"]] == list(range(5))
+
+    def test_shed_burst_trips_independently_of_burn(self):
+        monitor = _monitor(
+            objectives=(
+                SLOObjective(
+                    name="availability", kind="availability", target=0.9,
+                    burn_threshold=1e9,
+                ),
+            ),
+            shed_burst=3,
+        )
+        for rid in range(3):
+            monitor.on_event(_rejected(rid, at_s=0.2 * rid))
+        monitor.on_event(_served(5, at_s=1.5))
+        monitor.finalize()
+        (dump,) = monitor.dumps
+        assert dump["reason"] == "shed-burst"
+        assert dump["sheds"] == 3
+
+    def test_dumps_are_capped_and_suppressions_counted(self):
+        monitor = _monitor(max_dumps=1, shed_burst=1)
+        for window in range(3):
+            monitor.on_event(_rejected(window, at_s=window + 0.5))
+        monitor.finalize()
+        assert len(monitor.dumps) == 1
+        assert monitor.summary()["flight_recorder"]["suppressed_dumps"] >= 1
+
+    def test_recorder_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=2)
+        for i in range(5):
+            recorder.record({"i": i})
+        assert [e["i"] for e in recorder.snapshot()] == [3, 4]
+
+
+class TestDigestsAndSummary:
+    def test_summary_is_deterministic_and_repeatable(self):
+        def build():
+            monitor = _monitor()
+            for rid in range(40):
+                if rid % 7 == 0:
+                    monitor.on_event(_rejected(rid, at_s=rid * 0.1))
+                else:
+                    monitor.on_event(
+                        _served(
+                            rid, at_s=rid * 0.1, tenant=f"t{rid % 3}",
+                            latency_s=0.0001 * rid,
+                        )
+                    )
+            monitor.finalize()
+            return monitor.summary()
+
+        assert build() == build()
+
+    def test_ingest_spans_keeps_only_shard_and_worker_tracks(self):
+        monitor = _monitor()
+        monitor.ingest_spans(
+            [
+                Span(name="a", track="shard-0", start_s=0.0, end_s=0.2),
+                Span(name="b", track="worker-1", start_s=0.0, end_s=0.5),
+                Span(name="c", track="frontend", start_s=0.0, end_s=9.0),
+            ]
+        )
+        shards = monitor.summary()["shards"]
+        assert set(shards) == {"shard-0", "worker-1"}
+        assert shards["worker-1"]["busy_s"] == pytest.approx(0.5)
+        assert shards["shard-0"]["max_span_s"] == pytest.approx(0.2)
+
+    def test_finalize_is_idempotent(self):
+        monitor = _monitor()
+        monitor.on_event(_served(0, at_s=0.5))
+        monitor.finalize()
+        monitor.finalize()
+        assert monitor.summary()["windows_closed"] == 1
+
+
+class TestDefaults:
+    def test_default_objectives_follow_the_workload_timeout(self):
+        workload = SERVE_WORKLOADS["flash-crowd"]
+        latency, availability = default_objectives(workload)
+        assert latency.threshold_s == pytest.approx(workload.timeout_s / 2)
+        assert availability.kind == "availability"
+
+    def test_default_window_slices_the_nominal_run(self):
+        workload = SERVE_WORKLOADS["flash-crowd"]
+        expected = workload.num_ops * workload.mean_interarrival_s / 16.0
+        assert default_window_s(workload) == pytest.approx(expected)
+
+    def test_exact_percentile_nearest_rank(self):
+        assert exact_percentile([], 0.99) == 0.0
+        assert exact_percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+        assert exact_percentile([3.0, 1.0, 2.0], 0.99) == 3.0

@@ -1,0 +1,169 @@
+"""End-to-end serving observability: reports, traces, SLOs, the fleet.
+
+The integration tier over ``repro.obs.serve_trace`` / ``repro.obs.slo``
+/ ``build_serve_run_report``: attaching the full observer stack to a
+replay must not change any virtual outcome, the serve run report must
+validate and be **byte-identical** between the plain frontend and the
+sharded frontend at shards=1 (the parity configuration), and a fleet
+run must produce a schema-valid multi-process trace with worker spans
+stitched by request id — all deterministic across repeated runs.
+"""
+
+import pytest
+
+from repro.obs import (
+    EventBus,
+    MetricsCollector,
+    ServeTracer,
+    SLOMonitor,
+    build_serve_run_report,
+    canonical_json,
+    chrome_trace,
+    default_objectives,
+    default_window_s,
+    validate_chrome_trace,
+    validate_report,
+)
+from repro.serve.workloads import (
+    generate_ops,
+    resolve_workload,
+    serve_stream,
+)
+
+WORKLOAD = resolve_workload("flash-crowd", scale=0.5)
+
+
+def _observed_replay(stream, **serve_kw):
+    """One replay with the full observer stack attached."""
+    bus = EventBus()
+    collector = bus.subscribe(MetricsCollector())
+    monitor = bus.subscribe(
+        SLOMonitor(
+            default_objectives(stream.workload),
+            window_s=default_window_s(stream.workload),
+        )
+    )
+    tracer = ServeTracer()
+    artifacts = {}
+    headline, frontend = serve_stream(
+        stream, bus=bus, tracer=tracer, artifacts=artifacts, **serve_kw
+    )
+    monitor.finalize()
+    monitor.ingest_spans(tracer.serve_spans())
+    monitor.ingest_spans(tracer.fleet_spans())
+    report = build_serve_run_report(
+        stream,
+        headline,
+        frontend,
+        skyline=artifacts["final_skyline"],
+        monitor=monitor,
+        collector=collector,
+        config={"workload": stream.workload.name, "seed": stream.seed},
+    )
+    return report, tracer
+
+
+class TestServeRunReport:
+    @pytest.fixture(scope="class")
+    def twin_reports(self):
+        plain, _ = _observed_replay(generate_ops(WORKLOAD, seed=0))
+        sharded, _ = _observed_replay(
+            generate_ops(WORKLOAD, seed=0), shards=1, batch_window_s=0.0
+        )
+        return plain, sharded
+
+    def test_report_validates(self, twin_reports):
+        plain, sharded = twin_reports
+        assert validate_report(plain) == []
+        assert validate_report(sharded) == []
+
+    def test_shards1_parity_is_byte_identical(self, twin_reports):
+        plain, sharded = twin_reports
+        assert canonical_json(plain) == canonical_json(sharded)
+
+    def test_report_is_deterministic_across_runs(self):
+        first, _ = _observed_replay(generate_ops(WORKLOAD, seed=3))
+        second, _ = _observed_replay(generate_ops(WORKLOAD, seed=3))
+        assert canonical_json(first) == canonical_json(second)
+
+    def test_slo_section_has_burn_and_recorder(self, twin_reports):
+        plain, _ = twin_reports
+        slo = plain["slo"]
+        assert {o["name"] for o in slo["objectives"]} == {
+            "latency",
+            "availability",
+        }
+        assert slo["requests"]["served"] > 0
+        assert slo["flight_recorder"]["capacity"] > 0
+
+    def test_counters_are_allowlisted_request_level(self, twin_reports):
+        plain, sharded = twin_reports
+        for report in (plain, sharded):
+            for name in report["counters"]:
+                assert name.startswith("serve.")
+                # Shard-internal bookkeeping must never leak in — it
+                # legitimately differs between the parity twins.
+                assert not name.startswith("serve.shard.")
+
+
+class TestObserverPurity:
+    def test_attached_stack_changes_no_virtual_outcome(self):
+        stream = generate_ops(WORKLOAD, seed=1)
+        bare, _ = serve_stream(generate_ops(WORKLOAD, seed=1))
+        observed, _ = _observed_replay(stream)
+        assert observed["workload"] == bare
+
+
+class TestFleetTracing:
+    # Seed 3: the fitted shard plan genuinely fans out to two groups
+    # at this scale (fan-out is data-dependent; other seeds can
+    # collapse to one covering group).
+    @pytest.fixture(scope="class")
+    def fleet_run(self):
+        return _observed_replay(
+            generate_ops(WORKLOAD, seed=3), shards=2, fleet=True
+        )
+
+    def test_worker_spans_are_stitched_by_request_id(self, fleet_run):
+        report, tracer = fleet_run
+        workers = {s.track for s in tracer.fleet_spans()}
+        assert workers == {"worker-0", "worker-1"}
+        serve_ids = {
+            s.args["request_id"]
+            for s in tracer.serve_spans()
+            if "request_id" in s.args
+        }
+        fleet_ids = {
+            s.args["request_id"]
+            for s in tracer.fleet_spans()
+            if "request_id" in s.args
+        }
+        assert fleet_ids and fleet_ids <= serve_ids
+
+    def test_trace_exports_two_processes_and_validates(self, fleet_run):
+        _, tracer = fleet_run
+        clocks = tracer.clocks()
+        assert set(clocks) == {"serve", "fleet"}
+        assert validate_chrome_trace(chrome_trace(clocks)) == []
+
+    def test_fleet_results_match_inprocess_sharding(self, fleet_run):
+        report, _ = fleet_run
+        sharded, _ = _observed_replay(
+            generate_ops(WORKLOAD, seed=3), shards=2
+        )
+        assert report["workload"] == sharded["workload"]
+        assert report["skyline"] == sharded["skyline"]
+
+    def test_fleet_trace_is_deterministic(self, fleet_run):
+        _, tracer = fleet_run
+        _, again = _observed_replay(
+            generate_ops(WORKLOAD, seed=3), shards=2, fleet=True
+        )
+        assert tracer.serve_spans() == again.serve_spans()
+        assert tracer.fleet_spans() == again.fleet_spans()
+
+    def test_slo_digests_cover_every_worker(self, fleet_run):
+        report, _ = fleet_run
+        digests = report["slo"]["shards"]
+        assert {"worker-0", "worker-1"} <= set(digests)
+        assert all(d["busy_s"] >= 0.0 for d in digests.values())

@@ -14,6 +14,7 @@ import pytest
 from repro.core.shm import live_segments
 from repro.errors import ValidationError
 from repro.mapreduce.counters import (
+    Counters,
     SERVE_SHARD_BATCHED_OPS,
     SERVE_SHARD_DELTA_BATCHES,
     SERVE_SHARD_QUERIES_FANNED,
@@ -302,3 +303,59 @@ class TestSkylineFleet:
         fleet.stop()
         fleet.stop()
         assert live_segments() == ()
+
+
+class TestFleetReshardAndTracing:
+    """Opt-in resharding and the cross-process span-record path."""
+
+    def test_reshard_absorbs_uncovered_insert_and_stays_exact(self):
+        data = _data(40)
+        twin = SkylineIndex(data.copy())
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        counters = Counters()
+        outlier = np.array([2.5, 2.5, 2.5])
+        with SkylineFleet(
+            data.copy(), num_shards=2, reshard=True, bus=bus,
+            counters=counters,
+        ) as fleet:
+            pid = fleet.insert(outlier)
+            twin.insert(outlier, pid)
+            _assert_same(twin.skyline(), fleet.skyline())
+            # A covered insert after the respawn still routes normally.
+            point = np.random.default_rng(5).random(3)
+            fleet.insert(point, pid + 1)
+            twin.insert(point, pid + 1)
+            _assert_same(twin.skyline(), fleet.skyline())
+        assert counters.get(SERVE_SHARD_RESHARDS) == 1
+        (event,) = log.of_kind("serve_reshard")
+        assert event.reason == "uncovered"
+        assert live_segments() == ()
+
+    def test_worker_records_are_ctx_tagged_and_survive_reshard(self):
+        from repro.obs.serve_trace import ServeTracer
+
+        tracer = ServeTracer()
+        with SkylineFleet(
+            _data(40), num_shards=2, reshard=True, tracer=tracer
+        ) as fleet:
+            ctx = tracer.begin_query(0, "t0")
+            size = len(fleet.skyline())
+            tracer.commit_query(
+                ctx, 0.0, 0.0, 0.01, cache_hit=False, result_size=size,
+                epoch=fleet.epoch,
+            )
+            # The reshard respawns every worker; the records they hold
+            # for the committed query must be stitched in, not dropped.
+            fleet.insert(np.array([2.5, 2.5, 2.5]))
+            spans = tracer.fleet_spans()
+            assert {s.track for s in spans} == {"worker-0", "worker-1"}
+            assert all(s.args["request_id"] == 0 for s in spans)
+            assert all(s.name == "skyline#0" for s in spans)
+
+    def test_untraced_rpcs_produce_no_records(self):
+        with SkylineFleet(_data(40), num_shards=2) as fleet:
+            fleet.insert(np.random.default_rng(9).random(3))
+            fleet.skyline()
+            drained = fleet.drain_span_records()
+            assert all(recs == [] for recs in drained.values())
