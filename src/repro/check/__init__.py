@@ -4,9 +4,13 @@ Two complementary halves:
 
 * a **static lint engine** (:mod:`repro.check.rules`,
   :mod:`repro.check.visitor`, :mod:`repro.check.runner`) with the
-  repo-specific rules REP001-REP007, runnable as ``repro-skyline check
-  src/`` or ``python -m repro.check src/`` and enforced by the CI
-  ``check-gate`` job;
+  repo-specific rules REP001-REP007, plus a **dataflow layer**
+  (:mod:`repro.check.cfg`, :mod:`repro.check.dataflow`,
+  :mod:`repro.check.callgraph`, :mod:`repro.check.deep`) behind
+  ``--deep`` with the interprocedural rules REP008-REP011 — resource
+  lifecycles, lock discipline, fleet RPC conformance, and call-graph
+  purity; runnable as ``repro-skyline check src/`` or ``python -m
+  repro.check src/`` and enforced by the CI check jobs;
 * a **dynamic contract checker**
   (:class:`~repro.check.contracts.ContractCheckingEngine`) that any
   test or CLI run can opt into to prove mapper/reducer purity,
@@ -18,10 +22,11 @@ syntax, and the exact guarantees the contract checker certifies.
 
 from repro.check.contracts import ContractCheckingEngine
 from repro.check.fingerprint import fingerprint
-from repro.check.rules import RULES, Rule, Violation
+from repro.check.rules import DEEP_RULES, RULES, Rule, Violation
 from repro.check.runner import check_paths, check_source, main
 
 __all__ = [
+    "DEEP_RULES",
     "RULES",
     "Rule",
     "Violation",

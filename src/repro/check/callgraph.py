@@ -1,0 +1,362 @@
+"""Alias-aware call graph over the analysed source tree.
+
+The deep rules need three cross-function facts the lint visitor never
+asks for: *who calls whom* (REP011 propagates purity summaries along
+these edges), *with which locks already held* (REP009 seeds a private
+helper's entry lockset from its call sites), and *which functions
+escape as values* (``Thread(target=self._run)`` means ``_run`` starts
+with no locks held, whatever its callers hold).
+
+Resolution is deliberately conservative and only binds what it can see
+statically:
+
+* a bare ``Name`` call binds to a module-level function of the current
+  module, a ``from``-import, or a *local alias* (``f = helper`` in the
+  same body — one of REP011's fixture cases);
+* ``self.m(...)`` binds within the calling method's own class (plus
+  bases are out of scope — the repro tree barely inherits);
+* ``mod.f(...)`` binds through ``import``/``from``-import aliases to
+  another analysed module.
+
+Anything else (computed attributes, instances of other classes, stdlib
+calls) resolves to ``None`` and the analyses fall back to their
+worst-case or best-case default, whichever keeps them sound for the
+property at hand.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for ``path``, anchored at the last ``repro``
+    path component; free-standing files (fixtures) use their stem."""
+    parts = PurePath(path).parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        rel = parts[idx:]
+        stem = PurePath(rel[-1]).stem
+        dotted = list(rel[:-1]) + ([] if stem == "__init__" else [stem])
+        return ".".join(dotted)
+    return PurePath(path).stem
+
+
+@dataclass
+class FunctionInfo:
+    """One analysed function or method."""
+
+    qualname: str  #: ``module.Class.method`` or ``module.func``
+    module: str
+    name: str
+    cls: Optional[str]
+    node: FunctionNode
+    path: str
+
+    @property
+    def arg_names(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        names.extend(a.arg for a in args.kwonlyargs)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    @property
+    def is_private(self) -> bool:
+        return self.name.startswith("_") and not self.name.startswith("__")
+
+
+@dataclass
+class _ModuleIndex:
+    name: str
+    tree: ast.Module
+    path: str
+    #: local symbol -> dotted module ("import x.y as z")
+    import_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local symbol -> fully dotted target ("from m import f")
+    from_imports: Dict[str, str] = field(default_factory=dict)
+    #: "func" / "Class.method" -> info
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: module-level names bound to non-function values
+    globals: Set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A resolved call edge."""
+
+    caller: FunctionInfo
+    callee: FunctionInfo
+    call: ast.Call
+    #: True for ``self.m(...)`` — the receiver fills the first param.
+    is_method_call: bool
+
+
+def _resolve_relative(module: str, level: int, target: Optional[str]) -> str:
+    parts = module.split(".")
+    # level 1 = current package; the module name's last element is the
+    # file itself, so strip it plus (level - 1) packages.
+    keep = max(len(parts) - level, 0)
+    base = parts[:keep]
+    if target:
+        base.extend(target.split("."))
+    return ".".join(base)
+
+
+class CallGraph:
+    """Functions, resolved call edges, and value-escape facts for a set
+    of parsed modules."""
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, _ModuleIndex] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: (module, class) -> terminal names of the class's bases
+        self.class_bases: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        #: qualnames referenced as values (not called) anywhere
+        self.escaped: Set[str] = set()
+        self._calls: Dict[str, List[CallSite]] = {}
+        self._callers: Dict[str, List[CallSite]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_module(self, path: str, tree: ast.Module) -> None:
+        name = module_name_for(path)
+        index = _ModuleIndex(name=name, tree=tree, path=path)
+        self._modules[name] = index
+        for stmt in tree.body:
+            self._index_top(index, stmt)
+
+    def _index_top(self, index: _ModuleIndex, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                index.import_aliases[local] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(stmt, ast.ImportFrom):
+            base = (
+                _resolve_relative(index.name, stmt.level, stmt.module)
+                if stmt.level
+                else (stmt.module or "")
+            )
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                index.from_imports[local] = f"{base}.{alias.name}" if base else alias.name
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._add_function(index, stmt, cls=None)
+        elif isinstance(stmt, ast.ClassDef):
+            bases = []
+            for base in stmt.bases:
+                terminal = base.attr if isinstance(base, ast.Attribute) else (
+                    base.id if isinstance(base, ast.Name) else None
+                )
+                if terminal is not None:
+                    bases.append(terminal)
+            self.class_bases[(index.name, stmt.name)] = tuple(bases)
+            for member in stmt.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._add_function(index, member, cls=stmt.name)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    index.globals.add(target.id)
+                elif isinstance(target, ast.Tuple):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            index.globals.add(elt.id)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # TYPE_CHECKING guards and import fallbacks.
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    self._index_top_import(index, sub)
+
+    def _index_top_import(
+        self, index: _ModuleIndex, stmt: Union[ast.Import, ast.ImportFrom]
+    ) -> None:
+        if isinstance(stmt, ast.Import):
+            self._index_top(index, stmt)
+        else:
+            self._index_top(index, stmt)
+
+    def _add_function(
+        self, index: _ModuleIndex, node: FunctionNode, cls: Optional[str]
+    ) -> None:
+        local = f"{cls}.{node.name}" if cls else node.name
+        info = FunctionInfo(
+            qualname=f"{index.name}.{local}",
+            module=index.name,
+            name=node.name,
+            cls=cls,
+            node=node,
+            path=index.path,
+        )
+        index.functions[local] = info
+        self.functions[info.qualname] = info
+
+    def finalize(self) -> None:
+        """Resolve call edges and escapes once all modules are added."""
+        for index in self._modules.values():
+            for info in index.functions.values():
+                self._scan_function(index, info)
+            self._scan_module_level(index)
+
+    # -- resolution -----------------------------------------------------
+
+    def _lookup_module_symbol(
+        self, module: str, symbol: str
+    ) -> Optional[FunctionInfo]:
+        index = self._modules.get(module)
+        if index is None:
+            return None
+        if symbol in index.functions:
+            return index.functions[symbol]
+        # Re-exported through a from-import chain (one hop).
+        target = index.from_imports.get(symbol)
+        if target and "." in target:
+            mod, _, name = target.rpartition(".")
+            hop = self._modules.get(mod)
+            if hop is not None and name in hop.functions:
+                return hop.functions[name]
+        return None
+
+    def resolve(
+        self,
+        func: ast.expr,
+        caller: FunctionInfo,
+        local_aliases: Dict[str, str],
+    ) -> Tuple[Optional[FunctionInfo], bool]:
+        """Resolve a call target; returns ``(info, is_method_call)``."""
+        index = self._modules[caller.module]
+        if isinstance(func, ast.Name):
+            name = local_aliases.get(func.id, func.id)
+            if name in index.functions:
+                return index.functions[name], False
+            target = index.from_imports.get(name)
+            if target and "." in target:
+                mod, _, sym = target.rpartition(".")
+                found = self._lookup_module_symbol(mod, sym)
+                if found is not None:
+                    return found, False
+            return None, False
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id == "self" and caller.cls is not None:
+                    local = f"{caller.cls}.{func.attr}"
+                    if local in index.functions:
+                        return index.functions[local], True
+                    return None, False
+                mod = index.import_aliases.get(base.id)
+                if mod is None:
+                    target = index.from_imports.get(base.id)
+                    if target is not None and target in self._modules:
+                        mod = target
+                if mod is not None:
+                    found = self._lookup_module_symbol(mod, func.attr)
+                    if found is not None:
+                        return found, False
+        return None, False
+
+    # -- scanning -------------------------------------------------------
+
+    def _local_aliases(self, info: FunctionInfo) -> Dict[str, str]:
+        """``f = helper`` bindings inside one body (last write wins is
+        good enough — the tree never rebinds these)."""
+        index = self._modules[info.module]
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Name)
+            ):
+                source = node.value.id
+                if (
+                    source in index.functions
+                    or source in index.from_imports
+                ):
+                    aliases[node.targets[0].id] = source
+        return aliases
+
+    def _scan_function(self, index: _ModuleIndex, info: FunctionInfo) -> None:
+        aliases = self._local_aliases(info)
+        call_funcs: Set[int] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                call_funcs.add(id(node.func))
+                callee, is_method = self.resolve(node.func, info, aliases)
+                if callee is not None:
+                    site = CallSite(info, callee, node, is_method)
+                    self._calls.setdefault(info.qualname, []).append(site)
+                    self._callers.setdefault(callee.qualname, []).append(site)
+        # Value escapes: a reference to a known function that is not the
+        # callee position of some call.
+        for node in ast.walk(info.node):
+            if id(node) in call_funcs:
+                continue
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                target, _ = self.resolve(node, info, aliases)
+                if target is not None:
+                    self.escaped.add(target.qualname)
+
+    def _scan_module_level(self, index: _ModuleIndex) -> None:
+        """Module-level references (registries, decorators) escape."""
+        call_funcs: Set[int] = set()
+        for stmt in index.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                for deco in stmt.decorator_list:
+                    for node in ast.walk(deco):
+                        if isinstance(node, ast.Name) and node.id in index.functions:
+                            self.escaped.add(index.functions[node.id].qualname)
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    call_funcs.add(id(node.func))
+            for node in ast.walk(stmt):
+                if id(node) in call_funcs:
+                    continue
+                if isinstance(node, ast.Name) and node.id in index.functions:
+                    self.escaped.add(index.functions[node.id].qualname)
+
+    # -- queries --------------------------------------------------------
+
+    def calls_from(self, qualname: str) -> List[CallSite]:
+        return self._calls.get(qualname, [])
+
+    def calls_to(self, qualname: str) -> List[CallSite]:
+        return self._callers.get(qualname, [])
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        return iter(self.functions.values())
+
+    def module_globals(self, module: str) -> Set[str]:
+        index = self._modules.get(module)
+        return index.globals if index is not None else set()
+
+    def local_aliases(self, info: FunctionInfo) -> Dict[str, str]:
+        return self._local_aliases(info)
+
+
+def build_call_graph(modules: List[Tuple[str, ast.Module]]) -> CallGraph:
+    """Build and finalize a call graph from ``(path, tree)`` pairs."""
+    graph = CallGraph()
+    for path, tree in modules:
+        graph.add_module(path, tree)
+    graph.finalize()
+    return graph

@@ -1,0 +1,389 @@
+"""Per-function control-flow graphs for the deep analyses.
+
+The lint visitor (:mod:`repro.check.visitor`) judges single statements;
+the deep rules (REP008-REP011) judge *paths* — "does this arena reach
+``unlink()`` on every non-exceptional path", "is this lock held at this
+read".  Both questions are asked of a :class:`CFG`: basic blocks of
+*steps* connected by edges, built once per function and shared by every
+:mod:`repro.check.dataflow` analysis.
+
+Steps are either plain simple statements (``ast.Assign``, ``ast.Return``,
+...) or pseudo-steps that surface sub-statement structure the analyses
+need:
+
+* :class:`TestExpr` — the test of an ``if``/``while`` or the iterable of
+  a ``for``, evaluated in the block that branches on it.  Branch edges
+  carry the test and its polarity so path-sensitive lattices can refine
+  (``if ctx is not None: ...``).
+* :class:`WithEnter` / :class:`WithExit` — one pair per ``with`` item,
+  bracketing the managed region (the lock-discipline lattice toggles
+  its lockset on these).
+
+Structural choices, and what they trade:
+
+* ``return`` / ``break`` / ``continue`` **inline the pending
+  ``finally`` bodies** on their way to the jump target, so a release in
+  a ``finally`` is seen on the return path (the classic
+  ``try: return f() finally: arena.unlink()`` idiom checks out clean).
+* every block of a ``try`` body gets an edge to each handler — an
+  exception may fire anywhere in the body, so a handler joins over all
+  of it (coarse but sound for the must-hold lock analysis; a ``with``
+  released by an escaping exception joins against the pre-``with``
+  state and correctly drops the lock).
+* ``raise`` jumps straight to the dedicated :attr:`CFG.raise_exit`
+  block.  The deep rules only judge **non-exceptional** exits, so
+  raise paths are deliberately exempt (and ``finally`` bodies on pure
+  raise paths are not re-inlined).
+* nested ``def``/``lambda`` bodies are opaque: each function gets its
+  own CFG; the enclosing CFG sees the definition as one simple step.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class TestExpr:
+    """Pseudo-step: a branch test (or loop iterable) being evaluated."""
+
+    expr: ast.expr
+    node: ast.stmt
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass(frozen=True)
+class WithEnter:
+    """Pseudo-step: one ``with`` item's ``__enter__``."""
+
+    item: ast.withitem
+    node: ast.stmt
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.item.context_expr, "lineno", 0)
+
+
+@dataclass(frozen=True)
+class WithExit:
+    """Pseudo-step: one ``with`` item's ``__exit__`` (normal path)."""
+
+    item: ast.withitem
+    node: ast.stmt
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.item.context_expr, "lineno", 0)
+
+
+Step = Union[ast.stmt, TestExpr, WithEnter, WithExit]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge; branch edges carry their test and polarity.
+
+    ``exceptional`` edges model "an exception fired somewhere in this
+    block": they deliver the block's *in*-state to the handler, because
+    mid-block effects (a binding, an acquire) may or may not have
+    happened when the exception fired — the entry state is the one
+    join-safe approximation for every analysis here (a resource bound
+    mid-block then thrown past is an *exceptional* leak, which REP008
+    deliberately does not judge)."""
+
+    src: int
+    dst: int
+    test: Optional[ast.expr] = None
+    branch: Optional[bool] = None
+    exceptional: bool = False
+
+
+@dataclass
+class Block:
+    """A straight-line run of steps."""
+
+    bid: int
+    steps: List[Step] = field(default_factory=list)
+
+
+class CFG:
+    """Blocks + edges for one function body.
+
+    ``entry`` starts the body, ``exit`` collects every non-exceptional
+    way out (explicit ``return`` and falling off the end), and
+    ``raise_exit`` collects explicit ``raise`` paths — analyses that
+    only constrain non-exceptional behaviour simply never look at it.
+    """
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self.edges: List[Edge] = []
+        self._succs: Dict[int, List[Edge]] = {}
+        self._preds: Dict[int, List[Edge]] = {}
+        self.entry = self._new_block().bid
+        self.exit = self._new_block().bid
+        self.raise_exit = self._new_block().bid
+
+    def _new_block(self) -> Block:
+        bid = len(self.blocks)
+        block = Block(bid)
+        self.blocks[bid] = block
+        self._succs[bid] = []
+        self._preds[bid] = []
+        return block
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        test: Optional[ast.expr] = None,
+        branch: Optional[bool] = None,
+        exceptional: bool = False,
+    ) -> None:
+        edge = Edge(src, dst, test, branch, exceptional)
+        self.edges.append(edge)
+        self._succs[src].append(edge)
+        self._preds[dst].append(edge)
+
+    def succs(self, bid: int) -> Sequence[Edge]:
+        return self._succs[bid]
+
+    def preds(self, bid: int) -> Sequence[Edge]:
+        return self._preds[bid]
+
+
+class _Builder:
+    """Recursive-descent CFG construction for one function."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: innermost-last pending ``finally`` bodies a jump must run
+        self._finally: List[List[ast.stmt]] = []
+        #: (break target, continue target, finally depth at loop entry)
+        self._loops: List[Tuple[int, int, int]] = []
+
+    # -- plumbing -------------------------------------------------------
+
+    def _block(self) -> int:
+        return self.cfg._new_block().bid
+
+    def _seal(self, cur: Optional[int], dst: int) -> None:
+        if cur is not None:
+            self.cfg.add_edge(cur, dst)
+
+    def _jump(self, cur: int, target: int, depth: int) -> None:
+        """Route a jump through the finally bodies above ``depth``."""
+        pending = self._finally[depth:]
+        saved = self._finally
+        frontier: Optional[int] = cur
+        for i, body in enumerate(reversed(pending)):
+            if frontier is None:
+                break
+            # Jumps inside this finally body resolve against the stack
+            # *below* it.
+            self._finally = saved[: len(saved) - i - 1]
+            entry = self._block()
+            self.cfg.add_edge(frontier, entry)
+            frontier = self.body(body, entry)
+        self._finally = saved
+        if frontier is not None:
+            self.cfg.add_edge(frontier, target)
+
+    # -- statement dispatch ---------------------------------------------
+
+    def body(self, stmts: Sequence[ast.stmt], cur: int) -> Optional[int]:
+        """Build ``stmts`` starting in block ``cur``; returns the block
+        where control falls out the end, or ``None`` if it never does."""
+        frontier: Optional[int] = cur
+        for stmt in stmts:
+            if frontier is None:
+                # Dead code after a jump still gets blocks (so its
+                # functions are enumerable) but stays unreachable.
+                frontier = self._block()
+                frontier = self._stmt(stmt, frontier)
+                frontier = None
+                continue
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, cur: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, cur)
+        if isinstance(stmt, ast.Return):
+            self.cfg.blocks[cur].steps.append(stmt)
+            self._jump(cur, self.cfg.exit, 0)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self.cfg.blocks[cur].steps.append(stmt)
+            self.cfg.add_edge(cur, self.cfg.raise_exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                target, _, depth = self._loops[-1]
+                self._jump(cur, target, depth)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                _, target, depth = self._loops[-1]
+                self._jump(cur, target, depth)
+            return None
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._match(stmt, cur)
+        # Simple statement (incl. nested def/class — opaque here).
+        self.cfg.blocks[cur].steps.append(stmt)
+        return cur
+
+    # -- compound statements --------------------------------------------
+
+    def _if(self, stmt: ast.If, cur: int) -> Optional[int]:
+        self.cfg.blocks[cur].steps.append(TestExpr(stmt.test, stmt))
+        join = self._block()
+        then_entry = self._block()
+        self.cfg.add_edge(cur, then_entry, stmt.test, True)
+        self._seal(self.body(stmt.body, then_entry), join)
+        if stmt.orelse:
+            else_entry = self._block()
+            self.cfg.add_edge(cur, else_entry, stmt.test, False)
+            self._seal(self.body(stmt.orelse, else_entry), join)
+        else:
+            self.cfg.add_edge(cur, join, stmt.test, False)
+        if not self.cfg.preds(join):
+            return None
+        return join
+
+    def _while(self, stmt: ast.While, cur: int) -> Optional[int]:
+        head = self._block()
+        self.cfg.add_edge(cur, head)
+        self.cfg.blocks[head].steps.append(TestExpr(stmt.test, stmt))
+        after = self._block()
+        body_entry = self._block()
+        self.cfg.add_edge(head, body_entry, stmt.test, True)
+        self._loops.append((after, head, len(self._finally)))
+        body_exit = self.body(stmt.body, body_entry)
+        self._loops.pop()
+        self._seal(body_exit, head)
+        if stmt.orelse:
+            else_entry = self._block()
+            self.cfg.add_edge(head, else_entry, stmt.test, False)
+            self._seal(self.body(stmt.orelse, else_entry), after)
+        else:
+            self.cfg.add_edge(head, after, stmt.test, False)
+        if not self.cfg.preds(after):
+            return None
+        return after
+
+    def _for(self, stmt: Union[ast.For, ast.AsyncFor], cur: int) -> Optional[int]:
+        self.cfg.blocks[cur].steps.append(TestExpr(stmt.iter, stmt))
+        head = self._block()
+        self.cfg.add_edge(cur, head)
+        after = self._block()
+        body_entry = self._block()
+        self.cfg.add_edge(head, body_entry)
+        # The loop variable is (re)bound each iteration; surface that as
+        # a synthetic assignment so value-tracking lattices see it.
+        bind = ast.Assign(targets=[stmt.target], value=stmt.iter)
+        ast.copy_location(bind, stmt)
+        self.cfg.blocks[body_entry].steps.append(bind)
+        self._loops.append((after, head, len(self._finally)))
+        body_exit = self.body(stmt.body, body_entry)
+        self._loops.pop()
+        self._seal(body_exit, head)
+        if stmt.orelse:
+            else_entry = self._block()
+            self.cfg.add_edge(head, else_entry)
+            self._seal(self.body(stmt.orelse, else_entry), after)
+        else:
+            self.cfg.add_edge(head, after)
+        if not self.cfg.preds(after):
+            return None
+        return after
+
+    def _with(
+        self, stmt: Union[ast.With, ast.AsyncWith], cur: int
+    ) -> Optional[int]:
+        for item in stmt.items:
+            self.cfg.blocks[cur].steps.append(WithEnter(item, stmt))
+        body_exit = self.body(stmt.body, cur)
+        if body_exit is None:
+            return None
+        for item in reversed(stmt.items):
+            self.cfg.blocks[body_exit].steps.append(WithExit(item, stmt))
+        return body_exit
+
+    def _try(self, stmt: ast.Try, cur: int) -> Optional[int]:
+        if stmt.finalbody:
+            self._finally.append(stmt.finalbody)
+        before = len(self.cfg.blocks)
+        body_entry = self._block()
+        self.cfg.add_edge(cur, body_entry)
+        body_exit = self.body(stmt.body, body_entry)
+        if stmt.orelse and body_exit is not None:
+            body_exit = self.body(stmt.orelse, body_exit)
+        try_blocks = [
+            bid for bid in range(before, len(self.cfg.blocks))
+        ]
+        handler_exits: List[int] = []
+        for handler in stmt.handlers:
+            handler_entry = self._block()
+            for bid in try_blocks:
+                self.cfg.add_edge(bid, handler_entry, exceptional=True)
+            handler_exit = self.body(handler.body, handler_entry)
+            if handler_exit is not None:
+                handler_exits.append(handler_exit)
+        if stmt.finalbody:
+            self._finally.pop()
+            fin_entry = self._block()
+            self._seal(body_exit, fin_entry)
+            for bid in handler_exits:
+                self.cfg.add_edge(bid, fin_entry)
+            if not self.cfg.preds(fin_entry):
+                return None
+            return self.body(stmt.finalbody, fin_entry)
+        join = self._block()
+        self._seal(body_exit, join)
+        for bid in handler_exits:
+            self.cfg.add_edge(bid, join)
+        if not self.cfg.preds(join):
+            return None
+        return join
+
+    def _match(self, stmt: ast.AST, cur: int) -> Optional[int]:
+        # Coarse: every case body is an unconditioned alternative.
+        join = self._block()
+        matched = False
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            case_entry = self._block()
+            self.cfg.add_edge(cur, case_entry)
+            self._seal(self.body(case.body, case_entry), join)
+            matched = True
+        if not matched:
+            return cur
+        self.cfg.add_edge(cur, join)  # no case may match
+        return join
+
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def build_cfg(fn: FunctionNode) -> CFG:
+    """Build the CFG of one function definition's body."""
+    builder = _Builder()
+    first = builder._block()
+    builder.cfg.add_edge(builder.cfg.entry, first)
+    frontier = builder.body(fn.body, first)
+    if frontier is not None:
+        builder.cfg.add_edge(frontier, builder.cfg.exit)
+    return builder.cfg

@@ -1,0 +1,114 @@
+"""Generic forward dataflow over :mod:`repro.check.cfg` graphs.
+
+A :class:`Lattice` bundles everything one analysis needs: the state at
+function entry, a join for merge points, a transfer function applied
+step by step, and an optional edge refinement hook that narrows state
+along branch edges (``if ctx is not None: ...``).  The engine itself is
+the textbook worklist algorithm: run blocks until in-states stop
+changing; termination is the lattice's responsibility (finite height or
+widening inside ``join``).
+
+States are treated as immutable values — ``transfer`` and ``refine``
+must return fresh states (or the input unchanged), never mutate in
+place, because one out-state fans into several successor in-states.
+
+Beyond fixed points, analyses usually need the state *at* each step,
+not just per block; :func:`run_forward` returns a :class:`FlowResult`
+whose :meth:`~FlowResult.step_states` replays a block's transfer
+sequence to recover them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+import ast
+
+from .cfg import CFG, Step
+
+S = TypeVar("S")
+
+
+class Lattice(Generic[S]):
+    """One dataflow analysis: states, join, transfer, refinement."""
+
+    def entry_state(self) -> S:
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def transfer(self, step: Step, state: S) -> S:
+        raise NotImplementedError
+
+    def refine(self, test: ast.expr, branch: bool, state: S) -> S:
+        """Narrow ``state`` along a branch edge; default is no-op."""
+        return state
+
+    def equal(self, a: S, b: S) -> bool:
+        return bool(a == b)
+
+
+class FlowResult(Generic[S]):
+    """Fixed-point in-states plus per-step replay."""
+
+    def __init__(self, cfg: CFG, lattice: Lattice[S], in_states: Dict[int, S]):
+        self.cfg = cfg
+        self.lattice = lattice
+        self.in_states = in_states
+
+    def block_in(self, bid: int) -> Optional[S]:
+        """In-state of ``bid``, or ``None`` if the block is unreachable."""
+        return self.in_states.get(bid)
+
+    def block_out(self, bid: int) -> Optional[S]:
+        state = self.in_states.get(bid)
+        if state is None:
+            return None
+        for step in self.cfg.blocks[bid].steps:
+            state = self.lattice.transfer(step, state)
+        return state
+
+    def step_states(self, bid: int) -> Iterator[Tuple[Step, S]]:
+        """Yield ``(step, state-before-step)`` for a reachable block."""
+        state = self.in_states.get(bid)
+        if state is None:
+            return
+        for step in self.cfg.blocks[bid].steps:
+            yield step, state
+            state = self.lattice.transfer(step, state)
+
+    def exit_state(self) -> Optional[S]:
+        """Joined state over all non-exceptional exits, if reachable."""
+        return self.block_in(self.cfg.exit)
+
+
+def run_forward(cfg: CFG, lattice: Lattice[S]) -> FlowResult[S]:
+    """Run ``lattice`` forward over ``cfg`` to a fixed point."""
+    in_states: Dict[int, S] = {cfg.entry: lattice.entry_state()}
+    worklist: List[int] = [cfg.entry]
+    # Bound the total number of block visits; any real lattice converges
+    # far earlier, and a buggy one should fail loudly, not spin.
+    budget = 64 * (len(cfg.blocks) + 1) * (len(cfg.edges) + 1)
+    while worklist:
+        budget -= 1
+        if budget < 0:
+            raise RuntimeError("dataflow failed to converge (lattice bug?)")
+        bid = worklist.pop()
+        entry = in_states[bid]
+        state = entry
+        for step in cfg.blocks[bid].steps:
+            state = lattice.transfer(step, state)
+        for edge in cfg.succs(bid):
+            # Exceptional edges deliver the block's in-state: the
+            # exception may have fired before any step took effect.
+            out = entry if edge.exceptional else state
+            if edge.test is not None and edge.branch is not None:
+                out = lattice.refine(edge.test, edge.branch, out)
+            old = in_states.get(edge.dst)
+            new = out if old is None else lattice.join(old, out)
+            if old is None or not lattice.equal(old, new):
+                in_states[edge.dst] = new
+                if edge.dst not in worklist:
+                    worklist.append(edge.dst)
+    return FlowResult(cfg, lattice, in_states)

@@ -1,0 +1,1510 @@
+"""The deep (dataflow) rules: REP008-REP011.
+
+Where :mod:`repro.check.visitor` judges single statements, these four
+analyses judge *paths* and *call chains*, built on the shared engine
+(:mod:`repro.check.cfg`, :mod:`repro.check.dataflow`,
+:mod:`repro.check.callgraph`):
+
+REP008
+    Resource-lifecycle typestate.  Every local binding of a tracked
+    constructor (``RESOURCE_PROTOCOLS`` in :mod:`repro.check.rules`)
+    must reach a release call on **every non-exceptional CFG path** —
+    or transfer ownership first (returned, yielded, stored into an
+    object/container, passed to another call, captured by a nested
+    function).  ``with``-managed resources are never tracked; neither
+    is a constructor whose result goes straight into an attribute
+    (``self._arena = SharedArena()`` hands the lifecycle to the
+    object).  ``x = make() if cond else None`` is understood through
+    branch refinement on ``x is (not) None``.
+
+REP009
+    Lock discipline.  ``# repro: guarded-by[lock]`` on an attribute or
+    module-global assignment declares that every later access must
+    happen while the named lock is statically held (``with`` block or
+    ``.acquire()``/``.release()`` pair).  Locksets are a *must*
+    analysis (intersection at joins); private helpers inherit the
+    intersection of their call sites' locksets, public entry points and
+    functions that escape as values (``Thread(target=self._run)``)
+    start with nothing held.  ``__init__`` bodies and module-level
+    initialisation are exempt (no concurrent sharing yet).  The same
+    pass flags re-acquiring a held lock and any cycle in the
+    cross-function lock-acquisition order graph.
+
+REP010
+    Fleet RPC conformance.  In any module containing a worker
+    dispatcher (a loop over ``msg = conn.recv()`` switching on
+    ``msg[0]``), every message tuple sent from outside the dispatcher
+    (``conn.send((tag, ...))``, ``self._call(shard, (tag, ...))``) must
+    name a handled tag with a compatible arity.  Handlers that unpack
+    exactly (``_, row, pid, ctx = msg``) pin the arity; handlers that
+    index defensively stay flexible.  Sends *inside* a dispatcher are
+    its replies and exempt.
+
+REP011
+    Interprocedural purity.  REP004's task-purity contract extended
+    through the call graph: a Mapper/Reducer/Combiner method must not
+    reach a module-global write through any chain of (alias-resolved)
+    helper calls, and must not pass a data input to a helper that
+    mutates the corresponding parameter.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.check import rules as R
+from repro.check.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    build_call_graph,
+)
+from repro.check.cfg import (
+    CFG,
+    Step,
+    TestExpr,
+    WithEnter,
+    WithExit,
+    build_cfg,
+)
+from repro.check.dataflow import FlowResult, Lattice, run_forward
+from repro.check.rules import Violation
+
+#: ``# repro: guarded-by[lock]`` on an assignment line designates the
+#: assigned attribute/global as lock-protected.
+GUARDED_RE = re.compile(r"#\s*repro:\s*guarded-by\[([^\]]+)\]")
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: A lock identity: ("self", module, class, attr) or ("mod", module, name).
+LockToken = Tuple[str, ...]
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _value_names(expr: ast.expr) -> Set[str]:
+    """Names whose *object* flows into ``expr``'s value position —
+    through tuple/list/set literals, starred items, conditional arms
+    and walrus bindings, but not through attribute access, subscripts
+    or calls (those produce derived values, not the handle itself)."""
+    if isinstance(expr, ast.Name):
+        return {expr.id}
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        out: Set[str] = set()
+        for elt in expr.elts:
+            out |= _value_names(elt)
+        return out
+    if isinstance(expr, ast.Starred):
+        return _value_names(expr.value)
+    if isinstance(expr, ast.IfExp):
+        return _value_names(expr.body) | _value_names(expr.orelse)
+    if isinstance(expr, ast.NamedExpr):
+        return _value_names(expr.value)
+    return set()
+
+
+def _local_bindings(fn: FunctionNode) -> Set[str]:
+    """Names bound locally in ``fn`` (params + assignment targets),
+    minus anything declared ``global``/``nonlocal``."""
+    bound: Set[str] = set()
+    args = fn.args
+    for a in args.posonlyargs + args.args + args.kwonlyargs:
+        bound.add(a.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    declared: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    bound.add(sub.id)
+    return bound - declared
+
+
+def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class
+    definitions or lambdas (their bodies run in another context)."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        for child in ast.iter_child_nodes(cur):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            stack.append(child)
+
+
+def parse_guard_comments(source: str) -> Dict[int, str]:
+    """``{line: lock_name}`` for every guarded-by comment in ``source``,
+    keyed by the line it designates: its own line for a trailing
+    comment, the line below for a standalone comment line (same
+    placement contract as the suppression pragmas).
+
+    Tokenize-based for the same reason as the pragmas: a guarded-by
+    example inside a docstring must be inert.
+    """
+    guards: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = GUARDED_RE.search(token.string)
+            if match is None:
+                continue
+            line = token.start[0]
+            standalone = not token.line[: token.start[1]].strip()
+            guards[line + 1 if standalone else line] = match.group(1).strip()
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return guards
+
+
+# ---------------------------------------------------------------------------
+# The analysis driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Module:
+    path: str
+    name: str
+    source: str
+    tree: ast.Module
+
+
+class DeepAnalyzer:
+    """Runs REP008-REP011 over a set of modules as one program."""
+
+    def __init__(self) -> None:
+        self._modules: List[_Module] = []
+        self._cfgs: Dict[int, CFG] = {}
+
+    def add_module(self, path: str, source: str, tree: ast.Module) -> None:
+        from repro.check.callgraph import module_name_for
+
+        self._modules.append(_Module(path, module_name_for(path), source, tree))
+
+    def cfg_of(self, fn: FunctionNode) -> CFG:
+        cached = self._cfgs.get(id(fn))
+        if cached is None:
+            cached = build_cfg(fn)
+            self._cfgs[id(fn)] = cached
+        return cached
+
+    def run(self) -> List[Violation]:
+        graph = build_call_graph([(m.path, m.tree) for m in self._modules])
+        violations: List[Violation] = []
+        _ResourceAnalysis(self, graph).run(violations)
+        _LockAnalysis(self, graph, self._modules).run(violations)
+        for module in self._modules:
+            _check_rpc_conformance(module, violations)
+        _PurityAnalysis(graph, self._modules).run(violations)
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+        return violations
+
+    def iter_functions(
+        self, graph: CallGraph
+    ) -> Iterator[Tuple[_Module, FunctionInfo]]:
+        by_path = {m.path: m for m in self._modules}
+        for info in graph.iter_functions():
+            module = by_path.get(info.path)
+            if module is not None:
+                yield module, info
+
+
+def analyze_modules(
+    modules: Sequence[Tuple[str, str, ast.Module]],
+) -> List[Violation]:
+    """Deep-check ``(path, source, tree)`` modules as one program."""
+    analyzer = DeepAnalyzer()
+    for path, source, tree in modules:
+        analyzer.add_module(path, source, tree)
+    return analyzer.run()
+
+
+# ---------------------------------------------------------------------------
+# REP008 — resource-lifecycle typestate
+# ---------------------------------------------------------------------------
+
+#: One tracked resource binding: (line, col, kind).
+_Site = Tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class _RState:
+    """Typestate: which creation sites still owe a release, and which
+    local names currently refer to which sites."""
+
+    #: site -> True if a release is still owed on this path
+    sites: Tuple[Tuple[_Site, bool], ...] = ()
+    #: name -> sites it may refer to
+    env: Tuple[Tuple[str, FrozenSet[_Site]], ...] = ()
+
+    def sites_dict(self) -> Dict[_Site, bool]:
+        return dict(self.sites)
+
+    def env_dict(self) -> Dict[str, FrozenSet[_Site]]:
+        return dict(self.env)
+
+    @staticmethod
+    def make(
+        sites: Dict[_Site, bool], env: Dict[str, FrozenSet[_Site]]
+    ) -> "_RState":
+        return _RState(
+            tuple(sorted(sites.items())),
+            tuple(sorted((k, v) for k, v in env.items() if v)),
+        )
+
+
+def _creation_kind(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Call):
+        name = _terminal_name(expr.func)
+        if name is not None and name in R.RESOURCE_PROTOCOLS:
+            return name
+    return None
+
+
+class _ResourceLattice(Lattice[_RState]):
+    def entry_state(self) -> _RState:
+        return _RState()
+
+    def join(self, a: _RState, b: _RState) -> _RState:
+        sites = a.sites_dict()
+        for site, owed in b.sites:
+            sites[site] = sites.get(site, False) or owed
+        env = a.env_dict()
+        for name, refs in b.env:
+            env[name] = env.get(name, frozenset()) | refs
+        return _RState.make(sites, env)
+
+    # -- transfer -------------------------------------------------------
+
+    def transfer(self, step: Step, state: _RState) -> _RState:
+        if isinstance(step, (WithEnter, WithExit)):
+            if isinstance(step, WithEnter):
+                return self._scan_expr(step.item.context_expr, state)
+            return state
+        if isinstance(step, TestExpr):
+            return self._scan_expr(step.expr, state)
+        return self._transfer_stmt(step, state)
+
+    def _transfer_stmt(self, stmt: ast.stmt, state: _RState) -> _RState:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = stmt.value
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            if value is not None:
+                handled = self._creation(stmt, value, targets, state)
+                if handled is not None:
+                    return handled
+                # Pure alias: b = a
+                if (
+                    len(targets) == 1
+                    and isinstance(targets[0], ast.Name)
+                    and isinstance(value, ast.Name)
+                ):
+                    env = state.env_dict()
+                    refs = env.get(value.id)
+                    if refs:
+                        env[targets[0].id] = refs
+                    else:
+                        env.pop(targets[0].id, None)
+                    return _RState.make(state.sites_dict(), env)
+                state = self._scan_expr(value, state)
+                # Storing a handle anywhere (attribute, subscript, a
+                # container bound to another name) transfers ownership.
+                state = self._escape_names(_value_names(value), state)
+            env = state.env_dict()
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        env.pop(sub.id, None)
+            return _RState.make(state.sites_dict(), env)
+        # Generic statement: releases, call-argument escapes, returns.
+        state = self._scan_stmt_exprs(stmt, state)
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            state = self._escape_names(_value_names(stmt.value), state)
+        return state
+
+    def _creation(
+        self,
+        stmt: ast.stmt,
+        value: ast.expr,
+        targets: Sequence[ast.expr],
+        state: _RState,
+    ) -> Optional[_RState]:
+        """Handle ``x = Creator()`` / ``a, b = ctx.Pipe()`` /
+        ``x = Creator() if cond else None``; None if not a creation."""
+        calls: List[ast.Call] = []
+        kind: Optional[str] = None
+        if _creation_kind(value) is not None:
+            kind = _creation_kind(value)
+            calls = [value]  # type: ignore[list-item]
+        elif isinstance(value, ast.IfExp):
+            for arm in (value.body, value.orelse):
+                k = _creation_kind(arm)
+                if k is not None:
+                    kind = k
+                    calls.append(arm)  # type: ignore[arg-type]
+        if kind is None or len(targets) != 1:
+            return None
+        target = targets[0]
+        sites = state.sites_dict()
+        env = state.env_dict()
+        # Arguments of the constructor escape into it.
+        scanned = state
+        for call in calls:
+            scanned = self._scan_expr(call, scanned)
+        sites = scanned.sites_dict()
+        env = scanned.env_dict()
+        if isinstance(target, ast.Name):
+            site = (stmt.lineno, stmt.col_offset, kind)
+            sites[site] = True
+            env[target.id] = frozenset((site,))
+            return _RState.make(sites, env)
+        if isinstance(target, ast.Tuple) and all(
+            isinstance(e, ast.Name) for e in target.elts
+        ):
+            # a, b = Pipe(): each end is its own resource.
+            for elt in target.elts:
+                assert isinstance(elt, ast.Name)
+                site = (elt.lineno, elt.col_offset, kind)
+                sites[site] = True
+                env[elt.id] = frozenset((site,))
+            return _RState.make(sites, env)
+        # Attribute / subscript target: ownership moves into the object.
+        return _RState.make(sites, env)
+
+    # -- escapes & releases ---------------------------------------------
+
+    def _escape_names(self, names: Set[str], state: _RState) -> _RState:
+        if not names:
+            return state
+        env = state.env_dict()
+        sites = state.sites_dict()
+        changed = False
+        for name in names:
+            for site in env.get(name, ()):
+                if sites.get(site):
+                    sites[site] = False
+                    changed = True
+        if not changed:
+            return state
+        return _RState.make(sites, env)
+
+    def _scan_stmt_exprs(self, stmt: ast.stmt, state: _RState) -> _RState:
+        for node in _walk_shallow(stmt):
+            if isinstance(node, ast.Call):
+                state = self._apply_call(node, state)
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    state = self._escape_names(_value_names(node.value), state)
+        # A handle captured by a nested function or lambda escapes.
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                captured: Set[str] = set()
+                body = node.body if isinstance(node.body, list) else [node.body]
+                for part in body:
+                    for sub in ast.walk(part):
+                        if isinstance(sub, ast.Name):
+                            captured.add(sub.id)
+                state = self._escape_names(captured, state)
+        return state
+
+    def _scan_expr(self, expr: ast.expr, state: _RState) -> _RState:
+        for node in _walk_shallow(expr):
+            if isinstance(node, ast.Call):
+                state = self._apply_call(node, state)
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Lambda):
+                captured = {
+                    sub.id
+                    for sub in ast.walk(node.body)
+                    if isinstance(sub, ast.Name)
+                }
+                state = self._escape_names(captured, state)
+        return state
+
+    def _apply_call(self, call: ast.Call, state: _RState) -> _RState:
+        # Release: x.unlink() / conn.close() / fleet.stop().
+        func = call.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            refs = state.env_dict().get(func.value.id)
+            if refs:
+                sites = state.sites_dict()
+                hit = False
+                for site in refs:
+                    if func.attr in R.RESOURCE_PROTOCOLS.get(site[2], frozenset()):
+                        sites[site] = False
+                        hit = True
+                if hit:
+                    state = _RState.make(sites, state.env_dict())
+        # Escape: any handle in a value position of an argument.
+        escaping: Set[str] = set()
+        for arg in call.args:
+            escaping |= _value_names(arg)
+        for kw in call.keywords:
+            escaping |= _value_names(kw.value)
+        return self._escape_names(escaping, state)
+
+    # -- refinement -----------------------------------------------------
+
+    def refine(self, test: ast.expr, branch: bool, state: _RState) -> _RState:
+        name, is_none_when = self._none_test(test)
+        if name is None:
+            return state
+        # On the branch where the name is known to be None, the binding
+        # holds no resource: nothing is owed along this path.
+        if branch is is_none_when:
+            refs = state.env_dict().get(name)
+            if refs:
+                sites = state.sites_dict()
+                for site in refs:
+                    if sites.get(site):
+                        sites[site] = False
+                return _RState.make(sites, state.env_dict())
+        return state
+
+    @staticmethod
+    def _none_test(test: ast.expr) -> Tuple[Optional[str], bool]:
+        """Recognise ``x is None`` / ``x is not None`` / ``x`` /
+        ``not x``; returns (name, polarity at which x is None)."""
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            left, op, right = test.left, test.ops[0], test.comparators[0]
+            if isinstance(right, ast.Constant) and right.value is None:
+                if isinstance(left, ast.Name) and isinstance(op, ast.Is):
+                    return left.id, True
+                if isinstance(left, ast.Name) and isinstance(op, ast.IsNot):
+                    return left.id, False
+        if isinstance(test, ast.Name):
+            return test.id, False
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            if isinstance(test.operand, ast.Name):
+                return test.operand.id, True
+        return None, False
+
+
+class _ResourceAnalysis:
+    def __init__(self, analyzer: DeepAnalyzer, graph: CallGraph) -> None:
+        self.analyzer = analyzer
+        self.graph = graph
+
+    def run(self, violations: List[Violation]) -> None:
+        lattice = _ResourceLattice()
+        for module, info in self.analyzer.iter_functions(self.graph):
+            cfg = self.analyzer.cfg_of(info.node)
+            result = run_forward(cfg, lattice)
+            exit_state = result.exit_state()
+            if exit_state is None:
+                continue
+            for site, owed in exit_state.sites:
+                if not owed:
+                    continue
+                line, col, kind = site
+                releases = sorted(R.RESOURCE_PROTOCOLS[kind])
+                how = (
+                    f"call {'/'.join(releases)}()"
+                    if releases
+                    else "hand it to its committer"
+                )
+                violations.append(
+                    Violation(
+                        rule_id="REP008",
+                        path=module.path,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"{kind} created here can leak: {how} or "
+                            "transfer ownership on every "
+                            f"non-exceptional path of {info.name}()"
+                        ),
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP009 — lock discipline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Guards:
+    #: (module, class) -> {attr: lock_attr}
+    attrs: Dict[Tuple[str, str], Dict[str, str]] = field(default_factory=dict)
+    #: module -> {global_name: lock_name}
+    globals: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def empty(self) -> bool:
+        return not self.attrs and not self.globals
+
+
+def _collect_guards(modules: Sequence[_Module]) -> _Guards:
+    guards = _Guards()
+    for module in modules:
+        lines = parse_guard_comments(module.source)
+        if not lines:
+            continue
+
+        def visit(
+            node: ast.AST, cls: Optional[str], depth: int, module: _Module = module,
+            lines: Dict[int, str] = lines,
+        ) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, child.name, depth + 1)
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visit(child, cls, depth + 1)
+                elif isinstance(child, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    lock = lines.get(child.lineno)
+                    if lock is None:
+                        continue
+                    targets = (
+                        child.targets
+                        if isinstance(child, ast.Assign)
+                        else [child.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and cls is not None
+                        ):
+                            guards.attrs.setdefault(
+                                (module.name, cls), {}
+                            )[target.attr] = lock
+                        elif isinstance(target, ast.Name) and depth == 0:
+                            guards.globals.setdefault(module.name, {})[
+                                target.id
+                            ] = lock
+                else:
+                    visit(child, cls, depth)
+
+        visit(module.tree, None, 0)
+    return guards
+
+
+class _LockLattice(Lattice[Optional[FrozenSet[LockToken]]]):
+    """Must-hold lockset; ``None`` is unreachable-from-entry bottom is
+    not needed — the engine only propagates along reached edges — so
+    states are plain frozensets and join is intersection."""
+
+    def __init__(self, analysis: "_LockAnalysis", info: FunctionInfo) -> None:
+        self.analysis = analysis
+        self.info = info
+        self.entry: FrozenSet[LockToken] = frozenset()
+
+    def entry_state(self) -> Optional[FrozenSet[LockToken]]:
+        return self.entry
+
+    def join(
+        self,
+        a: Optional[FrozenSet[LockToken]],
+        b: Optional[FrozenSet[LockToken]],
+    ) -> Optional[FrozenSet[LockToken]]:
+        assert a is not None and b is not None
+        return a & b
+
+    def transfer(
+        self, step: Step, state: Optional[FrozenSet[LockToken]]
+    ) -> Optional[FrozenSet[LockToken]]:
+        assert state is not None
+        token_of = self.analysis.lock_token
+        if isinstance(step, WithEnter):
+            token = token_of(step.item.context_expr, self.info)
+            if token is not None:
+                return state | {token}
+            return state
+        if isinstance(step, WithExit):
+            token = token_of(step.item.context_expr, self.info)
+            if token is not None:
+                return state - {token}
+            return state
+        if isinstance(step, TestExpr):
+            return state
+        for node in _walk_shallow(step):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "acquire":
+                    token = token_of(node.func.value, self.info)
+                    if token is not None:
+                        state = state | {token}
+                elif node.func.attr == "release":
+                    token = token_of(node.func.value, self.info)
+                    if token is not None:
+                        state = state - {token}
+        return state
+
+
+class _LockAnalysis:
+    def __init__(
+        self,
+        analyzer: DeepAnalyzer,
+        graph: CallGraph,
+        modules: Sequence[_Module],
+    ) -> None:
+        self.analyzer = analyzer
+        self.graph = graph
+        self.modules = modules
+        self.guards = _collect_guards(modules)
+        self._locals: Dict[str, Set[str]] = {}
+        self._flows: Dict[str, FlowResult[Optional[FrozenSet[LockToken]]]] = {}
+        self.entry: Dict[str, FrozenSet[LockToken]] = {}
+        self.acquires: Dict[str, FrozenSet[LockToken]] = {}
+
+    # -- token resolution -----------------------------------------------
+
+    def lock_token(
+        self, expr: ast.expr, info: FunctionInfo
+    ) -> Optional[LockToken]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and info.cls is not None
+        ):
+            return ("self", info.module, info.cls, expr.attr)
+        if isinstance(expr, ast.Name):
+            if expr.id in self._fn_locals(info):
+                return None
+            if expr.id in self.graph.module_globals(info.module):
+                return ("mod", info.module, expr.id)
+        return None
+
+    def _fn_locals(self, info: FunctionInfo) -> Set[str]:
+        cached = self._locals.get(info.qualname)
+        if cached is None:
+            cached = _local_bindings(info.node)
+            self._locals[info.qualname] = cached
+        return cached
+
+    @staticmethod
+    def _token_label(token: LockToken) -> str:
+        if token[0] == "self":
+            return f"self.{token[3]}"
+        return token[2]
+
+    # -- interprocedural entry locksets ---------------------------------
+
+    def _direct_acquires(self, info: FunctionInfo) -> FrozenSet[LockToken]:
+        tokens: Set[LockToken] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    token = self.lock_token(item.context_expr, info)
+                    if token is not None:
+                        tokens.add(token)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+            ):
+                token = self.lock_token(node.func.value, info)
+                if token is not None:
+                    tokens.add(token)
+        return frozenset(tokens)
+
+    @staticmethod
+    def _translate(
+        tokens: FrozenSet[LockToken], site: CallSite
+    ) -> FrozenSet[LockToken]:
+        """Map caller-frame tokens into the callee's frame (and back —
+        the mapping is symmetric): module tokens always cross; ``self``
+        tokens cross only a same-class method call."""
+        out: Set[LockToken] = set()
+        for token in tokens:
+            if token[0] == "mod":
+                out.add(token)
+            elif (
+                token[0] == "self"
+                and site.is_method_call
+                and site.callee.cls == site.caller.cls
+                and site.callee.module == site.caller.module
+            ):
+                out.add(token)
+        return frozenset(out)
+
+    def _flow(
+        self, info: FunctionInfo
+    ) -> FlowResult[Optional[FrozenSet[LockToken]]]:
+        cached = self._flows.get(info.qualname)
+        if cached is None:
+            lattice = _LockLattice(self, info)
+            lattice.entry = self.entry.get(info.qualname, frozenset())
+            cached = run_forward(self.analyzer.cfg_of(info.node), lattice)
+            self._flows[info.qualname] = cached
+        return cached
+
+    def _lockset_at_call(self, site: CallSite) -> FrozenSet[LockToken]:
+        result = self._flow(site.caller)
+        for bid in result.cfg.blocks:
+            for step, state in result.step_states(bid):
+                if isinstance(step, (WithEnter, WithExit)):
+                    continue
+                target = step.expr if isinstance(step, TestExpr) else step
+                for node in ast.walk(target):
+                    if node is site.call:
+                        assert state is not None
+                        return state
+        return frozenset()
+
+    def _compute_entries(self) -> None:
+        universe: Set[LockToken] = set()
+        infos = list(self.graph.iter_functions())
+        for info in infos:
+            tokens = self._direct_acquires(info)
+            self.acquires[info.qualname] = tokens
+            universe |= tokens
+        # Transitive acquires (for lock-order edges through calls).
+        changed = True
+        while changed:
+            changed = False
+            for info in infos:
+                for site in self.graph.calls_from(info.qualname):
+                    inherited = self._translate(
+                        self.acquires.get(site.callee.qualname, frozenset()),
+                        site,
+                    )
+                    merged = self.acquires[info.qualname] | inherited
+                    if merged != self.acquires[info.qualname]:
+                        self.acquires[info.qualname] = merged
+                        changed = True
+        # Entry locksets: optimistic top for eligible private helpers,
+        # then shrink by call-site intersection to a fixed point.
+        top = frozenset(universe)
+        for info in infos:
+            eligible = (
+                info.is_private
+                and info.name != "__init__"
+                and info.qualname not in self.graph.escaped
+                and bool(self.graph.calls_to(info.qualname))
+            )
+            self.entry[info.qualname] = top if eligible else frozenset()
+        changed = True
+        while changed:
+            changed = False
+            for info in infos:
+                if not self.entry[info.qualname]:
+                    continue
+                if not self.graph.calls_to(info.qualname):
+                    continue
+                meet: Optional[FrozenSet[LockToken]] = None
+                for site in self.graph.calls_to(info.qualname):
+                    held = self._translate(self._lockset_at_call(site), site)
+                    meet = held if meet is None else (meet & held)
+                assert meet is not None
+                if meet != self.entry[info.qualname]:
+                    self.entry[info.qualname] = meet
+                    self._flows.pop(info.qualname, None)
+                    # Callers' flows depend only on *their* entries, but
+                    # this callee's flow (and its callees' entries) must
+                    # be recomputed against the smaller set.
+                    changed = True
+
+    # -- the reporting pass ---------------------------------------------
+
+    def run(self, violations: List[Violation]) -> None:
+        if self.guards.empty():
+            has_locks = any(
+                self._direct_acquires(info)
+                for info in self.graph.iter_functions()
+            )
+            if not has_locks:
+                return
+        self._compute_entries()
+        order_edges: Dict[
+            Tuple[LockToken, LockToken], Tuple[str, int, int]
+        ] = {}
+        for module, info in self.analyzer.iter_functions(self.graph):
+            if info.name == "__init__":
+                continue
+            self._report_function(module, info, order_edges, violations)
+        self._report_cycles(order_edges, violations)
+
+    def _report_function(
+        self,
+        module: _Module,
+        info: FunctionInfo,
+        order_edges: Dict[Tuple[LockToken, LockToken], Tuple[str, int, int]],
+        violations: List[Violation],
+    ) -> None:
+        result = self._flow(info)
+        attr_guards = self.guards.attrs.get((info.module, info.cls or ""), {})
+        global_guards = self.guards.globals.get(info.module, {})
+        fn_locals = self._fn_locals(info)
+        seen: Set[Tuple[int, str]] = set()
+        calls_reported: Set[int] = set()
+        for bid in result.cfg.blocks:
+            for step, state in result.step_states(bid):
+                assert state is not None
+                self._check_step(
+                    module,
+                    info,
+                    step,
+                    state,
+                    attr_guards,
+                    global_guards,
+                    fn_locals,
+                    seen,
+                    calls_reported,
+                    order_edges,
+                    violations,
+                )
+
+    def _check_step(
+        self,
+        module: _Module,
+        info: FunctionInfo,
+        step: Step,
+        state: FrozenSet[LockToken],
+        attr_guards: Dict[str, str],
+        global_guards: Dict[str, str],
+        fn_locals: Set[str],
+        seen: Set[Tuple[int, str]],
+        calls_reported: Set[int],
+        order_edges: Dict[Tuple[LockToken, LockToken], Tuple[str, int, int]],
+        violations: List[Violation],
+    ) -> None:
+        def record_acquire(token: LockToken, node: ast.AST) -> None:
+            line = getattr(node, "lineno", 0)
+            col = getattr(node, "col_offset", 0)
+            if token in state:
+                key = (line, f"reacquire:{token}")
+                if key not in seen:
+                    seen.add(key)
+                    violations.append(
+                        Violation(
+                            rule_id="REP009",
+                            path=module.path,
+                            line=line,
+                            col=col,
+                            message=(
+                                f"lock {self._token_label(token)} is already "
+                                f"held here; re-acquiring it deadlocks a "
+                                "non-reentrant lock"
+                            ),
+                        )
+                    )
+            for held in sorted(state):
+                if held != token:
+                    order_edges.setdefault((held, token), (module.path, line, col))
+
+        if isinstance(step, WithEnter):
+            token = self.lock_token(step.item.context_expr, info)
+            if token is not None:
+                record_acquire(token, step.item.context_expr)
+            return
+        if isinstance(step, WithExit):
+            return
+        scan = step.expr if isinstance(step, TestExpr) else step
+        for node in _walk_shallow(scan):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "acquire":
+                    token = self.lock_token(node.func.value, info)
+                    if token is not None:
+                        record_acquire(token, node)
+                        state = state | {token}
+                        continue
+                if node.func.attr == "release":
+                    token = self.lock_token(node.func.value, info)
+                    if token is not None:
+                        state = state - {token}
+                        continue
+            if isinstance(node, ast.Call) and id(node) not in calls_reported:
+                # Transitive acquisitions through a resolved call: each
+                # held lock orders before whatever the callee takes.
+                callee = self._resolve_step_call(node, info)
+                if callee is not None:
+                    calls_reported.add(id(node))
+                    for acquired in self.acquires.get(
+                        callee.callee.qualname, frozenset()
+                    ):
+                        back = self._translate(frozenset((acquired,)), callee)
+                        for token in sorted(back):
+                            line = getattr(node, "lineno", 0)
+                            for held in sorted(state):
+                                if held != token:
+                                    order_edges.setdefault(
+                                        (held, token),
+                                        (module.path, line, node.col_offset),
+                                    )
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in attr_guards
+            ):
+                lock = attr_guards[node.attr]
+                required: LockToken = ("self", info.module, info.cls or "", lock)
+                if required not in state:
+                    self._unguarded(
+                        module, node, node.attr, f"self.{lock}", state, seen,
+                        violations,
+                    )
+            elif (
+                isinstance(node, ast.Name)
+                and node.id in global_guards
+                and node.id not in fn_locals
+            ):
+                lock = global_guards[node.id]
+                required = ("mod", info.module, lock)
+                if required not in state:
+                    self._unguarded(
+                        module, node, node.id, lock, state, seen, violations
+                    )
+
+    def _resolve_step_call(
+        self, call: ast.Call, info: FunctionInfo
+    ) -> Optional[CallSite]:
+        for site in self.graph.calls_from(info.qualname):
+            if site.call is call:
+                return site
+        return None
+
+    def _unguarded(
+        self,
+        module: _Module,
+        node: ast.AST,
+        name: str,
+        lock: str,
+        state: FrozenSet[LockToken],
+        seen: Set[Tuple[int, str]],
+        violations: List[Violation],
+    ) -> None:
+        line = getattr(node, "lineno", 0)
+        key = (line, name)
+        if key in seen:
+            return
+        seen.add(key)
+        held = (
+            ", ".join(sorted(self._token_label(t) for t in state)) or "none"
+        )
+        violations.append(
+            Violation(
+                rule_id="REP009",
+                path=module.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=(
+                    f"{name!r} is guarded by {lock} but accessed without "
+                    f"it (locks held: {held})"
+                ),
+            )
+        )
+
+    def _report_cycles(
+        self,
+        order_edges: Dict[Tuple[LockToken, LockToken], Tuple[str, int, int]],
+        violations: List[Violation],
+    ) -> None:
+        if not order_edges:
+            return
+        adj: Dict[LockToken, Set[LockToken]] = {}
+        for (a, b) in order_edges:
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set())
+        # Iterative Tarjan SCC.
+        index: Dict[LockToken, int] = {}
+        low: Dict[LockToken, int] = {}
+        on_stack: Set[LockToken] = set()
+        stack: List[LockToken] = []
+        comp: Dict[LockToken, int] = {}
+        counter = [0]
+        comp_id = [0]
+
+        def strongconnect(root: LockToken) -> None:
+            work: List[Tuple[LockToken, Iterator[LockToken]]] = [
+                (root, iter(adj[root]))
+            ]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(adj[succ])))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        comp[member] = comp_id[0]
+                        if member == node:
+                            break
+                    comp_id[0] += 1
+
+        for token in adj:
+            if token not in index:
+                strongconnect(token)
+        comp_sizes: Dict[int, int] = {}
+        for token, cid in comp.items():
+            comp_sizes[cid] = comp_sizes.get(cid, 0) + 1
+        for (a, b), (path, line, col) in sorted(
+            order_edges.items(), key=lambda kv: (kv[1][0], kv[1][1])
+        ):
+            if comp[a] == comp[b] and comp_sizes[comp[a]] > 1:
+                violations.append(
+                    Violation(
+                        rule_id="REP009",
+                        path=path,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"acquiring {self._token_label(b)} while holding "
+                            f"{self._token_label(a)} participates in a "
+                            "lock-order cycle (deadlock risk); pick one "
+                            "global order"
+                        ),
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP010 — fleet RPC protocol conformance
+# ---------------------------------------------------------------------------
+
+#: Call names that ship a message tuple over a pipe.
+_SEND_NAMES = frozenset(("send", "_call"))
+
+
+@dataclass
+class _Handler:
+    tag: str
+    exact_arity: Optional[int]  # None = flexible (defensive indexing)
+    line: int
+
+
+def _find_dispatchers(tree: ast.Module) -> List[FunctionNode]:
+    """Functions that loop on ``msg = conn.recv()`` and switch on the
+    message's first element."""
+    out: List[FunctionNode] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        recv_vars = _recv_vars(node)
+        if recv_vars and _switches_on_tag(node, recv_vars):
+            out.append(node)
+    return out
+
+
+def _recv_vars(fn: FunctionNode) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and _terminal_name(node.value.func) == "recv"
+        ):
+            out.add(node.targets[0].id)
+    return out
+
+
+def _tag_vars(fn: FunctionNode, recv_vars: Set[str]) -> Set[str]:
+    """Locals assigned ``msg[0]``."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and _is_tag_subscript(node.value, recv_vars)
+        ):
+            out.add(node.targets[0].id)
+    return out
+
+
+def _is_tag_subscript(expr: ast.expr, recv_vars: Set[str]) -> bool:
+    if not isinstance(expr, ast.Subscript):
+        return False
+    if not (isinstance(expr.value, ast.Name) and expr.value.id in recv_vars):
+        return False
+    index = expr.slice
+    if isinstance(index, ast.Constant):
+        return index.value == 0
+    return False
+
+
+def _switches_on_tag(fn: FunctionNode, recv_vars: Set[str]) -> bool:
+    tag_vars = _tag_vars(fn, recv_vars)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            if _tag_compare(node, recv_vars, tag_vars) is not None:
+                return True
+    return False
+
+
+def _tag_compare(
+    node: ast.Compare, recv_vars: Set[str], tag_vars: Set[str]
+) -> Optional[List[str]]:
+    """Tags tested by ``op == "tag"`` / ``msg[0] == "tag"`` /
+    ``op in ("a", "b")``."""
+    left = node.left
+    named = (
+        isinstance(left, ast.Name) and left.id in tag_vars
+    ) or _is_tag_subscript(left, recv_vars)
+    if not named:
+        return None
+    op = node.ops[0]
+    comp = node.comparators[0]
+    if isinstance(op, ast.Eq):
+        if isinstance(comp, ast.Constant) and isinstance(comp.value, str):
+            return [comp.value]
+    if isinstance(op, ast.In) and isinstance(comp, (ast.Tuple, ast.Set, ast.List)):
+        tags = [
+            e.value
+            for e in comp.elts
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)
+        ]
+        if tags:
+            return tags
+    return None
+
+
+def _collect_handlers(fn: FunctionNode) -> Dict[str, _Handler]:
+    recv_vars = _recv_vars(fn)
+    tag_vars = _tag_vars(fn, recv_vars)
+    handlers: Dict[str, _Handler] = {}
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If):
+            continue
+        if not isinstance(node.test, ast.Compare):
+            continue
+        tags = _tag_compare(node.test, recv_vars, tag_vars)
+        if not tags:
+            continue
+        arity = _branch_arity(node.body, recv_vars)
+        for tag in tags:
+            handlers.setdefault(
+                tag, _Handler(tag, arity, node.lineno)
+            )
+    return handlers
+
+
+def _branch_arity(
+    body: Sequence[ast.stmt], recv_vars: Set[str]
+) -> Optional[int]:
+    """Exact arity if the branch unpacks the whole message tuple
+    (``_, row, pid, ctx = msg``); None (flexible) otherwise."""
+    for stmt in body:
+        for node in _walk_shallow(stmt):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Tuple)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in recv_vars
+                and all(
+                    isinstance(e, ast.Name) for e in node.targets[0].elts
+                )
+            ):
+                return len(node.targets[0].elts)
+    return None
+
+
+def _check_rpc_conformance(
+    module: _Module, violations: List[Violation]
+) -> None:
+    dispatchers = _find_dispatchers(module.tree)
+    if not dispatchers:
+        return
+    handlers: Dict[str, _Handler] = {}
+    for fn in dispatchers:
+        handlers.update(_collect_handlers(fn))
+    dispatcher_spans = [
+        (fn.lineno, max(n.lineno for n in ast.walk(fn) if hasattr(n, "lineno")))
+        for fn in dispatchers
+    ]
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _terminal_name(node.func) not in _SEND_NAMES:
+            continue
+        line = node.lineno
+        # Replies sent from inside a dispatcher are not routed messages.
+        if any(lo <= line <= hi for lo, hi in dispatcher_spans):
+            continue
+        for arg in node.args:
+            if not (
+                isinstance(arg, ast.Tuple)
+                and arg.elts
+                and isinstance(arg.elts[0], ast.Constant)
+                and isinstance(arg.elts[0].value, str)
+            ):
+                continue
+            tag = arg.elts[0].value
+            arity = len(arg.elts)
+            handler = handlers.get(tag)
+            if handler is None:
+                known = ", ".join(sorted(handlers))
+                violations.append(
+                    Violation(
+                        rule_id="REP010",
+                        path=module.path,
+                        line=line,
+                        col=node.col_offset,
+                        message=(
+                            f"message tag {tag!r} has no worker handler "
+                            f"(dispatcher handles: {known})"
+                        ),
+                    )
+                )
+            elif handler.exact_arity is not None and arity != handler.exact_arity:
+                violations.append(
+                    Violation(
+                        rule_id="REP010",
+                        path=module.path,
+                        line=line,
+                        col=node.col_offset,
+                        message=(
+                            f"message {tag!r} sent with {arity} element(s) "
+                            f"but the handler unpacks exactly "
+                            f"{handler.exact_arity}"
+                        ),
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP011 — interprocedural purity
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PuritySummary:
+    writes_global: bool = False
+    mutated_params: Set[int] = field(default_factory=set)
+
+
+class _PurityAnalysis:
+    def __init__(self, graph: CallGraph, modules: Sequence[_Module]) -> None:
+        self.graph = graph
+        self.modules = modules
+        self.summaries: Dict[str, _PuritySummary] = {}
+
+    # -- direct summaries -----------------------------------------------
+
+    def _direct_summary(self, info: FunctionInfo) -> _PuritySummary:
+        summary = _PuritySummary()
+        params = info.arg_names
+        param_index = {name: i for i, name in enumerate(params)}
+        module_globals = self.graph.module_globals(info.module)
+        fn_locals = _local_bindings(info.node)
+
+        def classify(root: Optional[str]) -> None:
+            if root is None:
+                return
+            if root in param_index:
+                summary.mutated_params.add(param_index[root])
+            elif root in module_globals and root not in fn_locals:
+                summary.writes_global = True
+
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                summary.writes_global = True
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        classify(_root_name(target))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        classify(_root_name(target))
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in R.MUTATOR_METHODS:
+                    classify(_root_name(node.func.value))
+        return summary
+
+    # -- fixed point ----------------------------------------------------
+
+    def _propagate(self) -> None:
+        for info in self.graph.iter_functions():
+            self.summaries[info.qualname] = self._direct_summary(info)
+        changed = True
+        while changed:
+            changed = False
+            for info in self.graph.iter_functions():
+                caller = self.summaries[info.qualname]
+                caller_params = {
+                    name: i for i, name in enumerate(info.arg_names)
+                }
+                for site in self.graph.calls_from(info.qualname):
+                    callee = self.summaries.get(site.callee.qualname)
+                    if callee is None:
+                        continue
+                    if callee.writes_global and not caller.writes_global:
+                        caller.writes_global = True
+                        changed = True
+                    for arg_expr, callee_idx in self._arg_map(site):
+                        if callee_idx not in callee.mutated_params:
+                            continue
+                        root = _root_name(arg_expr)
+                        if root in caller_params:
+                            idx = caller_params[root]
+                            if idx not in caller.mutated_params:
+                                caller.mutated_params.add(idx)
+                                changed = True
+
+    @staticmethod
+    def _arg_map(site: CallSite) -> List[Tuple[ast.expr, int]]:
+        """(argument expression, callee parameter index) pairs."""
+        offset = 1 if site.is_method_call else 0
+        out: List[Tuple[ast.expr, int]] = []
+        for i, arg in enumerate(site.call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            out.append((arg, i + offset))
+        names = site.callee.arg_names
+        positions = {name: i for i, name in enumerate(names)}
+        for kw in site.call.keywords:
+            if kw.arg is not None and kw.arg in positions:
+                out.append((kw.value, positions[kw.arg]))
+        return out
+
+    # -- findings -------------------------------------------------------
+
+    def run(self, violations: List[Violation]) -> None:
+        task_methods = self._task_methods()
+        if not task_methods:
+            return
+        self._propagate()
+        by_path = {m.path: m for m in self.modules}
+        for info, is_pure_data_method in task_methods:
+            module = by_path.get(info.path)
+            if module is None:
+                continue
+            data_params = self._data_params(info) if is_pure_data_method else {}
+            seen: Set[Tuple[int, str]] = set()
+            for site in self.graph.calls_from(info.qualname):
+                callee = self.summaries.get(site.callee.qualname)
+                if callee is None:
+                    continue
+                line = site.call.lineno
+                if callee.writes_global:
+                    key = (line, f"global:{site.callee.qualname}")
+                    if key not in seen:
+                        seen.add(key)
+                        violations.append(
+                            Violation(
+                                rule_id="REP011",
+                                path=module.path,
+                                line=line,
+                                col=site.call.col_offset,
+                                message=(
+                                    f"{info.cls}.{info.name} calls "
+                                    f"{site.callee.name}(), which writes "
+                                    "module-global state (directly or "
+                                    "transitively); tasks must stay pure"
+                                ),
+                            )
+                        )
+                for arg_expr, callee_idx in self._arg_map(site):
+                    if callee_idx not in callee.mutated_params:
+                        continue
+                    root = _root_name(arg_expr)
+                    if root in data_params:
+                        key = (line, f"mut:{root}:{site.callee.qualname}")
+                        if key not in seen:
+                            seen.add(key)
+                            violations.append(
+                                Violation(
+                                    rule_id="REP011",
+                                    path=module.path,
+                                    line=line,
+                                    col=site.call.col_offset,
+                                    message=(
+                                        f"{info.cls}.{info.name} passes its "
+                                        f"input {root!r} to "
+                                        f"{site.callee.name}(), which "
+                                        "mutates that parameter; task "
+                                        "inputs are engine-owned"
+                                    ),
+                                )
+                            )
+
+    def _task_methods(self) -> List[Tuple[FunctionInfo, bool]]:
+        """Methods of task classes; the flag marks PURE_TASK_METHODS
+        (whose data parameters must additionally never be mutated)."""
+        out: List[Tuple[FunctionInfo, bool]] = []
+        for info in self.graph.iter_functions():
+            if info.cls is None:
+                continue
+            bases = self.graph.class_bases.get((info.module, info.cls), ())
+            if not any(
+                b.endswith(("Mapper", "Reducer", "Combiner")) for b in bases
+            ):
+                continue
+            out.append((info, info.name in R.PURE_TASK_METHODS))
+        return out
+
+    @staticmethod
+    def _data_params(info: FunctionInfo) -> Dict[str, int]:
+        names = info.arg_names
+        return {
+            name: i
+            for i, name in enumerate(names)
+            if i >= 1 and name not in ("ctx", "context")
+        }

@@ -23,6 +23,16 @@ REP006    broad ``except Exception``/bare ``except`` that can swallow
           ``ValidationError``
 REP007    a ``# repro: allow[...]`` pragma that suppresses nothing
           (unused suppressions rot into silent blind spots)
+REP008    a resource (SharedArena, shared-memory segment, pipe end,
+          trace context, fleet) that can leak on a non-exceptional
+          path — deep mode only
+REP009    a ``# repro: guarded-by[lock]`` attribute accessed without
+          the lock statically held, or a lock-order cycle — deep mode
+          only
+REP010    a fleet RPC send whose tag or arity has no matching worker
+          handler — deep mode only
+REP011    a mapper/reducer/combiner reaching impure code through a
+          helper call — deep mode only
 ========  ==============================================================
 
 Suppression pragma syntax: ``# repro: allow[REP001]`` (or a
@@ -127,12 +137,57 @@ RULES: Dict[str, Rule] = {
             "violation of the named rule on its line (or the line "
             "below); stale pragmas are silent blind spots.",
         ),
+        Rule(
+            "REP008",
+            "resource may leak on a non-exceptional path",
+            "A SharedArena/SharedMemory/pipe/TraceContext/fleet created "
+            "here does not reach its release call (unlink/close/stop/"
+            "commit) on every non-exceptional CFG path, and never "
+            "transfers ownership (returned, stored, or passed onward). "
+            "Leaked segments survive the process; leaked contexts drop "
+            "spans from the trace.",
+        ),
+        Rule(
+            "REP009",
+            "unguarded access to a guarded-by attribute, or lock-order "
+            "cycle",
+            "An attribute annotated # repro: guarded-by[lock] is read "
+            "or written on a path where the lock is not statically "
+            "held, a held lock is re-acquired, or two locks are "
+            "acquired in inconsistent order across functions (deadlock "
+            "risk).",
+        ),
+        Rule(
+            "REP010",
+            "fleet RPC send without a conforming handler",
+            "A message tuple sent over the fleet's pipes names a tag "
+            "the worker dispatcher does not handle, or carries an "
+            "arity the handler's unpack would reject; the worker "
+            "would answer ('err', ...) at runtime — the checker "
+            "refuses it statically.",
+        ),
+        Rule(
+            "REP011",
+            "interprocedural task impurity",
+            "A mapper/reducer/combiner method calls (possibly through "
+            "aliases and further helpers) a function that writes a "
+            "module global or mutates the data argument the task "
+            "passed it; REP004 purity must hold through the whole "
+            "call graph, not just the task body.",
+        ),
     )
 }
 
 #: Rules the AST visitor implements (REP000/REP007 belong to the runner).
 VISITOR_RULES: FrozenSet[str] = frozenset(
     ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006")
+)
+
+#: Rules implemented by the dataflow layer (:mod:`repro.check.deep`);
+#: they only fire under ``check --deep``, so their pragmas are exempt
+#: from staleness checking in shallow runs.
+DEEP_RULES: FrozenSet[str] = frozenset(
+    ("REP008", "REP009", "REP010", "REP011")
 )
 
 
@@ -295,6 +350,28 @@ MUTATOR_METHODS: FrozenSet[str] = frozenset(
         "byteswap",
     )
 )
+
+
+# ---------------------------------------------------------------------------
+# REP008 vocabulary
+# ---------------------------------------------------------------------------
+
+#: Resource constructors (matched by the *terminal* name of the call —
+#: ``SharedArena()``, ``shm.SharedArena()``, ``ctx.Pipe()`` all match)
+#: mapped to the method names that retire the resource.  An empty set
+#: means the resource is only ever retired by handing it onward
+#: (``TraceContext`` objects are committed by passing them to
+#: ``tracer.commit_*`` — an ownership transfer, which always ends
+#: tracking).  ``Pipe()`` binds *two* resources via tuple unpack; each
+#: end must be closed (or escape) independently.
+RESOURCE_PROTOCOLS: Mapping[str, FrozenSet[str]] = {
+    "SharedArena": frozenset(("unlink",)),
+    "SharedMemory": frozenset(("close", "unlink")),
+    "Pipe": frozenset(("close",)),
+    "SkylineFleet": frozenset(("stop",)),
+    "begin_query": frozenset(),
+    "begin_mutation": frozenset(),
+}
 
 
 # ---------------------------------------------------------------------------

@@ -5,11 +5,17 @@ unless a ``# repro: allow[RULE]`` pragma sits on the violating line or
 the line directly above it, **and** every pragma must suppress at least
 one violation — a pragma that suppresses nothing (because the code it
 excused was fixed, moved, or never violated anything) is reported as
-REP007 so suppressions cannot rot into permanent blind spots.
+REP007 so suppressions cannot rot into permanent blind spots.  The one
+exception: pragmas naming a deep rule (REP008-REP011) are only
+staleness-checked when the deep analyses actually ran (``--deep``),
+since a shallow run cannot tell whether they suppress anything.
 
 ``python -m repro.check src/`` (or ``repro-skyline check src/``) exits
 0 only when the tree is entirely clean: zero violations *and* zero
-unused pragmas.
+unused pragmas.  ``--deep`` additionally runs the interprocedural
+dataflow rules (REP008-REP011, :mod:`repro.check.deep`) over all the
+checked files *as one program*, so cross-module facts (call graphs,
+lock orders) resolve.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import tokenize
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.check.rules import RULES, Violation
+from repro.check.rules import DEEP_RULES, RULES, Violation
 from repro.check.visitor import CheckVisitor
 
 #: Matches ``repro: allow[REP001]`` and ``repro: allow[REP002, REP006]``
@@ -98,13 +104,13 @@ def parse_pragmas(
     return pragmas, standalone, bad
 
 
-def check_source(source: str, path: str) -> List[Violation]:
-    """Check one module's source text; applies and verifies pragmas."""
-    pragmas, standalone, violations = parse_pragmas(source, path)
+def _parse_tree(
+    source: str, path: str
+) -> Tuple[Optional[ast.Module], List[Violation]]:
     try:
-        tree = ast.parse(source, filename=path)
+        return ast.parse(source, filename=path), []
     except SyntaxError as exc:
-        violations.append(
+        return None, [
             Violation(
                 rule_id="REP000",
                 path=path,
@@ -112,14 +118,23 @@ def check_source(source: str, path: str) -> List[Violation]:
                 col=exc.offset or 0,
                 message=f"file does not parse: {exc.msg}",
             )
-        )
-        return violations
+        ]
 
-    visitor = CheckVisitor(path)
-    visitor.visit(tree)
 
+def _apply_pragmas(
+    raw: Iterable[Violation],
+    pragmas: Dict[int, Set[str]],
+    standalone: Set[int],
+    bad: List[Violation],
+    path: str,
+    deep: bool,
+) -> List[Violation]:
+    """Suppress ``raw`` violations per the pragma contract, then report
+    any pragma that excused nothing (REP007) — except deep-rule pragmas
+    in a shallow run, which the run cannot judge."""
+    violations = list(bad)
     used: Set[Tuple[int, str]] = set()
-    for violation in visitor.violations:
+    for violation in raw:
         suppressed = False
         candidates = [violation.line]
         if violation.line - 1 in standalone:
@@ -134,24 +149,49 @@ def check_source(source: str, path: str) -> List[Violation]:
 
     for line in sorted(pragmas):
         for rule_id in sorted(pragmas[line]):
-            if (line, rule_id) not in used:
-                violations.append(
-                    Violation(
-                        rule_id="REP007",
-                        path=path,
-                        line=line,
-                        col=0,
-                        message=(
-                            f"pragma allow[{rule_id}] suppresses nothing; "
-                            "remove it (or it is masking a fixed rule)"
-                        ),
-                    )
+            if (line, rule_id) in used:
+                continue
+            if rule_id in DEEP_RULES and not deep:
+                continue
+            violations.append(
+                Violation(
+                    rule_id="REP007",
+                    path=path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"pragma allow[{rule_id}] suppresses nothing; "
+                        "remove it (or it is masking a fixed rule)"
+                    ),
                 )
+            )
     violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
     return violations
 
 
-def check_file(path: Path) -> List[Violation]:
+def check_source(source: str, path: str, deep: bool = False) -> List[Violation]:
+    """Check one module's source text; applies and verifies pragmas.
+
+    With ``deep=True`` the module is also analysed by the dataflow
+    rules, *in isolation* — use :func:`check_paths` to deep-check many
+    modules as one program.
+    """
+    pragmas, standalone, bad = parse_pragmas(source, path)
+    tree, parse_errors = _parse_tree(source, path)
+    if tree is None:
+        return bad + parse_errors
+
+    visitor = CheckVisitor(path)
+    visitor.visit(tree)
+    raw: List[Violation] = list(visitor.violations)
+    if deep:
+        from repro.check.deep import analyze_modules
+
+        raw.extend(analyze_modules([(path, source, tree)]))
+    return _apply_pragmas(raw, pragmas, standalone, bad, path, deep)
+
+
+def check_file(path: Path, deep: bool = False) -> List[Violation]:
     try:
         source = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as exc:
@@ -164,15 +204,58 @@ def check_file(path: Path) -> List[Violation]:
                 message=f"file is unreadable: {exc}",
             )
         ]
-    return check_source(source, str(path))
+    return check_source(source, str(path), deep=deep)
 
 
-def check_paths(paths: Sequence[str]) -> List[Violation]:
-    """Check every ``.py`` file under ``paths``; sorted by location."""
-    violations: List[Violation] = []
+def check_paths(paths: Sequence[str], deep: bool = False) -> List[Violation]:
+    """Check every ``.py`` file under ``paths``; sorted by location.
+
+    In deep mode all parsed files form one analysis program: the call
+    graph, entry locksets, and lock-order graph span every module given
+    here, which is what lets REP009/REP011 reason across files.
+    """
+    results: List[Violation] = []
+    parsed: List[Tuple[str, str, ast.Module]] = []
+    per_file: List[
+        Tuple[str, List[Violation], Dict[int, Set[str]], Set[int], List[Violation]]
+    ] = []
     for path in iter_python_files(paths):
-        violations.extend(check_file(path))
-    return violations
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            results.append(
+                Violation(
+                    rule_id="REP000",
+                    path=str(path),
+                    line=0,
+                    col=0,
+                    message=f"file is unreadable: {exc}",
+                )
+            )
+            continue
+        name = str(path)
+        pragmas, standalone, bad = parse_pragmas(source, name)
+        tree, parse_errors = _parse_tree(source, name)
+        if tree is None:
+            results.extend(bad + parse_errors)
+            continue
+        visitor = CheckVisitor(name)
+        visitor.visit(tree)
+        parsed.append((name, source, tree))
+        per_file.append((name, list(visitor.violations), pragmas, standalone, bad))
+
+    deep_by_path: Dict[str, List[Violation]] = {}
+    if deep and parsed:
+        from repro.check.deep import analyze_modules
+
+        for violation in analyze_modules(parsed):
+            deep_by_path.setdefault(violation.path, []).append(violation)
+
+    for name, raw, pragmas, standalone, bad in per_file:
+        raw.extend(deep_by_path.get(name, []))
+        results.extend(_apply_pragmas(raw, pragmas, standalone, bad, name, deep))
+    results.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return results
 
 
 def render_text(violations: Iterable[Violation]) -> str:
@@ -187,13 +270,16 @@ def render_text(violations: Iterable[Violation]) -> str:
 
 
 def render_json(violations: Iterable[Violation]) -> str:
+    """Machine-readable findings: one object per violation with
+    ``file``/``line``/``col``/``rule``/``message`` keys (stable contract
+    for CI annotation tooling)."""
     return json.dumps(
         [
             {
-                "rule": v.rule_id,
-                "path": v.path,
+                "file": v.path,
                 "line": v.line,
                 "col": v.col,
+                "rule": v.rule_id,
                 "message": v.message,
             }
             for v in violations
@@ -215,10 +301,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-skyline check",
         description="Determinism & MapReduce-purity checker "
-        "(rules REP001-REP007; see docs/static_analysis.md)",
+        "(rules REP001-REP007 always; REP008-REP011 with --deep; "
+        "see docs/static_analysis.md)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the interprocedural dataflow analyses "
+        "(REP008-REP011: resource lifecycles, lock discipline, "
+        "fleet RPC conformance, call-graph purity)",
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text", dest="fmt"
@@ -231,7 +325,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(list_rules())
         return 0
     try:
-        violations = check_paths(args.paths)
+        violations = check_paths(args.paths, deep=args.deep)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -205,15 +205,22 @@ def _build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser(
         "check",
         help="lint for determinism / MapReduce-purity violations",
-        description="Static analysis gate: REP001-REP007 (see "
-        "docs/static_analysis.md). Exit 0 means no violations and no "
-        "unused suppression pragmas.",
+        description="Static analysis gate: REP001-REP007 always, "
+        "REP008-REP011 with --deep (see docs/static_analysis.md). "
+        "Exit 0 means no violations and no unused suppression pragmas.",
     )
     check.add_argument(
         "paths",
         nargs="*",
         default=["src"],
         help="files or directories to check (default: src)",
+    )
+    check.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the interprocedural dataflow analyses "
+        "(resource lifecycles, lock discipline, fleet RPC "
+        "conformance, call-graph purity)",
     )
     check.add_argument(
         "--format",
@@ -569,7 +576,7 @@ def _cmd_check(args) -> int:
         print(runner.list_rules())
         return 0
     try:
-        violations = runner.check_paths(args.paths)
+        violations = runner.check_paths(args.paths, deep=args.deep)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

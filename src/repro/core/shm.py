@@ -115,14 +115,14 @@ class ShmBlock(PointSet):
 
 #: name -> open SharedMemory handle. Owners register at creation;
 #: attachers populate on first use. One handle per segment per process.
-_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}  # repro: guarded-by[_REGISTRY_LOCK]
 _REGISTRY_LOCK = threading.Lock()
-_SEQ = 0
+_SEQ = 0  # repro: guarded-by[_REGISTRY_LOCK]
 #: Monotonic count of real segment attachments this process performed
 #: (registry hits excluded). Attachment happens while descriptors are
 #: *unpickled* — before any task body runs — so engines report it via
 #: this counter's deltas rather than by snapshotting around a call.
-_ATTACH_COUNT = 0
+_ATTACH_COUNT = 0  # repro: guarded-by[_REGISTRY_LOCK]
 
 
 def _next_name() -> str:

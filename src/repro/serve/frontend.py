@@ -635,13 +635,14 @@ class ThreadedFrontend:
         counters: Optional[Counters] = None,
         bus=None,
     ):
-        self.index = index
+        self.index = index  # repro: guarded-by[_lock]
         self.timeout_s = float(timeout_s)
         self.tenant_policy = (
             tenant_policy if tenant_policy is not None else TenantPolicy()
         )
         self.counters = counters if counters is not None else index.counters
         self.bus = bus if bus is not None else index.bus
+        # repro: guarded-by[_lock]
         self.core = _ServingCore(
             index, policy, cache_capacity, self.counters, self.bus, CostModel()
         )
@@ -651,11 +652,11 @@ class ThreadedFrontend:
         self._quota_slots = self.tenant_policy.quota_slots(
             int(queue_capacity)
         )
-        self._tenant_queued: Dict[str, int] = {}
+        self._tenant_queued: Dict[str, int] = {}  # repro: guarded-by[_lock]
         self._lock = threading.Lock()
-        self._next_request = 0
+        self._next_request = 0  # repro: guarded-by[_lock]
         self._worker: Optional[threading.Thread] = None
-        self.responses: List[QueryResponse] = []
+        self.responses: List[QueryResponse] = []  # repro: guarded-by[_lock]
 
     def start(self) -> "ThreadedFrontend":
         if self._worker is not None:
@@ -710,14 +711,16 @@ class ThreadedFrontend:
         return request_id
 
     def apply_insert(self, point, point_id=None) -> int:
-        pid = self.index.insert(point, point_id)
+        # The worker thread reads the index under _lock (_run); the
+        # mutation must hold the same lock or the two race.
         with self._lock:
+            pid = self.index.insert(point, point_id)
             self.core.cache.invalidate_before(self.index.epoch)
         return pid
 
     def apply_delete(self, point_id: int) -> None:
-        self.index.delete(point_id)
         with self._lock:
+            self.index.delete(point_id)
             self.core.cache.invalidate_before(self.index.epoch)
 
     def stop(self) -> List[QueryResponse]:
@@ -745,6 +748,7 @@ class ThreadedFrontend:
                 continue
             with self._lock:
                 result, cache_hit, _ = self.core.answer(region)
+                epoch = self.index.epoch
             finish = time.perf_counter()
             response = QueryResponse(
                 request_id=request_id,
@@ -765,7 +769,7 @@ class ThreadedFrontend:
                 self.bus.emit(
                     ServeQueryServed(
                         request_id=request_id,
-                        epoch=self.index.epoch,
+                        epoch=epoch,
                         cache_hit=cache_hit,
                         latency_s=finish - arrival,
                         result_size=len(result),

@@ -591,21 +591,6 @@ def serve_stream(
                 counters=counters,
                 bus=bus,
             )
-        shard_kwargs = {}
-        if batch_window_s is not None:
-            shard_kwargs["batch_window_s"] = batch_window_s
-        frontend = ShardedFrontend(
-            index,
-            policy=policy,
-            cache_capacity=(
-                workload.cache_capacity if policy == "delta" else 0
-            ),
-            queue_capacity=workload.queue_capacity,
-            timeout_s=workload.timeout_s,
-            tenant_policy=workload.tenant_policy(),
-            tracer=tracer,
-            **shard_kwargs,
-        )
     else:
         index = SkylineIndex(
             stream.initial_data,
@@ -615,18 +600,39 @@ def serve_stream(
             counters=counters,
             bus=bus,
         )
-        frontend = QueryFrontend(
-            index,
-            policy=policy,
-            cache_capacity=(
-                workload.cache_capacity if policy == "delta" else 0
-            ),
-            queue_capacity=workload.queue_capacity,
-            timeout_s=workload.timeout_s,
-            tenant_policy=workload.tenant_policy(),
-            tracer=tracer,
-        )
+    # From here on a fleet (worker processes + shared arena) may be
+    # live: everything that can raise — including frontend
+    # construction, which validates its policy/queue configuration —
+    # must run inside the try so the finally always retires it.
     try:
+        if shards is not None:
+            shard_kwargs = {}
+            if batch_window_s is not None:
+                shard_kwargs["batch_window_s"] = batch_window_s
+            frontend = ShardedFrontend(
+                index,
+                policy=policy,
+                cache_capacity=(
+                    workload.cache_capacity if policy == "delta" else 0
+                ),
+                queue_capacity=workload.queue_capacity,
+                timeout_s=workload.timeout_s,
+                tenant_policy=workload.tenant_policy(),
+                tracer=tracer,
+                **shard_kwargs,
+            )
+        else:
+            frontend = QueryFrontend(
+                index,
+                policy=policy,
+                cache_capacity=(
+                    workload.cache_capacity if policy == "delta" else 0
+                ),
+                queue_capacity=workload.queue_capacity,
+                timeout_s=workload.timeout_s,
+                tenant_policy=workload.tenant_policy(),
+                tracer=tracer,
+            )
         responses = replay(frontend, stream)
         report = build_serve_report(stream, frontend, responses)
         # Snapshot before the fleet (if any) is stopped; skyline() is

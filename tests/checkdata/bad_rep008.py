@@ -1,0 +1,63 @@
+"""Known-bad REP008 fixture: resource leaks on non-exceptional paths.
+
+Analysis data only — parsed by the checker, never imported or run.
+"""
+
+from repro.core.shm import SharedArena
+
+
+def leaks_on_early_return(cond):
+    arena = SharedArena()  # <- REP008
+    if cond:
+        return None
+    return arena
+
+
+def forgets_mutation_ctx(tracer, index, point):
+    ctx = tracer.begin_mutation("insert")  # <- REP008
+    index.insert(point)
+    return index.epoch
+
+
+def leaks_one_pipe_end(mp_context, registry):
+    parent, child = mp_context.Pipe()  # <- REP008
+    registry.append(parent)
+    return registry
+
+
+def releases_in_finally(compute):
+    arena = SharedArena()
+    try:
+        return compute(arena)
+    finally:
+        arena.unlink()
+
+
+def releases_on_every_branch(cond):
+    arena = SharedArena()
+    if cond:
+        arena.unlink()
+        return None
+    out = arena.names
+    arena.unlink()
+    return out
+
+
+def conditional_ctx_is_understood(tracer, work):
+    ctx = tracer.begin_query(7) if tracer is not None else None
+    result = work()
+    if ctx is not None:
+        tracer.commit_query(ctx)
+    return result
+
+
+def ownership_transfer_stops_tracking(mp_context, spawn):
+    parent, child = mp_context.Pipe()
+    worker = spawn(child)
+    child.close()
+    return parent, worker
+
+
+def with_managed_is_never_tracked(job):
+    with SharedArena() as arena:
+        return job(arena)

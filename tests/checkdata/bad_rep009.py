@@ -1,0 +1,51 @@
+"""Known-bad REP009 fixture: guarded state touched without its lock.
+
+Analysis data only — parsed by the checker, never imported or run.
+"""
+
+import threading
+
+ORDER_A = threading.Lock()
+ORDER_B = threading.Lock()
+
+
+class Racy:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.items = []  # repro: guarded-by[_lock]
+        self.count = 0  # repro: guarded-by[_lock]
+
+    def locked_ok(self, item):
+        with self._lock:
+            self.items.append(item)
+            return self._helper()
+
+    def bad_read(self):
+        return len(self.items)  # <- REP009
+
+    def bad_write(self):
+        self.count += 1  # <- REP009
+
+    def taints_helper_entry(self):
+        return self._helper()
+
+    def _helper(self):
+        return self.count  # <- REP009
+
+
+def inconsistent_ab(payload):
+    with ORDER_A:
+        with ORDER_B:  # <- REP009
+            return payload
+
+
+def inconsistent_ba(payload):
+    with ORDER_B:
+        with ORDER_A:  # <- REP009
+            return payload
+
+
+def reacquires_held_lock(payload):
+    with ORDER_A:
+        with ORDER_A:  # <- REP009
+            return payload

@@ -1,0 +1,42 @@
+"""Known-bad REP010 fixture: router messages the worker cannot dispatch.
+
+Analysis data only — parsed by the checker, never imported or run.
+"""
+
+
+def shard_worker(conn, state):
+    while True:
+        msg = conn.recv()
+        op = msg[0]
+        if op == "stop":
+            conn.send(("ok",))
+            return
+        elif op == "put":
+            _, key, value = msg
+            state[key] = value
+            conn.send(("ok", key))
+        elif op == "get":
+            key = msg[1]
+            conn.send(("ok", state.get(key)))
+        else:
+            conn.send(("err", "unknown op"))
+
+
+class Router:
+    def __init__(self, conns):
+        self._conns = conns
+
+    def _call(self, conn, msg):
+        conn.send(msg)
+        return conn.recv()
+
+    def fetch(self, conn):
+        return self._call(conn, ("fetch", 3))  # <- REP010
+
+    def put_wrong_arity(self, conn):
+        return self._call(conn, ("put", "key"))  # <- REP010
+
+    def conforming_calls(self, conn):
+        self._call(conn, ("put", "key", "value"))
+        self._call(conn, ("get", "key"))
+        conn.send(("stop",))

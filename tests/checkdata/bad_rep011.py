@@ -1,0 +1,39 @@
+"""Known-bad REP011 fixture: task purity violated through helper calls.
+
+Analysis data only — parsed by the checker, never imported or run.
+"""
+
+from repro.mapreduce.api import Mapper, Reducer
+
+_SEEN = {}
+
+
+def remember(key):
+    _SEEN[key] = True
+
+
+def scrub(rows):
+    rows.clear()
+
+
+def relay(block):
+    scrub(block)
+
+
+def tidy(rows):
+    return sorted(rows)
+
+
+class CountingMapper(Mapper):
+    def map(self, key, value, ctx):
+        remember(key)  # <- REP011
+        return [(key, value)]
+
+
+class ScrubReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        cleanup = scrub
+        cleanup(values)  # <- REP011
+        relay(values)  # <- REP011
+        ordered = tidy(values)
+        return [(key, ordered)]

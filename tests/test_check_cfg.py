@@ -1,0 +1,362 @@
+"""Unit tests for the CFG builder and the forward dataflow engine.
+
+These drive :mod:`repro.check.cfg` and :mod:`repro.check.dataflow`
+directly with tiny hand-rolled lattices, pinning the structural
+contracts the deep rules (REP008-REP011) lean on: branch joins, loop
+back edges, ``finally`` inlining on jump paths, the dedicated raise
+exit, exceptional edges delivering in-states, and branch-edge
+refinement.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.check.cfg import TestExpr as BranchTest
+from repro.check.cfg import WithEnter, WithExit, build_cfg
+from repro.check.dataflow import Lattice, run_forward
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    fn = next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+    return build_cfg(fn)
+
+
+def blocks_with(cfg, predicate):
+    return [
+        block
+        for block in cfg.blocks.values()
+        if any(predicate(step) for step in block.steps)
+    ]
+
+
+class MayReach(Lattice):
+    """May-analysis: the set of line numbers some path has executed."""
+
+    def entry_state(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, step, state):
+        return state | {step.lineno}
+
+
+class MustReach(MayReach):
+    """Must-analysis: lines executed on *every* path reaching a point."""
+
+    def join(self, a, b):
+        return a & b
+
+
+class DefinedNames(Lattice):
+    """Must-defined simple names; exercises exceptional-edge delivery."""
+
+    def entry_state(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a & b
+
+    def transfer(self, step, state):
+        if isinstance(step, ast.Assign):
+            names = {
+                t.id for t in step.targets if isinstance(t, ast.Name)
+            }
+            return state | names
+        return state
+
+
+class WithDepth(Lattice):
+    """Counts nesting of managed regions via the with pseudo-steps."""
+
+    def entry_state(self):
+        return 0
+
+    def join(self, a, b):
+        assert a == b, "with-depth must agree at joins"
+        return a
+
+    def transfer(self, step, state):
+        if isinstance(step, WithEnter):
+            return state + 1
+        if isinstance(step, WithExit):
+            return state - 1
+        return state
+
+
+class Polarity(Lattice):
+    """Identity transfer; refine records which branch edge was taken."""
+
+    def entry_state(self):
+        return "start"
+
+    def join(self, a, b):
+        return a if a == b else "both"
+
+    def transfer(self, step, state):
+        return state
+
+    def refine(self, test, branch, state):
+        return "T" if branch else "F"
+
+
+class NeverConverges(Lattice):
+    def entry_state(self):
+        return 0
+
+    def join(self, a, b):
+        return max(a, b) + 1
+
+    def transfer(self, step, state):
+        return state
+
+    def equal(self, a, b):
+        return False
+
+
+class TestStructure:
+    def test_linear_body_reaches_exit_with_every_line(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                a = x + 1
+                b = a * 2
+                return b
+            """
+        )
+        result = run_forward(cfg, MayReach())
+        assert result.exit_state() == frozenset({3, 4, 5})
+
+    def test_if_join_may_and_must(self):
+        src = """
+            def f(cond):
+                if cond:
+                    a = 1
+                else:
+                    b = 2
+                c = 3
+                return c
+            """
+        cfg = cfg_of(src)
+        may = run_forward(cfg, MayReach()).exit_state()
+        must = run_forward(cfg, MustReach()).exit_state()
+        assert {4, 6} <= may  # both arms are reachable
+        assert 4 not in must and 6 not in must  # neither is guaranteed
+        assert {3, 7, 8} <= must  # test and join are
+
+    def test_early_return_joins_at_exit(self):
+        cfg = cfg_of(
+            """
+            def f(cond):
+                if cond:
+                    return 1
+                tail = 2
+                return tail
+            """
+        )
+        must = run_forward(cfg, MustReach()).exit_state()
+        assert 5 not in must  # skipped by the early return path
+        assert 3 in must
+
+    def test_while_has_back_edge_and_terminates(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                while n > 0:
+                    n = n - 1
+                return n
+            """
+        )
+        heads = blocks_with(cfg, lambda s: isinstance(s, BranchTest))
+        assert len(heads) == 1
+        head = heads[0].bid
+        assert any(e.dst == head for e in cfg.edges if e.src != cfg.entry)
+        result = run_forward(cfg, MayReach())  # fixed point must converge
+        assert 4 in result.exit_state()
+
+    def test_for_binds_loop_variable_synthetically(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    use(item)
+                return None
+            """
+        )
+        binds = blocks_with(
+            cfg,
+            lambda s: isinstance(s, ast.Assign)
+            and isinstance(s.targets[0], ast.Name)
+            and s.targets[0].id == "item",
+        )
+        assert binds, "loop variable binding must surface as an Assign"
+
+    def test_finally_is_inlined_on_the_return_path(self):
+        cfg = cfg_of(
+            """
+            def f(work):
+                try:
+                    return work()
+                finally:
+                    release()
+            """
+        )
+        must = run_forward(cfg, MustReach()).exit_state()
+        assert 6 in must, "finally body must run before the return exits"
+
+    def test_finally_is_copied_for_break_and_continue(self):
+        cfg = cfg_of(
+            """
+            def f(jobs):
+                for job in jobs:
+                    try:
+                        if job.stop:
+                            break
+                        continue
+                    finally:
+                        log(job)
+                return None
+            """
+        )
+        copies = blocks_with(
+            cfg,
+            lambda s: isinstance(s, ast.Expr) and s.lineno == 9,
+        )
+        assert len(copies) == 2  # one inlined copy per jump kind
+
+    def test_raise_routes_to_the_raise_exit_only(self):
+        cfg = cfg_of(
+            """
+            def f(cond):
+                if cond:
+                    raise ValueError("no")
+                return 0
+            """
+        )
+        assert cfg.preds(cfg.raise_exit), "raise path must be recorded"
+        must = run_forward(cfg, MustReach()).exit_state()
+        # The non-exceptional exit never saw the raise line.
+        assert 4 not in must and 5 in must
+
+    def test_dead_code_after_return_stays_unreachable(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                ghost = 2
+            """
+        )
+        result = run_forward(cfg, MayReach())
+        ghost_blocks = blocks_with(
+            cfg, lambda s: isinstance(s, ast.Assign)
+        )
+        assert ghost_blocks
+        assert result.block_in(ghost_blocks[0].bid) is None
+
+    def test_with_pseudo_steps_bracket_the_body(self):
+        cfg = cfg_of(
+            """
+            def f(lock):
+                with lock:
+                    body()
+                after()
+                return None
+            """
+        )
+        result = run_forward(cfg, WithDepth())
+        for block in cfg.blocks.values():
+            for step, state in result.step_states(block.bid):
+                if isinstance(step, ast.Expr):
+                    expected = 1 if step.lineno == 4 else 0
+                    assert state == expected
+        assert result.exit_state() == 0
+
+
+class TestEngine:
+    def test_exceptional_edges_deliver_the_in_state(self):
+        cfg = cfg_of(
+            """
+            def f():
+                a = 1
+                try:
+                    b = 2
+                    c = 3
+                except KeyError:
+                    recover = 9
+                return a
+            """
+        )
+        result = run_forward(cfg, DefinedNames())
+        handler = blocks_with(
+            cfg,
+            lambda s: isinstance(s, ast.Assign)
+            and isinstance(s.targets[0], ast.Name)
+            and s.targets[0].id == "recover",
+        )[0]
+        state = result.block_in(handler.bid)
+        # The exception may fire before b/c were bound; only the
+        # pre-try state is guaranteed inside the handler.
+        assert "a" in state
+        assert "b" not in state and "c" not in state
+
+    def test_refine_narrows_along_branch_edges(self):
+        cfg = cfg_of(
+            """
+            def f(cond):
+                if cond:
+                    then = 1
+                else:
+                    other = 2
+                return None
+            """
+        )
+        result = run_forward(cfg, Polarity())
+        then_block = blocks_with(
+            cfg,
+            lambda s: isinstance(s, ast.Assign)
+            and s.targets[0].id == "then",
+        )[0]
+        else_block = blocks_with(
+            cfg,
+            lambda s: isinstance(s, ast.Assign)
+            and s.targets[0].id == "other",
+        )[0]
+        assert result.block_in(then_block.bid) == "T"
+        assert result.block_in(else_block.bid) == "F"
+        assert result.exit_state() == "both"
+
+    def test_step_states_replay_matches_block_out(self):
+        cfg = cfg_of(
+            """
+            def f():
+                a = 1
+                b = 2
+                return b
+            """
+        )
+        result = run_forward(cfg, MayReach())
+        for block in cfg.blocks.values():
+            states = list(result.step_states(block.bid))
+            if not states:
+                continue
+            last_step, last_in = states[-1]
+            lattice = MayReach()
+            assert result.block_out(block.bid) == lattice.transfer(
+                last_step, last_in
+            )
+
+    def test_non_converging_lattice_fails_loudly(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                while n:
+                    n = step(n)
+                return n
+            """
+        )
+        with pytest.raises(RuntimeError):
+            run_forward(cfg, NeverConverges())

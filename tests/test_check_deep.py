@@ -1,0 +1,292 @@
+"""Unit tests for the deep analyses behind REP008-REP011.
+
+The fixture suite (``test_check_rules``) pins exact findings on the
+known-bad programs; this file exercises the machinery underneath — the
+alias-aware call graph, the guarded-by comment parser, and the corner
+cases of each analysis that the fixtures keep simple (rebinds, loops,
+interprocedural entry locksets, keyword-argument purity mapping,
+cross-module programs).
+"""
+
+import ast
+import textwrap
+
+from repro.check.callgraph import build_call_graph, module_name_for
+from repro.check.deep import parse_guard_comments
+from repro.check.runner import check_paths, check_source
+
+
+def deep(source, path="unit.py"):
+    return [
+        (v.line, v.rule_id)
+        for v in check_source(textwrap.dedent(source), path, deep=True)
+    ]
+
+
+def graph_of(*named_sources):
+    return build_call_graph(
+        [(path, ast.parse(textwrap.dedent(src))) for path, src in named_sources]
+    )
+
+
+class TestCallGraph:
+    SRC = """
+        import helpers as h
+        from helpers import scrub
+
+        REGISTRY = []
+
+        def local(x):
+            return x
+
+        def caller(x):
+            alias = local
+            alias(x)
+            h.wipe(x)
+            scrub(x)
+
+        REGISTRY.append(local)
+
+        class Box:
+            def get(self):
+                return self._load()
+
+            def _load(self):
+                return 1
+    """
+    HELPERS = """
+        def wipe(x):
+            x.clear()
+
+        def scrub(x):
+            x.clear()
+    """
+
+    def test_module_name_anchors_at_the_package_root(self):
+        assert module_name_for("src/repro/core/shm.py") == "repro.core.shm"
+        assert module_name_for("tests/checkdata/bad_rep008.py") == "bad_rep008"
+
+    def test_resolves_aliases_imports_and_methods(self):
+        graph = graph_of(("main.py", self.SRC), ("helpers.py", self.HELPERS))
+        callees = {
+            cs.callee.qualname for cs in graph.calls_from("main.caller")
+        }
+        # `alias = local; alias(x)` resolves through the local binding,
+        # `h.wipe` through the import alias, `scrub` through the
+        # from-import.
+        assert callees == {"main.local", "helpers.wipe", "helpers.scrub"}
+        method = {cs.callee.qualname for cs in graph.calls_from("main.Box.get")}
+        assert method == {"main.Box._load"}
+
+    def test_value_references_escape(self):
+        graph = graph_of(("main.py", self.SRC), ("helpers.py", self.HELPERS))
+        # REGISTRY.append(local) references the function as a value, so
+        # its callers are no longer statically enumerable.
+        assert "main.local" in graph.escaped
+        assert "main.caller" not in graph.escaped
+
+
+class TestGuardComments:
+    def test_trailing_comment_designates_its_own_line(self):
+        source = "items = []  # repro: guarded-by[_lock]\n"
+        assert parse_guard_comments(source) == {1: "_lock"}
+
+    def test_standalone_comment_designates_the_next_line(self):
+        source = (
+            "# repro: guarded-by[mu]\n"
+            "table = {}\n"
+        )
+        assert parse_guard_comments(source) == {2: "mu"}
+
+    def test_unannotated_source_has_no_guards(self):
+        assert parse_guard_comments("x = 1\n") == {}
+
+
+class TestResourceCorners:
+    def test_rebinding_an_owed_resource_is_a_leak(self):
+        assert deep(
+            """
+            def f():
+                arena = SharedArena()
+                arena = SharedArena()
+                arena.unlink()
+            """
+        ) == [(3, "REP008")]
+
+    def test_loop_body_leak_is_caught_releases_are_not(self):
+        leak = """
+            def f(n):
+                for i in range(n):
+                    arena = SharedArena()
+                return n
+            """
+        ok = """
+            def f(n):
+                for i in range(n):
+                    arena = SharedArena()
+                    arena.unlink()
+                return n
+            """
+        assert deep(leak) == [(4, "REP008")]
+        assert deep(ok) == []
+
+    def test_raise_paths_are_exempt(self):
+        assert deep(
+            """
+            def f(cond):
+                arena = SharedArena()
+                if cond:
+                    raise ValueError("mid-setup")
+                arena.unlink()
+            """
+        ) == []
+
+    def test_storing_on_self_transfers_ownership(self):
+        assert deep(
+            """
+            class Holder:
+                def __init__(self):
+                    self.arena = SharedArena()
+            """
+        ) == []
+
+
+class TestLockCorners:
+    def test_private_helper_inherits_callers_locksets(self):
+        assert deep(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0  # repro: guarded-by[_lock]
+
+                def bump(self):
+                    with self._lock:
+                        self._bump()
+
+                def _bump(self):
+                    self.n += 1
+            """
+        ) == []
+
+    def test_one_unlocked_caller_taints_the_helper(self):
+        assert deep(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0  # repro: guarded-by[_lock]
+
+                def bump(self):
+                    with self._lock:
+                        self._bump()
+
+                def sneak(self):
+                    self._bump()
+
+                def _bump(self):
+                    self.n += 1
+            """
+        ) == [(17, "REP009")]
+
+    def test_module_level_lock_guards_module_globals(self):
+        assert deep(
+            """
+            import threading
+
+            MU = threading.Lock()
+            TABLE = {}  # repro: guarded-by[MU]
+
+
+            def locked(key):
+                with MU:
+                    return TABLE.get(key)
+
+
+            def unlocked(key):
+                return TABLE.get(key)
+            """
+        ) == [(14, "REP009")]
+
+
+class TestPurityCorners:
+    def test_keyword_arguments_map_to_parameters(self):
+        assert deep(
+            """
+            from repro.mapreduce.api import Mapper
+
+
+            def scrub(keep, rows):
+                rows.clear()
+
+
+            class M(Mapper):
+                def map(self, key, value, ctx):
+                    scrub(keep=2, rows=value)
+                    return [(key, value)]
+            """
+        ) == [(11, "REP011")]
+
+    def test_mutating_a_copy_is_pure(self):
+        assert deep(
+            """
+            from repro.mapreduce.api import Mapper
+
+
+            def tidy(rows):
+                out = list(rows)
+                out.sort()
+                return out
+
+
+            class M(Mapper):
+                def map(self, key, value, ctx):
+                    return [(key, tidy(value))]
+            """
+        ) == []
+
+
+class TestWholeProgram:
+    def test_cross_module_purity_finding(self, tmp_path):
+        (tmp_path / "helpers.py").write_text(
+            textwrap.dedent(
+                """
+                CACHE = {}
+
+
+                def remember(key):
+                    CACHE[key] = True
+                """
+            )
+        )
+        (tmp_path / "tasks.py").write_text(
+            textwrap.dedent(
+                """
+                from helpers import remember
+                from repro.mapreduce.api import Mapper
+
+
+                class M(Mapper):
+                    def map(self, key, value, ctx):
+                        remember(key)
+                        return [(key, value)]
+                """
+            )
+        )
+        violations = check_paths([str(tmp_path)], deep=True)
+        got = [(v.path.rsplit("/", 1)[-1], v.line, v.rule_id) for v in violations]
+        assert got == [("tasks.py", 8, "REP011")]
+
+    def test_deep_off_skips_the_dataflow_rules(self, tmp_path):
+        (tmp_path / "leaky.py").write_text(
+            "def f():\n    arena = SharedArena()\n"
+        )
+        assert check_paths([str(tmp_path)]) == []
+        assert [
+            (v.line, v.rule_id)
+            for v in check_paths([str(tmp_path)], deep=True)
+        ] == [(2, "REP008")]

@@ -17,13 +17,14 @@ import pytest
 
 import repro
 from repro.check import RULES, check_paths, check_source
-from repro.check.rules import VISITOR_RULES
+from repro.check.rules import DEEP_RULES, VISITOR_RULES
 from repro.check.runner import check_file, iter_python_files, main
 
 DATA = Path(__file__).parent / "checkdata"
 MARKER = re.compile(r"<-\s*(REP\d{3})")
 
 BAD_FIXTURES = sorted(DATA.glob("bad_rep*.py"))
+DEEP_FIXTURES = [p for p in BAD_FIXTURES if p.stem[len("bad_"):].upper() in DEEP_RULES]
 
 
 def expected_markers(path):
@@ -37,20 +38,40 @@ def expected_markers(path):
 
 class TestFixtures:
     @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
-    def test_rule_fires_exactly_at_markers(self, path):
+    def test_deep_mode_fires_exactly_at_markers(self, path):
+        # Deep mode is a superset of shallow mode, so every fixture —
+        # visitor-rule and dataflow-rule alike — must be marker-exact
+        # under --deep.  Extra reports are false positives, missing
+        # reports are false negatives.
         expected = expected_markers(path)
         assert expected, f"fixture {path.name} has no <- REPNNN markers"
+        got = {(v.line, v.rule_id) for v in check_file(path, deep=True)}
+        assert got == expected
+
+    @pytest.mark.parametrize(
+        "path",
+        [p for p in BAD_FIXTURES if p not in DEEP_FIXTURES],
+        ids=lambda p: p.stem,
+    )
+    def test_shallow_mode_fires_exactly_at_markers(self, path):
+        expected = expected_markers(path)
         got = {(v.line, v.rule_id) for v in check_file(path)}
         assert got == expected
 
-    def test_every_visitor_rule_has_a_fixture(self):
+    @pytest.mark.parametrize("path", DEEP_FIXTURES, ids=lambda p: p.stem)
+    def test_deep_fixtures_are_silent_without_deep(self, path):
+        # The dataflow rules only run under --deep; the default pass
+        # must neither report them nor flag their pragmas as stale.
+        assert check_file(path) == []
+
+    def test_every_rule_has_a_fixture(self):
         covered = set()
         for path in BAD_FIXTURES:
             covered.update(rule for _, rule in expected_markers(path))
-        assert covered == set(VISITOR_RULES)
+        assert covered == set(VISITOR_RULES) | set(DEEP_RULES)
 
     def test_clean_fixture_is_clean(self):
-        assert check_file(DATA / "clean.py") == []
+        assert check_file(DATA / "clean.py", deep=True) == []
 
     def test_violations_carry_rule_metadata(self):
         for violation in check_file(DATA / "bad_rep001.py"):
@@ -100,6 +121,27 @@ class TestPragmas:
         violations = check_source(source, "inline")
         assert [(v.rule_id, v.line) for v in violations] == [("REP001", 3)]
 
+    DEEP_LEAK = (
+        "def leak(cond):\n"
+        "    arena = SharedArena()  # repro: allow[REP008]\n"
+        "    if cond:\n"
+        "        return None\n"
+        "    return arena\n"
+    )
+
+    def test_pragma_suppresses_deep_rule(self):
+        assert check_source(self.DEEP_LEAK, "inline", deep=True) == []
+
+    def test_deep_pragma_is_not_stale_in_shallow_mode(self):
+        # Without --deep the analysis that would use the pragma never
+        # runs, so the shallow pass must not call it stale.
+        assert check_source(self.DEEP_LEAK, "inline") == []
+
+    def test_unused_deep_pragma_is_stale_in_deep_mode(self):
+        source = "x = 1  # repro: allow[REP010]\n"
+        violations = check_source(source, "inline", deep=True)
+        assert [v.rule_id for v in violations] == ["REP007"]
+
 
 class TestRunner:
     def test_unparseable_file_is_rep000(self):
@@ -120,9 +162,20 @@ class TestRunner:
         assert "REP004" in capsys.readouterr().out
 
     def test_json_output(self, capsys):
+        import json
+
         assert main([str(DATA / "bad_rep006.py"), "--format", "json"]) == 1
-        payload = capsys.readouterr().out
-        assert '"rule": "REP006"' in payload
+        payload = json.loads(capsys.readouterr().out)
+        assert payload, "json output should carry the findings"
+        for entry in payload:
+            assert set(entry) == {"file", "line", "col", "rule", "message"}
+        assert {e["rule"] for e in payload} == {"REP006"}
+
+    def test_deep_flag_reaches_the_runner(self, capsys):
+        assert main([str(DATA / "bad_rep009.py")]) == 0
+        capsys.readouterr()
+        assert main([str(DATA / "bad_rep009.py"), "--deep"]) == 1
+        assert "REP009" in capsys.readouterr().out
 
 
 class TestCounterFamilies:
@@ -188,4 +241,11 @@ class TestRepoIsClean:
     def test_shipped_tree_has_no_violations_and_no_stale_pragmas(self):
         src_tree = Path(repro.__file__).parent
         violations = check_paths([str(src_tree)])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_shipped_tree_is_clean_under_deep_analysis(self):
+        # The whole point of shipping the dataflow layer: the analyzer
+        # holds the shm/fleet substrate itself to its own rules.
+        src_tree = Path(repro.__file__).parent
+        violations = check_paths([str(src_tree)], deep=True)
         assert violations == [], "\n".join(v.render() for v in violations)

@@ -386,6 +386,41 @@ class TestThreadedSmoke:
             fe.start()
         fe.stop()
 
+    def test_concurrent_mutations_are_serialized_with_serving(self):
+        # Regression for a REP009 finding: apply_insert/apply_delete
+        # used to mutate the index and cache without _lock while the
+        # worker thread read both under _lock.  Hammer mutations from a
+        # second thread mid-serve; every mutation must land (epoch is
+        # bumped once per insert/delete) and nothing may blow up.
+        import threading
+
+        index = small_index()
+        epoch0 = index.epoch
+        fe = ThreadedFrontend(index, queue_capacity=512, timeout_s=30.0)
+        fe.start()
+        errors = []
+
+        def mutate():
+            try:
+                for i in range(40):
+                    fe.apply_insert([0.01 + i * 1e-4, 0.02 - i * 1e-4], 900 + i)
+                    if i % 5 == 2:
+                        fe.apply_delete(900 + i)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        for _ in range(120):
+            fe.submit()
+        mutator.join()
+        responses = fe.stop()
+        assert errors == []
+        assert len(responses) == 120
+        assert {r.status for r in responses} <= {"ok", "shed", "timeout"}
+        deletes = sum(1 for i in range(40) if i % 5 == 2)
+        assert index.epoch == epoch0 + 40 + deletes
+
 
 class TestMetricsIntegration:
     def test_collector_fills_serve_histograms(self):

@@ -359,3 +359,22 @@ class TestFleetReshardAndTracing:
             fleet.skyline()
             drained = fleet.drain_span_records()
             assert all(recs == [] for recs in drained.values())
+
+
+class TestFleetLifecycle:
+    def test_failed_workload_setup_does_not_leak_the_fleet(self):
+        # Regression for a REP008 finding: run_workload built the
+        # frontend *outside* the try/finally that retires the fleet, so
+        # a config error after fleet spawn leaked the worker processes
+        # and their shared-memory segments.
+        assert live_segments() == ()
+        with pytest.raises(ValidationError):
+            run_workload(
+                "write-heavy",
+                seed=1,
+                scale=0.1,
+                shards=2,
+                fleet=True,
+                policy="bogus",
+            )
+        assert live_segments() == ()
