@@ -21,7 +21,7 @@ def main():
     held = total = 0
     for name in ["fig7", "fig8", "fig9", "fig10", "fig11",
                  "ablation-merging", "ablation-ppd", "ablation-pruning",
-                 "ablation-local"]:
+                 "ablation-local", "cost-frontier"]:
         runner = EXPERIMENTS[name]
         started = time.perf_counter()
         kwargs = {"scale": scale, "cluster": cluster}

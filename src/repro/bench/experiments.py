@@ -25,7 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.harness import Cell, CellResult, Workload, run_cells, scaled_cardinality
+from repro.bench.harness import (
+    Cell,
+    CellResult,
+    Workload,
+    run_cell,
+    run_cells,
+    scaled_cardinality,
+)
 from repro.bench.reporting import format_series
 from repro.grid.cost import kappa_mapper, kappa_reducer
 from repro.mapreduce.cluster import SimulatedCluster
@@ -609,6 +616,91 @@ def run_ablation_local(
     )
 
 
+def run_cost_frontier(
+    scale: float = DEFAULT_SCALE,
+    cluster: Optional[SimulatedCluster] = None,
+    engine=None,
+    verbose: bool = False,
+) -> FigureReport:
+    """Rounds/replication cost frontier (Lemma 2 / Figure 6).
+
+    Sweeps the reducer count of MR-GPMRS under the BSP engine and
+    reads its :class:`~repro.bsp.cost.CostReport`: shrinking the
+    max-reducer-input budget ``q`` buys parallelism at the price of a
+    higher replication rate ``r``, the trade-off Afrati et al. bound
+    by ``r >= n/q`` for all-pairs problems. The skyline's independent
+    groups sit *below* that curve — the bound column is a reference
+    line, not a target. A caller-supplied ``engine`` is ignored: the
+    engine is the subject here, and each point needs a fresh one so
+    cost reports do not blend across points.
+    """
+    del engine  # the sweep constructs its own BSPEngine per point
+    from repro.bsp import BSPEngine, afrati_allpairs_bound
+
+    card = scaled_cardinality(PAPER_CARD_LOW, scale * 4)
+    d = 4
+    reducers = [1, 2, 4, 8, 13]
+    panels = []
+    for dist in ("independent", "anticorrelated"):
+        panel = Panel(
+            title=f"{d}-d {dist}, card {card} (BSP engine)",
+            x_name="reducers",
+            x_values=list(reducers),
+        )
+        workload = Workload(dist, card, d, seed=7)
+        results: List[CellResult] = []
+        replication: List[float] = []
+        max_q: List[int] = []
+        bound: List[float] = []
+        for nr in reducers:
+            bsp = BSPEngine()
+            cell = Cell.make(
+                workload,
+                "mr-gpmrs",
+                num_reducers=nr,
+                tpp=auto_tpp(card, d),
+            )
+            result = run_cell(cell, cluster=cluster, engine=bsp)
+            cost = bsp.cost
+            results.append(result)
+            replication.append(round(cost.replication_rate, 4))
+            max_q.append(cost.max_reducer_input_records)
+            bound.append(
+                round(
+                    afrati_allpairs_bound(
+                        cost.source_records, cost.max_reducer_input_records
+                    ),
+                    4,
+                )
+            )
+            if verbose:
+                print(
+                    f"  {workload.label():34s} reducers={nr:<3d} "
+                    f"q={max_q[-1]:<6d} r={replication[-1]:.4f}"
+                )
+        panel.series["mr-gpmrs"] = results
+        values = {
+            "runtime_s": [r.runtime_s for r in results],
+            "replication_r": replication,
+            "max_reducer_q": max_q,
+            "allpairs_bound": bound,
+        }
+        panel.render = lambda v=None, p=panel, vals=values: format_series(
+            p.x_name, p.x_values, v or vals, title=p.title
+        )
+        panels.append(panel)
+    return FigureReport(
+        figure_id="Cost frontier",
+        title="Replication rate vs reducer-input budget (BSP cost model)",
+        panels=panels,
+        notes=(
+            "allpairs_bound is Afrati's r >= n/q reference curve; the "
+            "grid's independent groups stay below it. See "
+            "docs/paper_mapping.md, 'Rounds & replication'."
+        ),
+    )
+
+
 #: Experiment id -> runner, for the CLI.
 EXPERIMENTS: Dict[str, Callable[..., FigureReport]] = {
     "fig7": run_figure7,
@@ -620,4 +712,5 @@ EXPERIMENTS: Dict[str, Callable[..., FigureReport]] = {
     "ablation-ppd": run_ablation_ppd,
     "ablation-pruning": run_ablation_pruning,
     "ablation-local": run_ablation_local,
+    "cost-frontier": run_cost_frontier,
 }

@@ -1,0 +1,50 @@
+"""``repro.bsp`` — the BSP superstep engine and its cost model.
+
+A whole parallel execution model alongside MapReduce: unchanged job
+and pipeline definitions compile onto Bulk Synchronous Parallel
+superstep programs (local compute -> h-relation communication ->
+barrier), execute with byte-identical results to every other engine,
+and measure the rounds/replication cost frontier the paper's
+independent-group designs trade along (Lemma 2 / Figure 6; Afrati et
+al.'s replication-vs-reducer-input bound).
+
+Public surface:
+
+* :class:`~repro.bsp.engine.BSPEngine` — the fifth engine (a drop-in
+  ``engine=`` argument, ``--engine bsp`` on the CLI);
+* :class:`~repro.bsp.engine.ContractCheckingBSPEngine` — the same,
+  under the full purity-contract certificate;
+* :func:`~repro.bsp.superstep.compile_job` /
+  :class:`~repro.bsp.superstep.Superstep` /
+  :class:`~repro.bsp.superstep.BSPProgram` — the compiler;
+* :class:`~repro.bsp.cost.CostReport` /
+  :class:`~repro.bsp.cost.SuperstepCost` /
+  :func:`~repro.bsp.cost.afrati_allpairs_bound` — the cost model;
+* :func:`~repro.bsp.trace.render_bsp_gantt` /
+  :func:`~repro.bsp.trace.bsp_schedule_spans` — barrier-aware views.
+"""
+
+from repro.bsp.cost import CostReport, SuperstepCost, afrati_allpairs_bound
+from repro.bsp.engine import BSPEngine, ContractCheckingBSPEngine
+from repro.bsp.superstep import (
+    BSPProgram,
+    Superstep,
+    compile_job,
+    compile_jobs,
+)
+from repro.bsp.trace import bsp_job_spans, bsp_schedule_spans, render_bsp_gantt
+
+__all__ = [
+    "BSPEngine",
+    "ContractCheckingBSPEngine",
+    "BSPProgram",
+    "Superstep",
+    "compile_job",
+    "compile_jobs",
+    "CostReport",
+    "SuperstepCost",
+    "afrati_allpairs_bound",
+    "bsp_job_spans",
+    "bsp_schedule_spans",
+    "render_bsp_gantt",
+]

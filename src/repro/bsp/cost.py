@@ -1,0 +1,169 @@
+"""First-class cost-model outputs of the BSP engine.
+
+The paper's MR-GPSRS/MR-GPMRS designs are round-and-replication
+tradeoffs: independent-group partitioning (Lemma 2, Figure 6) buys
+fewer rounds at the price of replicated reducer input. Afrati et al.
+("Upper and Lower Bounds on the Cost of a Map-Reduce Computation")
+frame that frontier with two numbers:
+
+* **replication rate** ``r`` — record copies delivered to reducers
+  divided by distinct source records entering communication;
+* **reducer input size** ``q`` — the largest input one reduce peer
+  must hold (the memory bound).
+
+The BSP engine measures both directly at its communication phases,
+plus the BSP-native quantities — round count, superstep count, and the
+per-superstep *h-relation* degree (max over peers of records/bytes
+sent or received) — and accumulates them here. Everything is charged
+on the engine's own counter bag (``mr.cost.*``), never into job stats,
+which must stay byte-identical across engines.
+
+Replication accounting counts logical records
+(:func:`repro.mapreduce.sizes.payload_units`): a delivered
+:class:`~repro.core.pointset.PointSet` contributes one copy per point,
+and distinct sources are counted by point id, so a partition skyline
+sent to three reducer groups counts three copies of one source.
+Payloads without ids (plain keys/values) count each emission as its
+own source — their replication contribution is exactly 1 — so
+``replication_rate >= 1`` holds by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Set
+
+from repro.core.pointset import PointSet
+from repro.errors import ValidationError
+
+#: Decimal places kept for derived rates in ``as_dict`` (matches the
+#: run report's simulated-clock rounding).
+_RATE_DECIMALS = 9
+
+
+def gather_source_ids(value: Any, ids: Set[int]) -> int:
+    """Collect the point ids inside ``value``; return the scalar count.
+
+    The two halves of source-record accounting: ids land in ``ids``
+    (deduplicated across every message a peer sends — the same
+    partition skyline routed to three groups is one source per point),
+    and payloads that carry no ids return how many id-less records they
+    contain (each emission counts as its own source).
+    """
+    if isinstance(value, PointSet):
+        ids.update(int(i) for i in value.ids.tolist())
+        return 0
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return sum(gather_source_ids(v, ids) for v in value)
+    if isinstance(value, dict):
+        return sum(gather_source_ids(v, ids) for v in value.values())
+    return 1
+
+
+def afrati_allpairs_bound(source_records: int, reducer_input: int) -> float:
+    """Afrati et al.'s all-pairs lower bound ``r >= n / q``.
+
+    The reference curve the cost-frontier bench charts measured
+    replication against: for the all-pairs problem on ``n`` inputs with
+    reducer memory ``q``, no MapReduce algorithm replicates less than
+    ``n / q``. Skyline grouping is an easier communication problem, so
+    measured curves sit *below* this bound; it anchors the axes.
+    """
+    if source_records < 0:
+        raise ValidationError(
+            f"source_records must be >= 0, got {source_records}"
+        )
+    if reducer_input <= 0:
+        raise ValidationError(
+            f"reducer_input must be > 0, got {reducer_input}"
+        )
+    return source_records / reducer_input
+
+
+@dataclass(frozen=True)
+class SuperstepCost:
+    """Measured cost of one executed superstep.
+
+    ``h_records``/``h_bytes`` are the h-relation degree: the maximum
+    over peers of max(sent, received) in that superstep's communication
+    phase (0 for supersteps that retain their output locally).
+    """
+
+    step: int  # global superstep index across the engine's lifetime
+    job: str
+    phase: str  # 'map' | 'reduce'
+    peers: int
+    delivered_records: int = 0
+    delivered_bytes: int = 0
+    h_records: int = 0
+    h_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "step": self.step,
+            "job": self.job,
+            "phase": self.phase,
+            "peers": self.peers,
+            "delivered_records": self.delivered_records,
+            "delivered_bytes": self.delivered_bytes,
+            "h_records": self.h_records,
+            "h_bytes": self.h_bytes,
+        }
+
+
+@dataclass
+class CostReport:
+    """Accumulated cost-model outputs of one BSP engine instance.
+
+    One engine executes a whole pipeline (algorithms submit each round
+    to ``engine.run``), so the report spans every round the instance
+    has run: ``rounds`` is the pipeline's MapReduce round count and
+    ``replication_rate`` the pipeline-wide Afrati rate.
+    """
+
+    rounds: int = 0
+    barriers: int = 0
+    source_records: int = 0
+    delivered_records: int = 0
+    delivered_bytes: int = 0
+    max_reducer_input_records: int = 0
+    max_reducer_input_bytes: int = 0
+    supersteps: List[SuperstepCost] = field(default_factory=list)
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def replication_rate(self) -> float:
+        """Delivered record copies per distinct source record (>= 1).
+
+        An engine that has not communicated yet reports the identity
+        rate 1.0 rather than dividing by zero.
+        """
+        if self.source_records <= 0:
+            return 1.0
+        return self.delivered_records / self.source_records
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The run-report ``"cost"`` section (deterministic, JSON-safe)."""
+        return {
+            "rounds": self.rounds,
+            "supersteps": self.num_supersteps,
+            "barriers": self.barriers,
+            "replication_rate": round(self.replication_rate, _RATE_DECIMALS),
+            "source_records": self.source_records,
+            "delivered_records": self.delivered_records,
+            "delivered_bytes": self.delivered_bytes,
+            "max_reducer_input_records": self.max_reducer_input_records,
+            "max_reducer_input_bytes": self.max_reducer_input_bytes,
+            "per_superstep": [step.as_dict() for step in self.supersteps],
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.rounds} rounds / {self.num_supersteps} supersteps / "
+            f"{self.barriers} barriers, replication "
+            f"{self.replication_rate:.3f}x, max reducer input "
+            f"{self.max_reducer_input_records} records"
+        )

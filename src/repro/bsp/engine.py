@@ -1,0 +1,232 @@
+"""The BSP superstep engine: the runtime's fifth execution backend.
+
+:class:`BSPEngine` executes unchanged
+:class:`~repro.mapreduce.job.MapReduceJob` definitions as BSP superstep
+programs (:func:`repro.bsp.superstep.compile_job`): local compute on
+one peer per split, an explicit h-relation communication phase that
+realises the shuffle through the job's partitioner, a barrier, local
+compute on one peer per reduce partition, and the closing barrier.
+
+Execution is semantics-preserving *by construction*: per-task work
+runs through the same ``_map_task`` / ``_reduce_task`` drivers as
+:class:`~repro.mapreduce.engine.SerialEngine` (so retry, fault
+injection, speculation, and the telemetry stream are inherited
+verbatim), and the communication phase routes records with the same
+validated :func:`~repro.mapreduce.engine.partition_index` probe in the
+same mapper-major order as ``shuffle_outputs`` — skylines, job
+counters, shuffle bytes, and attempt histories are byte-identical to
+every other engine.
+
+What the model *adds* is measurement: each communication phase charges
+the rounds/replication cost frontier — replication rate, round count,
+max-reducer-input, per-superstep h-relation volume — onto the
+engine-local :class:`~repro.bsp.cost.CostReport` and ``cost_counters``
+bag (documented ``mr.cost.*`` names). Like the process-pool engine's
+``shm_counters``, these never touch job stats, which must stay
+byte-identical across engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.bsp.cost import CostReport, SuperstepCost, gather_source_ids
+from repro.bsp.superstep import BSPProgram, Superstep, compile_job
+from repro.check.contracts import ContractCheckingEngine
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.counters import Counters, cost_counter
+from repro.mapreduce.engine import SerialEngine, partition_index
+from repro.mapreduce.job import JobResult, MapReduceJob
+from repro.mapreduce.metrics import JobStats
+from repro.mapreduce.sizes import payload_size, payload_units
+from repro.mapreduce.types import KeyValue
+
+
+class BSPEngine(SerialEngine):
+    """Run jobs as compiled superstep programs with cost accounting.
+
+    Constructor arguments are inherited from
+    :class:`~repro.mapreduce.engine.SerialEngine`
+    (retry/faults/speculation/bus/block_path). ``cost`` and
+    ``cost_counters`` accumulate across every ``run`` call on the
+    instance — algorithms submit one job per round, so after a pipeline
+    the report covers the whole chain; ``reset_cost()`` rewinds the
+    accounting for reuse across measurements.
+    """
+
+    def __init__(self, **kwargs: Any):
+        super().__init__(**kwargs)
+        self.cost = CostReport()
+        self.cost_counters = Counters()
+        self.last_program: Optional[BSPProgram] = None
+
+    def reset_cost(self) -> None:
+        self.cost = CostReport()
+        self.cost_counters = Counters()
+
+    # -- superstep phases ----------------------------------------------
+
+    def _exchange(
+        self, job, map_outputs: List[List[KeyValue]], step: Superstep
+    ) -> List[List[KeyValue]]:
+        """The h-relation: route every record, measure the frontier.
+
+        Routing is bucket-for-bucket identical to ``shuffle_outputs``
+        (same partitioner probe, same mapper-major append order); the
+        cost model rides along on the same pass.
+        """
+        n = job.num_reducers
+        buckets: List[List[KeyValue]] = [[] for _ in range(n)]
+        sent_records = [0] * max(1, len(map_outputs))
+        sent_bytes = [0] * max(1, len(map_outputs))
+        received_records = [0] * n
+        received_bytes = [0] * n
+        source_records = 0
+        for peer, output in enumerate(map_outputs):
+            peer_ids: set = set()
+            scalar_sources = 0
+            for key, value in output:
+                dest = partition_index(job, key, n)
+                units = payload_units(value)
+                size = payload_size(key) + payload_size(value)
+                sent_records[peer] += units
+                sent_bytes[peer] += size
+                received_records[dest] += units
+                received_bytes[dest] += size
+                scalar_sources += gather_source_ids(value, peer_ids)
+                buckets[dest].append((key, value))
+            source_records += len(peer_ids) + scalar_sources
+        self._account_exchange(
+            step,
+            source_records=source_records,
+            sent_records=sent_records,
+            sent_bytes=sent_bytes,
+            received_records=received_records,
+            received_bytes=received_bytes,
+        )
+        return buckets
+
+    def _account_exchange(
+        self,
+        step: Superstep,
+        source_records: int,
+        sent_records: List[int],
+        sent_bytes: List[int],
+        received_records: List[int],
+        received_bytes: List[int],
+    ) -> None:
+        index = self.cost.num_supersteps
+        delivered = sum(received_records)
+        delivered_bytes = sum(received_bytes)
+        h_records = max(
+            max(sent_records, default=0), max(received_records, default=0)
+        )
+        h_bytes = max(
+            max(sent_bytes, default=0), max(received_bytes, default=0)
+        )
+        self.cost.supersteps.append(
+            SuperstepCost(
+                step=index,
+                job=step.job_name,
+                phase=step.phase,
+                peers=step.num_peers,
+                delivered_records=delivered,
+                delivered_bytes=delivered_bytes,
+                h_records=h_records,
+                h_bytes=h_bytes,
+            )
+        )
+        self.cost.source_records += source_records
+        self.cost.delivered_records += delivered
+        self.cost.delivered_bytes += delivered_bytes
+        self.cost_counters.inc(counter_names.COST_SUPERSTEPS)
+        if source_records:
+            self.cost_counters.inc(
+                counter_names.COST_SOURCE_RECORDS, source_records
+            )
+        if delivered:
+            self.cost_counters.inc(
+                counter_names.COST_DELIVERED_RECORDS, delivered
+            )
+        if delivered_bytes:
+            self.cost_counters.inc(
+                counter_names.COST_DELIVERED_BYTES, delivered_bytes
+            )
+        if h_records:
+            self.cost_counters.inc(cost_counter(index, "h_records"), h_records)
+        if h_bytes:
+            self.cost_counters.inc(cost_counter(index, "h_bytes"), h_bytes)
+        # Reducer-input high-water mark: the memory bound q. Charged by
+        # delta so the counter stays monotone while tracking a maximum.
+        peak = max(received_records, default=0)
+        if peak > self.cost.max_reducer_input_records:
+            self.cost_counters.inc(
+                counter_names.COST_MAX_REDUCER_INPUT,
+                peak - self.cost.max_reducer_input_records,
+            )
+            self.cost.max_reducer_input_records = peak
+        peak_bytes = max(received_bytes, default=0)
+        if peak_bytes > self.cost.max_reducer_input_bytes:
+            self.cost.max_reducer_input_bytes = peak_bytes
+
+    def _account_local_step(self, step: Superstep) -> None:
+        """A superstep whose output stays local (no h-relation)."""
+        self.cost.supersteps.append(
+            SuperstepCost(
+                step=self.cost.num_supersteps,
+                job=step.job_name,
+                phase=step.phase,
+                peers=step.num_peers,
+            )
+        )
+        self.cost_counters.inc(counter_names.COST_SUPERSTEPS)
+
+    def _barrier(self) -> None:
+        self.cost.barriers += 1
+        self.cost_counters.inc(counter_names.COST_BARRIERS)
+
+    # -- the engine ----------------------------------------------------
+
+    def run(self, job: MapReduceJob) -> JobResult:
+        program = compile_job(job)
+        self.last_program = program
+        map_step, reduce_step = program.supersteps
+        stats = JobStats(job_name=job.name)
+        stats.broadcast_bytes = job.cache.payload_bytes()
+        self._emit_job_start(job)
+
+        # Superstep 2k: map peers compute, then communicate (shuffle).
+        map_results = [self._map_task(job, split) for split in job.splits]
+        map_outputs = self._collect_maps(stats, map_results)
+        buckets = self._exchange(job, map_outputs, map_step)
+        self._emit_shuffle(job, buckets)
+        self._barrier()
+
+        # Superstep 2k+1: reduce peers compute; output stays local.
+        reduce_results = [
+            self._reduce_task(job, r, buckets[r])
+            for r in range(job.num_reducers)
+        ]
+        reducer_outputs = self._collect_reduces(stats, reduce_results)
+        self._account_local_step(reduce_step)
+        self._barrier()
+
+        self._emit_job_end(stats)
+        self.cost.rounds += 1
+        self.cost_counters.inc(counter_names.COST_ROUNDS)
+        return JobResult(
+            job_name=job.name, reducer_outputs=reducer_outputs, stats=stats
+        )
+
+
+class ContractCheckingBSPEngine(ContractCheckingEngine, BSPEngine):
+    """BSP execution under the full purity-contract certificate.
+
+    Cooperative MRO does all the work:
+    :class:`~repro.check.contracts.ContractCheckingEngine` wraps
+    ``run``/``_map_task``/``_reduce_task`` and delegates via ``super()``
+    — which here is :class:`BSPEngine` — so every superstep runs with
+    input fingerprinting, emission validation, and the
+    order-insensitivity shadow reduce, while the cost frontier is
+    measured exactly as on the plain BSP engine.
+    """

@@ -1,0 +1,121 @@
+"""The BSP ``Superstep`` abstraction and the job -> superstep compiler.
+
+Valiant's Bulk Synchronous Parallel model structures a computation as a
+sequence of *supersteps*: every peer performs local computation, then
+exchanges messages (an *h-relation*, h being the maximum per-peer
+communication degree), then waits at a global barrier. Pace ("BSP vs
+MapReduce") shows a MapReduce job is exactly two supersteps:
+
+* **map superstep** — one peer per input split runs the mapper (and
+  combiner); its communication phase realises the shuffle, routing
+  every emitted record through the job's partitioner;
+* **reduce superstep** — one peer per reduce partition runs the
+  reducer over its inbox; no outgoing communication (reduce output is
+  the job's result), followed by the final barrier.
+
+:func:`compile_job` lowers an *unchanged*
+:class:`~repro.mapreduce.job.MapReduceJob` onto this program — no
+algorithm rewrites, no new job type. Pipelines (the paper's two-job
+chains) compile incrementally: each stage of a
+:class:`~repro.mapreduce.pipeline.JobChain` is a lazy callable, so the
+engine compiles the produced job at submission time and the chain
+becomes ``2 * rounds`` supersteps; :func:`compile_jobs` compiles any
+already-materialised sequence in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+#: The two phases a MapReduce round lowers onto.
+SUPERSTEP_PHASES = ("map", "reduce")
+
+
+@dataclass(frozen=True)
+class Superstep:
+    """One BSP superstep: local compute, then communication, barrier.
+
+    ``communicates`` distinguishes the map superstep (its communication
+    phase is the shuffle h-relation) from the reduce superstep (output
+    is retained locally; the barrier alone separates it from the next
+    round).
+    """
+
+    index: int
+    job_name: str
+    phase: str  # 'map' | 'reduce'
+    num_peers: int
+    communicates: bool
+
+    def __post_init__(self):
+        if self.phase not in SUPERSTEP_PHASES:
+            raise ValidationError(
+                f"superstep phase must be one of {SUPERSTEP_PHASES}, "
+                f"got {self.phase!r}"
+            )
+        if self.num_peers < 1:
+            raise ValidationError(
+                f"superstep needs >= 1 peer, got {self.num_peers}"
+            )
+
+    def describe(self) -> str:
+        comm = "h-relation + barrier" if self.communicates else "barrier"
+        return (
+            f"superstep {self.index} [{self.job_name}/{self.phase}]: "
+            f"{self.num_peers} peers, {comm}"
+        )
+
+
+@dataclass(frozen=True)
+class BSPProgram:
+    """The superstep program of one MapReduce round (one job)."""
+
+    job_name: str
+    supersteps: Tuple[Superstep, ...]
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def num_barriers(self) -> int:
+        return len(self.supersteps)
+
+    def describe(self) -> str:
+        lines = [f"program {self.job_name}: {self.num_supersteps} supersteps"]
+        lines.extend(f"  {step.describe()}" for step in self.supersteps)
+        return "\n".join(lines)
+
+
+def compile_job(job) -> BSPProgram:
+    """Lower one unchanged MapReduce job onto its superstep program.
+
+    The mapping is fixed — map superstep, reduce superstep — because a
+    MapReduce job *is* that program; what varies is the peer counts and
+    the h-relation the communication phase realises, which the engine
+    measures at run time (:class:`repro.bsp.cost.CostReport`).
+    """
+    job.validate()
+    map_step = Superstep(
+        index=0,
+        job_name=job.name,
+        phase="map",
+        num_peers=len(job.splits),
+        communicates=True,
+    )
+    reduce_step = Superstep(
+        index=1,
+        job_name=job.name,
+        phase="reduce",
+        num_peers=job.num_reducers,
+        communicates=False,
+    )
+    return BSPProgram(job_name=job.name, supersteps=(map_step, reduce_step))
+
+
+def compile_jobs(jobs: Sequence) -> List[BSPProgram]:
+    """Compile a materialised job sequence (a pipeline's rounds)."""
+    return [compile_job(job) for job in jobs]

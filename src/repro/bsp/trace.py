@@ -1,0 +1,175 @@
+"""Superstep-structured schedule views: barriers made visible.
+
+The plain Gantt (:mod:`repro.mapreduce.trace`) renders a job as map
+wave, shuffle, reduce wave. Under the BSP engine the same execution
+has extra structure — each round is two supersteps separated by global
+barriers — and the whole point of the model is to *see* where peers
+synchronise. This module rebuilds the simulated schedule with that
+structure explicit:
+
+* the communication phase renders on a ``comm`` track (``~`` cells,
+  the shuffle's h-relation);
+* each barrier renders on a ``barrier`` track with its own category
+  and cell (``=``) — distinctly from shuffle waits — charged one
+  ``task_overhead_s`` of synchronisation time per barrier, exactly the
+  per-task coordination charge the cluster model already uses;
+* reduce waves shift right by the intervening barrier, and each job's
+  closing barrier separates it from the next round.
+
+Both renderers consume the same spans: :func:`render_bsp_gantt` for
+ASCII, :func:`bsp_schedule_spans` for the Chrome-trace ``simulated``
+clock (``repro-skyline compute --engine bsp --trace-out``), so the two
+views cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.metrics import JobStats
+from repro.mapreduce.trace import build_schedule
+from repro.obs.spans import Span, render_span_rows
+
+
+def bsp_job_spans(
+    cluster: SimulatedCluster, stats: JobStats, offset: float = 0.0
+) -> Tuple[List[Span], List[str], float]:
+    """One job's superstep-structured spans.
+
+    Returns ``(spans, track_order, makespan)`` where the makespan
+    includes the two barrier charges. Task placement reuses
+    :func:`~repro.mapreduce.trace.build_schedule`, so compute waves are
+    identical to the plain Gantt; only the synchronisation structure is
+    added.
+    """
+    schedule = build_schedule(cluster, stats)
+    map_phase, comm_phase, reduce_phase = schedule.phases
+    barrier_s = cluster.task_overhead_s
+    spans: List[Span] = []
+    tracks: List[str] = []
+    for task in map_phase.tasks:
+        track = f"map-slot-{task.slot}"
+        if track not in tracks:
+            tracks.append(track)
+        spans.append(
+            Span(
+                name=task.name,
+                track=track,
+                start_s=offset + task.start_s,
+                end_s=offset + task.end_s,
+                outcome=task.outcome,
+                args={
+                    "job": stats.job_name,
+                    "phase": "map",
+                    "superstep": 0,
+                },
+            )
+        )
+    tracks.append("comm")
+    spans.append(
+        Span(
+            name=f"{stats.job_name} h-relation",
+            track="comm",
+            start_s=offset + comm_phase.start_s,
+            end_s=offset + comm_phase.end_s,
+            category="shuffle",
+            args={"job": stats.job_name, "superstep": 0},
+        )
+    )
+    tracks.append("barrier")
+    barrier0_end = comm_phase.end_s + barrier_s
+    spans.append(
+        Span(
+            name=f"{stats.job_name} barrier 0",
+            track="barrier",
+            start_s=offset + comm_phase.end_s,
+            end_s=offset + barrier0_end,
+            category="barrier",
+            args={"job": stats.job_name, "superstep": 0},
+        )
+    )
+    shift = barrier_s  # reduce wave starts after the barrier clears
+    for task in reduce_phase.tasks:
+        track = f"reduce-slot-{task.slot}"
+        if track not in tracks:
+            tracks.append(track)
+        spans.append(
+            Span(
+                name=task.name,
+                track=track,
+                start_s=offset + shift + task.start_s,
+                end_s=offset + shift + task.end_s,
+                outcome=task.outcome,
+                args={
+                    "job": stats.job_name,
+                    "phase": "reduce",
+                    "superstep": 1,
+                },
+            )
+        )
+    reduce_end = shift + reduce_phase.end_s
+    spans.append(
+        Span(
+            name=f"{stats.job_name} barrier 1",
+            track="barrier",
+            start_s=offset + reduce_end,
+            end_s=offset + reduce_end + barrier_s,
+            category="barrier",
+            args={"job": stats.job_name, "superstep": 1},
+        )
+    )
+    return spans, tracks, reduce_end + barrier_s
+
+
+def bsp_schedule_spans(
+    cluster: SimulatedCluster, jobs: Sequence[JobStats]
+) -> List[Span]:
+    """Superstep spans of a whole pipeline, rounds back to back.
+
+    The BSP twin of :func:`repro.mapreduce.trace.schedule_spans` — the
+    ``"simulated"`` clock of a Chrome trace exported under
+    ``--engine bsp``, with each round's barriers on their own track.
+    """
+    spans: List[Span] = []
+    offset = 0.0
+    for stats in jobs:
+        job_spans, _tracks, makespan = bsp_job_spans(cluster, stats, offset)
+        spans.extend(job_spans)
+        offset += makespan
+    return spans
+
+
+def render_bsp_gantt(
+    cluster: SimulatedCluster,
+    jobs: Sequence[JobStats],
+    width: int = 64,
+    min_label: int = 14,
+) -> str:
+    """ASCII Gantt of a pipeline with superstep barriers visible.
+
+    Cells: ``#`` compute, ``~`` the h-relation (communication), ``=``
+    a barrier, ``x``/``+`` failed and speculative attempts — barriers
+    render distinctly from shuffle waits by construction.
+    """
+    if width < 8:
+        raise ValidationError(f"width must be >= 8, got {width}")
+    parts: List[str] = []
+    step = 0
+    for stats in jobs:
+        spans, tracks, makespan = bsp_job_spans(cluster, stats)
+        if makespan <= 0:
+            parts.append(f"{stats.job_name}: empty schedule")
+            continue
+        header = (
+            f"{stats.job_name}: supersteps {step}-{step + 1}, "
+            f"simulated makespan {makespan:.3f}s "
+            f"(1 col = {makespan / width:.4f}s, barriers '=')"
+        )
+        rows = render_span_rows(
+            spans, tracks, makespan, width, min_label=min_label
+        )
+        parts.append("\n".join([header] + rows))
+        step += 2
+    return "\n\n".join(parts)

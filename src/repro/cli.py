@@ -47,6 +47,50 @@ from repro.errors import ReproError
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.faults import FaultPlan, RetryPolicy
 
+#: The engine registry: name -> (class name, execution model, shared
+#: memory, fault injection). ``repro-skyline list --engines`` prints
+#: it and docs/architecture.md carries the same matrix; ``--engine``
+#: everywhere accepts exactly these names.
+ENGINE_REGISTRY = (
+    (
+        "serial",
+        "SerialEngine",
+        "sequential tasks, modelled parallelism",
+        "no",
+        "yes",
+    ),
+    (
+        "threads",
+        "ThreadPoolEngine",
+        "concurrent tasks in one process",
+        "no",
+        "yes",
+    ),
+    (
+        "processes",
+        "ProcessPoolEngine",
+        "worker processes, zero-copy blocks",
+        "yes",
+        "yes",
+    ),
+    (
+        "bsp",
+        "BSPEngine",
+        "supersteps: compute -> h-relation -> barrier",
+        "no",
+        "yes",
+    ),
+    (
+        "contract",
+        "ContractCheckingEngine",
+        "serial + purity-contract certificate",
+        "no",
+        "yes",
+    ),
+)
+
+ENGINE_CHOICES = [name for name, *_ in ENGINE_REGISTRY]
+
 
 def _add_fault_args(parser) -> None:
     """Fault-injection flags shared by ``compute`` and ``gantt``."""
@@ -114,9 +158,11 @@ def _build_parser() -> argparse.ArgumentParser:
     compute.add_argument(
         "--engine",
         default="serial",
-        choices=["serial", "threads", "processes", "contract"],
-        help="execution engine for the MapReduce runtime ('contract' "
-        "runs serially while asserting purity/determinism contracts)",
+        choices=ENGINE_CHOICES,
+        help="execution engine for the MapReduce runtime ('bsp' runs "
+        "superstep programs with cost-frontier accounting, 'contract' "
+        "runs serially while asserting purity/determinism contracts; "
+        "see `repro-skyline list --engines`)",
     )
     compute.add_argument(
         "--workers",
@@ -190,6 +236,14 @@ def _build_parser() -> argparse.ArgumentParser:
     gantt.add_argument("--seed", type=int, default=0)
     gantt.add_argument("--nodes", type=int, default=13)
     gantt.add_argument("--width", type=int, default=64)
+    gantt.add_argument(
+        "--engine",
+        default="serial",
+        choices=ENGINE_CHOICES,
+        help="'bsp' renders the superstep view: barriers ('=') "
+        "distinct from the shuffle's h-relation ('~')",
+    )
+    gantt.add_argument("--workers", type=int, default=None)
     _add_fault_args(gantt)
 
     report = sub.add_parser(
@@ -268,7 +322,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--engine",
         default="serial",
-        choices=["serial", "threads", "processes", "contract"],
+        choices=ENGINE_CHOICES,
         help="engine for staleness-budget batch refreshes",
     )
     serve.add_argument("--workers", type=int, default=None)
@@ -306,12 +360,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     lister = sub.add_parser(
-        "list", help="list algorithms, experiments and serve workloads"
+        "list", help="list algorithms, engines, experiments and workloads"
     )
     lister.add_argument(
         "--counters",
         action="store_true",
         help="also list the documented counter/histogram/gauge vocabulary",
+    )
+    lister.add_argument(
+        "--engines",
+        action="store_true",
+        help="also list the engine registry (execution model, "
+        "shared-memory and fault-injection support)",
     )
     return parser
 
@@ -344,6 +404,10 @@ def _make_engine(name: str, workers: Optional[int], args, bus=None):
         from repro.mapreduce.parallel import ProcessPoolEngine
 
         return ProcessPoolEngine(max_workers=workers, **kwargs)
+    if name == "bsp":
+        from repro.bsp import BSPEngine
+
+        return BSPEngine(**kwargs)
     if name == "contract":
         from repro.check.contracts import ContractCheckingEngine
 
@@ -414,14 +478,22 @@ def _cmd_compute(args) -> int:
         print(f"  #{result.indices[i]}: [{row}]")
     if len(result) > args.show:
         print(f"  ... and {len(result) - args.show} more")
+    cost = getattr(engine, "cost", None)
+    if cost is not None and cost.rounds:
+        print(f"bsp cost: {cost.describe()}")
     if args.trace_out:
-        from repro.mapreduce.trace import schedule_spans
         from repro.obs import write_chrome_trace
+
+        if args.engine == "bsp":
+            # Superstep-structured simulated clock: barriers visible.
+            from repro.bsp import bsp_schedule_spans as simulated_spans
+        else:
+            from repro.mapreduce.trace import schedule_spans as simulated_spans
 
         write_chrome_trace(
             args.trace_out,
             {
-                "simulated": schedule_spans(cluster, result.stats.jobs),
+                "simulated": simulated_spans(cluster, result.stats.jobs),
                 "wall": tracer.wall_spans(),
             },
         )
@@ -532,17 +604,26 @@ def _cmd_gantt(args) -> int:
         seed=args.seed,
     )
     cluster = SimulatedCluster(num_nodes=args.nodes)
+    engine = _make_engine(args.engine, args.workers, args)
     result = skyline(
         data,
         algorithm=args.algorithm,
         cluster=cluster,
-        engine=_make_engine("serial", None, args),
+        engine=engine,
     )
     print(
         f"{args.algorithm}: skyline {len(result)}, "
         f"simulated {result.runtime_s:.3f}s\n"
     )
-    print(render_pipeline_gantt(cluster, result.stats.jobs, width=args.width))
+    if args.engine == "bsp":
+        from repro.bsp import render_bsp_gantt
+
+        print(render_bsp_gantt(cluster, result.stats.jobs, width=args.width))
+        print(f"\nbsp cost: {engine.cost.describe()}")
+    else:
+        print(
+            render_pipeline_gantt(cluster, result.stats.jobs, width=args.width)
+        )
     return 0
 
 
@@ -596,6 +677,10 @@ def _serve_engine(name: str, workers: Optional[int]):
         from repro.mapreduce.parallel import ProcessPoolEngine
 
         return ProcessPoolEngine(max_workers=workers)
+    if name == "bsp":
+        from repro.bsp import BSPEngine
+
+        return BSPEngine()
     if name == "contract":
         from repro.check.contracts import ContractCheckingEngine
 
@@ -760,6 +845,12 @@ def _cmd_list(args) -> int:
     print("algorithms:")
     for name in available_algorithms():
         print(f"  {name}")
+    if getattr(args, "engines", False):
+        print("engines:")
+        header = f"  {'name':10s} {'class':24s} {'shm':4s} {'faults':7s} execution model"
+        print(header)
+        for name, cls, model, shm, faults in ENGINE_REGISTRY:
+            print(f"  {name:10s} {cls:24s} {shm:4s} {faults:7s} {model}")
     print("experiments:")
     for name in sorted(EXPERIMENTS):
         print(f"  {name}")

@@ -497,32 +497,38 @@ def finish_reduce_task(
     )
 
 
-def shuffle_outputs(job, map_outputs: List[List[KeyValue]]) -> List[List[KeyValue]]:
-    """Partition map outputs into per-reducer buckets.
+def partition_index(job, key, n: int) -> int:
+    """One validated partitioner probe: which reducer gets ``key``.
 
-    Partitioner indices are validated: a negative index would silently
-    wrap to the wrong reducer and an index >= num_reducers would raise
-    a bare IndexError — both are configuration bugs worth naming.
+    Shared by the shuffle and the BSP communication phase so both route
+    identically. A negative index would silently wrap to the wrong
+    reducer and an index >= num_reducers would raise a bare IndexError
+    — both are configuration bugs worth naming.
     """
+    index = job.partitioner(key, n)
+    if not isinstance(index, int) or isinstance(index, bool):
+        try:
+            index = int(index)  # allow numpy integer indices
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"partitioner returned non-integer {index!r} "
+                f"for key {key!r} ({n} reducers)"
+            ) from None
+    if not 0 <= index < n:
+        raise ValidationError(
+            f"partitioner routed key {key!r} to reducer {index}, "
+            f"outside [0, {n})"
+        )
+    return index
+
+
+def shuffle_outputs(job, map_outputs: List[List[KeyValue]]) -> List[List[KeyValue]]:
+    """Partition map outputs into per-reducer buckets."""
     n = job.num_reducers
     buckets: List[List[KeyValue]] = [[] for _ in range(n)]
     for output in map_outputs:
         for key, value in output:
-            index = job.partitioner(key, n)
-            if not isinstance(index, int) or isinstance(index, bool):
-                try:
-                    index = int(index)  # allow numpy integer indices
-                except (TypeError, ValueError):
-                    raise ValidationError(
-                        f"partitioner returned non-integer {index!r} "
-                        f"for key {key!r} ({n} reducers)"
-                    ) from None
-            if not 0 <= index < n:
-                raise ValidationError(
-                    f"partitioner routed key {key!r} to reducer {index}, "
-                    f"outside [0, {n})"
-                )
-            buckets[index].append((key, value))
+            buckets[partition_index(job, key, n)].append((key, value))
     return buckets
 
 

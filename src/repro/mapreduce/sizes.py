@@ -71,6 +71,23 @@ def payload_size(value: Any) -> int:
         return 64  # opaque object; charge a flat token
 
 
+def payload_units(value: Any) -> int:
+    """Logical record (tuple) count of a shuffled value.
+
+    The unit of the BSP cost model's replication accounting: a columnar
+    :class:`PointSet` carries one record per point, containers carry
+    the sum of their members, and any scalar payload counts as one
+    record. Deterministic and O(structure), like :func:`payload_size`.
+    """
+    if isinstance(value, PointSet):
+        return len(value)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return sum(payload_units(v) for v in value)
+    if isinstance(value, dict):
+        return sum(payload_units(v) for v in value.values())
+    return 1
+
+
 def _structural_size(value: Any) -> Optional[int]:
     """Size dataclass/slotted library objects by walking their fields.
 

@@ -193,6 +193,12 @@ def build_report(
             else {},
         },
     }
+    # Engines with a cost model (the BSP engine) contribute the
+    # rounds/replication frontier. Deterministic — a pure function of
+    # job definitions and data — so it lives outside "wall".
+    cost = getattr(engine, "cost", None)
+    if cost is not None and getattr(cost, "rounds", 0):
+        report["cost"] = cost.as_dict()
     return report
 
 
@@ -309,6 +315,15 @@ def render_report(report: Dict[str, Any]) -> str:
         f"(cpu {report['wall']['cpu_s']:.3f}s)",
         "jobs:",
     ]
+    cost = report.get("cost")
+    if cost:
+        lines.insert(
+            4,
+            f"cost:       {cost['rounds']} rounds / "
+            f"{cost['supersteps']} supersteps, replication "
+            f"{cost['replication_rate']:.3f}x, max reducer input "
+            f"{cost['max_reducer_input_records']} records",
+        )
     for job in report.get("jobs", ()):
         lines.append(
             f"  {job['name']}: {job['num_map_tasks']} map + "

@@ -28,8 +28,13 @@ from repro.errors import ValidationError
 
 #: Gantt cell per span outcome: failed attempts and killed stragglers
 #: render as ``x``, speculative backup copies as ``+``, shuffle as
-#: ``~``, everything else as ``#``.
+#: ``~``, BSP barriers as ``=``, everything else as ``#``.
 OUTCOME_CELLS = {"failed": "x", "killed": "x", "speculative": "+"}
+
+#: Gantt cell per span *category* (categories win over outcomes): the
+#: shuffle's communication wait and a BSP barrier must never render
+#: alike — one is data movement, the other is synchronisation.
+CATEGORY_CELLS = {"shuffle": "~", "barrier": "="}
 
 
 @dataclass(frozen=True)
@@ -40,7 +45,7 @@ class Span:
     track: str
     start_s: float
     end_s: float
-    category: str = "task"  # 'task' | 'shuffle' | 'job' | 'pipeline'
+    category: str = "task"  # 'task' | 'shuffle' | 'barrier' | 'job' | 'pipeline'
     outcome: str = "success"
     args: Mapping[str, Any] = field(default_factory=dict)
 
@@ -57,8 +62,9 @@ class Span:
 
 
 def _cell_for(span: Span) -> str:
-    if span.category == "shuffle":
-        return "~"
+    cell = CATEGORY_CELLS.get(span.category)
+    if cell is not None:
+        return cell
     return OUTCOME_CELLS.get(span.outcome, "#")
 
 

@@ -1,0 +1,323 @@
+"""The BSP superstep engine: compiler, cost model, and rendering.
+
+Covers the superstep compiler's shape, byte-identity of BSP results to
+the serial engine, the cost model against a hand-computed two-group
+fixture (replication 4/3), the ``replication_rate >= 1`` property over
+random workloads, the monotone replication-vs-budget frontier, barrier
+rendering (ASCII ``=`` cells and the ``barrier`` Chrome-trace
+category), counter documentation of everything the engine charges, the
+run report's ``cost`` section, and the CLI surface
+(``list --engines``, ``compute --engine bsp``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli, skyline
+from repro.bsp import (
+    BSPEngine,
+    BSPProgram,
+    Superstep,
+    afrati_allpairs_bound,
+    bsp_schedule_spans,
+    compile_job,
+    compile_jobs,
+    render_bsp_gantt,
+)
+from repro.core.pointset import PointSet
+from repro.data.generators import generate
+from repro.errors import ValidationError
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.counters import (
+    COUNTER_DOCS,
+    matches_counter_family,
+)
+from repro.mapreduce.engine import SerialEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.splits import kv_splits
+from repro.mapreduce.types import IdentityReducer, Mapper
+from repro.obs.spans import chrome_trace_events
+
+
+class EmitMapper(Mapper):
+    """Re-emits its input records unchanged (keys route reducers)."""
+
+    def map(self, key, value, ctx):
+        ctx.emit(key, value)
+
+
+def _two_group_job():
+    """The hand-computable fixture: three points {a, b, c}, delivered
+    as overlapping groups {a, b} -> reducer 0 and {b, c} -> reducer 1.
+
+    Distinct sources n = 3, delivered copies = 4, so the replication
+    rate is exactly 4/3 and the largest reducer input is 2 records.
+    """
+    values = np.array([[0.0, 1.0], [1.0, 0.5], [2.0, 0.0]])
+    group_a = PointSet(np.array([0, 1]), values[:2])
+    group_b = PointSet(np.array([1, 2]), values[1:])
+    pairs = [(0, group_a), (1, group_b)]
+    return MapReduceJob(
+        name="two-groups",
+        splits=kv_splits(pairs, 1),
+        mapper_factory=EmitMapper,
+        reducer_factory=IdentityReducer,
+        num_reducers=2,
+        partitioner=lambda key, n: key % n,
+        cache=DistributedCache(),
+    )
+
+
+class TestCompiler:
+    def test_job_compiles_to_two_supersteps(self):
+        job = _two_group_job()
+        program = compile_job(job)
+        assert isinstance(program, BSPProgram)
+        assert program.num_supersteps == 2
+        assert program.num_barriers == 2
+        map_step, reduce_step = program.supersteps
+        assert map_step.phase == "map"
+        assert map_step.communicates
+        assert map_step.num_peers == len(job.splits)
+        assert reduce_step.phase == "reduce"
+        assert not reduce_step.communicates
+        assert reduce_step.num_peers == job.num_reducers
+        assert "two-groups" in program.describe()
+
+    def test_compile_jobs_chains_programs(self):
+        job = _two_group_job()
+        programs = compile_jobs([job, job])
+        assert [p.num_supersteps for p in programs] == [2, 2]
+
+    def test_superstep_validates_phase_and_peers(self):
+        with pytest.raises(ValidationError):
+            Superstep(
+                index=0, job_name="j", phase="sort", num_peers=1,
+                communicates=False,
+            )
+        with pytest.raises(ValidationError):
+            Superstep(
+                index=0, job_name="j", phase="map", num_peers=0,
+                communicates=True,
+            )
+
+
+class TestCostModel:
+    def test_two_group_fixture_replicates_four_thirds(self):
+        engine = BSPEngine()
+        result = engine.run(_two_group_job())
+        cost = engine.cost
+        assert cost.rounds == 1
+        assert cost.num_supersteps == 2
+        assert cost.barriers == 2
+        assert cost.source_records == 3
+        assert cost.delivered_records == 4
+        assert cost.replication_rate == pytest.approx(4 / 3)
+        assert cost.max_reducer_input_records == 2
+        map_cost, reduce_cost = cost.supersteps
+        assert map_cost.phase == "map"
+        assert map_cost.delivered_records == 4
+        # h-relation degree: the single map peer sends 4 records, each
+        # reduce peer receives 2 -> max over peers is 4.
+        assert map_cost.h_records == 4
+        assert map_cost.h_bytes > 0
+        assert reduce_cost.h_records == 0
+        # every reducer got one group
+        assert len(result.reducer_outputs) == 2
+
+    def test_cost_counters_charge_engine_bag_not_job_stats(self):
+        engine = BSPEngine()
+        result = engine.run(_two_group_job())
+        bag = engine.cost_counters.as_dict()
+        assert bag["mr.cost.rounds"] == 1
+        assert bag["mr.cost.delivered_records"] == 4
+        assert bag["mr.cost.superstep.0.h_records"] == 4
+        # job stats stay engine-agnostic: no cost names leak in
+        assert not any(
+            name.startswith("mr.cost.")
+            for name in result.stats.counters.as_dict()
+        )
+
+    def test_every_charged_cost_counter_is_documented(self):
+        engine = BSPEngine()
+        skyline(
+            generate("anticorrelated", 300, 3, seed=5),
+            algorithm="mr-gpmrs",
+            engine=engine,
+            num_reducers=3,
+        )
+        for name in engine.cost_counters.as_dict():
+            assert name in COUNTER_DOCS or matches_counter_family(name), name
+
+    def test_reset_cost_starts_a_fresh_report(self):
+        engine = BSPEngine()
+        engine.run(_two_group_job())
+        engine.reset_cost()
+        assert engine.cost.rounds == 0
+        assert engine.cost.replication_rate == 1.0
+        assert engine.cost_counters.as_dict() == {}
+
+    def test_allpairs_bound_validates_and_divides(self):
+        assert afrati_allpairs_bound(12, 4) == 3.0
+        with pytest.raises(ValidationError):
+            afrati_allpairs_bound(12, 0)
+        with pytest.raises(ValidationError):
+            afrati_allpairs_bound(-1, 4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        cardinality=st.integers(20, 120),
+        num_reducers=st.integers(1, 4),
+    )
+    def test_replication_rate_at_least_one(
+        self, seed, cardinality, num_reducers
+    ):
+        """Every source record is delivered at least once, whatever the
+        workload or reducer count."""
+        engine = BSPEngine()
+        skyline(
+            generate("independent", cardinality, 3, seed=seed),
+            algorithm="mr-gpmrs",
+            engine=engine,
+            num_reducers=num_reducers,
+        )
+        cost = engine.cost
+        assert cost.replication_rate >= 1.0
+        assert cost.delivered_records >= cost.source_records
+        assert cost.replication_rate == pytest.approx(
+            cost.delivered_records / cost.source_records
+        )
+
+    def test_frontier_replication_non_increasing_in_budget(self):
+        """Shrinking reducers grows the per-reducer budget q and must
+        never cost more replication (the Lemma 2 / Figure 6 frontier)."""
+        data = generate("anticorrelated", 1500, 3, seed=7)
+        points = []
+        for num_reducers in (1, 2, 4):
+            engine = BSPEngine()
+            skyline(
+                data,
+                algorithm="mr-gpmrs",
+                engine=engine,
+                num_reducers=num_reducers,
+                tpp=187,
+            )
+            points.append(
+                (
+                    engine.cost.max_reducer_input_records,
+                    engine.cost.replication_rate,
+                )
+            )
+        points.sort()
+        rates = [rate for _q, rate in points]
+        assert all(b <= a + 1e-9 for a, b in zip(rates, rates[1:])), points
+        assert rates[-1] == pytest.approx(1.0)  # one reducer: no copies
+
+
+class TestEquivalenceAndReports:
+    def test_bsp_matches_serial_bytewise(self):
+        data = generate("anticorrelated", 260, 4, seed=45)
+        serial = skyline(data, algorithm="mr-gpmrs", engine=SerialEngine())
+        bsp = skyline(data, algorithm="mr-gpmrs", engine=BSPEngine())
+        assert bsp.indices.tolist() == serial.indices.tolist()
+        assert bsp.values.tolist() == serial.values.tolist()
+        assert [j.counters.as_dict() for j in bsp.stats.jobs] == [
+            j.counters.as_dict() for j in serial.stats.jobs
+        ]
+
+    def test_run_report_gains_cost_section_under_bsp(self):
+        from repro.bench.harness import Cell, Workload, run_cell
+        from repro.obs.schema import validate_report
+
+        cell = Cell.make(
+            Workload("independent", 200, 3, seed=3), "mr-gpmrs"
+        )
+        bsp_result = run_cell(cell, engine=BSPEngine(), report=True)
+        report = bsp_result.report
+        assert validate_report(report) == []
+        assert report["cost"]["rounds"] > 0
+        assert report["cost"]["replication_rate"] >= 1.0
+        assert (
+            report["cost"]["supersteps"]
+            == 2 * report["cost"]["rounds"]
+        )
+        serial_result = run_cell(cell, report=True)
+        assert "cost" not in serial_result.report
+        assert validate_report(serial_result.report) == []
+
+
+class TestBarrierRendering:
+    def _stats(self):
+        result = skyline(
+            generate("independent", 200, 3, seed=4),
+            algorithm="mr-gpmrs",
+            engine=BSPEngine(),
+        )
+        return result.stats.jobs
+
+    def test_ascii_gantt_renders_barriers_distinctly(self):
+        jobs = self._stats()
+        art = render_bsp_gantt(SimulatedCluster(), jobs)
+        assert "=" in art  # barrier cells
+        assert "~" in art  # the h-relation, still distinct
+        assert "barriers '='" in art
+        assert "supersteps 0-1" in art
+
+    def test_chrome_trace_carries_barrier_category(self):
+        jobs = self._stats()
+        spans = bsp_schedule_spans(SimulatedCluster(), jobs)
+        records = chrome_trace_events({"simulated": spans})
+        categories = {r.get("cat") for r in records if r["ph"] == "X"}
+        assert "barrier" in categories
+        assert "shuffle" in categories
+        barrier_names = [
+            r["name"]
+            for r in records
+            if r["ph"] == "X" and r.get("cat") == "barrier"
+        ]
+        # two barriers per round, every round rendered
+        assert len(barrier_names) == 2 * len(jobs)
+
+
+class TestCLI:
+    def test_list_engines_prints_registry(self, capsys):
+        assert cli.main(["list", "--engines"]) == 0
+        out = capsys.readouterr().out
+        assert "engines:" in out
+        assert "bsp" in out
+        assert "supersteps" in out
+        assert "BSPEngine" in out
+        for name in ("serial", "threads", "processes", "contract"):
+            assert name in out
+
+    def test_compute_engine_bsp_prints_cost_line(self, capsys):
+        code = cli.main(
+            [
+                "compute", "--algo", "mr-gpmrs",
+                "--distribution", "independent",
+                "-c", "300", "-d", "3",
+                "--engine", "bsp", "--show", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bsp cost:" in out
+        assert "replication" in out
+
+    def test_gantt_engine_bsp_shows_barriers(self, capsys):
+        code = cli.main(
+            [
+                "gantt", "--algo", "mr-gpmrs",
+                "--distribution", "independent",
+                "-c", "300", "-d", "3",
+                "--engine", "bsp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "barriers '='" in out
+        assert "bsp cost:" in out

@@ -10,6 +10,7 @@ run green under the contract engine end to end.
 import numpy as np
 import pytest
 
+from repro.bsp import ContractCheckingBSPEngine
 from repro.check.contracts import ContractCheckingEngine, _shuffled_bucket
 from repro.check.fingerprint import fingerprint
 from repro.core.pointset import PointSet
@@ -191,16 +192,38 @@ class TestFingerprint:
 
 
 class TestRealAlgorithms:
-    """Every registered MapReduce algorithm honours the contracts."""
+    """Every registered MapReduce algorithm honours the contracts —
+    under the serial contract engine and its BSP twin alike."""
 
+    @pytest.mark.parametrize(
+        "engine_cls", [ContractCheckingEngine, ContractCheckingBSPEngine]
+    )
     @pytest.mark.parametrize("name", sorted(available_algorithms()))
-    def test_algorithm_runs_green_under_contract_engine(self, name):
+    def test_algorithm_runs_green_under_contract_engine(
+        self, name, engine_cls
+    ):
         data = generate("anticorrelated", 600, 3, seed=11)
         if name == "mr-bitmap":
             # MR-Bitmap requires small per-dimension domains (<= 64
             # distinct values, paper Section 2.2).
             data = np.round(data, 1)
         algorithm = make_algorithm(name)
-        result = algorithm.compute(data, engine=ContractCheckingEngine())
+        result = algorithm.compute(data, engine=engine_cls())
         expected = bruteforce_skyline_indices(data)
         assert sorted(result.indices.tolist()) == sorted(expected.tolist())
+
+    def test_contract_bsp_engine_runs_green_under_faults(self):
+        """The BSP contract engine stays green with a FaultPlan active:
+        re-executed supersteps honour the same purity contracts."""
+        from repro.mapreduce.faults import FaultPlan, RetryPolicy
+
+        plan = FaultPlan(seed=9, fail_rate=1.0, max_failures_per_task=1)
+        engine = ContractCheckingBSPEngine(
+            retry=RetryPolicy(max_attempts=plan.min_attempts()),
+            faults=plan,
+        )
+        data = generate("anticorrelated", 400, 3, seed=12)
+        result = make_algorithm("mr-gpmrs").compute(data, engine=engine)
+        expected = bruteforce_skyline_indices(data)
+        assert sorted(result.indices.tolist()) == sorted(expected.tolist())
+        assert engine.cost.rounds > 0

@@ -1,17 +1,18 @@
 """Cross-engine and cross-path equivalence.
 
 The execution engine is infrastructure, never semantics: every engine
-(serial, thread pool, process pool) and both input paths (record-at-a-
-time vs columnar block) must produce byte-identical skylines, identical
-counters, and identical shuffle-byte totals for every algorithm. This
-is the invariant that makes the cost model and the paper's counter
-figures engine-independent.
+(serial, thread pool, process pool, BSP supersteps) and both input
+paths (record-at-a-time vs columnar block) must produce byte-identical
+skylines, identical counters, and identical shuffle-byte totals for
+every algorithm. This is the invariant that makes the cost model and
+the paper's counter figures engine-independent.
 """
 
 import numpy as np
 import pytest
 
 from repro import skyline
+from repro.bsp import BSPEngine
 from repro.data.generators import generate
 from repro.mapreduce.engine import SerialEngine
 from repro.mapreduce.parallel import ProcessPoolEngine, ThreadPoolEngine
@@ -74,6 +75,18 @@ def test_thread_pool_matches_serial(algorithm):
 
 
 @pytest.mark.parametrize("algorithm", MR_ALGORITHMS)
+def test_bsp_matches_serial(algorithm):
+    """The superstep engine changes the execution model, not one byte
+    of the result — and its cost report stays engine-local."""
+    data = _dataset(algorithm, "anticorrelated", 220, 3, seed=43)
+    serial = _run(algorithm, data, SerialEngine())
+    bsp_engine = BSPEngine()
+    bsp = _run(algorithm, data, bsp_engine)
+    assert serial == bsp
+    assert bsp_engine.cost.rounds > 0  # it did account the run
+
+
+@pytest.mark.parametrize("algorithm", MR_ALGORITHMS)
 def test_process_pool_matches_serial(algorithm):
     data = _dataset(algorithm, "anticorrelated", 180, 3, seed=44)
     serial = _run(algorithm, data, SerialEngine())
@@ -92,6 +105,8 @@ def test_all_engines_agree_bytewise(distribution):
             SerialEngine(),
             ThreadPoolEngine(max_workers=3),
             ProcessPoolEngine(max_workers=2),
+            BSPEngine(),
+            BSPEngine(block_path=False),
         )
     ]
     assert all(p == prints[0] for p in prints[1:])
@@ -110,3 +125,4 @@ def test_engine_reprs_show_configuration():
     assert "block_path=False" in repr(SerialEngine(block_path=False))
     assert "max_workers=7" in repr(ThreadPoolEngine(max_workers=7))
     assert "max_workers=3" in repr(ProcessPoolEngine(max_workers=3))
+    assert repr(BSPEngine()).startswith("BSPEngine(")

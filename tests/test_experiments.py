@@ -116,6 +116,7 @@ class TestRegistryOfExperiments:
             "ablation-ppd",
             "ablation-pruning",
             "ablation-local",
+            "cost-frontier",
         }
 
 

@@ -1,6 +1,6 @@
 """Cross-engine fault equivalence: faults change cost, never results.
 
-For every registered MR algorithm, all three engines run under the
+For every registered MR algorithm, all four engines run under the
 same seeded :class:`FaultPlan` — injecting at least one failure into
 every map and reduce task, plus stragglers with speculation — and must
 produce skylines byte-identical to the fault-free run, identical
@@ -8,7 +8,8 @@ counters and attempt histories to each other, and a simulated makespan
 that charges the re-executed work.
 
 CI runs this suite per engine at a nonzero fault rate via
-``pytest -k serial|threads|processes`` (see .github/workflows/ci.yml).
+``pytest -k serial|threads|processes|bsp`` (see
+.github/workflows/ci.yml).
 """
 
 from functools import lru_cache
@@ -17,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro import skyline
+from repro.bsp import BSPEngine
 from repro.data.generators import generate
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.engine import SerialEngine
@@ -59,6 +61,7 @@ ENGINES = {
     "processes": lambda: ProcessPoolEngine(
         max_workers=2, retry=RETRY, faults=PLAN, speculative=True
     ),
+    "bsp": lambda: BSPEngine(retry=RETRY, faults=PLAN, speculative=True),
 }
 
 
